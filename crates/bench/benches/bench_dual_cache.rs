@@ -1,0 +1,122 @@
+//! Experiment P2 — the dual-caching structure (paper §2.4):
+//! page-load latency percentiles and backend traffic for
+//! {no cache, server only, client only, dual}, over real HTTP.
+
+use criterion::Criterion;
+use hpcdash_bench::banner;
+use hpcdash_client::loadgen::{self, LoadConfig};
+use hpcdash_client::FetchOutcome;
+use hpcdash_core::{CachePolicy, DashboardConfig};
+use hpcdash_workload::ScenarioConfig;
+
+fn variant(server_cache: bool, client_cache: bool) -> (String, loadgen::LoadReport, u64) {
+    let mut scenario_cfg = ScenarioConfig::small();
+    scenario_cfg.free_daemons = false;
+    let mut dash_cfg = DashboardConfig::purdue_like();
+    if !server_cache {
+        dash_cfg.cache = CachePolicy::disabled();
+    }
+    let site = hpcdash_bench::BenchSite::build(scenario_cfg, dash_cfg);
+    site.warm_up(600);
+    let server = site.dashboard.serve("127.0.0.1:0", 8).expect("serve");
+    site.scenario.ctld.stats().reset();
+
+    let users: Vec<String> = (0..12)
+        .map(|i| site.scenario.population.user(i).to_string())
+        .collect();
+    let cfg = LoadConfig {
+        users,
+        iterations: 10,
+        paths: vec![
+            "/api/recent_jobs".to_string(),
+            "/api/system_status".to_string(),
+            "/api/storage".to_string(),
+        ],
+        client_fresh_secs: if client_cache { Some(60) } else { None },
+    };
+    let report = loadgen::run(&server.base_url(), site.scenario.clock.shared(), &cfg);
+    let rpcs = site.scenario.ctld.stats().snapshot().total_rpcs;
+    let name = match (server_cache, client_cache) {
+        (false, false) => "no caches",
+        (true, false) => "server only",
+        (false, true) => "client only",
+        (true, true) => "dual (paper)",
+    };
+    (name.to_string(), report, rpcs)
+}
+
+fn main() {
+    banner(
+        "P2",
+        "dual caching: perceived latency & backend traffic (12 users x 10 loads x 3 widgets)",
+    );
+    println!(
+        "{:<13} {:>10} {:>10} {:>10} | {:>11} {:>10}",
+        "variant", "p50", "p90", "p99", "net fetches", "ctld RPCs"
+    );
+    println!("{}", "-".repeat(74));
+    let mut results = Vec::new();
+    for (server_cache, client_cache) in [(false, false), (true, false), (false, true), (true, true)] {
+        let (name, report, rpcs) = variant(server_cache, client_cache);
+        let p = report.perceived.expect("samples");
+        println!(
+            "{name:<13} {:>10.1?} {:>10.1?} {:>10.1?} | {:>11} {:>10}",
+            p.p50, p.p90, p.p99, report.network_fetches, rpcs
+        );
+        assert_eq!(report.errors, 0);
+        results.push((name, p.p50, report.network_fetches, rpcs));
+    }
+    // Shape assertions (who wins): each layer cuts its half of the cost.
+    let by_name: std::collections::HashMap<_, _> = results
+        .iter()
+        .map(|(n, p50, net, rpcs)| (n.clone(), (*p50, *net, *rpcs)))
+        .collect();
+    assert!(
+        by_name["dual (paper)"].1 < by_name["no caches"].1,
+        "dual cache must cut network fetches"
+    );
+    assert!(
+        by_name["server only"].2 < by_name["no caches"].2,
+        "server cache must cut slurmctld RPCs"
+    );
+    assert!(
+        by_name["dual (paper)"].0 <= by_name["server only"].0,
+        "client cache must cut perceived latency further"
+    );
+    println!("\nshape: server cache protects the daemons; client cache makes warm loads");
+    println!("near-instant; the dual structure (the paper's design) wins on both axes.");
+
+    // Criterion: one warm client fetch vs one forced network fetch.
+    let mut c = Criterion::default().configure_from_args().sample_size(30);
+    {
+        let site = hpcdash_bench::BenchSite::fast();
+        let server = site.dashboard.serve("127.0.0.1:0", 4).expect("serve");
+        let user = site.user();
+        let cached = hpcdash_client::DashboardClient::new(
+            &server.base_url(),
+            &user,
+            site.scenario.clock.shared(),
+            Some(3_600),
+        );
+        cached.fetch_api("/api/system_status").expect("prime");
+        let uncached = hpcdash_client::DashboardClient::new(
+            &server.base_url(),
+            &user,
+            site.scenario.clock.shared(),
+            None,
+        );
+        let mut group = c.benchmark_group("client_fetch");
+        group.bench_function("warm_client_cache", |b| {
+            b.iter(|| {
+                let r = cached.fetch_api("/api/system_status").expect("fetch");
+                assert_eq!(r.outcome, FetchOutcome::CacheFresh);
+                r
+            })
+        });
+        group.bench_function("network_roundtrip", |b| {
+            b.iter(|| uncached.fetch_api("/api/system_status").expect("fetch"))
+        });
+        group.finish();
+    }
+    c.final_summary();
+}

@@ -1,0 +1,56 @@
+//! Figure 4a (Job Performance Metrics) as a benchmark: aggregate metric
+//! computation over growing accounting histories and time ranges.
+
+use hpcdash_simtime::Clock;
+use criterion::{BenchmarkId, Criterion};
+use hpcdash_bench::{banner, BenchSite};
+use hpcdash_core::metrics::JobMetrics;
+
+fn main() {
+    banner("F4a", "Job Performance Metrics: aggregation across time ranges");
+    let site = BenchSite::fast();
+    site.warm_up(4 * 3_600);
+    let user = site.user();
+    println!("fixture: {} accounting records", site.scenario.dbd.archived_count());
+
+    let mut c = Criterion::default().configure_from_args().sample_size(30);
+    {
+        let mut group = c.benchmark_group("jobmetrics_route");
+        for range in ["24h", "7d", "all"] {
+            group.bench_with_input(BenchmarkId::from_parameter(range), &range, |b, r| {
+                b.iter(|| {
+                    site.ctx().cache.clear();
+                    let resp = site.get(&format!("/api/jobmetrics?range={r}"), &user);
+                    assert_eq!(resp.status, 200);
+                    resp
+                })
+            });
+        }
+        group.finish();
+    }
+    {
+        // The aggregation kernel in isolation at synthetic scales.
+        let records = {
+            let text = hpcdash_slurmcli::sacct(
+                &site.scenario.dbd,
+                &hpcdash_slurmcli::SacctArgs::default(),
+                site.scenario.clock.now(),
+            );
+            hpcdash_slurmcli::parse_sacct(&text).expect("parse")
+        };
+        let mut group = c.benchmark_group("metrics_kernel");
+        for scale in [1usize, 8, 32] {
+            let blown_up: Vec<_> = std::iter::repeat_with(|| records.clone())
+                .take(scale)
+                .flatten()
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new("aggregate", blown_up.len()),
+                &blown_up,
+                |b, recs| b.iter(|| JobMetrics::aggregate(recs)),
+            );
+        }
+        group.finish();
+    }
+    c.final_summary();
+}

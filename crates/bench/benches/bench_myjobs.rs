@@ -1,0 +1,109 @@
+//! Figure 3 (My Jobs) as a benchmark: full route latency — sacct + squeue +
+//! efficiency engine + charts — at growing history sizes, cold vs warm
+//! server cache.
+
+use hpcdash_simtime::Clock;
+use criterion::{BenchmarkId, Criterion};
+use hpcdash_bench::{banner, BenchSite};
+
+fn site_with_history(hours: u64) -> (BenchSite, String) {
+    let site = BenchSite::fast();
+    site.warm_up(hours * 3_600);
+    let user = site.user();
+    (site, user)
+}
+
+fn main() {
+    banner("F3", "My Jobs route: table + efficiency + charts, cold vs warm cache");
+
+    // The paper's §4 comparison: My Jobs vs the stock Active Jobs baseline.
+    {
+        let (site, user) = site_with_history(2);
+        let myjobs = site.get("/api/myjobs?range=all", &user).body_json().expect("json");
+        let baseline = site.get("/api/activejobs", &user).body_json().expect("json");
+        let my_rows = myjobs["jobs"].as_array().unwrap();
+        let base_rows = baseline["jobs"].as_array().unwrap();
+        let my_fields = my_rows.first().map(|j| j.as_object().unwrap().len()).unwrap_or(0);
+        let base_fields = base_rows.first().map(|j| j.as_object().unwrap().len()).unwrap_or(0);
+        println!("\ninformation coverage vs the OOD Active Jobs baseline (2h history):");
+        println!("  {:<22} {:>10} {:>16}", "", "jobs shown", "fields per job");
+        println!("  {:<22} {:>10} {:>16}", "Active Jobs (baseline)", base_rows.len(), base_fields);
+        println!("  {:<22} {:>10} {:>16}", "My Jobs (paper)", my_rows.len(), my_fields);
+        assert!(
+            my_rows.len() >= base_rows.len(),
+            "My Jobs must cover at least the active set"
+        );
+        assert!(my_fields > base_fields, "My Jobs must carry more columns");
+        let historical = my_rows
+            .iter()
+            .filter(|j| !matches!(j["state"].as_str(), Some("PENDING") | Some("RUNNING")))
+            .count();
+        println!("  My Jobs additionally shows {historical} finished/failed/cancelled jobs\n");
+    }
+
+    let mut c = Criterion::default().configure_from_args().sample_size(20);
+    {
+        let mut group = c.benchmark_group("myjobs_route");
+        for hours in [1u64, 4] {
+            let (site, user) = site_with_history(hours);
+            let archived = site.scenario.dbd.archived_count();
+            println!("history of {hours}h -> {archived} accounting records");
+            group.bench_with_input(
+                BenchmarkId::new("cold_cache", format!("{archived}rec")),
+                &archived,
+                |b, _| {
+                    b.iter(|| {
+                        site.ctx().cache.clear();
+                        let resp = site.get("/api/myjobs?range=all", &user);
+                        assert_eq!(resp.status, 200);
+                        resp
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("warm_cache", format!("{archived}rec")),
+                &archived,
+                |b, _| {
+                    site.get("/api/myjobs?range=all", &user); // prime
+                    b.iter(|| {
+                        let resp = site.get("/api/myjobs?range=all", &user);
+                        assert_eq!(resp.status, 200);
+                        resp
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+    {
+        // The efficiency engine on its own.
+        let (site, user) = site_with_history(2);
+        let resp = site.get("/api/myjobs?range=all", &user);
+        let payload = resp.body_json().expect("json");
+        let mut group = c.benchmark_group("myjobs_parts");
+        group.bench_function("render_full_page", |b| {
+            b.iter(|| hpcdash_core::pages::myjobs::render_full("Anvil", &user, &payload))
+        });
+        let records = {
+            let text = hpcdash_slurmcli::sacct(
+                &site.scenario.dbd,
+                &hpcdash_slurmcli::SacctArgs::default(),
+                site.scenario.clock.now(),
+            );
+            hpcdash_slurmcli::parse_sacct(&text).expect("parse")
+        };
+        group.bench_function("efficiency_engine", |b| {
+            b.iter(|| {
+                records
+                    .iter()
+                    .map(|r| hpcdash_core::efficiency::EfficiencyReport::from_record(r, true))
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_function("state_chart", |b| {
+            b.iter(|| hpcdash_core::charts::job_state_distribution(&records))
+        });
+        group.finish();
+    }
+    c.final_summary();
+}

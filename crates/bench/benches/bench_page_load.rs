@@ -1,0 +1,107 @@
+//! Experiment P4 — instant shells (paper §2.3): the template-shell +
+//! async-API design serves a first byte whose latency is independent of
+//! Slurm; the alternative (prerendering all widget data into the ERB
+//! template) makes the user stare at a blank page for the sum of all
+//! backend queries.
+
+use criterion::Criterion;
+use hpcdash_bench::{banner, BenchSite};
+use hpcdash_core::pages;
+use std::time::{Duration, Instant};
+
+/// The async design: serve the shell, then fetch widgets (concurrently in a
+/// real browser; we report the max, since the page paints progressively).
+fn async_design(site: &BenchSite, user: &str) -> (Duration, Duration) {
+    let t0 = Instant::now();
+    let shell = site.get("/", user);
+    assert_eq!(shell.status, 200);
+    let ttfb = t0.elapsed();
+    let mut slowest = Duration::ZERO;
+    for (_, path) in pages::homepage::WIDGETS {
+        let t = Instant::now();
+        assert_eq!(site.get(path, user).status, 200);
+        slowest = slowest.max(t.elapsed());
+    }
+    (ttfb, ttfb + slowest)
+}
+
+/// The blocking alternative: gather every widget's data before sending any
+/// HTML (what "providing the Slurm data upfront through the ERB template"
+/// would do).
+fn blocking_design(site: &BenchSite, user: &str) -> Duration {
+    let t0 = Instant::now();
+    let payloads: Vec<(&str, Result<serde_json::Value, String>)> = pages::homepage::WIDGETS
+        .iter()
+        .map(|(w, path)| {
+            let resp = site.get(path, user);
+            (*w, resp.body_json().map_err(|e| e.to_string()))
+        })
+        .collect();
+    let html = pages::homepage::render_full("Anvil", user, &payloads);
+    assert!(html.len() > 1_000);
+    t0.elapsed()
+}
+
+fn main() {
+    banner(
+        "P4",
+        "instant load: async widget shells vs blocking ERB prerender (cold server cache)",
+    );
+    let site = BenchSite::realistic();
+    site.warm_up(900);
+    let user = site.user();
+
+    println!(
+        "{:>22} | {:>12} | {:>14}",
+        "design", "first paint", "all data shown"
+    );
+    println!("{}", "-".repeat(56));
+    let mut async_paints = Vec::new();
+    let mut blocking_paints = Vec::new();
+    for round in 0..5 {
+        site.ctx().cache.clear(); // every round is a cold backend
+        let (ttfb, full) = async_design(&site, &user);
+        site.ctx().cache.clear();
+        let blocking = blocking_design(&site, &user);
+        if round > 0 {
+            // skip the first warm-up round in the summary
+            async_paints.push(ttfb);
+            blocking_paints.push(blocking);
+        }
+        println!(
+            "{:>22} | {:>12.1?} | {:>14.1?}",
+            "async (paper)", ttfb, full
+        );
+        println!(
+            "{:>22} | {:>12.1?} | {:>14.1?}",
+            "blocking prerender", blocking, blocking
+        );
+    }
+    let avg = |v: &[Duration]| v.iter().sum::<Duration>() / v.len().max(1) as u32;
+    let a = avg(&async_paints);
+    let b = avg(&blocking_paints);
+    println!("\nmean first paint: async {a:.1?} vs blocking {b:.1?}");
+    assert!(
+        a < b,
+        "the shell must paint before the blocking design finishes its queries"
+    );
+    println!("shape: the shell's first paint is independent of Slurm latency; the blocking");
+    println!("design cannot paint until every backend query returns (paper §2.3's rationale).");
+
+    // Criterion: shell render vs full render cost in isolation.
+    let mut c = Criterion::default().configure_from_args().sample_size(50);
+    {
+        let mut group = c.benchmark_group("page_load");
+        group.bench_function("shell_route", |b| b.iter(|| site.get("/", &user)));
+        group.bench_function("widgets_warm_cache", |b| {
+            site.get("/api/system_status", &user); // prime
+            b.iter(|| {
+                for (_, path) in pages::homepage::WIDGETS {
+                    site.get(path, &user);
+                }
+            })
+        });
+        group.finish();
+    }
+    c.final_summary();
+}

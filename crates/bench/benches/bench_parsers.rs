@@ -1,0 +1,92 @@
+//! Substrate benchmark S1b — the Slurm command layer: format/parse
+//! throughput for the text interfaces every dashboard route consumes.
+
+use hpcdash_simtime::Clock;
+use criterion::{BenchmarkId, Criterion, Throughput};
+use hpcdash_bench::banner;
+use hpcdash_simtime::Timestamp;
+use hpcdash_workload::ScenarioConfig;
+
+fn main() {
+    banner("S1b", "command layer: squeue/sacct/sinfo/scontrol render + parse throughput");
+    let scenario = hpcdash_workload::Scenario::build(ScenarioConfig {
+        free_daemons: true,
+        ..ScenarioConfig::campus()
+    });
+    let mut driver = scenario.driver(2 * 3_600);
+    driver.advance(2 * 3_600);
+
+    let jobs = scenario.ctld.query_jobs(&hpcdash_slurm::ctld::JobQuery::all());
+    let archived = scenario
+        .dbd
+        .query_jobs(&hpcdash_slurm::dbd::JobFilter::default());
+    let nodes = scenario.ctld.query_nodes();
+    let partitions = scenario.ctld.query_partitions();
+    let now = scenario.clock.now();
+    println!(
+        "fixture: {} live jobs, {} accounting records, {} nodes\n",
+        jobs.len(),
+        archived.len(),
+        nodes.len()
+    );
+
+    let squeue_text = hpcdash_slurmcli::squeue::render_long(&jobs, now);
+    let sacct_text = hpcdash_slurmcli::sacct::render(&archived, now);
+    let sinfo_text = hpcdash_slurmcli::sinfo::render_usage(&partitions, &nodes);
+    let node_text = nodes
+        .iter()
+        .map(hpcdash_slurmcli::scontrol::render_node)
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut c = Criterion::default().configure_from_args().sample_size(40);
+    {
+        let mut group = c.benchmark_group("render");
+        group.throughput(Throughput::Elements(jobs.len() as u64));
+        group.bench_function(BenchmarkId::new("squeue_long", jobs.len()), |b| {
+            b.iter(|| hpcdash_slurmcli::squeue::render_long(&jobs, now))
+        });
+        group.throughput(Throughput::Elements(archived.len() as u64));
+        group.bench_function(BenchmarkId::new("sacct", archived.len()), |b| {
+            b.iter(|| hpcdash_slurmcli::sacct::render(&archived, now))
+        });
+        group.throughput(Throughput::Elements(nodes.len() as u64));
+        group.bench_function(BenchmarkId::new("scontrol_nodes", nodes.len()), |b| {
+            b.iter(|| {
+                nodes
+                    .iter()
+                    .map(hpcdash_slurmcli::scontrol::render_node)
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.finish();
+    }
+    {
+        let mut group = c.benchmark_group("parse");
+        group.throughput(Throughput::Bytes(squeue_text.len() as u64));
+        group.bench_function("squeue_long", |b| {
+            b.iter(|| hpcdash_slurmcli::parse_squeue_long(&squeue_text).expect("parse"))
+        });
+        group.throughput(Throughput::Bytes(sacct_text.len() as u64));
+        group.bench_function("sacct", |b| {
+            b.iter(|| hpcdash_slurmcli::parse_sacct(&sacct_text).expect("parse"))
+        });
+        group.throughput(Throughput::Bytes(sinfo_text.len() as u64));
+        group.bench_function("sinfo_usage", |b| {
+            b.iter(|| hpcdash_slurmcli::parse_sinfo_usage(&sinfo_text).expect("parse"))
+        });
+        group.throughput(Throughput::Bytes(node_text.len() as u64));
+        group.bench_function("scontrol_nodes", |b| {
+            b.iter(|| hpcdash_slurmcli::parse_show_node(&node_text).expect("parse"))
+        });
+        group.finish();
+    }
+
+    // Round-trip sanity under bench fixtures.
+    assert_eq!(
+        hpcdash_slurmcli::parse_sacct(&sacct_text).expect("parse").len(),
+        archived.len()
+    );
+    let _ = Timestamp(0);
+    c.final_summary();
+}

@@ -1,0 +1,104 @@
+//! Figures F2/F4b as render benches: HTML generation for the homepage
+//! widgets and the Cluster Status grid/list at increasing cluster sizes.
+
+use criterion::{BenchmarkId, Criterion};
+use hpcdash_bench::{banner, BenchSite};
+use hpcdash_core::pages;
+
+fn main() {
+    banner("F2/F4b", "widget & page render throughput");
+    let site = BenchSite::fast();
+    site.warm_up(900);
+    let user = site.user();
+
+    // Gather live payloads once; rendering is the thing under test.
+    let payloads: Vec<(&str, serde_json::Value)> = pages::homepage::WIDGETS
+        .iter()
+        .map(|(w, path)| {
+            let resp = site.get(path, &user);
+            assert_eq!(resp.status, 200, "{path}");
+            (*w, resp.body_json().expect("json"))
+        })
+        .collect();
+
+    let mut c = Criterion::default().configure_from_args().sample_size(60);
+    {
+        let mut group = c.benchmark_group("widget_render");
+        for (widget, payload) in &payloads {
+            group.bench_with_input(BenchmarkId::from_parameter(widget), payload, |b, p| {
+                b.iter(|| match *widget {
+                    "announcements" => hpcdash_core::widgets::announcements::render(p),
+                    "recent_jobs" => hpcdash_core::widgets::recent_jobs::render(p),
+                    "system_status" => hpcdash_core::widgets::system_status::render(p),
+                    "accounts" => hpcdash_core::widgets::accounts::render(p),
+                    "storage" => hpcdash_core::widgets::storage::render(p),
+                    _ => unreachable!(),
+                })
+            });
+        }
+        group.finish();
+    }
+    {
+        let ok_payloads: Vec<(&str, Result<serde_json::Value, String>)> = payloads
+            .iter()
+            .map(|(w, p)| (*w, Ok(p.clone())))
+            .collect();
+        let mut group = c.benchmark_group("page_render");
+        group.bench_function("homepage_full", |b| {
+            b.iter(|| pages::homepage::render_full("Anvil", &user, &ok_payloads))
+        });
+        group.bench_function("homepage_shell", |b| {
+            b.iter(|| pages::homepage::render_shell("Anvil", &user))
+        });
+        group.finish();
+    }
+    {
+        // Cluster Status at synthetic scales: 64, 512, 2048 nodes.
+        let mut group = c.benchmark_group("clusterstatus_render");
+        for node_count in [64usize, 512, 2_048] {
+            let payload = synthetic_nodes(node_count);
+            group.bench_with_input(
+                BenchmarkId::new("grid", node_count),
+                &payload,
+                |b, p| b.iter(|| pages::clusterstatus::render_grid(p)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("list_filtered", node_count),
+                &payload,
+                |b, p| b.iter(|| pages::clusterstatus::render_list(p, Some("mixed"))),
+            );
+        }
+        group.finish();
+    }
+    c.final_summary();
+}
+
+fn synthetic_nodes(n: usize) -> serde_json::Value {
+    let states = ["IDLE", "MIXED", "ALLOCATED", "DRAINED", "DOWN"];
+    let colors = ["faded-green", "green", "green", "yellow", "red"];
+    let nodes: Vec<serde_json::Value> = (0..n)
+        .map(|i| {
+            let s = i % states.len();
+            serde_json::json!({
+                "name": format!("a{i:04}"),
+                "state": states[s],
+                "color": colors[s],
+                "cpus_alloc": (i * 7) % 128,
+                "cpus_total": 128,
+                "cpu_percent": ((i * 7) % 128) as f64 / 1.28,
+                "cpu_color": "green",
+                "cpu_load": (i % 128) as f64,
+                "mem_alloc_mb": (i * 1_000) % 257_000,
+                "mem_total_mb": 257_000,
+                "mem_percent": 40.0,
+                "mem_color": "green",
+                "partitions": ["cpu"],
+                "gres": null,
+                "gres_used": null,
+                "reason": null,
+                "overview_url": format!("/nodes/a{i:04}"),
+            })
+        })
+        .collect();
+    serde_json::json!({ "nodes": nodes })
+}

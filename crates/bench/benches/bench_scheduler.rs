@@ -1,0 +1,96 @@
+//! Substrate benchmark S1a — the Slurm simulator's scheduler: submission
+//! throughput and scheduling-pass latency at campus scale. (Not a paper
+//! figure; this validates that the substrate is fast enough to host the
+//! dashboard experiments without becoming the bottleneck.)
+
+use criterion::{BenchmarkId, Criterion};
+use hpcdash_bench::banner;
+use hpcdash_slurm::cluster::{ClusterSpec, ClusterState};
+use hpcdash_slurm::job::JobRequest;
+use hpcdash_simtime::Timestamp;
+use hpcdash_workload::{Population, PopulationConfig, ScenarioConfig, TraceGenerator};
+
+fn campus_cluster() -> ClusterState {
+    let scenario = hpcdash_workload::Scenario::build(ScenarioConfig {
+        free_daemons: true,
+        ..ScenarioConfig::campus()
+    });
+    // Pull a bare ClusterState shaped like the campus scenario.
+    let nodes = scenario.ctld.query_nodes();
+    let partitions = scenario.ctld.query_partitions();
+    ClusterState::new(ClusterSpec {
+        name: "bench".to_string(),
+        nodes,
+        partitions,
+        qos: hpcdash_slurm::qos::Qos::standard_set(),
+        assoc: scenario.population.assoc.clone(),
+    })
+}
+
+fn trace(n: usize) -> Vec<JobRequest> {
+    let pop = Population::generate(&PopulationConfig {
+        accounts: 10,
+        users_per_account_min: 3,
+        users_per_account_max: 8,
+        ..PopulationConfig::default()
+    });
+    let mut gen = TraceGenerator::new(11, Default::default(), "cpu", Some("gpu"));
+    gen.generate(&pop, Timestamp(0), 24 * 3_600)
+        .into_iter()
+        .map(|(_, r)| r)
+        .take(n)
+        .collect()
+}
+
+fn main() {
+    banner("S1a", "scheduler substrate: submit + backfill pass at campus scale");
+    let mut c = Criterion::default().configure_from_args().sample_size(20);
+
+    {
+        let mut group = c.benchmark_group("scheduler");
+        for queue_depth in [50usize, 200, 800] {
+            group.bench_with_input(
+                BenchmarkId::new("schedule_pass", queue_depth),
+                &queue_depth,
+                |b, &depth| {
+                    b.iter_batched(
+                        || {
+                            let mut cluster = campus_cluster();
+                            for req in trace(depth) {
+                                let _ = cluster.submit(req, Timestamp(0));
+                            }
+                            cluster
+                        },
+                        |mut cluster| {
+                            cluster.tick(Timestamp(1));
+                            cluster
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+        group.bench_function("submit_one", |b| {
+            let mut cluster = campus_cluster();
+            let reqs = trace(1);
+            let mut t = 0;
+            b.iter(|| {
+                t += 1;
+                cluster.submit(reqs[0].clone(), Timestamp(t)).expect("submit")
+            })
+        });
+        group.bench_function("simulated_hour_small_site", |b| {
+            b.iter_batched(
+                || hpcdash_workload::Scenario::build(ScenarioConfig::small()),
+                |scenario| {
+                    let mut driver = scenario.driver(3_600);
+                    driver.advance(3_600);
+                    scenario
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+    c.final_summary();
+}

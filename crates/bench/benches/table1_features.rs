@@ -1,0 +1,102 @@
+//! Experiment T1 — the paper's Table 1, with measured route latency.
+//!
+//! For every dashboard feature: exercise its API route cache-cold and
+//! cache-warm, print the measured data sources, and benchmark the warm
+//! route latency with Criterion.
+
+use criterion::{BenchmarkId, Criterion};
+use hpcdash_bench::{banner, BenchSite};
+use hpcdash_core::api;
+use hpcdash_slurm::job::{ArraySpec, JobRequest};
+use std::time::Instant;
+
+fn feature_calls(site: &BenchSite, user: &str) -> Vec<(&'static str, String)> {
+    // One representative route call per Table-1 feature.
+    let node = site.scenario.ctld.query_nodes()[0].name.clone();
+    let job_id = {
+        let account = site.scenario.population.accounts_of(user)[0].clone();
+        let mut req = JobRequest::simple(user, &account, "cpu", 1);
+        req.array = Some(ArraySpec { first: 0, last: 1, max_concurrent: None });
+        let ids = site.scenario.ctld.submit(req).expect("submit");
+        site.scenario.ctld.tick();
+        ids[0]
+    };
+    vec![
+        ("Announcements widget", "/api/announcements".to_string()),
+        ("Recent Jobs widget", "/api/recent_jobs".to_string()),
+        ("System Status widget", "/api/system_status".to_string()),
+        ("Accounts widget", "/api/accounts".to_string()),
+        ("Storage widget", "/api/storage".to_string()),
+        ("My Jobs", "/api/myjobs?range=all".to_string()),
+        ("Job Performance Metrics", "/api/jobmetrics?range=all".to_string()),
+        ("Cluster Status", "/api/clusterstatus".to_string()),
+        ("Job Overview", format!("/api/jobs/{job_id}")),
+        ("Node Overview", format!("/api/nodes/{node}")),
+    ]
+}
+
+fn main() {
+    banner("T1", "Table 1: dashboard features with associated data sources");
+    let site = BenchSite::fast();
+    site.warm_up(900);
+    let user = site.user();
+    let calls = feature_calls(&site, &user);
+
+    site.ctx().clear_observed_sources();
+    site.ctx().cache.clear();
+
+    println!(
+        "{:<26} | {:<48} | {:>10} | {:>10}",
+        "Feature", "Data Source(s), measured", "cold", "warm"
+    );
+    println!("{}", "-".repeat(106));
+    for (feature, path) in &calls {
+        let t0 = Instant::now();
+        let resp = site.get(path, &user);
+        let cold = t0.elapsed();
+        assert_eq!(resp.status, 200, "{path}");
+        let t1 = Instant::now();
+        site.get(path, &user);
+        let warm = t1.elapsed();
+        let observed = site.ctx().observed_sources();
+        let sources = observed
+            .get(*feature)
+            .map(|s| s.iter().cloned().collect::<Vec<_>>().join(", "))
+            .unwrap_or_default();
+        println!("{feature:<26} | {sources:<48} | {cold:>10.1?} | {warm:>10.1?}");
+    }
+
+    // Job Overview's log tab is part of the same feature; exercise it so
+    // the filesystem source is observed (the timing table above measures
+    // the overview route itself).
+    let (_, overview_path) = &calls[8];
+    let log_path = format!("{overview_path}/logs?stream=out");
+    assert_eq!(site.get(&log_path, &user).status, 200);
+
+    // Verify measured == declared (the same check tests/table1.rs runs).
+    let observed = site.ctx().observed_sources();
+    for row in api::feature_table() {
+        let got = observed.get(row.feature).cloned().unwrap_or_default();
+        let want: std::collections::BTreeSet<String> =
+            row.sources.iter().map(|s| s.to_string()).collect();
+        assert_eq!(got, want, "feature {} sources diverged", row.feature);
+    }
+    println!("\nall 10 features match the declared Table 1 sources");
+
+    // Criterion: warm route latency per feature.
+    let mut c = Criterion::default().configure_from_args().sample_size(30);
+    {
+        let mut group = c.benchmark_group("table1_route_warm");
+        for (feature, path) in &calls {
+            group.bench_with_input(BenchmarkId::from_parameter(feature), path, |b, path| {
+                b.iter(|| {
+                    let resp = site.get(path, &user);
+                    assert_eq!(resp.status, 200);
+                    resp
+                })
+            });
+        }
+        group.finish();
+    }
+    c.final_summary();
+}

@@ -1,0 +1,99 @@
+//! Shared fixtures for the benchmark harnesses.
+//!
+//! Every bench regenerates one of the paper's artifacts (Table 1, Figures
+//! 2-4) or validates one of its performance claims (P1-P5 in DESIGN.md).
+//! The fixtures here standardize how a simulated site is stood up and how
+//! requests are issued, so benches measure the system and not setup noise.
+
+use hpcdash_core::{CachePolicy, Dashboard, DashboardConfig, DashboardContext};
+use hpcdash_http::{Method, Request, Response};
+use hpcdash_workload::{Scenario, ScenarioConfig};
+
+/// A site plus dashboard, with realistic or free daemon costs.
+pub struct BenchSite {
+    pub scenario: Scenario,
+    pub dashboard: Dashboard,
+}
+
+impl BenchSite {
+    /// Small cluster, free daemons (for measuring dashboard-side code).
+    pub fn fast() -> BenchSite {
+        BenchSite::build(ScenarioConfig::small(), DashboardConfig::purdue_like())
+    }
+
+    /// Small cluster, realistic RPC costs (for measuring daemon protection).
+    pub fn realistic() -> BenchSite {
+        let mut cfg = ScenarioConfig::small();
+        cfg.free_daemons = false;
+        BenchSite::build(cfg, DashboardConfig::purdue_like())
+    }
+
+    /// Same as [`BenchSite::realistic`] but with the server cache disabled.
+    pub fn realistic_uncached() -> BenchSite {
+        let mut cfg = ScenarioConfig::small();
+        cfg.free_daemons = false;
+        let mut dcfg = DashboardConfig::purdue_like();
+        dcfg.cache = CachePolicy::disabled();
+        BenchSite::build(cfg, dcfg)
+    }
+
+    pub fn build(scenario_cfg: ScenarioConfig, dash_cfg: DashboardConfig) -> BenchSite {
+        let scenario = Scenario::build(scenario_cfg);
+        let ctx = DashboardContext::new(
+            dash_cfg,
+            scenario.clock.shared(),
+            scenario.ctld.clone(),
+            scenario.dbd.clone(),
+            scenario.logs.clone(),
+            scenario.storage.clone(),
+            scenario.news.clone(),
+        );
+        BenchSite {
+            dashboard: Dashboard::new(ctx),
+            scenario,
+        }
+    }
+
+    pub fn ctx(&self) -> &DashboardContext {
+        self.dashboard.ctx()
+    }
+
+    /// Run `secs` of simulated traffic so accounting and the queue have
+    /// realistic content.
+    pub fn warm_up(&self, secs: u64) {
+        let mut driver = self.scenario.driver(secs);
+        driver.advance(secs);
+    }
+
+    /// In-process GET as `user` (no sockets: benches isolate route cost).
+    pub fn get(&self, path: &str, user: &str) -> Response {
+        let req = Request::new(Method::Get, path).with_header("X-Remote-User", user);
+        self.dashboard.handle(&req)
+    }
+
+    /// First user of the population.
+    pub fn user(&self) -> String {
+        self.scenario.population.users[0].clone()
+    }
+}
+
+/// Print an experiment banner so `cargo bench` output reads as a report.
+pub fn banner(id: &str, title: &str) {
+    println!("\n============================================================");
+    println!("{id}: {title}");
+    println!("============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_serve() {
+        let site = BenchSite::fast();
+        site.warm_up(300);
+        let user = site.user();
+        let resp = site.get("/api/system_status", &user);
+        assert_eq!(resp.status, 200);
+    }
+}

@@ -1,0 +1,24 @@
+//! Dual-layer caching, mirroring the paper's design (§2.4):
+//!
+//! * **Server side** — [`ttl::TtlCache`] plus [`singleflight::SingleFlight`],
+//!   combined in [`fetch::CachedFetcher`]: the Rails in-memory cache analog
+//!   that absorbs repeated Slurm queries, with a different expiration time
+//!   per data source.
+//! * **Client side** — [`clientdb::IndexedDb`]: an IndexedDB-analog keyed
+//!   store the headless "browser" uses to render instantly from cached data
+//!   and revalidate in the background.
+//!
+//! All expiry is driven by `hpcdash_simtime::Clock`, so cache behaviour is
+//! deterministic under simulated time.
+
+pub mod clientdb;
+pub mod fetch;
+pub mod singleflight;
+pub mod stats;
+pub mod ttl;
+
+pub use clientdb::{IndexedDb, StoredRecord};
+pub use fetch::CachedFetcher;
+pub use singleflight::SingleFlight;
+pub use stats::{CacheStats, CacheStatsSnapshot};
+pub use ttl::TtlCache;

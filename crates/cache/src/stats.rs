@@ -1,0 +1,127 @@
+//! Hit/miss accounting shared by both cache layers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free cache counters.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    expirations: AtomicU64,
+    /// Loads avoided because a concurrent identical load was in flight.
+    coalesced: AtomicU64,
+    /// Renders served from stale data while a revalidation ran.
+    stale_serves: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub expirations: u64,
+    pub coalesced: u64,
+    pub stale_serves: u64,
+}
+
+impl CacheStatsSnapshot {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl CacheStats {
+    pub fn new() -> CacheStats {
+        CacheStats::default()
+    }
+
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn expiration(&self) {
+        self.expirations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn coalesce(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn stale_serve(&self) {
+        self.stale_serves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+        self.expirations.store(0, Ordering::Relaxed);
+        self.coalesced.store(0, Ordering::Relaxed);
+        self.stale_serves.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_hit_rate() {
+        let s = CacheStats::new();
+        s.hit();
+        s.hit();
+        s.hit();
+        s.miss();
+        s.insert();
+        s.coalesce();
+        s.stale_serve();
+        s.expiration();
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 3);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.coalesced, 1);
+        assert_eq!(snap.stale_serves, 1);
+        assert_eq!(snap.expirations, 1);
+        assert!((snap.hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(CacheStats::new().snapshot().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = CacheStats::new();
+        s.hit();
+        s.reset();
+        assert_eq!(s.snapshot().hits, 0);
+    }
+}

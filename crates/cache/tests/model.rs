@@ -1,0 +1,89 @@
+//! Model-based property test: the TTL cache must agree with a trivial
+//! reference model under arbitrary interleavings of inserts, reads,
+//! invalidations and clock advances.
+
+use hpcdash_cache::TtlCache;
+use hpcdash_simtime::{SimClock, Timestamp};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u8, value: u32, ttl: u64 },
+    Get { key: u8 },
+    Invalidate { key: u8 },
+    Advance { secs: u64 },
+    PurgeExpired,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..6, any::<u32>(), 1u64..120).prop_map(|(key, value, ttl)| Op::Insert { key, value, ttl }),
+        3 => (0u8..6).prop_map(|key| Op::Get { key }),
+        1 => (0u8..6).prop_map(|key| Op::Invalidate { key }),
+        2 => (1u64..90).prop_map(|secs| Op::Advance { secs }),
+        1 => Just(Op::PurgeExpired),
+    ]
+}
+
+#[derive(Clone)]
+struct ModelEntry {
+    value: u32,
+    expires_at: u64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let clock = SimClock::new(Timestamp(0));
+        let cache: TtlCache<u32> = TtlCache::new(clock.shared());
+        let mut model: HashMap<u8, ModelEntry> = HashMap::new();
+        let mut now = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert { key, value, ttl } => {
+                    cache.insert(key.to_string(), value, ttl);
+                    model.insert(key, ModelEntry { value, expires_at: now + ttl });
+                }
+                Op::Get { key } => {
+                    let got = cache.get(&key.to_string());
+                    let want = model
+                        .get(&key)
+                        .filter(|e| now < e.expires_at)
+                        .map(|e| e.value);
+                    prop_assert_eq!(got, want, "divergence at t={} key={}", now, key);
+                }
+                Op::Invalidate { key } => {
+                    let was_present_cache = cache.invalidate(&key.to_string());
+                    let was_present_model = model.remove(&key).is_some();
+                    // The cache keeps stale entries until purged, so it may
+                    // report presence where the model already expired them —
+                    // but never the reverse.
+                    prop_assert!(
+                        was_present_cache || !was_present_model,
+                        "cache lost a live entry for key {}",
+                        key
+                    );
+                }
+                Op::Advance { secs } => {
+                    clock.advance(secs);
+                    now += secs;
+                }
+                Op::PurgeExpired => {
+                    cache.purge_expired();
+                    model.retain(|_, e| now < e.expires_at);
+                }
+            }
+        }
+
+        // Final sweep: every live model entry must be readable.
+        for (key, entry) in &model {
+            if now < entry.expires_at {
+                prop_assert_eq!(cache.get(&key.to_string()), Some(entry.value));
+            }
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! One simulated browser tab.
+
+use hpcdash_cache::IndexedDb;
+use hpcdash_http::HttpClient;
+use hpcdash_simtime::SharedClock;
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+/// Where the rendered data came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// Served from the client cache, still fresh — no network traffic.
+    CacheFresh,
+    /// Stale cache rendered instantly, then revalidated over the network.
+    StaleRevalidated,
+    /// Cache miss: the user waited for the network.
+    Network,
+}
+
+/// One component fetch as the user experienced it.
+#[derive(Debug, Clone)]
+pub struct FetchResult {
+    pub value: Value,
+    pub outcome: FetchOutcome,
+    /// Time until the component had data to render.
+    pub perceived: Duration,
+    /// Time spent on the network (zero for fresh cache hits).
+    pub network: Duration,
+}
+
+/// A full homepage load.
+#[derive(Debug)]
+pub struct PageLoad {
+    /// Time to receive the HTML shell.
+    pub ttfb: Duration,
+    /// Per-widget results, in render order.
+    pub widgets: Vec<(String, Result<FetchResult, String>)>,
+    /// Time until every widget had data.
+    pub total: Duration,
+}
+
+impl PageLoad {
+    /// How many widgets rendered successfully.
+    pub fn healthy_widgets(&self) -> usize {
+        self.widgets.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+}
+
+/// A headless dashboard client for one user.
+pub struct DashboardClient {
+    http: HttpClient,
+    base_url: String,
+    user: String,
+    db: IndexedDb,
+    clock: SharedClock,
+    /// Client-cache freshness horizon (seconds); `None` disables the client
+    /// cache entirely (the no-client-cache ablation).
+    fresh_secs: Option<u64>,
+    network_fetches: std::sync::atomic::AtomicU64,
+}
+
+impl DashboardClient {
+    pub fn new(
+        base_url: &str,
+        user: &str,
+        clock: SharedClock,
+        fresh_secs: Option<u64>,
+    ) -> DashboardClient {
+        DashboardClient {
+            http: HttpClient::new(),
+            base_url: base_url.trim_end_matches('/').to_string(),
+            user: user.to_string(),
+            db: IndexedDb::new(),
+            clock,
+            fresh_secs,
+            network_fetches: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Total requests that actually reached the backend.
+    pub fn network_fetch_count(&self) -> u64 {
+        self.network_fetches.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Fetch an API route through the client cache, mirroring the frontend
+    /// logic in `assets/cachedb.js`.
+    pub fn fetch_api(&self, path: &str) -> Result<FetchResult, String> {
+        let now = self.clock.now();
+        if let Some(fresh_secs) = self.fresh_secs {
+            if let Some(rec) = self.db.get("api", path) {
+                let start = Instant::now();
+                let value = rec.value.clone();
+                let perceived = start.elapsed();
+                if rec.fresh(now, fresh_secs) {
+                    return Ok(FetchResult {
+                        value,
+                        outcome: FetchOutcome::CacheFresh,
+                        perceived,
+                        network: Duration::ZERO,
+                    });
+                }
+                // Stale: the user already sees the cached data; refresh in
+                // the "background" (synchronously here, but not counted
+                // toward perceived latency).
+                let (fresh_value, network) = self.network_get(path)?;
+                self.db.put("api", path, fresh_value, now);
+                return Ok(FetchResult {
+                    value,
+                    outcome: FetchOutcome::StaleRevalidated,
+                    perceived,
+                    network,
+                });
+            }
+        }
+        let start = Instant::now();
+        let (value, network) = self.network_get(path)?;
+        let perceived = start.elapsed();
+        if self.fresh_secs.is_some() {
+            self.db.put("api", path, value.clone(), now);
+        }
+        Ok(FetchResult {
+            value,
+            outcome: FetchOutcome::Network,
+            perceived,
+            network,
+        })
+    }
+
+    fn network_get(&self, path: &str) -> Result<(Value, Duration), String> {
+        let start = Instant::now();
+        self.network_fetches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let resp = self
+            .http
+            .get(
+                &format!("{}{}", self.base_url, path),
+                &[("X-Remote-User", &self.user)],
+            )
+            .map_err(|e| e.to_string())?;
+        let elapsed = start.elapsed();
+        if !resp.is_success() {
+            return Err(format!("{} -> HTTP {}", path, resp.status));
+        }
+        let value = resp.json().map_err(|e| format!("{path}: bad json: {e}"))?;
+        Ok((value, elapsed))
+    }
+
+    /// Fetch a page shell (HTML), returning time-to-first-byte.
+    pub fn fetch_shell(&self, path: &str) -> Result<(String, Duration), String> {
+        let start = Instant::now();
+        let resp = self
+            .http
+            .get(
+                &format!("{}{}", self.base_url, path),
+                &[("X-Remote-User", &self.user)],
+            )
+            .map_err(|e| e.to_string())?;
+        let ttfb = start.elapsed();
+        if !resp.is_success() {
+            return Err(format!("{} -> HTTP {}", path, resp.status));
+        }
+        Ok((resp.body_string(), ttfb))
+    }
+
+    /// Load the homepage the way a browser does: shell first, then every
+    /// widget's API route.
+    pub fn load_homepage(&self) -> Result<PageLoad, String> {
+        let start = Instant::now();
+        let (_shell, ttfb) = self.fetch_shell("/")?;
+        let widget_routes = [
+            ("announcements", "/api/announcements"),
+            ("recent_jobs", "/api/recent_jobs"),
+            ("system_status", "/api/system_status"),
+            ("accounts", "/api/accounts"),
+            ("storage", "/api/storage"),
+        ];
+        let widgets = widget_routes
+            .iter()
+            .map(|(name, path)| (name.to_string(), self.fetch_api(path)))
+            .collect();
+        Ok(PageLoad {
+            ttfb,
+            widgets,
+            total: start.elapsed(),
+        })
+    }
+
+    /// Drop the client cache (a "new browser session").
+    pub fn clear_cache(&self) {
+        self.db.clear_store("api");
+    }
+
+    /// Export / import the cache (persistence across "sessions").
+    pub fn export_cache(&self) -> String {
+        self.db.export_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcdash_core::{Dashboard, DashboardConfig, DashboardContext};
+    use hpcdash_news::NewsFeed;
+    use hpcdash_simtime::{SimClock, Timestamp};
+    use hpcdash_slurm::assoc::{Account, AssocStore};
+    use hpcdash_slurm::cluster::ClusterSpec;
+    use hpcdash_slurm::ctld::Slurmctld;
+    use hpcdash_slurm::dbd::Slurmdbd;
+    use hpcdash_slurm::joblog::JobLogFs;
+    use hpcdash_slurm::loadmodel::RpcCostModel;
+    use hpcdash_slurm::node::Node;
+    use hpcdash_slurm::partition::Partition;
+    use hpcdash_slurm::qos::Qos;
+    use hpcdash_storage::StorageDb;
+    use std::sync::Arc;
+
+    fn test_site() -> (hpcdash_http::Server, SimClock) {
+        let clock = SimClock::new(Timestamp(1_000));
+        let mut assoc = AssocStore::new();
+        assoc.add_account(Account::new("physics"));
+        assoc.add_user("physics", "alice");
+        let nodes = vec![Node::new("a001", 16, 64_000, 0)];
+        let spec = ClusterSpec {
+            name: "t".to_string(),
+            nodes,
+            partitions: vec![Partition::new("cpu").with_nodes(vec!["a001".to_string()])],
+            qos: Qos::standard_set(),
+            assoc,
+        };
+        let dbd = Arc::new(Slurmdbd::with_cost(RpcCostModel::free()));
+        let logs = Arc::new(JobLogFs::new());
+        let ctld = Arc::new(Slurmctld::with_cost(
+            spec,
+            clock.shared(),
+            dbd.clone(),
+            logs.clone(),
+            RpcCostModel::free(),
+        ));
+        let storage = Arc::new(StorageDb::with_cost(std::time::Duration::ZERO));
+        storage.provision_user("alice", Timestamp(1_000));
+        let ctx = DashboardContext::new(
+            DashboardConfig::generic("Test"),
+            clock.shared(),
+            ctld,
+            dbd,
+            logs,
+            storage,
+            Arc::new(NewsFeed::new()),
+        );
+        let dash = Dashboard::new(ctx);
+        let server = dash.serve("127.0.0.1:0", 4).unwrap();
+        // Keep the dashboard alive as long as the server: leak it (tests).
+        std::mem::forget(dash);
+        (server, clock)
+    }
+
+    #[test]
+    fn cold_load_then_warm_load() {
+        let (server, _clock) = test_site();
+        let clock2 = SimClock::new(Timestamp(1_000));
+        let client = DashboardClient::new(&server.base_url(), "alice", clock2.shared(), Some(30));
+        let cold = client.load_homepage().unwrap();
+        assert_eq!(cold.healthy_widgets(), 5);
+        assert!(cold
+            .widgets
+            .iter()
+            .all(|(_, r)| r.as_ref().unwrap().outcome == FetchOutcome::Network));
+        let cold_fetches = client.network_fetch_count();
+
+        let warm = client.load_homepage().unwrap();
+        assert!(warm
+            .widgets
+            .iter()
+            .all(|(_, r)| r.as_ref().unwrap().outcome == FetchOutcome::CacheFresh));
+        // No new API traffic, only the shell.
+        assert_eq!(client.network_fetch_count(), cold_fetches);
+        assert!(warm.total < cold.total * 10, "warm load not absurdly slower");
+    }
+
+    #[test]
+    fn stale_entries_revalidate() {
+        let (server, _server_clock) = test_site();
+        let clock = SimClock::new(Timestamp(1_000));
+        let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), Some(30));
+        client.fetch_api("/api/system_status").unwrap();
+        clock.advance(31);
+        let r = client.fetch_api("/api/system_status").unwrap();
+        assert_eq!(r.outcome, FetchOutcome::StaleRevalidated);
+        assert!(r.network > Duration::ZERO);
+        // Now fresh again.
+        let r = client.fetch_api("/api/system_status").unwrap();
+        assert_eq!(r.outcome, FetchOutcome::CacheFresh);
+    }
+
+    #[test]
+    fn disabled_cache_always_hits_network() {
+        let (server, _clock) = test_site();
+        let clock = SimClock::new(Timestamp(1_000));
+        let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), None);
+        for _ in 0..3 {
+            let r = client.fetch_api("/api/system_status").unwrap();
+            assert_eq!(r.outcome, FetchOutcome::Network);
+        }
+        assert_eq!(client.network_fetch_count(), 3);
+    }
+
+    #[test]
+    fn errors_are_reported_not_cached() {
+        let (server, _clock) = test_site();
+        let clock = SimClock::new(Timestamp(1_000));
+        let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), Some(30));
+        let err = client.fetch_api("/api/nodes/zzz").unwrap_err();
+        assert!(err.contains("404"), "{err}");
+        // A 404 was not cached as data.
+        assert!(client.db.get("api", "/api/nodes/zzz").is_none());
+    }
+
+    #[test]
+    fn clear_cache_forces_network() {
+        let (server, _clock) = test_site();
+        let clock = SimClock::new(Timestamp(1_000));
+        let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), Some(300));
+        client.fetch_api("/api/storage").unwrap();
+        client.clear_cache();
+        let r = client.fetch_api("/api/storage").unwrap();
+        assert_eq!(r.outcome, FetchOutcome::Network);
+        assert!(client.export_cache().contains("storage"));
+    }
+}

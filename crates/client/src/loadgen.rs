@@ -1,0 +1,221 @@
+//! The load generator: a fleet of simulated users hammering the dashboard,
+//! producing the latency/traffic numbers the caching experiments report.
+
+use crate::browser::{DashboardClient, FetchOutcome};
+use crate::histogram::{LatencyRecorder, LatencySummary};
+use hpcdash_simtime::SharedClock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Load run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Usernames to simulate (one thread per user).
+    pub users: Vec<String>,
+    /// Fetch iterations per user.
+    pub iterations: usize,
+    /// API routes each iteration fetches.
+    pub paths: Vec<String>,
+    /// Client-cache freshness horizon; `None` disables the client cache.
+    pub client_fresh_secs: Option<u64>,
+}
+
+/// Aggregate results of a load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Latency until each component had data to show.
+    pub perceived: Option<LatencySummary>,
+    /// Latency of requests that actually hit the network.
+    pub network: Option<LatencySummary>,
+    /// Total requests that reached the backend.
+    pub network_fetches: u64,
+    /// Fetches answered entirely from the client cache.
+    pub cache_fresh: u64,
+    /// Stale-served-then-revalidated fetches.
+    pub stale_revalidated: u64,
+    /// Failed fetches.
+    pub errors: u64,
+}
+
+impl LoadReport {
+    pub fn total_fetches(&self) -> u64 {
+        // network_fetches already includes the revalidation requests behind
+        // stale serves, so user-visible fetches = cache hits + network hits.
+        self.cache_fresh + self.network_fetches
+    }
+}
+
+/// Run a load test against `base_url`. One OS thread per user; each user
+/// has an independent client cache, like separate browsers.
+pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
+    let perceived = Arc::new(LatencyRecorder::new());
+    let network = Arc::new(LatencyRecorder::new());
+    let fresh_hits = Arc::new(AtomicU64::new(0));
+    let stale_hits = Arc::new(AtomicU64::new(0));
+    let net_count = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for user in &cfg.users {
+        let user = user.clone();
+        let base_url = base_url.to_string();
+        let clock = clock.clone();
+        let cfg = cfg.clone();
+        let perceived = perceived.clone();
+        let network = network.clone();
+        let fresh_hits = fresh_hits.clone();
+        let stale_hits = stale_hits.clone();
+        let net_count = net_count.clone();
+        let errors = errors.clone();
+        handles.push(std::thread::spawn(move || {
+            let client =
+                DashboardClient::new(&base_url, &user, clock, cfg.client_fresh_secs);
+            for _ in 0..cfg.iterations {
+                for path in &cfg.paths {
+                    match client.fetch_api(path) {
+                        Ok(result) => {
+                            perceived.record(result.perceived);
+                            match result.outcome {
+                                FetchOutcome::CacheFresh => {
+                                    fresh_hits.fetch_add(1, Ordering::Relaxed);
+                                }
+                                FetchOutcome::StaleRevalidated => {
+                                    stale_hits.fetch_add(1, Ordering::Relaxed);
+                                    network.record(result.network);
+                                }
+                                FetchOutcome::Network => {
+                                    network.record(result.network);
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            net_count.fetch_add(client.network_fetch_count(), Ordering::Relaxed);
+        }));
+    }
+    for h in handles {
+        h.join().expect("load worker panicked");
+    }
+
+    LoadReport {
+        perceived: perceived.summary(),
+        network: network.summary(),
+        network_fetches: net_count.load(Ordering::Relaxed),
+        cache_fresh: fresh_hits.load(Ordering::Relaxed),
+        stale_revalidated: stale_hits.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcdash_core::{Dashboard, DashboardConfig, DashboardContext};
+    use hpcdash_news::NewsFeed;
+    use hpcdash_simtime::{SimClock, Timestamp};
+    use hpcdash_slurm::assoc::{Account, AssocStore};
+    use hpcdash_slurm::cluster::ClusterSpec;
+    use hpcdash_slurm::ctld::Slurmctld;
+    use hpcdash_slurm::dbd::Slurmdbd;
+    use hpcdash_slurm::joblog::JobLogFs;
+    use hpcdash_slurm::loadmodel::RpcCostModel;
+    use hpcdash_slurm::node::Node;
+    use hpcdash_slurm::partition::Partition;
+    use hpcdash_slurm::qos::Qos;
+    use hpcdash_storage::StorageDb;
+    use std::sync::Arc;
+
+    fn site(server_cache: bool) -> (hpcdash_http::Server, SimClock, DashboardContext) {
+        let clock = SimClock::new(Timestamp(1_000));
+        let mut assoc = AssocStore::new();
+        assoc.add_account(Account::new("physics"));
+        for u in ["u1", "u2", "u3"] {
+            assoc.add_user("physics", u);
+        }
+        let spec = ClusterSpec {
+            name: "t".to_string(),
+            nodes: vec![Node::new("a001", 16, 64_000, 0)],
+            partitions: vec![Partition::new("cpu").with_nodes(vec!["a001".to_string()])],
+            qos: Qos::standard_set(),
+            assoc,
+        };
+        let dbd = Arc::new(Slurmdbd::with_cost(RpcCostModel::free()));
+        let logs = Arc::new(JobLogFs::new());
+        let ctld = Arc::new(Slurmctld::with_cost(
+            spec,
+            clock.shared(),
+            dbd.clone(),
+            logs.clone(),
+            RpcCostModel::free(),
+        ));
+        let mut cfg = DashboardConfig::generic("Test");
+        if !server_cache {
+            cfg.cache = hpcdash_core::CachePolicy::disabled();
+        }
+        let ctx = DashboardContext::new(
+            cfg,
+            clock.shared(),
+            ctld,
+            dbd,
+            logs,
+            Arc::new(StorageDb::with_cost(std::time::Duration::ZERO)),
+            Arc::new(NewsFeed::new()),
+        );
+        let dash = Dashboard::new(ctx.clone());
+        let server = dash.serve("127.0.0.1:0", 4).unwrap();
+        std::mem::forget(dash);
+        (server, clock, ctx)
+    }
+
+    #[test]
+    fn client_cache_absorbs_repeat_traffic() {
+        let (server, clock, _ctx) = site(true);
+        let cfg = LoadConfig {
+            users: vec!["u1".to_string(), "u2".to_string()],
+            iterations: 10,
+            paths: vec!["/api/system_status".to_string()],
+            client_fresh_secs: Some(3_600),
+        };
+        let report = run(&server.base_url(), clock.shared(), &cfg);
+        assert_eq!(report.errors, 0);
+        // 2 users x 10 iterations = 20 fetches; only the first per user hits
+        // the network.
+        assert_eq!(report.network_fetches, 2);
+        assert_eq!(report.cache_fresh, 18);
+        assert!(report.perceived.unwrap().count == 20);
+    }
+
+    #[test]
+    fn disabled_client_cache_hits_backend_every_time() {
+        let (server, clock, ctx) = site(true);
+        let cfg = LoadConfig {
+            users: vec!["u1".to_string()],
+            iterations: 5,
+            paths: vec!["/api/system_status".to_string()],
+            client_fresh_secs: None,
+        };
+        let report = run(&server.base_url(), clock.shared(), &cfg);
+        assert_eq!(report.network_fetches, 5);
+        assert_eq!(report.cache_fresh, 0);
+        // But the SERVER cache still protected slurmctld: one sinfo total.
+        assert_eq!(ctx.ctld.stats().count_of("sinfo"), 1);
+    }
+
+    #[test]
+    fn no_caches_at_all_hammers_the_daemon() {
+        let (server, clock, ctx) = site(false);
+        let cfg = LoadConfig {
+            users: vec!["u1".to_string(), "u2".to_string(), "u3".to_string()],
+            iterations: 4,
+            paths: vec!["/api/system_status".to_string()],
+            client_fresh_secs: None,
+        };
+        let report = run(&server.base_url(), clock.shared(), &cfg);
+        assert_eq!(report.network_fetches, 12);
+        assert_eq!(ctx.ctld.stats().count_of("sinfo"), 12, "every request reached slurmctld");
+    }
+}

@@ -1,0 +1,99 @@
+//! Job Performance Metrics API (paper §5): aggregate job statistics over a
+//! selectable time range, including a custom date range.
+
+use crate::auth::CurrentUser;
+use crate::ctx::DashboardContext;
+use crate::metrics::{JobMetrics, TimeRange};
+use hpcdash_http::{Request, Response, Router};
+use hpcdash_slurmcli::{parse_sacct, sacct, SacctArgs};
+use serde_json::json;
+
+pub const FEATURE: &str = "Job Performance Metrics";
+pub const ROUTES: &[&str] = &["/api/jobmetrics"];
+pub const SOURCES: &[&str] = &["sacct (slurmdbd)"];
+
+pub fn register(router: &mut Router, ctx: DashboardContext) {
+    router.get(ROUTES[0], move |req| handle(&ctx, req));
+}
+
+fn handle(ctx: &DashboardContext, req: &Request) -> Response {
+    let user = match CurrentUser::from_request(ctx, req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let Some(range) = TimeRange::from_query(
+        req.query_param("range"),
+        req.query_param("start"),
+        req.query_param("end"),
+    ) else {
+        return Response::bad_request("invalid range");
+    };
+    let now = ctx.now();
+    let key = format!("jobmetrics:{}:{:?}", user.username, range.window(now));
+    let result = ctx.cached_result(&key, ctx.cfg.cache.jobmetrics, || {
+        ctx.note_source(FEATURE, "sacct (slurmdbd)");
+        let (since, until) = range.window(now);
+        let text = sacct(
+            &ctx.dbd,
+            &SacctArgs {
+                user: Some(user.username.clone()),
+                // Metrics are personal: only the user's own jobs.
+                accounts: Vec::new(),
+                states: None,
+                since,
+                until,
+                job_ids: None,
+            },
+            now,
+        );
+        let records = parse_sacct(&text).map_err(|e| format!("sacct parse: {e}"))?;
+        let metrics = JobMetrics::aggregate(&records);
+        Ok(json!({
+            "range": range.label(),
+            "metrics": metrics.to_json(),
+        }))
+    });
+    match result {
+        Ok(v) => Response::json(&v),
+        Err(e) => Response::service_unavailable(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::tests::test_ctx;
+    use hpcdash_http::Method;
+    use hpcdash_slurm::job::{JobRequest, UsageProfile};
+
+    fn request(path: &str) -> Request {
+        Request::new(Method::Get, path).with_header("X-Remote-User", "alice")
+    }
+
+    #[test]
+    fn aggregates_user_jobs() {
+        let ctx = test_ctx();
+        let mut r = JobRequest::simple("alice", "physics", "cpu", 4);
+        r.usage = UsageProfile::batch(300);
+        ctx.ctld.submit(r).unwrap();
+        ctx.ctld.tick();
+        let resp = handle(&ctx, &request("/api/jobmetrics?range=7d"));
+        assert_eq!(resp.status, 200);
+        let body = resp.body_json().unwrap();
+        assert_eq!(body["range"], "Last 7 days");
+        assert_eq!(body["metrics"]["total_jobs"], 1);
+        assert_eq!(body["metrics"]["by_state"]["RUNNING"], 1);
+    }
+
+    #[test]
+    fn custom_range_parses() {
+        let ctx = test_ctx();
+        let resp = handle(
+            &ctx,
+            &request("/api/jobmetrics?range=custom&start=1970-01-01T00:00:00&end=2030-01-01T00:00:00"),
+        );
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_json().unwrap()["metrics"]["total_jobs"], 0);
+        assert_eq!(handle(&ctx, &request("/api/jobmetrics?range=custom")).status, 400);
+    }
+}

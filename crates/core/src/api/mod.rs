@@ -1,0 +1,133 @@
+//! The backend API routes — one module per dashboard feature, each pairing
+//! with exactly one frontend component (the paper's modularity rule, §2.3).
+//!
+//! Every module declares its `FEATURE` name and `SOURCES` (the data sources
+//! of the paper's Table 1); [`feature_table`] assembles the declared table,
+//! and `DashboardContext::observed_sources` records what each feature
+//! actually touched at runtime so the Table-1 harness can verify the two
+//! agree.
+
+pub mod accounts;
+pub mod activejobs;
+pub mod admin;
+pub mod announcements;
+pub mod clusterstatus;
+pub mod jobmetrics;
+pub mod joboverview;
+pub mod myjobs;
+pub mod nodeoverview;
+pub mod recent_jobs;
+pub mod storage;
+pub mod system_status;
+pub mod updates;
+
+use crate::ctx::DashboardContext;
+use hpcdash_http::Router;
+
+/// One row of the (declared) Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureInfo {
+    pub feature: &'static str,
+    pub routes: &'static [&'static str],
+    pub sources: &'static [&'static str],
+}
+
+/// Register every feature's API route(s).
+pub fn register_all(router: &mut Router, ctx: &DashboardContext) {
+    announcements::register(router, ctx.clone());
+    recent_jobs::register(router, ctx.clone());
+    system_status::register(router, ctx.clone());
+    accounts::register(router, ctx.clone());
+    storage::register(router, ctx.clone());
+    myjobs::register(router, ctx.clone());
+    jobmetrics::register(router, ctx.clone());
+    clusterstatus::register(router, ctx.clone());
+    joboverview::register(router, ctx.clone());
+    nodeoverview::register(router, ctx.clone());
+    // Beyond Table 1: the OOD baseline app (for the paper's §4 comparison),
+    // the real-time updates feed, and the admin job controls (§9 future
+    // work, implemented).
+    activejobs::register(router, ctx.clone());
+    updates::register(router, ctx.clone());
+    admin::register(router, ctx.clone());
+}
+
+/// The declared feature -> data-source table (the paper's Table 1).
+pub fn feature_table() -> Vec<FeatureInfo> {
+    vec![
+        FeatureInfo {
+            feature: announcements::FEATURE,
+            routes: announcements::ROUTES,
+            sources: announcements::SOURCES,
+        },
+        FeatureInfo {
+            feature: recent_jobs::FEATURE,
+            routes: recent_jobs::ROUTES,
+            sources: recent_jobs::SOURCES,
+        },
+        FeatureInfo {
+            feature: system_status::FEATURE,
+            routes: system_status::ROUTES,
+            sources: system_status::SOURCES,
+        },
+        FeatureInfo {
+            feature: accounts::FEATURE,
+            routes: accounts::ROUTES,
+            sources: accounts::SOURCES,
+        },
+        FeatureInfo {
+            feature: storage::FEATURE,
+            routes: storage::ROUTES,
+            sources: storage::SOURCES,
+        },
+        FeatureInfo {
+            feature: myjobs::FEATURE,
+            routes: myjobs::ROUTES,
+            sources: myjobs::SOURCES,
+        },
+        FeatureInfo {
+            feature: jobmetrics::FEATURE,
+            routes: jobmetrics::ROUTES,
+            sources: jobmetrics::SOURCES,
+        },
+        FeatureInfo {
+            feature: clusterstatus::FEATURE,
+            routes: clusterstatus::ROUTES,
+            sources: clusterstatus::SOURCES,
+        },
+        FeatureInfo {
+            feature: joboverview::FEATURE,
+            routes: joboverview::ROUTES,
+            sources: joboverview::SOURCES,
+        },
+        FeatureInfo {
+            feature: nodeoverview::FEATURE,
+            routes: nodeoverview::ROUTES,
+            sources: nodeoverview::SOURCES,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_ten_features_like_the_paper() {
+        let table = feature_table();
+        assert_eq!(table.len(), 10, "Table 1 lists ten features");
+        for row in &table {
+            assert!(!row.sources.is_empty(), "{} has no sources", row.feature);
+            assert!(!row.routes.is_empty(), "{} has no routes", row.feature);
+        }
+    }
+
+    #[test]
+    fn slurm_backed_features_name_their_command() {
+        let table = feature_table();
+        let my_jobs = table.iter().find(|r| r.feature.contains("My Jobs")).unwrap();
+        assert!(my_jobs.sources.iter().any(|s| s.contains("sacct")));
+        let status = table.iter().find(|r| r.feature.contains("System Status")).unwrap();
+        assert!(status.sources.iter().any(|s| s.contains("sinfo")));
+    }
+}

@@ -1,0 +1,276 @@
+//! My Jobs API (paper §4): the full job-history table (every state, not
+//! just queued), efficiency columns and warnings, friendly pending reasons,
+//! and the two distribution charts.
+//!
+//! Data sources: `sacct` against slurmdbd for history + usage, and one
+//! `squeue` against slurmctld to attach live pending reasons.
+
+use crate::auth::CurrentUser;
+use crate::charts;
+use crate::colors::job_state_color;
+use crate::ctx::DashboardContext;
+use crate::efficiency::EfficiencyReport;
+use crate::metrics::TimeRange;
+use crate::reasons::friendly_reason;
+use hpcdash_http::{Request, Response, Router};
+use hpcdash_slurm::job::JobState;
+use hpcdash_slurmcli::{parse_sacct, parse_squeue_long, sacct, squeue_long, SacctArgs, SqueueArgs};
+use serde_json::json;
+use std::collections::HashMap;
+
+pub const FEATURE: &str = "My Jobs";
+pub const ROUTES: &[&str] = &["/api/myjobs"];
+pub const SOURCES: &[&str] = &["sacct (slurmdbd)", "squeue (slurmctld)"];
+
+pub fn register(router: &mut Router, ctx: DashboardContext) {
+    router.get(ROUTES[0], move |req| handle(&ctx, req));
+}
+
+fn handle(ctx: &DashboardContext, req: &Request) -> Response {
+    let user = match CurrentUser::from_request(ctx, req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let Some(range) = TimeRange::from_query(
+        req.query_param("range"),
+        req.query_param("start"),
+        req.query_param("end"),
+    ) else {
+        return Response::bad_request("invalid range");
+    };
+    // Optional state filter (clicking a chart segment filters the table).
+    let state_filter = match req.query_param("state") {
+        None => None,
+        Some(s) => match JobState::parse(s) {
+            Some(st) => Some(st),
+            None => return Response::bad_request("invalid state filter"),
+        },
+    };
+    // The "better filtering methods" of paper §4: narrow by partition, QoS,
+    // or a specific group member (within the visibility set).
+    let partition_filter = req.query_param("partition").map(str::to_string);
+    let qos_filter = req.query_param("qos").map(str::to_string);
+    let member_filter = req.query_param("user").map(str::to_string);
+    let gpu_flag = ctx.cfg.features.gpu_efficiency;
+    let now = ctx.now();
+    let key = format!(
+        "myjobs:{}:{:?}:{:?}:{:?}:{:?}:{:?}",
+        user.username,
+        range.window(now),
+        state_filter,
+        partition_filter,
+        qos_filter,
+        member_filter,
+    );
+    let result = ctx.cached_result(&key, ctx.cfg.cache.myjobs, || {
+        let accounts = user.visible_accounts(ctx);
+
+        ctx.note_source(FEATURE, "sacct (slurmdbd)");
+        let (since, until) = range.window(now);
+        let text = sacct(
+            &ctx.dbd,
+            &SacctArgs {
+                user: Some(user.username.clone()),
+                accounts: accounts.clone(),
+                states: state_filter.map(|s| vec![s]),
+                since,
+                until,
+                job_ids: None,
+            },
+            now,
+        );
+        let mut records = parse_sacct(&text).map_err(|e| format!("sacct parse: {e}"))?;
+        if let Some(p) = &partition_filter {
+            records.retain(|r| r.partition == *p);
+        }
+        if let Some(q) = &qos_filter {
+            records.retain(|r| r.qos == *q);
+        }
+        if let Some(m) = &member_filter {
+            records.retain(|r| r.user == *m);
+        }
+
+        // Live reasons for pending jobs come from squeue.
+        ctx.note_source(FEATURE, "squeue (slurmctld)");
+        let qtext = squeue_long(
+            &ctx.ctld,
+            &SqueueArgs {
+                user: Some(user.username.clone()),
+                accounts,
+                partition: None,
+            },
+        );
+        let qrows = parse_squeue_long(&qtext).map_err(|e| format!("squeue parse: {e}"))?;
+        let reasons: HashMap<String, _> =
+            qrows.iter().filter_map(|r| r.reason().map(|x| (r.job_id.clone(), x))).collect();
+
+        let jobs: Vec<serde_json::Value> = records
+            .iter()
+            .map(|rec| {
+                let eff = EfficiencyReport::from_record(rec, gpu_flag);
+                let reason = reasons.get(&rec.job_id).copied();
+                let wait = rec
+                    .wait_secs()
+                    .or_else(|| rec.submit.map(|s| now.since(s)).filter(|_| rec.state == JobState::Pending));
+                json!({
+                    "id": rec.job_id,
+                    "name": rec.job_name,
+                    "user": rec.user,
+                    "account": rec.account,
+                    "partition": rec.partition,
+                    "qos": rec.qos,
+                    "state": rec.state.to_slurm(),
+                    "state_color": job_state_color(rec.state),
+                    "submit": rec.submit.map(|t| t.to_slurm()),
+                    "start": rec.start.map(|t| t.to_slurm()),
+                    "end": rec.end.map(|t| t.to_slurm()),
+                    "wait_secs": wait,
+                    "elapsed_secs": rec.elapsed_secs,
+                    "timelimit": rec.timelimit.to_slurm(),
+                    "alloc_cpus": rec.alloc_cpus,
+                    "alloc_nodes": rec.alloc_nodes,
+                    "req_mem_mb": rec.req_mem_mb,
+                    "gpu_hours": (rec.gpu_hours() * 100.0).round() / 100.0,
+                    "nodelist": rec.nodelist,
+                    "exit_code": rec.exit_code,
+                    "session_id": parse_session_id(&rec.comment),
+                    "efficiency": eff,
+                    "reason": reason.map(|r| json!({
+                        "code": r.to_slurm(),
+                        "message": friendly_reason(r),
+                    })),
+                    "overview_url": format!("/jobs/{}", rec.job_id),
+                })
+            })
+            .collect();
+
+        Ok(json!({
+            "range": range.label(),
+            "jobs": jobs,
+            "charts": {
+                "state_distribution": charts::job_state_distribution(&records),
+                "gpu_hours": charts::gpu_hours_distribution(&records),
+            },
+        }))
+    });
+    match result {
+        Ok(v) => Response::json(&v),
+        Err(e) => Response::service_unavailable(&e),
+    }
+}
+
+/// Extract the Open OnDemand session id from a job comment.
+fn parse_session_id(comment: &str) -> Option<String> {
+    let mut parts = comment.strip_prefix("ood:")?.split(':');
+    let _app = parts.next()?;
+    parts.next().map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::tests::test_ctx;
+    use hpcdash_http::Method;
+    use hpcdash_slurm::job::{JobRequest, PlannedOutcome, UsageProfile};
+
+    fn request(path: &str, user: &str) -> Request {
+        Request::new(Method::Get, path).with_header("X-Remote-User", user)
+    }
+
+    fn submit_and_tick(ctx: &crate::ctx::DashboardContext) {
+        // A wasteful completed job, a failed one, and a pending one.
+        let mut wasteful = JobRequest::simple("alice", "physics", "cpu", 8);
+        wasteful.usage = UsageProfile {
+            cpu_util: 0.05,
+            mem_util: 0.05,
+            planned_runtime_secs: 600,
+            outcome: PlannedOutcome::Success,
+        };
+        wasteful.comment = Some("ood:jupyter:sess42:/home/alice/ondemand".to_string());
+        ctx.ctld.submit(wasteful).unwrap();
+        let mut failing = JobRequest::simple("alice", "physics", "cpu", 4);
+        failing.usage.outcome = PlannedOutcome::Fail { exit_code: 2 };
+        failing.usage.planned_runtime_secs = 500;
+        ctx.ctld.submit(failing).unwrap();
+        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 16)).unwrap();
+        ctx.ctld.tick();
+    }
+
+    #[test]
+    fn table_includes_all_states_and_efficiency() {
+        let ctx = test_ctx();
+        submit_and_tick(&ctx);
+        let resp = handle(&ctx, &request("/api/myjobs?range=all", "alice"));
+        assert_eq!(resp.status, 200, "{}", resp.body_string());
+        let body = resp.body_json().unwrap();
+        let jobs = body["jobs"].as_array().unwrap();
+        assert_eq!(jobs.len(), 3);
+        let states: Vec<&str> = jobs.iter().map(|j| j["state"].as_str().unwrap()).collect();
+        assert!(states.contains(&"RUNNING"));
+        assert!(states.contains(&"PENDING"));
+        let pending = jobs.iter().find(|j| j["state"] == "PENDING").unwrap();
+        assert!(pending["reason"]["message"].as_str().unwrap().starts_with("It means"));
+        assert!(pending["wait_secs"].is_u64());
+        let session = jobs.iter().find(|j| j["session_id"] == "sess42");
+        assert!(session.is_some(), "OOD session id parsed from comment");
+        // Charts present.
+        assert!(body["charts"]["state_distribution"]["labels"].is_array());
+        assert!(body["charts"]["gpu_hours"]["labels"].is_array());
+    }
+
+    #[test]
+    fn state_filter_narrows_table() {
+        let ctx = test_ctx();
+        submit_and_tick(&ctx);
+        let resp = handle(&ctx, &request("/api/myjobs?range=all&state=PENDING", "alice"));
+        let jobs = resp.body_json().unwrap()["jobs"].as_array().unwrap().to_vec();
+        assert!(!jobs.is_empty());
+        assert!(jobs.iter().all(|j| j["state"] == "PENDING"));
+        assert_eq!(
+            handle(&ctx, &request("/api/myjobs?range=all&state=BOGUS", "alice")).status,
+            400
+        );
+    }
+
+    #[test]
+    fn partition_qos_and_member_filters() {
+        let ctx = test_ctx();
+        submit_and_tick(&ctx);
+        let all = handle(&ctx, &request("/api/myjobs?range=all", "alice"));
+        let total = all.body_json().unwrap()["jobs"].as_array().unwrap().len();
+        assert!(total >= 3);
+
+        let cpu_only = handle(&ctx, &request("/api/myjobs?range=all&partition=cpu", "alice"));
+        assert_eq!(
+            cpu_only.body_json().unwrap()["jobs"].as_array().unwrap().len(),
+            total,
+            "every job is on the cpu partition here"
+        );
+        let gpu_only = handle(&ctx, &request("/api/myjobs?range=all&partition=gpu", "alice"));
+        assert_eq!(gpu_only.body_json().unwrap()["jobs"].as_array().unwrap().len(), 0);
+
+        let normal = handle(&ctx, &request("/api/myjobs?range=all&qos=normal", "alice"));
+        assert_eq!(normal.body_json().unwrap()["jobs"].as_array().unwrap().len(), total);
+        let high = handle(&ctx, &request("/api/myjobs?range=all&qos=high", "alice"));
+        assert_eq!(high.body_json().unwrap()["jobs"].as_array().unwrap().len(), 0);
+
+        let mine = handle(&ctx, &request("/api/myjobs?range=all&user=alice", "alice"));
+        assert_eq!(mine.body_json().unwrap()["jobs"].as_array().unwrap().len(), total);
+        let theirs = handle(&ctx, &request("/api/myjobs?range=all&user=bob", "alice"));
+        assert_eq!(theirs.body_json().unwrap()["jobs"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn invalid_range_rejected() {
+        let ctx = test_ctx();
+        assert_eq!(handle(&ctx, &request("/api/myjobs?range=century", "alice")).status, 400);
+    }
+
+    #[test]
+    fn privacy_limits_to_group() {
+        let ctx = test_ctx();
+        submit_and_tick(&ctx);
+        let resp = handle(&ctx, &request("/api/myjobs?range=all", "mallory"));
+        assert_eq!(resp.body_json().unwrap()["jobs"].as_array().unwrap().len(), 0);
+    }
+}

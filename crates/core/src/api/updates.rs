@@ -1,0 +1,137 @@
+//! Real-time job monitoring (paper §9 future work, implemented): an
+//! incremental updates feed. Clients poll `/api/updates?since=<seq>` and
+//! receive only the job state transitions they have not seen — visibility
+//! filtered like everything else — instead of refetching whole tables.
+
+use crate::auth::CurrentUser;
+use crate::colors::job_state_color;
+use crate::ctx::DashboardContext;
+use crate::reasons::friendly_reason;
+use hpcdash_http::{Request, Response, Router};
+use serde_json::json;
+
+pub const FEATURE: &str = "Live Updates (extension)";
+pub const ROUTES: &[&str] = &["/api/updates"];
+pub const SOURCES: &[&str] = &["slurmctld event stream"];
+
+pub fn register(router: &mut Router, ctx: DashboardContext) {
+    router.get(ROUTES[0], move |req| handle(&ctx, req));
+}
+
+fn handle(ctx: &DashboardContext, req: &Request) -> Response {
+    let user = match CurrentUser::from_request(ctx, req) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let since: u64 = match req.query_param("since").unwrap_or("0").parse() {
+        Ok(s) => s,
+        Err(_) => return Response::bad_request("since must be a sequence number"),
+    };
+    ctx.note_source(FEATURE, "slurmctld event stream");
+    let log = ctx.ctld.events();
+    let (events, truncated) = log.since(since);
+    let accounts = user.visible_accounts(ctx);
+    let visible: Vec<serde_json::Value> = events
+        .iter()
+        .filter(|e| {
+            user.is_admin || e.user == user.username || accounts.contains(&e.account)
+        })
+        .map(|e| {
+            json!({
+                "seq": e.seq,
+                "at": e.at.to_slurm(),
+                "job": e.job.to_string(),
+                "user": e.user,
+                "account": e.account,
+                "from": e.from.map(|s| s.to_slurm()),
+                "to": e.to.to_slurm(),
+                "to_color": job_state_color(e.to),
+                "reason": e.reason.map(|r| r.to_slurm()),
+                "reason_message": e.reason.map(friendly_reason),
+            })
+        })
+        .collect();
+    Response::json(&json!({
+        "events": visible,
+        "latest_seq": log.latest_seq(),
+        // When true the client's cursor predates the retained window and a
+        // full table refresh is needed.
+        "resync_required": truncated,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::tests::test_ctx;
+    use hpcdash_http::Method;
+    use hpcdash_slurm::job::JobRequest;
+
+    fn request(path: &str, user: &str) -> Request {
+        Request::new(Method::Get, path).with_header("X-Remote-User", user)
+    }
+
+    #[test]
+    fn incremental_polling() {
+        let ctx = test_ctx();
+        let id = ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 2)).unwrap()[0];
+        ctx.ctld.tick();
+
+        // First poll sees submit + start.
+        let resp = handle(&ctx, &request("/api/updates", "alice"));
+        assert_eq!(resp.status, 200);
+        let body = resp.body_json().unwrap();
+        let events = body["events"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["to"], "PENDING");
+        assert_eq!(events[1]["to"], "RUNNING");
+        assert_eq!(events[1]["job"], id.to_string());
+        let cursor = body["latest_seq"].as_u64().unwrap();
+
+        // Nothing new: empty delta.
+        let resp = handle(&ctx, &request(&format!("/api/updates?since={cursor}"), "alice"));
+        let body = resp.body_json().unwrap();
+        assert_eq!(body["events"].as_array().unwrap().len(), 0);
+        assert_eq!(body["resync_required"], false);
+
+        // Cancel produces exactly one new event past the cursor.
+        ctx.ctld.cancel(id, "alice").unwrap();
+        let resp = handle(&ctx, &request(&format!("/api/updates?since={cursor}"), "alice"));
+        let events = resp.body_json().unwrap()["events"].as_array().unwrap().to_vec();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0]["to"], "CANCELLED");
+        assert_eq!(events[0]["from"], "RUNNING");
+    }
+
+    #[test]
+    fn visibility_filter_applies() {
+        let ctx = test_ctx();
+        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 2)).unwrap();
+        ctx.ctld.tick();
+        let resp = handle(&ctx, &request("/api/updates", "mallory"));
+        assert_eq!(resp.body_json().unwrap()["events"].as_array().unwrap().len(), 0);
+        // But the cursor still advances so clients stay in sync.
+        assert!(resp.body_json().unwrap()["latest_seq"].as_u64().unwrap() >= 2);
+    }
+
+    #[test]
+    fn bad_cursor_rejected() {
+        let ctx = test_ctx();
+        assert_eq!(handle(&ctx, &request("/api/updates?since=abc", "alice")).status, 400);
+    }
+
+    #[test]
+    fn pending_events_carry_friendly_reasons() {
+        let ctx = test_ctx();
+        // Fill the node, then submit one more: its submit event carries a
+        // Priority reason.
+        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 16)).unwrap();
+        ctx.ctld.tick();
+        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 16)).unwrap();
+        let resp = handle(&ctx, &request("/api/updates", "alice"));
+        let events = resp.body_json().unwrap()["events"].as_array().unwrap().to_vec();
+        let pend = events.last().unwrap();
+        assert_eq!(pend["to"], "PENDING");
+        assert!(pend["reason_message"].as_str().unwrap().starts_with("It means"));
+    }
+}

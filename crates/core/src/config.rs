@@ -1,0 +1,173 @@
+//! Site configuration: the cluster-specific knobs §8 of the paper says a
+//! migrating site must adjust, plus the per-source cache policy from §2.4.
+
+use serde::{Deserialize, Serialize};
+
+/// TTLs (seconds) per data source. Defaults follow the ranges the paper
+/// states: squeue ~30 s because users want to see new jobs quickly, news
+/// 30-60 min because announcements change rarely, everything else between.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachePolicy {
+    pub announcements: u64,
+    pub recent_jobs: u64,
+    pub system_status: u64,
+    pub accounts: u64,
+    pub storage: u64,
+    pub myjobs: u64,
+    pub jobmetrics: u64,
+    pub cluster_status: u64,
+    pub job_overview: u64,
+    pub node_overview: u64,
+    /// Client-side (IndexedDB) freshness horizon: entries older than this
+    /// are revalidated before being trusted, younger ones render instantly.
+    pub client_fresh: u64,
+}
+
+impl Default for CachePolicy {
+    fn default() -> CachePolicy {
+        CachePolicy {
+            announcements: 1_800,
+            recent_jobs: 30,
+            system_status: 60,
+            accounts: 120,
+            storage: 600,
+            myjobs: 120,
+            jobmetrics: 300,
+            cluster_status: 60,
+            job_overview: 15,
+            node_overview: 30,
+            client_fresh: 30,
+        }
+    }
+}
+
+impl CachePolicy {
+    /// A policy that disables server caching (ablation benches).
+    pub fn disabled() -> CachePolicy {
+        CachePolicy {
+            announcements: 0,
+            recent_jobs: 0,
+            system_status: 0,
+            accounts: 0,
+            storage: 0,
+            myjobs: 0,
+            jobmetrics: 0,
+            cluster_status: 0,
+            job_overview: 0,
+            node_overview: 0,
+            client_fresh: 0,
+        }
+    }
+}
+
+/// Optional features (the paper's future-work items are implemented behind
+/// these flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FeatureFlags {
+    /// Include a GPU-efficiency column (paper §4.1 marks this as underway).
+    pub gpu_efficiency: bool,
+    /// Allow users in `admins` to see other users' data (permission-based
+    /// accounting, paper §9).
+    pub admin_view: bool,
+}
+
+/// The full site configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DashboardConfig {
+    /// Display name, e.g. "Anvil".
+    pub cluster_label: String,
+    /// Where "View all news" links.
+    pub news_page_url: String,
+    /// Where the accounting help link points.
+    pub user_guide_url: String,
+    /// Usernames with admin view (when the flag is on).
+    pub admins: Vec<String>,
+    pub cache: CachePolicy,
+    pub features: FeatureFlags,
+    /// How many announcements the homepage widget shows.
+    pub announcements_limit: usize,
+    /// How many jobs the Recent Jobs widget shows.
+    pub recent_jobs_limit: usize,
+}
+
+impl DashboardConfig {
+    /// A generic site (the migration default of §8).
+    pub fn generic(cluster_label: &str) -> DashboardConfig {
+        DashboardConfig {
+            cluster_label: cluster_label.to_string(),
+            news_page_url: format!("https://www.example.edu/{}/news", cluster_label.to_lowercase()),
+            user_guide_url: format!(
+                "https://www.example.edu/{}/guide/accounts",
+                cluster_label.to_lowercase()
+            ),
+            admins: Vec::new(),
+            cache: CachePolicy::default(),
+            features: FeatureFlags::default(),
+            announcements_limit: 5,
+            recent_jobs_limit: 8,
+        }
+    }
+
+    /// A site styled after the paper's deployment.
+    pub fn purdue_like() -> DashboardConfig {
+        DashboardConfig {
+            cluster_label: "Anvil".to_string(),
+            news_page_url: "https://www.rcac.example.edu/news".to_string(),
+            user_guide_url: "https://www.rcac.example.edu/knowledge/anvil/accounts".to_string(),
+            admins: vec!["root".to_string()],
+            features: FeatureFlags {
+                gpu_efficiency: true,
+                admin_view: true,
+            },
+            ..DashboardConfig::generic("Anvil")
+        }
+    }
+
+    pub fn is_admin(&self, user: &str) -> bool {
+        self.features.admin_view && self.admins.iter().any(|a| a == user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper_ranges() {
+        let c = CachePolicy::default();
+        assert_eq!(c.recent_jobs, 30, "squeue cached ~30s (paper §3.2)");
+        assert!(c.announcements >= 1_800, "announcements 30-60 min (paper §2.4)");
+        assert!(c.recent_jobs < c.storage && c.storage < c.announcements);
+    }
+
+    #[test]
+    fn disabled_policy_is_all_zero() {
+        let c = CachePolicy::disabled();
+        assert_eq!(c.recent_jobs, 0);
+        assert_eq!(c.announcements, 0);
+    }
+
+    #[test]
+    fn admin_gating() {
+        let mut cfg = DashboardConfig::purdue_like();
+        assert!(cfg.is_admin("root"));
+        assert!(!cfg.is_admin("alice"));
+        cfg.features.admin_view = false;
+        assert!(!cfg.is_admin("root"), "flag off disables admin view entirely");
+    }
+
+    #[test]
+    fn generic_site_parameterizes_urls() {
+        let cfg = DashboardConfig::generic("Bell");
+        assert!(cfg.news_page_url.contains("bell"));
+        assert_eq!(cfg.cluster_label, "Bell");
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = DashboardConfig::purdue_like();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: DashboardConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,195 @@
+//! The dashboard's shared context: daemons, services, server cache, and the
+//! data-source probe used to regenerate the paper's Table 1.
+
+use crate::config::DashboardConfig;
+use hpcdash_cache::CachedFetcher;
+use hpcdash_news::NewsFeed;
+use hpcdash_simtime::{SharedClock, Timestamp};
+use hpcdash_slurm::ctld::Slurmctld;
+use hpcdash_slurm::dbd::Slurmdbd;
+use hpcdash_slurm::joblog::JobLogFs;
+use hpcdash_storage::StorageDb;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Everything a route handler needs. Cheap to clone (all `Arc`s).
+#[derive(Clone)]
+pub struct DashboardContext {
+    pub cfg: Arc<DashboardConfig>,
+    pub clock: SharedClock,
+    pub ctld: Arc<Slurmctld>,
+    pub dbd: Arc<Slurmdbd>,
+    pub logs: Arc<JobLogFs>,
+    pub storage: Arc<StorageDb>,
+    pub news: Arc<NewsFeed>,
+    /// The server-side cache: every route's JSON payload flows through it.
+    pub cache: Arc<CachedFetcher<serde_json::Value>>,
+    /// route name -> data sources it touched on cache-cold loads.
+    sources: Arc<Mutex<BTreeMap<String, BTreeSet<String>>>>,
+}
+
+impl DashboardContext {
+    pub fn new(
+        cfg: DashboardConfig,
+        clock: SharedClock,
+        ctld: Arc<Slurmctld>,
+        dbd: Arc<Slurmdbd>,
+        logs: Arc<JobLogFs>,
+        storage: Arc<StorageDb>,
+        news: Arc<NewsFeed>,
+    ) -> DashboardContext {
+        DashboardContext {
+            cfg: Arc::new(cfg),
+            cache: Arc::new(CachedFetcher::new(clock.clone())),
+            clock,
+            ctld,
+            dbd,
+            logs,
+            storage,
+            news,
+            sources: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Record that `feature` read from `source` (called inside cache-miss
+    /// loaders, so it reflects true backend traffic, not cached replays).
+    pub fn note_source(&self, feature: &str, source: &str) {
+        self.sources
+            .lock()
+            .entry(feature.to_string())
+            .or_default()
+            .insert(source.to_string());
+    }
+
+    /// The observed feature -> sources mapping (the measured Table 1).
+    pub fn observed_sources(&self) -> BTreeMap<String, BTreeSet<String>> {
+        self.sources.lock().clone()
+    }
+
+    pub fn clear_observed_sources(&self) {
+        self.sources.lock().clear();
+    }
+
+    /// Fetch-with-cache wrapper all routes use. A `ttl` of zero bypasses the
+    /// cache entirely (used by the no-cache ablation).
+    pub fn cached(
+        &self,
+        key: &str,
+        ttl: u64,
+        load: impl FnOnce() -> serde_json::Value,
+    ) -> serde_json::Value {
+        if ttl == 0 {
+            return load();
+        }
+        self.cache.get_or_fetch(key, ttl, load)
+    }
+
+    /// Like [`DashboardContext::cached`], but failures are never cached: a
+    /// broken data source keeps being retried instead of pinning its error
+    /// into the cache until expiry.
+    pub fn cached_result(
+        &self,
+        key: &str,
+        ttl: u64,
+        load: impl FnOnce() -> Result<serde_json::Value, String>,
+    ) -> Result<serde_json::Value, String> {
+        if ttl == 0 {
+            return load();
+        }
+        let value = self.cache.get_or_fetch(key, ttl, || match load() {
+            Ok(v) => v,
+            Err(e) => serde_json::json!({ "__error": e }),
+        });
+        if let Some(err) = value.get("__error").and_then(|e| e.as_str()) {
+            let msg = err.to_string();
+            self.cache.invalidate(key);
+            return Err(msg);
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use hpcdash_simtime::SimClock;
+    use hpcdash_slurm::assoc::{Account, AssocStore};
+    use hpcdash_slurm::cluster::ClusterSpec;
+    use hpcdash_slurm::loadmodel::RpcCostModel;
+    use hpcdash_slurm::node::Node;
+    use hpcdash_slurm::partition::Partition;
+    use hpcdash_slurm::qos::Qos;
+    use serde_json::json;
+
+    pub(crate) fn test_ctx() -> DashboardContext {
+        let clock = SimClock::new(Timestamp(1_000));
+        let mut assoc = AssocStore::new();
+        assoc.add_account(Account::new("physics"));
+        assoc.add_user("physics", "alice");
+        let nodes = vec![Node::new("a001", 16, 64_000, 0)];
+        let names = vec!["a001".to_string()];
+        let spec = ClusterSpec {
+            name: "t".to_string(),
+            nodes,
+            partitions: vec![Partition::new("cpu").with_nodes(names)],
+            qos: Qos::standard_set(),
+            assoc,
+        };
+        let dbd = Arc::new(Slurmdbd::with_cost(RpcCostModel::free()));
+        let logs = Arc::new(JobLogFs::new());
+        let ctld = Arc::new(Slurmctld::with_cost(
+            spec,
+            clock.shared(),
+            dbd.clone(),
+            logs.clone(),
+            RpcCostModel::free(),
+        ));
+        DashboardContext::new(
+            DashboardConfig::generic("Test"),
+            clock.shared(),
+            ctld,
+            dbd,
+            logs,
+            Arc::new(StorageDb::with_cost(std::time::Duration::ZERO)),
+            Arc::new(NewsFeed::new()),
+        )
+    }
+
+    #[test]
+    fn cached_respects_ttl_zero() {
+        let ctx = test_ctx();
+        let mut calls = 0;
+        for _ in 0..3 {
+            ctx.cached("k", 0, || {
+                calls += 1;
+                json!(1)
+            });
+        }
+        assert_eq!(calls, 3, "ttl=0 bypasses the cache");
+    }
+
+    #[test]
+    fn cached_caches() {
+        let ctx = test_ctx();
+        let v1 = ctx.cached("k", 60, || json!({"x": 1}));
+        let v2 = ctx.cached("k", 60, || unreachable!());
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn source_probe_accumulates() {
+        let ctx = test_ctx();
+        ctx.note_source("My Jobs", "sacct (slurmdbd)");
+        ctx.note_source("My Jobs", "squeue (slurmctld)");
+        ctx.note_source("My Jobs", "sacct (slurmdbd)");
+        let observed = ctx.observed_sources();
+        assert_eq!(observed["My Jobs"].len(), 2);
+        ctx.clear_observed_sources();
+        assert!(ctx.observed_sources().is_empty());
+    }
+}

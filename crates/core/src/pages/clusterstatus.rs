@@ -1,0 +1,185 @@
+//! The Cluster Status page (paper §6, Figure 4b): grid view + list view.
+
+use crate::pages::layout::{shell, widget_placeholder};
+use crate::template::escape_html;
+use serde_json::Value;
+
+pub fn render_shell(cluster: &str, user: &str) -> String {
+    let mut body = String::from(
+        "<h1>Cluster Status</h1>\
+         <div class=\"controls\"><button id=\"grid-view\">Grid</button>\
+         <button id=\"list-view\">List</button>\
+         <input id=\"node-search\" placeholder=\"Filter nodes...\"></div>",
+    );
+    body.push_str(&widget_placeholder("clusterstatus", "/api/clusterstatus"));
+    shell("Cluster Status", "clusterstatus", cluster, user, &body)
+}
+
+/// Grid view: one colour-coded cell per node with a hover summary.
+pub fn render_grid(payload: &Value) -> String {
+    let mut out = String::from("<div class=\"node-grid\">");
+    for n in payload["nodes"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+        let name = n["name"].as_str().unwrap_or("");
+        out.push_str(&format!(
+            "<a class=\"node-cell node-{}\" href=\"{}\" \
+             title=\"{}: {} — CPU {}/{}, mem {}/{} MB, partitions: {}\">{}</a>",
+            n["color"].as_str().unwrap_or("gray"),
+            n["overview_url"].as_str().unwrap_or("#"),
+            escape_html(name),
+            n["state"].as_str().unwrap_or(""),
+            n["cpus_alloc"],
+            n["cpus_total"],
+            n["mem_alloc_mb"],
+            n["mem_total_mb"],
+            n["partitions"]
+                .as_array()
+                .map(|p| p.iter().filter_map(|x| x.as_str()).collect::<Vec<_>>().join(","))
+                .unwrap_or_default(),
+            escape_html(name),
+        ));
+    }
+    out.push_str("</div>");
+    out
+}
+
+/// List view: a sortable/filterable table.
+pub fn render_list(payload: &Value, filter: Option<&str>) -> String {
+    let mut out = String::from(
+        "<table class=\"node-table\"><thead><tr>\
+         <th data-sort=\"name\">Node</th><th data-sort=\"state\">State</th>\
+         <th>Partitions</th><th data-sort=\"cpu\">CPU load</th>\
+         <th data-sort=\"mem\">Memory load</th></tr></thead><tbody>",
+    );
+    for n in payload["nodes"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+        let name = n["name"].as_str().unwrap_or("");
+        let state = n["state"].as_str().unwrap_or("");
+        let partitions = n["partitions"]
+            .as_array()
+            .map(|p| p.iter().filter_map(|x| x.as_str()).collect::<Vec<_>>().join(","))
+            .unwrap_or_default();
+        if let Some(f) = filter {
+            let f = f.to_lowercase();
+            if !name.to_lowercase().contains(&f)
+                && !state.to_lowercase().contains(&f)
+                && !partitions.to_lowercase().contains(&f)
+            {
+                continue;
+            }
+        }
+        out.push_str(&format!(
+            "<tr><td><a href=\"{}\">{}</a></td><td class=\"state-{}\">{}</td>\
+             <td>{}</td><td>{:.1}%</td><td>{:.1}%</td></tr>",
+            n["overview_url"].as_str().unwrap_or("#"),
+            escape_html(name),
+            n["color"].as_str().unwrap_or("gray"),
+            escape_html(state),
+            escape_html(&partitions),
+            n["cpu_percent"].as_f64().unwrap_or(0.0),
+            n["mem_percent"].as_f64().unwrap_or(0.0),
+        ));
+    }
+    out.push_str("</tbody></table>");
+    out
+}
+
+/// List view sorted by a column (paper §6: "users can sort any column to
+/// find the nodes with the highest or lowest CPU or memory load and/or view
+/// the nodes in alphabetical order"). `descending` controls direction.
+pub fn render_list_sorted(payload: &Value, sort_key: &str, descending: bool) -> String {
+    let mut nodes: Vec<Value> = payload["nodes"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+        .to_vec();
+    let metric = |n: &Value, key: &str| n[key].as_f64().unwrap_or(0.0);
+    match sort_key {
+        "cpu" => nodes.sort_by(|a, b| {
+            metric(a, "cpu_percent").partial_cmp(&metric(b, "cpu_percent")).expect("finite")
+        }),
+        "mem" => nodes.sort_by(|a, b| {
+            metric(a, "mem_percent").partial_cmp(&metric(b, "mem_percent")).expect("finite")
+        }),
+        "state" => nodes.sort_by_key(|n| n["state"].as_str().unwrap_or("").to_string()),
+        _ => nodes.sort_by_key(|n| n["name"].as_str().unwrap_or("").to_string()),
+    }
+    if descending {
+        nodes.reverse();
+    }
+    render_list(&serde_json::json!({ "nodes": nodes }), None)
+}
+
+/// The full page with both views.
+pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
+    let body = format!(
+        "<h1>Cluster Status</h1>{}{}",
+        render_grid(payload),
+        render_list(payload, None)
+    );
+    shell("Cluster Status", "clusterstatus", cluster, user, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn payload() -> Value {
+        json!({"nodes": [
+            {"name": "a001", "state": "MIXED", "color": "green",
+             "cpus_alloc": 64, "cpus_total": 128, "cpu_percent": 50.0, "cpu_color": "green",
+             "cpu_load": 63.0, "mem_alloc_mb": 100_000, "mem_total_mb": 257_000,
+             "mem_percent": 38.9, "mem_color": "green",
+             "partitions": ["cpu"], "gres": null, "gres_used": null, "reason": null,
+             "overview_url": "/nodes/a001"},
+            {"name": "g001", "state": "DOWN", "color": "red",
+             "cpus_alloc": 0, "cpus_total": 128, "cpu_percent": 0.0, "cpu_color": "green",
+             "cpu_load": 0.0, "mem_alloc_mb": 0, "mem_total_mb": 512_000,
+             "mem_percent": 0.0, "mem_color": "green",
+             "partitions": ["gpu"], "gres": "gpu:a100:4", "gres_used": "gpu:a100:0",
+             "reason": "power supply", "overview_url": "/nodes/g001"},
+        ]})
+    }
+
+    #[test]
+    fn grid_cells_colored_with_hover() {
+        let html = render_grid(&payload());
+        assert!(html.contains("node-green"));
+        assert!(html.contains("node-red"));
+        assert!(html.contains("title=\"a001: MIXED — CPU 64/128"));
+        assert!(html.contains("href=\"/nodes/g001\""));
+    }
+
+    #[test]
+    fn list_filter_narrows() {
+        let all = render_list(&payload(), None);
+        assert!(all.contains("a001") && all.contains("g001"));
+        let gpu_only = render_list(&payload(), Some("gpu"));
+        assert!(!gpu_only.contains("a001") && gpu_only.contains("g001"));
+        let down_only = render_list(&payload(), Some("down"));
+        assert!(down_only.contains("g001") && !down_only.contains("a001"));
+        let none = render_list(&payload(), Some("zzz"));
+        assert!(!none.contains("a001") && !none.contains("g001"));
+    }
+
+    #[test]
+    fn sorted_list_orders_by_load() {
+        let html = render_list_sorted(&payload(), "cpu", true);
+        let a_pos = html.find(">a001<").expect("a001 row");
+        let g_pos = html.find(">g001<").expect("g001 row");
+        assert!(a_pos < g_pos, "highest CPU load first when descending");
+        let html = render_list_sorted(&payload(), "cpu", false);
+        let a_pos = html.find(">a001<").unwrap();
+        let g_pos = html.find(">g001<").unwrap();
+        assert!(g_pos < a_pos, "ascending flips the order");
+        // Alphabetical by default.
+        let html = render_list_sorted(&payload(), "name", false);
+        assert!(html.find(">a001<").unwrap() < html.find(">g001<").unwrap());
+    }
+
+    #[test]
+    fn full_page_has_both_views() {
+        let html = render_full("Anvil", "alice", &payload());
+        assert!(html.contains("node-grid"));
+        assert!(html.contains("node-table"));
+    }
+}

@@ -1,0 +1,84 @@
+//! The dashboard homepage (paper §3, Figure 2): five widgets at a glance.
+
+use crate::pages::layout::{shell, widget_placeholder};
+use crate::widgets;
+use serde_json::Value;
+
+/// The widget slots in display order, each paired with its API route —
+/// the mapping the client uses to fill the page.
+pub const WIDGETS: [(&str, &str); 5] = [
+    ("announcements", "/api/announcements"),
+    ("recent_jobs", "/api/recent_jobs"),
+    ("system_status", "/api/system_status"),
+    ("accounts", "/api/accounts"),
+    ("storage", "/api/storage"),
+];
+
+/// The instantly served shell: placeholders only, no Slurm queries.
+pub fn render_shell(cluster: &str, user: &str) -> String {
+    let mut body = String::from("<div class=\"widget-grid\">");
+    for (id, api) in WIDGETS {
+        body.push_str(&widget_placeholder(id, api));
+    }
+    body.push_str("</div>");
+    shell("Home", "homepage", cluster, user, &body)
+}
+
+/// The fully rendered homepage given each widget's API payload (or error).
+/// A failed widget renders its error card; the rest are unaffected —
+/// the modularity property (paper §2.4).
+pub fn render_full(
+    cluster: &str,
+    user: &str,
+    payloads: &[(&str, Result<Value, String>)],
+) -> String {
+    let mut body = String::from("<div class=\"widget-grid\">");
+    for (id, payload) in payloads {
+        let html = match payload {
+            Ok(value) => match *id {
+                "announcements" => widgets::announcements::render(value),
+                "recent_jobs" => widgets::recent_jobs::render(value),
+                "system_status" => widgets::system_status::render(value),
+                "accounts" => widgets::accounts::render(value),
+                "storage" => widgets::storage::render(value),
+                other => widgets::error_card(other, "unknown widget"),
+            },
+            Err(e) => widgets::error_card(id, e),
+        };
+        body.push_str(&html);
+    }
+    body.push_str("</div>");
+    shell("Home", "homepage", cluster, user, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn shell_has_all_five_placeholders() {
+        let html = render_shell("Anvil", "alice");
+        for (id, api) in WIDGETS {
+            assert!(html.contains(&format!("data-widget=\"{id}\"")));
+            assert!(html.contains(&format!("data-api=\"{api}\"")));
+        }
+        assert!(!html.contains("squeue"), "shell carries no backend data");
+    }
+
+    #[test]
+    fn full_render_mixes_widgets_and_error_cards() {
+        let payloads = vec![
+            ("announcements", Ok(json!({"items": []}))),
+            ("recent_jobs", Ok(json!({"jobs": []}))),
+            ("system_status", Err("sinfo timed out".to_string())),
+            ("accounts", Ok(json!({"accounts": []}))),
+            ("storage", Ok(json!({"disks": []}))),
+        ];
+        let html = render_full("Anvil", "alice", &payloads);
+        assert!(html.contains("widget-error"), "failed widget shows an error card");
+        assert!(html.contains("sinfo timed out"));
+        assert!(html.contains("data-widget=\"storage\""), "other widgets still render");
+        assert!(html.contains("No running or queued jobs"));
+    }
+}

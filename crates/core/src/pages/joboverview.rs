@@ -1,0 +1,260 @@
+//! The Job Overview page (paper §7, Figure 4d): header, timeline, and the
+//! overview / session / output / error / job-array tabs.
+
+use crate::pages::layout::{shell, widget_placeholder};
+use crate::template::escape_html;
+use serde_json::Value;
+
+pub fn render_shell(cluster: &str, user: &str, job_id: &str) -> String {
+    let mut body = format!("<h1>Job {}</h1>", escape_html(job_id));
+    body.push_str(&widget_placeholder("joboverview", &format!("/api/jobs/{job_id}")));
+    shell(&format!("Job {job_id}"), "joboverview", cluster, user, &body)
+}
+
+/// Render from the `/api/jobs/:id` payload plus (optionally) the log tails.
+pub fn render_full(
+    cluster: &str,
+    user: &str,
+    payload: &Value,
+    stdout_tail: Option<&Value>,
+    stderr_tail: Option<&Value>,
+) -> String {
+    let header = &payload["header"];
+    let color = header["state_color"].as_str().unwrap_or("gray");
+    let mut body = format!(
+        "<div class=\"job-header state-{}\"><h1>Job {} — {}</h1>\
+         <span class=\"badge badge-{}\">{}</span>{}</div>",
+        color,
+        escape_html(header["id"].as_str().unwrap_or("")),
+        escape_html(header["name"].as_str().unwrap_or("")),
+        color,
+        escape_html(header["state"].as_str().unwrap_or("")),
+        match header["reason_message"].as_str() {
+            Some(msg) => format!("<p class=\"reason-message\">{}</p>", escape_html(msg)),
+            None => String::new(),
+        },
+    );
+
+    // Timeline (submitted -> eligible -> started -> ended), coloured by state.
+    body.push_str(&format!("<ol class=\"timeline timeline-{color}\">"));
+    let tl = &payload["timeline"];
+    for (label, key) in [
+        ("Submitted", "submitted"),
+        ("Eligible", "eligible"),
+        ("Started", "started"),
+        ("Ended", "ended"),
+    ] {
+        match tl[key].as_str() {
+            Some(t) => body.push_str(&format!(
+                "<li class=\"done\"><span>{label}</span> <time data-utc=\"{}\">{}</time></li>",
+                escape_html(t),
+                escape_html(t),
+            )),
+            None => body.push_str(&format!("<li class=\"pending-step\"><span>{label}</span> —</li>")),
+        }
+    }
+    body.push_str("</ol>");
+
+    // Overview tab: four cards.
+    let cards = &payload["cards"];
+    body.push_str("<div class=\"tabs\"><div class=\"tab\" id=\"overview\"><div class=\"card-grid\">");
+    let info = &cards["job_information"];
+    body.push_str(&format!(
+        "<div class=\"card\"><div class=\"card-header\">Job Information</div><div class=\"card-body\">\
+         Name: {}<br>User: {}<br>Allocation: {}<br>Partition: {}<br>QoS: {}</div></div>",
+        escape_html(info["name"].as_str().unwrap_or("")),
+        escape_html(info["user"].as_str().unwrap_or("")),
+        escape_html(info["account"].as_str().unwrap_or("")),
+        escape_html(info["partition"].as_str().unwrap_or("")),
+        escape_html(info["qos"].as_str().unwrap_or("")),
+    ));
+    let res = &cards["resources"];
+    let node_links = res["node_links"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+        .iter()
+        .map(|n| {
+            format!(
+                "<a href=\"{}\">{}</a>",
+                n["overview_url"].as_str().unwrap_or("#"),
+                escape_html(n["name"].as_str().unwrap_or(""))
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    body.push_str(&format!(
+        "<div class=\"card\"><div class=\"card-header\">Resources</div><div class=\"card-body\">\
+         CPUs: {}<br>Nodes: {}<br>Memory/node: {} MB<br>GPUs: {}<br>Node list: {}</div></div>",
+        res["cpus"], res["nodes"], res["mem_mb_per_node"], res["gpus"], node_links,
+    ));
+    let time = &cards["time"];
+    body.push_str(&format!(
+        "<div class=\"card\"><div class=\"card-header\">Time</div><div class=\"card-body\">\
+         Wall time: {}<br>Time limit: {}<br>Remaining: {}<br>CPU time: {}</div></div>",
+        escape_html(time["elapsed"].as_str().unwrap_or("")),
+        escape_html(time["limit"].as_str().unwrap_or("")),
+        time["remaining_secs"]
+            .as_u64()
+            .map(hpcdash_simtime::format_duration)
+            .unwrap_or_else(|| "—".to_string()),
+        time["cpu_time_secs"]
+            .as_u64()
+            .map(hpcdash_simtime::format_duration)
+            .unwrap_or_else(|| "—".to_string()),
+    ));
+    let eff = &cards["efficiency"];
+    let pct = |v: &Value| match v.as_f64() {
+        Some(f) => format!("{:.1}%", f * 100.0),
+        None => "—".to_string(),
+    };
+    body.push_str(&format!(
+        "<div class=\"card\"><div class=\"card-header\">Efficiency</div><div class=\"card-body\">\
+         CPU: {}<br>Memory: {}<br>Time: {}</div></div>",
+        pct(&eff["cpu"]),
+        pct(&eff["memory"]),
+        pct(&eff["time"]),
+    ));
+    body.push_str("</div></div>");
+
+    // Session tab (interactive-app jobs only).
+    if !payload["session"].is_null() {
+        let s = &payload["session"];
+        body.push_str(&format!(
+            "<div class=\"tab\" id=\"session\">\
+             App: <a href=\"{}\">{}</a><br>Session ID: {}<br>\
+             Working dir: <a href=\"{}\">{}</a>\
+             <button class=\"launch\">Launch {}</button></div>",
+            s["relaunch_url"].as_str().unwrap_or("#"),
+            escape_html(s["app"].as_str().unwrap_or("")),
+            escape_html(s["session_id"].as_str().unwrap_or("")),
+            s["workdir_url"].as_str().unwrap_or("#"),
+            escape_html(s["workdir"].as_str().unwrap_or("")),
+            escape_html(s["app"].as_str().unwrap_or("")),
+        ));
+    }
+
+    // Output / error tabs: line-numbered read-only views, auto-scrolled.
+    for (tab_id, tail) in [("output", stdout_tail), ("error", stderr_tail)] {
+        if let Some(t) = tail {
+            body.push_str(&format!(
+                "<div class=\"tab log-view\" id=\"{tab_id}\" data-autoscroll=\"bottom\">"
+            ));
+            if t["truncated"].as_bool().unwrap_or(false) {
+                body.push_str(&format!(
+                    "<p class=\"log-note\">Showing last {} of {} lines. \
+                     <a href=\"{}\">View entire file</a></p>",
+                    t["lines"].as_array().map(|l| l.len()).unwrap_or(0),
+                    t["total_lines"],
+                    t["full_file_url"].as_str().unwrap_or("#"),
+                ));
+            }
+            body.push_str("<pre>");
+            for line in t["lines"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+                let no = line[0].as_u64().unwrap_or(0);
+                let text = line[1].as_str().unwrap_or("");
+                body.push_str(&format!(
+                    "<span class=\"lineno\">{no}</span> {}\n",
+                    escape_html(text)
+                ));
+            }
+            body.push_str("</pre></div>");
+        }
+    }
+
+    // Job-array tab marker: the client fetches the array route on demand.
+    if payload["has_array"].as_bool().unwrap_or(false) {
+        body.push_str(&format!(
+            "<div class=\"tab\" id=\"job-array\" data-api=\"{}\"></div>",
+            payload["array_url"].as_str().unwrap_or("#")
+        ));
+    }
+
+    body.push_str("</div>");
+    let title = format!("Job {}", header["id"].as_str().unwrap_or(""));
+    shell(&title, "joboverview", cluster, user, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn payload() -> Value {
+        json!({
+            "header": {"id": "55", "name": "train", "state": "RUNNING",
+                       "state_color": "green", "reason": null, "reason_message": null},
+            "timeline": {"submitted": "2026-07-04T08:00:00", "eligible": "2026-07-04T08:00:00",
+                         "started": "2026-07-04T08:05:00", "ended": null},
+            "cards": {
+                "job_information": {"name": "train", "user": "alice", "account": "physics",
+                                    "partition": "gpu", "qos": "normal"},
+                "resources": {"cpus": 16, "nodes": 1, "mem_mb_per_node": 65_536, "gpus": 2,
+                              "node_links": [{"name": "g001", "overview_url": "/nodes/g001"}]},
+                "time": {"elapsed": "01:00:00", "elapsed_secs": 3_600, "limit": "04:00:00",
+                         "remaining_secs": 10_800, "cpu_time_secs": 46_080},
+                "efficiency": {"cpu": 0.8, "memory": 0.6, "time": null, "gpu": null, "warnings": []},
+            },
+            "session": {"app": "jupyter", "session_id": "s1", "workdir": "/home/alice/ondemand",
+                        "workdir_url": "/pun/sys/files/fs/home/alice/ondemand",
+                        "relaunch_url": "/pun/sys/dashboard/batch_connect/sys/jupyter/session_contexts/new"},
+            "has_array": false,
+            "array_url": null,
+            "logs": {"stdout_url": "/api/jobs/55/logs?stream=out",
+                     "stderr_url": "/api/jobs/55/logs?stream=err"},
+            "exit_code": null,
+        })
+    }
+
+    #[test]
+    fn header_timeline_cards_session() {
+        let html = render_full("Anvil", "alice", &payload(), None, None);
+        assert!(html.contains("Job 55 — train"));
+        assert!(html.contains("timeline-green"));
+        assert!(html.contains("2026-07-04T08:05:00"));
+        assert!(html.contains("<li class=\"pending-step\"><span>Ended</span> —</li>"));
+        assert!(html.contains("Allocation: physics"));
+        assert!(html.contains("href=\"/nodes/g001\""));
+        assert!(html.contains("Remaining: 03:00:00"));
+        assert!(html.contains("CPU: 80.0%"));
+        assert!(html.contains("Launch jupyter"));
+    }
+
+    #[test]
+    fn log_tabs_with_line_numbers_and_truncation() {
+        let stdout = json!({
+            "total_lines": 2_500, "truncated": true,
+            "full_file_url": "/pun/sys/files/fs/home/alice/slurm-55.out",
+            "lines": [[1_501, "step one"], [1_502, "step <two>"]],
+        });
+        let html = render_full("Anvil", "alice", &payload(), Some(&stdout), None);
+        assert!(html.contains("Showing last 2 of 2500 lines"));
+        assert!(html.contains("View entire file"));
+        assert!(html.contains("<span class=\"lineno\">1501</span> step one"));
+        assert!(html.contains("step &lt;two&gt;"), "log content escaped");
+        assert!(html.contains("data-autoscroll=\"bottom\""));
+        assert!(!html.contains("id=\"error\""), "no stderr tab without data");
+    }
+
+    #[test]
+    fn array_tab_appears_when_flagged() {
+        let mut p = payload();
+        p["has_array"] = json!(true);
+        p["array_url"] = json!("/api/jobs/55/array");
+        let html = render_full("Anvil", "alice", &p, None, None);
+        assert!(html.contains("id=\"job-array\" data-api=\"/api/jobs/55/array\""));
+    }
+
+    #[test]
+    fn pending_job_shows_reason_message() {
+        let mut p = payload();
+        p["header"]["state"] = json!("PENDING");
+        p["header"]["state_color"] = json!("blue");
+        p["header"]["reason_message"] =
+            json!("It means this job's association has reached its aggregate group CPU limit.");
+        p["session"] = Value::Null;
+        let html = render_full("Anvil", "alice", &p, None, None);
+        assert!(html.contains("aggregate group CPU limit"));
+        assert!(!html.contains("id=\"session\""), "batch job has no session tab");
+    }
+}

@@ -1,0 +1,119 @@
+//! The Job Performance Metrics page (paper §5, Figure 4a).
+
+use crate::pages::layout::{shell, widget_placeholder};
+use crate::template::escape_html;
+use hpcdash_simtime::format_duration;
+use serde_json::Value;
+
+pub fn render_shell(cluster: &str, user: &str) -> String {
+    let mut body = String::from("<h1>Job Performance Metrics</h1>");
+    body.push_str(
+        "<div class=\"controls\"><select id=\"range\">\
+         <option>24h</option><option selected>7d</option><option>30d</option>\
+         <option>all</option><option>custom</option></select>\
+         <input type=\"date\" id=\"start\"><input type=\"date\" id=\"end\"></div>",
+    );
+    body.push_str(&widget_placeholder("jobmetrics", "/api/jobmetrics?range=7d"));
+    shell("Job Performance Metrics", "jobperf", cluster, user, &body)
+}
+
+/// Render from the `/api/jobmetrics` payload.
+pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
+    let m = &payload["metrics"];
+    let secs = |v: &Value| match v.as_f64() {
+        Some(s) => format_duration(s as u64),
+        None => "—".to_string(),
+    };
+    let pct = |v: &Value| match v.as_f64() {
+        Some(f) => format!("{:.1}%", f * 100.0),
+        None => "—".to_string(),
+    };
+    let mut body = String::from("<h1>Job Performance Metrics</h1>");
+    body.push_str(&format!(
+        "<p class=\"range-label\">{}</p>",
+        escape_html(payload["range"].as_str().unwrap_or(""))
+    ));
+    body.push_str("<div class=\"metric-cards\">");
+    let cards: [(&str, String); 8] = [
+        ("Total jobs", m["total_jobs"].as_u64().unwrap_or(0).to_string()),
+        ("Average queue wait", secs(&m["avg_wait_secs"])),
+        ("Mean job duration", secs(&m["mean_duration_secs"])),
+        ("Total wall time", format_duration(m["total_wall_secs"].as_u64().unwrap_or(0))),
+        ("Total CPU hours", format!("{:.1}", m["total_cpu_hours"].as_f64().unwrap_or(0.0))),
+        ("Total GPU hours", format!("{:.1}", m["total_gpu_hours"].as_f64().unwrap_or(0.0))),
+        ("Avg CPU efficiency", pct(&m["avg_cpu_eff"])),
+        ("Avg memory efficiency", pct(&m["avg_mem_eff"])),
+    ];
+    for (label, value) in cards {
+        body.push_str(&format!(
+            "<div class=\"metric-card\"><div class=\"metric-value\">{}</div>\
+             <div class=\"metric-label\">{}</div></div>",
+            escape_html(&value),
+            label,
+        ));
+    }
+    body.push_str("</div>");
+    if let Some(by_state) = m["by_state"].as_object() {
+        body.push_str("<table class=\"state-table\"><thead><tr><th>State</th><th>Jobs</th></tr></thead><tbody>");
+        for (state, count) in by_state {
+            body.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td></tr>",
+                escape_html(state),
+                count
+            ));
+        }
+        body.push_str("</tbody></table>");
+    }
+    shell("Job Performance Metrics", "jobperf", cluster, user, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn metric_cards_render() {
+        let payload = json!({
+            "range": "Last 30 days",
+            "metrics": {
+                "total_jobs": 42,
+                "by_state": {"COMPLETED": 30, "FAILED": 7, "TIMEOUT": 5},
+                "avg_wait_secs": 125.5,
+                "mean_duration_secs": 3_600.0,
+                "total_wall_secs": 151_200,
+                "total_cpu_hours": 1_200.25,
+                "total_gpu_hours": 64.0,
+                "avg_cpu_eff": 0.71,
+                "avg_mem_eff": 0.45,
+                "avg_time_eff": 0.5,
+            },
+        });
+        let html = render_full("Anvil", "alice", &payload);
+        assert!(html.contains("Last 30 days"));
+        assert!(html.contains(">42<"));
+        assert!(html.contains("00:02:05"), "avg wait formatted");
+        assert!(html.contains("71.0%"));
+        assert!(html.contains("1200.2"), "{:?}", &html[html.find("1200").unwrap()..html.find("1200").unwrap() + 8]);
+        assert!(html.contains("<td>FAILED</td><td>7</td>"));
+    }
+
+    #[test]
+    fn missing_metrics_dash() {
+        let payload = json!({"range": "All time", "metrics": {
+            "total_jobs": 0, "by_state": {}, "avg_wait_secs": null,
+            "mean_duration_secs": null, "total_wall_secs": 0,
+            "total_cpu_hours": 0.0, "total_gpu_hours": 0.0,
+            "avg_cpu_eff": null, "avg_mem_eff": null, "avg_time_eff": null,
+        }});
+        let html = render_full("Anvil", "alice", &payload);
+        assert!(html.contains("—"));
+    }
+
+    #[test]
+    fn shell_offers_custom_range_inputs() {
+        let html = render_shell("Anvil", "alice");
+        assert!(html.contains("type=\"date\""));
+        assert!(html.contains("/api/jobmetrics?range=7d"));
+    }
+}

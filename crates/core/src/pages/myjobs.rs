@@ -1,0 +1,145 @@
+//! The My Jobs page (paper §4, Figure 3): the job table with efficiency
+//! columns & warnings, plus the two charts.
+
+use crate::pages::layout::{shell, widget_placeholder};
+use crate::template::escape_html;
+use hpcdash_simtime::format_duration;
+use serde_json::Value;
+
+/// The instantly served shell.
+pub fn render_shell(cluster: &str, user: &str) -> String {
+    let mut body = String::from("<h1>My Jobs</h1>");
+    body.push_str(
+        "<div class=\"controls\">\
+         <select id=\"range\"><option>24h</option><option selected>7d</option>\
+         <option>30d</option><option>all</option><option>custom</option></select>\
+         <button id=\"toggle-efficiency\">Toggle Efficiency Data</button></div>",
+    );
+    body.push_str(&widget_placeholder("myjobs", "/api/myjobs?range=7d"));
+    shell("My Jobs", "myjobs", cluster, user, &body)
+}
+
+/// The fully rendered page given the `/api/myjobs` payload.
+pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
+    let mut body = String::from("<h1>My Jobs</h1>");
+    body.push_str(&format!(
+        "<p class=\"range-label\">Showing: {}</p>",
+        escape_html(payload["range"].as_str().unwrap_or(""))
+    ));
+
+    // Charts (Chart.js data is embedded for the frontend to draw).
+    body.push_str(&format!(
+        "<div class=\"charts\">\
+         <canvas id=\"state-chart\" data-chart='{}'></canvas>\
+         <canvas id=\"gpu-chart\" data-chart='{}'></canvas></div>",
+        payload["charts"]["state_distribution"],
+        payload["charts"]["gpu_hours"],
+    ));
+
+    body.push_str(
+        "<table class=\"job-table\"><thead><tr>\
+         <th>Job</th><th>Name</th><th>QoS</th><th>State</th><th>Submitted</th>\
+         <th>Start</th><th>End</th><th>Wait</th><th>Elapsed</th>\
+         <th class=\"eff\">Time eff</th><th class=\"eff\">CPU eff</th><th class=\"eff\">Mem eff</th>\
+         </tr></thead><tbody>",
+    );
+    for j in payload["jobs"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+        let eff = &j["efficiency"];
+        let pct = |v: &Value| match v.as_f64() {
+            Some(f) => format!("{:.1}%", f * 100.0),
+            None => "—".to_string(),
+        };
+        body.push_str(&format!(
+            "<tr class=\"job-row state-{}\">\
+             <td><a href=\"{}\">{}</a></td><td>{}</td><td>{}</td>\
+             <td><span class=\"badge badge-{}\">{}</span>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td class=\"eff\">{}</td><td class=\"eff\">{}</td><td class=\"eff\">{}</td></tr>",
+            j["state"].as_str().unwrap_or("").to_lowercase(),
+            j["overview_url"].as_str().unwrap_or("#"),
+            escape_html(j["id"].as_str().unwrap_or("")),
+            escape_html(j["name"].as_str().unwrap_or("")),
+            escape_html(j["qos"].as_str().unwrap_or("")),
+            j["state_color"].as_str().unwrap_or("gray"),
+            escape_html(j["state"].as_str().unwrap_or("")),
+            match j["reason"]["message"].as_str() {
+                Some(msg) => format!(
+                    " <span class=\"reason\" title=\"{}\">({})</span>",
+                    escape_html(msg),
+                    escape_html(j["reason"]["code"].as_str().unwrap_or(""))
+                ),
+                None => String::new(),
+            },
+            escape_html(j["submit"].as_str().unwrap_or("—")),
+            escape_html(j["start"].as_str().unwrap_or("—")),
+            escape_html(j["end"].as_str().unwrap_or("—")),
+            j["wait_secs"].as_u64().map(format_duration).unwrap_or_else(|| "—".to_string()),
+            format_duration(j["elapsed_secs"].as_u64().unwrap_or(0)),
+            pct(&eff["time"]),
+            pct(&eff["cpu"]),
+            pct(&eff["memory"]),
+        ));
+        // Efficiency warnings render as alert rows under the job.
+        for w in eff["warnings"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+            body.push_str(&format!(
+                "<tr class=\"warning-row\"><td colspan=\"12\" class=\"alert alert-warning\">{}</td></tr>",
+                escape_html(w.as_str().unwrap_or(""))
+            ));
+        }
+    }
+    body.push_str("</tbody></table>");
+    shell("My Jobs", "myjobs", cluster, user, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn payload() -> Value {
+        json!({
+            "range": "Last 7 days",
+            "jobs": [
+                {"id": "100", "name": "train", "qos": "normal", "state": "COMPLETED",
+                 "state_color": "gray-green", "submit": "2026-07-04T08:00:00",
+                 "start": "2026-07-04T08:01:00", "end": "2026-07-04T09:01:00",
+                 "wait_secs": 60, "elapsed_secs": 3_600,
+                 "overview_url": "/jobs/100", "reason": null,
+                 "efficiency": {"cpu": 0.08, "memory": 0.5, "time": 0.9,
+                                "warnings": ["This job used only 8% of the 16 CPUs it requested. Requesting fewer CPUs will reduce your queue wait times and leave more resources for others."]}},
+                {"id": "101", "name": "sweep", "qos": "normal", "state": "PENDING",
+                 "state_color": "blue", "submit": "2026-07-04T09:00:00",
+                 "start": null, "end": null, "wait_secs": 120, "elapsed_secs": 0,
+                 "overview_url": "/jobs/101",
+                 "reason": {"code": "AssocGrpCpuLimit",
+                            "message": "It means this job's association has reached its aggregate group CPU limit."},
+                 "efficiency": {"cpu": null, "memory": null, "time": null, "warnings": []}},
+            ],
+            "charts": {
+                "state_distribution": {"labels": ["alice"], "datasets": []},
+                "gpu_hours": {"labels": ["alice"], "datasets": []},
+            },
+        })
+    }
+
+    #[test]
+    fn table_rows_warnings_and_reasons() {
+        let html = render_full("Anvil", "alice", &payload());
+        assert!(html.contains("Showing: Last 7 days"));
+        assert!(html.contains("href=\"/jobs/100\""));
+        assert!(html.contains("8.0%"), "cpu efficiency column");
+        assert!(html.contains("alert-warning"));
+        assert!(html.contains("used only 8% of the 16 CPUs"));
+        assert!(html.contains("(AssocGrpCpuLimit)"));
+        assert!(html.contains("aggregate group CPU limit"));
+        assert!(html.contains("—"), "missing values dashed");
+        assert!(html.contains("data-chart="), "chart data embedded");
+    }
+
+    #[test]
+    fn shell_has_controls_and_placeholder() {
+        let html = render_shell("Anvil", "alice");
+        assert!(html.contains("Toggle Efficiency Data"));
+        assert!(html.contains("data-api=\"/api/myjobs?range=7d\""));
+    }
+}

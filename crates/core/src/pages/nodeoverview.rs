@@ -1,0 +1,136 @@
+//! The Node Overview page (paper §6.1, Figure 4c): status + resource cards,
+//! details tab, running-jobs tab.
+
+use crate::pages::layout::{shell, widget_placeholder};
+use crate::template::escape_html;
+use crate::widgets::components::progress_bar;
+use serde_json::Value;
+
+pub fn render_shell(cluster: &str, user: &str, node: &str) -> String {
+    let mut body = format!("<h1>Node {}</h1>", escape_html(node));
+    body.push_str(&widget_placeholder("nodeoverview", &format!("/api/nodes/{node}")));
+    shell(&format!("Node {node}"), "nodeoverview", cluster, user, &body)
+}
+
+/// Render from the `/api/nodes/:name` payload.
+pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
+    let status = &payload["status_card"];
+    let res = &payload["resource_card"];
+    let name = status["name"].as_str().unwrap_or("");
+    let mut body = format!("<h1>Node {}</h1><div class=\"card-pair\">", escape_html(name));
+
+    // Status card.
+    body.push_str(&format!(
+        "<div class=\"card status-card\"><div class=\"card-header\">Status</div>\
+         <div class=\"card-body\"><span class=\"badge badge-{}\">{}</span>\
+         <div class=\"last-active\">Last active: {}</div>{}</div></div>",
+        status["color"].as_str().unwrap_or("gray"),
+        escape_html(status["state"].as_str().unwrap_or("")),
+        escape_html(status["last_busy"].as_str().unwrap_or("unknown")),
+        match status["reason"].as_str() {
+            Some(r) => format!("<div class=\"reason\">Reason: {}</div>", escape_html(r)),
+            None => String::new(),
+        },
+    ));
+
+    // Resource usage card.
+    body.push_str("<div class=\"card resource-card\"><div class=\"card-header\">Resource usage</div><div class=\"card-body\">");
+    body.push_str(&progress_bar(
+        res["cpu"]["percent"].as_f64().unwrap_or(0.0),
+        res["cpu"]["color"].as_str().unwrap_or("green"),
+        &format!("CPU {}/{}", res["cpu"]["alloc"], res["cpu"]["total"]),
+    ));
+    body.push_str(&progress_bar(
+        res["memory"]["percent"].as_f64().unwrap_or(0.0),
+        res["memory"]["color"].as_str().unwrap_or("green"),
+        &format!("Memory {}/{} MB", res["memory"]["alloc_mb"], res["memory"]["total_mb"]),
+    ));
+    if !res["gpu"].is_null() {
+        body.push_str(&progress_bar(
+            res["gpu"]["percent"].as_f64().unwrap_or(0.0),
+            res["gpu"]["color"].as_str().unwrap_or("green"),
+            &format!("GPU {}/{}", res["gpu"]["alloc"], res["gpu"]["total"]),
+        ));
+    }
+    body.push_str("</div></div></div>");
+
+    // Tabs: details + running jobs.
+    body.push_str("<div class=\"tabs\"><div class=\"tab\" id=\"details\"><table class=\"kv-table\"><tbody>");
+    if let Some(details) = payload["details"].as_object() {
+        for (k, v) in details {
+            body.push_str(&format!(
+                "<tr><th>{}</th><td>{}</td></tr>",
+                escape_html(k),
+                escape_html(v.as_str().unwrap_or(""))
+            ));
+        }
+    }
+    body.push_str("</tbody></table></div><div class=\"tab\" id=\"running-jobs\"><table class=\"job-table\"><thead><tr><th>Job</th><th>Name</th><th>User</th><th>Partition</th><th>State</th><th>CPUs</th><th>Memory</th></tr></thead><tbody>");
+    for j in payload["running_jobs"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+        body.push_str(&format!(
+            "<tr><td><a href=\"{}\">{}</a></td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{} MB</td></tr>",
+            j["overview_url"].as_str().unwrap_or("#"),
+            escape_html(j["id"].as_str().unwrap_or("")),
+            escape_html(j["name"].as_str().unwrap_or("")),
+            escape_html(j["user"].as_str().unwrap_or("")),
+            escape_html(j["partition"].as_str().unwrap_or("")),
+            escape_html(j["state"].as_str().unwrap_or("")),
+            j["alloc_cpus"],
+            j["alloc_mem_mb"],
+        ));
+    }
+    body.push_str("</tbody></table></div></div>");
+    shell(&format!("Node {name}"), "nodeoverview", cluster, user, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn cards_tabs_and_jobs() {
+        let payload = json!({
+            "status_card": {"name": "g001", "state": "MIXED", "color": "green",
+                            "last_busy": "2026-07-04T08:00:00", "reason": null},
+            "resource_card": {
+                "cpu": {"alloc": 32, "total": 64, "percent": 50.0, "color": "green"},
+                "memory": {"alloc_mb": 100_000, "total_mb": 512_000, "percent": 19.5, "color": "green"},
+                "gpu": {"alloc": 2, "total": 4, "percent": 50.0, "color": "green"},
+            },
+            "details": {"OS": "Linux", "CPUTot": "64", "Gres": "gpu:a100:4"},
+            "running_jobs": [
+                {"id": "77", "name": "train", "user": "alice", "partition": "gpu",
+                 "state": "RUNNING", "alloc_cpus": 16, "alloc_mem_mb": 65_536,
+                 "overview_url": "/jobs/77"},
+            ],
+        });
+        let html = render_full("Anvil", "alice", &payload);
+        assert!(html.contains("Node g001"));
+        assert!(html.contains("Last active: 2026-07-04T08:00:00"));
+        assert!(html.contains("CPU 32/64"));
+        assert!(html.contains("GPU 2/4"));
+        assert!(html.contains("<th>Gres</th><td>gpu:a100:4</td>"));
+        assert!(html.contains("href=\"/jobs/77\""));
+    }
+
+    #[test]
+    fn down_node_shows_reason_no_gpu_bar() {
+        let payload = json!({
+            "status_card": {"name": "a001", "state": "DOWN", "color": "red",
+                            "last_busy": null, "reason": "power supply"},
+            "resource_card": {
+                "cpu": {"alloc": 0, "total": 128, "percent": 0.0, "color": "green"},
+                "memory": {"alloc_mb": 0, "total_mb": 257_000, "percent": 0.0, "color": "green"},
+                "gpu": null,
+            },
+            "details": {},
+            "running_jobs": [],
+        });
+        let html = render_full("Anvil", "alice", &payload);
+        assert!(html.contains("Reason: power supply"));
+        assert!(html.contains("badge-red"));
+        assert!(!html.contains("GPU "));
+        assert!(html.contains("Last active: unknown"));
+    }
+}

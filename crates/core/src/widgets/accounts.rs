@@ -1,0 +1,97 @@
+//! The Accounts widget (paper §3.4): per-allocation CPU/GPU usage with an
+//! export dropdown.
+
+use crate::template::escape_html;
+use crate::widgets::components::{card, progress_bar};
+use serde_json::Value;
+
+/// Render from the `/api/accounts` payload.
+pub fn render(payload: &Value) -> String {
+    let mut body = String::new();
+    let accounts = payload["accounts"].as_array().map(Vec::as_slice).unwrap_or(&[]);
+    if accounts.is_empty() {
+        body.push_str("<p class=\"text-muted\">No allocations found.</p>");
+    }
+    for a in accounts {
+        let name = a["name"].as_str().unwrap_or("");
+        body.push_str(&format!(
+            "<div class=\"account-row\"><span class=\"account-name\">{}</span>",
+            escape_html(name)
+        ));
+        let in_use = a["cpus_in_use"].as_u64().unwrap_or(0);
+        let queued = a["cpus_queued"].as_u64().unwrap_or(0);
+        match a["cpu_limit"].as_u64() {
+            Some(limit) => {
+                body.push_str(&progress_bar(
+                    a["cpu_percent"].as_f64().unwrap_or(0.0),
+                    a["cpu_color"].as_str().unwrap_or("green"),
+                    &format!("CPUs {in_use}/{limit} in use, {queued} queued"),
+                ));
+            }
+            None => {
+                body.push_str(&format!(
+                    "<span class=\"cpu-counts\">CPUs {in_use} in use, {queued} queued (no limit)</span>"
+                ));
+            }
+        }
+        let gpu_used = a["gpu_hours_used"].as_f64().unwrap_or(0.0);
+        if let Some(limit) = a["gpu_hours_limit"].as_f64() {
+            body.push_str(&progress_bar(
+                (gpu_used / limit.max(1e-9) * 100.0).min(100.0),
+                a["gpu_color"].as_str().unwrap_or("green"),
+                &format!("GPU hours {gpu_used:.1}/{limit:.0}"),
+            ));
+        }
+        if let Some(export) = a["export_url"].as_str() {
+            body.push_str(&format!(
+                "<div class=\"dropdown export\"><a href=\"{}\">Export CSV</a> \
+                 <a href=\"{}?format=excel\">Export Excel</a></div>",
+                escape_html(export),
+                escape_html(export)
+            ));
+        }
+        body.push_str("</div>");
+    }
+    if let Some(url) = payload["user_guide_url"].as_str() {
+        body.push_str(&format!(
+            "<a class=\"guide-link\" href=\"{}\">About accounts</a>",
+            escape_html(url)
+        ));
+    }
+    card("accounts", "Accounts", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn renders_limits_and_exports() {
+        let payload = json!({
+            "accounts": [
+                {"name": "physics", "cpus_in_use": 128, "cpus_queued": 32, "cpu_limit": 256,
+                 "cpu_percent": 50.0, "cpu_color": "green",
+                 "gpu_hours_used": 80.0, "gpu_hours_limit": 100.0, "gpu_color": "yellow",
+                 "member_count": 5, "export_url": "/api/accounts/physics/export"},
+                {"name": "bio", "cpus_in_use": 4, "cpus_queued": 0, "cpu_limit": null,
+                 "cpu_percent": 0.0, "cpu_color": "green",
+                 "gpu_hours_used": 0.0, "gpu_hours_limit": null, "gpu_color": "green",
+                 "member_count": 2, "export_url": "/api/accounts/bio/export"},
+            ],
+            "user_guide_url": "https://example.edu/guide",
+        });
+        let html = render(&payload);
+        assert!(html.contains("CPUs 128/256 in use, 32 queued"));
+        assert!(html.contains("GPU hours 80.0/100"));
+        assert!(html.contains("CPUs 4 in use, 0 queued (no limit)"));
+        assert!(html.contains("/api/accounts/physics/export?format=excel"));
+        assert!(html.contains("About accounts"));
+    }
+
+    #[test]
+    fn empty_accounts_message() {
+        let html = render(&json!({"accounts": []}));
+        assert!(html.contains("No allocations found"));
+    }
+}

@@ -1,0 +1,72 @@
+//! The Announcements widget (paper §3.1): an accordion of recent news,
+//! colour-coded by urgency, with past events faded.
+
+use crate::template::escape_html;
+use crate::widgets::components::{badge, card};
+use serde_json::Value;
+
+/// Render from the `/api/announcements` payload.
+pub fn render(payload: &Value) -> String {
+    let mut body = String::from("<div class=\"accordion\" id=\"announcements\">");
+    for item in payload["items"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+        let color = item["color"].as_str().unwrap_or("gray");
+        let faded = item["faded"].as_bool().unwrap_or(false);
+        let title = item["title"].as_str().unwrap_or("");
+        let posted = item["posted_at"].as_str().unwrap_or("");
+        let category = item["category"].as_str().unwrap_or("news");
+        let text = item["body"].as_str().unwrap_or("");
+        body.push_str(&format!(
+            "<div class=\"accordion-item announcement announcement-{} {}\">\
+             <button class=\"accordion-header\" aria-expanded=\"false\">{} <span class=\"date\">{}</span> {}</button>\
+             <div class=\"accordion-body collapse\">{}</div></div>",
+            color,
+            if faded { "announcement-past" } else { "announcement-current" },
+            badge(color, category),
+            escape_html(posted),
+            escape_html(title),
+            escape_html(text),
+        ));
+    }
+    body.push_str("</div>");
+    if let Some(url) = payload["all_news_url"].as_str() {
+        body.push_str(&format!(
+            "<a class=\"view-all\" href=\"{}\">View all news</a>",
+            escape_html(url)
+        ));
+    }
+    card("announcements", "Announcements", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn payload() -> Value {
+        json!({
+            "items": [
+                {"title": "Outage", "body": "b1", "category": "outage", "color": "red", "faded": false, "posted_at": "2026-07-04T01:00:00"},
+                {"title": "Old news", "body": "b2", "category": "news", "color": "gray", "faded": true, "posted_at": "2026-06-01T01:00:00"},
+            ],
+            "all_news_url": "https://example.edu/news",
+        })
+    }
+
+    #[test]
+    fn renders_accordion_with_colors_and_fading() {
+        let html = render(&payload());
+        assert!(html.contains("announcement-red"));
+        assert!(html.contains("announcement-past"));
+        assert!(html.contains("announcement-current"));
+        assert!(html.contains("Outage"));
+        assert!(html.contains("View all news"));
+        assert!(html.contains("accordion-body collapse"), "collapsed by default");
+    }
+
+    #[test]
+    fn empty_payload_is_safe() {
+        let html = render(&json!({"items": []}));
+        assert!(html.contains("data-widget=\"announcements\""));
+        assert!(!html.contains("view-all"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Homepage widget renderers (paper §3) — the frontend half of each
+//! feature. Each takes the *same JSON payload its paired API route returns*
+//! and renders an HTML fragment, so server-side rendering (tests, examples)
+//! and client-side rendering (the headless browser) can never disagree
+//! about the data shape.
+
+pub mod accounts;
+pub mod announcements;
+pub mod components;
+pub mod recent_jobs;
+pub mod storage;
+pub mod system_status;
+
+/// Render a widget's error card — what the frontend shows when the widget's
+/// API route fails while the rest of the dashboard keeps working (the
+/// modularity story of paper §2.4).
+pub fn error_card(widget_name: &str, message: &str) -> String {
+    format!(
+        "<div class=\"card widget widget-error\" data-widget=\"{}\">\
+         <div class=\"card-header\">{}</div>\
+         <div class=\"card-body text-muted\">This component is temporarily unavailable: {}</div>\
+         </div>",
+        crate::template::escape_html(widget_name),
+        crate::template::escape_html(widget_name),
+        crate::template::escape_html(message),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn error_card_escapes() {
+        let html = super::error_card("Storage", "<boom>");
+        assert!(html.contains("widget-error"));
+        assert!(html.contains("&lt;boom&gt;"));
+        assert!(!html.contains("<boom>"));
+    }
+}

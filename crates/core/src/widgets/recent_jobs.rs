@@ -1,0 +1,73 @@
+//! The Recent Jobs widget (paper §3.2): compact cards for the user's latest
+//! jobs with status tooltips.
+
+use crate::template::escape_html;
+use crate::widgets::components::{badge, card, tooltip};
+use hpcdash_simtime::format_duration;
+use serde_json::Value;
+
+/// Render from the `/api/recent_jobs` payload.
+pub fn render(payload: &Value) -> String {
+    let jobs = payload["jobs"].as_array().map(Vec::as_slice).unwrap_or(&[]);
+    let mut body = String::new();
+    if jobs.is_empty() {
+        body.push_str("<p class=\"text-muted\">No running or queued jobs.</p>");
+    }
+    for j in jobs {
+        let state = j["state"].as_str().unwrap_or("");
+        let color = j["state_color"].as_str().unwrap_or("gray");
+        let status = match j["tooltip"].as_str() {
+            Some(tip) => tooltip(state, tip),
+            None => badge(color, state),
+        };
+        let when = j["start_time"]
+            .as_str()
+            .or_else(|| j["submit_time"].as_str())
+            .unwrap_or("");
+        body.push_str(&format!(
+            "<div class=\"job-card\"><span class=\"job-name\">{}</span> \
+             <a class=\"job-id\" href=\"/jobs/{}\">#{}</a> {} \
+             <span class=\"job-when\">{}</span> \
+             <span class=\"job-elapsed\">{}</span></div>",
+            escape_html(j["name"].as_str().unwrap_or("")),
+            escape_html(j["id"].as_str().unwrap_or("")),
+            escape_html(j["id"].as_str().unwrap_or("")),
+            status,
+            escape_html(when),
+            format_duration(j["elapsed_secs"].as_u64().unwrap_or(0)),
+        ));
+    }
+    card("recent_jobs", "Recent Jobs", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn renders_cards_with_tooltips() {
+        let payload = json!({"jobs": [
+            {"id": "42", "name": "train", "state": "RUNNING", "state_color": "green",
+             "submit_time": "2026-07-04T08:00:00", "start_time": "2026-07-04T08:05:00",
+             "elapsed_secs": 3_600, "tooltip": null},
+            {"id": "43", "name": "sweep", "state": "PENDING", "state_color": "blue",
+             "submit_time": "2026-07-04T08:10:00", "start_time": null,
+             "elapsed_secs": 0, "tooltip": "It means other queued jobs currently have higher priority."},
+        ]});
+        let html = render(&payload);
+        assert!(html.contains("#42"));
+        assert!(html.contains("href=\"/jobs/42\""));
+        assert!(html.contains("01:00:00"));
+        assert!(html.contains("has-tooltip"), "pending job gets a tooltip");
+        assert!(html.contains("It means other queued jobs"));
+        assert!(html.contains("2026-07-04T08:05:00"), "running job shows start time");
+        assert!(html.contains("2026-07-04T08:10:00"), "pending job shows submit time");
+    }
+
+    #[test]
+    fn empty_queue_message() {
+        let html = render(&json!({"jobs": []}));
+        assert!(html.contains("No running or queued jobs"));
+    }
+}

@@ -1,0 +1,231 @@
+//! A blocking HTTP client (one request per connection), used by the
+//! headless browser and the load generator.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    BadUrl(String),
+    Io(std::io::Error),
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::BadUrl(u) => write!(f, "bad url: {u}"),
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Malformed(m) => write!(f, "malformed response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A received response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    pub fn body_string(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    pub fn json(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::from_slice(&self.body)
+    }
+
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+}
+
+/// The client. Stateless; safe to share across threads by cloning.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    timeout: Duration,
+}
+
+impl HttpClient {
+    pub fn new() -> HttpClient {
+        HttpClient {
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    pub fn with_timeout(timeout: Duration) -> HttpClient {
+        HttpClient { timeout }
+    }
+
+    pub fn get(&self, url: &str, headers: &[(&str, &str)]) -> Result<ClientResponse, ClientError> {
+        self.request("GET", url, headers, Vec::new())
+    }
+
+    pub fn post(
+        &self,
+        url: &str,
+        headers: &[(&str, &str)],
+        body: Vec<u8>,
+    ) -> Result<ClientResponse, ClientError> {
+        self.request("POST", url, headers, body)
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        url: &str,
+        headers: &[(&str, &str)],
+        body: Vec<u8>,
+    ) -> Result<ClientResponse, ClientError> {
+        let (host, path) = split_url(url).ok_or_else(|| ClientError::BadUrl(url.to_string()))?;
+        let stream = TcpStream::connect(&host)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+
+        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n");
+        for (k, v) in headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        if !body.is_empty() {
+            req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        req.push_str("\r\n");
+
+        let mut write_half = stream.try_clone()?;
+        write_half.write_all(req.as_bytes())?;
+        write_half.write_all(&body)?;
+        write_half.flush()?;
+
+        read_response(&mut BufReader::new(stream))
+    }
+}
+
+impl Default for HttpClient {
+    fn default() -> HttpClient {
+        HttpClient::new()
+    }
+}
+
+fn split_url(url: &str) -> Option<(String, String)> {
+    let rest = url.strip_prefix("http://")?;
+    let (host, path) = match rest.split_once('/') {
+        Some((h, p)) => (h.to_string(), format!("/{p}")),
+        None => (rest.to_string(), "/".to_string()),
+    };
+    if host.is_empty() {
+        return None;
+    }
+    Some((host, path))
+}
+
+fn read_response(reader: &mut impl BufRead) -> Result<ClientResponse, ClientError> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(ClientError::Malformed(format!("bad status line: {status_line:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Malformed("missing status code".to_string()))?;
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Malformed("eof in headers".to_string()));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+
+    let body = match headers.get("content-length").and_then(|v| v.parse::<usize>().ok()) {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_splitting() {
+        assert_eq!(
+            split_url("http://127.0.0.1:8080/api/jobs?x=1"),
+            Some(("127.0.0.1:8080".to_string(), "/api/jobs?x=1".to_string()))
+        );
+        assert_eq!(
+            split_url("http://localhost:9"),
+            Some(("localhost:9".to_string(), "/".to_string()))
+        );
+        assert!(split_url("https://secure").is_none());
+        assert!(split_url("ftp://x").is_none());
+        assert!(split_url("http://").is_none());
+    }
+
+    #[test]
+    fn parses_response_with_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello";
+        let resp = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.is_success());
+        assert_eq!(resp.header("content-type"), Some("text/plain"));
+        assert_eq!(resp.body_string(), "hello");
+    }
+
+    #[test]
+    fn parses_response_without_length() {
+        let raw = b"HTTP/1.1 404 Not Found\r\n\r\ngone";
+        let resp = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.body_string(), "gone");
+    }
+
+    #[test]
+    fn rejects_non_http() {
+        let raw = b"SPDY/3 200\r\n\r\n";
+        assert!(read_response(&mut BufReader::new(&raw[..])).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! A small HTTP/1.1 stack on `std::net`: server, router, worker pool, and a
+//! blocking client.
+//!
+//! This is the 3-tier glue of the reproduction: the dashboard's backend
+//! (Rails in the paper) serves JSON API routes and HTML shells over this
+//! server; the headless browser (`hpcdash-client`) talks to it with the
+//! client half. Handlers run inside `catch_unwind`, so one crashing route
+//! degrades to a 500 for that component only — the modularity property the
+//! paper calls out (§2.4) and the fault-isolation benches verify.
+
+pub mod client;
+pub mod request;
+pub mod response;
+pub mod router;
+pub mod server;
+pub mod threadpool;
+
+pub use client::{ClientError, ClientResponse, HttpClient};
+pub use request::{Method, Request};
+pub use response::Response;
+pub use router::Router;
+pub use server::Server;
+pub use threadpool::ThreadPool;

@@ -1,0 +1,314 @@
+//! HTTP request parsing.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// Request methods the dashboard uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    Get,
+    Post,
+    Put,
+    Delete,
+    Head,
+    Options,
+}
+
+impl Method {
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            "HEAD" => Some(Method::Head),
+            "OPTIONS" => Some(Method::Options),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+            Method::Options => "OPTIONS",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: Method,
+    /// Path without the query string, e.g. `/api/myjobs`.
+    pub path: String,
+    pub query: BTreeMap<String, String>,
+    /// Header names lower-cased.
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+    /// Path parameters captured by the router (`:name` segments).
+    pub params: BTreeMap<String, String>,
+}
+
+/// Errors from request parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Connection closed before a request line arrived (normal for
+    /// keep-alive teardown).
+    Eof,
+    Malformed(String),
+    BodyTooLarge(usize),
+}
+
+/// Largest accepted body (the dashboard only posts small forms).
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+impl Request {
+    /// Construct a request directly (tests and in-process dispatch).
+    pub fn new(method: Method, path_and_query: &str) -> Request {
+        let (path, query) = split_query(path_and_query);
+        Request {
+            method,
+            path,
+            query,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    pub fn with_header(mut self, name: &str, value: &str) -> Request {
+        self.headers.insert(name.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// The authenticated user, from the reverse proxy's `X-Remote-User`
+    /// header (how Open OnDemand passes identity to the dashboard).
+    pub fn remote_user(&self) -> Option<&str> {
+        self.header("x-remote-user")
+    }
+
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(String::as_str)
+    }
+
+    /// Parse one request from a buffered stream.
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| ParseError::Malformed(e.to_string()))?;
+        if n == 0 {
+            return Err(ParseError::Eof);
+        }
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or_else(|| ParseError::Malformed(format!("bad request line: {line:?}")))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| ParseError::Malformed("missing request target".to_string()))?;
+        let version = parts.next().unwrap_or("HTTP/1.1");
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseError::Malformed(format!("unsupported version {version:?}")));
+        }
+
+        let mut headers = BTreeMap::new();
+        loop {
+            let mut hline = String::new();
+            let n = reader
+                .read_line(&mut hline)
+                .map_err(|e| ParseError::Malformed(e.to_string()))?;
+            if n == 0 {
+                return Err(ParseError::Malformed("eof in headers".to_string()));
+            }
+            let trimmed = hline.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            let (name, value) = trimmed
+                .split_once(':')
+                .ok_or_else(|| ParseError::Malformed(format!("bad header: {trimmed:?}")))?;
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+
+        let content_length: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if content_length > MAX_BODY {
+            return Err(ParseError::BodyTooLarge(content_length));
+        }
+        let mut body = vec![0u8; content_length];
+        if content_length > 0 {
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| ParseError::Malformed(e.to_string()))?;
+        }
+
+        let (path, query) = split_query(target);
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            params: BTreeMap::new(),
+        })
+    }
+
+    /// Does the peer want the connection kept open after this exchange?
+    pub fn keep_alive(&self) -> bool {
+        !matches!(
+            self.header("connection").map(str::to_ascii_lowercase),
+            Some(v) if v == "close"
+        )
+    }
+}
+
+fn split_query(target: &str) -> (String, BTreeMap<String, String>) {
+    match target.split_once('?') {
+        None => (target.to_string(), BTreeMap::new()),
+        Some((path, qs)) => {
+            let mut query = BTreeMap::new();
+            for pair in qs.split('&') {
+                if pair.is_empty() {
+                    continue;
+                }
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                query.insert(urldecode(k), urldecode(v));
+            }
+            (path.to_string(), query)
+        }
+    }
+}
+
+/// Percent-decoding (plus `+` for spaces), enough for the dashboard's query
+/// strings.
+pub fn urldecode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                if i + 2 < bytes.len() {
+                    let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("!");
+                    if let Ok(b) = u8::from_str_radix(hex, 16) {
+                        out.push(b);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encode a query value.
+pub fn urlencode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        Request::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse("GET /api/myjobs?range=7d&user=alice HTTP/1.1\r\nHost: x\r\nX-Remote-User: alice\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/api/myjobs");
+        assert_eq!(req.query_param("range"), Some("7d"));
+        assert_eq!(req.query_param("user"), Some("alice"));
+        assert_eq!(req.remote_user(), Some("alice"));
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /api/jobs HTTP/1.1\r\nContent-Length: 7\r\nConnection: close\r\n\r\npayload").unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"payload");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn eof_is_distinguished() {
+        assert_eq!(parse("").unwrap_err(), ParseError::Eof);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(parse("BLARGH\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(parse("GET\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-header\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse(&raw), Err(ParseError::BodyTooLarge(_))));
+    }
+
+    #[test]
+    fn url_decode_encode() {
+        assert_eq!(urldecode("a+b%20c"), "a b c");
+        assert_eq!(urldecode("100%"), "100%");
+        assert_eq!(urldecode("%zz"), "%zz");
+        assert_eq!(urlencode("a b/c"), "a+b%2Fc");
+        assert_eq!(urldecode(&urlencode("node[1-4] & più")), "node[1-4] & più");
+    }
+
+    #[test]
+    fn header_case_insensitive() {
+        let req = Request::new(Method::Get, "/x").with_header("X-Thing", "1");
+        assert_eq!(req.header("x-thing"), Some("1"));
+        assert_eq!(req.header("X-THING"), Some("1"));
+    }
+}

@@ -1,0 +1,208 @@
+//! HTTP response construction and serialization.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// 200 with a JSON body (the shape of every dashboard API route).
+    pub fn json(value: &serde_json::Value) -> Response {
+        Response::new(200)
+            .with_header("Content-Type", "application/json")
+            .with_body(serde_json::to_vec(value).expect("json serializes"))
+    }
+
+    /// 200 with an HTML body (the ERB-rendered page shells).
+    pub fn html(body: impl Into<String>) -> Response {
+        Response::new(200)
+            .with_header("Content-Type", "text/html; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// 200 with a plain-text body.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response::new(200)
+            .with_header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// A CSV download (the Accounts widget's per-user export, paper §3.4).
+    pub fn csv(filename: &str, body: impl Into<String>) -> Response {
+        Response::new(200)
+            .with_header("Content-Type", "text/csv; charset=utf-8")
+            .with_header(
+                "Content-Disposition",
+                &format!("attachment; filename=\"{filename}\""),
+            )
+            .with_body(body.into().into_bytes())
+    }
+
+    pub fn not_found(msg: &str) -> Response {
+        Response::error(404, msg)
+    }
+
+    pub fn bad_request(msg: &str) -> Response {
+        Response::error(400, msg)
+    }
+
+    pub fn unauthorized(msg: &str) -> Response {
+        Response::error(401, msg)
+    }
+
+    pub fn forbidden(msg: &str) -> Response {
+        Response::error(403, msg)
+    }
+
+    pub fn internal_error(msg: &str) -> Response {
+        Response::error(500, msg)
+    }
+
+    pub fn service_unavailable(msg: &str) -> Response {
+        Response::error(503, msg)
+    }
+
+    /// Error responses are JSON too, so the frontend can render the failing
+    /// widget's error card without special cases.
+    pub fn error(status: u16, msg: &str) -> Response {
+        let body = serde_json::json!({ "error": msg });
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(serde_json::to_vec(&body).expect("json serializes"))
+    }
+
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.insert(name.to_string(), value.to_string());
+        self
+    }
+
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    pub fn body_string(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    pub fn body_json(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::from_slice(&self.body)
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto a stream, with `Connection` and `Content-Length` set.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        for (k, v) in &self.headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n"
+        } else {
+            "Connection: close\r\n"
+        });
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn json_response_shape() {
+        let r = Response::json(&json!({"ok": true}));
+        assert_eq!(r.status, 200);
+        assert!(r.is_success());
+        assert_eq!(r.header("content-type"), Some("application/json"));
+        assert_eq!(r.body_json().unwrap(), json!({"ok": true}));
+    }
+
+    #[test]
+    fn error_bodies_are_json() {
+        let r = Response::forbidden("not your job");
+        assert_eq!(r.status, 403);
+        assert!(!r.is_success());
+        assert_eq!(r.body_json().unwrap()["error"], "not your job");
+    }
+
+    #[test]
+    fn csv_has_attachment_disposition() {
+        let r = Response::csv("usage.csv", "user,cpu\nalice,5\n");
+        assert!(r.header("content-disposition").unwrap().contains("usage.csv"));
+        assert!(r.body_string().starts_with("user,cpu"));
+    }
+
+    #[test]
+    fn serialization_includes_length_and_connection() {
+        let r = Response::text("hi");
+        let mut buf = Vec::new();
+        r.write_to(&mut buf, false).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+
+        let mut buf2 = Vec::new();
+        r.write_to(&mut buf2, true).unwrap();
+        assert!(String::from_utf8(buf2).unwrap().contains("Connection: keep-alive"));
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert_eq!(Response::not_found("x").status, 404);
+        assert_eq!(Response::bad_request("x").status, 400);
+        assert_eq!(Response::unauthorized("x").status, 401);
+        assert_eq!(Response::internal_error("x").status, 500);
+        assert_eq!(Response::service_unavailable("x").status, 503);
+    }
+}

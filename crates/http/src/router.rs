@@ -1,0 +1,215 @@
+//! Path routing with `:param` captures and panic isolation.
+
+use crate::request::{Method, Request};
+use crate::response::Response;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Seg {
+    Literal(String),
+    Param(String),
+}
+
+struct Route {
+    method: Method,
+    segments: Vec<Seg>,
+    handler: Handler,
+}
+
+/// The route table. Each dashboard component registers exactly one route
+/// here — the paper's "one component, one API route" modularity rule.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    pub fn get(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.add(Method::Get, pattern, handler)
+    }
+
+    pub fn post(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.add(Method::Post, pattern, handler)
+    }
+
+    pub fn add(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.routes.push(Route {
+            method,
+            segments: parse_pattern(pattern),
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// Registered `(method, pattern)` pairs, for the Table-1 harness.
+    pub fn route_patterns(&self) -> Vec<(Method, String)> {
+        self.routes
+            .iter()
+            .map(|r| {
+                let pattern: Vec<String> = r
+                    .segments
+                    .iter()
+                    .map(|s| match s {
+                        Seg::Literal(l) => l.clone(),
+                        Seg::Param(p) => format!(":{p}"),
+                    })
+                    .collect();
+                (r.method, format!("/{}", pattern.join("/")))
+            })
+            .collect()
+    }
+
+    /// Dispatch a request. Unmatched paths get 404; a panicking handler is
+    /// contained and answered with 500, so one broken component cannot take
+    /// the dashboard down.
+    pub fn handle(&self, req: &Request) -> Response {
+        let path_segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        for route in &self.routes {
+            if route.method != req.method {
+                continue;
+            }
+            if let Some(params) = match_segments(&route.segments, &path_segs) {
+                let mut req = req.clone();
+                req.params = params;
+                let handler = route.handler.clone();
+                return match catch_unwind(AssertUnwindSafe(move || handler(&req))) {
+                    Ok(resp) => resp,
+                    Err(_) => Response::internal_error("component failed"),
+                };
+            }
+        }
+        Response::not_found(&format!("no route for {} {}", req.method.as_str(), req.path))
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Seg> {
+    pattern
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.strip_prefix(':') {
+            Some(name) => Seg::Param(name.to_string()),
+            None => Seg::Literal(s.to_string()),
+        })
+        .collect()
+}
+
+fn match_segments(
+    pattern: &[Seg],
+    path: &[&str],
+) -> Option<std::collections::BTreeMap<String, String>> {
+    if pattern.len() != path.len() {
+        return None;
+    }
+    let mut params = std::collections::BTreeMap::new();
+    for (seg, part) in pattern.iter().zip(path) {
+        match seg {
+            Seg::Literal(l) if l == part => {}
+            Seg::Literal(_) => return None,
+            Seg::Param(name) => {
+                params.insert(name.clone(), crate::request::urldecode(part));
+            }
+        }
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.get("/api/jobs", |_| Response::json(&json!({"route": "jobs"})));
+        r.get("/api/jobs/:id", |req| {
+            Response::json(&json!({"id": req.param("id").unwrap()}))
+        });
+        r.get("/api/nodes/:name/jobs", |req| {
+            Response::json(&json!({"node": req.param("name").unwrap()}))
+        });
+        r.post("/api/jobs", |_| Response::new(201));
+        r.get("/api/broken", |_| panic!("widget exploded"));
+        r
+    }
+
+    #[test]
+    fn literal_match() {
+        let r = router();
+        let resp = r.handle(&Request::new(Method::Get, "/api/jobs"));
+        assert_eq!(resp.body_json().unwrap()["route"], "jobs");
+    }
+
+    #[test]
+    fn param_capture() {
+        let r = router();
+        let resp = r.handle(&Request::new(Method::Get, "/api/jobs/1234"));
+        assert_eq!(resp.body_json().unwrap()["id"], "1234");
+        let resp = r.handle(&Request::new(Method::Get, "/api/nodes/a001/jobs"));
+        assert_eq!(resp.body_json().unwrap()["node"], "a001");
+    }
+
+    #[test]
+    fn method_disambiguates() {
+        let r = router();
+        assert_eq!(r.handle(&Request::new(Method::Post, "/api/jobs")).status, 201);
+        assert_eq!(r.handle(&Request::new(Method::Put, "/api/jobs")).status, 404);
+    }
+
+    #[test]
+    fn no_match_is_404() {
+        let r = router();
+        assert_eq!(r.handle(&Request::new(Method::Get, "/api/nope")).status, 404);
+        assert_eq!(r.handle(&Request::new(Method::Get, "/api/jobs/1/extra")).status, 404);
+        assert_eq!(r.handle(&Request::new(Method::Get, "/")).status, 404);
+    }
+
+    #[test]
+    fn panicking_handler_contained() {
+        let r = router();
+        let resp = r.handle(&Request::new(Method::Get, "/api/broken"));
+        assert_eq!(resp.status, 500);
+        // The router still works afterwards.
+        assert_eq!(r.handle(&Request::new(Method::Get, "/api/jobs")).status, 200);
+    }
+
+    #[test]
+    fn trailing_slash_equivalence() {
+        let r = router();
+        assert_eq!(r.handle(&Request::new(Method::Get, "/api/jobs/")).status, 200);
+    }
+
+    #[test]
+    fn params_are_urldecoded() {
+        let r = router();
+        let resp = r.handle(&Request::new(Method::Get, "/api/nodes/a%20b/jobs"));
+        assert_eq!(resp.body_json().unwrap()["node"], "a b");
+    }
+
+    #[test]
+    fn route_patterns_listed() {
+        let r = router();
+        let patterns = r.route_patterns();
+        assert!(patterns.contains(&(Method::Get, "/api/jobs/:id".to_string())));
+        assert_eq!(patterns.len(), 5);
+    }
+}

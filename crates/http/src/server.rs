@@ -1,0 +1,222 @@
+//! The TCP accept loop + keep-alive connection handling.
+
+use crate::request::{ParseError, Request};
+use crate::response::Response;
+use crate::router::Router;
+use crate::threadpool::ThreadPool;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running HTTP server. Dropping it shuts the listener down.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and serve `router`
+    /// on `workers` threads.
+    pub fn bind(addr: &str, router: Arc<Router>, workers: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = shutdown.clone();
+
+        let accept_thread = std::thread::Builder::new()
+            .name("http-accept".to_string())
+            .spawn(move || {
+                let pool = ThreadPool::new(workers);
+                loop {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let router = router.clone();
+                            pool.execute(move || serve_connection(stream, &router));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // pool drops here, joining workers.
+            })?;
+
+        Ok(Server {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `http://host:port`
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, router: &Router) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match Request::read_from(&mut reader) {
+            Ok(req) => req,
+            Err(ParseError::Eof) => return,
+            Err(ParseError::BodyTooLarge(_)) => {
+                let _ = Response::error(413, "body too large").write_to(&mut write_half, false);
+                return;
+            }
+            Err(ParseError::Malformed(_)) => {
+                let _ = Response::bad_request("malformed request").write_to(&mut write_half, false);
+                return;
+            }
+        };
+        let keep_alive = req.keep_alive();
+        let resp = router.handle(&req);
+        if resp.write_to(&mut write_half, keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::request::Method;
+    use serde_json::json;
+
+    fn test_server() -> Server {
+        let mut router = Router::new();
+        router.get("/ping", |_| Response::text("pong"));
+        router.get("/echo/:word", |req| {
+            Response::json(&json!({"word": req.param("word").unwrap()}))
+        });
+        router.get("/whoami", |req| {
+            Response::json(&json!({"user": req.remote_user().unwrap_or("anonymous")}))
+        });
+        router.post("/submit", |req| {
+            Response::json(&json!({"received": req.body.len()}))
+        });
+        router.get("/boom", |_| panic!("kaboom"));
+        Server::bind("127.0.0.1:0", Arc::new(router), 4).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_get() {
+        let server = test_server();
+        let client = HttpClient::new();
+        let resp = client.get(&format!("{}/ping", server.base_url()), &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_string(), "pong");
+    }
+
+    #[test]
+    fn params_and_headers_flow_through() {
+        let server = test_server();
+        let client = HttpClient::new();
+        let resp = client
+            .get(&format!("{}/echo/hello", server.base_url()), &[])
+            .unwrap();
+        assert_eq!(resp.json().unwrap()["word"], "hello");
+        let resp = client
+            .get(
+                &format!("{}/whoami", server.base_url()),
+                &[("X-Remote-User", "alice")],
+            )
+            .unwrap();
+        assert_eq!(resp.json().unwrap()["user"], "alice");
+    }
+
+    #[test]
+    fn post_body() {
+        let server = test_server();
+        let client = HttpClient::new();
+        let resp = client
+            .post(
+                &format!("{}/submit", server.base_url()),
+                &[],
+                b"0123456789".to_vec(),
+            )
+            .unwrap();
+        assert_eq!(resp.json().unwrap()["received"], 10);
+    }
+
+    #[test]
+    fn not_found_and_panics_over_the_wire() {
+        let server = test_server();
+        let client = HttpClient::new();
+        let resp = client.get(&format!("{}/nope", server.base_url()), &[]).unwrap();
+        assert_eq!(resp.status, 404);
+        let resp = client.get(&format!("{}/boom", server.base_url()), &[]).unwrap();
+        assert_eq!(resp.status, 500);
+        // Server survives the panic.
+        let resp = client.get(&format!("{}/ping", server.base_url()), &[]).unwrap();
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn many_concurrent_clients() {
+        let server = test_server();
+        let base = server.base_url();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let base = base.clone();
+            handles.push(std::thread::spawn(move || {
+                let client = HttpClient::new();
+                for j in 0..20 {
+                    let resp = client
+                        .get(&format!("{base}/echo/t{i}x{j}"), &[])
+                        .unwrap();
+                    assert_eq!(resp.json().unwrap()["word"], format!("t{i}x{j}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn in_process_dispatch_matches_wire() {
+        // Routers can also be exercised without sockets (used heavily by
+        // benches to separate routing cost from network cost).
+        let mut router = Router::new();
+        router.get("/x", |_| Response::text("y"));
+        let resp = router.handle(&Request::new(Method::Get, "/x"));
+        assert_eq!(resp.body_string(), "y");
+    }
+}

@@ -1,0 +1,114 @@
+//! A fixed worker pool over crossbeam channels (the server's request
+//! executors).
+
+use crossbeam::channel::{bounded, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size thread pool. Dropping it joins all workers.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (at least one).
+    pub fn new(size: usize) -> ThreadPool {
+        let size = size.max(1);
+        let (sender, receiver) = bounded::<Job>(size * 64);
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = receiver.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("http-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Queue a job; blocks if the queue is full (natural backpressure).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers drain and exit.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_size_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.worker_count(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        pool.execute(move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        let pool = ThreadPool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let go = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let b = barrier.clone();
+            let g = go.clone();
+            pool.execute(move || {
+                // All four must be in flight at once for the barrier to open.
+                b.wait();
+                g.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(go.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! HTTP/1.1 keep-alive: several requests over one connection, interleaved
+//! with closed connections, against a live server.
+
+use hpcdash_http::{Response, Router, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn server() -> Server {
+    let mut router = Router::new();
+    router.get("/count/:n", |req| {
+        Response::text(format!("n={}", req.param("n").unwrap_or("?")))
+    });
+    Server::bind("127.0.0.1:0", Arc::new(router), 2).unwrap()
+}
+
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some(v) = trimmed.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, String::from_utf8(body).unwrap())
+}
+
+#[test]
+fn many_requests_one_connection() {
+    let server = server();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut write_half = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    for i in 0..5 {
+        write!(
+            write_half,
+            "GET /count/{i} HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        .unwrap();
+        write_half.flush().unwrap();
+        let (status, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(body, format!("n={i}"));
+    }
+
+    // Ask to close; server honours it.
+    write!(
+        write_half,
+        "GET /count/final HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    write_half.flush().unwrap();
+    let (status, body) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(body, "n=final");
+    // The connection is now closed: the next read sees EOF.
+    let mut probe = [0u8; 1];
+    let n = reader.read(&mut probe).unwrap_or(0);
+    assert_eq!(n, 0, "server should close after Connection: close");
+}
+
+#[test]
+fn pipelined_errors_do_not_poison_the_connection() {
+    let server = server();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut write_half = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // 404 then 200 on the same connection.
+    write!(write_half, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    write_half.flush().unwrap();
+    let (status, _) = read_one_response(&mut reader);
+    assert_eq!(status, 404);
+
+    write!(write_half, "GET /count/ok HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    write_half.flush().unwrap();
+    let (status, body) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(body, "n=ok");
+}

@@ -1,0 +1,269 @@
+//! The announcements feed service — the stand-in for the HPC center's news
+//! API that the Announcements widget calls (paper §3.1).
+//!
+//! Announcements carry a category (outage / maintenance / news / feature),
+//! a posting time, and an optional active window; the widget derives the
+//! paper's colour coding (outage red, maintenance yellow, rest gray) and the
+//! active/upcoming/past styling from these fields.
+
+use hpcdash_simtime::Timestamp;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Announcement categories, in decreasing urgency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Category {
+    Outage,
+    Maintenance,
+    Feature,
+    News,
+}
+
+impl Category {
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Outage => "outage",
+            Category::Maintenance => "maintenance",
+            Category::Feature => "feature",
+            Category::News => "news",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Category> {
+        match s {
+            "outage" => Some(Category::Outage),
+            "maintenance" => Some(Category::Maintenance),
+            "feature" => Some(Category::Feature),
+            "news" => Some(Category::News),
+            _ => None,
+        }
+    }
+}
+
+/// Temporal relevance of an announcement, for the active/past styling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relevance {
+    /// The event window is open right now.
+    Active,
+    /// The event window is in the future.
+    Upcoming,
+    /// The event window has closed (styled faint gray in the widget).
+    Past,
+    /// No window: plain informational item.
+    Timeless,
+}
+
+/// One announcement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Announcement {
+    pub id: u64,
+    pub title: String,
+    pub body: String,
+    pub category: Category,
+    pub posted_at: Timestamp,
+    /// When the event (outage, maintenance window...) starts, if it is one.
+    pub starts_at: Option<Timestamp>,
+    pub ends_at: Option<Timestamp>,
+}
+
+impl Announcement {
+    pub fn relevance(&self, now: Timestamp) -> Relevance {
+        match (self.starts_at, self.ends_at) {
+            (None, None) => Relevance::Timeless,
+            (Some(s), _) if now < s => Relevance::Upcoming,
+            (_, Some(e)) if now > e => Relevance::Past,
+            _ => Relevance::Active,
+        }
+    }
+}
+
+/// News service errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NewsError {
+    /// The center's news API is unreachable (fault injection).
+    Unavailable,
+}
+
+impl std::fmt::Display for NewsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NewsError::Unavailable => write!(f, "news API unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for NewsError {}
+
+/// The feed service.
+pub struct NewsFeed {
+    items: RwLock<Vec<Announcement>>,
+    available: RwLock<bool>,
+    next_id: RwLock<u64>,
+}
+
+impl NewsFeed {
+    pub fn new() -> NewsFeed {
+        NewsFeed {
+            items: RwLock::new(Vec::new()),
+            available: RwLock::new(true),
+            next_id: RwLock::new(1),
+        }
+    }
+
+    /// Publish an announcement; returns its id.
+    pub fn publish(
+        &self,
+        title: &str,
+        body: &str,
+        category: Category,
+        posted_at: Timestamp,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> u64 {
+        let mut next = self.next_id.write();
+        let id = *next;
+        *next += 1;
+        self.items.write().push(Announcement {
+            id,
+            title: title.to_string(),
+            body: body.to_string(),
+            category,
+            posted_at,
+            starts_at: window.map(|(s, _)| s),
+            ends_at: window.map(|(_, e)| e),
+        });
+        id
+    }
+
+    /// Latest `limit` announcements, newest first — what the widget shows.
+    pub fn recent(&self, limit: usize) -> Result<Vec<Announcement>, NewsError> {
+        self.check_available()?;
+        let mut items = self.items.read().clone();
+        items.sort_by_key(|a| std::cmp::Reverse((a.posted_at, a.id)));
+        items.truncate(limit);
+        Ok(items)
+    }
+
+    /// Every announcement, for the "view all news" page.
+    pub fn all(&self) -> Result<Vec<Announcement>, NewsError> {
+        self.check_available()?;
+        let mut items = self.items.read().clone();
+        items.sort_by_key(|a| std::cmp::Reverse((a.posted_at, a.id)));
+        Ok(items)
+    }
+
+    pub fn get(&self, id: u64) -> Result<Option<Announcement>, NewsError> {
+        self.check_available()?;
+        Ok(self.items.read().iter().find(|a| a.id == id).cloned())
+    }
+
+    pub fn set_available(&self, up: bool) {
+        *self.available.write() = up;
+    }
+
+    pub fn is_available(&self) -> bool {
+        *self.available.read()
+    }
+
+    fn check_available(&self) -> Result<(), NewsError> {
+        if *self.available.read() {
+            Ok(())
+        } else {
+            Err(NewsError::Unavailable)
+        }
+    }
+}
+
+impl Default for NewsFeed {
+    fn default() -> NewsFeed {
+        NewsFeed::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed() -> NewsFeed {
+        let f = NewsFeed::new();
+        f.publish("Cluster online", "All systems nominal", Category::News, Timestamp(100), None);
+        f.publish(
+            "Scheduled maintenance",
+            "Anvil down for patching",
+            Category::Maintenance,
+            Timestamp(200),
+            Some((Timestamp(1_000), Timestamp(2_000))),
+        );
+        f.publish(
+            "Network outage",
+            "Campus uplink degraded",
+            Category::Outage,
+            Timestamp(300),
+            Some((Timestamp(250), Timestamp(400))),
+        );
+        f
+    }
+
+    #[test]
+    fn recent_is_newest_first_and_limited() {
+        let f = feed();
+        let items = f.recent(2).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].title, "Network outage");
+        assert_eq!(items[1].title, "Scheduled maintenance");
+        assert_eq!(f.all().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn relevance_windows() {
+        let f = feed();
+        let maint = f.get(2).unwrap().unwrap();
+        assert_eq!(maint.relevance(Timestamp(500)), Relevance::Upcoming);
+        assert_eq!(maint.relevance(Timestamp(1_500)), Relevance::Active);
+        assert_eq!(maint.relevance(Timestamp(2_500)), Relevance::Past);
+        let news = f.get(1).unwrap().unwrap();
+        assert_eq!(news.relevance(Timestamp(999_999)), Relevance::Timeless);
+    }
+
+    #[test]
+    fn window_boundaries_inclusive() {
+        let f = feed();
+        let outage = f.get(3).unwrap().unwrap();
+        assert_eq!(outage.relevance(Timestamp(250)), Relevance::Active);
+        assert_eq!(outage.relevance(Timestamp(400)), Relevance::Active);
+        assert_eq!(outage.relevance(Timestamp(401)), Relevance::Past);
+        assert_eq!(outage.relevance(Timestamp(249)), Relevance::Upcoming);
+    }
+
+    #[test]
+    fn get_missing_is_none() {
+        let f = feed();
+        assert_eq!(f.get(99).unwrap(), None);
+    }
+
+    #[test]
+    fn category_labels_roundtrip() {
+        for c in [Category::Outage, Category::Maintenance, Category::Feature, Category::News] {
+            assert_eq!(Category::parse(c.label()), Some(c));
+        }
+        assert_eq!(Category::parse("gossip"), None);
+    }
+
+    #[test]
+    fn fault_injection() {
+        let f = feed();
+        f.set_available(false);
+        assert_eq!(f.recent(5), Err(NewsError::Unavailable));
+        assert_eq!(f.all(), Err(NewsError::Unavailable));
+        assert_eq!(f.get(1), Err(NewsError::Unavailable));
+        f.set_available(true);
+        assert!(f.recent(5).is_ok());
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let f = NewsFeed::new();
+        let a = f.publish("a", "", Category::News, Timestamp(0), None);
+        let b = f.publish("b", "", Category::News, Timestamp(0), None);
+        assert_eq!((a, b), (1, 2));
+    }
+}

@@ -1,0 +1,225 @@
+//! Slurm time grammar: timestamps, elapsed durations, and time limits.
+
+use crate::civil::CivilDateTime;
+use crate::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A job time limit: either a number of seconds or `UNLIMITED`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeLimit {
+    /// Limit in seconds.
+    Limited(u64),
+    Unlimited,
+}
+
+impl TimeLimit {
+    pub fn as_secs(self) -> Option<u64> {
+        match self {
+            TimeLimit::Limited(s) => Some(s),
+            TimeLimit::Unlimited => None,
+        }
+    }
+
+    /// Render in Slurm's `[D-]HH:MM:SS` / `UNLIMITED` form.
+    pub fn to_slurm(self) -> String {
+        match self {
+            TimeLimit::Limited(s) => format_duration(s),
+            TimeLimit::Unlimited => "UNLIMITED".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for TimeLimit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_slurm())
+    }
+}
+
+/// Format a Unix timestamp as `%Y-%m-%dT%H:%M:%S` (Slurm's ISO form).
+pub fn format_timestamp(t: Timestamp) -> String {
+    let dt = CivilDateTime::from_unix(t.as_secs());
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}",
+        dt.year, dt.month, dt.day, dt.hour, dt.minute, dt.second
+    )
+}
+
+/// Parse a `%Y-%m-%dT%H:%M:%S` timestamp. Also accepts a trailing `Z` and the
+/// Slurm sentinels `Unknown`/`N/A`/`None` (which yield `None`).
+pub fn parse_timestamp(s: &str) -> Option<Timestamp> {
+    let s = s.trim().trim_end_matches('Z');
+    if s.is_empty() || s == "Unknown" || s == "N/A" || s == "None" {
+        return None;
+    }
+    let (date, time) = s.split_once('T')?;
+    let mut dp = date.split('-');
+    let year: i64 = dp.next()?.parse().ok()?;
+    let month: u32 = dp.next()?.parse().ok()?;
+    let day: u32 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() {
+        return None;
+    }
+    let mut tp = time.split(':');
+    let hour: u32 = tp.next()?.parse().ok()?;
+    let minute: u32 = tp.next()?.parse().ok()?;
+    let second: u32 = tp.next()?.parse().ok()?;
+    if tp.next().is_some() || month == 0 || month > 12 || day == 0 || hour > 23 || minute > 59 || second > 59 {
+        return None;
+    }
+    let dt = CivilDateTime {
+        year,
+        month,
+        day,
+        hour,
+        minute,
+        second,
+    };
+    dt.to_unix().map(Timestamp)
+}
+
+/// Format seconds as Slurm elapsed time: `MM:SS`, `HH:MM:SS` or `D-HH:MM:SS`.
+pub fn format_duration(total_secs: u64) -> String {
+    let days = total_secs / 86_400;
+    let hours = (total_secs % 86_400) / 3_600;
+    let minutes = (total_secs % 3_600) / 60;
+    let seconds = total_secs % 60;
+    if days > 0 {
+        format!("{days}-{hours:02}:{minutes:02}:{seconds:02}")
+    } else {
+        format!("{hours:02}:{minutes:02}:{seconds:02}")
+    }
+}
+
+/// Parse a Slurm elapsed duration. Accepted forms (per `sacct`/`squeue`):
+/// `SS`, `MM:SS`, `HH:MM:SS`, `D-HH`, `D-HH:MM`, `D-HH:MM:SS`.
+pub fn parse_duration(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (days, rest) = match s.split_once('-') {
+        Some((d, rest)) => (d.parse::<u64>().ok()?, rest),
+        None => (0, s),
+    };
+    let parts: Vec<&str> = rest.split(':').collect();
+    let nums: Vec<u64> = parts
+        .iter()
+        .map(|p| p.parse::<u64>().ok())
+        .collect::<Option<Vec<_>>>()?;
+    let secs = if days > 0 {
+        // Day-prefixed forms are hour-first.
+        match nums.as_slice() {
+            [h] => h * 3_600,
+            [h, m] => h * 3_600 + m * 60,
+            [h, m, sec] => h * 3_600 + m * 60 + sec,
+            _ => return None,
+        }
+    } else {
+        match nums.as_slice() {
+            [sec] => *sec,
+            [m, sec] => m * 60 + sec,
+            [h, m, sec] => h * 3_600 + m * 60 + sec,
+            _ => return None,
+        }
+    };
+    Some(days * 86_400 + secs)
+}
+
+/// Parse a Slurm time limit: any [`parse_duration`] form, or `UNLIMITED`,
+/// `infinite`, `Partition_Limit`-style sentinels are rejected (caller decides).
+pub fn parse_timelimit(s: &str) -> Option<TimeLimit> {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("unlimited") || s.eq_ignore_ascii_case("infinite") {
+        return Some(TimeLimit::Unlimited);
+    }
+    parse_duration(s).map(TimeLimit::Limited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn format_known_timestamp() {
+        let t = Timestamp(20_638 * 86_400 + 9 * 3_600 + 5 * 60 + 7);
+        assert_eq!(format_timestamp(t), "2026-07-04T09:05:07");
+    }
+
+    #[test]
+    fn parse_known_timestamp() {
+        assert_eq!(
+            parse_timestamp("2026-07-04T09:05:07"),
+            Some(Timestamp(20_638 * 86_400 + 9 * 3_600 + 5 * 60 + 7))
+        );
+        assert_eq!(parse_timestamp("2026-07-04T09:05:07Z"), parse_timestamp("2026-07-04T09:05:07"));
+    }
+
+    #[test]
+    fn parse_sentinels() {
+        assert_eq!(parse_timestamp("Unknown"), None);
+        assert_eq!(parse_timestamp("N/A"), None);
+        assert_eq!(parse_timestamp(""), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_timestamp("2026-13-01T00:00:00"), None);
+        assert_eq!(parse_timestamp("2026-02-00T00:00:00"), None);
+        assert_eq!(parse_timestamp("2026-07-04T24:00:00"), None);
+        assert_eq!(parse_timestamp("not-a-date"), None);
+        assert_eq!(parse_timestamp("2026-07-04T09:05"), None);
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(format_duration(0), "00:00:00");
+        assert_eq!(format_duration(59), "00:00:59");
+        assert_eq!(format_duration(61), "00:01:01");
+        assert_eq!(format_duration(3_661), "01:01:01");
+        assert_eq!(format_duration(86_400 + 2 * 3_600 + 3 * 60 + 4), "1-02:03:04");
+        assert_eq!(format_duration(10 * 86_400), "10-00:00:00");
+    }
+
+    #[test]
+    fn duration_parses() {
+        assert_eq!(parse_duration("45"), Some(45));
+        assert_eq!(parse_duration("30:00"), Some(1_800));
+        assert_eq!(parse_duration("01:01:01"), Some(3_661));
+        assert_eq!(parse_duration("1-02:03:04"), Some(86_400 + 7_384));
+        assert_eq!(parse_duration("2-00"), Some(2 * 86_400));
+        assert_eq!(parse_duration("2-12:30"), Some(2 * 86_400 + 12 * 3_600 + 30 * 60));
+        assert_eq!(parse_duration(""), None);
+        assert_eq!(parse_duration("a:b"), None);
+    }
+
+    #[test]
+    fn timelimit_parses() {
+        assert_eq!(parse_timelimit("UNLIMITED"), Some(TimeLimit::Unlimited));
+        assert_eq!(parse_timelimit("infinite"), Some(TimeLimit::Unlimited));
+        assert_eq!(parse_timelimit("4:00:00"), Some(TimeLimit::Limited(14_400)));
+        assert_eq!(TimeLimit::Limited(14_400).to_slurm(), "04:00:00");
+        assert_eq!(TimeLimit::Unlimited.to_slurm(), "UNLIMITED");
+        assert_eq!(TimeLimit::Unlimited.as_secs(), None);
+        assert_eq!(TimeLimit::Limited(5).as_secs(), Some(5));
+    }
+
+    proptest! {
+        #[test]
+        fn timestamp_roundtrip(secs in 0u64..10_000_000_000) {
+            let t = Timestamp(secs);
+            prop_assert_eq!(parse_timestamp(&format_timestamp(t)), Some(t));
+        }
+
+        #[test]
+        fn duration_roundtrip(secs in 0u64..10_000_000) {
+            prop_assert_eq!(parse_duration(&format_duration(secs)), Some(secs));
+        }
+
+        #[test]
+        fn timelimit_roundtrip(secs in 0u64..10_000_000) {
+            let tl = TimeLimit::Limited(secs);
+            prop_assert_eq!(parse_timelimit(&tl.to_slurm()), Some(tl));
+        }
+    }
+}

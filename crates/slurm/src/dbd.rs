@@ -1,0 +1,339 @@
+//! `slurmdbd`: the accounting daemon. Archives every job that ever ran and
+//! mirrors active jobs, so `sacct`-style queries (the dashboard's My Jobs
+//! and Job Performance Metrics backends) see the full picture without
+//! touching slurmctld.
+
+use crate::job::{Job, JobId, JobState};
+use crate::loadmodel::{RpcCostModel, RpcStats};
+use hpcdash_simtime::Timestamp;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Filter for accounting queries, mirroring the sacct flags the dashboard
+/// uses (`-u`, `-A`, `-S`, `-E`, `--state`, `-j`).
+#[derive(Debug, Clone, Default)]
+pub struct JobFilter {
+    /// Visibility: match jobs submitted by this user...
+    pub user: Option<String>,
+    /// ...or charged to any of these accounts. Both empty = no visibility
+    /// restriction (admin view).
+    pub accounts: Vec<String>,
+    pub states: Option<Vec<JobState>>,
+    /// Only jobs still relevant after this instant (active, or ended later).
+    pub since: Option<Timestamp>,
+    /// Only jobs submitted at or before this instant.
+    pub until: Option<Timestamp>,
+    pub job_ids: Option<Vec<JobId>>,
+}
+
+impl JobFilter {
+    pub fn for_user(user: &str, accounts: Vec<String>) -> JobFilter {
+        JobFilter {
+            user: Some(user.to_string()),
+            accounts,
+            ..JobFilter::default()
+        }
+    }
+
+    fn matches(&self, job: &Job) -> bool {
+        if self.user.is_some() || !self.accounts.is_empty() {
+            let by_user = self.user.as_deref() == Some(job.req.user.as_str());
+            let by_account = self.accounts.contains(&job.req.account);
+            if !by_user && !by_account {
+                return false;
+            }
+        }
+        if let Some(states) = &self.states {
+            if !states.contains(&job.state) {
+                return false;
+            }
+        }
+        if let Some(since) = self.since {
+            let ended_before = job.end_time.map(|e| e < since).unwrap_or(false);
+            if ended_before {
+                return false;
+            }
+        }
+        if let Some(until) = self.until {
+            if job.submit_time > until {
+                return false;
+            }
+        }
+        if let Some(ids) = &self.job_ids {
+            let in_list = ids.contains(&job.id)
+                || job
+                    .array
+                    .map(|a| ids.contains(&a.array_job_id))
+                    .unwrap_or(false);
+            if !in_list {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The accounting daemon.
+pub struct Slurmdbd {
+    archived: RwLock<BTreeMap<JobId, Job>>,
+    active_mirror: RwLock<BTreeMap<JobId, Job>>,
+    cost: RpcCostModel,
+    stats: RpcStats,
+}
+
+impl Slurmdbd {
+    pub fn new() -> Slurmdbd {
+        Slurmdbd::with_cost(RpcCostModel::dbd_default())
+    }
+
+    pub fn with_cost(cost: RpcCostModel) -> Slurmdbd {
+        Slurmdbd {
+            archived: RwLock::new(BTreeMap::new()),
+            active_mirror: RwLock::new(BTreeMap::new()),
+            cost,
+            stats: RpcStats::new(),
+        }
+    }
+
+    /// Archive finished jobs (called by slurmctld).
+    pub fn record_finished(&self, jobs: impl IntoIterator<Item = Job>) {
+        let mut archived = self.archived.write();
+        for job in jobs {
+            archived.insert(job.id, job);
+        }
+    }
+
+    /// Replace the mirror of currently active jobs (called by slurmctld on
+    /// every tick).
+    pub fn sync_active(&self, jobs: Vec<Job>) {
+        let mut mirror = self.active_mirror.write();
+        mirror.clear();
+        for job in jobs {
+            mirror.insert(job.id, job);
+        }
+    }
+
+    /// `sacct`-style query across active + archived jobs, newest first.
+    pub fn query_jobs(&self, filter: &JobFilter) -> Vec<Job> {
+        let start = Instant::now();
+        let mut out: Vec<Job> = Vec::new();
+        let scanned;
+        {
+            let active = self.active_mirror.read();
+            let archived = self.archived.read();
+            scanned = active.len() + archived.len();
+            out.extend(active.values().filter(|j| filter.matches(j)).cloned());
+            // A job can momentarily exist in both maps between ticks; the
+            // archived (final) record wins.
+            for job in archived.values().filter(|j| filter.matches(j)) {
+                if let Some(existing) = out.iter_mut().find(|j| j.id == job.id) {
+                    *existing = job.clone();
+                } else {
+                    out.push(job.clone());
+                }
+            }
+        }
+        self.cost.burn(scanned);
+        out.sort_by_key(|j| (std::cmp::Reverse(j.submit_time), std::cmp::Reverse(j.id)));
+        self.stats.record("sacct_query", start.elapsed());
+        out
+    }
+
+    /// Look up one job anywhere in accounting.
+    pub fn job(&self, id: JobId) -> Option<Job> {
+        let start = Instant::now();
+        let result = self
+            .archived
+            .read()
+            .get(&id)
+            .cloned()
+            .or_else(|| self.active_mirror.read().get(&id).cloned());
+        self.cost.burn(1);
+        self.stats.record("job_lookup", start.elapsed());
+        result
+    }
+
+    /// All sibling tasks of a job array, task order.
+    pub fn array_tasks(&self, array_job_id: JobId) -> Vec<Job> {
+        let start = Instant::now();
+        let mut out: Vec<Job> = Vec::new();
+        {
+            let active = self.active_mirror.read();
+            let archived = self.archived.read();
+            let pick = |j: &Job| {
+                j.array
+                    .map(|a| a.array_job_id == array_job_id)
+                    .unwrap_or(false)
+            };
+            out.extend(active.values().filter(|j| pick(j)).cloned());
+            for job in archived.values().filter(|j| pick(j)) {
+                if !out.iter().any(|j| j.id == job.id) {
+                    out.push(job.clone());
+                }
+            }
+        }
+        self.cost.burn(out.len().max(1));
+        out.sort_by_key(|j| j.array.map(|a| a.task_id).unwrap_or(0));
+        self.stats.record("array_lookup", start.elapsed());
+        out
+    }
+
+    pub fn archived_count(&self) -> usize {
+        self.archived.read().len()
+    }
+
+    pub fn stats(&self) -> &RpcStats {
+        &self.stats
+    }
+}
+
+impl Default for Slurmdbd {
+    fn default() -> Slurmdbd {
+        Slurmdbd::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobRequest;
+
+    fn job(id: u32, user: &str, account: &str, state: JobState, submit: u64, end: Option<u64>) -> Job {
+        let req = JobRequest::simple(user, account, "cpu", 1);
+        Job {
+            id: JobId(id),
+            array: None,
+            req,
+            state,
+            reason: None,
+            priority: 0,
+            submit_time: Timestamp(submit),
+            eligible_time: Timestamp(submit),
+            start_time: end.map(|_| Timestamp(submit + 10)),
+            end_time: end.map(Timestamp),
+            nodes: Vec::new(),
+            exit_code: None,
+            stats: None,
+            stdout_path: String::new(),
+            stderr_path: String::new(),
+        }
+    }
+
+    fn dbd() -> Slurmdbd {
+        let d = Slurmdbd::with_cost(RpcCostModel::free());
+        d.record_finished(vec![
+            job(1, "alice", "physics", JobState::Completed, 100, Some(200)),
+            job(2, "alice", "physics", JobState::Failed, 150, Some(250)),
+            job(3, "bob", "physics", JobState::Completed, 180, Some(400)),
+            job(4, "carol", "bio", JobState::Completed, 190, Some(500)),
+        ]);
+        d.sync_active(vec![
+            job(5, "alice", "physics", JobState::Running, 300, None),
+            job(6, "bob", "physics", JobState::Pending, 350, None),
+        ]);
+        d
+    }
+
+    #[test]
+    fn user_visibility_or_accounts() {
+        let d = dbd();
+        let mine = d.query_jobs(&JobFilter::for_user("alice", vec![]));
+        assert_eq!(mine.iter().map(|j| j.id.0).collect::<Vec<_>>(), vec![5, 2, 1]);
+
+        // Group visibility: alice sees bob's physics jobs too.
+        let group = d.query_jobs(&JobFilter::for_user("alice", vec!["physics".to_string()]));
+        assert_eq!(group.len(), 5);
+        assert!(group.iter().all(|j| j.req.account == "physics"));
+
+        // Unrestricted (admin) sees everything.
+        let all = d.query_jobs(&JobFilter::default());
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn state_filter() {
+        let d = dbd();
+        let failed = d.query_jobs(&JobFilter {
+            states: Some(vec![JobState::Failed]),
+            ..JobFilter::default()
+        });
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].id, JobId(2));
+    }
+
+    #[test]
+    fn time_window() {
+        let d = dbd();
+        // since=300: jobs ended before 300 drop out; active jobs stay.
+        let recent = d.query_jobs(&JobFilter {
+            since: Some(Timestamp(300)),
+            ..JobFilter::default()
+        });
+        let ids: Vec<u32> = recent.iter().map(|j| j.id.0).collect();
+        assert!(!ids.contains(&1) && !ids.contains(&2));
+        assert!(ids.contains(&3) && ids.contains(&5) && ids.contains(&6));
+
+        let older = d.query_jobs(&JobFilter {
+            until: Some(Timestamp(200)),
+            ..JobFilter::default()
+        });
+        assert_eq!(older.len(), 4, "submitted at or before 200");
+    }
+
+    #[test]
+    fn job_id_filter_and_lookup() {
+        let d = dbd();
+        let two = d.query_jobs(&JobFilter {
+            job_ids: Some(vec![JobId(2), JobId(5)]),
+            ..JobFilter::default()
+        });
+        assert_eq!(two.len(), 2);
+        assert_eq!(d.job(JobId(4)).unwrap().req.user, "carol");
+        assert_eq!(d.job(JobId(5)).unwrap().state, JobState::Running);
+        assert!(d.job(JobId(99)).is_none());
+    }
+
+    #[test]
+    fn newest_first_ordering() {
+        let d = dbd();
+        let all = d.query_jobs(&JobFilter::default());
+        let submits: Vec<u64> = all.iter().map(|j| j.submit_time.as_secs()).collect();
+        let mut sorted = submits.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(submits, sorted);
+    }
+
+    #[test]
+    fn archived_record_wins_over_mirror() {
+        let d = Slurmdbd::with_cost(RpcCostModel::free());
+        d.sync_active(vec![job(7, "alice", "physics", JobState::Running, 100, None)]);
+        d.record_finished(vec![job(7, "alice", "physics", JobState::Completed, 100, Some(300))]);
+        let got = d.query_jobs(&JobFilter::default());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].state, JobState::Completed);
+    }
+
+    #[test]
+    fn array_tasks_sorted() {
+        use crate::job::ArrayMeta;
+        let d = Slurmdbd::with_cost(RpcCostModel::free());
+        let mut t2 = job(12, "alice", "physics", JobState::Completed, 100, Some(200));
+        t2.array = Some(ArrayMeta { array_job_id: JobId(10), task_id: 2, max_concurrent: None });
+        let mut t0 = job(10, "alice", "physics", JobState::Completed, 100, Some(150));
+        t0.array = Some(ArrayMeta { array_job_id: JobId(10), task_id: 0, max_concurrent: None });
+        d.record_finished(vec![t2, t0]);
+        let mut t1 = job(11, "alice", "physics", JobState::Running, 100, None);
+        t1.array = Some(ArrayMeta { array_job_id: JobId(10), task_id: 1, max_concurrent: None });
+        d.sync_active(vec![t1]);
+        let tasks = d.array_tasks(JobId(10));
+        assert_eq!(tasks.iter().map(|t| t.array.unwrap().task_id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stats_recorded() {
+        let d = dbd();
+        d.query_jobs(&JobFilter::default());
+        assert!(d.stats().count_of("sacct_query") >= 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! The cluster event log: every job state transition, timestamped.
+//!
+//! This powers the dashboard's real-time job monitoring (listed as future
+//! work in the paper's §9 and implemented here): clients poll
+//! `/api/updates?since=<seq>` and receive only the transitions they have
+//! not seen, instead of refetching whole tables.
+
+use crate::job::{JobId, JobState, PendingReason};
+use hpcdash_simtime::Timestamp;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One job state transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Monotonic sequence number (cluster-wide).
+    pub seq: u64,
+    pub at: Timestamp,
+    pub job: JobId,
+    pub user: String,
+    pub account: String,
+    pub from: Option<JobState>,
+    pub to: JobState,
+    /// Pending reason attached at the transition, if any.
+    pub reason: Option<PendingReason>,
+}
+
+/// A bounded, append-only event log.
+#[derive(Debug)]
+pub struct EventLog {
+    events: RwLock<VecDeque<JobEvent>>,
+    capacity: usize,
+    next_seq: RwLock<u64>,
+}
+
+impl EventLog {
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            events: RwLock::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            next_seq: RwLock::new(1),
+        }
+    }
+
+    /// Append a transition; returns its sequence number.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &self,
+        at: Timestamp,
+        job: JobId,
+        user: &str,
+        account: &str,
+        from: Option<JobState>,
+        to: JobState,
+        reason: Option<PendingReason>,
+    ) -> u64 {
+        let mut next = self.next_seq.write();
+        let seq = *next;
+        *next += 1;
+        let mut events = self.events.write();
+        if events.len() >= self.capacity {
+            events.pop_front();
+        }
+        events.push_back(JobEvent {
+            seq,
+            at,
+            job,
+            user: user.to_string(),
+            account: account.to_string(),
+            from,
+            to,
+            reason,
+        });
+        seq
+    }
+
+    /// Events with `seq > since`, oldest first. `truncated` is true when
+    /// older matching events have already been evicted (the client should
+    /// do a full refresh).
+    pub fn since(&self, since: u64) -> (Vec<JobEvent>, bool) {
+        let events = self.events.read();
+        let truncated = events
+            .front()
+            .map(|e| e.seq > since + 1 && since > 0)
+            .unwrap_or(false);
+        (
+            events.iter().filter(|e| e.seq > since).cloned().collect(),
+            truncated,
+        )
+    }
+
+    /// The newest sequence number issued (0 when empty).
+    pub fn latest_seq(&self) -> u64 {
+        *self.next_seq.read() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.read().is_empty()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog::new(4_096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_n(log: &EventLog, n: u64) {
+        for i in 0..n {
+            log.push(
+                Timestamp(i),
+                JobId(i as u32 + 1),
+                "alice",
+                "physics",
+                Some(JobState::Pending),
+                JobState::Running,
+                None,
+            );
+        }
+    }
+
+    #[test]
+    fn sequence_is_monotonic() {
+        let log = EventLog::new(100);
+        push_n(&log, 5);
+        let (events, truncated) = log.since(0);
+        assert_eq!(events.len(), 5);
+        assert!(!truncated);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+        assert_eq!(log.latest_seq(), 5);
+    }
+
+    #[test]
+    fn since_filters() {
+        let log = EventLog::new(100);
+        push_n(&log, 10);
+        let (events, truncated) = log.since(7);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![8, 9, 10]);
+        assert!(!truncated);
+        let (events, _) = log.since(10);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_and_flags_truncation() {
+        let log = EventLog::new(4);
+        push_n(&log, 10);
+        assert_eq!(log.len(), 4);
+        // Client last saw seq 2, but the log now starts at 7.
+        let (events, truncated) = log.since(2);
+        assert!(truncated, "client is told to do a full refresh");
+        assert_eq!(events.first().unwrap().seq, 7);
+        // A client that is up to date is not truncated.
+        let (_, truncated) = log.since(9);
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn fresh_client_is_never_truncated_from_zero_on_small_logs() {
+        let log = EventLog::new(100);
+        push_n(&log, 3);
+        let (events, truncated) = log.since(0);
+        assert_eq!(events.len(), 3);
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn concurrent_pushes_keep_unique_seqs() {
+        let log = std::sync::Arc::new(EventLog::new(10_000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    log.push(
+                        Timestamp(0),
+                        JobId(1),
+                        "u",
+                        "a",
+                        None,
+                        JobState::Pending,
+                        None,
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (events, _) = log.since(0);
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        let before = seqs.len();
+        seqs.dedup();
+        assert_eq!(seqs.len(), before, "no duplicate sequence numbers");
+        assert_eq!(log.latest_seq(), 4_000);
+    }
+}

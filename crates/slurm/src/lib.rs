@@ -1,0 +1,41 @@
+//! A Slurm workload-manager simulator.
+//!
+//! This crate is the substrate beneath the hpcdash dashboard: a from-scratch
+//! model of the pieces of Slurm the paper's dashboard talks to.
+//!
+//! * Cluster entities: [`node::Node`]s, [`partition::Partition`]s,
+//!   [`qos::Qos`] levels and an account/association tree
+//!   ([`assoc::AssocStore`]) with `GrpTRES` limits.
+//! * A job lifecycle ([`job::Job`]) driven by a multifactor-priority,
+//!   EASY-backfill scheduler ([`sched`]).
+//! * Two daemons mirroring the real deployment: [`ctld::Slurmctld`] (live
+//!   cluster state; the daemon `squeue`/`scontrol`/`sinfo` talk to, and the
+//!   one whose load the dashboard must protect) and [`dbd::Slurmdbd`]
+//!   (accounting history; what `sacct` queries). Both carry an RPC cost
+//!   model so cache experiments measure real contention.
+//! * A job-log filesystem ([`joblog::JobLogFs`]) with owner-only permissions
+//!   for the Job Overview output/error tabs.
+//!
+//! Determinism: all time flows through `hpcdash_simtime::Clock`; nothing in
+//! this crate reads the wall clock or an unseeded RNG.
+
+pub mod assoc;
+pub mod cluster;
+pub mod ctld;
+pub mod dbd;
+pub mod events;
+pub mod job;
+pub mod joblog;
+pub mod loadmodel;
+pub mod node;
+pub mod partition;
+pub mod qos;
+pub mod sched;
+pub mod tres;
+
+pub use cluster::{ClusterError, ClusterSpec, ClusterState};
+pub use ctld::Slurmctld;
+pub use dbd::Slurmdbd;
+pub use job::{Job, JobId, JobRequest, JobState, PendingReason, UsageProfile};
+pub use node::{Node, NodeState};
+pub use tres::Tres;

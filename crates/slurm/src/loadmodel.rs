@@ -1,0 +1,237 @@
+//! The daemon RPC cost model.
+//!
+//! The paper's performance story (§2.4, §3.2) hinges on a real phenomenon:
+//! every `squeue` RPC occupies slurmctld — the same single-threaded daemon
+//! that performs job allocation — so dashboard query storms slow scheduling
+//! down. To make that measurable here, each simulated RPC burns a calibrated
+//! amount of CPU *while holding the daemon lock*. Benches then observe
+//! genuine contention: cached dashboards issue fewer RPCs and daemon latency
+//! drops.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Cost parameters for one daemon.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcCostModel {
+    /// Fixed per-RPC cost.
+    pub base: Duration,
+    /// Additional cost per item touched (job, node, record...).
+    pub per_item: Duration,
+}
+
+impl RpcCostModel {
+    /// slurmctld-ish defaults: queries are noticeably expensive.
+    pub fn ctld_default() -> RpcCostModel {
+        RpcCostModel {
+            base: Duration::from_micros(150),
+            per_item: Duration::from_nanos(800),
+        }
+    }
+
+    /// slurmdbd-ish defaults: the accounting DB is a separate daemon and a
+    /// bit slower per record (it walks history), but querying it does not
+    /// block scheduling.
+    pub fn dbd_default() -> RpcCostModel {
+        RpcCostModel {
+            base: Duration::from_micros(250),
+            per_item: Duration::from_nanos(1_200),
+        }
+    }
+
+    /// A near-zero-cost model for unit tests that don't measure timing.
+    pub fn free() -> RpcCostModel {
+        RpcCostModel {
+            base: Duration::ZERO,
+            per_item: Duration::ZERO,
+        }
+    }
+
+    /// Busy-wait for the modelled cost of touching `items` items.
+    pub fn burn(&self, items: usize) {
+        let total = self.base + self.per_item * items as u32;
+        if total.is_zero() {
+            return;
+        }
+        let start = Instant::now();
+        while start.elapsed() < total {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Latency/traffic statistics for one daemon, shared across threads.
+#[derive(Debug, Default)]
+pub struct RpcStats {
+    total_rpcs: AtomicU64,
+    total_busy_ns: AtomicU64,
+    per_kind: Mutex<HashMap<&'static str, KindStats>>,
+    /// Ring of recent latencies (ns) for percentile reporting.
+    recent: Mutex<Vec<u64>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KindStats {
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+/// A point-in-time summary of daemon load.
+#[derive(Debug, Clone)]
+pub struct RpcSnapshot {
+    pub total_rpcs: u64,
+    pub total_busy: Duration,
+    pub per_kind: HashMap<&'static str, KindStats>,
+    /// Percentiles over the recent-latency window (p50, p95, p99), if any
+    /// traffic was seen.
+    pub p50: Option<Duration>,
+    pub p95: Option<Duration>,
+    pub p99: Option<Duration>,
+}
+
+const RECENT_CAP: usize = 8_192;
+
+impl RpcStats {
+    pub fn new() -> RpcStats {
+        RpcStats::default()
+    }
+
+    /// Record one served RPC.
+    pub fn record(&self, kind: &'static str, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.total_rpcs.fetch_add(1, Ordering::Relaxed);
+        self.total_busy_ns.fetch_add(ns, Ordering::Relaxed);
+        {
+            let mut map = self.per_kind.lock();
+            let k = map.entry(kind).or_default();
+            k.count += 1;
+            k.total_ns += ns;
+            k.max_ns = k.max_ns.max(ns);
+        }
+        let mut recent = self.recent.lock();
+        if recent.len() >= RECENT_CAP {
+            // Overwrite pseudo-randomly-ish (cheap reservoir flavour): drop
+            // the oldest half to keep the window moving.
+            recent.drain(..RECENT_CAP / 2);
+        }
+        recent.push(ns);
+    }
+
+    pub fn total_rpcs(&self) -> u64 {
+        self.total_rpcs.load(Ordering::Relaxed)
+    }
+
+    pub fn total_busy(&self) -> Duration {
+        Duration::from_nanos(self.total_busy_ns.load(Ordering::Relaxed))
+    }
+
+    pub fn count_of(&self, kind: &'static str) -> u64 {
+        self.per_kind.lock().get(kind).map(|k| k.count).unwrap_or(0)
+    }
+
+    pub fn snapshot(&self) -> RpcSnapshot {
+        let recent = self.recent.lock().clone();
+        let (p50, p95, p99) = percentiles(&recent);
+        RpcSnapshot {
+            total_rpcs: self.total_rpcs(),
+            total_busy: self.total_busy(),
+            per_kind: self.per_kind.lock().clone(),
+            p50,
+            p95,
+            p99,
+        }
+    }
+
+    /// Zero every counter (benches call this between phases).
+    pub fn reset(&self) {
+        self.total_rpcs.store(0, Ordering::Relaxed);
+        self.total_busy_ns.store(0, Ordering::Relaxed);
+        self.per_kind.lock().clear();
+        self.recent.lock().clear();
+    }
+}
+
+fn percentiles(samples: &[u64]) -> (Option<Duration>, Option<Duration>, Option<Duration>) {
+    if samples.is_empty() {
+        return (None, None, None);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let pick = |p: f64| {
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        Some(Duration::from_nanos(sorted[idx]))
+    };
+    (pick(0.50), pick(0.95), pick(0.99))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_takes_roughly_the_configured_time() {
+        let model = RpcCostModel {
+            base: Duration::from_micros(200),
+            per_item: Duration::from_nanos(100),
+        };
+        let start = Instant::now();
+        model.burn(1_000);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_micros(300), "burned at least base + items");
+    }
+
+    #[test]
+    fn free_model_is_instant() {
+        let start = Instant::now();
+        RpcCostModel::free().burn(1_000_000);
+        assert!(start.elapsed() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let stats = RpcStats::new();
+        stats.record("squeue", Duration::from_micros(100));
+        stats.record("squeue", Duration::from_micros(300));
+        stats.record("sinfo", Duration::from_micros(50));
+        assert_eq!(stats.total_rpcs(), 3);
+        assert_eq!(stats.count_of("squeue"), 2);
+        assert_eq!(stats.count_of("sinfo"), 1);
+        assert_eq!(stats.count_of("sacct"), 0);
+        assert_eq!(stats.total_busy(), Duration::from_micros(450));
+        let snap = stats.snapshot();
+        assert_eq!(snap.per_kind["squeue"].max_ns, 300_000);
+        assert!(snap.p50.is_some() && snap.p99.is_some());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let stats = RpcStats::new();
+        stats.record("squeue", Duration::from_micros(100));
+        stats.reset();
+        assert_eq!(stats.total_rpcs(), 0);
+        assert!(stats.snapshot().p50.is_none());
+    }
+
+    #[test]
+    fn percentile_ordering() {
+        let stats = RpcStats::new();
+        for i in 1..=100u64 {
+            stats.record("x", Duration::from_nanos(i * 1_000));
+        }
+        let snap = stats.snapshot();
+        assert!(snap.p50.unwrap() <= snap.p95.unwrap());
+        assert!(snap.p95.unwrap() <= snap.p99.unwrap());
+    }
+
+    #[test]
+    fn recent_window_bounded() {
+        let stats = RpcStats::new();
+        for _ in 0..(RECENT_CAP * 3) {
+            stats.record("x", Duration::from_nanos(10));
+        }
+        assert!(stats.recent.lock().len() <= RECENT_CAP);
+    }
+}

@@ -1,0 +1,523 @@
+//! EASY backfill scheduling over a snapshot of cluster state.
+//!
+//! The planner never mutates live state: it works on clones and returns a
+//! [`SchedulePlan`] of decisions, which `ClusterState::tick` applies. Each
+//! partition has its own "blocker" (the highest-priority job that cannot
+//! start); lower-priority jobs in that partition may backfill only if they
+//! cannot delay the blocker's reservation.
+
+use crate::assoc::{AssocStore, LimitViolation};
+use crate::job::{Job, JobId, PendingReason};
+use crate::node::Node;
+use crate::partition::{Partition, PartitionState};
+use crate::qos::Qos;
+use crate::sched::fit::{could_ever_fit, select_nodes};
+use crate::tres::Tres;
+use hpcdash_simtime::{TimeLimit, Timestamp};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// What the planner decided for one pending job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleDecision {
+    Start {
+        job: JobId,
+        nodes: Vec<String>,
+        backfilled: bool,
+    },
+    Pend {
+        job: JobId,
+        reason: PendingReason,
+    },
+}
+
+/// The full plan for one scheduling pass.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulePlan {
+    pub decisions: Vec<ScheduleDecision>,
+    /// Per-partition shadow times computed for blockers (diagnostics).
+    pub shadow_times: BTreeMap<String, Timestamp>,
+}
+
+/// A running job's footprint, for reservation computation.
+#[derive(Debug, Clone)]
+pub struct RunningJobInfo {
+    pub nodes: Vec<String>,
+    pub per_node: Tres,
+    pub expected_end: Timestamp,
+}
+
+struct Reservation {
+    shadow: Timestamp,
+    reserved_nodes: HashSet<String>,
+}
+
+/// Inputs to one scheduling pass.
+pub struct PlanInputs<'a> {
+    pub nodes: &'a BTreeMap<String, Node>,
+    pub partitions: &'a BTreeMap<String, Partition>,
+    pub qos: &'a BTreeMap<String, Qos>,
+    pub assoc: &'a AssocStore,
+    pub running: &'a [RunningJobInfo],
+    /// Eligible pending jobs, highest priority first.
+    pub pending: &'a [&'a Job],
+    /// (user, qos) -> currently running job count.
+    pub run_counts: &'a HashMap<(String, String), u32>,
+    /// array_job_id -> currently running task count.
+    pub array_running: &'a HashMap<JobId, u32>,
+    pub now: Timestamp,
+}
+
+/// Compute a schedule plan. Pure with respect to the inputs.
+pub fn plan_schedule(inputs: PlanInputs<'_>) -> SchedulePlan {
+    let PlanInputs {
+        nodes,
+        partitions,
+        qos,
+        assoc,
+        running,
+        pending,
+        run_counts,
+        array_running,
+        now,
+    } = inputs;
+
+    let mut plan = SchedulePlan::default();
+    let mut sim_nodes = nodes.clone();
+    let mut sim_assoc = assoc.clone();
+    let mut sim_run_counts = run_counts.clone();
+    let mut sim_array_running = array_running.clone();
+    let mut blockers: HashMap<String, Reservation> = HashMap::new();
+
+    for job in pending {
+        let Some(partition) = partitions.get(&job.req.partition) else {
+            plan.decisions.push(ScheduleDecision::Pend {
+                job: job.id,
+                reason: PendingReason::BadConstraints,
+            });
+            continue;
+        };
+
+        if let Some(reason) = limit_reason(
+            job,
+            partition,
+            qos,
+            &sim_assoc,
+            &sim_run_counts,
+            &sim_array_running,
+        ) {
+            plan.decisions.push(ScheduleDecision::Pend { job: job.id, reason });
+            continue;
+        }
+
+        if !could_ever_fit(&sim_nodes, partition, &job.req) {
+            plan.decisions.push(ScheduleDecision::Pend {
+                job: job.id,
+                reason: PendingReason::BadConstraints,
+            });
+            continue;
+        }
+
+        let blocked = blockers.contains_key(&partition.name);
+        let placement = if !blocked {
+            select_nodes(&sim_nodes, partition, &job.req)
+        } else {
+            try_backfill(&sim_nodes, partition, job, &blockers[&partition.name], now)
+        };
+
+        match placement {
+            Some(chosen) => {
+                apply_start(&mut sim_nodes, &chosen, job, now);
+                sim_assoc.note_start(&job.req.account, job.alloc_cpus());
+                *sim_run_counts
+                    .entry((job.req.user.clone(), job.req.qos.clone()))
+                    .or_insert(0) += 1;
+                if let Some(a) = &job.array {
+                    *sim_array_running.entry(a.array_job_id).or_insert(0) += 1;
+                }
+                plan.decisions.push(ScheduleDecision::Start {
+                    job: job.id,
+                    nodes: chosen,
+                    backfilled: blocked,
+                });
+            }
+            None if !blocked => {
+                // This job becomes the partition's blocker; compute its
+                // reservation so later jobs can only harmlessly backfill.
+                let reservation = compute_reservation(&sim_nodes, partition, job, running, now);
+                if let Some(r) = &reservation {
+                    plan.shadow_times.insert(partition.name.clone(), r.shadow);
+                }
+                blockers.insert(
+                    partition.name.clone(),
+                    reservation.unwrap_or(Reservation {
+                        shadow: Timestamp(u64::MAX),
+                        reserved_nodes: HashSet::new(),
+                    }),
+                );
+                plan.decisions.push(ScheduleDecision::Pend {
+                    job: job.id,
+                    reason: PendingReason::Resources,
+                });
+            }
+            None => {
+                plan.decisions.push(ScheduleDecision::Pend {
+                    job: job.id,
+                    reason: PendingReason::Priority,
+                });
+            }
+        }
+    }
+
+    plan
+}
+
+/// First limit the job trips, if any — in the order slurmctld reports them.
+fn limit_reason(
+    job: &Job,
+    partition: &Partition,
+    qos: &BTreeMap<String, Qos>,
+    assoc: &AssocStore,
+    run_counts: &HashMap<(String, String), u32>,
+    array_running: &HashMap<JobId, u32>,
+) -> Option<PendingReason> {
+    if partition.state != PartitionState::Up {
+        return Some(PendingReason::PartitionDown);
+    }
+    if !partition.allows_time(job.req.time_limit) {
+        return Some(PendingReason::PartitionTimeLimit);
+    }
+    if let Some(max_nodes) = partition.max_nodes_per_job {
+        if job.req.nodes > max_nodes {
+            return Some(PendingReason::BadConstraints);
+        }
+    }
+    let total = job.req.total_tres();
+    match assoc.check_start(&job.req.account, total.cpus, total.gpus) {
+        Err(LimitViolation::GrpCpuLimit) => return Some(PendingReason::AssocGrpCpuLimit),
+        Err(LimitViolation::GrpGpuMinsLimit) => {
+            return Some(PendingReason::AssocGrpGresMinutes)
+        }
+        Ok(()) => {}
+    }
+    if let Some(q) = qos.get(&job.req.qos) {
+        if let Some(cap) = q.max_jobs_per_user {
+            let running = run_counts
+                .get(&(job.req.user.clone(), job.req.qos.clone()))
+                .copied()
+                .unwrap_or(0);
+            if running >= cap {
+                return Some(PendingReason::QosMaxJobsPerUser);
+            }
+        }
+    }
+    if let Some(a) = &job.array {
+        if let Some(throttle) = a.max_concurrent {
+            let running = array_running.get(&a.array_job_id).copied().unwrap_or(0);
+            if running >= throttle {
+                return Some(PendingReason::JobArrayTaskLimit);
+            }
+        }
+    }
+    None
+}
+
+fn apply_start(nodes: &mut BTreeMap<String, Node>, chosen: &[String], job: &Job, now: Timestamp) {
+    let per_node = job.req.per_node_tres();
+    for name in chosen {
+        nodes
+            .get_mut(name)
+            .expect("scheduler chose an unknown node")
+            .allocate(per_node, now);
+    }
+}
+
+/// When (and on which nodes) could the blocker start, assuming running jobs
+/// end exactly at their time limits? Walks job endings in order, releasing
+/// resources on a scratch copy until the blocker fits.
+fn compute_reservation(
+    nodes: &BTreeMap<String, Node>,
+    partition: &Partition,
+    blocker: &Job,
+    running: &[RunningJobInfo],
+    now: Timestamp,
+) -> Option<Reservation> {
+    let mut scratch = nodes.clone();
+    let mut endings: Vec<&RunningJobInfo> = running.iter().collect();
+    endings.sort_by_key(|r| r.expected_end);
+
+    for info in endings {
+        for name in &info.nodes {
+            if let Some(n) = scratch.get_mut(name) {
+                n.release(info.per_node, now);
+            }
+        }
+        if let Some(chosen) = select_nodes(&scratch, partition, &blocker.req) {
+            return Some(Reservation {
+                shadow: info.expected_end,
+                reserved_nodes: chosen.into_iter().collect(),
+            });
+        }
+    }
+    None
+}
+
+/// Can `job` start now without delaying the blocker? Either it finishes
+/// before the shadow time (then any nodes are fine), or it avoids the
+/// reserved nodes entirely.
+fn try_backfill(
+    nodes: &BTreeMap<String, Node>,
+    partition: &Partition,
+    job: &Job,
+    reservation: &Reservation,
+    now: Timestamp,
+) -> Option<Vec<String>> {
+    let guaranteed_end = match job.req.time_limit {
+        TimeLimit::Limited(secs) => Timestamp(now.as_secs().saturating_add(secs)),
+        TimeLimit::Unlimited => Timestamp(u64::MAX),
+    };
+    if guaranteed_end <= reservation.shadow {
+        return select_nodes(nodes, partition, &job.req);
+    }
+    // Must stay off the reserved nodes.
+    let restricted = Partition {
+        nodes: partition
+            .nodes
+            .iter()
+            .filter(|n| !reservation.reserved_nodes.contains(*n))
+            .cloned()
+            .collect(),
+        ..partition.clone()
+    };
+    select_nodes(nodes, &restricted, &job.req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assoc::Account;
+    use crate::job::{JobRequest, JobState, UsageProfile};
+
+    fn mk_job(id: u32, cpus: u32, nodes: u32, limit_secs: u64) -> Job {
+        let mut req = JobRequest::simple("alice", "physics", "cpu", cpus);
+        req.nodes = nodes;
+        req.mem_mb_per_node = 1_000;
+        req.time_limit = TimeLimit::Limited(limit_secs);
+        req.usage = UsageProfile::batch(limit_secs / 2);
+        Job {
+            id: JobId(id),
+            array: None,
+            req,
+            state: JobState::Pending,
+            reason: None,
+            priority: 0,
+            submit_time: Timestamp(0),
+            eligible_time: Timestamp(0),
+            start_time: None,
+            end_time: None,
+            nodes: Vec::new(),
+            exit_code: None,
+            stats: None,
+            stdout_path: String::new(),
+            stderr_path: String::new(),
+        }
+    }
+
+    struct Fixture {
+        nodes: BTreeMap<String, Node>,
+        partitions: BTreeMap<String, Partition>,
+        qos: BTreeMap<String, Qos>,
+        assoc: AssocStore,
+    }
+
+    fn fixture(node_count: usize, cpus_per_node: u32) -> Fixture {
+        let mut nodes = BTreeMap::new();
+        for i in 1..=node_count {
+            let n = Node::new(format!("a{i:03}"), cpus_per_node, 64_000, 0);
+            nodes.insert(n.name.clone(), n);
+        }
+        let part = Partition::new("cpu").with_nodes(nodes.keys().cloned().collect());
+        let mut partitions = BTreeMap::new();
+        partitions.insert("cpu".to_string(), part);
+        let mut qos = BTreeMap::new();
+        qos.insert("normal".to_string(), Qos::new("normal", 0));
+        let mut assoc = AssocStore::new();
+        assoc.add_account(Account::new("physics"));
+        assoc.add_user("physics", "alice");
+        Fixture {
+            nodes,
+            partitions,
+            qos,
+            assoc,
+        }
+    }
+
+    fn plan(fix: &Fixture, running: &[RunningJobInfo], pending: &[&Job], now: u64) -> SchedulePlan {
+        plan_schedule(PlanInputs {
+            nodes: &fix.nodes,
+            partitions: &fix.partitions,
+            qos: &fix.qos,
+            assoc: &fix.assoc,
+            running,
+            pending,
+            run_counts: &HashMap::new(),
+            array_running: &HashMap::new(),
+            now: Timestamp(now),
+        })
+    }
+
+    #[test]
+    fn starts_jobs_that_fit() {
+        let fix = fixture(2, 16);
+        let j1 = mk_job(1, 16, 1, 3_600);
+        let j2 = mk_job(2, 16, 1, 3_600);
+        let p = plan(&fix, &[], &[&j1, &j2], 0);
+        assert!(matches!(p.decisions[0], ScheduleDecision::Start { backfilled: false, .. }));
+        assert!(matches!(p.decisions[1], ScheduleDecision::Start { backfilled: false, .. }));
+    }
+
+    #[test]
+    fn first_unfittable_becomes_resources_blocker() {
+        let fix = fixture(2, 16);
+        let wide = mk_job(1, 16, 2, 3_600); // needs both nodes
+        let filler = mk_job(2, 16, 2, 3_600);
+        let p = plan(&fix, &[], &[&wide, &filler], 0);
+        // wide starts (fits on empty cluster); filler blocked.
+        assert!(matches!(p.decisions[0], ScheduleDecision::Start { .. }));
+        assert_eq!(
+            p.decisions[1],
+            ScheduleDecision::Pend { job: JobId(2), reason: PendingReason::Resources }
+        );
+    }
+
+    #[test]
+    fn backfill_short_job_behind_blocker() {
+        // One node busy until t=1000 (its limit); blocker wants 2 nodes.
+        let mut fix = fixture(2, 16);
+        fix.nodes
+            .get_mut("a001")
+            .unwrap()
+            .allocate(Tres::new(16, 1_000, 0, 1), Timestamp(0));
+        let running = vec![RunningJobInfo {
+            nodes: vec!["a001".to_string()],
+            per_node: Tres::new(16, 1_000, 0, 1),
+            expected_end: Timestamp(1_000),
+        }];
+        let blocker = mk_job(1, 16, 2, 3_600);
+        let short = mk_job(2, 8, 1, 900); // ends before shadow (1000)
+        let long = mk_job(3, 8, 1, 7_200); // would outlive shadow AND needs a002 (reserved)
+        let p = plan(&fix, &running, &[&blocker, &short, &long], 0);
+        assert_eq!(
+            p.decisions[0],
+            ScheduleDecision::Pend { job: JobId(1), reason: PendingReason::Resources }
+        );
+        assert!(
+            matches!(p.decisions[1], ScheduleDecision::Start { backfilled: true, .. }),
+            "short job should backfill: {:?}",
+            p.decisions[1]
+        );
+        assert_eq!(p.shadow_times["cpu"], Timestamp(1_000));
+        // The long job must not delay the blocker; a002 is reserved, a001 is
+        // full, so it pends with Priority.
+        assert_eq!(
+            p.decisions[2],
+            ScheduleDecision::Pend { job: JobId(3), reason: PendingReason::Priority }
+        );
+    }
+
+    #[test]
+    fn assoc_limit_reason() {
+        let mut fix = fixture(2, 16);
+        fix.assoc.add_account(Account::new("tiny").with_cpu_limit(8));
+        fix.assoc.add_user("tiny", "alice");
+        let mut j = mk_job(1, 16, 1, 3_600);
+        j.req.account = "tiny".to_string();
+        let p = plan(&fix, &[], &[&j], 0);
+        assert_eq!(
+            p.decisions[0],
+            ScheduleDecision::Pend { job: JobId(1), reason: PendingReason::AssocGrpCpuLimit }
+        );
+    }
+
+    #[test]
+    fn assoc_limit_counts_planned_starts() {
+        // Account capped at 16 CPUs: first job takes all of it, second must
+        // pend even though the plan has not been applied to live state yet.
+        let mut fix = fixture(2, 16);
+        fix.assoc.add_account(Account::new("capped").with_cpu_limit(16));
+        fix.assoc.add_user("capped", "alice");
+        let mut j1 = mk_job(1, 16, 1, 3_600);
+        j1.req.account = "capped".to_string();
+        let mut j2 = mk_job(2, 16, 1, 3_600);
+        j2.req.account = "capped".to_string();
+        let p = plan(&fix, &[], &[&j1, &j2], 0);
+        assert!(matches!(p.decisions[0], ScheduleDecision::Start { .. }));
+        assert_eq!(
+            p.decisions[1],
+            ScheduleDecision::Pend { job: JobId(2), reason: PendingReason::AssocGrpCpuLimit }
+        );
+    }
+
+    #[test]
+    fn qos_running_cap() {
+        let mut fix = fixture(4, 16);
+        fix.qos
+            .insert("high".to_string(), Qos::new("high", 100).with_max_jobs_per_user(1));
+        let mut j1 = mk_job(1, 1, 1, 600);
+        j1.req.qos = "high".to_string();
+        let mut j2 = mk_job(2, 1, 1, 600);
+        j2.req.qos = "high".to_string();
+        let p = plan(&fix, &[], &[&j1, &j2], 0);
+        assert!(matches!(p.decisions[0], ScheduleDecision::Start { .. }));
+        assert_eq!(
+            p.decisions[1],
+            ScheduleDecision::Pend { job: JobId(2), reason: PendingReason::QosMaxJobsPerUser }
+        );
+    }
+
+    #[test]
+    fn partition_down_and_timelimit_reasons() {
+        let mut fix = fixture(1, 16);
+        let j = mk_job(1, 1, 1, 600);
+        fix.partitions.get_mut("cpu").unwrap().state = PartitionState::Down;
+        let p = plan(&fix, &[], &[&j], 0);
+        assert_eq!(
+            p.decisions[0],
+            ScheduleDecision::Pend { job: JobId(1), reason: PendingReason::PartitionDown }
+        );
+
+        fix.partitions.get_mut("cpu").unwrap().state = PartitionState::Up;
+        fix.partitions.get_mut("cpu").unwrap().max_time = TimeLimit::Limited(60);
+        let p = plan(&fix, &[], &[&j], 0);
+        assert_eq!(
+            p.decisions[0],
+            ScheduleDecision::Pend { job: JobId(1), reason: PendingReason::PartitionTimeLimit }
+        );
+    }
+
+    #[test]
+    fn impossible_request_is_bad_constraints() {
+        let fix = fixture(2, 16);
+        let giant = mk_job(1, 64, 1, 600);
+        let p = plan(&fix, &[], &[&giant], 0);
+        assert_eq!(
+            p.decisions[0],
+            ScheduleDecision::Pend { job: JobId(1), reason: PendingReason::BadConstraints }
+        );
+    }
+
+    #[test]
+    fn array_throttle() {
+        use crate::job::ArrayMeta;
+        let fix = fixture(4, 16);
+        let mut t0 = mk_job(10, 1, 1, 600);
+        t0.array = Some(ArrayMeta { array_job_id: JobId(10), task_id: 0, max_concurrent: Some(1) });
+        let mut t1 = mk_job(11, 1, 1, 600);
+        t1.array = Some(ArrayMeta { array_job_id: JobId(10), task_id: 1, max_concurrent: Some(1) });
+        let p = plan(&fix, &[], &[&t0, &t1], 0);
+        assert!(matches!(p.decisions[0], ScheduleDecision::Start { .. }));
+        assert_eq!(
+            p.decisions[1],
+            ScheduleDecision::Pend { job: JobId(11), reason: PendingReason::JobArrayTaskLimit }
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Node selection: which nodes can host a job right now (or ever).
+
+use crate::job::JobRequest;
+use crate::node::Node;
+use crate::partition::Partition;
+use std::collections::BTreeMap;
+
+/// Pick nodes for `req` from `partition`, best-fit (least free CPUs first)
+/// to keep large holes open for wide jobs. Returns the chosen node names or
+/// `None` if the job cannot start right now.
+pub fn select_nodes(
+    nodes: &BTreeMap<String, Node>,
+    partition: &Partition,
+    req: &JobRequest,
+) -> Option<Vec<String>> {
+    let per_node = req.per_node_tres();
+    let mut candidates: Vec<&Node> = partition
+        .nodes
+        .iter()
+        .filter_map(|name| nodes.get(name))
+        .filter(|n| n.can_fit(per_node) && has_features(n, &req.constraints))
+        .collect();
+    if (candidates.len() as u32) < req.nodes {
+        return None;
+    }
+    candidates.sort_by_key(|n| (n.cpus.saturating_sub(n.alloc.cpus), n.name.clone()));
+    Some(
+        candidates
+            .into_iter()
+            .take(req.nodes as usize)
+            .map(|n| n.name.clone())
+            .collect(),
+    )
+}
+
+/// Could the request ever be satisfied on an empty cluster? Used to
+/// distinguish `BadConstraints` (never) from `Resources`/`Priority` (not
+/// yet). Ignores current allocations and admin flags.
+pub fn could_ever_fit(
+    nodes: &BTreeMap<String, Node>,
+    partition: &Partition,
+    req: &JobRequest,
+) -> bool {
+    let per_node = req.per_node_tres();
+    let matching = partition
+        .nodes
+        .iter()
+        .filter_map(|name| nodes.get(name))
+        .filter(|n| {
+            per_node.cpus <= n.cpus
+                && per_node.mem_mb <= n.real_memory_mb
+                && per_node.gpus <= n.gpus
+                && has_features(n, &req.constraints)
+        })
+        .count();
+    matching as u32 >= req.nodes
+}
+
+fn has_features(node: &Node, constraints: &[String]) -> bool {
+    constraints.iter().all(|c| node.features.iter().any(|f| f == c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tres::Tres;
+    use hpcdash_simtime::Timestamp;
+
+    fn cluster() -> (BTreeMap<String, Node>, Partition) {
+        let mut nodes = BTreeMap::new();
+        for i in 1..=4 {
+            let mut n = Node::new(format!("a{i:03}"), 16, 64_000, 0);
+            n.features = vec!["avx2".to_string()];
+            nodes.insert(n.name.clone(), n);
+        }
+        let part = Partition::new("cpu").with_nodes(nodes.keys().cloned().collect());
+        (nodes, part)
+    }
+
+    fn req(nodes: u32, cpus: u32) -> JobRequest {
+        let mut r = JobRequest::simple("alice", "physics", "cpu", cpus);
+        r.nodes = nodes;
+        r.mem_mb_per_node = 1_000;
+        r
+    }
+
+    #[test]
+    fn selects_requested_count() {
+        let (nodes, part) = cluster();
+        let chosen = select_nodes(&nodes, &part, &req(2, 8)).unwrap();
+        assert_eq!(chosen.len(), 2);
+    }
+
+    #[test]
+    fn best_fit_prefers_fuller_nodes() {
+        let (mut nodes, part) = cluster();
+        // a001 has 12 free CPUs, the rest have 16.
+        nodes
+            .get_mut("a001")
+            .unwrap()
+            .allocate(Tres::new(4, 1_000, 0, 1), Timestamp(0));
+        let chosen = select_nodes(&nodes, &part, &req(1, 8)).unwrap();
+        assert_eq!(chosen, vec!["a001".to_string()], "least-free node picked first");
+    }
+
+    #[test]
+    fn no_fit_when_busy() {
+        let (mut nodes, part) = cluster();
+        for n in nodes.values_mut() {
+            n.allocate(Tres::new(16, 1_000, 0, 1), Timestamp(0));
+        }
+        assert!(select_nodes(&nodes, &part, &req(1, 1)).is_none());
+        assert!(could_ever_fit(&nodes, &part, &req(1, 1)), "would fit on an empty cluster");
+    }
+
+    #[test]
+    fn constraints_filter_nodes() {
+        let (nodes, part) = cluster();
+        let mut r = req(1, 1);
+        r.constraints = vec!["avx2".to_string()];
+        assert!(select_nodes(&nodes, &part, &r).is_some());
+        r.constraints = vec!["nvlink".to_string()];
+        assert!(select_nodes(&nodes, &part, &r).is_none());
+        assert!(!could_ever_fit(&nodes, &part, &r));
+    }
+
+    #[test]
+    fn impossible_requests_never_fit() {
+        let (nodes, part) = cluster();
+        assert!(!could_ever_fit(&nodes, &part, &req(1, 17)), "more CPUs than any node");
+        assert!(!could_ever_fit(&nodes, &part, &req(5, 1)), "more nodes than the partition");
+        let mut r = req(1, 1);
+        r.gpus_per_node = 1;
+        assert!(!could_ever_fit(&nodes, &part, &r), "no GPUs in partition");
+    }
+}

@@ -1,0 +1,131 @@
+//! Multifactor job priority, modelled on Slurm's priority/multifactor
+//! plugin: a weighted sum of age, fairshare, QoS and partition factors.
+
+use crate::assoc::AssocStore;
+use crate::job::Job;
+use crate::partition::Partition;
+use crate::qos::Qos;
+use hpcdash_simtime::Timestamp;
+
+/// Weights for the priority factors. Defaults approximate a typical
+/// university-cluster configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityWeights {
+    pub age: u64,
+    pub fairshare: u64,
+    pub qos: u64,
+    pub partition: u64,
+    /// Age saturates after this many seconds (Slurm's `PriorityMaxAge`).
+    pub max_age_secs: u64,
+}
+
+impl Default for PriorityWeights {
+    fn default() -> PriorityWeights {
+        PriorityWeights {
+            age: 1_000,
+            fairshare: 10_000,
+            qos: 1,
+            partition: 100,
+            max_age_secs: 7 * 86_400,
+        }
+    }
+}
+
+/// Compute a job's scheduling priority at `now`.
+pub fn compute_priority(
+    job: &Job,
+    now: Timestamp,
+    assoc: &AssocStore,
+    qos: Option<&Qos>,
+    partition: Option<&Partition>,
+    weights: &PriorityWeights,
+) -> u64 {
+    let age_secs = now.since(job.eligible_time).min(weights.max_age_secs);
+    let age_factor = age_secs as f64 / weights.max_age_secs as f64;
+    let fs_factor = assoc.fairshare(&job.req.account);
+    let qos_prio = qos.map(|q| q.priority as u64).unwrap_or(0);
+    let tier = partition.map(|p| p.priority_tier as u64).unwrap_or(1);
+
+    (age_factor * weights.age as f64) as u64
+        + (fs_factor * weights.fairshare as f64) as u64
+        + qos_prio * weights.qos
+        + tier * weights.partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assoc::Account;
+    use crate::job::{JobId, JobRequest, JobState};
+
+    fn job_at(eligible: u64) -> Job {
+        let req = JobRequest::simple("alice", "physics", "cpu", 4);
+        Job {
+            id: JobId(1),
+            array: None,
+            req,
+            state: JobState::Pending,
+            reason: None,
+            priority: 0,
+            submit_time: Timestamp(eligible),
+            eligible_time: Timestamp(eligible),
+            start_time: None,
+            end_time: None,
+            nodes: Vec::new(),
+            exit_code: None,
+            stats: None,
+            stdout_path: String::new(),
+            stderr_path: String::new(),
+        }
+    }
+
+    fn assoc() -> AssocStore {
+        let mut a = AssocStore::new();
+        a.add_account(Account::new("physics"));
+        a.add_user("physics", "alice");
+        a
+    }
+
+    #[test]
+    fn age_increases_priority() {
+        let a = assoc();
+        let w = PriorityWeights::default();
+        let job = job_at(0);
+        let p_young = compute_priority(&job, Timestamp(60), &a, None, None, &w);
+        let p_old = compute_priority(&job, Timestamp(86_400), &a, None, None, &w);
+        assert!(p_old > p_young);
+    }
+
+    #[test]
+    fn age_saturates() {
+        let a = assoc();
+        let w = PriorityWeights::default();
+        let job = job_at(0);
+        let p1 = compute_priority(&job, Timestamp(w.max_age_secs), &a, None, None, &w);
+        let p2 = compute_priority(&job, Timestamp(w.max_age_secs * 5), &a, None, None, &w);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn heavy_usage_lowers_priority() {
+        let mut a = assoc();
+        let w = PriorityWeights::default();
+        let job = job_at(0);
+        let before = compute_priority(&job, Timestamp(0), &a, None, None, &w);
+        a.note_start("physics", 1_000);
+        a.note_end("physics", "alice", 1_000, 0, 360_000, 1.0);
+        let after = compute_priority(&job, Timestamp(0), &a, None, None, &w);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn qos_priority_adds() {
+        let a = assoc();
+        let w = PriorityWeights::default();
+        let job = job_at(0);
+        let base = compute_priority(&job, Timestamp(0), &a, None, None, &w);
+        let high = Qos::new("high", 10_000);
+        let boosted = compute_priority(&job, Timestamp(0), &a, Some(&high), None, &w);
+        assert_eq!(boosted, base + 10_000);
+    }
+}

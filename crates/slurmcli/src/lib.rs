@@ -1,0 +1,37 @@
+//! The Slurm command layer: textual `squeue` / `sinfo` / `sacct` /
+//! `scontrol` implementations over the simulated daemons, plus parsers.
+//!
+//! The paper's backend "runs Slurm commands to gather job details,
+//! allocation information, and system statuses" (§2.2.2). This crate keeps
+//! that exact boundary: the dashboard invokes a command, gets *text* in the
+//! real tool's format, and parses it back into records. The round-trip is
+//! property-tested, so dashboards built on it behave like dashboards built
+//! on real Slurm output.
+
+pub mod sacct;
+pub mod scontrol;
+pub mod seff;
+pub mod sinfo;
+pub mod squeue;
+
+pub use sacct::{parse_sacct, sacct, SacctArgs, SacctRecord, SACCT_FIELDS};
+pub use seff::seff;
+pub use scontrol::{
+    parse_show_assoc, parse_show_job, parse_show_node, show_assoc, show_job, show_node, AssocRow,
+    ScontrolJob, ScontrolNode,
+};
+pub use sinfo::{
+    compute_usage, parse_sinfo_summary, parse_sinfo_usage, sinfo_summary, sinfo_usage,
+    PartitionUsage, SinfoRow,
+};
+pub use squeue::{
+    parse_squeue, parse_squeue_long, squeue, squeue_long, SqueueArgs, SqueueLongRow, SqueueRow,
+};
+
+/// Render a missing timestamp the way Slurm does.
+pub(crate) fn opt_time(t: Option<hpcdash_simtime::Timestamp>) -> String {
+    match t {
+        Some(ts) => ts.to_slurm(),
+        None => "Unknown".to_string(),
+    }
+}

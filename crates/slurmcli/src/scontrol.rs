@@ -1,0 +1,549 @@
+//! `scontrol show job|node|assoc_mgr`: detailed single-entity dumps.
+//!
+//! Output uses slurm's `Key=Value` token format, records separated by blank
+//! lines. The Node Overview and Job Overview pages (paper §6.1, §7) are fed
+//! from these, and the Accounts widget (§3.4) from the assoc dump.
+
+use crate::opt_time;
+use hpcdash_simtime::{format_duration, parse_timestamp, Timestamp};
+use hpcdash_slurm::ctld::Slurmctld;
+use hpcdash_slurm::job::{Job, JobId, JobState, PendingReason};
+use hpcdash_slurm::node::{Node, NodeState};
+use hpcdash_slurm::tres::format_mem_mb;
+use std::collections::BTreeMap;
+
+/// A parsed `scontrol show job` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScontrolJob {
+    pub job_id: JobId,
+    pub name: String,
+    pub user: String,
+    pub account: String,
+    pub qos: String,
+    pub state: JobState,
+    pub reason: Option<PendingReason>,
+    pub priority: u64,
+    pub partition: String,
+    pub submit_time: Option<Timestamp>,
+    pub eligible_time: Option<Timestamp>,
+    pub start_time: Option<Timestamp>,
+    pub end_time: Option<Timestamp>,
+    pub time_limit: String,
+    pub run_time_secs: u64,
+    pub num_nodes: u32,
+    pub num_cpus: u32,
+    pub mem_per_node: String,
+    pub gres: Option<String>,
+    pub nodelist: Option<String>,
+    pub work_dir: String,
+    pub std_out: String,
+    pub std_err: String,
+    pub comment: Option<String>,
+    pub array_job_id: Option<JobId>,
+    pub array_task_id: Option<u32>,
+    pub dependency: Option<JobId>,
+    /// Every raw key=value token, for fields the typed view omits.
+    pub raw: BTreeMap<String, String>,
+}
+
+/// A parsed `scontrol show node` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScontrolNode {
+    pub name: String,
+    pub state: NodeState,
+    pub cpu_alloc: u32,
+    pub cpu_total: u32,
+    pub cpu_load: f64,
+    pub real_memory_mb: u64,
+    pub alloc_memory_mb: u64,
+    pub gres: Option<String>,
+    pub gres_used: Option<String>,
+    pub features: Vec<String>,
+    pub partitions: Vec<String>,
+    pub os: String,
+    pub boot_time: Option<Timestamp>,
+    pub last_busy: Option<Timestamp>,
+    pub reason: Option<String>,
+    pub raw: BTreeMap<String, String>,
+}
+
+/// `scontrol show job <id>`: live job details from slurmctld.
+pub fn show_job(ctld: &Slurmctld, id: JobId) -> Option<String> {
+    ctld.query_job(id).map(|j| render_job(&j, ctld.clock_now()))
+}
+
+/// Render one job record.
+pub fn render_job(job: &Job, now: Timestamp) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("JobId={} JobName={}\n", job.id, token(&job.req.name)));
+    s.push_str(&format!(
+        "   UserId={}(1000) Account={} QOS={} Priority={}\n",
+        job.req.user, job.req.account, job.req.qos, job.priority
+    ));
+    s.push_str(&format!(
+        "   JobState={} Reason={} Dependency={}\n",
+        job.state.to_slurm(),
+        job.reason.map(|r| r.to_slurm()).unwrap_or("None"),
+        job.req
+            .dependency
+            .map(|d| format!("afterok:{d}"))
+            .unwrap_or_else(|| "(null)".to_string()),
+    ));
+    s.push_str(&format!(
+        "   SubmitTime={} EligibleTime={}\n",
+        job.submit_time.to_slurm(),
+        job.eligible_time.to_slurm()
+    ));
+    s.push_str(&format!(
+        "   StartTime={} EndTime={}\n",
+        opt_time(job.start_time),
+        opt_time(job.end_time)
+    ));
+    s.push_str(&format!(
+        "   TimeLimit={} RunTime={}\n",
+        job.req.time_limit.to_slurm(),
+        format_duration(job.elapsed_secs(now))
+    ));
+    s.push_str(&format!(
+        "   Partition={} NodeList={}\n",
+        job.req.partition,
+        if job.nodes.is_empty() {
+            "(null)".to_string()
+        } else {
+            job.nodes.join(",")
+        }
+    ));
+    s.push_str(&format!(
+        "   NumNodes={} NumCPUs={} MinMemoryNode={}",
+        job.req.nodes,
+        job.alloc_cpus(),
+        format_mem_mb(job.req.mem_mb_per_node)
+    ));
+    if job.req.gpus_per_node > 0 {
+        s.push_str(&format!(" Gres=gpu:{}", job.req.gpus_per_node));
+    }
+    s.push('\n');
+    s.push_str(&format!("   WorkDir={}\n", token(&job.req.work_dir)));
+    s.push_str(&format!(
+        "   StdOut={} StdErr={}\n",
+        token(&job.stdout_path),
+        token(&job.stderr_path)
+    ));
+    if let Some(c) = &job.req.comment {
+        s.push_str(&format!("   Comment={}\n", token(c)));
+    }
+    if let Some(a) = &job.array {
+        s.push_str(&format!(
+            "   ArrayJobId={} ArrayTaskId={}\n",
+            a.array_job_id, a.task_id
+        ));
+    }
+    s
+}
+
+/// Parse a `scontrol show job` dump (one record).
+pub fn parse_show_job(text: &str) -> Result<ScontrolJob, String> {
+    let raw = tokenize(text);
+    let get = |k: &str| raw.get(k).cloned();
+    let req = |k: &str| get(k).ok_or_else(|| format!("missing {k}"));
+    Ok(ScontrolJob {
+        job_id: JobId(req("JobId")?.parse().map_err(|_| "bad JobId".to_string())?),
+        name: req("JobName")?,
+        user: req("UserId")?
+            .split('(')
+            .next()
+            .unwrap_or_default()
+            .to_string(),
+        account: req("Account")?,
+        qos: req("QOS")?,
+        state: JobState::parse(&req("JobState")?).ok_or("bad JobState")?,
+        reason: get("Reason").filter(|r| r != "None").and_then(|r| PendingReason::parse(&r)),
+        priority: req("Priority")?.parse().map_err(|_| "bad Priority".to_string())?,
+        partition: req("Partition")?,
+        submit_time: get("SubmitTime").and_then(|v| parse_timestamp(&v)),
+        eligible_time: get("EligibleTime").and_then(|v| parse_timestamp(&v)),
+        start_time: get("StartTime").and_then(|v| parse_timestamp(&v)),
+        end_time: get("EndTime").and_then(|v| parse_timestamp(&v)),
+        time_limit: req("TimeLimit")?,
+        run_time_secs: hpcdash_simtime::parse_duration(&req("RunTime")?).ok_or("bad RunTime")?,
+        num_nodes: req("NumNodes")?.parse().map_err(|_| "bad NumNodes".to_string())?,
+        num_cpus: req("NumCPUs")?.parse().map_err(|_| "bad NumCPUs".to_string())?,
+        mem_per_node: req("MinMemoryNode")?,
+        gres: get("Gres"),
+        nodelist: get("NodeList").filter(|v| v != "(null)"),
+        work_dir: req("WorkDir")?,
+        std_out: req("StdOut")?,
+        std_err: req("StdErr")?,
+        comment: get("Comment"),
+        array_job_id: get("ArrayJobId").and_then(|v| v.parse().ok()).map(JobId),
+        array_task_id: get("ArrayTaskId").and_then(|v| v.parse().ok()),
+        dependency: get("Dependency")
+            .filter(|v| v != "(null)")
+            .and_then(|v| v.strip_prefix("afterok:").and_then(|x| x.parse().ok()))
+            .map(JobId),
+        raw,
+    })
+}
+
+/// `scontrol show node [<name>]`: one or all nodes.
+pub fn show_node(ctld: &Slurmctld, name: Option<&str>) -> String {
+    match name {
+        Some(n) => ctld
+            .query_node(n)
+            .map(|node| render_node(&node))
+            .unwrap_or_default(),
+        None => {
+            let nodes = ctld.query_nodes();
+            nodes
+                .iter()
+                .map(render_node)
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+    }
+}
+
+/// Render one node record.
+pub fn render_node(node: &Node) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("NodeName={} Arch=x86_64\n", node.name));
+    s.push_str(&format!(
+        "   CPUAlloc={} CPUTot={} CPULoad={:.2}\n",
+        node.alloc.cpus, node.cpus, node.cpu_load
+    ));
+    s.push_str(&format!(
+        "   AvailableFeatures={}\n",
+        if node.features.is_empty() {
+            "(null)".to_string()
+        } else {
+            node.features.join(",")
+        }
+    ));
+    if node.gpus > 0 {
+        let ty = node.gpu_type.as_deref().unwrap_or("gpu");
+        s.push_str(&format!(
+            "   Gres=gpu:{}:{} GresUsed=gpu:{}:{}\n",
+            ty, node.gpus, ty, node.alloc.gpus
+        ));
+    }
+    s.push_str(&format!(
+        "   RealMemory={} AllocMem={}\n",
+        node.real_memory_mb, node.alloc.mem_mb
+    ));
+    s.push_str(&format!(
+        "   State={} Partitions={}\n",
+        node.state().to_slurm(),
+        if node.partitions.is_empty() {
+            "(null)".to_string()
+        } else {
+            node.partitions.join(",")
+        }
+    ));
+    s.push_str(&format!("   OS={}\n", token(&node.os)));
+    s.push_str(&format!(
+        "   BootTime={} LastBusyTime={}\n",
+        node.boot_time.to_slurm(),
+        node.last_busy.to_slurm()
+    ));
+    if let Some(r) = &node.reason {
+        s.push_str(&format!("   Reason={}\n", token(r)));
+    }
+    s
+}
+
+/// Parse one or more `scontrol show node` records.
+pub fn parse_show_node(text: &str) -> Result<Vec<ScontrolNode>, String> {
+    let mut out = Vec::new();
+    for chunk in split_records(text) {
+        let raw = tokenize(&chunk);
+        let get = |k: &str| raw.get(k).cloned();
+        let req = |k: &str| get(k).ok_or_else(|| format!("missing {k}"));
+        out.push(ScontrolNode {
+            name: req("NodeName")?,
+            state: NodeState::parse(&req("State")?).ok_or("bad State")?,
+            cpu_alloc: req("CPUAlloc")?.parse().map_err(|_| "bad CPUAlloc".to_string())?,
+            cpu_total: req("CPUTot")?.parse().map_err(|_| "bad CPUTot".to_string())?,
+            cpu_load: req("CPULoad")?.parse().map_err(|_| "bad CPULoad".to_string())?,
+            real_memory_mb: req("RealMemory")?.parse().map_err(|_| "bad RealMemory".to_string())?,
+            alloc_memory_mb: req("AllocMem")?.parse().map_err(|_| "bad AllocMem".to_string())?,
+            gres: get("Gres"),
+            gres_used: get("GresUsed"),
+            features: get("AvailableFeatures")
+                .filter(|v| v != "(null)")
+                .map(|v| v.split(',').map(str::to_string).collect())
+                .unwrap_or_default(),
+            partitions: get("Partitions")
+                .filter(|v| v != "(null)")
+                .map(|v| v.split(',').map(str::to_string).collect())
+                .unwrap_or_default(),
+            os: req("OS")?,
+            boot_time: get("BootTime").and_then(|v| parse_timestamp(&v)),
+            last_busy: get("LastBusyTime").and_then(|v| parse_timestamp(&v)),
+            reason: get("Reason"),
+            raw,
+        });
+    }
+    Ok(out)
+}
+
+/// `scontrol show assoc_mgr`-flavoured account dump (simplified format, one
+/// line per account).
+pub fn show_assoc(ctld: &Slurmctld, user: Option<&str>) -> String {
+    let records = ctld.query_assoc(user);
+    let mut s = String::from(
+        "Account GrpTRESCpu GrpTRESMinsGpu CPUsInUse CPUsQueued GPUSecondsUsed Users\n",
+    );
+    for r in records {
+        s.push_str(&format!(
+            "{} {} {} {} {} {} {}\n",
+            r.account.name,
+            r.account
+                .grp_cpu_limit
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "N".to_string()),
+            r.account
+                .grp_gpu_mins_limit
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "N".to_string()),
+            r.usage.cpus_running,
+            r.usage.cpus_queued,
+            r.usage.gpu_seconds,
+            if r.members.is_empty() {
+                "-".to_string()
+            } else {
+                r.members.join(",")
+            }
+        ));
+    }
+    s
+}
+
+/// One parsed assoc row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssocRow {
+    pub account: String,
+    pub grp_cpu_limit: Option<u32>,
+    pub grp_gpu_mins_limit: Option<u64>,
+    pub cpus_in_use: u32,
+    pub cpus_queued: u32,
+    pub gpu_seconds_used: u64,
+    pub users: Vec<String>,
+}
+
+/// Parse the assoc dump.
+pub fn parse_show_assoc(text: &str) -> Result<Vec<AssocRow>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let p: Vec<&str> = line.split_whitespace().collect();
+        if p.len() != 7 {
+            return Err(format!("malformed assoc line: {line:?}"));
+        }
+        let opt_num = |s: &str| -> Option<u64> {
+            if s == "N" {
+                None
+            } else {
+                s.parse().ok()
+            }
+        };
+        out.push(AssocRow {
+            account: p[0].to_string(),
+            grp_cpu_limit: opt_num(p[1]).map(|x| x as u32),
+            grp_gpu_mins_limit: opt_num(p[2]),
+            cpus_in_use: p[3].parse().map_err(|_| "bad cpus_in_use".to_string())?,
+            cpus_queued: p[4].parse().map_err(|_| "bad cpus_queued".to_string())?,
+            gpu_seconds_used: p[5].parse().map_err(|_| "bad gpu_seconds".to_string())?,
+            users: if p[6] == "-" {
+                Vec::new()
+            } else {
+                p[6].split(',').map(str::to_string).collect()
+            },
+        });
+    }
+    Ok(out)
+}
+
+// ---- shared helpers ---------------------------------------------------------
+
+/// Split a multi-record dump into per-record chunks (records start with a
+/// non-indented line).
+fn split_records(text: &str) -> Vec<String> {
+    let mut records: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !line.starts_with(' ') && !records.is_empty() {
+            records.push(String::new());
+        }
+        if records.is_empty() {
+            records.push(String::new());
+        }
+        let last = records.last_mut().expect("pushed above");
+        last.push_str(line);
+        last.push('\n');
+    }
+    records.retain(|r| !r.trim().is_empty());
+    records
+}
+
+/// Tokenize `Key=Value` pairs across the record.
+fn tokenize(text: &str) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for tok in text.split_whitespace() {
+        if let Some((k, v)) = tok.split_once('=') {
+            // First occurrence wins (JobId before ArrayJobId etc. are
+            // distinct keys, so this only matters for malformed input).
+            map.entry(k.to_string()).or_insert_with(|| v.to_string());
+        }
+    }
+    map
+}
+
+/// scontrol values cannot contain whitespace.
+fn token(v: &str) -> String {
+    let t: String = v
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect();
+    if t.is_empty() {
+        "(null)".to_string()
+    } else {
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcdash_simtime::TimeLimit;
+    use hpcdash_slurm::job::{ArrayMeta, JobRequest, UsageProfile};
+    use hpcdash_slurm::tres::Tres;
+
+    fn running_job() -> Job {
+        let mut req = JobRequest::simple("alice", "physics", "cpu", 8);
+        req.nodes = 2;
+        req.gpus_per_node = 1;
+        req.time_limit = TimeLimit::Limited(7_200);
+        req.usage = UsageProfile::batch(3_600);
+        req.comment = Some("ood:rstudio:sess9:/home/alice/ondemand".to_string());
+        Job {
+            id: JobId(55),
+            array: Some(ArrayMeta { array_job_id: JobId(55), task_id: 3, max_concurrent: None }),
+            req,
+            state: JobState::Running,
+            reason: None,
+            priority: 12_345,
+            submit_time: Timestamp(100),
+            eligible_time: Timestamp(100),
+            start_time: Some(Timestamp(400)),
+            end_time: None,
+            nodes: vec!["a001".to_string(), "a002".to_string()],
+            exit_code: None,
+            stats: None,
+            stdout_path: "/home/alice/slurm-55.out".to_string(),
+            stderr_path: "/home/alice/slurm-55.err".to_string(),
+        }
+    }
+
+    #[test]
+    fn job_roundtrip() {
+        let j = running_job();
+        let text = render_job(&j, Timestamp(1_000));
+        let p = parse_show_job(&text).unwrap();
+        assert_eq!(p.job_id, JobId(55));
+        assert_eq!(p.user, "alice");
+        assert_eq!(p.state, JobState::Running);
+        assert_eq!(p.reason, None);
+        assert_eq!(p.priority, 12_345);
+        assert_eq!(p.start_time, Some(Timestamp(400)));
+        assert_eq!(p.end_time, None);
+        assert_eq!(p.run_time_secs, 600);
+        assert_eq!(p.num_cpus, 16);
+        assert_eq!(p.num_nodes, 2);
+        assert_eq!(p.nodelist.as_deref(), Some("a001,a002"));
+        assert_eq!(p.gres.as_deref(), Some("gpu:1"));
+        assert_eq!(p.array_job_id, Some(JobId(55)));
+        assert_eq!(p.array_task_id, Some(3));
+        assert!(p.comment.unwrap().starts_with("ood:rstudio"));
+        assert_eq!(p.std_out, "/home/alice/slurm-55.out");
+    }
+
+    #[test]
+    fn pending_job_with_reason_and_dependency() {
+        let mut j = running_job();
+        j.state = JobState::Pending;
+        j.reason = Some(PendingReason::AssocGrpCpuLimit);
+        j.req.dependency = Some(JobId(54));
+        j.start_time = None;
+        j.nodes = Vec::new();
+        let p = parse_show_job(&render_job(&j, Timestamp(1_000))).unwrap();
+        assert_eq!(p.reason, Some(PendingReason::AssocGrpCpuLimit));
+        assert_eq!(p.dependency, Some(JobId(54)));
+        assert_eq!(p.nodelist, None);
+        assert_eq!(p.start_time, None);
+    }
+
+    #[test]
+    fn node_roundtrip_single_and_multi() {
+        let mut n1 = Node::new("g001", 64, 512_000, 4);
+        n1.features = vec!["a100".to_string(), "nvlink".to_string()];
+        n1.partitions = vec!["gpu".to_string()];
+        n1.allocate(Tres::new(32, 200_000, 2, 1), Timestamp(500));
+        n1.cpu_load = 30.72;
+        let mut n2 = Node::new("a001", 128, 257_000, 0);
+        n2.admin_flag = hpcdash_slurm::node::AdminFlag::Drain;
+        n2.reason = Some("bad DIMM".to_string());
+
+        let text = format!("{}\n{}", render_node(&n1), render_node(&n2));
+        let parsed = parse_show_node(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let p1 = &parsed[0];
+        assert_eq!(p1.name, "g001");
+        assert_eq!(p1.state, NodeState::Mixed);
+        assert_eq!(p1.cpu_alloc, 32);
+        assert_eq!(p1.cpu_total, 64);
+        assert!((p1.cpu_load - 30.72).abs() < 1e-9);
+        assert_eq!(p1.gres.as_deref(), Some("gpu:a100:4"));
+        assert_eq!(p1.gres_used.as_deref(), Some("gpu:a100:2"));
+        assert_eq!(p1.features, vec!["a100", "nvlink"]);
+        assert_eq!(p1.partitions, vec!["gpu"]);
+        let p2 = &parsed[1];
+        assert_eq!(p2.state, NodeState::Drained);
+        assert_eq!(p2.reason.as_deref(), Some("bad_DIMM"));
+        assert_eq!(p2.alloc_memory_mb, 0);
+    }
+
+    #[test]
+    fn assoc_roundtrip() {
+        let text = "Account GrpTRESCpu GrpTRESMinsGpu CPUsInUse CPUsQueued GPUSecondsUsed Users\n\
+                    physics 256 6000 32 16 7200 alice,bob\n\
+                    bio N N 0 0 0 carol\n\
+                    empty N N 0 0 0 -\n";
+        let rows = parse_show_assoc(text).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].grp_cpu_limit, Some(256));
+        assert_eq!(rows[0].users, vec!["alice", "bob"]);
+        assert_eq!(rows[1].grp_cpu_limit, None);
+        assert!(rows[2].users.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_show_job("JobId=abc").is_err());
+        assert!(parse_show_job("nothing useful").is_err());
+        assert!(parse_show_node("NodeName=a001\n   State=IDLE\n").is_err(), "missing fields");
+        assert!(parse_show_assoc("hdr\nfoo bar\n").is_err());
+    }
+
+    #[test]
+    fn split_records_handles_indentation() {
+        let text = "A=1\n   B=2\nC=3\n   D=4\n";
+        let recs = split_records(text);
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].contains("B=2"));
+        assert!(recs[1].contains("C=3"));
+    }
+}

@@ -1,0 +1,151 @@
+//! `seff`: the classic per-job efficiency report, built on accounting data.
+//!
+//! The dashboard's efficiency engine shows the same numbers in the job
+//! table; `seff` is the terminal tool users previously had to run (and the
+//! reference the dashboard's values can be validated against).
+
+use hpcdash_simtime::format_duration;
+use hpcdash_slurm::dbd::Slurmdbd;
+use hpcdash_slurm::job::{Job, JobId};
+
+/// Render the `seff` report for a job, or `None` if accounting has no
+/// record of it.
+pub fn seff(dbd: &Slurmdbd, id: JobId) -> Option<String> {
+    dbd.job(id).map(|job| render(&job))
+}
+
+/// Render the report from a job record.
+pub fn render(job: &Job) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Job ID: {}\n", job.display_id()));
+    out.push_str(&format!("User/Group: {}/{}\n", job.req.user, job.req.account));
+    out.push_str(&format!(
+        "State: {}{}\n",
+        job.state.to_slurm(),
+        job.exit_code
+            .map(|(c, _)| format!(" (exit code {c})"))
+            .unwrap_or_default()
+    ));
+    let cores = job.alloc_cpus();
+    out.push_str(&format!("Cores: {cores}\n"));
+
+    let elapsed = match (job.start_time, job.end_time) {
+        (Some(s), Some(e)) => e.since(s),
+        _ => 0,
+    };
+    match job.stats {
+        Some(stats) if elapsed > 0 && cores > 0 => {
+            let core_wall = elapsed * cores as u64;
+            let cpu_eff = stats.total_cpu_secs as f64 / core_wall as f64 * 100.0;
+            out.push_str(&format!(
+                "CPU Utilized: {}\n",
+                format_duration(stats.total_cpu_secs)
+            ));
+            out.push_str(&format!(
+                "CPU Efficiency: {:.2}% of {} core-walltime\n",
+                cpu_eff.min(100.0),
+                format_duration(core_wall)
+            ));
+            out.push_str(&format!(
+                "Job Wall-clock time: {}\n",
+                format_duration(elapsed)
+            ));
+            let mem_eff = if job.req.mem_mb_per_node > 0 {
+                stats.max_rss_mb as f64 / job.req.mem_mb_per_node as f64 * 100.0
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "Memory Utilized: {:.2} GB\n",
+                stats.max_rss_mb as f64 / 1_024.0
+            ));
+            out.push_str(&format!(
+                "Memory Efficiency: {:.2}% of {:.2} GB\n",
+                mem_eff.min(100.0),
+                job.req.mem_mb_per_node as f64 / 1_024.0
+            ));
+        }
+        _ => {
+            out.push_str("Efficiency not available for jobs without usage data.\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcdash_simtime::{TimeLimit, Timestamp};
+    use hpcdash_slurm::job::{JobRequest, JobState, JobStats, UsageProfile};
+
+    fn finished() -> Job {
+        let mut req = JobRequest::simple("alice", "physics", "cpu", 8);
+        req.time_limit = TimeLimit::Limited(7_200);
+        req.usage = UsageProfile::batch(3_600);
+        Job {
+            id: JobId(500),
+            array: None,
+            req,
+            state: JobState::Completed,
+            reason: None,
+            priority: 0,
+            submit_time: Timestamp(0),
+            eligible_time: Timestamp(0),
+            start_time: Some(Timestamp(100)),
+            end_time: Some(Timestamp(3_700)),
+            nodes: vec!["a001".to_string()],
+            exit_code: Some((0, 0)),
+            stats: Some(JobStats {
+                total_cpu_secs: 14_400, // 50% of 8 cores x 1h
+                max_rss_mb: 8_192,      // 50% of 16 GB
+            }),
+            stdout_path: String::new(),
+            stderr_path: String::new(),
+        }
+    }
+
+    #[test]
+    fn report_shape_and_numbers() {
+        let text = render(&finished());
+        assert!(text.contains("Job ID: 500"));
+        assert!(text.contains("User/Group: alice/physics"));
+        assert!(text.contains("State: COMPLETED (exit code 0)"));
+        assert!(text.contains("Cores: 8"));
+        assert!(text.contains("CPU Utilized: 04:00:00"));
+        assert!(text.contains("CPU Efficiency: 50.00% of 8:00:00 core-walltime")
+            || text.contains("CPU Efficiency: 50.00% of 08:00:00 core-walltime"));
+        assert!(text.contains("Job Wall-clock time: 01:00:00"));
+        assert!(text.contains("Memory Utilized: 8.00 GB"));
+        assert!(text.contains("Memory Efficiency: 50.00% of 16.00 GB"));
+    }
+
+    #[test]
+    fn pending_job_has_no_efficiency() {
+        let mut j = finished();
+        j.state = JobState::Pending;
+        j.start_time = None;
+        j.end_time = None;
+        j.stats = None;
+        j.exit_code = None;
+        let text = render(&j);
+        assert!(text.contains("State: PENDING"));
+        assert!(text.contains("not available"));
+    }
+
+    #[test]
+    fn matches_dashboard_efficiency_engine() {
+        // seff and the dashboard must agree (both are TotalCPU/(elapsed*cores)).
+        let job = finished();
+        let text = hpcdash_slurmcli_render_roundtrip(&job);
+        let recs = crate::parse_sacct(&text).unwrap();
+        let cpu_eff_dashboard = recs[0].total_cpu_secs.unwrap() as f64
+            / (recs[0].elapsed_secs as f64 * recs[0].alloc_cpus as f64);
+        assert!((cpu_eff_dashboard - 0.5).abs() < 1e-9);
+        let seff_text = render(&job);
+        assert!(seff_text.contains("50.00%"));
+    }
+
+    fn hpcdash_slurmcli_render_roundtrip(job: &Job) -> String {
+        crate::sacct::render(std::slice::from_ref(job), Timestamp(10_000))
+    }
+}

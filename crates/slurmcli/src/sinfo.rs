@@ -1,0 +1,328 @@
+//! `sinfo`: partition/node summaries against slurmctld.
+//!
+//! Two shapes are implemented, matching the two the dashboard needs:
+//!
+//! * [`sinfo_summary`] — the default `PARTITION AVAIL TIMELIMIT NODES STATE
+//!   NODELIST` grouping, for the Cluster Status list view.
+//! * [`sinfo_usage`] — `sinfo -o "%P %a %C %G"`-style per-partition CPU/GPU
+//!   usage (`alloc/idle/other/total`), which drives the System Status
+//!   widget's utilization bars (paper §3.3).
+
+use hpcdash_slurm::ctld::Slurmctld;
+use hpcdash_slurm::node::{Node, NodeState};
+use hpcdash_slurm::partition::Partition;
+use std::collections::BTreeMap;
+
+/// One row of the default `sinfo` grouping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinfoRow {
+    pub partition: String,
+    pub avail: String,
+    pub timelimit: String,
+    pub node_count: u32,
+    pub state: NodeState,
+    pub nodelist: Vec<String>,
+}
+
+/// Per-partition resource usage for the System Status widget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionUsage {
+    pub partition: String,
+    /// `UP` / `DOWN` / ...
+    pub avail: String,
+    pub cpus_alloc: u32,
+    pub cpus_idle: u32,
+    /// CPUs on nodes that are down/drained/maint.
+    pub cpus_other: u32,
+    pub cpus_total: u32,
+    pub gpus_alloc: u32,
+    pub gpus_total: u32,
+    pub nodes_total: u32,
+    pub nodes_in_use: u32,
+}
+
+impl PartitionUsage {
+    /// CPU utilization over the *usable* pool, in `[0, 1]`.
+    pub fn cpu_utilization(&self) -> f64 {
+        let usable = self.cpus_alloc + self.cpus_idle;
+        if usable == 0 {
+            0.0
+        } else {
+            self.cpus_alloc as f64 / usable as f64
+        }
+    }
+
+    pub fn gpu_utilization(&self) -> f64 {
+        if self.gpus_total == 0 {
+            0.0
+        } else {
+            self.gpus_alloc as f64 / self.gpus_total as f64
+        }
+    }
+}
+
+/// Default `sinfo` output: nodes grouped by (partition, state).
+pub fn sinfo_summary(ctld: &Slurmctld) -> String {
+    let nodes = ctld.query_nodes();
+    let partitions = ctld.query_partitions();
+    render_summary(&partitions, &nodes)
+}
+
+pub fn render_summary(partitions: &[Partition], nodes: &[Node]) -> String {
+    let by_name: BTreeMap<&str, &Node> = nodes.iter().map(|n| (n.name.as_str(), n)).collect();
+    let mut out = String::from("PARTITION AVAIL TIMELIMIT NODES STATE NODELIST\n");
+    for part in partitions {
+        let mut groups: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+        for name in &part.nodes {
+            if let Some(node) = by_name.get(name.as_str()) {
+                groups
+                    .entry(node.state().to_slurm())
+                    .or_default()
+                    .push(name.clone());
+            }
+        }
+        let display = if part.is_default {
+            format!("{}*", part.name)
+        } else {
+            part.name.clone()
+        };
+        for (state, members) in groups {
+            out.push_str(&format!(
+                "{} {} {} {} {} {}\n",
+                display,
+                if part.state == hpcdash_slurm::partition::PartitionState::Up {
+                    "up"
+                } else {
+                    "down"
+                },
+                part.max_time.to_slurm(),
+                members.len(),
+                state.to_lowercase(),
+                members.join(",")
+            ));
+        }
+    }
+    out
+}
+
+/// Parse the default summary back into rows.
+pub fn parse_sinfo_summary(text: &str) -> Result<Vec<SinfoRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 6 {
+            return Err(format!("malformed sinfo line: {line:?}"));
+        }
+        rows.push(SinfoRow {
+            partition: parts[0].trim_end_matches('*').to_string(),
+            avail: parts[1].to_string(),
+            timelimit: parts[2].to_string(),
+            node_count: parts[3].parse().map_err(|_| format!("bad count {:?}", parts[3]))?,
+            state: NodeState::parse(&parts[4].to_uppercase())
+                .ok_or_else(|| format!("bad state {:?}", parts[4]))?,
+            nodelist: parts[5].split(',').map(str::to_string).collect(),
+        });
+    }
+    Ok(rows)
+}
+
+/// `sinfo -o "%P %a %C %G"`-style usage output:
+/// `PARTITION AVAIL CPUS(A/I/O/T) GPUS(A/T) NODES(I/T)`.
+pub fn sinfo_usage(ctld: &Slurmctld) -> String {
+    let nodes = ctld.query_nodes();
+    let partitions = ctld.query_partitions();
+    render_usage(&partitions, &nodes)
+}
+
+pub fn render_usage(partitions: &[Partition], nodes: &[Node]) -> String {
+    let usages = compute_usage(partitions, nodes);
+    let mut out = String::from("PARTITION AVAIL CPUS(A/I/O/T) GPUS(A/T) NODES(U/T)\n");
+    for u in usages {
+        out.push_str(&format!(
+            "{} {} {}/{}/{}/{} {}/{} {}/{}\n",
+            u.partition,
+            u.avail,
+            u.cpus_alloc,
+            u.cpus_idle,
+            u.cpus_other,
+            u.cpus_total,
+            u.gpus_alloc,
+            u.gpus_total,
+            u.nodes_in_use,
+            u.nodes_total,
+        ));
+    }
+    out
+}
+
+/// Aggregate node state into per-partition usage records.
+pub fn compute_usage(partitions: &[Partition], nodes: &[Node]) -> Vec<PartitionUsage> {
+    let by_name: BTreeMap<&str, &Node> = nodes.iter().map(|n| (n.name.as_str(), n)).collect();
+    partitions
+        .iter()
+        .map(|part| {
+            let mut u = PartitionUsage {
+                partition: part.name.clone(),
+                avail: if part.state == hpcdash_slurm::partition::PartitionState::Up {
+                    "up".to_string()
+                } else {
+                    "down".to_string()
+                },
+                cpus_alloc: 0,
+                cpus_idle: 0,
+                cpus_other: 0,
+                cpus_total: 0,
+                gpus_alloc: 0,
+                gpus_total: 0,
+                nodes_total: 0,
+                nodes_in_use: 0,
+            };
+            for name in &part.nodes {
+                let Some(node) = by_name.get(name.as_str()) else {
+                    continue;
+                };
+                u.nodes_total += 1;
+                u.cpus_total += node.cpus;
+                u.gpus_total += node.gpus;
+                if node.state().schedulable() {
+                    u.cpus_alloc += node.alloc.cpus;
+                    u.cpus_idle += node.cpus - node.alloc.cpus.min(node.cpus);
+                    u.gpus_alloc += node.alloc.gpus;
+                    if node.alloc.cpus > 0 {
+                        u.nodes_in_use += 1;
+                    }
+                } else {
+                    u.cpus_other += node.cpus;
+                }
+            }
+            u
+        })
+        .collect()
+}
+
+/// Parse the usage format back into records.
+pub fn parse_sinfo_usage(text: &str) -> Result<Vec<PartitionUsage>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 5 {
+            return Err(format!("malformed sinfo usage line: {line:?}"));
+        }
+        let cpus: Vec<u32> = parts[2]
+            .split('/')
+            .map(|x| x.parse::<u32>().map_err(|_| format!("bad cpus {:?}", parts[2])))
+            .collect::<Result<_, _>>()?;
+        let gpus: Vec<u32> = parts[3]
+            .split('/')
+            .map(|x| x.parse::<u32>().map_err(|_| format!("bad gpus {:?}", parts[3])))
+            .collect::<Result<_, _>>()?;
+        let nodes: Vec<u32> = parts[4]
+            .split('/')
+            .map(|x| x.parse::<u32>().map_err(|_| format!("bad nodes {:?}", parts[4])))
+            .collect::<Result<_, _>>()?;
+        if cpus.len() != 4 || gpus.len() != 2 || nodes.len() != 2 {
+            return Err(format!("malformed sinfo usage tuple: {line:?}"));
+        }
+        out.push(PartitionUsage {
+            partition: parts[0].to_string(),
+            avail: parts[1].to_string(),
+            cpus_alloc: cpus[0],
+            cpus_idle: cpus[1],
+            cpus_other: cpus[2],
+            cpus_total: cpus[3],
+            gpus_alloc: gpus[0],
+            gpus_total: gpus[1],
+            nodes_in_use: nodes[0],
+            nodes_total: nodes[1],
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcdash_slurm::node::AdminFlag;
+    use hpcdash_slurm::tres::Tres;
+    use hpcdash_simtime::Timestamp;
+
+    fn fixture() -> (Vec<Partition>, Vec<Node>) {
+        let mut nodes: Vec<Node> = (1..=3).map(|i| Node::new(format!("a{i:03}"), 16, 64_000, 0)).collect();
+        let mut gpu_node = Node::new("g001", 64, 512_000, 4);
+        gpu_node.allocate(Tres::new(32, 100_000, 2, 1), Timestamp(0));
+        nodes[0].allocate(Tres::new(16, 1_000, 0, 1), Timestamp(0));
+        nodes[2].admin_flag = AdminFlag::Drain;
+        nodes.push(gpu_node);
+        let cpu = Partition::new("cpu")
+            .with_nodes(vec!["a001".into(), "a002".into(), "a003".into()])
+            .default_partition();
+        let gpu = Partition::new("gpu").with_nodes(vec!["g001".into()]);
+        (vec![cpu, gpu], nodes)
+    }
+
+    #[test]
+    fn usage_aggregation() {
+        let (parts, nodes) = fixture();
+        let usage = compute_usage(&parts, &nodes);
+        let cpu = &usage[0];
+        assert_eq!(cpu.partition, "cpu");
+        assert_eq!(cpu.cpus_total, 48);
+        assert_eq!(cpu.cpus_alloc, 16);
+        assert_eq!(cpu.cpus_idle, 16);
+        assert_eq!(cpu.cpus_other, 16, "drained node counts as other");
+        assert_eq!(cpu.nodes_in_use, 1);
+        assert!((cpu.cpu_utilization() - 0.5).abs() < 1e-9);
+
+        let gpu = &usage[1];
+        assert_eq!(gpu.gpus_total, 4);
+        assert_eq!(gpu.gpus_alloc, 2);
+        assert!((gpu.gpu_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_roundtrip() {
+        let (parts, nodes) = fixture();
+        let text = render_usage(&parts, &nodes);
+        let parsed = parse_sinfo_usage(&text).unwrap();
+        assert_eq!(parsed, compute_usage(&parts, &nodes));
+    }
+
+    #[test]
+    fn summary_groups_by_state() {
+        let (parts, nodes) = fixture();
+        let text = render_summary(&parts, &nodes);
+        let rows = parse_sinfo_summary(&text).unwrap();
+        // cpu partition has allocated(a001), idle(a002), drained(a003).
+        let cpu_rows: Vec<&SinfoRow> = rows.iter().filter(|r| r.partition == "cpu").collect();
+        assert_eq!(cpu_rows.len(), 3);
+        let states: Vec<NodeState> = cpu_rows.iter().map(|r| r.state).collect();
+        assert!(states.contains(&NodeState::Allocated));
+        assert!(states.contains(&NodeState::Idle));
+        assert!(states.contains(&NodeState::Drained));
+        // gpu partition: one mixed node.
+        let gpu_rows: Vec<&SinfoRow> = rows.iter().filter(|r| r.partition == "gpu").collect();
+        assert_eq!(gpu_rows.len(), 1);
+        assert_eq!(gpu_rows[0].state, NodeState::Mixed);
+        assert_eq!(gpu_rows[0].nodelist, vec!["g001".to_string()]);
+    }
+
+    #[test]
+    fn empty_partition_renders_nothing() {
+        let p = Partition::new("empty");
+        let text = render_summary(&[p], &[]);
+        assert_eq!(parse_sinfo_summary(&text).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_sinfo_usage("HDR\ncpu up 1/2/3 0/0 1/1\n").is_err());
+        assert!(parse_sinfo_usage("HDR\ncpu up a/b/c/d 0/0 1/1\n").is_err());
+        assert!(parse_sinfo_summary("HDR\ncpu up\n").is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! The simulation driver: advances the clock, feeds submissions from the
+//! trace, and ticks the scheduler — the "world" around the dashboard.
+
+use hpcdash_simtime::{Clock, SimClock, Timestamp};
+use hpcdash_slurm::ctld::Slurmctld;
+use hpcdash_slurm::job::{JobId, JobRequest};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Drives a scenario forward in fixed scheduler-tick steps.
+pub struct SimDriver {
+    clock: SimClock,
+    ctld: Arc<Slurmctld>,
+    trace: VecDeque<(Timestamp, JobRequest)>,
+    tick_secs: u64,
+    submitted: Vec<JobId>,
+}
+
+impl SimDriver {
+    pub fn new(
+        clock: SimClock,
+        ctld: Arc<Slurmctld>,
+        trace: Vec<(Timestamp, JobRequest)>,
+        tick_secs: u64,
+    ) -> SimDriver {
+        SimDriver {
+            clock,
+            ctld,
+            trace: trace.into(),
+            tick_secs: tick_secs.max(1),
+            submitted: Vec::new(),
+        }
+    }
+
+    /// Advance simulated time by `secs`, submitting due jobs and running the
+    /// scheduler every tick.
+    pub fn advance(&mut self, secs: u64) {
+        let target = self.clock.now().plus(secs);
+        while self.clock.now() < target {
+            let step = self.tick_secs.min(target.since(self.clock.now()));
+            self.clock.advance(step);
+            let now = self.clock.now();
+            while let Some((when, _)) = self.trace.front() {
+                if *when > now {
+                    break;
+                }
+                let (_, req) = self.trace.pop_front().expect("front checked");
+                if let Ok(ids) = self.ctld.submit(req) {
+                    self.submitted.extend(ids);
+                }
+            }
+            self.ctld.tick();
+        }
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> &[JobId] {
+        &self.submitted
+    }
+
+    /// Submissions still waiting in the trace.
+    pub fn remaining_trace(&self) -> usize {
+        self.trace.len()
+    }
+
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenario::{Scenario, ScenarioConfig};
+    use hpcdash_simtime::Clock;
+    use hpcdash_slurm::job::JobState;
+
+    #[test]
+    fn driver_populates_cluster() {
+        let s = Scenario::build(ScenarioConfig::small());
+        let mut driver = s.driver(2 * 3_600);
+        driver.advance(3_600);
+        assert!(!driver.submitted().is_empty(), "jobs were submitted");
+        let jobs = s.ctld.query_jobs(&hpcdash_slurm::ctld::JobQuery::all());
+        let running = jobs.iter().filter(|j| j.state == JobState::Running).count();
+        assert!(running > 0, "some jobs running after an hour");
+    }
+
+    #[test]
+    fn full_window_drains_trace_and_archives_jobs() {
+        let s = Scenario::build(ScenarioConfig::small());
+        let mut driver = s.driver(3_600);
+        driver.advance(3 * 3_600);
+        assert_eq!(driver.remaining_trace(), 0);
+        assert!(s.dbd.archived_count() > 0, "finished jobs reached accounting");
+        // Accounting has a mix of terminal states thanks to the outcome mix.
+        let recs = s.dbd.query_jobs(&hpcdash_slurm::dbd::JobFilter::default());
+        let states: std::collections::HashSet<_> = recs.iter().map(|j| j.state).collect();
+        assert!(states.contains(&JobState::Completed));
+    }
+
+    #[test]
+    fn time_advances_in_ticks() {
+        let s = Scenario::build(ScenarioConfig::small());
+        let start = s.clock.now();
+        let mut driver = s.driver(600);
+        driver.advance(95);
+        assert_eq!(driver.now().since(start), 95, "partial ticks land exactly");
+    }
+}

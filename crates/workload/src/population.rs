@@ -1,0 +1,167 @@
+//! User and account population generation.
+
+use hpcdash_slurm::assoc::{Account, AssocStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DOMAINS: [&str; 12] = [
+    "physics", "bio", "chem", "cs", "stat", "mech", "civil", "aero", "mse", "ece", "earth",
+    "astro",
+];
+
+const FIRST: [&str; 16] = [
+    "wei", "maria", "john", "priya", "chen", "sofia", "omar", "elena", "raj", "yuki", "lucas",
+    "amara", "ivan", "nina", "kofi", "lena",
+];
+
+/// Population parameters.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    pub accounts: usize,
+    pub users_per_account_min: usize,
+    pub users_per_account_max: usize,
+    /// Fraction of accounts that get a `GrpTRES` CPU cap.
+    pub capped_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> PopulationConfig {
+        PopulationConfig {
+            accounts: 6,
+            users_per_account_min: 2,
+            users_per_account_max: 6,
+            capped_fraction: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+/// The generated population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    pub assoc: AssocStore,
+    pub accounts: Vec<String>,
+    pub users: Vec<String>,
+    /// `(user, account)` memberships; a few users belong to two accounts.
+    pub memberships: Vec<(String, String)>,
+}
+
+impl Population {
+    pub fn generate(cfg: &PopulationConfig) -> Population {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut assoc = AssocStore::new();
+        let mut accounts = Vec::new();
+        let mut users = Vec::new();
+        let mut memberships = Vec::new();
+
+        for i in 0..cfg.accounts {
+            let name = format!("{}{}", DOMAINS[i % DOMAINS.len()], if i >= DOMAINS.len() { (i / DOMAINS.len()).to_string() } else { String::new() });
+            let mut account = Account::new(name.clone());
+            account.description = format!("{name} research allocation");
+            if rng.gen_bool(cfg.capped_fraction) {
+                account = account.with_cpu_limit(rng.gen_range(128..=1_024));
+            }
+            if rng.gen_bool(0.4) {
+                account = account.with_gpu_mins_limit(rng.gen_range(10_000..200_000));
+            }
+            assoc.add_account(account);
+            accounts.push(name);
+        }
+
+        let mut user_counter = 0usize;
+        for account in &accounts {
+            let n = rng.gen_range(cfg.users_per_account_min..=cfg.users_per_account_max);
+            for _ in 0..n {
+                let user = format!("{}{:03}", FIRST[user_counter % FIRST.len()], user_counter);
+                user_counter += 1;
+                assoc.add_user(account, &user);
+                users.push(user.clone());
+                memberships.push((user, account.clone()));
+            }
+        }
+
+        // A handful of cross-account users (the group-visibility cases).
+        let crossovers = (users.len() / 8).max(1);
+        for k in 0..crossovers {
+            if accounts.len() < 2 {
+                break;
+            }
+            let user = users[k * 7 % users.len()].clone();
+            let other = accounts[(k + 1) % accounts.len()].clone();
+            if !assoc.is_member(&other, &user) {
+                assoc.add_user(&other, &user);
+                memberships.push((user, other));
+            }
+        }
+
+        Population {
+            assoc,
+            accounts,
+            users,
+            memberships,
+        }
+    }
+
+    /// Accounts of one user.
+    pub fn accounts_of(&self, user: &str) -> Vec<String> {
+        self.assoc.accounts_of_user(user)
+    }
+
+    /// A user with at least one account, by index (wraps).
+    pub fn user(&self, i: usize) -> &str {
+        &self.users[i % self.users.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = PopulationConfig::default();
+        let a = Population::generate(&cfg);
+        let b = Population::generate(&cfg);
+        assert_eq!(a.users, b.users);
+        assert_eq!(a.accounts, b.accounts);
+        assert_eq!(a.memberships, b.memberships);
+        let c = Population::generate(&PopulationConfig { seed: 8, ..cfg });
+        assert_ne!(a.memberships, c.memberships);
+    }
+
+    #[test]
+    fn every_user_has_an_account() {
+        let p = Population::generate(&PopulationConfig::default());
+        assert!(!p.users.is_empty());
+        for u in &p.users {
+            assert!(!p.accounts_of(u).is_empty(), "{u} has no account");
+        }
+    }
+
+    #[test]
+    fn some_users_cross_accounts() {
+        let p = Population::generate(&PopulationConfig {
+            accounts: 6,
+            users_per_account_min: 4,
+            users_per_account_max: 8,
+            ..PopulationConfig::default()
+        });
+        let multi = p.users.iter().filter(|u| p.accounts_of(u).len() > 1).count();
+        assert!(multi >= 1, "expected cross-account users");
+    }
+
+    #[test]
+    fn account_count_respected() {
+        let p = Population::generate(&PopulationConfig {
+            accounts: 15,
+            ..PopulationConfig::default()
+        });
+        assert_eq!(p.accounts.len(), 15);
+        // Names stay unique even past the domain list length.
+        let mut sorted = p.accounts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15);
+    }
+}

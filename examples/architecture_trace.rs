@@ -1,0 +1,82 @@
+//! Figure 1, regenerated as a trace: follow one widget refresh through every
+//! layer of the system — browser cache, HTTP, API route, server cache, the
+//! Slurm command layer, and the daemons — printing what happened at each hop.
+//!
+//! ```sh
+//! cargo run --example architecture_trace
+//! ```
+
+use hpcdash::SimSite;
+use hpcdash_client::FetchOutcome;
+use hpcdash_workload::ScenarioConfig;
+
+fn main() {
+    let site = SimSite::build(ScenarioConfig::small());
+    site.warm_up(900);
+    let server = site.serve().expect("serve");
+    let user = site.scenario.population.users[0].clone();
+    let browser = site.browser(&server.base_url(), &user);
+
+    println!("System architecture & data flow (Figure 1), traced live:\n");
+    println!("  [browser {user}] --HTTP--> [Rails-analog backend] --commands--> [Slurm daemons]");
+    println!("       |IndexedDB cache|         |in-memory TTL cache|     |slurmctld / slurmdbd|\n");
+
+    let path = "/api/recent_jobs";
+    let ttl = site.ctx().cfg.cache.recent_jobs;
+
+    // --- Request 1: everything cold --------------------------------------
+    let squeue_before = site.scenario.ctld.stats().count_of("squeue");
+    let r1 = browser.fetch_api(path).expect("fetch");
+    let squeue_after = site.scenario.ctld.stats().count_of("squeue");
+    println!("request 1 (cold):");
+    println!("  1. client cache: MISS");
+    println!("  2. HTTP GET {path} -> 200 in {:?}", r1.network);
+    println!("  3. server cache: MISS (loads, stores for {ttl}s)");
+    println!(
+        "  4. backend ran `squeue -u {user}` against slurmctld: {} RPC(s)",
+        squeue_after - squeue_before
+    );
+    println!("  -> outcome {:?}, perceived {:?}\n", r1.outcome, r1.perceived);
+    assert_eq!(r1.outcome, FetchOutcome::Network);
+
+    // --- Request 2: client cache absorbs it -------------------------------
+    let squeue_before = site.scenario.ctld.stats().count_of("squeue");
+    let r2 = browser.fetch_api(path).expect("fetch");
+    println!("request 2 (same browser, within client freshness):");
+    println!("  1. client cache: HIT (age < {}s)", site.ctx().cfg.cache.client_fresh);
+    println!("  2-4. no HTTP, no server cache, no slurmctld");
+    println!(
+        "  -> outcome {:?}, perceived {:?}, squeue RPCs +{}\n",
+        r2.outcome,
+        r2.perceived,
+        site.scenario.ctld.stats().count_of("squeue") - squeue_before
+    );
+    assert_eq!(r2.outcome, FetchOutcome::CacheFresh);
+
+    // --- Request 3: second user, server cache absorbs the backend ---------
+    let user2 = site.scenario.population.users[1].clone();
+    let browser2 = site.browser(&server.base_url(), &user2);
+    let squeue_before = site.scenario.ctld.stats().count_of("squeue");
+    let r3 = browser2.fetch_api("/api/system_status").expect("fetch");
+    let first_hit = site.scenario.ctld.stats().count_of("sinfo");
+    let r3b = browser.fetch_api("/api/system_status").expect("fetch");
+    let second_hit = site.scenario.ctld.stats().count_of("sinfo");
+    println!("request 3 (system-wide data, two different browsers):");
+    println!("  browser {user2}: network fetch in {:?} (sinfo RPCs now {first_hit})", r3.network);
+    println!(
+        "  browser {user}: network fetch in {:?}, but server cache HIT (sinfo RPCs still {second_hit})",
+        r3b.network
+    );
+    let _ = squeue_before;
+    println!("\ndaemon load so far: {:?}", site.scenario.ctld.stats().snapshot().per_kind.keys().collect::<Vec<_>>());
+
+    // --- Request 4: stale client entry revalidates ------------------------
+    site.scenario.clock.advance(site.ctx().cfg.cache.client_fresh + 1);
+    let r4 = browser.fetch_api(path).expect("fetch");
+    println!("\nrequest 4 (after {}s of simulated time):", site.ctx().cfg.cache.client_fresh + 1);
+    println!("  1. client cache: STALE -> rendered instantly ({:?})", r4.perceived);
+    println!("  2. background revalidation over HTTP took {:?}", r4.network);
+    assert_eq!(r4.outcome, FetchOutcome::StaleRevalidated);
+
+    println!("\ntrace complete: one data flow, four cache behaviours.");
+}

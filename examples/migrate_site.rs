@@ -1,0 +1,78 @@
+//! Paper §8 (migration to other sites): the same dashboard code mounted on
+//! two different clusters with only configuration changes — different
+//! cluster name, partitions, node shapes, URLs, and cache policy.
+//!
+//! ```sh
+//! cargo run --example migrate_site
+//! ```
+
+use hpcdash::SimSite;
+use hpcdash_core::DashboardConfig;
+use hpcdash_http::HttpClient;
+use hpcdash_workload::{PopulationConfig, ScenarioConfig};
+
+fn show_site(label: &str, site: &SimSite) {
+    let server = site.serve().expect("serve");
+    let client = HttpClient::new();
+    let user = site.scenario.population.users[0].clone();
+    let status = client
+        .get(
+            &format!("{}/api/system_status", server.base_url()),
+            &[("X-Remote-User", &user)],
+        )
+        .expect("request")
+        .json()
+        .expect("json");
+    println!("=== {label} ===");
+    println!("cluster label: {}", site.ctx().cfg.cluster_label);
+    println!("news page:     {}", site.ctx().cfg.news_page_url);
+    println!("partitions:");
+    for p in status["partitions"].as_array().unwrap() {
+        println!(
+            "  {:<8} {} CPUs{}",
+            p["name"].as_str().unwrap(),
+            p["cpus"]["total"],
+            if p["gpus"].is_null() {
+                String::new()
+            } else {
+                format!(", {} GPUs", p["gpus"]["total"])
+            }
+        );
+    }
+    let shell = client
+        .get(&format!("{}/", server.base_url()), &[("X-Remote-User", &user)])
+        .expect("request");
+    println!(
+        "homepage shell mentions the site name: {}\n",
+        shell.body_string().contains(&site.ctx().cfg.cluster_label)
+    );
+}
+
+fn main() {
+    // Site A: the paper's home deployment (Anvil-like, GPU partition,
+    // Purdue-ish URLs, GPU-efficiency feature on).
+    let site_a = SimSite::build_with(ScenarioConfig::campus(), DashboardConfig::purdue_like());
+    show_site("Site A: anvil-sim (production preset)", &site_a);
+
+    // Site B: a different center — CPU-only cluster, different naming,
+    // slower caches (their news rarely changes), no GPU features.
+    let mut scenario_b = ScenarioConfig::small();
+    scenario_b.cluster_name = "bell-sim".to_string();
+    scenario_b.cpu_nodes = 8;
+    scenario_b.cpu_cores = 48;
+    scenario_b.gpu_nodes = 0;
+    scenario_b.population = PopulationConfig {
+        accounts: 4,
+        seed: 99,
+        ..PopulationConfig::default()
+    };
+    let mut dash_b = DashboardConfig::generic("Bell");
+    dash_b.cache.announcements = 3_600;
+    dash_b.features.gpu_efficiency = false;
+    let site_b = SimSite::build_with(scenario_b, dash_b);
+    show_site("Site B: bell-sim (migrated with config only)", &site_b);
+
+    println!("Both sites run the identical dashboard crate — the migration cost was");
+    println!("a ScenarioConfig + DashboardConfig, mirroring the paper's §8 checklist");
+    println!("(cluster name, partition names, site URLs, cache policy).");
+}

@@ -1,0 +1,65 @@
+//! Table 1, regenerated: dashboard features with associated data sources —
+//! but *measured*, by exercising every feature cache-cold and recording
+//! which simulated data sources its route actually touched.
+//!
+//! ```sh
+//! cargo run --example table1
+//! ```
+
+use hpcdash::SimSite;
+use hpcdash_core::api;
+use hpcdash_http::HttpClient;
+use hpcdash_slurm::job::{ArraySpec, JobRequest};
+use hpcdash_workload::ScenarioConfig;
+
+fn main() {
+    let site = SimSite::build(ScenarioConfig::small());
+    site.warm_up(600);
+    let server = site.serve().expect("serve");
+    let client = HttpClient::new();
+    let user = site.scenario.population.users[0].clone();
+    let account = site.scenario.population.accounts_of(&user)[0].clone();
+
+    // Seed a job with an array so Job Overview's tabs have targets.
+    let mut req = JobRequest::simple(&user, &account, "cpu", 1);
+    req.array = Some(ArraySpec { first: 0, last: 1, max_concurrent: None });
+    let job_id = site.scenario.ctld.submit(req).expect("submit")[0];
+    site.scenario.ctld.tick();
+    let node = site.scenario.ctld.query_nodes()[0].name.clone();
+
+    site.ctx().clear_observed_sources();
+    site.ctx().cache.clear();
+
+    let calls = [
+        "/api/announcements".to_string(),
+        "/api/recent_jobs".to_string(),
+        "/api/system_status".to_string(),
+        "/api/accounts".to_string(),
+        "/api/storage".to_string(),
+        "/api/myjobs?range=all".to_string(),
+        "/api/jobmetrics?range=all".to_string(),
+        "/api/clusterstatus".to_string(),
+        format!("/api/jobs/{job_id}"),
+        format!("/api/jobs/{job_id}/logs?stream=out"),
+        format!("/api/nodes/{node}"),
+    ];
+    for path in &calls {
+        let resp = client
+            .get(&format!("{}{path}", server.base_url()), &[("X-Remote-User", &user)])
+            .expect("request");
+        assert_eq!(resp.status, 200, "{path}");
+    }
+
+    let observed = site.ctx().observed_sources();
+    println!("Table 1: Dashboard features with associated data sources (measured)\n");
+    println!("{:<26} | {:<55} | match", "Feature", "Data Source(s), observed");
+    println!("{}", "-".repeat(95));
+    for row in api::feature_table() {
+        let got = observed.get(row.feature).cloned().unwrap_or_default();
+        let got_list = got.iter().cloned().collect::<Vec<_>>().join(", ");
+        let declared: std::collections::BTreeSet<String> =
+            row.sources.iter().map(|s| s.to_string()).collect();
+        let matches = if got == declared { "OK" } else { "MISMATCH" };
+        println!("{:<26} | {:<55} | {}", row.feature, got_list, matches);
+    }
+}

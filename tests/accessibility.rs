@@ -1,0 +1,62 @@
+//! Accessibility spot-checks — the paper's title promises an *accessible*
+//! dashboard. The HTML renderers must carry the structural affordances
+//! assistive tech needs: ARIA roles/values on progress bars and spinners,
+//! language and viewport declarations, alt-free semantic markup, and
+//! machine-readable timestamps.
+
+use hpcdash::SimSite;
+use hpcdash_core::pages;
+use hpcdash_core::widgets::components::progress_bar;
+use hpcdash_http::HttpClient;
+use hpcdash_workload::ScenarioConfig;
+
+#[test]
+fn progress_bars_expose_aria_values() {
+    let html = progress_bar(73.2, "yellow", "CPU 94/128");
+    assert!(html.contains("role=\"progressbar\""));
+    assert!(html.contains("aria-valuenow=\"73.2\""));
+    assert!(html.contains("aria-valuemin=\"0\""));
+    assert!(html.contains("aria-valuemax=\"100\""));
+}
+
+#[test]
+fn page_shells_declare_language_viewport_and_labelled_spinners() {
+    let html = pages::homepage::render_shell("Anvil", "alice");
+    assert!(html.contains("<html lang=\"en\">"));
+    assert!(html.contains("name=\"viewport\""), "responsive meta tag present");
+    assert!(html.contains("role=\"status\""), "loading spinners are announced");
+    assert!(html.contains("aria-label=\"Loading"));
+}
+
+#[test]
+fn rendered_pages_use_semantic_structure() {
+    let site = SimSite::build(ScenarioConfig::small());
+    site.warm_up(600);
+    let server = site.serve().unwrap();
+    let client = HttpClient::new();
+    let user = site.scenario.population.users[0].clone();
+    let payload = client
+        .get(
+            &format!("{}/api/myjobs?range=all", server.base_url()),
+            &[("X-Remote-User", &user)],
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    let html = pages::myjobs::render_full("Anvil", &user, &payload);
+    assert!(html.contains("<thead>"), "tables have header groups");
+    assert!(html.contains("<h1>"), "pages lead with a heading");
+    // Job Overview timeline uses <time> elements carrying the UTC value.
+    let overview = serde_json::json!({
+        "header": {"id": "1", "name": "x", "state": "RUNNING", "state_color": "green",
+                   "reason": null, "reason_message": null},
+        "timeline": {"submitted": "2026-07-04T08:00:00", "eligible": "2026-07-04T08:00:00",
+                     "started": "2026-07-04T08:01:00", "ended": null},
+        "cards": {"job_information": {}, "resources": {"node_links": []},
+                  "time": {}, "efficiency": {}},
+        "session": null, "has_array": false, "array_url": null,
+        "logs": {}, "exit_code": null,
+    });
+    let html = pages::joboverview::render_full("Anvil", &user, &overview, None, None);
+    assert!(html.contains("<time data-utc=\"2026-07-04T08:01:00\">"));
+}

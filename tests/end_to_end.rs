@@ -1,0 +1,137 @@
+//! End-to-end integration: a simulated campus day served over real HTTP.
+
+use hpcdash::SimSite;
+use hpcdash_http::HttpClient;
+use hpcdash_workload::ScenarioConfig;
+
+fn get_json(client: &HttpClient, base: &str, path: &str, user: &str) -> serde_json::Value {
+    let resp = client
+        .get(&format!("{base}{path}"), &[("X-Remote-User", user)])
+        .unwrap();
+    assert_eq!(resp.status, 200, "{path}: {}", resp.body_string());
+    resp.json().unwrap()
+}
+
+#[test]
+fn a_simulated_hour_feeds_every_feature() {
+    let site = SimSite::build(ScenarioConfig::small());
+    site.warm_up(3_600);
+    let server = site.serve().unwrap();
+    let base = server.base_url();
+    let client = HttpClient::new();
+    let user = site.scenario.population.users[0].clone();
+
+    // Homepage widgets.
+    let announcements = get_json(&client, &base, "/api/announcements", &user);
+    assert_eq!(announcements["items"].as_array().unwrap().len(), 5);
+
+    let status = get_json(&client, &base, "/api/system_status", &user);
+    let partitions = status["partitions"].as_array().unwrap();
+    assert_eq!(partitions.len(), 2);
+    assert!(partitions.iter().any(|p| !p["gpus"].is_null()), "gpu partition reports gpus");
+
+    let storage = get_json(&client, &base, "/api/storage", &user);
+    assert!(storage["disks"].as_array().unwrap().len() >= 2);
+
+    let accounts = get_json(&client, &base, "/api/accounts", &user);
+    assert!(!accounts["accounts"].as_array().unwrap().is_empty());
+
+    // My Jobs: after an hour of traffic the group sees jobs in mixed states.
+    let myjobs = get_json(&client, &base, "/api/myjobs?range=all", &user);
+    let jobs = myjobs["jobs"].as_array().unwrap();
+    assert!(!jobs.is_empty(), "group saw no jobs after an hour of traffic");
+    assert!(myjobs["charts"]["state_distribution"]["labels"].as_array().unwrap().len() >= 1);
+
+    // Job metrics aggregate.
+    let metrics = get_json(&client, &base, "/api/jobmetrics?range=all", &user);
+    assert!(metrics["metrics"]["total_jobs"].as_u64().is_some());
+
+    // Cluster status covers every node.
+    let cluster = get_json(&client, &base, "/api/clusterstatus", &user);
+    assert_eq!(cluster["nodes"].as_array().unwrap().len(), 5);
+
+    // Drill into a node that exists.
+    let node_name = cluster["nodes"][0]["name"].as_str().unwrap().to_string();
+    let node = get_json(&client, &base, &format!("/api/nodes/{node_name}"), &user);
+    assert_eq!(node["status_card"]["name"], node_name.as_str());
+
+    // Drill into one of the user's own jobs end-to-end.
+    let own_job = jobs.iter().find(|j| j["user"] == user.as_str());
+    if let Some(job) = own_job {
+        let id = job["id"].as_str().unwrap();
+        let overview = get_json(&client, &base, &format!("/api/jobs/{id}"), &user);
+        assert_eq!(overview["header"]["id"], id);
+        assert!(overview["timeline"]["submitted"].is_string());
+        let logs = get_json(
+            &client,
+            &base,
+            &format!("/api/jobs/{id}/logs?stream=out"),
+            &user,
+        );
+        assert!(logs["lines"].is_array());
+    }
+
+    // Page shells all render.
+    for page in ["/", "/myjobs", "/jobperf", "/clusterstatus"] {
+        let resp = client
+            .get(&format!("{base}{page}"), &[("X-Remote-User", &user)])
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_string().contains("widget-slot") || resp.body_string().contains("<h1>"));
+    }
+}
+
+#[test]
+fn scheduler_produces_the_states_the_dashboard_reports() {
+    let site = SimSite::build(ScenarioConfig::small());
+    site.warm_up(3 * 3_600);
+    // Accounting should now hold a healthy mix of terminal states.
+    let recs = site
+        .scenario
+        .dbd
+        .query_jobs(&hpcdash_slurm::dbd::JobFilter::default());
+    assert!(recs.len() > 20, "only {} records", recs.len());
+    let states: std::collections::HashSet<_> = recs.iter().map(|j| j.state).collect();
+    assert!(states.contains(&hpcdash_slurm::JobState::Completed));
+    assert!(
+        states.len() >= 3,
+        "expected a mix of outcomes, got {states:?}"
+    );
+    // Completed jobs carry usage stats for the efficiency engine.
+    let completed = recs
+        .iter()
+        .find(|j| j.state == hpcdash_slurm::JobState::Completed)
+        .unwrap();
+    assert!(completed.stats.is_some());
+}
+
+#[test]
+fn dashboard_survives_concurrent_users_and_ticks() {
+    let site = SimSite::build(ScenarioConfig::small());
+    let mut driver = site.driver(2 * 3_600);
+    driver.advance(600);
+    let server = site.serve().unwrap();
+    let base = server.base_url();
+    let users: Vec<String> = site.scenario.population.users.clone();
+
+    let mut handles = Vec::new();
+    for user in users.into_iter().take(4) {
+        let base = base.clone();
+        handles.push(std::thread::spawn(move || {
+            let client = HttpClient::new();
+            for _ in 0..10 {
+                for path in ["/api/recent_jobs", "/api/system_status", "/api/myjobs?range=7d"] {
+                    let resp = client
+                        .get(&format!("{base}{path}"), &[("X-Remote-User", &user)])
+                        .unwrap();
+                    assert_eq!(resp.status, 200);
+                }
+            }
+        }));
+    }
+    // Cluster keeps moving while users browse.
+    driver.advance(1_200);
+    for h in handles {
+        h.join().unwrap();
+    }
+}

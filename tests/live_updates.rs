@@ -1,0 +1,104 @@
+//! The real-time monitoring extension (paper §9 future work): clients poll
+//! the updates feed and see job transitions as the cluster evolves, without
+//! refetching tables.
+
+use hpcdash::SimSite;
+use hpcdash_http::HttpClient;
+use hpcdash_workload::ScenarioConfig;
+
+fn poll(client: &HttpClient, base: &str, user: &str, since: u64) -> serde_json::Value {
+    let resp = client
+        .get(
+            &format!("{base}/api/updates?since={since}"),
+            &[("X-Remote-User", user)],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    resp.json().unwrap()
+}
+
+#[test]
+fn polling_sees_the_cluster_evolve() {
+    let site = SimSite::build(ScenarioConfig::small());
+    let server = site.serve().unwrap();
+    let base = server.base_url();
+    let client = HttpClient::new();
+    let user = site.scenario.population.users[0].clone();
+
+    // Initial cursor.
+    let body = poll(&client, &base, &user, 0);
+    let mut cursor = body["latest_seq"].as_u64().unwrap();
+
+    // Run half an hour of traffic; poll incrementally and accumulate.
+    let mut driver = site.driver(1_800);
+    let mut seen = Vec::new();
+    for _ in 0..6 {
+        driver.advance(300);
+        let body = poll(&client, &base, &user, cursor);
+        cursor = body["latest_seq"].as_u64().unwrap();
+        for e in body["events"].as_array().unwrap() {
+            seen.push(e.clone());
+        }
+        assert_eq!(body["resync_required"], false, "cursor kept up");
+    }
+
+    // The user's own submissions must appear, with transitions in order
+    // per job (PENDING before RUNNING before terminal).
+    assert!(
+        !seen.is_empty(),
+        "an active cluster produced no visible events for {user}"
+    );
+    let mut per_job: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+    for e in &seen {
+        per_job
+            .entry(e["job"].as_str().unwrap().to_string())
+            .or_default()
+            .push(e["to"].as_str().unwrap().to_string());
+    }
+    for (job, transitions) in &per_job {
+        if let Some(run_idx) = transitions.iter().position(|t| t == "RUNNING") {
+            if let Some(pend_idx) = transitions.iter().position(|t| t == "PENDING") {
+                assert!(pend_idx < run_idx, "job {job}: RUNNING before PENDING");
+            }
+        }
+    }
+
+    // Sequence numbers strictly increase.
+    let seqs: Vec<u64> = seen.iter().map(|e| e["seq"].as_u64().unwrap()).collect();
+    for w in seqs.windows(2) {
+        assert!(w[0] < w[1], "event sequence regressed");
+    }
+
+    // Privacy: every event belongs to the user or their accounts.
+    let accounts = site.scenario.population.accounts_of(&user);
+    for e in &seen {
+        let event_user = e["user"].as_str().unwrap();
+        let event_account = e["account"].as_str().unwrap();
+        assert!(
+            event_user == user || accounts.iter().any(|a| a == event_account),
+            "leaked event for {event_user}/{event_account}"
+        );
+    }
+}
+
+#[test]
+fn stale_cursor_requests_resync() {
+    let site = SimSite::build(ScenarioConfig::small());
+    let server = site.serve().unwrap();
+    let base = server.base_url();
+    let client = HttpClient::new();
+    let user = site.scenario.population.users[0].clone();
+
+    // Generate far more events than the log retains (4096), with a stale
+    // cursor pointing at evicted history.
+    let account = site.scenario.population.accounts_of(&user)[0].clone();
+    for _ in 0..2_200 {
+        let mut req = hpcdash_slurm::job::JobRequest::simple(&user, &account, "cpu", 1);
+        req.usage.planned_runtime_secs = 1;
+        site.scenario.ctld.submit(req).unwrap();
+        site.scenario.clock.advance(2);
+        site.scenario.ctld.tick();
+    }
+    let body = poll(&client, &base, &user, 1);
+    assert_eq!(body["resync_required"], true, "client must refetch tables");
+}

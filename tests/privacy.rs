@@ -1,0 +1,206 @@
+//! The paper's privacy rules (§2.4), verified across users over HTTP:
+//! users see only their own/group data; logs are owner-only.
+
+use hpcdash::SimSite;
+use hpcdash_http::HttpClient;
+use hpcdash_slurm::job::{JobRequest, UsageProfile};
+use hpcdash_workload::ScenarioConfig;
+
+struct Site {
+    _server_keepalive: hpcdash_http::Server,
+    base: String,
+    client: HttpClient,
+    site: SimSite,
+}
+
+fn build() -> Site {
+    let site = SimSite::build(ScenarioConfig::small());
+    let server = site.serve().unwrap();
+    Site {
+        base: server.base_url(),
+        _server_keepalive: server,
+        client: HttpClient::new(),
+        site,
+    }
+}
+
+impl Site {
+    fn get(&self, path: &str, user: &str) -> hpcdash_http::ClientResponse {
+        self.client
+            .get(&format!("{}{path}", self.base), &[("X-Remote-User", user)])
+            .unwrap()
+    }
+
+    fn two_users_different_accounts(&self) -> (String, String) {
+        let pop = &self.site.scenario.population;
+        let a = pop.users[0].clone();
+        let a_accounts = pop.accounts_of(&a);
+        let b = pop
+            .users
+            .iter()
+            .find(|u| {
+                let accs = pop.accounts_of(u);
+                !accs.iter().any(|acc| a_accounts.contains(acc))
+            })
+            .expect("population has disjoint users")
+            .clone();
+        (a, b)
+    }
+}
+
+#[test]
+fn requests_without_identity_are_rejected() {
+    let s = build();
+    for path in ["/", "/api/myjobs", "/api/storage", "/api/accounts"] {
+        let resp = s.client.get(&format!("{}{path}", s.base), &[]).unwrap();
+        assert_eq!(resp.status, 401, "{path}");
+    }
+}
+
+#[test]
+fn job_visibility_is_scoped_to_group() {
+    let s = build();
+    let (alice, bob) = s.two_users_different_accounts();
+    let account = s.site.scenario.population.accounts_of(&alice)[0].clone();
+
+    let mut req = JobRequest::simple(&alice, &account, "cpu", 2);
+    req.usage = UsageProfile::batch(600);
+    let id = s.site.scenario.ctld.submit(req).unwrap()[0];
+    s.site.scenario.ctld.tick();
+
+    // Owner sees it in My Jobs; the unrelated user does not.
+    let mine = s.get("/api/myjobs?range=all", &alice).json().unwrap();
+    assert!(mine["jobs"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|j| j["id"] == id.to_string()));
+    let theirs = s.get("/api/myjobs?range=all", &bob).json().unwrap();
+    assert!(!theirs["jobs"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|j| j["id"] == id.to_string()));
+
+    // Job Overview: unrelated user is forbidden outright.
+    assert_eq!(s.get(&format!("/api/jobs/{id}"), &bob).status, 403);
+    assert_eq!(s.get(&format!("/api/jobs/{id}"), &alice).status, 200);
+}
+
+#[test]
+fn logs_are_owner_only_even_within_the_group() {
+    let s = build();
+    let pop = &s.site.scenario.population;
+    let alice = pop.users[0].clone();
+    let account = pop.accounts_of(&alice)[0].clone();
+    // Find a second member of the same account.
+    let teammate = pop
+        .users
+        .iter()
+        .find(|u| **u != alice && pop.accounts_of(u).contains(&account))
+        .expect("account has two members")
+        .clone();
+
+    let mut req = JobRequest::simple(&alice, &account, "cpu", 2);
+    req.usage = UsageProfile::batch(600);
+    let id = s.site.scenario.ctld.submit(req).unwrap()[0];
+    s.site.scenario.ctld.tick();
+
+    // Teammate can open the job overview (group visibility)...
+    assert_eq!(s.get(&format!("/api/jobs/{id}"), &teammate).status, 200);
+    // ...but not the logs (filesystem ownership).
+    assert_eq!(
+        s.get(&format!("/api/jobs/{id}/logs?stream=out"), &teammate).status,
+        403
+    );
+    assert_eq!(
+        s.get(&format!("/api/jobs/{id}/logs?stream=out"), &alice).status,
+        200
+    );
+}
+
+#[test]
+fn storage_and_accounts_are_scoped() {
+    let s = build();
+    let (alice, bob) = s.two_users_different_accounts();
+    let alices_accounts = s.site.scenario.population.accounts_of(&alice);
+
+    let disks = s.get("/api/storage", &bob).json().unwrap();
+    for d in disks["disks"].as_array().unwrap() {
+        let path = d["path"].as_str().unwrap();
+        assert!(
+            !path.contains(&format!("/{alice}")),
+            "bob sees alice's disk {path}"
+        );
+    }
+
+    let accounts = s.get("/api/accounts", &bob).json().unwrap();
+    for a in accounts["accounts"].as_array().unwrap() {
+        assert!(
+            !alices_accounts.contains(&a["name"].as_str().unwrap().to_string()),
+            "bob sees alice's allocation"
+        );
+    }
+
+    // Export endpoint enforces membership.
+    let resp = s.get(&format!("/api/accounts/{}/export", alices_accounts[0]), &bob);
+    assert_eq!(resp.status, 403);
+}
+
+#[test]
+fn admin_act_as_views_other_users_data() {
+    // The permission-based accounting extension (paper §9): `root` is in
+    // the admin list of the purdue-like config, so with X-Act-As it can see
+    // any user's storage — while a regular user's X-Act-As is ignored.
+    let s = build();
+    let alice = s.site.scenario.population.users[0].clone();
+
+    let resp = s
+        .client
+        .get(
+            &format!("{}/api/storage", s.base),
+            &[("X-Remote-User", "root"), ("X-Act-As", alice.as_str())],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let disks = resp.json().unwrap();
+    assert!(
+        disks["disks"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|d| d["path"].as_str().unwrap().contains(alice.as_str())),
+        "admin view should surface alice's disks"
+    );
+
+    // A non-admin sending X-Act-As stays themselves.
+    let (_, bob) = s.two_users_different_accounts();
+    let resp = s
+        .client
+        .get(
+            &format!("{}/api/storage", s.base),
+            &[("X-Remote-User", bob.as_str()), ("X-Act-As", alice.as_str())],
+        )
+        .unwrap();
+    let disks = resp.json().unwrap();
+    assert!(disks["disks"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .all(|d| !d["path"].as_str().unwrap().contains(alice.as_str())));
+}
+
+#[test]
+fn recent_jobs_shows_only_own_submissions() {
+    let s = build();
+    let (alice, bob) = s.two_users_different_accounts();
+    let account = s.site.scenario.population.accounts_of(&alice)[0].clone();
+    s.site
+        .scenario
+        .ctld
+        .submit(JobRequest::simple(&alice, &account, "cpu", 1))
+        .unwrap();
+    s.site.scenario.ctld.tick();
+    let bobs = s.get("/api/recent_jobs", &bob).json().unwrap();
+    assert_eq!(bobs["jobs"].as_array().unwrap().len(), 0);
+}

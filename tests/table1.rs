@@ -1,0 +1,102 @@
+//! Experiment T1: regenerate the paper's Table 1 (dashboard features with
+//! associated data sources) by *measuring* which sources each feature's
+//! route actually touches, and check it against the declared table.
+
+use hpcdash::SimSite;
+use hpcdash_core::api;
+use hpcdash_http::HttpClient;
+use hpcdash_slurm::job::{ArraySpec, JobRequest};
+use hpcdash_workload::ScenarioConfig;
+use std::collections::BTreeSet;
+
+#[test]
+fn observed_sources_match_declared_table() {
+    let site = SimSite::build(ScenarioConfig::small());
+    site.warm_up(600);
+    let server = site.serve().unwrap();
+    let base = server.base_url();
+    let client = HttpClient::new();
+    let user = site.scenario.population.users[0].clone();
+    let account = site.scenario.population.accounts_of(&user)[0].clone();
+
+    // Give Job Overview a target with logs and an array sibling.
+    let mut req = JobRequest::simple(&user, &account, "cpu", 1);
+    req.array = Some(ArraySpec { first: 0, last: 1, max_concurrent: None });
+    let ids = site.scenario.ctld.submit(req).unwrap();
+    site.scenario.ctld.tick();
+    let job_id = ids[0];
+
+    site.ctx().clear_observed_sources();
+    site.ctx().cache.clear();
+
+    // Exercise every feature cache-cold.
+    let node = site.scenario.ctld.query_nodes()[0].name.clone();
+    let calls = [
+        "/api/announcements".to_string(),
+        "/api/recent_jobs".to_string(),
+        "/api/system_status".to_string(),
+        "/api/accounts".to_string(),
+        format!("/api/accounts/{account}/export"),
+        "/api/storage".to_string(),
+        "/api/myjobs?range=all".to_string(),
+        "/api/jobmetrics?range=all".to_string(),
+        "/api/clusterstatus".to_string(),
+        format!("/api/nodes/{node}"),
+        format!("/api/jobs/{job_id}"),
+        format!("/api/jobs/{job_id}/logs?stream=out"),
+        format!("/api/jobs/{job_id}/array"),
+    ];
+    for path in &calls {
+        let resp = client
+            .get(&format!("{base}{path}"), &[("X-Remote-User", &user)])
+            .unwrap();
+        assert_eq!(resp.status, 200, "{path}: {}", resp.body_string());
+    }
+
+    let observed = site.ctx().observed_sources();
+    let declared = api::feature_table();
+    assert_eq!(declared.len(), 10, "the paper's Table 1 has ten rows");
+
+    for row in &declared {
+        let got = observed
+            .get(row.feature)
+            .unwrap_or_else(|| panic!("feature {:?} was never observed; observed: {observed:?}", row.feature));
+        let want: BTreeSet<String> = row.sources.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            got, &want,
+            "feature {:?}: observed sources diverge from declared Table 1 row",
+            row.feature
+        );
+    }
+    // And nothing outside the declared table touched a data source.
+    assert_eq!(observed.len(), declared.len());
+}
+
+#[test]
+fn printed_table_matches_paper_shape() {
+    // The harness the `table1` example uses: feature + sources, one row per
+    // feature, exactly like the paper's Table 1.
+    let table = api::feature_table();
+    let rendered: Vec<String> = table
+        .iter()
+        .map(|r| format!("{} | {}", r.feature, r.sources.join(", ")))
+        .collect();
+    let expect_fragments = [
+        ("Announcements widget", "news API"),
+        ("Recent Jobs widget", "squeue (slurmctld)"),
+        ("System Status widget", "sinfo (slurmctld)"),
+        ("Accounts widget", "scontrol show assoc (slurmctld)"),
+        ("Storage widget", "ZFS and GPFS storage database"),
+        ("My Jobs", "sacct (slurmdbd)"),
+        ("Job Performance Metrics", "sacct (slurmdbd)"),
+        ("Cluster Status", "scontrol show node (slurmctld)"),
+        ("Job Overview", "scontrol show job (slurmctld)"),
+        ("Node Overview", "scontrol show node (slurmctld)"),
+    ];
+    for (feature, source) in expect_fragments {
+        assert!(
+            rendered.iter().any(|row| row.starts_with(feature) && row.contains(source)),
+            "missing Table 1 row {feature} -> {source}: {rendered:#?}"
+        );
+    }
+}
