@@ -5,8 +5,8 @@
 
 use criterion::Criterion;
 use hpcdash_bench::{banner, BenchSite};
-use hpcdash_simtime::Clock;
 use hpcdash_core::{CachePolicy, DashboardConfig};
+use hpcdash_simtime::Clock;
 use hpcdash_workload::ScenarioConfig;
 
 /// Simulate `users` browsers refreshing Recent Jobs every `refresh_every`
@@ -62,8 +62,8 @@ fn main() {
         "per-source TTL sweep: backend load vs data freshness (8 users, 10s refreshes, 10 min)",
     );
     println!(
-        "{:>8} | {:>12} | {:>14} | {}",
-        "TTL (s)", "squeue RPCs", "avg age (s)", "note"
+        "{:>8} | {:>12} | {:>14} | note",
+        "TTL (s)", "squeue RPCs", "avg age (s)"
     );
     println!("{}", "-".repeat(64));
     let mut prev_rpcs = None;

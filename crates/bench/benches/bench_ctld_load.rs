@@ -17,6 +17,7 @@ use std::time::Duration;
 #[derive(Clone)]
 struct Point {
     users: usize,
+    #[allow(dead_code)]
     cached: bool,
     tick_p99: Duration,
     squeue_p99: Option<Duration>,
@@ -32,7 +33,10 @@ fn run_point(users: usize, cached: bool) -> Point {
     }
     let site = hpcdash_bench::BenchSite::build(scenario_cfg, dash_cfg);
     site.warm_up(600);
-    let server = site.dashboard.serve("127.0.0.1:0", users.max(1)).expect("serve");
+    let server = site
+        .dashboard
+        .serve("127.0.0.1:0", users.max(1))
+        .expect("serve");
     site.scenario.ctld.stats().reset();
 
     // Background browsers hammering Recent Jobs as fast as they can.
@@ -45,7 +49,10 @@ fn run_point(users: usize, cached: bool) -> Point {
         handles.push(std::thread::spawn(move || {
             let client = hpcdash_http::HttpClient::new();
             while !stop.load(Ordering::Relaxed) {
-                let _ = client.get(&format!("{base}/api/recent_jobs"), &[("X-Remote-User", &user)]);
+                let _ = client.get(
+                    &format!("{base}/api/recent_jobs"),
+                    &[("X-Remote-User", &user)],
+                );
             }
         }));
     }
@@ -135,7 +142,11 @@ fn main() {
         site.warm_up(300);
         let mut group = cbench.benchmark_group("slurmctld_rpc");
         group.bench_function("squeue_all", |b| {
-            b.iter(|| site.scenario.ctld.query_jobs(&hpcdash_slurm::ctld::JobQuery::all()))
+            b.iter(|| {
+                site.scenario
+                    .ctld
+                    .query_jobs(&hpcdash_slurm::ctld::JobQuery::all())
+            })
         });
         group.bench_function("sched_tick", |b| {
             b.iter(|| {

@@ -56,7 +56,8 @@ fn main() {
     );
     println!("{}", "-".repeat(74));
     let mut results = Vec::new();
-    for (server_cache, client_cache) in [(false, false), (true, false), (false, true), (true, true)] {
+    for (server_cache, client_cache) in [(false, false), (true, false), (false, true), (true, true)]
+    {
         let (name, report, rpcs) = variant(server_cache, client_cache);
         let p = report.perceived.expect("samples");
         println!(

@@ -1,17 +1,23 @@
 //! Figure 4a (Job Performance Metrics) as a benchmark: aggregate metric
 //! computation over growing accounting histories and time ranges.
 
-use hpcdash_simtime::Clock;
 use criterion::{BenchmarkId, Criterion};
 use hpcdash_bench::{banner, BenchSite};
 use hpcdash_core::metrics::JobMetrics;
+use hpcdash_simtime::Clock;
 
 fn main() {
-    banner("F4a", "Job Performance Metrics: aggregation across time ranges");
+    banner(
+        "F4a",
+        "Job Performance Metrics: aggregation across time ranges",
+    );
     let site = BenchSite::fast();
     site.warm_up(4 * 3_600);
     let user = site.user();
-    println!("fixture: {} accounting records", site.scenario.dbd.archived_count());
+    println!(
+        "fixture: {} accounting records",
+        site.scenario.dbd.archived_count()
+    );
 
     let mut c = Criterion::default().configure_from_args().sample_size(30);
     {

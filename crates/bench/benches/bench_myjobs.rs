@@ -2,9 +2,9 @@
 //! efficiency engine + charts — at growing history sizes, cold vs warm
 //! server cache.
 
-use hpcdash_simtime::Clock;
 use criterion::{BenchmarkId, Criterion};
 use hpcdash_bench::{banner, BenchSite};
+use hpcdash_simtime::Clock;
 
 fn site_with_history(hours: u64) -> (BenchSite, String) {
     let site = BenchSite::fast();
@@ -14,21 +14,46 @@ fn site_with_history(hours: u64) -> (BenchSite, String) {
 }
 
 fn main() {
-    banner("F3", "My Jobs route: table + efficiency + charts, cold vs warm cache");
+    banner(
+        "F3",
+        "My Jobs route: table + efficiency + charts, cold vs warm cache",
+    );
 
     // The paper's §4 comparison: My Jobs vs the stock Active Jobs baseline.
     {
         let (site, user) = site_with_history(2);
-        let myjobs = site.get("/api/myjobs?range=all", &user).body_json().expect("json");
-        let baseline = site.get("/api/activejobs", &user).body_json().expect("json");
+        let myjobs = site
+            .get("/api/myjobs?range=all", &user)
+            .body_json()
+            .expect("json");
+        let baseline = site
+            .get("/api/activejobs", &user)
+            .body_json()
+            .expect("json");
         let my_rows = myjobs["jobs"].as_array().unwrap();
         let base_rows = baseline["jobs"].as_array().unwrap();
-        let my_fields = my_rows.first().map(|j| j.as_object().unwrap().len()).unwrap_or(0);
-        let base_fields = base_rows.first().map(|j| j.as_object().unwrap().len()).unwrap_or(0);
+        let my_fields = my_rows
+            .first()
+            .map(|j| j.as_object().unwrap().len())
+            .unwrap_or(0);
+        let base_fields = base_rows
+            .first()
+            .map(|j| j.as_object().unwrap().len())
+            .unwrap_or(0);
         println!("\ninformation coverage vs the OOD Active Jobs baseline (2h history):");
         println!("  {:<22} {:>10} {:>16}", "", "jobs shown", "fields per job");
-        println!("  {:<22} {:>10} {:>16}", "Active Jobs (baseline)", base_rows.len(), base_fields);
-        println!("  {:<22} {:>10} {:>16}", "My Jobs (paper)", my_rows.len(), my_fields);
+        println!(
+            "  {:<22} {:>10} {:>16}",
+            "Active Jobs (baseline)",
+            base_rows.len(),
+            base_fields
+        );
+        println!(
+            "  {:<22} {:>10} {:>16}",
+            "My Jobs (paper)",
+            my_rows.len(),
+            my_fields
+        );
         assert!(
             my_rows.len() >= base_rows.len(),
             "My Jobs must cover at least the active set"

@@ -1,14 +1,17 @@
 //! Substrate benchmark S1b — the Slurm command layer: format/parse
 //! throughput for the text interfaces every dashboard route consumes.
 
-use hpcdash_simtime::Clock;
 use criterion::{BenchmarkId, Criterion, Throughput};
 use hpcdash_bench::banner;
+use hpcdash_simtime::Clock;
 use hpcdash_simtime::Timestamp;
 use hpcdash_workload::ScenarioConfig;
 
 fn main() {
-    banner("S1b", "command layer: squeue/sacct/sinfo/scontrol render + parse throughput");
+    banner(
+        "S1b",
+        "command layer: squeue/sacct/sinfo/scontrol render + parse throughput",
+    );
     let scenario = hpcdash_workload::Scenario::build(ScenarioConfig {
         free_daemons: true,
         ..ScenarioConfig::campus()
@@ -16,7 +19,9 @@ fn main() {
     let mut driver = scenario.driver(2 * 3_600);
     driver.advance(2 * 3_600);
 
-    let jobs = scenario.ctld.query_jobs(&hpcdash_slurm::ctld::JobQuery::all());
+    let jobs = scenario
+        .ctld
+        .query_jobs(&hpcdash_slurm::ctld::JobQuery::all());
     let archived = scenario
         .dbd
         .query_jobs(&hpcdash_slurm::dbd::JobFilter::default());
@@ -84,7 +89,9 @@ fn main() {
 
     // Round-trip sanity under bench fixtures.
     assert_eq!(
-        hpcdash_slurmcli::parse_sacct(&sacct_text).expect("parse").len(),
+        hpcdash_slurmcli::parse_sacct(&sacct_text)
+            .expect("parse")
+            .len(),
         archived.len()
     );
     let _ = Timestamp(0);

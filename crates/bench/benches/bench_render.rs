@@ -39,10 +39,8 @@ fn main() {
         group.finish();
     }
     {
-        let ok_payloads: Vec<(&str, Result<serde_json::Value, String>)> = payloads
-            .iter()
-            .map(|(w, p)| (*w, Ok(p.clone())))
-            .collect();
+        let ok_payloads: Vec<(&str, Result<serde_json::Value, String>)> =
+            payloads.iter().map(|(w, p)| (*w, Ok(p.clone()))).collect();
         let mut group = c.benchmark_group("page_render");
         group.bench_function("homepage_full", |b| {
             b.iter(|| pages::homepage::render_full("Anvil", &user, &ok_payloads))
@@ -57,11 +55,9 @@ fn main() {
         let mut group = c.benchmark_group("clusterstatus_render");
         for node_count in [64usize, 512, 2_048] {
             let payload = synthetic_nodes(node_count);
-            group.bench_with_input(
-                BenchmarkId::new("grid", node_count),
-                &payload,
-                |b, p| b.iter(|| pages::clusterstatus::render_grid(p)),
-            );
+            group.bench_with_input(BenchmarkId::new("grid", node_count), &payload, |b, p| {
+                b.iter(|| pages::clusterstatus::render_grid(p))
+            });
             group.bench_with_input(
                 BenchmarkId::new("list_filtered", node_count),
                 &payload,

@@ -5,9 +5,9 @@
 
 use criterion::{BenchmarkId, Criterion};
 use hpcdash_bench::banner;
+use hpcdash_simtime::Timestamp;
 use hpcdash_slurm::cluster::{ClusterSpec, ClusterState};
 use hpcdash_slurm::job::JobRequest;
-use hpcdash_simtime::Timestamp;
 use hpcdash_workload::{Population, PopulationConfig, ScenarioConfig, TraceGenerator};
 
 fn campus_cluster() -> ClusterState {
@@ -43,7 +43,10 @@ fn trace(n: usize) -> Vec<JobRequest> {
 }
 
 fn main() {
-    banner("S1a", "scheduler substrate: submit + backfill pass at campus scale");
+    banner(
+        "S1a",
+        "scheduler substrate: submit + backfill pass at campus scale",
+    );
     let mut c = Criterion::default().configure_from_args().sample_size(20);
 
     {
@@ -76,7 +79,9 @@ fn main() {
             let mut t = 0;
             b.iter(|| {
                 t += 1;
-                cluster.submit(reqs[0].clone(), Timestamp(t)).expect("submit")
+                cluster
+                    .submit(reqs[0].clone(), Timestamp(t))
+                    .expect("submit")
             })
         });
         group.bench_function("simulated_hour_small_site", |b| {

@@ -106,7 +106,10 @@ fn main() {
             co_loads as f64 / ROUNDS as f64,
             co_wall / ROUNDS as u32,
         );
-        assert_eq!(co_loads, ROUNDS, "coalesced herd runs exactly one load per round");
+        assert_eq!(
+            co_loads, ROUNDS,
+            "coalesced herd runs exactly one load per round"
+        );
     }
     println!("\nshape: without coalescing the backend absorbs up to one query per");
     println!("concurrent browser at every expiry; with it, exactly one — the property");

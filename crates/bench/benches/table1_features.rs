@@ -16,7 +16,11 @@ fn feature_calls(site: &BenchSite, user: &str) -> Vec<(&'static str, String)> {
     let job_id = {
         let account = site.scenario.population.accounts_of(user)[0].clone();
         let mut req = JobRequest::simple(user, &account, "cpu", 1);
-        req.array = Some(ArraySpec { first: 0, last: 1, max_concurrent: None });
+        req.array = Some(ArraySpec {
+            first: 0,
+            last: 1,
+            max_concurrent: None,
+        });
         let ids = site.scenario.ctld.submit(req).expect("submit");
         site.scenario.ctld.tick();
         ids[0]
@@ -28,7 +32,10 @@ fn feature_calls(site: &BenchSite, user: &str) -> Vec<(&'static str, String)> {
         ("Accounts widget", "/api/accounts".to_string()),
         ("Storage widget", "/api/storage".to_string()),
         ("My Jobs", "/api/myjobs?range=all".to_string()),
-        ("Job Performance Metrics", "/api/jobmetrics?range=all".to_string()),
+        (
+            "Job Performance Metrics",
+            "/api/jobmetrics?range=all".to_string(),
+        ),
         ("Cluster Status", "/api/clusterstatus".to_string()),
         ("Job Overview", format!("/api/jobs/{job_id}")),
         ("Node Overview", format!("/api/nodes/{node}")),
@@ -36,7 +43,10 @@ fn feature_calls(site: &BenchSite, user: &str) -> Vec<(&'static str, String)> {
 }
 
 fn main() {
-    banner("T1", "Table 1: dashboard features with associated data sources");
+    banner(
+        "T1",
+        "Table 1: dashboard features with associated data sources",
+    );
     let site = BenchSite::fast();
     site.warm_up(900);
     let user = site.user();

@@ -101,7 +101,12 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let db = IndexedDb::new();
-        db.put("widgets", "recent_jobs", json!({"jobs": [1, 2]}), Timestamp(100));
+        db.put(
+            "widgets",
+            "recent_jobs",
+            json!({"jobs": [1, 2]}),
+            Timestamp(100),
+        );
         let rec = db.get("widgets", "recent_jobs").unwrap();
         assert_eq!(rec.value, json!({"jobs": [1, 2]}));
         assert_eq!(rec.fetched_at, Timestamp(100));
@@ -136,7 +141,12 @@ mod tests {
     #[test]
     fn export_import_preserves_everything() {
         let db = IndexedDb::new();
-        db.put("widgets", "storage", json!({"disks": ["home"]}), Timestamp(5));
+        db.put(
+            "widgets",
+            "storage",
+            json!({"disks": ["home"]}),
+            Timestamp(5),
+        );
         db.put("pages", "myjobs", json!([1, 2, 3]), Timestamp(9));
         let exported = db.export_json();
         let restored = IndexedDb::import_json(&exported).unwrap();
@@ -145,7 +155,10 @@ mod tests {
             restored.get("widgets", "storage").unwrap().value,
             json!({"disks": ["home"]})
         );
-        assert_eq!(restored.get("pages", "myjobs").unwrap().fetched_at, Timestamp(9));
+        assert_eq!(
+            restored.get("pages", "myjobs").unwrap().fetched_at,
+            Timestamp(9)
+        );
     }
 
     #[test]

@@ -169,7 +169,11 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), 5);
         }
-        assert_eq!(loads.load(Ordering::SeqCst), 1, "one backend query for 16 users");
+        assert_eq!(
+            loads.load(Ordering::SeqCst),
+            1,
+            "one backend query for 16 users"
+        );
         assert!(f.stats().coalesced >= 1);
     }
 

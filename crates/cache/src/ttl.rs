@@ -160,7 +160,10 @@ mod tests {
         clock.advance(1);
         assert_eq!(c.get("squeue:alice"), None, "expired exactly at ttl");
         // Still present as stale.
-        assert_eq!(c.get_allow_stale("squeue:alice"), Some(("jobs".to_string(), false)));
+        assert_eq!(
+            c.get_allow_stale("squeue:alice"),
+            Some(("jobs".to_string(), false))
+        );
     }
 
     #[test]
@@ -195,7 +198,11 @@ mod tests {
     fn purge_and_invalidate() {
         let (c, clock) = cache();
         for i in 0..20 {
-            c.insert(format!("k{i}"), "v".to_string(), if i % 2 == 0 { 10 } else { 100 });
+            c.insert(
+                format!("k{i}"),
+                "v".to_string(),
+                if i % 2 == 0 { 10 } else { 100 },
+            );
         }
         clock.advance(50);
         assert_eq!(c.purge_expired(), 10);

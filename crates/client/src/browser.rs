@@ -1,7 +1,9 @@
 //! One simulated browser tab.
 
 use hpcdash_cache::IndexedDb;
-use hpcdash_http::HttpClient;
+use hpcdash_http::{HttpClient, TRACE_HEADER};
+use hpcdash_obs::trace::TraceScope;
+use hpcdash_obs::{Span, TraceId};
 use hpcdash_simtime::SharedClock;
 use serde_json::Value;
 use std::time::{Duration, Instant};
@@ -26,6 +28,10 @@ pub struct FetchResult {
     pub perceived: Duration,
     /// Time spent on the network (zero for fresh cache hits).
     pub network: Duration,
+    /// The end-to-end trace id, when a network request was made (`None` for
+    /// fresh cache hits — no request, no trace). Look the hops up in
+    /// `hpcdash_obs::trace::sink()`.
+    pub trace: Option<TraceId>,
 }
 
 /// A full homepage load.
@@ -83,7 +89,8 @@ impl DashboardClient {
 
     /// Total requests that actually reached the backend.
     pub fn network_fetch_count(&self) -> u64 {
-        self.network_fetches.load(std::sync::atomic::Ordering::Relaxed)
+        self.network_fetches
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Fetch an API route through the client cache, mirroring the frontend
@@ -101,23 +108,25 @@ impl DashboardClient {
                         outcome: FetchOutcome::CacheFresh,
                         perceived,
                         network: Duration::ZERO,
+                        trace: None,
                     });
                 }
                 // Stale: the user already sees the cached data; refresh in
                 // the "background" (synchronously here, but not counted
                 // toward perceived latency).
-                let (fresh_value, network) = self.network_get(path)?;
+                let (fresh_value, network, trace) = self.network_get(path)?;
                 self.db.put("api", path, fresh_value, now);
                 return Ok(FetchResult {
                     value,
                     outcome: FetchOutcome::StaleRevalidated,
                     perceived,
                     network,
+                    trace: Some(trace),
                 });
             }
         }
         let start = Instant::now();
-        let (value, network) = self.network_get(path)?;
+        let (value, network, trace) = self.network_get(path)?;
         let perceived = start.elapsed();
         if self.fresh_secs.is_some() {
             self.db.put("api", path, value.clone(), now);
@@ -127,10 +136,18 @@ impl DashboardClient {
             outcome: FetchOutcome::Network,
             perceived,
             network,
+            trace: Some(trace),
         })
     }
 
-    fn network_get(&self, path: &str) -> Result<(Value, Duration), String> {
+    /// One wire request. Each request starts a fresh trace: the id rides the
+    /// `X-Trace-Id` header to the server, so the "client" span recorded here
+    /// and the server-side hops land under the same trace in the span sink.
+    fn network_get(&self, path: &str) -> Result<(Value, Duration, TraceId), String> {
+        let trace = TraceId::generate();
+        let _scope = TraceScope::enter(trace);
+        let _span = Span::enter("client").attr("path", path.to_string());
+        let trace_hex = trace.to_hex();
         let start = Instant::now();
         self.network_fetches
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -138,7 +155,7 @@ impl DashboardClient {
             .http
             .get(
                 &format!("{}{}", self.base_url, path),
-                &[("X-Remote-User", &self.user)],
+                &[("X-Remote-User", &self.user), (TRACE_HEADER, &trace_hex)],
             )
             .map_err(|e| e.to_string())?;
         let elapsed = start.elapsed();
@@ -146,7 +163,7 @@ impl DashboardClient {
             return Err(format!("{} -> HTTP {}", path, resp.status));
         }
         let value = resp.json().map_err(|e| format!("{path}: bad json: {e}"))?;
-        Ok((value, elapsed))
+        Ok((value, elapsed, trace))
     }
 
     /// Fetch a page shell (HTML), returning time-to-first-byte.
@@ -278,7 +295,10 @@ mod tests {
             .all(|(_, r)| r.as_ref().unwrap().outcome == FetchOutcome::CacheFresh));
         // No new API traffic, only the shell.
         assert_eq!(client.network_fetch_count(), cold_fetches);
-        assert!(warm.total < cold.total * 10, "warm load not absurdly slower");
+        assert!(
+            warm.total < cold.total * 10,
+            "warm load not absurdly slower"
+        );
     }
 
     #[test]

@@ -1,152 +1,6 @@
 //! Latency collection with percentile summaries.
+//!
+//! The implementation moved to `hpcdash-obs` (the shared observability
+//! crate); this module keeps the historical path for existing callers.
 
-use parking_lot::Mutex;
-use std::time::Duration;
-
-/// Thread-safe latency sample collector.
-#[derive(Debug, Default)]
-pub struct LatencyRecorder {
-    samples_ns: Mutex<Vec<u64>>,
-}
-
-/// Summary statistics over recorded samples.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencySummary {
-    pub count: usize,
-    pub mean: Duration,
-    pub p50: Duration,
-    pub p90: Duration,
-    pub p99: Duration,
-    pub max: Duration,
-}
-
-impl LatencyRecorder {
-    pub fn new() -> LatencyRecorder {
-        LatencyRecorder::default()
-    }
-
-    pub fn record(&self, latency: Duration) {
-        self.samples_ns
-            .lock()
-            .push(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
-    }
-
-    pub fn count(&self) -> usize {
-        self.samples_ns.lock().len()
-    }
-
-    /// Percentile over recorded samples (`p` in 0..=1). None when empty.
-    pub fn percentile(&self, p: f64) -> Option<Duration> {
-        let mut samples = self.samples_ns.lock().clone();
-        if samples.is_empty() {
-            return None;
-        }
-        samples.sort_unstable();
-        let idx = ((samples.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
-        Some(Duration::from_nanos(samples[idx]))
-    }
-
-    pub fn summary(&self) -> Option<LatencySummary> {
-        let mut samples = self.samples_ns.lock().clone();
-        if samples.is_empty() {
-            return None;
-        }
-        samples.sort_unstable();
-        let pick = |p: f64| {
-            let idx = ((samples.len() - 1) as f64 * p).round() as usize;
-            Duration::from_nanos(samples[idx])
-        };
-        let mean_ns = samples.iter().sum::<u64>() / samples.len() as u64;
-        Some(LatencySummary {
-            count: samples.len(),
-            mean: Duration::from_nanos(mean_ns),
-            p50: pick(0.50),
-            p90: pick(0.90),
-            p99: pick(0.99),
-            max: Duration::from_nanos(*samples.last().expect("non-empty")),
-        })
-    }
-
-    pub fn clear(&self) {
-        self.samples_ns.lock().clear();
-    }
-}
-
-impl LatencySummary {
-    /// A compact human-readable line for experiment output.
-    pub fn to_row(&self) -> String {
-        format!(
-            "n={:<6} mean={:>10.1?} p50={:>10.1?} p90={:>10.1?} p99={:>10.1?} max={:>10.1?}",
-            self.count, self.mean, self.p50, self.p90, self.p99, self.max
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn percentiles_ordered() {
-        let r = LatencyRecorder::new();
-        for i in 1..=1_000u64 {
-            r.record(Duration::from_micros(i));
-        }
-        let s = s_of(&r);
-        assert_eq!(s.count, 1_000);
-        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
-        assert_eq!(s.max, Duration::from_micros(1_000));
-        assert_eq!(s.p50, Duration::from_micros(501), "index 500 of 0..1000 after rounding");
-    }
-
-    fn s_of(r: &LatencyRecorder) -> LatencySummary {
-        r.summary().expect("samples recorded")
-    }
-
-    #[test]
-    fn empty_summary_is_none() {
-        let r = LatencyRecorder::new();
-        assert!(r.summary().is_none());
-        assert!(r.percentile(0.5).is_none());
-    }
-
-    #[test]
-    fn single_sample() {
-        let r = LatencyRecorder::new();
-        r.record(Duration::from_millis(5));
-        let s = s_of(&r);
-        assert_eq!(s.count, 1);
-        assert_eq!(s.p50, Duration::from_millis(5));
-        assert_eq!(s.p99, Duration::from_millis(5));
-        assert_eq!(s.mean, Duration::from_millis(5));
-    }
-
-    #[test]
-    fn concurrent_recording() {
-        let r = std::sync::Arc::new(LatencyRecorder::new());
-        let mut handles = Vec::new();
-        for _ in 0..4 {
-            let r = r.clone();
-            handles.push(std::thread::spawn(move || {
-                for i in 0..250 {
-                    r.record(Duration::from_nanos(i));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(r.count(), 1_000);
-        r.clear();
-        assert_eq!(r.count(), 0);
-    }
-
-    #[test]
-    fn row_format() {
-        let r = LatencyRecorder::new();
-        r.record(Duration::from_micros(100));
-        let row = s_of(&r).to_row();
-        assert!(row.contains("n=1"));
-        assert!(row.contains("p99="));
-    }
-}
+pub use hpcdash_obs::recorder::{LatencyRecorder, LatencySummary};

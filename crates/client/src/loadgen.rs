@@ -3,6 +3,7 @@
 
 use crate::browser::{DashboardClient, FetchOutcome};
 use crate::histogram::{LatencyRecorder, LatencySummary};
+use hpcdash_obs::Registry;
 use hpcdash_simtime::SharedClock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,6 +36,11 @@ pub struct LoadReport {
     pub stale_revalidated: u64,
     /// Failed fetches.
     pub errors: u64,
+    /// Per-route client-side metrics for this run:
+    /// `hpcdash_client_perceived_latency{route}` and
+    /// `hpcdash_client_network_latency{route}` histograms (p50/p95/p99 at
+    /// scrape time via `hpcdash_obs::expo`).
+    pub registry: Arc<Registry>,
 }
 
 impl LoadReport {
@@ -48,6 +54,7 @@ impl LoadReport {
 /// Run a load test against `base_url`. One OS thread per user; each user
 /// has an independent client cache, like separate browsers.
 pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
+    let registry = Arc::new(Registry::new());
     let perceived = Arc::new(LatencyRecorder::new());
     let network = Arc::new(LatencyRecorder::new());
     let fresh_hits = Arc::new(AtomicU64::new(0));
@@ -61,6 +68,7 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
         let base_url = base_url.to_string();
         let clock = clock.clone();
         let cfg = cfg.clone();
+        let registry = registry.clone();
         let perceived = perceived.clone();
         let network = network.clone();
         let fresh_hits = fresh_hits.clone();
@@ -68,13 +76,16 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
         let net_count = net_count.clone();
         let errors = errors.clone();
         handles.push(std::thread::spawn(move || {
-            let client =
-                DashboardClient::new(&base_url, &user, clock, cfg.client_fresh_secs);
+            let client = DashboardClient::new(&base_url, &user, clock, cfg.client_fresh_secs);
             for _ in 0..cfg.iterations {
                 for path in &cfg.paths {
                     match client.fetch_api(path) {
                         Ok(result) => {
                             perceived.record(result.perceived);
+                            let labels = [("route", path.as_str())];
+                            registry
+                                .histogram("hpcdash_client_perceived_latency", &labels)
+                                .observe(result.perceived);
                             match result.outcome {
                                 FetchOutcome::CacheFresh => {
                                     fresh_hits.fetch_add(1, Ordering::Relaxed);
@@ -82,9 +93,15 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
                                 FetchOutcome::StaleRevalidated => {
                                     stale_hits.fetch_add(1, Ordering::Relaxed);
                                     network.record(result.network);
+                                    registry
+                                        .histogram("hpcdash_client_network_latency", &labels)
+                                        .observe(result.network);
                                 }
                                 FetchOutcome::Network => {
                                     network.record(result.network);
+                                    registry
+                                        .histogram("hpcdash_client_network_latency", &labels)
+                                        .observe(result.network);
                                 }
                             }
                         }
@@ -108,6 +125,7 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
         cache_fresh: fresh_hits.load(Ordering::Relaxed),
         stale_revalidated: stale_hits.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
+        registry,
     }
 }
 
@@ -216,6 +234,10 @@ mod tests {
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.network_fetches, 12);
-        assert_eq!(ctx.ctld.stats().count_of("sinfo"), 12, "every request reached slurmctld");
+        assert_eq!(
+            ctx.ctld.stats().count_of("sinfo"),
+            12,
+            "every request reached slurmctld"
+        );
     }
 }

@@ -127,33 +127,50 @@ mod tests {
         ctx.ctld.tick();
         let resp = handle(&ctx, &request("/api/accounts", "alice"));
         assert_eq!(resp.status, 200);
-        let accounts = resp.body_json().unwrap()["accounts"].as_array().unwrap().to_vec();
+        let accounts = resp.body_json().unwrap()["accounts"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         assert_eq!(accounts.len(), 1);
         assert_eq!(accounts[0]["name"], "physics");
         assert_eq!(accounts[0]["cpus_in_use"], 8);
         assert_eq!(accounts[0]["member_count"], 1);
-        assert!(accounts[0]["export_url"].as_str().unwrap().contains("/physics/"));
+        assert!(accounts[0]["export_url"]
+            .as_str()
+            .unwrap()
+            .contains("/physics/"));
     }
 
     #[test]
     fn strangers_see_no_accounts() {
         let ctx = test_ctx();
         let resp = handle(&ctx, &request("/api/accounts", "mallory"));
-        assert_eq!(resp.body_json().unwrap()["accounts"].as_array().unwrap().len(), 0);
+        assert_eq!(
+            resp.body_json().unwrap()["accounts"]
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]
     fn export_requires_membership() {
         let ctx = test_ctx();
         let mut req = request("/api/accounts/physics/export", "mallory");
-        req.params.insert("account".to_string(), "physics".to_string());
+        req.params
+            .insert("account".to_string(), "physics".to_string());
         assert_eq!(handle_export(&ctx, &req).status, 403);
         let mut req = request("/api/accounts/physics/export", "alice");
-        req.params.insert("account".to_string(), "physics".to_string());
+        req.params
+            .insert("account".to_string(), "physics".to_string());
         let resp = handle_export(&ctx, &req);
         assert_eq!(resp.status, 200);
         assert!(resp.body_string().starts_with("user,jobs_run"));
-        assert!(resp.header("content-disposition").unwrap().contains("physics-usage.csv"));
+        assert!(resp
+            .header("content-disposition")
+            .unwrap()
+            .contains("physics-usage.csv"));
     }
 
     #[test]
@@ -170,11 +187,15 @@ mod tests {
         let jobs = ctx.ctld.query_jobs(&hpcdash_slurm::ctld::JobQuery::all());
         ctx.ctld.cancel(jobs[0].id, "alice").unwrap();
         let mut req = request("/api/accounts/physics/export?format=excel", "alice");
-        req.params.insert("account".to_string(), "physics".to_string());
+        req.params
+            .insert("account".to_string(), "physics".to_string());
         let resp = handle_export(&ctx, &req);
         let body = resp.body_string();
         assert!(body.starts_with('\u{feff}'), "excel format carries a BOM");
-        assert!(body.contains("alice,1,"), "alice's completed job shows up: {body}");
+        assert!(
+            body.contains("alice,1,"),
+            "alice's completed job shows up: {body}"
+        );
     }
 
     #[test]

@@ -86,13 +86,20 @@ mod tests {
             outcome: PlannedOutcome::Success,
         };
         ctx.ctld.submit(done).unwrap();
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 8)).unwrap();
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 16)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 8))
+            .unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 16))
+            .unwrap();
         ctx.ctld.tick();
 
         let resp = handle(&ctx, &request("alice"));
         assert_eq!(resp.status, 200);
-        let jobs = resp.body_json().unwrap()["jobs"].as_array().unwrap().to_vec();
+        let jobs = resp.body_json().unwrap()["jobs"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         // All three are still active at this instant; none carries the
         // My Jobs extras.
         assert!(jobs.iter().all(|j| j.get("efficiency").is_none()));
@@ -111,14 +118,17 @@ mod tests {
         done.usage.planned_runtime_secs = 1;
         let id = ctx.ctld.submit(done).unwrap()[0];
         ctx.ctld.tick(); // starts
-        // Force completion by advancing the shared sim clock is not possible
-        // from test_ctx (frozen clock), so cancel to make it historical.
+                         // Force completion by advancing the shared sim clock is not possible
+                         // from test_ctx (frozen clock), so cancel to make it historical.
         ctx.ctld.cancel(id, "alice").unwrap();
         ctx.ctld.tick();
 
         let baseline = handle(&ctx, &request("alice"));
         assert_eq!(
-            baseline.body_json().unwrap()["jobs"].as_array().unwrap().len(),
+            baseline.body_json().unwrap()["jobs"]
+                .as_array()
+                .unwrap()
+                .len(),
             0,
             "baseline lost sight of the finished job"
         );
@@ -128,7 +138,12 @@ mod tests {
         let mut router = Router::new();
         crate::api::myjobs::register(&mut router, ctx.clone());
         let myjobs = router.handle(&myjobs_req);
-        let jobs = myjobs.body_json().unwrap()["jobs"].as_array().unwrap().to_vec();
-        assert!(jobs.iter().any(|j| j["id"] == id.to_string() && j["state"] == "CANCELLED"));
+        let jobs = myjobs.body_json().unwrap()["jobs"]
+            .as_array()
+            .unwrap()
+            .to_vec();
+        assert!(jobs
+            .iter()
+            .any(|j| j["id"] == id.to_string() && j["state"] == "CANCELLED"));
     }
 }

@@ -24,9 +24,15 @@ pub const ROUTES: &[&str] = &[
 pub fn register(router: &mut Router, ctx: DashboardContext) {
     let c1 = ctx.clone();
     let c2 = ctx.clone();
-    router.add(Method::Post, ROUTES[0], move |req| handle(&ctx, req, Action::Hold));
-    router.add(Method::Post, ROUTES[1], move |req| handle(&c1, req, Action::Release));
-    router.add(Method::Post, ROUTES[2], move |req| handle(&c2, req, Action::Cancel));
+    router.add(Method::Post, ROUTES[0], move |req| {
+        handle(&ctx, req, Action::Hold)
+    });
+    router.add(Method::Post, ROUTES[1], move |req| {
+        handle(&c1, req, Action::Release)
+    });
+    router.add(Method::Post, ROUTES[2], move |req| {
+        handle(&c2, req, Action::Cancel)
+    });
 }
 
 #[derive(Clone, Copy)]
@@ -92,7 +98,10 @@ mod tests {
     #[test]
     fn non_admin_is_forbidden() {
         let ctx = admin_ctx();
-        let id = ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 1)).unwrap()[0];
+        let id = ctx
+            .ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 1))
+            .unwrap()[0];
         let resp = handle(&ctx, &post("/x", &id.to_string(), "alice"), Action::Hold);
         assert_eq!(resp.status, 403, "owners don't get the admin surface");
     }
@@ -100,7 +109,10 @@ mod tests {
     #[test]
     fn admin_hold_release_cycle() {
         let ctx = admin_ctx();
-        let id = ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 1)).unwrap()[0];
+        let id = ctx
+            .ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 1))
+            .unwrap()[0];
         let resp = handle(&ctx, &post("/x", &id.to_string(), "root"), Action::Hold);
         assert_eq!(resp.status, 200, "{}", resp.body_string());
         ctx.ctld.tick();
@@ -117,7 +129,10 @@ mod tests {
     #[test]
     fn admin_cancel_any_job() {
         let ctx = admin_ctx();
-        let id = ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 1)).unwrap()[0];
+        let id = ctx
+            .ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 1))
+            .unwrap()[0];
         ctx.ctld.tick();
         let resp = handle(&ctx, &post("/x", &id.to_string(), "root"), Action::Cancel);
         assert_eq!(resp.status, 200);

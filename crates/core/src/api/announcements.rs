@@ -25,7 +25,11 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
     let limit = ctx.cfg.announcements_limit;
     let now = ctx.now();
     let news_url = ctx.cfg.news_page_url.clone();
-    let key = if all { "announcements:all" } else { "announcements" };
+    let key = if all {
+        "announcements:all"
+    } else {
+        "announcements"
+    };
     let result = ctx.cached_result(key, ctx.cfg.cache.announcements, || {
         ctx.note_source(FEATURE, "news API");
         let items = if all {
@@ -76,8 +80,15 @@ mod tests {
     #[test]
     fn returns_colored_items() {
         let ctx = test_ctx();
-        ctx.news.publish("Outage!", "down", Category::Outage, Timestamp(900), Some((Timestamp(900), Timestamp(2_000))));
-        ctx.news.publish("Note", "hi", Category::News, Timestamp(800), None);
+        ctx.news.publish(
+            "Outage!",
+            "down",
+            Category::Outage,
+            Timestamp(900),
+            Some((Timestamp(900), Timestamp(2_000))),
+        );
+        ctx.news
+            .publish("Note", "hi", Category::News, Timestamp(800), None);
         let resp = handle(&ctx, &request());
         assert_eq!(resp.status, 200);
         let body = resp.body_json().unwrap();
@@ -88,24 +99,34 @@ mod tests {
         assert_eq!(items[0]["relevance"], "active");
         assert_eq!(items[1]["color"], "gray");
         assert_eq!(items[1]["faded"], false);
-        assert!(body["all_news_url"].as_str().unwrap().starts_with("https://"));
+        assert!(body["all_news_url"]
+            .as_str()
+            .unwrap()
+            .starts_with("https://"));
     }
 
     #[test]
     fn scope_all_ignores_the_widget_limit() {
         let ctx = test_ctx();
         for i in 0..9 {
-            ctx.news.publish(&format!("n{i}"), "", Category::News, Timestamp(i), None);
+            ctx.news
+                .publish(&format!("n{i}"), "", Category::News, Timestamp(i), None);
         }
         let widget = handle(&ctx, &request());
         assert_eq!(
-            widget.body_json().unwrap()["items"].as_array().unwrap().len(),
+            widget.body_json().unwrap()["items"]
+                .as_array()
+                .unwrap()
+                .len(),
             ctx.cfg.announcements_limit
         );
         let all_req = Request::new(Method::Get, "/api/announcements?scope=all")
             .with_header("X-Remote-User", "alice");
         let all = handle(&ctx, &all_req);
-        assert_eq!(all.body_json().unwrap()["items"].as_array().unwrap().len(), 9);
+        assert_eq!(
+            all.body_json().unwrap()["items"].as_array().unwrap().len(),
+            9
+        );
     }
 
     #[test]
@@ -123,16 +144,19 @@ mod tests {
         assert_eq!(resp.status, 503);
         // Recovery works immediately (errors are not cached).
         ctx.news.set_available(true);
-        ctx.news.publish("Back", "", Category::News, Timestamp(1), None);
+        ctx.news
+            .publish("Back", "", Category::News, Timestamp(1), None);
         assert_eq!(handle(&ctx, &request()).status, 200);
     }
 
     #[test]
     fn cached_across_calls() {
         let ctx = test_ctx();
-        ctx.news.publish("One", "", Category::News, Timestamp(1), None);
+        ctx.news
+            .publish("One", "", Category::News, Timestamp(1), None);
         handle(&ctx, &request());
-        ctx.news.publish("Two", "", Category::News, Timestamp(2), None);
+        ctx.news
+            .publish("Two", "", Category::News, Timestamp(2), None);
         let resp = handle(&ctx, &request());
         let items = resp.body_json().unwrap();
         assert_eq!(

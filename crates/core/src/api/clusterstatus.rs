@@ -83,11 +83,16 @@ mod tests {
     #[test]
     fn reports_node_states_and_colors() {
         let ctx = test_ctx();
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 8)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 8))
+            .unwrap();
         ctx.ctld.tick();
         let resp = handle(&ctx, &request());
         assert_eq!(resp.status, 200);
-        let nodes = resp.body_json().unwrap()["nodes"].as_array().unwrap().to_vec();
+        let nodes = resp.body_json().unwrap()["nodes"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         assert_eq!(nodes.len(), 1);
         let n = &nodes[0];
         assert_eq!(n["name"], "a001");
@@ -102,9 +107,13 @@ mod tests {
     #[test]
     fn drained_node_shows_reason_and_yellow() {
         let ctx = test_ctx();
-        ctx.ctld.set_node_flag("a001", AdminFlag::Drain, Some("bad disk".to_string()));
+        ctx.ctld
+            .set_node_flag("a001", AdminFlag::Drain, Some("bad disk".to_string()));
         let resp = handle(&ctx, &request());
-        let nodes = resp.body_json().unwrap()["nodes"].as_array().unwrap().to_vec();
+        let nodes = resp.body_json().unwrap()["nodes"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         assert_eq!(nodes[0]["state"], "DRAINED");
         assert_eq!(nodes[0]["color"], "yellow");
         assert_eq!(nodes[0]["reason"], "bad_disk");

@@ -1,0 +1,67 @@
+//! Health exposition: per-data-source up/degraded/down derived from recent
+//! loader outcomes, plus an overall verdict (the worst source wins).
+//!
+//! Distinct from `/healthz` (process liveness): this route reports whether
+//! the *data sources* behind the dashboard are answering.
+
+use crate::ctx::DashboardContext;
+use hpcdash_http::{Request, Response, Router};
+use hpcdash_obs::health::HealthStatus;
+
+pub const ROUTE: &str = "/api/health";
+
+pub fn register(router: &mut Router, ctx: DashboardContext) {
+    router.get(ROUTE, move |req| handle(&ctx, req));
+}
+
+fn handle(ctx: &DashboardContext, _req: &Request) -> Response {
+    let report = ctx.health.report();
+    let resp = Response::json(&report.to_json());
+    match report.overall {
+        // A degraded dashboard still answers 200 (it serves stale/partial
+        // data); only Down surfaces as an unhealthy status code.
+        HealthStatus::Up | HealthStatus::Degraded => resp,
+        HealthStatus::Down => Response {
+            status: 503,
+            ..resp
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::tests::test_ctx;
+    use hpcdash_http::Method;
+
+    fn request() -> Request {
+        Request::new(Method::Get, "/api/health")
+    }
+
+    #[test]
+    fn all_up_when_sources_answer() {
+        let ctx = test_ctx();
+        ctx.health.record_ok("squeue");
+        ctx.health.record_ok("sinfo");
+        let resp = handle(&ctx, &request());
+        assert_eq!(resp.status, 200);
+        let body = resp.body_json().unwrap();
+        assert_eq!(body["status"], "up");
+        assert_eq!(body["sources"]["squeue"]["status"], "up");
+    }
+
+    #[test]
+    fn down_source_drives_overall_and_status_code() {
+        let ctx = test_ctx();
+        ctx.health.record_ok("sinfo");
+        for _ in 0..3 {
+            ctx.health.record_error("squeue");
+        }
+        let resp = handle(&ctx, &request());
+        assert_eq!(resp.status, 503);
+        let body = resp.body_json().unwrap();
+        assert_eq!(body["status"], "down");
+        assert_eq!(body["sources"]["squeue"]["status"], "down");
+        assert_eq!(body["sources"]["sinfo"]["status"], "up");
+    }
+}

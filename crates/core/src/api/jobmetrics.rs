@@ -90,10 +90,15 @@ mod tests {
         let ctx = test_ctx();
         let resp = handle(
             &ctx,
-            &request("/api/jobmetrics?range=custom&start=1970-01-01T00:00:00&end=2030-01-01T00:00:00"),
+            &request(
+                "/api/jobmetrics?range=custom&start=1970-01-01T00:00:00&end=2030-01-01T00:00:00",
+            ),
         );
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body_json().unwrap()["metrics"]["total_jobs"], 0);
-        assert_eq!(handle(&ctx, &request("/api/jobmetrics?range=custom")).status, 400);
+        assert_eq!(
+            handle(&ctx, &request("/api/jobmetrics?range=custom")).status,
+            400
+        );
     }
 }

@@ -1,0 +1,48 @@
+//! Metrics exposition: everything the registry and daemon collectors know,
+//! in Prometheus text format (default) or JSON (`?format=json`).
+//!
+//! Not a Table-1 feature — this route serves operators and scrapers, not a
+//! dashboard widget.
+
+use crate::ctx::DashboardContext;
+use hpcdash_http::{Request, Response, Router};
+use hpcdash_obs::expo::{scrape_json, scrape_text};
+
+pub const ROUTE: &str = "/api/metrics";
+
+pub fn register(router: &mut Router, ctx: DashboardContext) {
+    router.get(ROUTE, move |req| handle(&ctx, req));
+}
+
+fn handle(ctx: &DashboardContext, req: &Request) -> Response {
+    if req.query_param("format").is_some_and(|f| f == "json") {
+        return Response::json(&scrape_json(&ctx.obs));
+    }
+    Response::text(scrape_text(&ctx.obs))
+        .with_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::tests::test_ctx;
+    use hpcdash_http::Method;
+    use serde_json::json;
+
+    #[test]
+    fn exposes_text_and_json() {
+        let ctx = test_ctx();
+        ctx.cached("squeue:alice", 60, || json!(1));
+        let resp = handle(&ctx, &Request::new(Method::Get, "/api/metrics"));
+        assert_eq!(resp.status, 200);
+        let text = resp.body_string();
+        assert!(text.contains("hpcdash_cache_requests_total{source=\"squeue\"} 1"));
+        let resp = handle(&ctx, &Request::new(Method::Get, "/api/metrics?format=json"));
+        let samples = resp.body_json().unwrap();
+        assert!(samples
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|s| s["name"] == "hpcdash_cache_requests_total"));
+    }
+}

@@ -12,8 +12,10 @@ pub mod activejobs;
 pub mod admin;
 pub mod announcements;
 pub mod clusterstatus;
+pub mod health;
 pub mod jobmetrics;
 pub mod joboverview;
+pub mod metrics;
 pub mod myjobs;
 pub mod nodeoverview;
 pub mod recent_jobs;
@@ -50,6 +52,10 @@ pub fn register_all(router: &mut Router, ctx: &DashboardContext) {
     activejobs::register(router, ctx.clone());
     updates::register(router, ctx.clone());
     admin::register(router, ctx.clone());
+    // Observability endpoints (not dashboard widgets): metrics exposition
+    // and data-source health.
+    metrics::register(router, ctx.clone());
+    health::register(router, ctx.clone());
 }
 
 /// The declared feature -> data-source table (the paper's Table 1).
@@ -125,9 +131,15 @@ mod tests {
     #[test]
     fn slurm_backed_features_name_their_command() {
         let table = feature_table();
-        let my_jobs = table.iter().find(|r| r.feature.contains("My Jobs")).unwrap();
+        let my_jobs = table
+            .iter()
+            .find(|r| r.feature.contains("My Jobs"))
+            .unwrap();
         assert!(my_jobs.sources.iter().any(|s| s.contains("sacct")));
-        let status = table.iter().find(|r| r.feature.contains("System Status")).unwrap();
+        let status = table
+            .iter()
+            .find(|r| r.feature.contains("System Status"))
+            .unwrap();
         assert!(status.sources.iter().any(|s| s.contains("sinfo")));
     }
 }

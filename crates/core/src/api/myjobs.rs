@@ -101,17 +101,21 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
             },
         );
         let qrows = parse_squeue_long(&qtext).map_err(|e| format!("squeue parse: {e}"))?;
-        let reasons: HashMap<String, _> =
-            qrows.iter().filter_map(|r| r.reason().map(|x| (r.job_id.clone(), x))).collect();
+        let reasons: HashMap<String, _> = qrows
+            .iter()
+            .filter_map(|r| r.reason().map(|x| (r.job_id.clone(), x)))
+            .collect();
 
         let jobs: Vec<serde_json::Value> = records
             .iter()
             .map(|rec| {
                 let eff = EfficiencyReport::from_record(rec, gpu_flag);
                 let reason = reasons.get(&rec.job_id).copied();
-                let wait = rec
-                    .wait_secs()
-                    .or_else(|| rec.submit.map(|s| now.since(s)).filter(|_| rec.state == JobState::Pending));
+                let wait = rec.wait_secs().or_else(|| {
+                    rec.submit
+                        .map(|s| now.since(s))
+                        .filter(|_| rec.state == JobState::Pending)
+                });
                 json!({
                     "id": rec.job_id,
                     "name": rec.job_name,
@@ -192,7 +196,9 @@ mod tests {
         failing.usage.outcome = PlannedOutcome::Fail { exit_code: 2 };
         failing.usage.planned_runtime_secs = 500;
         ctx.ctld.submit(failing).unwrap();
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 16)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 16))
+            .unwrap();
         ctx.ctld.tick();
     }
 
@@ -209,7 +215,10 @@ mod tests {
         assert!(states.contains(&"RUNNING"));
         assert!(states.contains(&"PENDING"));
         let pending = jobs.iter().find(|j| j["state"] == "PENDING").unwrap();
-        assert!(pending["reason"]["message"].as_str().unwrap().starts_with("It means"));
+        assert!(pending["reason"]["message"]
+            .as_str()
+            .unwrap()
+            .starts_with("It means"));
         assert!(pending["wait_secs"].is_u64());
         let session = jobs.iter().find(|j| j["session_id"] == "sess42");
         assert!(session.is_some(), "OOD session id parsed from comment");
@@ -222,8 +231,14 @@ mod tests {
     fn state_filter_narrows_table() {
         let ctx = test_ctx();
         submit_and_tick(&ctx);
-        let resp = handle(&ctx, &request("/api/myjobs?range=all&state=PENDING", "alice"));
-        let jobs = resp.body_json().unwrap()["jobs"].as_array().unwrap().to_vec();
+        let resp = handle(
+            &ctx,
+            &request("/api/myjobs?range=all&state=PENDING", "alice"),
+        );
+        let jobs = resp.body_json().unwrap()["jobs"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         assert!(!jobs.is_empty());
         assert!(jobs.iter().all(|j| j["state"] == "PENDING"));
         assert_eq!(
@@ -240,30 +255,66 @@ mod tests {
         let total = all.body_json().unwrap()["jobs"].as_array().unwrap().len();
         assert!(total >= 3);
 
-        let cpu_only = handle(&ctx, &request("/api/myjobs?range=all&partition=cpu", "alice"));
+        let cpu_only = handle(
+            &ctx,
+            &request("/api/myjobs?range=all&partition=cpu", "alice"),
+        );
         assert_eq!(
-            cpu_only.body_json().unwrap()["jobs"].as_array().unwrap().len(),
+            cpu_only.body_json().unwrap()["jobs"]
+                .as_array()
+                .unwrap()
+                .len(),
             total,
             "every job is on the cpu partition here"
         );
-        let gpu_only = handle(&ctx, &request("/api/myjobs?range=all&partition=gpu", "alice"));
-        assert_eq!(gpu_only.body_json().unwrap()["jobs"].as_array().unwrap().len(), 0);
+        let gpu_only = handle(
+            &ctx,
+            &request("/api/myjobs?range=all&partition=gpu", "alice"),
+        );
+        assert_eq!(
+            gpu_only.body_json().unwrap()["jobs"]
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
 
         let normal = handle(&ctx, &request("/api/myjobs?range=all&qos=normal", "alice"));
-        assert_eq!(normal.body_json().unwrap()["jobs"].as_array().unwrap().len(), total);
+        assert_eq!(
+            normal.body_json().unwrap()["jobs"]
+                .as_array()
+                .unwrap()
+                .len(),
+            total
+        );
         let high = handle(&ctx, &request("/api/myjobs?range=all&qos=high", "alice"));
-        assert_eq!(high.body_json().unwrap()["jobs"].as_array().unwrap().len(), 0);
+        assert_eq!(
+            high.body_json().unwrap()["jobs"].as_array().unwrap().len(),
+            0
+        );
 
         let mine = handle(&ctx, &request("/api/myjobs?range=all&user=alice", "alice"));
-        assert_eq!(mine.body_json().unwrap()["jobs"].as_array().unwrap().len(), total);
+        assert_eq!(
+            mine.body_json().unwrap()["jobs"].as_array().unwrap().len(),
+            total
+        );
         let theirs = handle(&ctx, &request("/api/myjobs?range=all&user=bob", "alice"));
-        assert_eq!(theirs.body_json().unwrap()["jobs"].as_array().unwrap().len(), 0);
+        assert_eq!(
+            theirs.body_json().unwrap()["jobs"]
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]
     fn invalid_range_rejected() {
         let ctx = test_ctx();
-        assert_eq!(handle(&ctx, &request("/api/myjobs?range=century", "alice")).status, 400);
+        assert_eq!(
+            handle(&ctx, &request("/api/myjobs?range=century", "alice")).status,
+            400
+        );
     }
 
     #[test]
@@ -271,6 +322,9 @@ mod tests {
         let ctx = test_ctx();
         submit_and_tick(&ctx);
         let resp = handle(&ctx, &request("/api/myjobs?range=all", "mallory"));
-        assert_eq!(resp.body_json().unwrap()["jobs"].as_array().unwrap().len(), 0);
+        assert_eq!(
+            resp.body_json().unwrap()["jobs"].as_array().unwrap().len(),
+            0
+        );
     }
 }

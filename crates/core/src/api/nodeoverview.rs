@@ -136,7 +136,9 @@ mod tests {
     #[test]
     fn cards_details_and_running_jobs() {
         let ctx = test_ctx();
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 8)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 8))
+            .unwrap();
         ctx.ctld.tick();
         let resp = handle(&ctx, &request("a001"));
         assert_eq!(resp.status, 200, "{}", resp.body_string());
@@ -145,7 +147,10 @@ mod tests {
         assert_eq!(body["status_card"]["state"], "MIXED");
         assert_eq!(body["resource_card"]["cpu"]["alloc"], 8);
         assert_eq!(body["resource_card"]["cpu"]["percent"], 50.0);
-        assert!(body["details"]["CPUTot"].is_string(), "raw scontrol fields exposed");
+        assert!(
+            body["details"]["CPUTot"].is_string(),
+            "raw scontrol fields exposed"
+        );
         let jobs = body["running_jobs"].as_array().unwrap();
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0]["user"], "alice");

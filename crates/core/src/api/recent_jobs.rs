@@ -67,6 +67,14 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
 }
 
 #[cfg(test)]
+impl crate::ctx::DashboardContext {
+    /// Advance the scheduler once in tests (1 simulated second).
+    pub(crate) fn clock_tick(&self) {
+        self.ctld.tick();
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::ctx::tests::test_ctx;
@@ -80,12 +88,19 @@ mod tests {
     #[test]
     fn shows_only_my_jobs_with_colors_and_tooltips() {
         let ctx = test_ctx();
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 4)).unwrap();
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 16)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 4))
+            .unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 16))
+            .unwrap();
         ctx.clock_tick();
         let resp = handle(&ctx, &request("alice"));
         assert_eq!(resp.status, 200);
-        let jobs = resp.body_json().unwrap()["jobs"].as_array().unwrap().to_vec();
+        let jobs = resp.body_json().unwrap()["jobs"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         assert_eq!(jobs.len(), 2);
         let running = jobs.iter().find(|j| j["state"] == "RUNNING").unwrap();
         assert_eq!(running["state_color"], "green");
@@ -97,17 +112,24 @@ mod tests {
     #[test]
     fn other_users_see_nothing_of_mine() {
         let ctx = test_ctx();
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 4)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 4))
+            .unwrap();
         ctx.clock_tick();
         let resp = handle(&ctx, &request("mallory"));
-        assert_eq!(resp.body_json().unwrap()["jobs"].as_array().unwrap().len(), 0);
+        assert_eq!(
+            resp.body_json().unwrap()["jobs"].as_array().unwrap().len(),
+            0
+        );
     }
 
     #[test]
     fn caching_hides_new_submissions_within_ttl() {
         let ctx = test_ctx();
         handle(&ctx, &request("alice"));
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 1)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 1))
+            .unwrap();
         ctx.clock_tick();
         let resp = handle(&ctx, &request("alice"));
         assert_eq!(
@@ -115,14 +137,10 @@ mod tests {
             0,
             "cached empty list served within the 30s TTL"
         );
-        assert_eq!(ctx.ctld.stats().count_of("squeue"), 1, "only one squeue ran");
-    }
-}
-
-#[cfg(test)]
-impl crate::ctx::DashboardContext {
-    /// Advance the scheduler once in tests (1 simulated second).
-    pub(crate) fn clock_tick(&self) {
-        self.ctld.tick();
+        assert_eq!(
+            ctx.ctld.stats().count_of("squeue"),
+            1,
+            "only one squeue ran"
+        );
     }
 }

@@ -73,13 +73,21 @@ mod tests {
     fn lists_home_scratch_and_depot() {
         let ctx = test_ctx();
         ctx.storage.provision_user("alice", Timestamp(0));
-        ctx.storage.provision_group("physics", 100 * GB, Timestamp(0));
-        ctx.storage.set_usage("/home/alice", 24 * GB, 390_000, Timestamp(10));
+        ctx.storage
+            .provision_group("physics", 100 * GB, Timestamp(0));
+        ctx.storage
+            .set_usage("/home/alice", 24 * GB, 390_000, Timestamp(10));
         let resp = handle(&ctx, &request("alice"));
         assert_eq!(resp.status, 200);
-        let disks = resp.body_json().unwrap()["disks"].as_array().unwrap().to_vec();
+        let disks = resp.body_json().unwrap()["disks"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         let paths: Vec<&str> = disks.iter().map(|d| d["path"].as_str().unwrap()).collect();
-        assert_eq!(paths, vec!["/home/alice", "/scratch/alice", "/depot/physics"]);
+        assert_eq!(
+            paths,
+            vec!["/home/alice", "/scratch/alice", "/depot/physics"]
+        );
         let home = &disks[0];
         assert_eq!(home["filesystem"], "zfs-home");
         assert_eq!(home["bytes_color"], "red", "24/25 GB is over 90%");
@@ -93,8 +101,13 @@ mod tests {
         ctx.storage.provision_user("alice", Timestamp(0));
         ctx.storage.provision_user("bob", Timestamp(0));
         let resp = handle(&ctx, &request("bob"));
-        let disks = resp.body_json().unwrap()["disks"].as_array().unwrap().to_vec();
-        assert!(disks.iter().all(|d| d["path"].as_str().unwrap().contains("bob")));
+        let disks = resp.body_json().unwrap()["disks"]
+            .as_array()
+            .unwrap()
+            .to_vec();
+        assert!(disks
+            .iter()
+            .all(|d| d["path"].as_str().unwrap().contains("bob")));
     }
 
     #[test]

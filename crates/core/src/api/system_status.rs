@@ -79,11 +79,16 @@ mod tests {
     fn reports_partition_utilization() {
         let ctx = test_ctx();
         // Fill 16/16 CPUs -> red.
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 16)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 16))
+            .unwrap();
         ctx.ctld.tick();
         let resp = handle(&ctx, &request());
         assert_eq!(resp.status, 200);
-        let parts = resp.body_json().unwrap()["partitions"].as_array().unwrap().to_vec();
+        let parts = resp.body_json().unwrap()["partitions"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         assert_eq!(parts.len(), 1);
         let cpu = &parts[0];
         assert_eq!(cpu["name"], "cpu");
@@ -99,7 +104,10 @@ mod tests {
     fn idle_cluster_is_green() {
         let ctx = test_ctx();
         let resp = handle(&ctx, &request());
-        let parts = resp.body_json().unwrap()["partitions"].as_array().unwrap().to_vec();
+        let parts = resp.body_json().unwrap()["partitions"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         assert_eq!(parts[0]["cpus"]["color"], "green");
         assert_eq!(parts[0]["cpus"]["percent"], 0.0);
     }
@@ -108,8 +116,13 @@ mod tests {
     fn shared_cache_across_users() {
         let ctx = test_ctx();
         handle(&ctx, &request());
-        let other = Request::new(Method::Get, "/api/system_status").with_header("X-Remote-User", "bob");
+        let other =
+            Request::new(Method::Get, "/api/system_status").with_header("X-Remote-User", "bob");
         handle(&ctx, &other);
-        assert_eq!(ctx.ctld.stats().count_of("sinfo"), 1, "system-wide data cached once for all users");
+        assert_eq!(
+            ctx.ctld.stats().count_of("sinfo"),
+            1,
+            "system-wide data cached once for all users"
+        );
     }
 }

@@ -33,9 +33,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
     let accounts = user.visible_accounts(ctx);
     let visible: Vec<serde_json::Value> = events
         .iter()
-        .filter(|e| {
-            user.is_admin || e.user == user.username || accounts.contains(&e.account)
-        })
+        .filter(|e| user.is_admin || e.user == user.username || accounts.contains(&e.account))
         .map(|e| {
             json!({
                 "seq": e.seq,
@@ -74,7 +72,10 @@ mod tests {
     #[test]
     fn incremental_polling() {
         let ctx = test_ctx();
-        let id = ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 2)).unwrap()[0];
+        let id = ctx
+            .ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 2))
+            .unwrap()[0];
         ctx.ctld.tick();
 
         // First poll sees submit + start.
@@ -89,15 +90,24 @@ mod tests {
         let cursor = body["latest_seq"].as_u64().unwrap();
 
         // Nothing new: empty delta.
-        let resp = handle(&ctx, &request(&format!("/api/updates?since={cursor}"), "alice"));
+        let resp = handle(
+            &ctx,
+            &request(&format!("/api/updates?since={cursor}"), "alice"),
+        );
         let body = resp.body_json().unwrap();
         assert_eq!(body["events"].as_array().unwrap().len(), 0);
         assert_eq!(body["resync_required"], false);
 
         // Cancel produces exactly one new event past the cursor.
         ctx.ctld.cancel(id, "alice").unwrap();
-        let resp = handle(&ctx, &request(&format!("/api/updates?since={cursor}"), "alice"));
-        let events = resp.body_json().unwrap()["events"].as_array().unwrap().to_vec();
+        let resp = handle(
+            &ctx,
+            &request(&format!("/api/updates?since={cursor}"), "alice"),
+        );
+        let events = resp.body_json().unwrap()["events"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0]["to"], "CANCELLED");
         assert_eq!(events[0]["from"], "RUNNING");
@@ -106,10 +116,18 @@ mod tests {
     #[test]
     fn visibility_filter_applies() {
         let ctx = test_ctx();
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 2)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 2))
+            .unwrap();
         ctx.ctld.tick();
         let resp = handle(&ctx, &request("/api/updates", "mallory"));
-        assert_eq!(resp.body_json().unwrap()["events"].as_array().unwrap().len(), 0);
+        assert_eq!(
+            resp.body_json().unwrap()["events"]
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
         // But the cursor still advances so clients stay in sync.
         assert!(resp.body_json().unwrap()["latest_seq"].as_u64().unwrap() >= 2);
     }
@@ -117,7 +135,10 @@ mod tests {
     #[test]
     fn bad_cursor_rejected() {
         let ctx = test_ctx();
-        assert_eq!(handle(&ctx, &request("/api/updates?since=abc", "alice")).status, 400);
+        assert_eq!(
+            handle(&ctx, &request("/api/updates?since=abc", "alice")).status,
+            400
+        );
     }
 
     #[test]
@@ -125,13 +146,23 @@ mod tests {
         let ctx = test_ctx();
         // Fill the node, then submit one more: its submit event carries a
         // Priority reason.
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 16)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 16))
+            .unwrap();
         ctx.ctld.tick();
-        ctx.ctld.submit(JobRequest::simple("alice", "physics", "cpu", 16)).unwrap();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 16))
+            .unwrap();
         let resp = handle(&ctx, &request("/api/updates", "alice"));
-        let events = resp.body_json().unwrap()["events"].as_array().unwrap().to_vec();
+        let events = resp.body_json().unwrap()["events"]
+            .as_array()
+            .unwrap()
+            .to_vec();
         let pend = events.last().unwrap();
         assert_eq!(pend["to"], "PENDING");
-        assert!(pend["reason_message"].as_str().unwrap().starts_with("It means"));
+        assert!(pend["reason_message"]
+            .as_str()
+            .unwrap()
+            .starts_with("It means"));
     }
 }

@@ -5,6 +5,8 @@ use crate::auth::CurrentUser;
 use crate::ctx::DashboardContext;
 use crate::pages;
 use hpcdash_http::{Request, Response, Router, Server};
+use hpcdash_obs::Sample;
+use hpcdash_slurm::loadmodel::RpcSnapshot;
 use std::sync::Arc;
 
 /// The assembled dashboard application.
@@ -16,6 +18,8 @@ pub struct Dashboard {
 impl Dashboard {
     pub fn new(ctx: DashboardContext) -> Dashboard {
         let mut router = Router::new();
+        router.set_registry(ctx.obs.clone());
+        register_collectors(&ctx);
         api::register_all(&mut router, &ctx);
         register_pages(&mut router, &ctx);
         register_assets(&mut router);
@@ -44,6 +48,85 @@ impl Dashboard {
     /// Serve over TCP. Binds immediately; returns the running server.
     pub fn serve(&self, addr: &str, workers: usize) -> std::io::Result<Server> {
         Server::bind(addr, self.router.clone(), workers)
+    }
+}
+
+/// Pull-time collectors: every `/api/metrics` scrape reads the daemons' and
+/// the server cache's own statistics, so those crates export metrics without
+/// depending on the registry. Call once per context — collectors stack.
+fn register_collectors(ctx: &DashboardContext) {
+    let ctld = ctx.ctld.clone();
+    ctx.obs.register_collector(move |out| {
+        let snap = ctld.stats().snapshot();
+        daemon_samples(out, "hpcdash_slurmctld", &snap);
+        // The scheduler runs inside slurmctld: its tick count/cost and the
+        // pending-job backlog are the paper's "queries delay scheduling"
+        // observables.
+        if let Some(tick) = snap.per_kind.get("sched_tick") {
+            out.push(Sample::counter(
+                "hpcdash_sched_ticks_total",
+                &[],
+                tick.count,
+            ));
+            out.push(Sample::counter(
+                "hpcdash_sched_tick_busy_ns_total",
+                &[],
+                tick.total_ns,
+            ));
+        }
+        out.push(Sample::gauge(
+            "hpcdash_sched_queue_depth",
+            &[],
+            snap.sched_queue_depth as i64,
+        ));
+    });
+    let dbd = ctx.dbd.clone();
+    ctx.obs.register_collector(move |out| {
+        let snap = dbd.stats().snapshot();
+        daemon_samples(out, "hpcdash_slurmdbd", &snap);
+    });
+    let cache = ctx.cache.clone();
+    ctx.obs.register_collector(move |out| {
+        let s = cache.stats();
+        for (name, v) in [
+            ("hpcdash_cache_store_hits_total", s.hits),
+            ("hpcdash_cache_store_misses_total", s.misses),
+            ("hpcdash_cache_store_inserts_total", s.inserts),
+            ("hpcdash_cache_store_expirations_total", s.expirations),
+            ("hpcdash_cache_store_coalesced_total", s.coalesced),
+            ("hpcdash_cache_store_stale_serves_total", s.stale_serves),
+        ] {
+            out.push(Sample::counter(name, &[], v));
+        }
+    });
+}
+
+fn daemon_samples(out: &mut Vec<Sample>, prefix: &str, snap: &RpcSnapshot) {
+    for (kind, k) in &snap.per_kind {
+        out.push(Sample::counter(
+            format!("{prefix}_rpc_total"),
+            &[("kind", kind)],
+            k.count,
+        ));
+    }
+    out.push(Sample::counter(
+        format!("{prefix}_rpc_busy_ns_total"),
+        &[],
+        snap.total_busy.as_nanos().min(u128::from(u64::MAX)) as u64,
+    ));
+    out.push(Sample::counter(
+        format!("{prefix}_lock_wait_ns_total"),
+        &[],
+        snap.total_lock_wait.as_nanos().min(u128::from(u64::MAX)) as u64,
+    ));
+    for (q, v) in [("0.5", snap.p50), ("0.95", snap.p95), ("0.99", snap.p99)] {
+        if let Some(d) = v {
+            out.push(Sample::gauge(
+                format!("{prefix}_rpc_latency_ns"),
+                &[("quantile", q)],
+                d.as_nanos().min(i64::MAX as u128) as i64,
+            ));
+        }
     }
 }
 
@@ -205,7 +288,14 @@ mod tests {
     #[test]
     fn all_page_shells_serve() {
         let d = dash();
-        for path in ["/", "/myjobs", "/jobperf", "/clusterstatus", "/jobs/123", "/nodes/a001"] {
+        for path in [
+            "/",
+            "/myjobs",
+            "/jobperf",
+            "/clusterstatus",
+            "/jobs/123",
+            "/nodes/a001",
+        ] {
             let resp = get(&d, path, Some("alice"));
             assert_eq!(resp.status, 200, "{path}");
             assert!(resp.header("content-type").unwrap().contains("text/html"));
@@ -271,7 +361,30 @@ mod tests {
         let patterns = d.router().route_patterns();
         // 10 features -> 13 API routes (incl. accounts export, job
         // logs/array) + baseline Active Jobs + live updates feed + 3 admin
-        // actions + 7 pages + 3 assets + healthz.
-        assert_eq!(patterns.len(), 13 + 2 + 3 + 7 + 3 + 1, "{patterns:?}");
+        // actions + 2 observability routes (/api/metrics, /api/health)
+        // + 7 pages + 3 assets + healthz.
+        assert_eq!(patterns.len(), 13 + 2 + 3 + 2 + 7 + 3 + 1, "{patterns:?}");
+    }
+
+    #[test]
+    fn metrics_route_reports_daemon_traffic() {
+        let d = dash();
+        get(&d, "/api/system_status", Some("alice"));
+        let resp = get(&d, "/api/metrics", None);
+        assert_eq!(resp.status, 200);
+        let text = resp.body_string();
+        assert!(
+            text.contains("hpcdash_slurmctld_rpc_total{kind=\"sinfo\"} 1"),
+            "collector exports ctld traffic:\n{text}"
+        );
+        assert!(text.contains("hpcdash_http_requests_total{route=\"/api/system_status\"} 1"));
+        assert!(text.contains("hpcdash_cache_misses_total{source=\"system_status\"} 1"));
+        assert!(text.contains("hpcdash_sched_queue_depth 0"));
+        let resp = get(&d, "/api/health", None);
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body_json().unwrap()["sources"]["system_status"]["status"],
+            "up"
+        );
     }
 }

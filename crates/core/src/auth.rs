@@ -31,10 +31,7 @@ impl CurrentUser {
             (true, Some(other)) if !other.is_empty() => other.to_string(),
             _ => remote.to_string(),
         };
-        Ok(CurrentUser {
-            username,
-            is_admin,
-        })
+        Ok(CurrentUser { username, is_admin })
     }
 
     /// The accounts this user may see (their own allocations).
@@ -47,7 +44,12 @@ impl CurrentUser {
     }
 
     /// May this user inspect `job_user`'s job details?
-    pub fn may_view_job_of(&self, job_user: &str, job_account: &str, ctx: &DashboardContext) -> bool {
+    pub fn may_view_job_of(
+        &self,
+        job_user: &str,
+        job_account: &str,
+        ctx: &DashboardContext,
+    ) -> bool {
         if self.is_admin || self.username == job_user {
             return true;
         }
@@ -116,7 +118,10 @@ mod tests {
         };
         assert!(alice.may_view_job_of("alice", "physics", &ctx), "own job");
         assert!(alice.may_view_job_of("bob", "physics", &ctx), "group job");
-        assert!(!alice.may_view_job_of("mallory", "secret", &ctx), "unrelated job");
+        assert!(
+            !alice.may_view_job_of("mallory", "secret", &ctx),
+            "unrelated job"
+        );
         let admin = CurrentUser {
             username: "root".to_string(),
             is_admin: true,

@@ -47,7 +47,10 @@ pub fn gpu_hours_distribution(records: &[SacctRecord]) -> Value {
         *by_user.entry(r.user.clone()).or_insert(0.0) += r.gpu_hours();
     }
     let labels: Vec<&String> = by_user.keys().collect();
-    let data: Vec<f64> = by_user.values().map(|h| (h * 100.0).round() / 100.0).collect();
+    let data: Vec<f64> = by_user
+        .values()
+        .map(|h| (h * 100.0).round() / 100.0)
+        .collect();
     json!({
         "type": "bar",
         "labels": labels,
@@ -72,7 +75,10 @@ mod tests {
         assert_eq!(chart["labels"], json!(["alice", "bob"]));
         let datasets = chart["datasets"].as_array().unwrap();
         // Only states that occur appear.
-        let labels: Vec<&str> = datasets.iter().map(|d| d["label"].as_str().unwrap()).collect();
+        let labels: Vec<&str> = datasets
+            .iter()
+            .map(|d| d["label"].as_str().unwrap())
+            .collect();
         assert!(labels.contains(&"COMPLETED"));
         assert!(labels.contains(&"FAILED"));
         assert!(labels.contains(&"PENDING"));
@@ -86,9 +92,27 @@ mod tests {
     #[test]
     fn gpu_hours_summed_per_user() {
         let recs = vec![
-            rec(1, "alice", JobState::Completed, 0, Some(0), Some(3_600), 8, 2), // 2 gpu-h
-            rec(2, "alice", JobState::Completed, 0, Some(0), Some(1_800), 8, 4), // 2 gpu-h
-            rec(3, "bob", JobState::Completed, 0, Some(0), Some(3_600), 8, 0),   // 0
+            rec(
+                1,
+                "alice",
+                JobState::Completed,
+                0,
+                Some(0),
+                Some(3_600),
+                8,
+                2,
+            ), // 2 gpu-h
+            rec(
+                2,
+                "alice",
+                JobState::Completed,
+                0,
+                Some(0),
+                Some(1_800),
+                8,
+                4,
+            ), // 2 gpu-h
+            rec(3, "bob", JobState::Completed, 0, Some(0), Some(3_600), 8, 0), // 0
         ];
         let chart = gpu_hours_distribution(&recs);
         assert_eq!(chart["labels"], json!(["alice", "bob"]));

@@ -95,7 +95,10 @@ impl DashboardConfig {
     pub fn generic(cluster_label: &str) -> DashboardConfig {
         DashboardConfig {
             cluster_label: cluster_label.to_string(),
-            news_page_url: format!("https://www.example.edu/{}/news", cluster_label.to_lowercase()),
+            news_page_url: format!(
+                "https://www.example.edu/{}/news",
+                cluster_label.to_lowercase()
+            ),
             user_guide_url: format!(
                 "https://www.example.edu/{}/guide/accounts",
                 cluster_label.to_lowercase()
@@ -136,7 +139,10 @@ mod tests {
     fn defaults_follow_paper_ranges() {
         let c = CachePolicy::default();
         assert_eq!(c.recent_jobs, 30, "squeue cached ~30s (paper §3.2)");
-        assert!(c.announcements >= 1_800, "announcements 30-60 min (paper §2.4)");
+        assert!(
+            c.announcements >= 1_800,
+            "announcements 30-60 min (paper §2.4)"
+        );
         assert!(c.recent_jobs < c.storage && c.storage < c.announcements);
     }
 
@@ -153,7 +159,10 @@ mod tests {
         assert!(cfg.is_admin("root"));
         assert!(!cfg.is_admin("alice"));
         cfg.features.admin_view = false;
-        assert!(!cfg.is_admin("root"), "flag off disables admin view entirely");
+        assert!(
+            !cfg.is_admin("root"),
+            "flag off disables admin view entirely"
+        );
     }
 
     #[test]

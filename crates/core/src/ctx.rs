@@ -4,12 +4,15 @@
 use crate::config::DashboardConfig;
 use hpcdash_cache::CachedFetcher;
 use hpcdash_news::NewsFeed;
+use hpcdash_obs::health::HealthBoard;
+use hpcdash_obs::{Registry, Span};
 use hpcdash_simtime::{SharedClock, Timestamp};
 use hpcdash_slurm::ctld::Slurmctld;
 use hpcdash_slurm::dbd::Slurmdbd;
 use hpcdash_slurm::joblog::JobLogFs;
 use hpcdash_storage::StorageDb;
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -25,8 +28,52 @@ pub struct DashboardContext {
     pub news: Arc<NewsFeed>,
     /// The server-side cache: every route's JSON payload flows through it.
     pub cache: Arc<CachedFetcher<serde_json::Value>>,
+    /// The dashboard's metrics registry (exposed at `/api/metrics`).
+    pub obs: Arc<Registry>,
+    /// Per-data-source health derived from loader outcomes (`/api/health`).
+    pub health: Arc<HealthBoard>,
     /// route name -> data sources it touched on cache-cold loads.
     sources: Arc<Mutex<BTreeMap<String, BTreeSet<String>>>>,
+}
+
+/// Typed cache envelope for [`DashboardContext::cached_result`]. Every
+/// loader outcome is wrapped in a variant, so the payload itself is opaque:
+/// no field name a data source could emit (historically the magic
+/// `"__error"` key) can be mistaken for the failure marker.
+#[derive(Debug, Clone, PartialEq)]
+enum CacheEnvelope {
+    Ok(serde_json::Value),
+    Failed(String),
+}
+
+impl CacheEnvelope {
+    fn to_value(&self) -> serde_json::Value {
+        match self {
+            CacheEnvelope::Ok(v) => serde_json::json!({ "Ok": v }),
+            CacheEnvelope::Failed(e) => serde_json::json!({ "Failed": e }),
+        }
+    }
+
+    fn from_value(value: serde_json::Value) -> CacheEnvelope {
+        if let Some(obj) = value.as_object() {
+            if obj.len() == 1 {
+                if let Some(inner) = obj.get("Ok") {
+                    return CacheEnvelope::Ok(inner.clone());
+                }
+                if let Some(msg) = obj.get("Failed").and_then(|e| e.as_str()) {
+                    return CacheEnvelope::Failed(msg.to_string());
+                }
+            }
+        }
+        CacheEnvelope::Failed("malformed cache envelope".to_string())
+    }
+}
+
+/// The data-source label for a cache key: the prefix before the first `:`
+/// (`"recent_jobs:alice"` -> `"recent_jobs"`). Bounded cardinality — user
+/// names and job ids never become labels.
+fn source_of(key: &str) -> &str {
+    key.split(':').next().unwrap_or(key)
 }
 
 impl DashboardContext {
@@ -42,6 +89,8 @@ impl DashboardContext {
         DashboardContext {
             cfg: Arc::new(cfg),
             cache: Arc::new(CachedFetcher::new(clock.clone())),
+            obs: Arc::new(Registry::new()),
+            health: Arc::new(HealthBoard::new()),
             clock,
             ctld,
             dbd,
@@ -86,7 +135,24 @@ impl DashboardContext {
         if ttl == 0 {
             return load();
         }
-        self.cache.get_or_fetch(key, ttl, load)
+        let source = source_of(key);
+        let labels = [("source", source)];
+        self.obs
+            .counter("hpcdash_cache_requests_total", &labels)
+            .inc();
+        let loader_ran = Cell::new(false);
+        let value = self.cache.get_or_fetch(key, ttl, || {
+            loader_ran.set(true);
+            let _span = Span::enter("cache-miss").attr("key", key.to_string());
+            load()
+        });
+        let counter = if loader_ran.get() {
+            "hpcdash_cache_misses_total"
+        } else {
+            "hpcdash_cache_hits_total"
+        };
+        self.obs.counter(counter, &labels).inc();
+        value
     }
 
     /// Like [`DashboardContext::cached`], but failures are never cached: a
@@ -98,19 +164,51 @@ impl DashboardContext {
         ttl: u64,
         load: impl FnOnce() -> Result<serde_json::Value, String>,
     ) -> Result<serde_json::Value, String> {
+        let source = source_of(key);
         if ttl == 0 {
-            return load();
+            let outcome = load();
+            match &outcome {
+                Ok(_) => self.health.record_ok(source),
+                Err(_) => self.health.record_error(source),
+            }
+            return outcome;
         }
-        let value = self.cache.get_or_fetch(key, ttl, || match load() {
-            Ok(v) => v,
-            Err(e) => serde_json::json!({ "__error": e }),
+        let labels = [("source", source)];
+        self.obs
+            .counter("hpcdash_cache_requests_total", &labels)
+            .inc();
+        let loader_ran = Cell::new(false);
+        let value = self.cache.get_or_fetch(key, ttl, || {
+            loader_ran.set(true);
+            let _span = Span::enter("cache-miss").attr("key", key.to_string());
+            match load() {
+                Ok(v) => CacheEnvelope::Ok(v).to_value(),
+                Err(e) => CacheEnvelope::Failed(e).to_value(),
+            }
         });
-        if let Some(err) = value.get("__error").and_then(|e| e.as_str()) {
-            let msg = err.to_string();
-            self.cache.invalidate(key);
-            return Err(msg);
+        let counter = if loader_ran.get() {
+            "hpcdash_cache_misses_total"
+        } else {
+            "hpcdash_cache_hits_total"
+        };
+        self.obs.counter(counter, &labels).inc();
+        match CacheEnvelope::from_value(value) {
+            CacheEnvelope::Ok(v) => {
+                // Only loader runs probe the backend; cache hits say nothing
+                // about source health.
+                if loader_ran.get() {
+                    self.health.record_ok(source);
+                }
+                Ok(v)
+            }
+            CacheEnvelope::Failed(e) => {
+                if loader_ran.get() {
+                    self.health.record_error(source);
+                }
+                self.cache.invalidate(key);
+                Err(e)
+            }
         }
-        Ok(value)
     }
 }
 
@@ -179,6 +277,65 @@ pub(crate) mod tests {
         let v1 = ctx.cached("k", 60, || json!({"x": 1}));
         let v2 = ctx.cached("k", 60, || unreachable!());
         assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn cached_result_payload_may_contain_error_like_keys() {
+        // Regression: the old implementation signalled loader failure with a
+        // magic "__error" key inside the cached value itself, so a legitimate
+        // payload carrying that field was misread as a failure (and never
+        // cached). The typed envelope keeps payloads opaque.
+        let ctx = test_ctx();
+        let tricky = json!({"__error": "this is data, not a failure", "rows": [1, 2]});
+        let expect = tricky.clone();
+        let got = ctx.cached_result("tricky:key", 60, || Ok(tricky)).unwrap();
+        assert_eq!(got, expect);
+        // And it really was cached (second call never invokes the loader).
+        let again = ctx
+            .cached_result("tricky:key", 60, || unreachable!())
+            .unwrap();
+        assert_eq!(again, expect);
+    }
+
+    #[test]
+    fn cached_result_failures_are_retried_not_cached() {
+        let ctx = test_ctx();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let r = ctx.cached_result("flaky:x", 60, || {
+                calls += 1;
+                Err::<serde_json::Value, _>("backend down".to_string())
+            });
+            assert_eq!(r.unwrap_err(), "backend down");
+        }
+        assert_eq!(calls, 3, "errors are never served from cache");
+        assert_eq!(
+            ctx.health.status_of("flaky"),
+            hpcdash_obs::health::HealthStatus::Down
+        );
+    }
+
+    #[test]
+    fn cache_hit_miss_counters_by_source() {
+        let ctx = test_ctx();
+        ctx.cached("squeue:alice", 60, || json!(1));
+        ctx.cached("squeue:alice", 60, || unreachable!());
+        ctx.cached("squeue:bob", 60, || json!(2));
+        let labels = [("source", "squeue")];
+        assert_eq!(
+            ctx.obs
+                .counter("hpcdash_cache_requests_total", &labels)
+                .get(),
+            3
+        );
+        assert_eq!(
+            ctx.obs.counter("hpcdash_cache_misses_total", &labels).get(),
+            2
+        );
+        assert_eq!(
+            ctx.obs.counter("hpcdash_cache_hits_total", &labels).get(),
+            1
+        );
     }
 
     #[test]

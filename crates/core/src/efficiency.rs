@@ -119,7 +119,14 @@ mod tests {
     use hpcdash_simtime::Timestamp;
     use hpcdash_slurm::job::JobState;
 
-    fn rec(elapsed: u64, limit: u64, cpus: u32, total_cpu: Option<u64>, rss: Option<u64>, req_mem: u64) -> SacctRecord {
+    fn rec(
+        elapsed: u64,
+        limit: u64,
+        cpus: u32,
+        total_cpu: Option<u64>,
+        rss: Option<u64>,
+        req_mem: u64,
+    ) -> SacctRecord {
         SacctRecord {
             job_id: "1".into(),
             job_name: "j".into(),
@@ -154,7 +161,11 @@ mod tests {
         assert!((e.memory.unwrap() - 0.5).abs() < 1e-9);
         assert!((e.time.unwrap() - 0.5).abs() < 1e-9);
         assert!(e.gpu.is_none());
-        assert!(e.warnings.is_empty(), "50% everywhere is fine: {:?}", e.warnings);
+        assert!(
+            e.warnings.is_empty(),
+            "50% everywhere is fine: {:?}",
+            e.warnings
+        );
     }
 
     #[test]
@@ -169,7 +180,14 @@ mod tests {
     #[test]
     fn wasteful_job_warns_on_all_three() {
         // 10% cpu, 5% memory, 10% of time limit.
-        let r = rec(3_600, 36_000, 16, Some((3_600.0 * 16.0 * 0.1) as u64), Some(819), 16_384);
+        let r = rec(
+            3_600,
+            36_000,
+            16,
+            Some((3_600.0 * 16.0 * 0.1) as u64),
+            Some(819),
+            16_384,
+        );
         let e = EfficiencyReport::from_record(&r, false);
         assert_eq!(e.warnings.len(), 3, "{:?}", e.warnings);
         assert!(e.warnings[0].contains("CPUs it requested"));

@@ -99,7 +99,9 @@ impl JobMetrics {
         let mut time_effs = Vec::new();
 
         for rec in records {
-            *by_state.entry(rec.state.to_slurm().to_string()).or_insert(0) += 1;
+            *by_state
+                .entry(rec.state.to_slurm().to_string())
+                .or_insert(0) += 1;
             if let Some(w) = rec.wait_secs() {
                 waits.push(w as f64);
             }
@@ -168,6 +170,7 @@ pub(crate) mod tests {
     use hpcdash_slurm::job::JobState;
     use hpcdash_slurm::tres::Tres;
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn rec(
         id: u32,
         user: &str,
@@ -200,7 +203,7 @@ pub(crate) mod tests {
             alloc_tres: Tres::new(cpus, 1_000, gpus, 1),
             req_mem_mb: 16_384,
             max_rss_mb: end.map(|_| 8_192),
-            total_cpu_secs: end.map(|_| (elapsed * cpus as u64 * 8 / 10)),
+            total_cpu_secs: end.map(|_| elapsed * cpus as u64 * 8 / 10),
             exit_code: "0:0".to_string(),
             nodelist: "a001".to_string(),
             comment: String::new(),
@@ -210,10 +213,37 @@ pub(crate) mod tests {
     #[test]
     fn aggregates_basics() {
         let recs = vec![
-            rec(1, "alice", JobState::Completed, 0, Some(100), Some(3_700), 8, 0),
-            rec(2, "alice", JobState::Failed, 0, Some(200), Some(1_200), 4, 0),
+            rec(
+                1,
+                "alice",
+                JobState::Completed,
+                0,
+                Some(100),
+                Some(3_700),
+                8,
+                0,
+            ),
+            rec(
+                2,
+                "alice",
+                JobState::Failed,
+                0,
+                Some(200),
+                Some(1_200),
+                4,
+                0,
+            ),
             rec(3, "alice", JobState::Pending, 500, None, None, 2, 0),
-            rec(4, "alice", JobState::Completed, 0, Some(50), Some(7_250), 8, 2),
+            rec(
+                4,
+                "alice",
+                JobState::Completed,
+                0,
+                Some(50),
+                Some(7_250),
+                8,
+                2,
+            ),
         ];
         let m = JobMetrics::aggregate(&recs);
         assert_eq!(m.total_jobs, 4);
@@ -243,9 +273,18 @@ pub(crate) mod tests {
 
     #[test]
     fn range_parsing() {
-        assert_eq!(TimeRange::from_query(Some("24h"), None, None), Some(TimeRange::Last24h));
-        assert_eq!(TimeRange::from_query(None, None, None), Some(TimeRange::Last7d));
-        assert_eq!(TimeRange::from_query(Some("all"), None, None), Some(TimeRange::AllTime));
+        assert_eq!(
+            TimeRange::from_query(Some("24h"), None, None),
+            Some(TimeRange::Last24h)
+        );
+        assert_eq!(
+            TimeRange::from_query(None, None, None),
+            Some(TimeRange::Last7d)
+        );
+        assert_eq!(
+            TimeRange::from_query(Some("all"), None, None),
+            Some(TimeRange::AllTime)
+        );
         assert_eq!(TimeRange::from_query(Some("bogus"), None, None), None);
         let custom = TimeRange::from_query(
             Some("custom"),
@@ -256,7 +295,11 @@ pub(crate) mod tests {
         assert!(matches!(custom, TimeRange::Custom { .. }));
         // Reversed custom range rejected.
         assert_eq!(
-            TimeRange::from_query(Some("custom"), Some("2026-07-03T00:00:00"), Some("2026-07-01T00:00:00")),
+            TimeRange::from_query(
+                Some("custom"),
+                Some("2026-07-03T00:00:00"),
+                Some("2026-07-01T00:00:00")
+            ),
             None
         );
         // Custom without bounds rejected.
@@ -266,7 +309,10 @@ pub(crate) mod tests {
     #[test]
     fn range_windows() {
         let now = Timestamp(100 * 86_400);
-        assert_eq!(TimeRange::Last24h.window(now).0, Some(Timestamp(99 * 86_400)));
+        assert_eq!(
+            TimeRange::Last24h.window(now).0,
+            Some(Timestamp(99 * 86_400))
+        );
         assert_eq!(TimeRange::AllTime.window(now), (None, None));
         let (s, e) = TimeRange::Custom {
             start: Timestamp(5),

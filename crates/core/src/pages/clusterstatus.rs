@@ -18,7 +18,11 @@ pub fn render_shell(cluster: &str, user: &str) -> String {
 /// Grid view: one colour-coded cell per node with a hover summary.
 pub fn render_grid(payload: &Value) -> String {
     let mut out = String::from("<div class=\"node-grid\">");
-    for n in payload["nodes"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+    for n in payload["nodes"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
         let name = n["name"].as_str().unwrap_or("");
         out.push_str(&format!(
             "<a class=\"node-cell node-{}\" href=\"{}\" \
@@ -33,7 +37,11 @@ pub fn render_grid(payload: &Value) -> String {
             n["mem_total_mb"],
             n["partitions"]
                 .as_array()
-                .map(|p| p.iter().filter_map(|x| x.as_str()).collect::<Vec<_>>().join(","))
+                .map(|p| p
+                    .iter()
+                    .filter_map(|x| x.as_str())
+                    .collect::<Vec<_>>()
+                    .join(","))
                 .unwrap_or_default(),
             escape_html(name),
         ));
@@ -50,12 +58,21 @@ pub fn render_list(payload: &Value, filter: Option<&str>) -> String {
          <th>Partitions</th><th data-sort=\"cpu\">CPU load</th>\
          <th data-sort=\"mem\">Memory load</th></tr></thead><tbody>",
     );
-    for n in payload["nodes"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+    for n in payload["nodes"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
         let name = n["name"].as_str().unwrap_or("");
         let state = n["state"].as_str().unwrap_or("");
         let partitions = n["partitions"]
             .as_array()
-            .map(|p| p.iter().filter_map(|x| x.as_str()).collect::<Vec<_>>().join(","))
+            .map(|p| {
+                p.iter()
+                    .filter_map(|x| x.as_str())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
             .unwrap_or_default();
         if let Some(f) = filter {
             let f = f.to_lowercase();
@@ -94,10 +111,14 @@ pub fn render_list_sorted(payload: &Value, sort_key: &str, descending: bool) -> 
     let metric = |n: &Value, key: &str| n[key].as_f64().unwrap_or(0.0);
     match sort_key {
         "cpu" => nodes.sort_by(|a, b| {
-            metric(a, "cpu_percent").partial_cmp(&metric(b, "cpu_percent")).expect("finite")
+            metric(a, "cpu_percent")
+                .partial_cmp(&metric(b, "cpu_percent"))
+                .expect("finite")
         }),
         "mem" => nodes.sort_by(|a, b| {
-            metric(a, "mem_percent").partial_cmp(&metric(b, "mem_percent")).expect("finite")
+            metric(a, "mem_percent")
+                .partial_cmp(&metric(b, "mem_percent"))
+                .expect("finite")
         }),
         "state" => nodes.sort_by_key(|n| n["state"].as_str().unwrap_or("").to_string()),
         _ => nodes.sort_by_key(|n| n["name"].as_str().unwrap_or("").to_string()),

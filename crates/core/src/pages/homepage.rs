@@ -76,9 +76,15 @@ mod tests {
             ("storage", Ok(json!({"disks": []}))),
         ];
         let html = render_full("Anvil", "alice", &payloads);
-        assert!(html.contains("widget-error"), "failed widget shows an error card");
+        assert!(
+            html.contains("widget-error"),
+            "failed widget shows an error card"
+        );
         assert!(html.contains("sinfo timed out"));
-        assert!(html.contains("data-widget=\"storage\""), "other widgets still render");
+        assert!(
+            html.contains("data-widget=\"storage\""),
+            "other widgets still render"
+        );
         assert!(html.contains("No running or queued jobs"));
     }
 }

@@ -7,8 +7,17 @@ use serde_json::Value;
 
 pub fn render_shell(cluster: &str, user: &str, job_id: &str) -> String {
     let mut body = format!("<h1>Job {}</h1>", escape_html(job_id));
-    body.push_str(&widget_placeholder("joboverview", &format!("/api/jobs/{job_id}")));
-    shell(&format!("Job {job_id}"), "joboverview", cluster, user, &body)
+    body.push_str(&widget_placeholder(
+        "joboverview",
+        &format!("/api/jobs/{job_id}"),
+    ));
+    shell(
+        &format!("Job {job_id}"),
+        "joboverview",
+        cluster,
+        user,
+        &body,
+    )
 }
 
 /// Render from the `/api/jobs/:id` payload plus (optionally) the log tails.
@@ -50,14 +59,18 @@ pub fn render_full(
                 escape_html(t),
                 escape_html(t),
             )),
-            None => body.push_str(&format!("<li class=\"pending-step\"><span>{label}</span> —</li>")),
+            None => body.push_str(&format!(
+                "<li class=\"pending-step\"><span>{label}</span> —</li>"
+            )),
         }
     }
     body.push_str("</ol>");
 
     // Overview tab: four cards.
     let cards = &payload["cards"];
-    body.push_str("<div class=\"tabs\"><div class=\"tab\" id=\"overview\"><div class=\"card-grid\">");
+    body.push_str(
+        "<div class=\"tabs\"><div class=\"tab\" id=\"overview\"><div class=\"card-grid\">",
+    );
     let info = &cards["job_information"];
     body.push_str(&format!(
         "<div class=\"card\"><div class=\"card-header\">Job Information</div><div class=\"card-body\">\
@@ -255,6 +268,9 @@ mod tests {
         p["session"] = Value::Null;
         let html = render_full("Anvil", "alice", &p, None, None);
         assert!(html.contains("aggregate group CPU limit"));
-        assert!(!html.contains("id=\"session\""), "batch job has no session tab");
+        assert!(
+            !html.contains("id=\"session\""),
+            "batch job has no session tab"
+        );
     }
 }

@@ -13,7 +13,10 @@ pub fn render_shell(cluster: &str, user: &str) -> String {
          <option>all</option><option>custom</option></select>\
          <input type=\"date\" id=\"start\"><input type=\"date\" id=\"end\"></div>",
     );
-    body.push_str(&widget_placeholder("jobmetrics", "/api/jobmetrics?range=7d"));
+    body.push_str(&widget_placeholder(
+        "jobmetrics",
+        "/api/jobmetrics?range=7d",
+    ));
     shell("Job Performance Metrics", "jobperf", cluster, user, &body)
 }
 
@@ -35,12 +38,24 @@ pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
     ));
     body.push_str("<div class=\"metric-cards\">");
     let cards: [(&str, String); 8] = [
-        ("Total jobs", m["total_jobs"].as_u64().unwrap_or(0).to_string()),
+        (
+            "Total jobs",
+            m["total_jobs"].as_u64().unwrap_or(0).to_string(),
+        ),
         ("Average queue wait", secs(&m["avg_wait_secs"])),
         ("Mean job duration", secs(&m["mean_duration_secs"])),
-        ("Total wall time", format_duration(m["total_wall_secs"].as_u64().unwrap_or(0))),
-        ("Total CPU hours", format!("{:.1}", m["total_cpu_hours"].as_f64().unwrap_or(0.0))),
-        ("Total GPU hours", format!("{:.1}", m["total_gpu_hours"].as_f64().unwrap_or(0.0))),
+        (
+            "Total wall time",
+            format_duration(m["total_wall_secs"].as_u64().unwrap_or(0)),
+        ),
+        (
+            "Total CPU hours",
+            format!("{:.1}", m["total_cpu_hours"].as_f64().unwrap_or(0.0)),
+        ),
+        (
+            "Total GPU hours",
+            format!("{:.1}", m["total_gpu_hours"].as_f64().unwrap_or(0.0)),
+        ),
         ("Avg CPU efficiency", pct(&m["avg_cpu_eff"])),
         ("Avg memory efficiency", pct(&m["avg_mem_eff"])),
     ];
@@ -94,7 +109,11 @@ mod tests {
         assert!(html.contains(">42<"));
         assert!(html.contains("00:02:05"), "avg wait formatted");
         assert!(html.contains("71.0%"));
-        assert!(html.contains("1200.2"), "{:?}", &html[html.find("1200").unwrap()..html.find("1200").unwrap() + 8]);
+        assert!(
+            html.contains("1200.2"),
+            "{:?}",
+            &html[html.find("1200").unwrap()..html.find("1200").unwrap() + 8]
+        );
         assert!(html.contains("<td>FAILED</td><td>7</td>"));
     }
 

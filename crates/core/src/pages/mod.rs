@@ -11,8 +11,8 @@
 
 pub mod clusterstatus;
 pub mod homepage;
-pub mod jobperf;
 pub mod joboverview;
+pub mod jobperf;
 pub mod layout;
 pub mod myjobs;
 pub mod newsall;

@@ -32,8 +32,7 @@ pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
         "<div class=\"charts\">\
          <canvas id=\"state-chart\" data-chart='{}'></canvas>\
          <canvas id=\"gpu-chart\" data-chart='{}'></canvas></div>",
-        payload["charts"]["state_distribution"],
-        payload["charts"]["gpu_hours"],
+        payload["charts"]["state_distribution"], payload["charts"]["gpu_hours"],
     ));
 
     body.push_str(
@@ -73,7 +72,10 @@ pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
             escape_html(j["submit"].as_str().unwrap_or("—")),
             escape_html(j["start"].as_str().unwrap_or("—")),
             escape_html(j["end"].as_str().unwrap_or("—")),
-            j["wait_secs"].as_u64().map(format_duration).unwrap_or_else(|| "—".to_string()),
+            j["wait_secs"]
+                .as_u64()
+                .map(format_duration)
+                .unwrap_or_else(|| "—".to_string()),
             format_duration(j["elapsed_secs"].as_u64().unwrap_or(0)),
             pct(&eff["time"]),
             pct(&eff["cpu"]),

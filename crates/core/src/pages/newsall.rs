@@ -8,21 +8,32 @@ use serde_json::Value;
 
 pub fn render_shell(cluster: &str, user: &str) -> String {
     let mut body = String::from("<h1>Cluster news</h1>");
-    body.push_str(&widget_placeholder("newsall", "/api/announcements?scope=all"));
+    body.push_str(&widget_placeholder(
+        "newsall",
+        "/api/announcements?scope=all",
+    ));
     shell("All news", "newsall", cluster, user, &body)
 }
 
 /// Render from the `/api/announcements?scope=all` payload.
 pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
     let mut body = String::from("<h1>Cluster news</h1><div class=\"accordion news-list\">");
-    for item in payload["items"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+    for item in payload["items"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
         let color = item["color"].as_str().unwrap_or("gray");
         let faded = item["faded"].as_bool().unwrap_or(false);
         body.push_str(&format!(
             "<article class=\"announcement announcement-{} {}\">\
              <h2>{} {}</h2><time>{}</time>{}<p>{}</p></article>",
             color,
-            if faded { "announcement-past" } else { "announcement-current" },
+            if faded {
+                "announcement-past"
+            } else {
+                "announcement-current"
+            },
             badge(color, item["category"].as_str().unwrap_or("news")),
             escape_html(item["title"].as_str().unwrap_or("")),
             escape_html(item["posted_at"].as_str().unwrap_or("")),

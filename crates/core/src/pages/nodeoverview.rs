@@ -8,8 +8,17 @@ use serde_json::Value;
 
 pub fn render_shell(cluster: &str, user: &str, node: &str) -> String {
     let mut body = format!("<h1>Node {}</h1>", escape_html(node));
-    body.push_str(&widget_placeholder("nodeoverview", &format!("/api/nodes/{node}")));
-    shell(&format!("Node {node}"), "nodeoverview", cluster, user, &body)
+    body.push_str(&widget_placeholder(
+        "nodeoverview",
+        &format!("/api/nodes/{node}"),
+    ));
+    shell(
+        &format!("Node {node}"),
+        "nodeoverview",
+        cluster,
+        user,
+        &body,
+    )
 }
 
 /// Render from the `/api/nodes/:name` payload.
@@ -17,7 +26,10 @@ pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
     let status = &payload["status_card"];
     let res = &payload["resource_card"];
     let name = status["name"].as_str().unwrap_or("");
-    let mut body = format!("<h1>Node {}</h1><div class=\"card-pair\">", escape_html(name));
+    let mut body = format!(
+        "<h1>Node {}</h1><div class=\"card-pair\">",
+        escape_html(name)
+    );
 
     // Status card.
     body.push_str(&format!(
@@ -43,7 +55,10 @@ pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
     body.push_str(&progress_bar(
         res["memory"]["percent"].as_f64().unwrap_or(0.0),
         res["memory"]["color"].as_str().unwrap_or("green"),
-        &format!("Memory {}/{} MB", res["memory"]["alloc_mb"], res["memory"]["total_mb"]),
+        &format!(
+            "Memory {}/{} MB",
+            res["memory"]["alloc_mb"], res["memory"]["total_mb"]
+        ),
     ));
     if !res["gpu"].is_null() {
         body.push_str(&progress_bar(
@@ -55,7 +70,9 @@ pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
     body.push_str("</div></div></div>");
 
     // Tabs: details + running jobs.
-    body.push_str("<div class=\"tabs\"><div class=\"tab\" id=\"details\"><table class=\"kv-table\"><tbody>");
+    body.push_str(
+        "<div class=\"tabs\"><div class=\"tab\" id=\"details\"><table class=\"kv-table\"><tbody>",
+    );
     if let Some(details) = payload["details"].as_object() {
         for (k, v) in details {
             body.push_str(&format!(
@@ -66,7 +83,11 @@ pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
         }
     }
     body.push_str("</tbody></table></div><div class=\"tab\" id=\"running-jobs\"><table class=\"job-table\"><thead><tr><th>Job</th><th>Name</th><th>User</th><th>Partition</th><th>State</th><th>CPUs</th><th>Memory</th></tr></thead><tbody>");
-    for j in payload["running_jobs"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+    for j in payload["running_jobs"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
         body.push_str(&format!(
             "<tr><td><a href=\"{}\">{}</a></td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{} MB</td></tr>",
             j["overview_url"].as_str().unwrap_or("#"),
@@ -80,7 +101,13 @@ pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
         ));
     }
     body.push_str("</tbody></table></div></div>");
-    shell(&format!("Node {name}"), "nodeoverview", cluster, user, &body)
+    shell(
+        &format!("Node {name}"),
+        "nodeoverview",
+        cluster,
+        user,
+        &body,
+    )
 }
 
 #[cfg(test)]

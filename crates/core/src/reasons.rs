@@ -79,7 +79,10 @@ mod tests {
         for r in PendingReason::ALL {
             let msg = friendly_reason(r);
             assert!(msg.len() > 20, "{r:?} message too short");
-            assert!(msg.starts_with("It means"), "{r:?} should follow the paper's phrasing");
+            assert!(
+                msg.starts_with("It means"),
+                "{r:?} should follow the paper's phrasing"
+            );
         }
     }
 
@@ -93,7 +96,10 @@ mod tests {
     fn messages_are_distinct() {
         let mut seen = std::collections::HashSet::new();
         for r in PendingReason::ALL {
-            assert!(seen.insert(friendly_reason(r)), "duplicate message for {r:?}");
+            assert!(
+                seen.insert(friendly_reason(r)),
+                "duplicate message for {r:?}"
+            );
         }
     }
 }

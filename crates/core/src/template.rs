@@ -47,10 +47,7 @@ pub fn escape_html(s: &str) -> String {
 }
 
 /// Render `template`, replacing `<%= key %>` / `<%== key %>` with values.
-pub fn render(
-    template: &str,
-    values: &BTreeMap<String, String>,
-) -> Result<String, TemplateError> {
+pub fn render(template: &str, values: &BTreeMap<String, String>) -> Result<String, TemplateError> {
     let mut out = String::with_capacity(template.len());
     let mut rest = template;
     let mut offset = 0;
@@ -91,10 +88,7 @@ pub fn render(
 
 /// Convenience: build the value map from pairs.
 pub fn vars<const N: usize>(pairs: [(&str, String); N]) -> BTreeMap<String, String> {
-    pairs
-        .into_iter()
-        .map(|(k, v)| (k.to_string(), v))
-        .collect()
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
 }
 
 #[cfg(test)]
@@ -104,7 +98,10 @@ mod tests {
     #[test]
     fn plain_text_passes_through() {
         let v = BTreeMap::new();
-        assert_eq!(render("hello <b>world</b>", &v).unwrap(), "hello <b>world</b>");
+        assert_eq!(
+            render("hello <b>world</b>", &v).unwrap(),
+            "hello <b>world</b>"
+        );
     }
 
     #[test]
@@ -123,10 +120,7 @@ mod tests {
 
     #[test]
     fn multiple_tags() {
-        let v = vars([
-            ("a", "1".to_string()),
-            ("b", "2".to_string()),
-        ]);
+        let v = vars([("a", "1".to_string()), ("b", "2".to_string())]);
         assert_eq!(render("<%= a %>+<%= a %>=<%= b %>", &v).unwrap(), "1+1=2");
     }
 
@@ -150,7 +144,10 @@ mod tests {
 
     #[test]
     fn escape_html_covers_specials() {
-        assert_eq!(escape_html(r#"<a href="x">&'</a>"#), "&lt;a href=&quot;x&quot;&gt;&amp;&#39;&lt;/a&gt;");
+        assert_eq!(
+            escape_html(r#"<a href="x">&'</a>"#),
+            "&lt;a href=&quot;x&quot;&gt;&amp;&#39;&lt;/a&gt;"
+        );
     }
 
     #[test]

@@ -8,7 +8,10 @@ use serde_json::Value;
 /// Render from the `/api/accounts` payload.
 pub fn render(payload: &Value) -> String {
     let mut body = String::new();
-    let accounts = payload["accounts"].as_array().map(Vec::as_slice).unwrap_or(&[]);
+    let accounts = payload["accounts"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
     if accounts.is_empty() {
         body.push_str("<p class=\"text-muted\">No allocations found.</p>");
     }

@@ -8,7 +8,11 @@ use serde_json::Value;
 /// Render from the `/api/announcements` payload.
 pub fn render(payload: &Value) -> String {
     let mut body = String::from("<div class=\"accordion\" id=\"announcements\">");
-    for item in payload["items"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+    for item in payload["items"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
         let color = item["color"].as_str().unwrap_or("gray");
         let faded = item["faded"].as_bool().unwrap_or(false);
         let title = item["title"].as_str().unwrap_or("");
@@ -60,7 +64,10 @@ mod tests {
         assert!(html.contains("announcement-current"));
         assert!(html.contains("Outage"));
         assert!(html.contains("View all news"));
-        assert!(html.contains("accordion-body collapse"), "collapsed by default");
+        assert!(
+            html.contains("accordion-body collapse"),
+            "collapsed by default"
+        );
     }
 
     #[test]

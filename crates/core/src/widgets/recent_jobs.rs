@@ -61,8 +61,14 @@ mod tests {
         assert!(html.contains("01:00:00"));
         assert!(html.contains("has-tooltip"), "pending job gets a tooltip");
         assert!(html.contains("It means other queued jobs"));
-        assert!(html.contains("2026-07-04T08:05:00"), "running job shows start time");
-        assert!(html.contains("2026-07-04T08:10:00"), "pending job shows submit time");
+        assert!(
+            html.contains("2026-07-04T08:05:00"),
+            "running job shows start time"
+        );
+        assert!(
+            html.contains("2026-07-04T08:10:00"),
+            "pending job shows submit time"
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ fn human_bytes(bytes: u64) -> String {
 /// Render from the `/api/storage` payload.
 pub fn render(payload: &Value) -> String {
     let mut body = String::new();
-    for d in payload["disks"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+    for d in payload["disks"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
         let path = d["path"].as_str().unwrap_or("");
         let fs_url = d["files_app_url"].as_str().unwrap_or("#");
         body.push_str(&format!(

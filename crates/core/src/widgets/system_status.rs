@@ -8,7 +8,11 @@ use serde_json::Value;
 /// Render from the `/api/system_status` payload.
 pub fn render(payload: &Value) -> String {
     let mut body = String::new();
-    for p in payload["partitions"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+    for p in payload["partitions"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
         let name = p["name"].as_str().unwrap_or("");
         let status = p["status"].as_str().unwrap_or("");
         body.push_str(&format!(

@@ -54,7 +54,9 @@ impl ClientResponse {
     }
 
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 }
 
@@ -143,7 +145,9 @@ fn read_response(reader: &mut impl BufRead) -> Result<ClientResponse, ClientErro
     let mut parts = status_line.split_whitespace();
     let version = parts.next().unwrap_or_default();
     if !version.starts_with("HTTP/1.") {
-        return Err(ClientError::Malformed(format!("bad status line: {status_line:?}")));
+        return Err(ClientError::Malformed(format!(
+            "bad status line: {status_line:?}"
+        )));
     }
     let status: u16 = parts
         .next()
@@ -166,7 +170,10 @@ fn read_response(reader: &mut impl BufRead) -> Result<ClientResponse, ClientErro
         }
     }
 
-    let body = match headers.get("content-length").and_then(|v| v.parse::<usize>().ok()) {
+    let body = match headers
+        .get("content-length")
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         Some(len) => {
             let mut buf = vec![0u8; len];
             reader.read_exact(&mut buf)?;

@@ -18,6 +18,6 @@ pub mod threadpool;
 pub use client::{ClientError, ClientResponse, HttpClient};
 pub use request::{Method, Request};
 pub use response::Response;
-pub use router::Router;
+pub use router::{Router, TRACE_HEADER};
 pub use server::Server;
 pub use threadpool::ThreadPool;

@@ -81,12 +81,15 @@ impl Request {
     }
 
     pub fn with_header(mut self, name: &str, value: &str) -> Request {
-        self.headers.insert(name.to_ascii_lowercase(), value.to_string());
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_string());
         self
     }
 
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// The authenticated user, from the reverse proxy's `X-Remote-User`
@@ -122,7 +125,9 @@ impl Request {
             .ok_or_else(|| ParseError::Malformed("missing request target".to_string()))?;
         let version = parts.next().unwrap_or("HTTP/1.1");
         if !version.starts_with("HTTP/1.") {
-            return Err(ParseError::Malformed(format!("unsupported version {version:?}")));
+            return Err(ParseError::Malformed(format!(
+                "unsupported version {version:?}"
+            )));
         }
 
         let mut headers = BTreeMap::new();
@@ -265,7 +270,10 @@ mod tests {
 
     #[test]
     fn parses_post_with_body() {
-        let req = parse("POST /api/jobs HTTP/1.1\r\nContent-Length: 7\r\nConnection: close\r\n\r\npayload").unwrap();
+        let req = parse(
+            "POST /api/jobs HTTP/1.1\r\nContent-Length: 7\r\nConnection: close\r\n\r\npayload",
+        )
+        .unwrap();
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.body, b"payload");
         assert!(!req.keep_alive());
@@ -278,8 +286,14 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        assert!(matches!(parse("BLARGH\r\n\r\n"), Err(ParseError::Malformed(_))));
-        assert!(matches!(parse("GET\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            parse("BLARGH\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
         assert!(matches!(
             parse("GET / SPDY/3\r\n\r\n"),
             Err(ParseError::Malformed(_))
@@ -292,7 +306,10 @@ mod tests {
 
     #[test]
     fn rejects_oversized_body() {
-        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         assert!(matches!(parse(&raw), Err(ParseError::BodyTooLarge(_))));
     }
 

@@ -177,7 +177,10 @@ mod tests {
     #[test]
     fn csv_has_attachment_disposition() {
         let r = Response::csv("usage.csv", "user,cpu\nalice,5\n");
-        assert!(r.header("content-disposition").unwrap().contains("usage.csv"));
+        assert!(r
+            .header("content-disposition")
+            .unwrap()
+            .contains("usage.csv"));
         assert!(r.body_string().starts_with("user,cpu"));
     }
 
@@ -194,7 +197,9 @@ mod tests {
 
         let mut buf2 = Vec::new();
         r.write_to(&mut buf2, true).unwrap();
-        assert!(String::from_utf8(buf2).unwrap().contains("Connection: keep-alive"));
+        assert!(String::from_utf8(buf2)
+            .unwrap()
+            .contains("Connection: keep-alive"));
     }
 
     #[test]

@@ -1,9 +1,15 @@
-//! Path routing with `:param` captures and panic isolation.
+//! Path routing with `:param` captures, panic isolation, and per-route
+//! observability (trace propagation + request metrics).
 
 use crate::request::{Method, Request};
 use crate::response::Response;
+use hpcdash_obs::trace::{Span, TraceId, TraceScope};
+use hpcdash_obs::Registry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// The header carrying the request's trace id end to end.
+pub const TRACE_HEADER: &str = "X-Trace-Id";
 
 type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
@@ -15,6 +21,7 @@ enum Seg {
 
 struct Route {
     method: Method,
+    pattern: String,
     segments: Vec<Seg>,
     handler: Handler,
 }
@@ -24,11 +31,24 @@ struct Route {
 #[derive(Default)]
 pub struct Router {
     routes: Vec<Route>,
+    /// When set, every dispatch records per-route request counts and
+    /// latency histograms here (labelled by route *pattern*, so parameter
+    /// values cannot blow up metric cardinality).
+    registry: Option<Arc<Registry>>,
 }
 
 impl Router {
     pub fn new() -> Router {
         Router::default()
+    }
+
+    /// Attach a metrics registry; dispatches are unmetered without one.
+    pub fn set_registry(&mut self, registry: Arc<Registry>) {
+        self.registry = Some(registry);
+    }
+
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
     }
 
     pub fn get(
@@ -55,6 +75,7 @@ impl Router {
     ) -> &mut Router {
         self.routes.push(Route {
             method,
+            pattern: pattern.to_string(),
             segments: parse_pattern(pattern),
             handler: Arc::new(handler),
         });
@@ -82,23 +103,68 @@ impl Router {
     /// Dispatch a request. Unmatched paths get 404; a panicking handler is
     /// contained and answered with 500, so one broken component cannot take
     /// the dashboard down.
+    ///
+    /// If the request carries an `X-Trace-Id` header, the id becomes the
+    /// current trace for the duration of the dispatch (the client's trace
+    /// continues on this worker thread) and is echoed on the response.
+    /// With a registry attached, per-route request counts and latency land
+    /// in `hpcdash_http_requests_total` / `hpcdash_http_request_latency`.
     pub fn handle(&self, req: &Request) -> Response {
+        let trace = req.header(TRACE_HEADER).and_then(TraceId::from_hex);
+        let _scope = trace.map(TraceScope::enter);
+        let start = std::time::Instant::now();
+        let (pattern, mut resp) = self.dispatch(req);
+        if let Some(reg) = &self.registry {
+            let status_class = match resp.status {
+                200..=299 => "2xx",
+                300..=399 => "3xx",
+                400..=499 => "4xx",
+                _ => "5xx",
+            };
+            let labels = [("route", pattern)];
+            reg.counter("hpcdash_http_requests_total", &labels).inc();
+            reg.counter(
+                "hpcdash_http_responses_total",
+                &[("route", pattern), ("class", status_class)],
+            )
+            .inc();
+            reg.histogram("hpcdash_http_request_latency", &labels)
+                .observe(start.elapsed());
+        }
+        if let Some(id) = trace {
+            resp = resp.with_header(TRACE_HEADER, &id.to_hex());
+        }
+        resp
+    }
+
+    /// The inner match-and-invoke, returning the matched route pattern for
+    /// metric labelling (parameter values never become labels).
+    fn dispatch(&self, req: &Request) -> (&str, Response) {
         let path_segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         for route in &self.routes {
             if route.method != req.method {
                 continue;
             }
             if let Some(params) = match_segments(&route.segments, &path_segs) {
+                let _span = Span::enter("route").attr("route", route.pattern.clone());
                 let mut req = req.clone();
                 req.params = params;
                 let handler = route.handler.clone();
-                return match catch_unwind(AssertUnwindSafe(move || handler(&req))) {
+                let resp = match catch_unwind(AssertUnwindSafe(move || handler(&req))) {
                     Ok(resp) => resp,
                     Err(_) => Response::internal_error("component failed"),
                 };
+                return (&route.pattern, resp);
             }
         }
-        Response::not_found(&format!("no route for {} {}", req.method.as_str(), req.path))
+        (
+            "unmatched",
+            Response::not_found(&format!(
+                "no route for {} {}",
+                req.method.as_str(),
+                req.path
+            )),
+        )
     }
 }
 
@@ -171,15 +237,28 @@ mod tests {
     #[test]
     fn method_disambiguates() {
         let r = router();
-        assert_eq!(r.handle(&Request::new(Method::Post, "/api/jobs")).status, 201);
-        assert_eq!(r.handle(&Request::new(Method::Put, "/api/jobs")).status, 404);
+        assert_eq!(
+            r.handle(&Request::new(Method::Post, "/api/jobs")).status,
+            201
+        );
+        assert_eq!(
+            r.handle(&Request::new(Method::Put, "/api/jobs")).status,
+            404
+        );
     }
 
     #[test]
     fn no_match_is_404() {
         let r = router();
-        assert_eq!(r.handle(&Request::new(Method::Get, "/api/nope")).status, 404);
-        assert_eq!(r.handle(&Request::new(Method::Get, "/api/jobs/1/extra")).status, 404);
+        assert_eq!(
+            r.handle(&Request::new(Method::Get, "/api/nope")).status,
+            404
+        );
+        assert_eq!(
+            r.handle(&Request::new(Method::Get, "/api/jobs/1/extra"))
+                .status,
+            404
+        );
         assert_eq!(r.handle(&Request::new(Method::Get, "/")).status, 404);
     }
 
@@ -189,13 +268,19 @@ mod tests {
         let resp = r.handle(&Request::new(Method::Get, "/api/broken"));
         assert_eq!(resp.status, 500);
         // The router still works afterwards.
-        assert_eq!(r.handle(&Request::new(Method::Get, "/api/jobs")).status, 200);
+        assert_eq!(
+            r.handle(&Request::new(Method::Get, "/api/jobs")).status,
+            200
+        );
     }
 
     #[test]
     fn trailing_slash_equivalence() {
         let r = router();
-        assert_eq!(r.handle(&Request::new(Method::Get, "/api/jobs/")).status, 200);
+        assert_eq!(
+            r.handle(&Request::new(Method::Get, "/api/jobs/")).status,
+            200
+        );
     }
 
     #[test]
@@ -211,5 +296,45 @@ mod tests {
         let patterns = r.route_patterns();
         assert!(patterns.contains(&(Method::Get, "/api/jobs/:id".to_string())));
         assert_eq!(patterns.len(), 5);
+    }
+
+    #[test]
+    fn metrics_label_by_pattern_not_path() {
+        let mut r = router();
+        let reg = Arc::new(Registry::new());
+        r.set_registry(reg.clone());
+        r.handle(&Request::new(Method::Get, "/api/jobs/1"));
+        r.handle(&Request::new(Method::Get, "/api/jobs/2"));
+        r.handle(&Request::new(Method::Get, "/api/nope"));
+        let by_pattern = reg.counter("hpcdash_http_requests_total", &[("route", "/api/jobs/:id")]);
+        assert_eq!(by_pattern.get(), 2, "both ids fold into one route label");
+        let unmatched = reg.counter("hpcdash_http_requests_total", &[("route", "unmatched")]);
+        assert_eq!(unmatched.get(), 1);
+        let latency = reg.histogram(
+            "hpcdash_http_request_latency",
+            &[("route", "/api/jobs/:id")],
+        );
+        assert_eq!(latency.count(), 2);
+        let notfound = reg.counter(
+            "hpcdash_http_responses_total",
+            &[("route", "unmatched"), ("class", "4xx")],
+        );
+        assert_eq!(notfound.get(), 1);
+    }
+
+    #[test]
+    fn trace_id_flows_through_dispatch_and_echoes() {
+        let r = router();
+        let id = TraceId::generate();
+        let req = Request::new(Method::Get, "/api/jobs").with_header(TRACE_HEADER, &id.to_hex());
+        let resp = r.handle(&req);
+        assert_eq!(resp.header("x-trace-id"), Some(id.to_hex().as_str()));
+        let spans = hpcdash_obs::trace::sink().records_for(id);
+        assert_eq!(spans.len(), 1, "one route span under this trace");
+        assert_eq!(spans[0].name, "route");
+        assert_eq!(spans[0].attr("route"), Some("/api/jobs"));
+        // Dispatch without the header records no trace-bound span.
+        let resp = r.handle(&Request::new(Method::Get, "/api/jobs"));
+        assert!(resp.header("x-trace-id").is_none());
     }
 }

@@ -31,7 +31,10 @@ impl Server {
         let accept_thread = std::thread::Builder::new()
             .name("http-accept".to_string())
             .spawn(move || {
-                let pool = ThreadPool::new(workers);
+                let mut pool = ThreadPool::new(workers);
+                if let Some(reg) = router.registry() {
+                    pool.set_queue_gauge(reg.gauge("hpcdash_http_worker_queue_depth", &[]));
+                }
                 loop {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
@@ -102,7 +105,18 @@ fn serve_connection(stream: TcpStream, router: &Router) {
             }
         };
         let keep_alive = req.keep_alive();
-        let resp = router.handle(&req);
+        let resp = {
+            // The "http" hop: wire-level handling of one request on this
+            // worker. The span closes *before* the response is written, so
+            // by the time the client sees the body, the hop is already in
+            // the sink (no race when the client inspects its trace).
+            let _scope = req
+                .header(crate::router::TRACE_HEADER)
+                .and_then(hpcdash_obs::TraceId::from_hex)
+                .map(hpcdash_obs::trace::TraceScope::enter);
+            let _span = hpcdash_obs::Span::enter("http").attr("path", req.path.clone());
+            router.handle(&req)
+        };
         if resp.write_to(&mut write_half, keep_alive).is_err() {
             return;
         }
@@ -139,7 +153,9 @@ mod tests {
     fn end_to_end_get() {
         let server = test_server();
         let client = HttpClient::new();
-        let resp = client.get(&format!("{}/ping", server.base_url()), &[]).unwrap();
+        let resp = client
+            .get(&format!("{}/ping", server.base_url()), &[])
+            .unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body_string(), "pong");
     }
@@ -179,12 +195,18 @@ mod tests {
     fn not_found_and_panics_over_the_wire() {
         let server = test_server();
         let client = HttpClient::new();
-        let resp = client.get(&format!("{}/nope", server.base_url()), &[]).unwrap();
+        let resp = client
+            .get(&format!("{}/nope", server.base_url()), &[])
+            .unwrap();
         assert_eq!(resp.status, 404);
-        let resp = client.get(&format!("{}/boom", server.base_url()), &[]).unwrap();
+        let resp = client
+            .get(&format!("{}/boom", server.base_url()), &[])
+            .unwrap();
         assert_eq!(resp.status, 500);
         // Server survives the panic.
-        let resp = client.get(&format!("{}/ping", server.base_url()), &[]).unwrap();
+        let resp = client
+            .get(&format!("{}/ping", server.base_url()), &[])
+            .unwrap();
         assert_eq!(resp.status, 200);
     }
 
@@ -198,9 +220,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let client = HttpClient::new();
                 for j in 0..20 {
-                    let resp = client
-                        .get(&format!("{base}/echo/t{i}x{j}"), &[])
-                        .unwrap();
+                    let resp = client.get(&format!("{base}/echo/t{i}x{j}"), &[]).unwrap();
                     assert_eq!(resp.json().unwrap()["word"], format!("t{i}x{j}"));
                 }
             }));

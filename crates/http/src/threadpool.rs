@@ -2,6 +2,8 @@
 //! executors).
 
 use crossbeam::channel::{bounded, Sender};
+use hpcdash_obs::Gauge;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -10,6 +12,9 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Optional gauge tracking jobs submitted but not yet picked up by a
+    /// worker (the accept-queue backlog the paper's load experiments watch).
+    queue_gauge: Option<Arc<Gauge>>,
 }
 
 impl ThreadPool {
@@ -34,15 +39,32 @@ impl ThreadPool {
         ThreadPool {
             sender: Some(sender),
             workers,
+            queue_gauge: None,
         }
+    }
+
+    /// Report queue depth (jobs submitted, not yet started) to `gauge`.
+    pub fn set_queue_gauge(&mut self, gauge: Arc<Gauge>) {
+        self.queue_gauge = Some(gauge);
     }
 
     /// Queue a job; blocks if the queue is full (natural backpressure).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let job: Job = match &self.queue_gauge {
+            Some(gauge) => {
+                gauge.inc();
+                let gauge = gauge.clone();
+                Box::new(move || {
+                    gauge.dec();
+                    job();
+                })
+            }
+            None => Box::new(job),
+        };
         self.sender
             .as_ref()
             .expect("pool is live")
-            .send(Box::new(job))
+            .send(job)
             .expect("workers alive");
     }
 

@@ -17,7 +17,12 @@ fn server() -> Server {
 fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
     let mut status_line = String::new();
     reader.read_line(&mut status_line).unwrap();
-    let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
@@ -43,11 +48,7 @@ fn many_requests_one_connection() {
     let mut reader = BufReader::new(stream);
 
     for i in 0..5 {
-        write!(
-            write_half,
-            "GET /count/{i} HTTP/1.1\r\nHost: x\r\n\r\n"
-        )
-        .unwrap();
+        write!(write_half, "GET /count/{i} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         write_half.flush().unwrap();
         let (status, body) = read_one_response(&mut reader);
         assert_eq!(status, 200);

@@ -185,7 +185,13 @@ mod tests {
 
     fn feed() -> NewsFeed {
         let f = NewsFeed::new();
-        f.publish("Cluster online", "All systems nominal", Category::News, Timestamp(100), None);
+        f.publish(
+            "Cluster online",
+            "All systems nominal",
+            Category::News,
+            Timestamp(100),
+            None,
+        );
         f.publish(
             "Scheduled maintenance",
             "Anvil down for patching",
@@ -242,7 +248,12 @@ mod tests {
 
     #[test]
     fn category_labels_roundtrip() {
-        for c in [Category::Outage, Category::Maintenance, Category::Feature, Category::News] {
+        for c in [
+            Category::Outage,
+            Category::Maintenance,
+            Category::Feature,
+            Category::News,
+        ] {
             assert_eq!(Category::parse(c.label()), Some(c));
         }
         assert_eq!(Category::parse("gossip"), None);

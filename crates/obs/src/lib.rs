@@ -1,0 +1,34 @@
+//! Observability for the dashboard stack: metrics and request tracing.
+//!
+//! This crate is deliberately dependency-light (no `tracing`, no
+//! `prometheus`): a dashboard that simulates its own Slurm cluster should
+//! also own its telemetry primitives, and the subset we need is small:
+//!
+//! * [`registry`] — a process-wide metrics registry: lock-free counters and
+//!   gauges plus fixed-bucket latency histograms (p50/p95/p99/max), keyed by
+//!   `(name, labels)`. Existing stats objects (cache stats, daemon RPC
+//!   stats) plug in as pull-time *collectors* so they keep their own
+//!   internals but appear in one exposition.
+//! * [`trace`] — `Span` guards with monotonic timing, a per-thread current
+//!   trace ID propagated via the `X-Trace-Id` header from the headless
+//!   browser down to the slurmctld RPC layer, and a global ring-buffer
+//!   [`trace::TraceSink`] from which per-request hop breakdowns are read.
+//! * [`recorder`] — an exact-sample latency recorder for load-generator
+//!   style summaries (p50/p90/p99), shared by the headless client.
+//! * [`expo`] — Prometheus-style text and JSON exposition with stable
+//!   (sorted) ordering, served by `core` at `/api/metrics`.
+//! * [`health`] — rolls recent per-source error counters into an
+//!   up/degraded/down verdict for `/api/health`.
+//!
+//! Metric naming convention: `hpcdash_<subsystem>_<name>`, with `_total`
+//! suffixed to monotonic counters (e.g. `hpcdash_cache_hits_total`).
+
+pub mod expo;
+pub mod health;
+pub mod recorder;
+pub mod registry;
+pub mod trace;
+
+pub use recorder::LatencyRecorder;
+pub use registry::{Counter, Gauge, Histogram, Registry, Sample, SampleValue};
+pub use trace::{Span, TraceId};

@@ -1,0 +1,383 @@
+//! Request tracing: spans, trace-ID propagation, and a global trace sink.
+//!
+//! A trace follows one logical request across layers. The headless browser
+//! generates a [`TraceId`], sends it as the `X-Trace-Id` header, and the
+//! HTTP layer re-establishes it (via [`TraceScope`]) on whichever worker
+//! thread handles the request. Every instrumented layer then opens a
+//! [`Span`] guard; on drop the span's record lands in the process-wide
+//! [`TraceSink`] ring buffer, from which per-request hop breakdowns are
+//! read back (`records_for` / `format_trace`).
+//!
+//! All timing is monotonic (`Instant`) and expressed as nanoseconds since
+//! a process-local epoch, so records from different threads order
+//! correctly.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A 64-bit trace identifier, rendered as 16 lowercase hex digits — the
+/// wire format of the `X-Trace-Id` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Generate a fresh process-unique id (mixed counter, never zero).
+    pub fn generate() -> TraceId {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        let seed = *SEED.get_or_init(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x9e37_79b9_7f4a_7c15)
+        });
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let mut z = seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        TraceId(z.max(1))
+    }
+
+    /// Parse the header wire format (16 hex digits, case-insensitive).
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+thread_local! {
+    static CURRENT: std::cell::Cell<Option<TraceId>> = const { std::cell::Cell::new(None) };
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// The trace id active on this thread, if any.
+pub fn current_trace() -> Option<TraceId> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Installs `id` as the current trace for this thread until dropped,
+/// restoring whatever was active before (scopes nest).
+pub struct TraceScope {
+    prev: Option<TraceId>,
+}
+
+impl TraceScope {
+    pub fn enter(id: TraceId) -> TraceScope {
+        let prev = CURRENT.with(|c| c.replace(Some(id)));
+        TraceScope { prev }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A timing guard. Opened at the start of a hop, it captures the current
+/// trace id, a global start-order sequence number, and this thread's span
+/// nesting depth; on drop it records its duration into the global sink.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span {
+    name: &'static str,
+    attrs: Vec<(&'static str, String)>,
+    trace: Option<TraceId>,
+    start: Instant,
+    start_ns: u64,
+    seq: u64,
+    depth: u32,
+}
+
+impl Span {
+    pub fn enter(name: &'static str) -> Span {
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Span {
+            name,
+            attrs: Vec::new(),
+            trace: current_trace(),
+            start: Instant::now(),
+            start_ns: now_ns(),
+            seq: SEQ.fetch_add(1, Ordering::Relaxed),
+            depth,
+        }
+    }
+
+    /// Attach a key/value attribute (builder style).
+    pub fn attr(mut self, key: &'static str, value: impl Into<String>) -> Span {
+        self.attrs.push((key, value.into()));
+        self
+    }
+
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.trace
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        // Clamp to >= 1ns so "this hop happened" is always distinguishable
+        // from "never recorded", even for sub-resolution scopes.
+        let dur_ns = (self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64).max(1);
+        sink().push(SpanRecord {
+            trace: self.trace,
+            name: self.name,
+            attrs: std::mem::take(&mut self.attrs),
+            start_ns: self.start_ns,
+            dur_ns,
+            seq: self.seq,
+            depth: self.depth,
+        });
+    }
+}
+
+/// One completed span, as stored in the sink.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub trace: Option<TraceId>,
+    pub name: &'static str,
+    pub attrs: Vec<(&'static str, String)>,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub seq: u64,
+    pub depth: u32,
+}
+
+impl SpanRecord {
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Default ring capacity: enough for hundreds of multi-hop requests.
+pub const DEFAULT_SINK_CAPACITY: usize = 4096;
+
+/// A bounded ring buffer of completed spans.
+pub struct TraceSink {
+    ring: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+impl TraceSink {
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        TraceSink {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn push(&self, rec: SpanRecord) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(rec);
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Every span recorded for `trace`, in start order (root hop first).
+    pub fn records_for(&self, trace: TraceId) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = self
+            .ring
+            .lock()
+            .iter()
+            .filter(|r| r.trace == Some(trace))
+            .cloned()
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Render the per-hop breakdown of one trace as an indented tree.
+    pub fn format_trace(&self, trace: TraceId) -> String {
+        let records = self.records_for(trace);
+        if records.is_empty() {
+            return format!("trace {trace}: no spans recorded\n");
+        }
+        let t0 = records.iter().map(|r| r.start_ns).min().unwrap_or(0);
+        let mut out = format!("trace {trace} ({} span(s)):\n", records.len());
+        for r in &records {
+            let indent = "  ".repeat(r.depth as usize + 1);
+            let attrs = if r.attrs.is_empty() {
+                String::new()
+            } else {
+                let kv: Vec<String> = r.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!(" [{}]", kv.join(" "))
+            };
+            out.push_str(&format!(
+                "{indent}{name:<12} +{offset:>9} {dur:>11}{attrs}\n",
+                name = r.name,
+                offset = fmt_ns(r.start_ns.saturating_sub(t0)),
+                dur = fmt_ns(r.dur_ns),
+            ));
+        }
+        out
+    }
+}
+
+/// Human-friendly nanosecond rendering (`412ns`, `3.2µs`, `1.8ms`, `2.4s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The process-wide sink that [`Span`] guards record into.
+pub fn sink() -> &'static TraceSink {
+    static SINK: OnceLock<TraceSink> = OnceLock::new();
+    SINK.get_or_init(|| TraceSink::with_capacity(DEFAULT_SINK_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_hex_roundtrip() {
+        let id = TraceId::generate();
+        assert_ne!(id.0, 0);
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(TraceId::from_hex(&hex), Some(id));
+        assert_eq!(TraceId::from_hex("00000000000000ff"), Some(TraceId(255)));
+        assert_eq!(TraceId::from_hex(""), None);
+        assert_eq!(TraceId::from_hex("not-hex"), None);
+        assert_eq!(TraceId::from_hex("112233445566778899"), None, "too long");
+    }
+
+    #[test]
+    fn generated_ids_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            assert!(seen.insert(TraceId::generate()));
+        }
+    }
+
+    #[test]
+    fn scope_nests_and_restores() {
+        assert_eq!(current_trace(), None);
+        let a = TraceId(0xa);
+        let b = TraceId(0xb);
+        {
+            let _outer = TraceScope::enter(a);
+            assert_eq!(current_trace(), Some(a));
+            {
+                let _inner = TraceScope::enter(b);
+                assert_eq!(current_trace(), Some(b));
+            }
+            assert_eq!(current_trace(), Some(a));
+        }
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn spans_record_in_start_order_with_depth() {
+        let id = TraceId::generate();
+        {
+            let _scope = TraceScope::enter(id);
+            let _root = Span::enter("http").attr("route", "/api/x");
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            {
+                let _child = Span::enter("slurmcli");
+                let _grandchild = Span::enter("ctld");
+            }
+        }
+        let records = sink().records_for(id);
+        let names: Vec<&str> = records.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["http", "slurmcli", "ctld"]);
+        let depths: Vec<u32> = records.iter().map(|r| r.depth).collect();
+        assert_eq!(depths, [0, 1, 2]);
+        assert!(records.iter().all(|r| r.dur_ns >= 1));
+        assert!(records[0].dur_ns >= 50_000, "root span spans its children");
+        assert_eq!(records[0].attr("route"), Some("/api/x"));
+        let dump = sink().format_trace(id);
+        assert!(dump.contains("http"), "dump:\n{dump}");
+        assert!(dump.contains("route=/api/x"), "dump:\n{dump}");
+    }
+
+    #[test]
+    fn spans_without_a_scope_carry_no_trace() {
+        let before = sink().len();
+        drop(Span::enter("orphan"));
+        assert!(sink().len() >= before.min(DEFAULT_SINK_CAPACITY - 1));
+        // An orphan span never shows up under a real trace id.
+        let id = TraceId::generate();
+        assert!(sink().records_for(id).is_empty());
+    }
+
+    #[test]
+    fn sink_ring_evicts_oldest() {
+        let sink = TraceSink::with_capacity(4);
+        let id = TraceId(0x77);
+        for seq in 0..6u64 {
+            sink.push(SpanRecord {
+                trace: Some(id),
+                name: "x",
+                attrs: Vec::new(),
+                start_ns: seq,
+                dur_ns: 1,
+                seq,
+                depth: 0,
+            });
+        }
+        let records = sink.records_for(id);
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].seq, 2, "oldest two evicted");
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(412), "412ns");
+        assert_eq!(fmt_ns(3_200), "3.2µs");
+        assert_eq!(fmt_ns(1_800_000), "1.8ms");
+        assert_eq!(fmt_ns(2_400_000_000), "2.40s");
+    }
+}

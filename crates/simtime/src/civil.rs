@@ -113,7 +113,10 @@ mod tests {
         let dt = CivilDateTime::from_unix(20_638 * 86_400 + 9 * 3_600 + 30 * 60 + 15);
         assert_eq!((dt.year, dt.month, dt.day), (2026, 7, 4));
         assert_eq!((dt.hour, dt.minute, dt.second), (9, 30, 15));
-        assert_eq!(dt.to_unix().unwrap(), 20_638 * 86_400 + 9 * 3_600 + 30 * 60 + 15);
+        assert_eq!(
+            dt.to_unix().unwrap(),
+            20_638 * 86_400 + 9 * 3_600 + 30 * 60 + 15
+        );
     }
 
     #[test]

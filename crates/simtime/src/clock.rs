@@ -44,7 +44,11 @@ impl SimClock {
     /// the simulator's invariant is that time is monotone.
     pub fn set(&self, t: Timestamp) {
         let prev = self.now.swap(t.0, Ordering::SeqCst);
-        assert!(prev <= t.0, "SimClock must not move backwards ({prev} -> {})", t.0);
+        assert!(
+            prev <= t.0,
+            "SimClock must not move backwards ({prev} -> {})",
+            t.0
+        );
     }
 
     /// An `Arc<dyn Clock>` view of this clock.

@@ -17,8 +17,7 @@ mod timefmt;
 pub use civil::{civil_from_days, days_from_civil, days_in_month, is_leap, CivilDateTime};
 pub use clock::{Clock, SharedClock, SimClock, SystemClock};
 pub use timefmt::{
-    format_duration, format_timestamp, parse_duration, parse_timelimit, parse_timestamp,
-    TimeLimit,
+    format_duration, format_timestamp, parse_duration, parse_timelimit, parse_timestamp, TimeLimit,
 };
 
 use serde::{Deserialize, Serialize};

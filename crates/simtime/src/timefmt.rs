@@ -63,7 +63,14 @@ pub fn parse_timestamp(s: &str) -> Option<Timestamp> {
     let hour: u32 = tp.next()?.parse().ok()?;
     let minute: u32 = tp.next()?.parse().ok()?;
     let second: u32 = tp.next()?.parse().ok()?;
-    if tp.next().is_some() || month == 0 || month > 12 || day == 0 || hour > 23 || minute > 59 || second > 59 {
+    if tp.next().is_some()
+        || month == 0
+        || month > 12
+        || day == 0
+        || hour > 23
+        || minute > 59
+        || second > 59
+    {
         return None;
     }
     let dt = CivilDateTime {
@@ -152,7 +159,10 @@ mod tests {
             parse_timestamp("2026-07-04T09:05:07"),
             Some(Timestamp(20_638 * 86_400 + 9 * 3_600 + 5 * 60 + 7))
         );
-        assert_eq!(parse_timestamp("2026-07-04T09:05:07Z"), parse_timestamp("2026-07-04T09:05:07"));
+        assert_eq!(
+            parse_timestamp("2026-07-04T09:05:07Z"),
+            parse_timestamp("2026-07-04T09:05:07")
+        );
     }
 
     #[test]
@@ -177,7 +187,10 @@ mod tests {
         assert_eq!(format_duration(59), "00:00:59");
         assert_eq!(format_duration(61), "00:01:01");
         assert_eq!(format_duration(3_661), "01:01:01");
-        assert_eq!(format_duration(86_400 + 2 * 3_600 + 3 * 60 + 4), "1-02:03:04");
+        assert_eq!(
+            format_duration(86_400 + 2 * 3_600 + 3 * 60 + 4),
+            "1-02:03:04"
+        );
         assert_eq!(format_duration(10 * 86_400), "10-00:00:00");
     }
 
@@ -188,7 +201,10 @@ mod tests {
         assert_eq!(parse_duration("01:01:01"), Some(3_661));
         assert_eq!(parse_duration("1-02:03:04"), Some(86_400 + 7_384));
         assert_eq!(parse_duration("2-00"), Some(2 * 86_400));
-        assert_eq!(parse_duration("2-12:30"), Some(2 * 86_400 + 12 * 3_600 + 30 * 60));
+        assert_eq!(
+            parse_duration("2-12:30"),
+            Some(2 * 86_400 + 12 * 3_600 + 30 * 60)
+        );
         assert_eq!(parse_duration(""), None);
         assert_eq!(parse_duration("a:b"), None);
     }

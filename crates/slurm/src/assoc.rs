@@ -114,10 +114,7 @@ impl AssocStore {
 
     pub fn add_user(&mut self, account: &str, user: impl Into<String>) {
         let user = user.into();
-        let members = self
-            .members
-            .entry(account.to_string())
-            .or_default();
+        let members = self.members.entry(account.to_string()).or_default();
         if !members.contains(&user) {
             members.push(user);
         }
@@ -175,7 +172,10 @@ impl AssocStore {
 
     /// Record that a pending job joined the queue under `account`.
     pub fn note_queued(&mut self, account: &str, cpus: u32) {
-        self.usage.entry(account.to_string()).or_default().cpus_queued += cpus;
+        self.usage
+            .entry(account.to_string())
+            .or_default()
+            .cpus_queued += cpus;
     }
 
     /// Record that a pending job left the queue (started or was cancelled).
@@ -186,7 +186,10 @@ impl AssocStore {
 
     /// Record a job start.
     pub fn note_start(&mut self, account: &str, cpus: u32) {
-        self.usage.entry(account.to_string()).or_default().cpus_running += cpus;
+        self.usage
+            .entry(account.to_string())
+            .or_default()
+            .cpus_running += cpus;
     }
 
     /// Record a job end, charging `elapsed`-scaled usage to the account and
@@ -229,7 +232,11 @@ mod tests {
 
     fn store() -> AssocStore {
         let mut s = AssocStore::new();
-        s.add_account(Account::new("physics").with_cpu_limit(256).with_gpu_mins_limit(6_000));
+        s.add_account(
+            Account::new("physics")
+                .with_cpu_limit(256)
+                .with_gpu_mins_limit(6_000),
+        );
         s.add_user("physics", "alice");
         s.add_user("physics", "bob");
         s.add_account(Account::new("bio"));
@@ -240,12 +247,18 @@ mod tests {
     #[test]
     fn membership_queries() {
         let s = store();
-        assert_eq!(s.accounts_of_user("alice"), vec!["bio".to_string(), "physics".to_string()]);
+        assert_eq!(
+            s.accounts_of_user("alice"),
+            vec!["bio".to_string(), "physics".to_string()]
+        );
         assert_eq!(s.accounts_of_user("bob"), vec!["physics".to_string()]);
         assert!(s.accounts_of_user("carol").is_empty());
         assert!(s.is_member("physics", "bob"));
         assert!(!s.is_member("bio", "bob"));
-        assert_eq!(s.users_of_account("physics"), &["alice".to_string(), "bob".to_string()]);
+        assert_eq!(
+            s.users_of_account("physics"),
+            &["alice".to_string(), "bob".to_string()]
+        );
     }
 
     #[test]
@@ -261,7 +274,10 @@ mod tests {
         assert!(s.check_start("physics", 256, 0).is_ok());
         s.note_start("physics", 200);
         assert!(s.check_start("physics", 56, 0).is_ok());
-        assert_eq!(s.check_start("physics", 57, 0), Err(LimitViolation::GrpCpuLimit));
+        assert_eq!(
+            s.check_start("physics", 57, 0),
+            Err(LimitViolation::GrpCpuLimit)
+        );
         // Unlimited account never trips.
         s.note_start("bio", 100_000);
         assert!(s.check_start("bio", 100_000, 0).is_ok());
@@ -273,7 +289,10 @@ mod tests {
         // Exhaust the GPU budget: 6000 minutes = 360000 seconds.
         s.note_start("physics", 4);
         s.note_end("physics", "alice", 4, 2, 180_000, 1.0);
-        assert_eq!(s.check_start("physics", 1, 1), Err(LimitViolation::GrpGpuMinsLimit));
+        assert_eq!(
+            s.check_start("physics", 1, 1),
+            Err(LimitViolation::GrpGpuMinsLimit)
+        );
         // CPU-only jobs are still allowed.
         assert!(s.check_start("physics", 1, 0).is_ok());
     }
@@ -299,7 +318,11 @@ mod tests {
         let mut s = store();
         s.note_start("physics", 10);
         s.note_end("physics", "bob", 10, 0, 1_000, 0.0);
-        assert_eq!(s.usage("physics").unwrap().cpu_seconds, 0, "standby bills nothing");
+        assert_eq!(
+            s.usage("physics").unwrap().cpu_seconds,
+            0,
+            "standby bills nothing"
+        );
     }
 
     #[test]
@@ -316,8 +339,10 @@ mod tests {
 
     #[test]
     fn gpu_hours_conversion() {
-        let mut u = AccountUsage::default();
-        u.gpu_seconds = 7_200;
+        let u = AccountUsage {
+            gpu_seconds: 7_200,
+            ..Default::default()
+        };
         assert!((u.gpu_hours() - 2.0).abs() < 1e-9);
     }
 }

@@ -8,8 +8,8 @@ use crate::job::{
 use crate::node::Node;
 use crate::partition::Partition;
 use crate::qos::Qos;
-use crate::sched::{self, PriorityWeights, ScheduleDecision};
 use crate::sched::backfill::{PlanInputs, RunningJobInfo};
+use crate::sched::{self, PriorityWeights, ScheduleDecision};
 use hpcdash_simtime::{TimeLimit, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -659,13 +659,17 @@ fn run_plan(job: &Job, start: Timestamp) -> RunPlan {
         PlannedOutcome::Success => (planned, JobState::Completed, (0, 0)),
         PlannedOutcome::Fail { .. } if planned > limit => (limit, JobState::Timeout, (0, 15)),
         PlannedOutcome::Fail { exit_code } => (planned, JobState::Failed, (exit_code, 0)),
-        PlannedOutcome::OutOfMemory => {
-            ((planned.min(limit) * 7 / 10).max(1), JobState::OutOfMemory, (0, 9))
-        }
+        PlannedOutcome::OutOfMemory => (
+            (planned.min(limit) * 7 / 10).max(1),
+            JobState::OutOfMemory,
+            (0, 9),
+        ),
         PlannedOutcome::RunsOverLimit => (limit, JobState::Timeout, (0, 15)),
-        PlannedOutcome::CancelledMidway => {
-            ((planned.min(limit) / 2).max(1), JobState::Cancelled, (0, 15))
-        }
+        PlannedOutcome::CancelledMidway => (
+            (planned.min(limit) / 2).max(1),
+            JobState::Cancelled,
+            (0, 15),
+        ),
     };
     RunPlan {
         end: start.plus(elapsed),
@@ -687,9 +691,12 @@ fn final_stats(job: &Job, end: Timestamp) -> JobStats {
 
 /// Plausible log lines for the output/error tabs.
 fn synth_log_lines(job: &Job, note: Option<&str>) -> (Vec<String>, Vec<String>) {
-    let mut out = vec![
-        format!("=== job {} ({}) starting on {} ===", job.id, job.req.name, job.nodes.join(",")),
-    ];
+    let mut out = vec![format!(
+        "=== job {} ({}) starting on {} ===",
+        job.id,
+        job.req.name,
+        job.nodes.join(",")
+    )];
     let steps = (job.elapsed_secs(job.end_time.unwrap_or(job.submit_time)) / 60).min(200);
     for i in 0..steps {
         out.push(format!("step {i}: processed batch {i} ok"));
@@ -737,12 +744,16 @@ mod tests {
         assoc.add_user("physics", "bob");
         assoc.add_account(Account::new("bio"));
         assoc.add_user("bio", "carol");
-        let nodes: Vec<Node> = (1..=4).map(|i| Node::new(format!("a{i:03}"), 16, 64_000, 0)).collect();
+        let nodes: Vec<Node> = (1..=4)
+            .map(|i| Node::new(format!("a{i:03}"), 16, 64_000, 0))
+            .collect();
         let node_names: Vec<String> = nodes.iter().map(|n| n.name.clone()).collect();
         ClusterSpec {
             name: "testcluster".to_string(),
             nodes,
-            partitions: vec![Partition::new("cpu").with_nodes(node_names).default_partition()],
+            partitions: vec![Partition::new("cpu")
+                .with_nodes(node_names)
+                .default_partition()],
             qos: Qos::standard_set(),
             assoc,
         }
@@ -775,16 +786,24 @@ mod tests {
         ));
         let mut bad_qos = req("alice", "physics", 1, 60);
         bad_qos.qos = "vip".to_string();
-        assert!(matches!(c.submit(bad_qos, now), Err(ClusterError::UnknownQos(_))));
+        assert!(matches!(
+            c.submit(bad_qos, now),
+            Err(ClusterError::UnknownQos(_))
+        ));
         let mut zero = req("alice", "physics", 1, 60);
         zero.cpus_per_node = 0;
-        assert!(matches!(c.submit(zero, now), Err(ClusterError::InvalidRequest(_))));
+        assert!(matches!(
+            c.submit(zero, now),
+            Err(ClusterError::InvalidRequest(_))
+        ));
     }
 
     #[test]
     fn job_lifecycle_completes() {
         let mut c = ClusterState::new(small_spec());
-        let ids = c.submit(req("alice", "physics", 8, 600), Timestamp(0)).unwrap();
+        let ids = c
+            .submit(req("alice", "physics", 8, 600), Timestamp(0))
+            .unwrap();
         assert_eq!(ids.len(), 1);
         c.tick(Timestamp(1));
         let j = c.job(ids[0]).unwrap();
@@ -819,10 +838,16 @@ mod tests {
         // physics capped at 64 CPUs = exactly the cluster. Submit 6x16.
         let mut ids = Vec::new();
         for _ in 0..6 {
-            ids.extend(c.submit(req("alice", "physics", 16, 1_000), Timestamp(0)).unwrap());
+            ids.extend(
+                c.submit(req("alice", "physics", 16, 1_000), Timestamp(0))
+                    .unwrap(),
+            );
         }
         c.tick(Timestamp(1));
-        let running = ids.iter().filter(|id| c.job(**id).map(|j| j.state) == Some(JobState::Running)).count();
+        let running = ids
+            .iter()
+            .filter(|id| c.job(**id).map(|j| j.state) == Some(JobState::Running))
+            .count();
         assert_eq!(running, 4, "cluster fits 4x16 cpus");
         let pending: Vec<_> = ids
             .iter()
@@ -836,7 +861,10 @@ mod tests {
 
         // After completion everything eventually runs.
         c.tick(Timestamp(1_002));
-        let still_running = ids.iter().filter(|id| c.job(**id).map(|j| j.state) == Some(JobState::Running)).count();
+        let still_running = ids
+            .iter()
+            .filter(|id| c.job(**id).map(|j| j.state) == Some(JobState::Running))
+            .count();
         assert_eq!(still_running, 2);
     }
 
@@ -869,8 +897,12 @@ mod tests {
     #[test]
     fn cancel_pending_and_running() {
         let mut c = ClusterState::new(small_spec());
-        let a = c.submit(req("alice", "physics", 4, 600), Timestamp(0)).unwrap()[0];
-        let b = c.submit(req("alice", "physics", 4, 600), Timestamp(0)).unwrap()[0];
+        let a = c
+            .submit(req("alice", "physics", 4, 600), Timestamp(0))
+            .unwrap()[0];
+        let b = c
+            .submit(req("alice", "physics", 4, 600), Timestamp(0))
+            .unwrap()[0];
         // Cancel `a` while pending.
         c.cancel(a, "alice", Timestamp(0)).unwrap();
         assert!(c.job(a).is_none());
@@ -885,21 +917,29 @@ mod tests {
         let finished = c.drain_finished();
         assert_eq!(finished.len(), 2);
         assert!(finished.iter().all(|f| f.job.state == JobState::Cancelled));
-        assert!(c.nodes.values().all(|n| n.alloc.cpus == 0), "cancelled running job released nodes");
+        assert!(
+            c.nodes.values().all(|n| n.alloc.cpus == 0),
+            "cancelled running job released nodes"
+        );
         assert_eq!(c.assoc.usage("physics").unwrap().cpus_running, 0);
     }
 
     #[test]
     fn dependency_waits_for_parent() {
         let mut c = ClusterState::new(small_spec());
-        let parent = c.submit(req("alice", "physics", 1, 100), Timestamp(0)).unwrap()[0];
+        let parent = c
+            .submit(req("alice", "physics", 1, 100), Timestamp(0))
+            .unwrap()[0];
         let mut r = req("alice", "physics", 1, 100);
         r.dependency = Some(parent);
         let child = c.submit(r, Timestamp(0)).unwrap()[0];
         c.tick(Timestamp(1));
         assert_eq!(c.job(parent).unwrap().state, JobState::Running);
         assert_eq!(c.job(child).unwrap().state, JobState::Pending);
-        assert_eq!(c.job(child).unwrap().reason, Some(PendingReason::Dependency));
+        assert_eq!(
+            c.job(child).unwrap().reason,
+            Some(PendingReason::Dependency)
+        );
         // Parent completes; child becomes eligible and runs.
         c.tick(Timestamp(102));
         assert_eq!(c.job(child).unwrap().state, JobState::Running);
@@ -931,11 +971,16 @@ mod tests {
         let ids = c.submit(r, Timestamp(0)).unwrap();
         assert_eq!(ids.len(), 6);
         c.tick(Timestamp(1));
-        let running = ids.iter().filter(|id| c.job(**id).map(|j| j.state) == Some(JobState::Running)).count();
+        let running = ids
+            .iter()
+            .filter(|id| c.job(**id).map(|j| j.state) == Some(JobState::Running))
+            .count();
         assert_eq!(running, 2, "array throttled to 2 concurrent tasks");
         let throttled = ids
             .iter()
-            .filter(|id| c.job(**id).map(|j| j.reason) == Some(Some(PendingReason::JobArrayTaskLimit)))
+            .filter(|id| {
+                c.job(**id).map(|j| j.reason) == Some(Some(PendingReason::JobArrayTaskLimit))
+            })
             .count();
         assert_eq!(throttled, 4);
         // Display ids include the task index.
@@ -961,7 +1006,9 @@ mod tests {
     #[test]
     fn hold_keeps_job_pending() {
         let mut c = ClusterState::new(small_spec());
-        let id = c.submit(req("alice", "physics", 1, 100), Timestamp(0)).unwrap()[0];
+        let id = c
+            .submit(req("alice", "physics", 1, 100), Timestamp(0))
+            .unwrap()[0];
         c.hold(id, true).unwrap();
         c.tick(Timestamp(1));
         let j = c.job(id).unwrap();
@@ -976,7 +1023,10 @@ mod tests {
             c.node_mut(name).unwrap().admin_flag = crate::node::AdminFlag::Drain;
         }
         let ids: Vec<_> = (0..2)
-            .flat_map(|_| c.submit(req("alice", "physics", 16, 100), Timestamp(0)).unwrap())
+            .flat_map(|_| {
+                c.submit(req("alice", "physics", 16, 100), Timestamp(0))
+                    .unwrap()
+            })
             .collect();
         c.tick(Timestamp(1));
         let running: Vec<_> = ids

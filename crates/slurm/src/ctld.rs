@@ -14,6 +14,7 @@ use crate::joblog::JobLogFs;
 use crate::loadmodel::{RpcCostModel, RpcStats};
 use crate::node::{AdminFlag, Node};
 use crate::partition::{Partition, PartitionState};
+use hpcdash_obs::Span;
 use hpcdash_simtime::{SharedClock, Timestamp};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -113,10 +114,12 @@ impl Slurmctld {
     /// Advance the simulation to the clock's current instant: run the
     /// scheduler, stream finished jobs to accounting, refresh job logs.
     pub fn tick(&self) {
+        let _span = Span::enter("ctld").attr("kind", "sched_tick");
         let start = Instant::now();
         let now = self.clock.now();
         let (finished, active_snapshot, running_logs) = {
             let mut state = self.state.lock();
+            self.stats.record_lock_wait(start.elapsed());
             state.tick(now);
             let finished = state.drain_finished();
             let active: Vec<Job> = state.active_jobs().cloned().collect();
@@ -140,6 +143,11 @@ impl Slurmctld {
                 })
                 .collect();
             self.cost.burn(active.len());
+            let pending = active
+                .iter()
+                .filter(|j| j.state == crate::job::JobState::Pending)
+                .count() as u64;
+            self.stats.set_sched_queue_depth(pending);
             (finished, active, running_logs)
         };
         for (path, user, lines) in running_logs {
@@ -159,10 +167,12 @@ impl Slurmctld {
 
     /// Submit a job or array (`sbatch`).
     pub fn submit(&self, req: JobRequest) -> Result<Vec<JobId>, ClusterError> {
+        let _span = Span::enter("ctld").attr("kind", "submit");
         let start = Instant::now();
         let now = self.clock.now();
         let result = {
             let mut state = self.state.lock();
+            self.stats.record_lock_wait(start.elapsed());
             self.cost.burn(1);
             state.submit(req, now)
         };
@@ -172,10 +182,12 @@ impl Slurmctld {
 
     /// Cancel a job (`scancel`).
     pub fn cancel(&self, id: JobId, user: &str) -> Result<(), ClusterError> {
+        let _span = Span::enter("ctld").attr("kind", "cancel");
         let start = Instant::now();
         let now = self.clock.now();
         let result = {
             let mut state = self.state.lock();
+            self.stats.record_lock_wait(start.elapsed());
             self.cost.burn(1);
             state.cancel(id, user, now)
         };
@@ -186,12 +198,17 @@ impl Slurmctld {
     /// Live job listing (`squeue`). This is the expensive, schedule-blocking
     /// query the dashboard must cache.
     pub fn query_jobs(&self, query: &JobQuery) -> Vec<Job> {
+        let _span = Span::enter("ctld").attr("kind", "squeue");
         let start = Instant::now();
         let out = {
             let state = self.state.lock();
+            self.stats.record_lock_wait(start.elapsed());
             let all: Vec<&Job> = state.active_jobs().collect();
             self.cost.burn(all.len());
-            all.into_iter().filter(|j| query.matches(j)).cloned().collect()
+            all.into_iter()
+                .filter(|j| query.matches(j))
+                .cloned()
+                .collect()
         };
         self.stats.record("squeue", start.elapsed());
         out
@@ -199,9 +216,11 @@ impl Slurmctld {
 
     /// One live job (`scontrol show job`).
     pub fn query_job(&self, id: JobId) -> Option<Job> {
+        let _span = Span::enter("ctld").attr("kind", "scontrol_job");
         let start = Instant::now();
         let out = {
             let state = self.state.lock();
+            self.stats.record_lock_wait(start.elapsed());
             self.cost.burn(1);
             state.job(id).cloned()
         };
@@ -211,9 +230,11 @@ impl Slurmctld {
 
     /// Node inventory (`scontrol show node` / `sinfo` substrate).
     pub fn query_nodes(&self) -> Vec<Node> {
+        let _span = Span::enter("ctld").attr("kind", "scontrol_node");
         let start = Instant::now();
         let out = {
             let state = self.state.lock();
+            self.stats.record_lock_wait(start.elapsed());
             let nodes: Vec<Node> = state.nodes.values().cloned().collect();
             self.cost.burn(nodes.len());
             nodes
@@ -223,9 +244,11 @@ impl Slurmctld {
     }
 
     pub fn query_node(&self, name: &str) -> Option<Node> {
+        let _span = Span::enter("ctld").attr("kind", "scontrol_node");
         let start = Instant::now();
         let out = {
             let state = self.state.lock();
+            self.stats.record_lock_wait(start.elapsed());
             self.cost.burn(1);
             state.node(name).cloned()
         };
@@ -235,9 +258,11 @@ impl Slurmctld {
 
     /// Partition definitions (`scontrol show partition` / `sinfo`).
     pub fn query_partitions(&self) -> Vec<Partition> {
+        let _span = Span::enter("ctld").attr("kind", "sinfo");
         let start = Instant::now();
         let out = {
             let state = self.state.lock();
+            self.stats.record_lock_wait(start.elapsed());
             let parts: Vec<Partition> = state.partitions.values().cloned().collect();
             self.cost.burn(parts.len());
             parts
@@ -249,9 +274,11 @@ impl Slurmctld {
     /// Association dump (`scontrol show assoc_mgr`): accounts with live
     /// usage, restricted to those `user` belongs to unless `user` is None.
     pub fn query_assoc(&self, user: Option<&str>) -> Vec<AssocRecord> {
+        let _span = Span::enter("ctld").attr("kind", "scontrol_assoc");
         let start = Instant::now();
         let out = {
             let state = self.state.lock();
+            self.stats.record_lock_wait(start.elapsed());
             let records: Vec<AssocRecord> = state
                 .assoc
                 .accounts()
@@ -347,7 +374,9 @@ mod tests {
         assoc.add_account(Account::new("physics"));
         assoc.add_user("physics", "alice");
         assoc.add_user("physics", "bob");
-        let nodes: Vec<Node> = (1..=2).map(|i| Node::new(format!("a{i:03}"), 16, 64_000, 0)).collect();
+        let nodes: Vec<Node> = (1..=2)
+            .map(|i| Node::new(format!("a{i:03}"), 16, 64_000, 0))
+            .collect();
         let names: Vec<String> = nodes.iter().map(|n| n.name.clone()).collect();
         ClusterSpec {
             name: "test".to_string(),
@@ -395,9 +424,15 @@ mod tests {
         let archived = ctld.dbd().job(id).unwrap();
         assert_eq!(archived.state, JobState::Completed);
         // Logs were written and are owner-readable.
-        let tail = ctld.logs().tail_default(&archived.stdout_path, "alice").unwrap();
+        let tail = ctld
+            .logs()
+            .tail_default(&archived.stdout_path, "alice")
+            .unwrap();
         assert!(!tail.lines.is_empty());
-        assert!(ctld.logs().tail_default(&archived.stdout_path, "bob").is_err());
+        assert!(ctld
+            .logs()
+            .tail_default(&archived.stdout_path, "bob")
+            .is_err());
     }
 
     #[test]
@@ -468,7 +503,8 @@ mod tests {
     fn concurrent_queries_and_ticks() {
         let (ctld, clock) = daemon();
         for i in 0..20 {
-            ctld.submit(req(if i % 2 == 0 { "alice" } else { "bob" }, 1, 50 + i)).unwrap();
+            ctld.submit(req(if i % 2 == 0 { "alice" } else { "bob" }, 1, 50 + i))
+                .unwrap();
         }
         let mut handles = Vec::new();
         for _ in 0..4 {

@@ -5,6 +5,7 @@
 
 use crate::job::{Job, JobId, JobState};
 use crate::loadmodel::{RpcCostModel, RpcStats};
+use hpcdash_obs::Span;
 use hpcdash_simtime::Timestamp;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -116,6 +117,7 @@ impl Slurmdbd {
 
     /// `sacct`-style query across active + archived jobs, newest first.
     pub fn query_jobs(&self, filter: &JobFilter) -> Vec<Job> {
+        let _span = Span::enter("dbd").attr("kind", "sacct_query");
         let start = Instant::now();
         let mut out: Vec<Job> = Vec::new();
         let scanned;
@@ -142,6 +144,7 @@ impl Slurmdbd {
 
     /// Look up one job anywhere in accounting.
     pub fn job(&self, id: JobId) -> Option<Job> {
+        let _span = Span::enter("dbd").attr("kind", "job_lookup");
         let start = Instant::now();
         let result = self
             .archived
@@ -156,6 +159,7 @@ impl Slurmdbd {
 
     /// All sibling tasks of a job array, task order.
     pub fn array_tasks(&self, array_job_id: JobId) -> Vec<Job> {
+        let _span = Span::enter("dbd").attr("kind", "array_lookup");
         let start = Instant::now();
         let mut out: Vec<Job> = Vec::new();
         {
@@ -199,7 +203,14 @@ mod tests {
     use super::*;
     use crate::job::JobRequest;
 
-    fn job(id: u32, user: &str, account: &str, state: JobState, submit: u64, end: Option<u64>) -> Job {
+    fn job(
+        id: u32,
+        user: &str,
+        account: &str,
+        state: JobState,
+        submit: u64,
+        end: Option<u64>,
+    ) -> Job {
         let req = JobRequest::simple(user, account, "cpu", 1);
         Job {
             id: JobId(id),
@@ -239,7 +250,10 @@ mod tests {
     fn user_visibility_or_accounts() {
         let d = dbd();
         let mine = d.query_jobs(&JobFilter::for_user("alice", vec![]));
-        assert_eq!(mine.iter().map(|j| j.id.0).collect::<Vec<_>>(), vec![5, 2, 1]);
+        assert_eq!(
+            mine.iter().map(|j| j.id.0).collect::<Vec<_>>(),
+            vec![5, 2, 1]
+        );
 
         // Group visibility: alice sees bob's physics jobs too.
         let group = d.query_jobs(&JobFilter::for_user("alice", vec!["physics".to_string()]));
@@ -307,8 +321,22 @@ mod tests {
     #[test]
     fn archived_record_wins_over_mirror() {
         let d = Slurmdbd::with_cost(RpcCostModel::free());
-        d.sync_active(vec![job(7, "alice", "physics", JobState::Running, 100, None)]);
-        d.record_finished(vec![job(7, "alice", "physics", JobState::Completed, 100, Some(300))]);
+        d.sync_active(vec![job(
+            7,
+            "alice",
+            "physics",
+            JobState::Running,
+            100,
+            None,
+        )]);
+        d.record_finished(vec![job(
+            7,
+            "alice",
+            "physics",
+            JobState::Completed,
+            100,
+            Some(300),
+        )]);
         let got = d.query_jobs(&JobFilter::default());
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].state, JobState::Completed);
@@ -319,15 +347,33 @@ mod tests {
         use crate::job::ArrayMeta;
         let d = Slurmdbd::with_cost(RpcCostModel::free());
         let mut t2 = job(12, "alice", "physics", JobState::Completed, 100, Some(200));
-        t2.array = Some(ArrayMeta { array_job_id: JobId(10), task_id: 2, max_concurrent: None });
+        t2.array = Some(ArrayMeta {
+            array_job_id: JobId(10),
+            task_id: 2,
+            max_concurrent: None,
+        });
         let mut t0 = job(10, "alice", "physics", JobState::Completed, 100, Some(150));
-        t0.array = Some(ArrayMeta { array_job_id: JobId(10), task_id: 0, max_concurrent: None });
+        t0.array = Some(ArrayMeta {
+            array_job_id: JobId(10),
+            task_id: 0,
+            max_concurrent: None,
+        });
         d.record_finished(vec![t2, t0]);
         let mut t1 = job(11, "alice", "physics", JobState::Running, 100, None);
-        t1.array = Some(ArrayMeta { array_job_id: JobId(10), task_id: 1, max_concurrent: None });
+        t1.array = Some(ArrayMeta {
+            array_job_id: JobId(10),
+            task_id: 1,
+            max_concurrent: None,
+        });
         d.sync_active(vec![t1]);
         let tasks = d.array_tasks(JobId(10));
-        assert_eq!(tasks.iter().map(|t| t.array.unwrap().task_id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            tasks
+                .iter()
+                .map(|t| t.array.unwrap().task_id)
+                .collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

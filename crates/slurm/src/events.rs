@@ -145,7 +145,10 @@ mod tests {
         let log = EventLog::new(100);
         push_n(&log, 10);
         let (events, truncated) = log.since(7);
-        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![8, 9, 10]);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![8, 9, 10]
+        );
         assert!(!truncated);
         let (events, _) = log.since(10);
         assert!(events.is_empty());

@@ -82,7 +82,10 @@ impl JobState {
 
     /// Still occupying or waiting for resources?
     pub fn is_active(self) -> bool {
-        matches!(self, JobState::Pending | JobState::Running | JobState::Suspended)
+        matches!(
+            self,
+            JobState::Pending | JobState::Running | JobState::Suspended
+        )
     }
 
     /// Reached a terminal state?
@@ -343,7 +346,12 @@ impl JobRequest {
 
     /// Per-node resource footprint.
     pub fn per_node_tres(&self) -> Tres {
-        Tres::new(self.cpus_per_node, self.mem_mb_per_node, self.gpus_per_node, 1)
+        Tres::new(
+            self.cpus_per_node,
+            self.mem_mb_per_node,
+            self.gpus_per_node,
+            1,
+        )
     }
 
     /// Whole-job resource footprint.
@@ -403,7 +411,10 @@ impl Job {
         match self.start_time {
             Some(s) => s.since(self.submit_time),
             None if self.state == JobState::Pending => now.since(self.submit_time),
-            None => self.end_time.map(|e| e.since(self.submit_time)).unwrap_or(0),
+            None => self
+                .end_time
+                .map(|e| e.since(self.submit_time))
+                .unwrap_or(0),
         }
     }
 
@@ -475,7 +486,10 @@ mod tests {
             assert_eq!(JobState::parse(s.to_slurm()), Some(s));
             assert_eq!(JobState::parse(s.to_compact()), Some(s));
         }
-        assert_eq!(JobState::parse("CANCELLED by 1001"), Some(JobState::Cancelled));
+        assert_eq!(
+            JobState::parse("CANCELLED by 1001"),
+            Some(JobState::Cancelled)
+        );
         assert_eq!(JobState::parse("???"), None);
     }
 
@@ -547,8 +561,24 @@ mod tests {
 
     #[test]
     fn array_spec_counts() {
-        assert_eq!(ArraySpec { first: 0, last: 9, max_concurrent: None }.task_count(), 10);
-        assert_eq!(ArraySpec { first: 5, last: 5, max_concurrent: None }.task_count(), 1);
+        assert_eq!(
+            ArraySpec {
+                first: 0,
+                last: 9,
+                max_concurrent: None
+            }
+            .task_count(),
+            10
+        );
+        assert_eq!(
+            ArraySpec {
+                first: 5,
+                last: 5,
+                max_concurrent: None
+            }
+            .task_count(),
+            1
+        );
     }
 
     #[test]

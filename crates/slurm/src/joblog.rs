@@ -146,7 +146,9 @@ mod tests {
     #[test]
     fn others_are_denied() {
         let fs = fs_with("/home/alice/slurm-1.out", "alice", 5);
-        let err = fs.tail_default("/home/alice/slurm-1.out", "bob").unwrap_err();
+        let err = fs
+            .tail_default("/home/alice/slurm-1.out", "bob")
+            .unwrap_err();
         assert!(matches!(err, LogError::PermissionDenied { .. }));
         // root bypasses, as on a real filesystem.
         assert!(fs.tail_default("/home/alice/slurm-1.out", "root").is_ok());

@@ -67,6 +67,11 @@ impl RpcCostModel {
 pub struct RpcStats {
     total_rpcs: AtomicU64,
     total_busy_ns: AtomicU64,
+    /// Time RPC callers spent waiting to acquire the daemon lock — the
+    /// direct measurement of "dashboard queries delay scheduling".
+    lock_wait_ns: AtomicU64,
+    /// Pending-job count observed at the most recent scheduler pass.
+    sched_queue_depth: AtomicU64,
     per_kind: Mutex<HashMap<&'static str, KindStats>>,
     /// Ring of recent latencies (ns) for percentile reporting.
     recent: Mutex<Vec<u64>>,
@@ -84,6 +89,10 @@ pub struct KindStats {
 pub struct RpcSnapshot {
     pub total_rpcs: u64,
     pub total_busy: Duration,
+    /// Cumulative time callers waited on the daemon lock.
+    pub total_lock_wait: Duration,
+    /// Pending-job count at the last scheduler pass.
+    pub sched_queue_depth: u64,
     pub per_kind: HashMap<&'static str, KindStats>,
     /// Percentiles over the recent-latency window (p50, p95, p99), if any
     /// traffic was seen.
@@ -128,6 +137,25 @@ impl RpcStats {
         Duration::from_nanos(self.total_busy_ns.load(Ordering::Relaxed))
     }
 
+    /// Record time spent waiting for the daemon lock (before the RPC ran).
+    pub fn record_lock_wait(&self, wait: Duration) {
+        let ns = wait.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.lock_wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn total_lock_wait(&self) -> Duration {
+        Duration::from_nanos(self.lock_wait_ns.load(Ordering::Relaxed))
+    }
+
+    /// Record the pending-job backlog seen by the scheduler pass.
+    pub fn set_sched_queue_depth(&self, depth: u64) {
+        self.sched_queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    pub fn sched_queue_depth(&self) -> u64 {
+        self.sched_queue_depth.load(Ordering::Relaxed)
+    }
+
     pub fn count_of(&self, kind: &'static str) -> u64 {
         self.per_kind.lock().get(kind).map(|k| k.count).unwrap_or(0)
     }
@@ -138,6 +166,8 @@ impl RpcStats {
         RpcSnapshot {
             total_rpcs: self.total_rpcs(),
             total_busy: self.total_busy(),
+            total_lock_wait: self.total_lock_wait(),
+            sched_queue_depth: self.sched_queue_depth(),
             per_kind: self.per_kind.lock().clone(),
             p50,
             p95,
@@ -149,6 +179,8 @@ impl RpcStats {
     pub fn reset(&self) {
         self.total_rpcs.store(0, Ordering::Relaxed);
         self.total_busy_ns.store(0, Ordering::Relaxed);
+        self.lock_wait_ns.store(0, Ordering::Relaxed);
+        self.sched_queue_depth.store(0, Ordering::Relaxed);
         self.per_kind.lock().clear();
         self.recent.lock().clear();
     }
@@ -180,7 +212,10 @@ mod tests {
         let start = Instant::now();
         model.burn(1_000);
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_micros(300), "burned at least base + items");
+        assert!(
+            elapsed >= Duration::from_micros(300),
+            "burned at least base + items"
+        );
     }
 
     #[test]
@@ -210,9 +245,24 @@ mod tests {
     fn reset_clears() {
         let stats = RpcStats::new();
         stats.record("squeue", Duration::from_micros(100));
+        stats.record_lock_wait(Duration::from_micros(40));
+        stats.set_sched_queue_depth(7);
         stats.reset();
         assert_eq!(stats.total_rpcs(), 0);
         assert!(stats.snapshot().p50.is_none());
+        assert_eq!(stats.total_lock_wait(), Duration::ZERO);
+        assert_eq!(stats.sched_queue_depth(), 0);
+    }
+
+    #[test]
+    fn lock_wait_and_queue_depth_tracked() {
+        let stats = RpcStats::new();
+        stats.record_lock_wait(Duration::from_micros(10));
+        stats.record_lock_wait(Duration::from_micros(15));
+        stats.set_sched_queue_depth(42);
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_lock_wait, Duration::from_micros(25));
+        assert_eq!(snap.sched_queue_depth, 42);
     }
 
     #[test]

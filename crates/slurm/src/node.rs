@@ -51,7 +51,10 @@ impl NodeState {
 
     /// Can the scheduler place new work here?
     pub fn schedulable(self) -> bool {
-        matches!(self, NodeState::Idle | NodeState::Mixed | NodeState::Allocated)
+        matches!(
+            self,
+            NodeState::Idle | NodeState::Mixed | NodeState::Allocated
+        )
     }
 
     /// Is the node reachable at all (running jobs can continue)?
@@ -110,7 +113,11 @@ impl Node {
             cpus,
             real_memory_mb,
             gpus,
-            gpu_type: if gpus > 0 { Some("a100".to_string()) } else { None },
+            gpu_type: if gpus > 0 {
+                Some("a100".to_string())
+            } else {
+                None
+            },
             features: Vec::new(),
             partitions: Vec::new(),
             os: "Linux 5.14.0-427.el9".to_string(),
@@ -130,7 +137,9 @@ impl Node {
 
     /// Resources still free for new allocations.
     pub fn free(&self) -> Tres {
-        self.configured().minus(self.alloc).with_node_if_idle(self.alloc.cpus == 0)
+        self.configured()
+            .minus(self.alloc)
+            .with_node_if_idle(self.alloc.cpus == 0)
     }
 
     /// The effective state shown to users.

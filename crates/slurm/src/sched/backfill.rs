@@ -105,7 +105,10 @@ pub fn plan_schedule(inputs: PlanInputs<'_>) -> SchedulePlan {
             &sim_run_counts,
             &sim_array_running,
         ) {
-            plan.decisions.push(ScheduleDecision::Pend { job: job.id, reason });
+            plan.decisions.push(ScheduleDecision::Pend {
+                job: job.id,
+                reason,
+            });
             continue;
         }
 
@@ -194,9 +197,7 @@ fn limit_reason(
     let total = job.req.total_tres();
     match assoc.check_start(&job.req.account, total.cpus, total.gpus) {
         Err(LimitViolation::GrpCpuLimit) => return Some(PendingReason::AssocGrpCpuLimit),
-        Err(LimitViolation::GrpGpuMinsLimit) => {
-            return Some(PendingReason::AssocGrpGresMinutes)
-        }
+        Err(LimitViolation::GrpGpuMinsLimit) => return Some(PendingReason::AssocGrpGresMinutes),
         Ok(()) => {}
     }
     if let Some(q) = qos.get(&job.req.qos) {
@@ -371,8 +372,20 @@ mod tests {
         let j1 = mk_job(1, 16, 1, 3_600);
         let j2 = mk_job(2, 16, 1, 3_600);
         let p = plan(&fix, &[], &[&j1, &j2], 0);
-        assert!(matches!(p.decisions[0], ScheduleDecision::Start { backfilled: false, .. }));
-        assert!(matches!(p.decisions[1], ScheduleDecision::Start { backfilled: false, .. }));
+        assert!(matches!(
+            p.decisions[0],
+            ScheduleDecision::Start {
+                backfilled: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.decisions[1],
+            ScheduleDecision::Start {
+                backfilled: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -385,7 +398,10 @@ mod tests {
         assert!(matches!(p.decisions[0], ScheduleDecision::Start { .. }));
         assert_eq!(
             p.decisions[1],
-            ScheduleDecision::Pend { job: JobId(2), reason: PendingReason::Resources }
+            ScheduleDecision::Pend {
+                job: JobId(2),
+                reason: PendingReason::Resources
+            }
         );
     }
 
@@ -408,10 +424,19 @@ mod tests {
         let p = plan(&fix, &running, &[&blocker, &short, &long], 0);
         assert_eq!(
             p.decisions[0],
-            ScheduleDecision::Pend { job: JobId(1), reason: PendingReason::Resources }
+            ScheduleDecision::Pend {
+                job: JobId(1),
+                reason: PendingReason::Resources
+            }
         );
         assert!(
-            matches!(p.decisions[1], ScheduleDecision::Start { backfilled: true, .. }),
+            matches!(
+                p.decisions[1],
+                ScheduleDecision::Start {
+                    backfilled: true,
+                    ..
+                }
+            ),
             "short job should backfill: {:?}",
             p.decisions[1]
         );
@@ -420,21 +445,28 @@ mod tests {
         // full, so it pends with Priority.
         assert_eq!(
             p.decisions[2],
-            ScheduleDecision::Pend { job: JobId(3), reason: PendingReason::Priority }
+            ScheduleDecision::Pend {
+                job: JobId(3),
+                reason: PendingReason::Priority
+            }
         );
     }
 
     #[test]
     fn assoc_limit_reason() {
         let mut fix = fixture(2, 16);
-        fix.assoc.add_account(Account::new("tiny").with_cpu_limit(8));
+        fix.assoc
+            .add_account(Account::new("tiny").with_cpu_limit(8));
         fix.assoc.add_user("tiny", "alice");
         let mut j = mk_job(1, 16, 1, 3_600);
         j.req.account = "tiny".to_string();
         let p = plan(&fix, &[], &[&j], 0);
         assert_eq!(
             p.decisions[0],
-            ScheduleDecision::Pend { job: JobId(1), reason: PendingReason::AssocGrpCpuLimit }
+            ScheduleDecision::Pend {
+                job: JobId(1),
+                reason: PendingReason::AssocGrpCpuLimit
+            }
         );
     }
 
@@ -443,7 +475,8 @@ mod tests {
         // Account capped at 16 CPUs: first job takes all of it, second must
         // pend even though the plan has not been applied to live state yet.
         let mut fix = fixture(2, 16);
-        fix.assoc.add_account(Account::new("capped").with_cpu_limit(16));
+        fix.assoc
+            .add_account(Account::new("capped").with_cpu_limit(16));
         fix.assoc.add_user("capped", "alice");
         let mut j1 = mk_job(1, 16, 1, 3_600);
         j1.req.account = "capped".to_string();
@@ -453,15 +486,20 @@ mod tests {
         assert!(matches!(p.decisions[0], ScheduleDecision::Start { .. }));
         assert_eq!(
             p.decisions[1],
-            ScheduleDecision::Pend { job: JobId(2), reason: PendingReason::AssocGrpCpuLimit }
+            ScheduleDecision::Pend {
+                job: JobId(2),
+                reason: PendingReason::AssocGrpCpuLimit
+            }
         );
     }
 
     #[test]
     fn qos_running_cap() {
         let mut fix = fixture(4, 16);
-        fix.qos
-            .insert("high".to_string(), Qos::new("high", 100).with_max_jobs_per_user(1));
+        fix.qos.insert(
+            "high".to_string(),
+            Qos::new("high", 100).with_max_jobs_per_user(1),
+        );
         let mut j1 = mk_job(1, 1, 1, 600);
         j1.req.qos = "high".to_string();
         let mut j2 = mk_job(2, 1, 1, 600);
@@ -470,7 +508,10 @@ mod tests {
         assert!(matches!(p.decisions[0], ScheduleDecision::Start { .. }));
         assert_eq!(
             p.decisions[1],
-            ScheduleDecision::Pend { job: JobId(2), reason: PendingReason::QosMaxJobsPerUser }
+            ScheduleDecision::Pend {
+                job: JobId(2),
+                reason: PendingReason::QosMaxJobsPerUser
+            }
         );
     }
 
@@ -482,7 +523,10 @@ mod tests {
         let p = plan(&fix, &[], &[&j], 0);
         assert_eq!(
             p.decisions[0],
-            ScheduleDecision::Pend { job: JobId(1), reason: PendingReason::PartitionDown }
+            ScheduleDecision::Pend {
+                job: JobId(1),
+                reason: PendingReason::PartitionDown
+            }
         );
 
         fix.partitions.get_mut("cpu").unwrap().state = PartitionState::Up;
@@ -490,7 +534,10 @@ mod tests {
         let p = plan(&fix, &[], &[&j], 0);
         assert_eq!(
             p.decisions[0],
-            ScheduleDecision::Pend { job: JobId(1), reason: PendingReason::PartitionTimeLimit }
+            ScheduleDecision::Pend {
+                job: JobId(1),
+                reason: PendingReason::PartitionTimeLimit
+            }
         );
     }
 
@@ -501,7 +548,10 @@ mod tests {
         let p = plan(&fix, &[], &[&giant], 0);
         assert_eq!(
             p.decisions[0],
-            ScheduleDecision::Pend { job: JobId(1), reason: PendingReason::BadConstraints }
+            ScheduleDecision::Pend {
+                job: JobId(1),
+                reason: PendingReason::BadConstraints
+            }
         );
     }
 
@@ -510,14 +560,25 @@ mod tests {
         use crate::job::ArrayMeta;
         let fix = fixture(4, 16);
         let mut t0 = mk_job(10, 1, 1, 600);
-        t0.array = Some(ArrayMeta { array_job_id: JobId(10), task_id: 0, max_concurrent: Some(1) });
+        t0.array = Some(ArrayMeta {
+            array_job_id: JobId(10),
+            task_id: 0,
+            max_concurrent: Some(1),
+        });
         let mut t1 = mk_job(11, 1, 1, 600);
-        t1.array = Some(ArrayMeta { array_job_id: JobId(10), task_id: 1, max_concurrent: Some(1) });
+        t1.array = Some(ArrayMeta {
+            array_job_id: JobId(10),
+            task_id: 1,
+            max_concurrent: Some(1),
+        });
         let p = plan(&fix, &[], &[&t0, &t1], 0);
         assert!(matches!(p.decisions[0], ScheduleDecision::Start { .. }));
         assert_eq!(
             p.decisions[1],
-            ScheduleDecision::Pend { job: JobId(11), reason: PendingReason::JobArrayTaskLimit }
+            ScheduleDecision::Pend {
+                job: JobId(11),
+                reason: PendingReason::JobArrayTaskLimit
+            }
         );
     }
 }

@@ -57,7 +57,9 @@ pub fn could_ever_fit(
 }
 
 fn has_features(node: &Node, constraints: &[String]) -> bool {
-    constraints.iter().all(|c| node.features.iter().any(|f| f == c))
+    constraints
+        .iter()
+        .all(|c| node.features.iter().any(|f| f == c))
 }
 
 #[cfg(test)]
@@ -100,7 +102,11 @@ mod tests {
             .unwrap()
             .allocate(Tres::new(4, 1_000, 0, 1), Timestamp(0));
         let chosen = select_nodes(&nodes, &part, &req(1, 8)).unwrap();
-        assert_eq!(chosen, vec!["a001".to_string()], "least-free node picked first");
+        assert_eq!(
+            chosen,
+            vec!["a001".to_string()],
+            "least-free node picked first"
+        );
     }
 
     #[test]
@@ -110,7 +116,10 @@ mod tests {
             n.allocate(Tres::new(16, 1_000, 0, 1), Timestamp(0));
         }
         assert!(select_nodes(&nodes, &part, &req(1, 1)).is_none());
-        assert!(could_ever_fit(&nodes, &part, &req(1, 1)), "would fit on an empty cluster");
+        assert!(
+            could_ever_fit(&nodes, &part, &req(1, 1)),
+            "would fit on an empty cluster"
+        );
     }
 
     #[test]
@@ -127,8 +136,14 @@ mod tests {
     #[test]
     fn impossible_requests_never_fit() {
         let (nodes, part) = cluster();
-        assert!(!could_ever_fit(&nodes, &part, &req(1, 17)), "more CPUs than any node");
-        assert!(!could_ever_fit(&nodes, &part, &req(5, 1)), "more nodes than the partition");
+        assert!(
+            !could_ever_fit(&nodes, &part, &req(1, 17)),
+            "more CPUs than any node"
+        );
+        assert!(
+            !could_ever_fit(&nodes, &part, &req(5, 1)),
+            "more nodes than the partition"
+        );
         let mut r = req(1, 1);
         r.gpus_per_node = 1;
         assert!(!could_ever_fit(&nodes, &part, &r), "no GPUs in partition");

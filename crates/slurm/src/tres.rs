@@ -157,8 +157,14 @@ mod tests {
 
     #[test]
     fn to_slurm_string() {
-        assert_eq!(Tres::new(4, 16_384, 0, 1).to_slurm(), "cpu=4,mem=16G,node=1");
-        assert_eq!(Tres::new(128, 257_000, 4, 2).to_slurm(), "cpu=128,mem=257000M,node=2,gres/gpu=4");
+        assert_eq!(
+            Tres::new(4, 16_384, 0, 1).to_slurm(),
+            "cpu=4,mem=16G,node=1"
+        );
+        assert_eq!(
+            Tres::new(128, 257_000, 4, 2).to_slurm(),
+            "cpu=128,mem=257000M,node=2,gres/gpu=4"
+        );
         assert_eq!(Tres::new(1, 0, 0, 0).to_slurm(), "cpu=1");
     }
 

@@ -56,7 +56,11 @@ fn short_jobs_backfill_without_delaying_the_wide_job() {
 
     let wide_job = c.job(wide).unwrap();
     assert_eq!(wide_job.state, JobState::Pending);
-    assert_eq!(wide_job.reason, Some(PendingReason::Resources), "wide job is the blocker");
+    assert_eq!(
+        wide_job.reason,
+        Some(PendingReason::Resources),
+        "wide job is the blocker"
+    );
 
     // Two shorts (2x8 cpus) backfill node 2 immediately; the third waits.
     let running: Vec<JobId> = shorts
@@ -64,7 +68,11 @@ fn short_jobs_backfill_without_delaying_the_wide_job() {
         .copied()
         .filter(|id| c.job(*id).map(|j| j.state) == Some(JobState::Running))
         .collect();
-    assert_eq!(running.len(), 2, "16 idle cpus take two 8-cpu backfill jobs");
+    assert_eq!(
+        running.len(),
+        2,
+        "16 idle cpus take two 8-cpu backfill jobs"
+    );
 
     // Shorts finish at ~252; the third then backfills too (ends 502 < 1000).
     c.tick(Timestamp(260));
@@ -73,13 +81,20 @@ fn short_jobs_backfill_without_delaying_the_wide_job() {
         .map(|id| c.job(*id).map(|j| j.state))
         .filter(|s| *s == Some(JobState::Running))
         .count();
-    assert_eq!(third_state, 1, "remaining short job backfilled after the first wave");
+    assert_eq!(
+        third_state, 1,
+        "remaining short job backfilled after the first wave"
+    );
 
     // The long job ends at t=1000; the wide job must start on the very next
     // pass — the backfilled work never pushed its start time back.
     c.tick(Timestamp(1_001));
     let wide_job = c.job(wide).unwrap();
-    assert_eq!(wide_job.state, JobState::Running, "wide job started at its shadow time");
+    assert_eq!(
+        wide_job.state,
+        JobState::Running,
+        "wide job started at its shadow time"
+    );
     assert!(wide_job.start_time.unwrap() <= Timestamp(1_001));
 }
 

@@ -25,8 +25,12 @@ enum Op {
         outcome: u8,
         array: Option<(u32, Option<u32>)>,
     },
-    Cancel { nth_active: usize },
-    Advance { secs: u64 },
+    Cancel {
+        nth_active: usize,
+    },
+    Advance {
+        secs: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -50,7 +54,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
                     runtime,
                     limit,
                     outcome,
-                    array: array.map(|(last, thr)| (last, thr)),
+                    array,
                 }
             }),
         1 => (0usize..8).prop_map(|nth_active| Op::Cancel { nth_active }),
@@ -71,7 +75,9 @@ fn cluster() -> ClusterState {
     }
     assoc.add_user("bio", "alice");
     assoc.add_user("bio", "bob");
-    let nodes: Vec<Node> = (1..=3).map(|i| Node::new(format!("n{i:02}"), 16, 32_000, 0)).collect();
+    let nodes: Vec<Node> = (1..=3)
+        .map(|i| Node::new(format!("n{i:02}"), 16, 32_000, 0))
+        .collect();
     let names: Vec<String> = nodes.iter().map(|n| n.name.clone()).collect();
     ClusterState::new(ClusterSpec {
         name: "prop".to_string(),
@@ -95,9 +101,17 @@ fn apply(cluster: &mut ClusterState, op: &Op, now: &mut u64, submitted: &mut u64
             array,
         } => {
             let user = users()[*user_idx];
-            let account = if *user_idx < 2 && cpus % 2 == 0 { "bio" } else { "physics" };
+            let account = if *user_idx < 2 && cpus % 2 == 0 {
+                "bio"
+            } else {
+                "physics"
+            };
             // bio membership is alice/bob only.
-            let account = if account == "bio" && *user_idx >= 2 { "physics" } else { account };
+            let account = if account == "bio" && *user_idx >= 2 {
+                "physics"
+            } else {
+                account
+            };
             let mut req = JobRequest::simple(user, account, "cpu", *cpus);
             req.nodes = *nodes;
             req.mem_mb_per_node = (*cpus as u64 * mem_per_cpu).min(32_000);
@@ -143,7 +157,11 @@ fn check_invariants(cluster: &ClusterState, now: u64) {
     // 1. No node is over-allocated.
     for node in cluster.nodes.values() {
         assert!(node.alloc.cpus <= node.cpus, "{} cpu over-alloc", node.name);
-        assert!(node.alloc.mem_mb <= node.real_memory_mb, "{} mem over-alloc", node.name);
+        assert!(
+            node.alloc.mem_mb <= node.real_memory_mb,
+            "{} mem over-alloc",
+            node.name
+        );
         assert!(node.alloc.gpus <= node.gpus, "{} gpu over-alloc", node.name);
     }
 
@@ -161,7 +179,10 @@ fn check_invariants(cluster: &ClusterState, now: u64) {
         }
     }
     for node in cluster.nodes.values() {
-        let want = expected.get(node.name.as_str()).copied().unwrap_or_default();
+        let want = expected
+            .get(node.name.as_str())
+            .copied()
+            .unwrap_or_default();
         assert_eq!(
             node.alloc, want,
             "node {} allocation does not match running jobs at t={now}",
@@ -198,7 +219,12 @@ fn check_invariants(cluster: &ClusterState, now: u64) {
     }
 
     // 4. Group limits hold for running work.
-    let physics_cap = cluster.assoc.account("physics").unwrap().grp_cpu_limit.unwrap();
+    let physics_cap = cluster
+        .assoc
+        .account("physics")
+        .unwrap()
+        .grp_cpu_limit
+        .unwrap();
     assert!(
         running.get("physics").copied().unwrap_or(0) <= physics_cap,
         "GrpTRES cpu cap violated at t={now}"
@@ -212,9 +238,18 @@ fn check_invariants(cluster: &ClusterState, now: u64) {
             let before = nodes.len();
             nodes.sort();
             nodes.dedup();
-            assert_eq!(nodes.len(), before, "job {} node list has duplicates", job.id);
+            assert_eq!(
+                nodes.len(),
+                before,
+                "job {} node list has duplicates",
+                job.id
+            );
             for n in &nodes {
-                assert!(cluster.node(n).is_some(), "job {} on unknown node {n}", job.id);
+                assert!(
+                    cluster.node(n).is_some(),
+                    "job {} on unknown node {n}",
+                    job.id
+                );
             }
             let start = job.start_time.expect("running job has start");
             assert!(start >= job.submit_time);

@@ -6,6 +6,7 @@
 //! timing, allocation, and usage (`TotalCPU`, `MaxRSS`) for efficiency.
 
 use crate::opt_time;
+use hpcdash_obs::Span;
 use hpcdash_simtime::{format_duration, parse_duration, parse_timestamp, TimeLimit, Timestamp};
 use hpcdash_slurm::dbd::{JobFilter, Slurmdbd};
 use hpcdash_slurm::job::{Job, JobId, JobState};
@@ -13,9 +14,27 @@ use hpcdash_slurm::tres::{format_mem_mb, parse_mem_mb, Tres};
 
 /// The field list the dashboard requests (sacct `--format=`).
 pub const SACCT_FIELDS: [&str; 21] = [
-    "JobID", "JobName", "User", "Account", "Partition", "QOS", "State", "Submit", "Start", "End",
-    "Elapsed", "Timelimit", "AllocCPUS", "AllocNodes", "AllocTRES", "ReqMem", "MaxRSS", "TotalCPU",
-    "ExitCode", "NodeList", "Comment",
+    "JobID",
+    "JobName",
+    "User",
+    "Account",
+    "Partition",
+    "QOS",
+    "State",
+    "Submit",
+    "Start",
+    "End",
+    "Elapsed",
+    "Timelimit",
+    "AllocCPUS",
+    "AllocNodes",
+    "AllocTRES",
+    "ReqMem",
+    "MaxRSS",
+    "TotalCPU",
+    "ExitCode",
+    "NodeList",
+    "Comment",
 ];
 
 /// Flags for an accounting query.
@@ -96,6 +115,7 @@ impl SacctRecord {
 /// Run an accounting query and return `--parsable2` text. `now` is used to
 /// report elapsed-so-far for still-running jobs, as real sacct does.
 pub fn sacct(dbd: &Slurmdbd, args: &SacctArgs, now: Timestamp) -> String {
+    let _span = Span::enter("slurmcli").attr("cmd", "sacct");
     let jobs = dbd.query_jobs(&args.to_filter());
     render(&jobs, now)
 }
@@ -123,7 +143,9 @@ pub fn render(jobs: &[Job], now: Timestamp) -> String {
             job.req.nodes.to_string(),
             job.req.total_tres().to_slurm(),
             format_mem_mb(job.req.mem_mb_per_node),
-            job.stats.map(|s| format_mem_mb(s.max_rss_mb)).unwrap_or_default(),
+            job.stats
+                .map(|s| format_mem_mb(s.max_rss_mb))
+                .unwrap_or_default(),
             job.stats
                 .map(|s| format_duration(s.total_cpu_secs))
                 .unwrap_or_default(),
@@ -157,7 +179,10 @@ pub fn parse_sacct(text: &str) -> Result<Vec<SacctRecord>, String> {
         }
         let f: Vec<&str> = line.split('|').collect();
         if f.len() != SACCT_FIELDS.len() {
-            return Err(format!("malformed sacct line ({} fields): {line:?}", f.len()));
+            return Err(format!(
+                "malformed sacct line ({} fields): {line:?}",
+                f.len()
+            ));
         }
         out.push(SacctRecord {
             job_id: f[0].to_string(),
@@ -170,15 +195,26 @@ pub fn parse_sacct(text: &str) -> Result<Vec<SacctRecord>, String> {
             submit: parse_timestamp(f[7]),
             start: parse_timestamp(f[8]),
             end: parse_timestamp(f[9]),
-            elapsed_secs: parse_duration(f[10]).ok_or_else(|| format!("bad elapsed {:?}", f[10]))?,
+            elapsed_secs: parse_duration(f[10])
+                .ok_or_else(|| format!("bad elapsed {:?}", f[10]))?,
             timelimit: hpcdash_simtime::parse_timelimit(f[11])
                 .ok_or_else(|| format!("bad timelimit {:?}", f[11]))?,
             alloc_cpus: f[12].parse().map_err(|_| format!("bad cpus {:?}", f[12]))?,
-            alloc_nodes: f[13].parse().map_err(|_| format!("bad nodes {:?}", f[13]))?,
+            alloc_nodes: f[13]
+                .parse()
+                .map_err(|_| format!("bad nodes {:?}", f[13]))?,
             alloc_tres: Tres::parse(f[14]).ok_or_else(|| format!("bad tres {:?}", f[14]))?,
             req_mem_mb: parse_mem_mb(f[15]).ok_or_else(|| format!("bad mem {:?}", f[15]))?,
-            max_rss_mb: if f[16].is_empty() { None } else { parse_mem_mb(f[16]) },
-            total_cpu_secs: if f[17].is_empty() { None } else { parse_duration(f[17]) },
+            max_rss_mb: if f[16].is_empty() {
+                None
+            } else {
+                parse_mem_mb(f[16])
+            },
+            total_cpu_secs: if f[17].is_empty() {
+                None
+            } else {
+                parse_duration(f[17])
+            },
             exit_code: f[18].to_string(),
             nodelist: f[19].to_string(),
             comment: f[20].to_string(),
@@ -302,7 +338,7 @@ mod tests {
         #[test]
         fn roundtrip_random_mix(n in 0usize..12, seed in 0u32..1000) {
             let jobs: Vec<Job> = (0..n)
-                .map(|i| if (seed + i as u32) % 3 == 0 { pending_job(i as u32 + 1) } else { finished_job(i as u32 + 1) })
+                .map(|i| if (seed + i as u32).is_multiple_of(3) { pending_job(i as u32 + 1) } else { finished_job(i as u32 + 1) })
                 .collect();
             let recs = parse_sacct(&render(&jobs, Timestamp(9_000))).unwrap();
             prop_assert_eq!(recs.len(), jobs.len());

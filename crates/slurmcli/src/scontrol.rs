@@ -5,6 +5,7 @@
 //! from these, and the Accounts widget (§3.4) from the assoc dump.
 
 use crate::opt_time;
+use hpcdash_obs::Span;
 use hpcdash_simtime::{format_duration, parse_timestamp, Timestamp};
 use hpcdash_slurm::ctld::Slurmctld;
 use hpcdash_slurm::job::{Job, JobId, JobState, PendingReason};
@@ -69,13 +70,18 @@ pub struct ScontrolNode {
 
 /// `scontrol show job <id>`: live job details from slurmctld.
 pub fn show_job(ctld: &Slurmctld, id: JobId) -> Option<String> {
+    let _span = Span::enter("slurmcli").attr("cmd", "scontrol_show_job");
     ctld.query_job(id).map(|j| render_job(&j, ctld.clock_now()))
 }
 
 /// Render one job record.
 pub fn render_job(job: &Job, now: Timestamp) -> String {
     let mut s = String::new();
-    s.push_str(&format!("JobId={} JobName={}\n", job.id, token(&job.req.name)));
+    s.push_str(&format!(
+        "JobId={} JobName={}\n",
+        job.id,
+        token(&job.req.name)
+    ));
     s.push_str(&format!(
         "   UserId={}(1000) Account={} QOS={} Priority={}\n",
         job.req.user, job.req.account, job.req.qos, job.priority
@@ -157,8 +163,12 @@ pub fn parse_show_job(text: &str) -> Result<ScontrolJob, String> {
         account: req("Account")?,
         qos: req("QOS")?,
         state: JobState::parse(&req("JobState")?).ok_or("bad JobState")?,
-        reason: get("Reason").filter(|r| r != "None").and_then(|r| PendingReason::parse(&r)),
-        priority: req("Priority")?.parse().map_err(|_| "bad Priority".to_string())?,
+        reason: get("Reason")
+            .filter(|r| r != "None")
+            .and_then(|r| PendingReason::parse(&r)),
+        priority: req("Priority")?
+            .parse()
+            .map_err(|_| "bad Priority".to_string())?,
         partition: req("Partition")?,
         submit_time: get("SubmitTime").and_then(|v| parse_timestamp(&v)),
         eligible_time: get("EligibleTime").and_then(|v| parse_timestamp(&v)),
@@ -166,8 +176,12 @@ pub fn parse_show_job(text: &str) -> Result<ScontrolJob, String> {
         end_time: get("EndTime").and_then(|v| parse_timestamp(&v)),
         time_limit: req("TimeLimit")?,
         run_time_secs: hpcdash_simtime::parse_duration(&req("RunTime")?).ok_or("bad RunTime")?,
-        num_nodes: req("NumNodes")?.parse().map_err(|_| "bad NumNodes".to_string())?,
-        num_cpus: req("NumCPUs")?.parse().map_err(|_| "bad NumCPUs".to_string())?,
+        num_nodes: req("NumNodes")?
+            .parse()
+            .map_err(|_| "bad NumNodes".to_string())?,
+        num_cpus: req("NumCPUs")?
+            .parse()
+            .map_err(|_| "bad NumCPUs".to_string())?,
         mem_per_node: req("MinMemoryNode")?,
         gres: get("Gres"),
         nodelist: get("NodeList").filter(|v| v != "(null)"),
@@ -187,6 +201,7 @@ pub fn parse_show_job(text: &str) -> Result<ScontrolJob, String> {
 
 /// `scontrol show node [<name>]`: one or all nodes.
 pub fn show_node(ctld: &Slurmctld, name: Option<&str>) -> String {
+    let _span = Span::enter("slurmcli").attr("cmd", "scontrol_show_node");
     match name {
         Some(n) => ctld
             .query_node(n)
@@ -194,11 +209,7 @@ pub fn show_node(ctld: &Slurmctld, name: Option<&str>) -> String {
             .unwrap_or_default(),
         None => {
             let nodes = ctld.query_nodes();
-            nodes
-                .iter()
-                .map(render_node)
-                .collect::<Vec<_>>()
-                .join("\n")
+            nodes.iter().map(render_node).collect::<Vec<_>>().join("\n")
         }
     }
 }
@@ -261,11 +272,21 @@ pub fn parse_show_node(text: &str) -> Result<Vec<ScontrolNode>, String> {
         out.push(ScontrolNode {
             name: req("NodeName")?,
             state: NodeState::parse(&req("State")?).ok_or("bad State")?,
-            cpu_alloc: req("CPUAlloc")?.parse().map_err(|_| "bad CPUAlloc".to_string())?,
-            cpu_total: req("CPUTot")?.parse().map_err(|_| "bad CPUTot".to_string())?,
-            cpu_load: req("CPULoad")?.parse().map_err(|_| "bad CPULoad".to_string())?,
-            real_memory_mb: req("RealMemory")?.parse().map_err(|_| "bad RealMemory".to_string())?,
-            alloc_memory_mb: req("AllocMem")?.parse().map_err(|_| "bad AllocMem".to_string())?,
+            cpu_alloc: req("CPUAlloc")?
+                .parse()
+                .map_err(|_| "bad CPUAlloc".to_string())?,
+            cpu_total: req("CPUTot")?
+                .parse()
+                .map_err(|_| "bad CPUTot".to_string())?,
+            cpu_load: req("CPULoad")?
+                .parse()
+                .map_err(|_| "bad CPULoad".to_string())?,
+            real_memory_mb: req("RealMemory")?
+                .parse()
+                .map_err(|_| "bad RealMemory".to_string())?,
+            alloc_memory_mb: req("AllocMem")?
+                .parse()
+                .map_err(|_| "bad AllocMem".to_string())?,
             gres: get("Gres"),
             gres_used: get("GresUsed"),
             features: get("AvailableFeatures")
@@ -289,6 +310,7 @@ pub fn parse_show_node(text: &str) -> Result<Vec<ScontrolNode>, String> {
 /// `scontrol show assoc_mgr`-flavoured account dump (simplified format, one
 /// line per account).
 pub fn show_assoc(ctld: &Slurmctld, user: Option<&str>) -> String {
+    let _span = Span::enter("slurmcli").attr("cmd", "scontrol_show_assoc");
     let records = ctld.query_assoc(user);
     let mut s = String::from(
         "Account GrpTRESCpu GrpTRESMinsGpu CPUsInUse CPUsQueued GPUSecondsUsed Users\n",
@@ -431,7 +453,11 @@ mod tests {
         req.comment = Some("ood:rstudio:sess9:/home/alice/ondemand".to_string());
         Job {
             id: JobId(55),
-            array: Some(ArrayMeta { array_job_id: JobId(55), task_id: 3, max_concurrent: None }),
+            array: Some(ArrayMeta {
+                array_job_id: JobId(55),
+                task_id: 3,
+                max_concurrent: None,
+            }),
             req,
             state: JobState::Running,
             reason: None,
@@ -534,7 +560,10 @@ mod tests {
     fn parse_errors_are_reported() {
         assert!(parse_show_job("JobId=abc").is_err());
         assert!(parse_show_job("nothing useful").is_err());
-        assert!(parse_show_node("NodeName=a001\n   State=IDLE\n").is_err(), "missing fields");
+        assert!(
+            parse_show_node("NodeName=a001\n   State=IDLE\n").is_err(),
+            "missing fields"
+        );
         assert!(parse_show_assoc("hdr\nfoo bar\n").is_err());
     }
 

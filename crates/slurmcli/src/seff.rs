@@ -4,6 +4,7 @@
 //! table; `seff` is the terminal tool users previously had to run (and the
 //! reference the dashboard's values can be validated against).
 
+use hpcdash_obs::Span;
 use hpcdash_simtime::format_duration;
 use hpcdash_slurm::dbd::Slurmdbd;
 use hpcdash_slurm::job::{Job, JobId};
@@ -11,6 +12,7 @@ use hpcdash_slurm::job::{Job, JobId};
 /// Render the `seff` report for a job, or `None` if accounting has no
 /// record of it.
 pub fn seff(dbd: &Slurmdbd, id: JobId) -> Option<String> {
+    let _span = Span::enter("slurmcli").attr("cmd", "seff");
     dbd.job(id).map(|job| render(&job))
 }
 
@@ -18,7 +20,10 @@ pub fn seff(dbd: &Slurmdbd, id: JobId) -> Option<String> {
 pub fn render(job: &Job) -> String {
     let mut out = String::new();
     out.push_str(&format!("Job ID: {}\n", job.display_id()));
-    out.push_str(&format!("User/Group: {}/{}\n", job.req.user, job.req.account));
+    out.push_str(&format!(
+        "User/Group: {}/{}\n",
+        job.req.user, job.req.account
+    ));
     out.push_str(&format!(
         "State: {}{}\n",
         job.state.to_slurm(),
@@ -112,8 +117,10 @@ mod tests {
         assert!(text.contains("State: COMPLETED (exit code 0)"));
         assert!(text.contains("Cores: 8"));
         assert!(text.contains("CPU Utilized: 04:00:00"));
-        assert!(text.contains("CPU Efficiency: 50.00% of 8:00:00 core-walltime")
-            || text.contains("CPU Efficiency: 50.00% of 08:00:00 core-walltime"));
+        assert!(
+            text.contains("CPU Efficiency: 50.00% of 8:00:00 core-walltime")
+                || text.contains("CPU Efficiency: 50.00% of 08:00:00 core-walltime")
+        );
         assert!(text.contains("Job Wall-clock time: 01:00:00"));
         assert!(text.contains("Memory Utilized: 8.00 GB"));
         assert!(text.contains("Memory Efficiency: 50.00% of 16.00 GB"));

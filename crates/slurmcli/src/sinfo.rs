@@ -8,6 +8,7 @@
 //!   usage (`alloc/idle/other/total`), which drives the System Status
 //!   widget's utilization bars (paper §3.3).
 
+use hpcdash_obs::Span;
 use hpcdash_slurm::ctld::Slurmctld;
 use hpcdash_slurm::node::{Node, NodeState};
 use hpcdash_slurm::partition::Partition;
@@ -63,6 +64,7 @@ impl PartitionUsage {
 
 /// Default `sinfo` output: nodes grouped by (partition, state).
 pub fn sinfo_summary(ctld: &Slurmctld) -> String {
+    let _span = Span::enter("slurmcli").attr("cmd", "sinfo_summary");
     let nodes = ctld.query_nodes();
     let partitions = ctld.query_partitions();
     render_summary(&partitions, &nodes)
@@ -120,7 +122,9 @@ pub fn parse_sinfo_summary(text: &str) -> Result<Vec<SinfoRow>, String> {
             partition: parts[0].trim_end_matches('*').to_string(),
             avail: parts[1].to_string(),
             timelimit: parts[2].to_string(),
-            node_count: parts[3].parse().map_err(|_| format!("bad count {:?}", parts[3]))?,
+            node_count: parts[3]
+                .parse()
+                .map_err(|_| format!("bad count {:?}", parts[3]))?,
             state: NodeState::parse(&parts[4].to_uppercase())
                 .ok_or_else(|| format!("bad state {:?}", parts[4]))?,
             nodelist: parts[5].split(',').map(str::to_string).collect(),
@@ -132,6 +136,7 @@ pub fn parse_sinfo_summary(text: &str) -> Result<Vec<SinfoRow>, String> {
 /// `sinfo -o "%P %a %C %G"`-style usage output:
 /// `PARTITION AVAIL CPUS(A/I/O/T) GPUS(A/T) NODES(I/T)`.
 pub fn sinfo_usage(ctld: &Slurmctld) -> String {
+    let _span = Span::enter("slurmcli").attr("cmd", "sinfo_usage");
     let nodes = ctld.query_nodes();
     let partitions = ctld.query_partitions();
     render_usage(&partitions, &nodes)
@@ -216,15 +221,24 @@ pub fn parse_sinfo_usage(text: &str) -> Result<Vec<PartitionUsage>, String> {
         }
         let cpus: Vec<u32> = parts[2]
             .split('/')
-            .map(|x| x.parse::<u32>().map_err(|_| format!("bad cpus {:?}", parts[2])))
+            .map(|x| {
+                x.parse::<u32>()
+                    .map_err(|_| format!("bad cpus {:?}", parts[2]))
+            })
             .collect::<Result<_, _>>()?;
         let gpus: Vec<u32> = parts[3]
             .split('/')
-            .map(|x| x.parse::<u32>().map_err(|_| format!("bad gpus {:?}", parts[3])))
+            .map(|x| {
+                x.parse::<u32>()
+                    .map_err(|_| format!("bad gpus {:?}", parts[3]))
+            })
             .collect::<Result<_, _>>()?;
         let nodes: Vec<u32> = parts[4]
             .split('/')
-            .map(|x| x.parse::<u32>().map_err(|_| format!("bad nodes {:?}", parts[4])))
+            .map(|x| {
+                x.parse::<u32>()
+                    .map_err(|_| format!("bad nodes {:?}", parts[4]))
+            })
             .collect::<Result<_, _>>()?;
         if cpus.len() != 4 || gpus.len() != 2 || nodes.len() != 2 {
             return Err(format!("malformed sinfo usage tuple: {line:?}"));
@@ -248,12 +262,14 @@ pub fn parse_sinfo_usage(text: &str) -> Result<Vec<PartitionUsage>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpcdash_simtime::Timestamp;
     use hpcdash_slurm::node::AdminFlag;
     use hpcdash_slurm::tres::Tres;
-    use hpcdash_simtime::Timestamp;
 
     fn fixture() -> (Vec<Partition>, Vec<Node>) {
-        let mut nodes: Vec<Node> = (1..=3).map(|i| Node::new(format!("a{i:03}"), 16, 64_000, 0)).collect();
+        let mut nodes: Vec<Node> = (1..=3)
+            .map(|i| Node::new(format!("a{i:03}"), 16, 64_000, 0))
+            .collect();
         let mut gpu_node = Node::new("g001", 64, 512_000, 4);
         gpu_node.allocate(Tres::new(32, 100_000, 2, 1), Timestamp(0));
         nodes[0].allocate(Tres::new(16, 1_000, 0, 1), Timestamp(0));

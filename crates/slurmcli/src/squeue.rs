@@ -3,6 +3,7 @@
 //! Output matches the default format:
 //! `JOBID PARTITION NAME USER ST TIME NODES NODELIST(REASON)`.
 
+use hpcdash_obs::Span;
 use hpcdash_simtime::{format_duration, Timestamp};
 use hpcdash_slurm::ctld::{JobQuery, Slurmctld};
 use hpcdash_slurm::job::{Job, JobState, PendingReason};
@@ -79,6 +80,7 @@ impl SqueueLongRow {
 
 /// Run `squeue` with the long format.
 pub fn squeue_long(ctld: &Slurmctld, args: &SqueueArgs) -> String {
+    let _span = Span::enter("slurmcli").attr("cmd", "squeue_long");
     let query = JobQuery {
         user: args.user.clone(),
         accounts: args.accounts.clone(),
@@ -114,7 +116,9 @@ pub fn render_long(jobs: &[Job], now: Timestamp) -> String {
             job.req.user,
             job.state.to_slurm(),
             job.submit_time.to_slurm(),
-            job.start_time.map(|t| t.to_slurm()).unwrap_or_else(|| "N/A".to_string()),
+            job.start_time
+                .map(|t| t.to_slurm())
+                .unwrap_or_else(|| "N/A".to_string()),
             time,
             job.req.time_limit.to_slurm(),
             job.req.nodes,
@@ -139,7 +143,10 @@ pub fn parse_squeue_long(text: &str) -> Result<Vec<SqueueLongRow>, String> {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 11 {
-            return Err(format!("malformed squeue long line ({} cols): {line:?}", parts.len()));
+            return Err(format!(
+                "malformed squeue long line ({} cols): {line:?}",
+                parts.len()
+            ));
         }
         let state = JobState::parse(parts[4]).ok_or_else(|| format!("bad state {:?}", parts[4]))?;
         let time_secs = if parts[7] == "0:00" {
@@ -158,7 +165,9 @@ pub fn parse_squeue_long(text: &str) -> Result<Vec<SqueueLongRow>, String> {
             start_time: hpcdash_simtime::parse_timestamp(parts[6]),
             time_secs,
             time_limit: parts[8].to_string(),
-            nodes: parts[9].parse().map_err(|_| format!("bad node count {:?}", parts[9]))?,
+            nodes: parts[9]
+                .parse()
+                .map_err(|_| format!("bad node count {:?}", parts[9]))?,
             nodelist_or_reason: parts[10].to_string(),
         });
     }
@@ -167,6 +176,7 @@ pub fn parse_squeue_long(text: &str) -> Result<Vec<SqueueLongRow>, String> {
 
 /// Run `squeue` against the daemon and return its textual output.
 pub fn squeue(ctld: &Slurmctld, args: &SqueueArgs) -> String {
+    let _span = Span::enter("slurmcli").attr("cmd", "squeue");
     let query = JobQuery {
         user: args.user.clone(),
         accounts: args.accounts.clone(),
@@ -191,10 +201,7 @@ pub fn render(jobs: &[Job], now: Timestamp) -> String {
             format_duration(job.elapsed_secs(now))
         };
         let nodelist = if job.nodes.is_empty() {
-            format!(
-                "({})",
-                job.reason.map(|r| r.to_slurm()).unwrap_or("None")
-            )
+            format!("({})", job.reason.map(|r| r.to_slurm()).unwrap_or("None"))
         } else {
             job.nodes.join(",")
         };
@@ -228,7 +235,10 @@ pub fn parse_squeue(text: &str) -> Result<Vec<SqueueRow>, String> {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 8 {
-            return Err(format!("malformed squeue line ({} cols): {line:?}", parts.len()));
+            return Err(format!(
+                "malformed squeue line ({} cols): {line:?}",
+                parts.len()
+            ));
         }
         let state = JobState::parse(parts[4]).ok_or_else(|| format!("bad state {:?}", parts[4]))?;
         let time_secs = if parts[5] == "0:00" {
@@ -244,7 +254,9 @@ pub fn parse_squeue(text: &str) -> Result<Vec<SqueueRow>, String> {
             user: parts[3].to_string(),
             state,
             time_secs,
-            nodes: parts[6].parse().map_err(|_| format!("bad node count {:?}", parts[6]))?,
+            nodes: parts[6]
+                .parse()
+                .map_err(|_| format!("bad node count {:?}", parts[6]))?,
             nodelist_or_reason: parts[7].to_string(),
         });
     }
@@ -322,7 +334,11 @@ mod tests {
     #[test]
     fn header_mismatch_rejected() {
         assert!(parse_squeue("BOGUS HEADER\n").is_err());
-        assert_eq!(parse_squeue("").unwrap(), Vec::<SqueueRow>::new(), "empty output is an empty queue");
+        assert_eq!(
+            parse_squeue("").unwrap(),
+            Vec::<SqueueRow>::new(),
+            "empty output is an empty queue"
+        );
     }
 
     #[test]

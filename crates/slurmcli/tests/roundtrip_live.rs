@@ -13,12 +13,15 @@ fn live_cluster_roundtrips_all_commands() {
     let now = scenario.clock.now();
 
     // squeue (both formats).
-    let jobs = scenario.ctld.query_jobs(&hpcdash_slurm::ctld::JobQuery::all());
+    let jobs = scenario
+        .ctld
+        .query_jobs(&hpcdash_slurm::ctld::JobQuery::all());
     let rows = hpcdash_slurmcli::parse_squeue(&hpcdash_slurmcli::squeue::render(&jobs, now))
         .expect("squeue parses");
     assert_eq!(rows.len(), jobs.len());
-    let long = hpcdash_slurmcli::parse_squeue_long(&hpcdash_slurmcli::squeue::render_long(&jobs, now))
-        .expect("squeue -l parses");
+    let long =
+        hpcdash_slurmcli::parse_squeue_long(&hpcdash_slurmcli::squeue::render_long(&jobs, now))
+            .expect("squeue -l parses");
     for (row, job) in long.iter().zip(&jobs) {
         assert_eq!(row.job_id, job.display_id());
         assert_eq!(row.state, job.state);
@@ -67,11 +70,19 @@ fn live_cluster_roundtrips_all_commands() {
     let partitions = scenario.ctld.query_partitions();
     let usage = hpcdash_slurmcli::compute_usage(&partitions, &nodes);
     for u in &usage {
-        assert_eq!(u.cpus_alloc + u.cpus_idle + u.cpus_other, u.cpus_total, "{}", u.partition);
+        assert_eq!(
+            u.cpus_alloc + u.cpus_idle + u.cpus_other,
+            u.cpus_total,
+            "{}",
+            u.partition
+        );
     }
 
     // seff agrees with raw stats for a completed job.
-    if let Some(done) = recs.iter().find(|r| r.stats.is_some() && r.elapsed_secs(now) > 0) {
+    if let Some(done) = recs
+        .iter()
+        .find(|r| r.stats.is_some() && r.elapsed_secs(now) > 0)
+    {
         let report = hpcdash_slurmcli::seff::render(done);
         assert!(report.contains(&format!("Job ID: {}", done.display_id())));
         assert!(report.contains("CPU Efficiency:"));

@@ -273,7 +273,10 @@ mod tests {
         let db = db();
         let mine = db.dirs_for_user("alice", &["physics".to_string()]).unwrap();
         let paths: Vec<&str> = mine.iter().map(|d| d.path.as_str()).collect();
-        assert_eq!(paths, vec!["/home/alice", "/scratch/alice", "/depot/physics"]);
+        assert_eq!(
+            paths,
+            vec!["/home/alice", "/scratch/alice", "/depot/physics"]
+        );
         // bob without groups sees only his own.
         let bobs = db.dirs_for_user("bob", &[]).unwrap();
         assert_eq!(bobs.len(), 2);
@@ -331,7 +334,10 @@ mod tests {
         let db = db();
         db.set_available(false);
         assert!(!db.is_available());
-        assert_eq!(db.dirs_for_user("alice", &[]), Err(StorageError::Unavailable));
+        assert_eq!(
+            db.dirs_for_user("alice", &[]),
+            Err(StorageError::Unavailable)
+        );
         assert_eq!(db.all_dirs(), Err(StorageError::Unavailable));
         db.set_available(true);
         assert!(db.dirs_for_user("alice", &[]).is_ok());

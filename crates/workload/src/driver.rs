@@ -91,7 +91,10 @@ mod tests {
         let mut driver = s.driver(3_600);
         driver.advance(3 * 3_600);
         assert_eq!(driver.remaining_trace(), 0);
-        assert!(s.dbd.archived_count() > 0, "finished jobs reached accounting");
+        assert!(
+            s.dbd.archived_count() > 0,
+            "finished jobs reached accounting"
+        );
         // Accounting has a mix of terminal states thanks to the outcome mix.
         let recs = s.dbd.query_jobs(&hpcdash_slurm::dbd::JobFilter::default());
         let states: std::collections::HashSet<_> = recs.iter().map(|j| j.state).collect();

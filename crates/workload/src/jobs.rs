@@ -62,7 +62,12 @@ pub struct TraceGenerator {
 }
 
 impl TraceGenerator {
-    pub fn new(seed: u64, mix: JobMix, cpu_partition: &str, gpu_partition: Option<&str>) -> TraceGenerator {
+    pub fn new(
+        seed: u64,
+        mix: JobMix,
+        cpu_partition: &str,
+        gpu_partition: Option<&str>,
+    ) -> TraceGenerator {
         TraceGenerator::with_caps(seed, mix, cpu_partition, gpu_partition, NodeCaps::default())
     }
 
@@ -165,16 +170,24 @@ impl TraceGenerator {
             .filter(|c| *c <= self.caps.cpus_per_node)
             .collect();
         let cpus = sizes[self.rng.gen_range(0..sizes.len())];
-        let nodes = if cpus >= self.caps.cpus_per_node && self.rng.gen_bool(0.3) { 2 } else { 1 };
+        let nodes = if cpus >= self.caps.cpus_per_node && self.rng.gen_bool(0.3) {
+            2
+        } else {
+            1
+        };
         let runtime = self.rng.gen_range(300..4 * 3_600);
         // Users over-request time by 1.5-6x (the efficiency-warning story).
         let limit = (runtime as f64 * self.rng.gen_range(1.5..6.0)) as u64;
         let mut req = JobRequest::simple(user, account, &self.cpu_partition, cpus);
-        req.name = format!("{}-{}", pick_batch_name(&mut self.rng), self.rng.gen_range(1..999));
+        req.name = format!(
+            "{}-{}",
+            pick_batch_name(&mut self.rng),
+            self.rng.gen_range(1..999)
+        );
         req.nodes = nodes;
         let max_per_cpu = (self.caps.mem_mb_per_node / cpus as u64).max(1_025);
-        req.mem_mb_per_node =
-            (cpus as u64 * self.rng.gen_range(1_024..max_per_cpu.min(4_096))).min(self.caps.mem_mb_per_node);
+        req.mem_mb_per_node = (cpus as u64 * self.rng.gen_range(1_024..max_per_cpu.min(4_096)))
+            .min(self.caps.mem_mb_per_node);
         req.time_limit = TimeLimit::Limited(limit.max(600));
         req.usage = UsageProfile {
             cpu_util: self.rng.gen_range(0.55..0.99),
@@ -267,7 +280,13 @@ impl TraceGenerator {
 
 fn pick_batch_name(rng: &mut StdRng) -> &'static str {
     const NAMES: [&str; 8] = [
-        "cfd-solve", "md-run", "genome-align", "climate-ens", "fft-bench", "qchem", "lattice",
+        "cfd-solve",
+        "md-run",
+        "genome-align",
+        "climate-ens",
+        "fft-bench",
+        "qchem",
+        "lattice",
         "render",
     ];
     NAMES[rng.gen_range(0..NAMES.len())]
@@ -328,7 +347,15 @@ mod tests {
         let p = pop();
         let mut g = TraceGenerator::new(2, JobMix::default(), "cpu", Some("gpu"));
         let trace = g.generate(&p, Timestamp(0), 24 * 3_600);
-        let interactive = trace.iter().filter(|(_, r)| r.comment.as_deref().map(|c| c.starts_with("ood:")).unwrap_or(false)).count();
+        let interactive = trace
+            .iter()
+            .filter(|(_, r)| {
+                r.comment
+                    .as_deref()
+                    .map(|c| c.starts_with("ood:"))
+                    .unwrap_or(false)
+            })
+            .count();
         let gpu = trace.iter().filter(|(_, r)| r.gpus_per_node > 0).count();
         let arrays = trace.iter().filter(|(_, r)| r.array.is_some()).count();
         let batch = trace.len() - interactive - gpu - arrays;
@@ -341,7 +368,11 @@ mod tests {
             .unwrap();
         assert!(sample.usage.cpu_util < 0.2);
         // GPU jobs land on the GPU partition.
-        let gpu_sample = trace.iter().find(|(_, r)| r.gpus_per_node > 0).map(|(_, r)| r).unwrap();
+        let gpu_sample = trace
+            .iter()
+            .find(|(_, r)| r.gpus_per_node > 0)
+            .map(|(_, r)| r)
+            .unwrap();
         assert_eq!(gpu_sample.partition, "gpu");
     }
 
@@ -376,7 +407,12 @@ mod tests {
         let mut g = TraceGenerator::new(9, JobMix::default(), "cpu", None);
         let trace = g.generate(&p, Timestamp(0), 3_600);
         for (_, r) in &trace {
-            assert!(p.assoc.is_member(&r.account, &r.user), "{} not in {}", r.user, r.account);
+            assert!(
+                p.assoc.is_member(&r.account, &r.user),
+                "{} not in {}",
+                r.user,
+                r.account
+            );
             assert!(r.cpus_per_node > 0 && r.nodes > 0);
             assert!(r.usage.planned_runtime_secs > 0);
         }

@@ -5,8 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const DOMAINS: [&str; 12] = [
-    "physics", "bio", "chem", "cs", "stat", "mech", "civil", "aero", "mse", "ece", "earth",
-    "astro",
+    "physics", "bio", "chem", "cs", "stat", "mech", "civil", "aero", "mse", "ece", "earth", "astro",
 ];
 
 const FIRST: [&str; 16] = [
@@ -56,7 +55,15 @@ impl Population {
         let mut memberships = Vec::new();
 
         for i in 0..cfg.accounts {
-            let name = format!("{}{}", DOMAINS[i % DOMAINS.len()], if i >= DOMAINS.len() { (i / DOMAINS.len()).to_string() } else { String::new() });
+            let name = format!(
+                "{}{}",
+                DOMAINS[i % DOMAINS.len()],
+                if i >= DOMAINS.len() {
+                    (i / DOMAINS.len()).to_string()
+                } else {
+                    String::new()
+                }
+            );
             let mut account = Account::new(name.clone());
             account.description = format!("{name} research allocation");
             if rng.gen_bool(cfg.capped_fraction) {
@@ -147,7 +154,11 @@ mod tests {
             users_per_account_max: 8,
             ..PopulationConfig::default()
         });
-        let multi = p.users.iter().filter(|u| p.accounts_of(u).len() > 1).count();
+        let multi = p
+            .users
+            .iter()
+            .filter(|u| p.accounts_of(u).len() > 1)
+            .count();
         assert!(multi >= 1, "expected cross-account users");
     }
 

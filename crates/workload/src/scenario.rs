@@ -135,7 +135,9 @@ impl Scenario {
             gpu_names.push(n.name.clone());
             nodes.push(n);
         }
-        let mut partitions = vec![Partition::new("cpu").with_nodes(cpu_names).default_partition()];
+        let mut partitions = vec![Partition::new("cpu")
+            .with_nodes(cpu_names)
+            .default_partition()];
         if !gpu_names.is_empty() {
             partitions.push(Partition::new("gpu").with_nodes(gpu_names));
         }
@@ -274,7 +276,10 @@ mod tests {
         assert!(!s.population.users.is_empty());
         assert_eq!(s.news.recent(10).unwrap().len(), 5);
         let u = &s.population.users[0];
-        let dirs = s.storage.dirs_for_user(u, &s.population.accounts_of(u)).unwrap();
+        let dirs = s
+            .storage
+            .dirs_for_user(u, &s.population.accounts_of(u))
+            .unwrap();
         assert!(dirs.len() >= 3, "home + scratch + at least one depot");
     }
 

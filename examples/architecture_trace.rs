@@ -1,6 +1,7 @@
 //! Figure 1, regenerated as a trace: follow one widget refresh through every
 //! layer of the system — browser cache, HTTP, API route, server cache, the
-//! Slurm command layer, and the daemons — printing what happened at each hop.
+//! Slurm command layer, and the daemons — printing the *recorded* spans for
+//! each hop from the observability layer's span sink.
 //!
 //! ```sh
 //! cargo run --example architecture_trace
@@ -8,6 +9,7 @@
 
 use hpcdash::SimSite;
 use hpcdash_client::FetchOutcome;
+use hpcdash_obs::trace::sink;
 use hpcdash_workload::ScenarioConfig;
 
 fn main() {
@@ -25,57 +27,75 @@ fn main() {
     let ttl = site.ctx().cfg.cache.recent_jobs;
 
     // --- Request 1: everything cold --------------------------------------
-    let squeue_before = site.scenario.ctld.stats().count_of("squeue");
     let r1 = browser.fetch_api(path).expect("fetch");
-    let squeue_after = site.scenario.ctld.stats().count_of("squeue");
-    println!("request 1 (cold):");
-    println!("  1. client cache: MISS");
-    println!("  2. HTTP GET {path} -> 200 in {:?}", r1.network);
-    println!("  3. server cache: MISS (loads, stores for {ttl}s)");
     println!(
-        "  4. backend ran `squeue -u {user}` against slurmctld: {} RPC(s)",
-        squeue_after - squeue_before
+        "request 1 (cold): outcome {:?}, perceived {:?}",
+        r1.outcome, r1.perceived
     );
-    println!("  -> outcome {:?}, perceived {:?}\n", r1.outcome, r1.perceived);
+    println!("  every layer is a hop in the recorded trace (server cache stores for {ttl}s):");
+    let trace = r1.trace.expect("network request carries a trace");
+    print!("{}", sink().format_trace(trace));
+    let hops: Vec<&str> = sink()
+        .records_for(trace)
+        .iter()
+        .map(|s| s.name)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect();
     assert_eq!(r1.outcome, FetchOutcome::Network);
+    assert!(
+        hops.contains(&"cache-miss") && hops.contains(&"ctld"),
+        "{hops:?}"
+    );
 
     // --- Request 2: client cache absorbs it -------------------------------
-    let squeue_before = site.scenario.ctld.stats().count_of("squeue");
     let r2 = browser.fetch_api(path).expect("fetch");
-    println!("request 2 (same browser, within client freshness):");
-    println!("  1. client cache: HIT (age < {}s)", site.ctx().cfg.cache.client_fresh);
-    println!("  2-4. no HTTP, no server cache, no slurmctld");
+    println!("\nrequest 2 (same browser, within client freshness):");
     println!(
-        "  -> outcome {:?}, perceived {:?}, squeue RPCs +{}\n",
-        r2.outcome,
-        r2.perceived,
-        site.scenario.ctld.stats().count_of("squeue") - squeue_before
+        "  client cache HIT (age < {}s) -> no HTTP request, no trace",
+        site.ctx().cfg.cache.client_fresh
     );
+    println!("  outcome {:?}, perceived {:?}", r2.outcome, r2.perceived);
     assert_eq!(r2.outcome, FetchOutcome::CacheFresh);
+    assert!(r2.trace.is_none(), "no network request, no trace");
 
     // --- Request 3: second user, server cache absorbs the backend ---------
     let user2 = site.scenario.population.users[1].clone();
     let browser2 = site.browser(&server.base_url(), &user2);
-    let squeue_before = site.scenario.ctld.stats().count_of("squeue");
     let r3 = browser2.fetch_api("/api/system_status").expect("fetch");
-    let first_hit = site.scenario.ctld.stats().count_of("sinfo");
     let r3b = browser.fetch_api("/api/system_status").expect("fetch");
-    let second_hit = site.scenario.ctld.stats().count_of("sinfo");
-    println!("request 3 (system-wide data, two different browsers):");
-    println!("  browser {user2}: network fetch in {:?} (sinfo RPCs now {first_hit})", r3.network);
-    println!(
-        "  browser {user}: network fetch in {:?}, but server cache HIT (sinfo RPCs still {second_hit})",
-        r3b.network
+    println!("\nrequest 3 (system-wide data, two different browsers):");
+    println!("  browser {user2} (cold server cache -> trace reaches slurmctld):");
+    print!("{}", sink().format_trace(r3.trace.expect("trace")));
+    println!("  browser {user} (server cache HIT -> trace stops at the cache):");
+    print!("{}", sink().format_trace(r3b.trace.expect("trace")));
+    let r3b_hops: Vec<&str> = sink()
+        .records_for(r3b.trace.unwrap())
+        .iter()
+        .map(|s| s.name)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect();
+    assert!(
+        !r3b_hops.contains(&"ctld"),
+        "server cache absorbed the daemon hop: {r3b_hops:?}"
     );
-    let _ = squeue_before;
-    println!("\ndaemon load so far: {:?}", site.scenario.ctld.stats().snapshot().per_kind.keys().collect::<Vec<_>>());
 
     // --- Request 4: stale client entry revalidates ------------------------
-    site.scenario.clock.advance(site.ctx().cfg.cache.client_fresh + 1);
+    site.scenario
+        .clock
+        .advance(site.ctx().cfg.cache.client_fresh + 1);
     let r4 = browser.fetch_api(path).expect("fetch");
-    println!("\nrequest 4 (after {}s of simulated time):", site.ctx().cfg.cache.client_fresh + 1);
-    println!("  1. client cache: STALE -> rendered instantly ({:?})", r4.perceived);
-    println!("  2. background revalidation over HTTP took {:?}", r4.network);
+    println!(
+        "\nrequest 4 (after {}s of simulated time):",
+        site.ctx().cfg.cache.client_fresh + 1
+    );
+    println!(
+        "  client cache STALE -> rendered instantly ({:?}),",
+        r4.perceived
+    );
+    println!("  then revalidated in the background ({:?}):", r4.network);
+    print!("{}", sink().format_trace(r4.trace.expect("trace")));
     assert_eq!(r4.outcome, FetchOutcome::StaleRevalidated);
 
     println!("\ntrace complete: one data flow, four cache behaviours.");

@@ -38,7 +38,10 @@ fn main() {
     let user = site.scenario.population.users[0].clone();
     let get = |path: &str| -> serde_json::Value {
         client
-            .get(&format!("{}{path}", server.base_url()), &[("X-Remote-User", &user)])
+            .get(
+                &format!("{}{path}", server.base_url()),
+                &[("X-Remote-User", &user)],
+            )
             .expect("request")
             .json()
             .expect("json")
@@ -121,19 +124,34 @@ fn main() {
         println!(
             "{:<9} {:<22} {:<9} {:<11} {:>9} {:>9} {:>8} {:>8} {:>8}",
             j["id"].as_str().unwrap_or("?"),
-            j["name"].as_str().unwrap_or("?").chars().take(22).collect::<String>(),
+            j["name"]
+                .as_str()
+                .unwrap_or("?")
+                .chars()
+                .take(22)
+                .collect::<String>(),
             j["qos"].as_str().unwrap_or("?"),
             j["state"].as_str().unwrap_or("?"),
-            j["wait_secs"].as_u64().map(|w| w.to_string()).unwrap_or_else(|| "—".into()),
+            j["wait_secs"]
+                .as_u64()
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "—".into()),
             j["elapsed_secs"],
             pct(&j["efficiency"]["time"]),
             pct(&j["efficiency"]["cpu"]),
             pct(&j["efficiency"]["memory"]),
         );
         if let Some(msg) = j["reason"]["message"].as_str() {
-            println!("          └─ {} — {msg}", j["reason"]["code"].as_str().unwrap_or(""));
+            println!(
+                "          └─ {} — {msg}",
+                j["reason"]["code"].as_str().unwrap_or("")
+            );
         }
-        for w in j["efficiency"]["warnings"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+        for w in j["efficiency"]["warnings"]
+            .as_array()
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+        {
             println!("          ⚠ {}", w.as_str().unwrap_or(""));
         }
     }
@@ -143,15 +161,26 @@ fn main() {
     let chart = &myjobs["charts"]["state_distribution"];
     let labels = chart["labels"].as_array().unwrap();
     for ds in chart["datasets"].as_array().unwrap() {
-        let total: u64 = ds["data"].as_array().unwrap().iter().filter_map(|v| v.as_u64()).sum();
-        println!("  {:<12} {:>4} jobs across {} users", ds["label"].as_str().unwrap(), total, labels.len());
+        let total: u64 = ds["data"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|v| v.as_u64())
+            .sum();
+        println!(
+            "  {:<12} {:>4} jobs across {} users",
+            ds["label"].as_str().unwrap(),
+            total,
+            labels.len()
+        );
     }
 
     // Render the actual HTML pages to prove the full pipeline works.
-    let homepage_payloads: Vec<(&str, Result<serde_json::Value, String>)> = pages::homepage::WIDGETS
-        .iter()
-        .map(|(w, path)| (*w, Ok(get(path))))
-        .collect();
+    let homepage_payloads: Vec<(&str, Result<serde_json::Value, String>)> =
+        pages::homepage::WIDGETS
+            .iter()
+            .map(|(w, path)| (*w, Ok(get(path))))
+            .collect();
     let html = pages::homepage::render_full("Anvil", &user, &homepage_payloads);
     let myjobs_html = pages::myjobs::render_full("Anvil", &user, &myjobs);
     println!(

@@ -19,10 +19,26 @@ struct Variant {
 
 fn main() {
     let variants = [
-        Variant { name: "no caches", server_cache: false, client_cache: false },
-        Variant { name: "server only", server_cache: true, client_cache: false },
-        Variant { name: "client only", server_cache: false, client_cache: true },
-        Variant { name: "dual (paper)", server_cache: true, client_cache: true },
+        Variant {
+            name: "no caches",
+            server_cache: false,
+            client_cache: false,
+        },
+        Variant {
+            name: "server only",
+            server_cache: true,
+            client_cache: false,
+        },
+        Variant {
+            name: "client only",
+            server_cache: false,
+            client_cache: true,
+        },
+        Variant {
+            name: "dual (paper)",
+            server_cache: true,
+            client_cache: true,
+        },
     ];
 
     println!("16 users x 12 refreshes of 3 widget routes, realistic daemon costs\n");
@@ -62,14 +78,24 @@ fn main() {
         let p = report.perceived.expect("samples");
         println!(
             "{:<13} {:>10.1?} {:>10.1?} {:>10.1?} | {:>12} {:>14} {:>12.1?}",
-            v.name,
-            p.p50,
-            p.p90,
-            p.p99,
-            report.network_fetches,
-            snap.total_rpcs,
-            snap.total_busy,
+            v.name, p.p50, p.p90, p.p99, report.network_fetches, snap.total_rpcs, snap.total_busy,
         );
+        // Per-route perceived latency, from the load generator's own
+        // metrics registry.
+        for path in &cfg.paths {
+            let s = report
+                .registry
+                .histogram("hpcdash_client_perceived_latency", &[("route", path)])
+                .summary();
+            println!(
+                "{:<13} {:>10.1?} {:>10} {:>10.1?}   ({} samples)",
+                format!("  {path}"),
+                std::time::Duration::from_nanos(s.p50_ns),
+                "p95:",
+                std::time::Duration::from_nanos(s.p95_ns),
+                s.count,
+            );
+        }
         assert_eq!(report.errors, 0);
     }
 

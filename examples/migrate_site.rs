@@ -40,7 +40,10 @@ fn show_site(label: &str, site: &SimSite) {
         );
     }
     let shell = client
-        .get(&format!("{}/", server.base_url()), &[("X-Remote-User", &user)])
+        .get(
+            &format!("{}/", server.base_url()),
+            &[("X-Remote-User", &user)],
+        )
         .expect("request");
     println!(
         "homepage shell mentions the site name: {}\n",

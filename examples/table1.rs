@@ -22,7 +22,11 @@ fn main() {
 
     // Seed a job with an array so Job Overview's tabs have targets.
     let mut req = JobRequest::simple(&user, &account, "cpu", 1);
-    req.array = Some(ArraySpec { first: 0, last: 1, max_concurrent: None });
+    req.array = Some(ArraySpec {
+        first: 0,
+        last: 1,
+        max_concurrent: None,
+    });
     let job_id = site.scenario.ctld.submit(req).expect("submit")[0];
     site.scenario.ctld.tick();
     let node = site.scenario.ctld.query_nodes()[0].name.clone();
@@ -45,14 +49,20 @@ fn main() {
     ];
     for path in &calls {
         let resp = client
-            .get(&format!("{}{path}", server.base_url()), &[("X-Remote-User", &user)])
+            .get(
+                &format!("{}{path}", server.base_url()),
+                &[("X-Remote-User", &user)],
+            )
             .expect("request");
         assert_eq!(resp.status, 200, "{path}");
     }
 
     let observed = site.ctx().observed_sources();
     println!("Table 1: Dashboard features with associated data sources (measured)\n");
-    println!("{:<26} | {:<55} | match", "Feature", "Data Source(s), observed");
+    println!(
+        "{:<26} | {:<55} | match",
+        "Feature", "Data Source(s), observed"
+    );
     println!("{}", "-".repeat(95));
     for row in api::feature_table() {
         let got = observed.get(row.feature).cloned().unwrap_or_default();

@@ -32,7 +32,11 @@ fn print_survey(label: &str, statuses: &[(&str, u16)]) {
         println!(
             "  {:<14} {}",
             w,
-            if *s == 200 { "OK".to_string() } else { format!("DEGRADED (HTTP {s})") }
+            if *s == 200 {
+                "OK".to_string()
+            } else {
+                format!("DEGRADED (HTTP {s})")
+            }
         );
     }
     println!();

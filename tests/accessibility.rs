@@ -23,8 +23,14 @@ fn progress_bars_expose_aria_values() {
 fn page_shells_declare_language_viewport_and_labelled_spinners() {
     let html = pages::homepage::render_shell("Anvil", "alice");
     assert!(html.contains("<html lang=\"en\">"));
-    assert!(html.contains("name=\"viewport\""), "responsive meta tag present");
-    assert!(html.contains("role=\"status\""), "loading spinners are announced");
+    assert!(
+        html.contains("name=\"viewport\""),
+        "responsive meta tag present"
+    );
+    assert!(
+        html.contains("role=\"status\""),
+        "loading spinners are announced"
+    );
     assert!(html.contains("aria-label=\"Loading"));
 }
 

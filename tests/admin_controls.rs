@@ -8,7 +8,11 @@ use hpcdash_workload::ScenarioConfig;
 
 fn post(client: &HttpClient, base: &str, path: &str, user: &str) -> hpcdash_http::ClientResponse {
     client
-        .post(&format!("{base}{path}"), &[("X-Remote-User", user)], Vec::new())
+        .post(
+            &format!("{base}{path}"),
+            &[("X-Remote-User", user)],
+            Vec::new(),
+        )
         .unwrap()
 }
 
@@ -33,7 +37,12 @@ fn admin_hold_release_cancel_over_http() {
     assert_eq!(resp.status, 403);
 
     // Admin holds it; the scheduler then skips it.
-    let resp = post(&client, &base, &format!("/api/admin/jobs/{id}/hold"), "root");
+    let resp = post(
+        &client,
+        &base,
+        &format!("/api/admin/jobs/{id}/hold"),
+        "root",
+    );
     assert_eq!(resp.status, 200, "{}", resp.body_string());
     site.scenario.clock.advance(1);
     site.scenario.ctld.tick();
@@ -42,20 +51,36 @@ fn admin_hold_release_cancel_over_http() {
     assert_eq!(job.reason, Some(PendingReason::JobHeldAdmin));
 
     // Release: it runs on the next pass.
-    let resp = post(&client, &base, &format!("/api/admin/jobs/{id}/release"), "root");
+    let resp = post(
+        &client,
+        &base,
+        &format!("/api/admin/jobs/{id}/release"),
+        "root",
+    );
     assert_eq!(resp.status, 200);
     site.scenario.clock.advance(1);
     site.scenario.ctld.tick();
-    assert_eq!(site.scenario.ctld.query_job(id).unwrap().state, JobState::Running);
+    assert_eq!(
+        site.scenario.ctld.query_job(id).unwrap().state,
+        JobState::Running
+    );
 
     // Cancel: gone from live state, archived as cancelled, event emitted.
-    let resp = post(&client, &base, &format!("/api/admin/jobs/{id}/cancel"), "root");
+    let resp = post(
+        &client,
+        &base,
+        &format!("/api/admin/jobs/{id}/cancel"),
+        "root",
+    );
     assert_eq!(resp.status, 200);
     assert!(site.scenario.ctld.query_job(id).is_none());
     // The next tick streams the cancellation into accounting.
     site.scenario.clock.advance(1);
     site.scenario.ctld.tick();
-    assert_eq!(site.scenario.dbd.job(id).unwrap().state, JobState::Cancelled);
+    assert_eq!(
+        site.scenario.dbd.job(id).unwrap().state,
+        JobState::Cancelled
+    );
     let (events, _) = site.scenario.ctld.events().since(0);
     assert!(events
         .iter()
@@ -65,7 +90,10 @@ fn admin_hold_release_cancel_over_http() {
     let resp = post(&client, &base, "/api/admin/jobs/424242/cancel", "root");
     assert_eq!(resp.status, 404);
     let resp = client
-        .get(&format!("{base}/api/admin/jobs/{id}/hold"), &[("X-Remote-User", "root")])
+        .get(
+            &format!("{base}/api/admin/jobs/{id}/hold"),
+            &[("X-Remote-User", "root")],
+        )
         .unwrap();
     assert_eq!(resp.status, 404);
 }

@@ -27,7 +27,11 @@ fn server_cache_expires_on_simulated_time() {
     assert_eq!(site.scenario.ctld.stats().count_of("squeue"), 1);
     site.scenario.clock.advance(31);
     get("/api/recent_jobs");
-    assert_eq!(site.scenario.ctld.stats().count_of("squeue"), 2, "TTL expiry refetches");
+    assert_eq!(
+        site.scenario.ctld.stats().count_of("squeue"),
+        2,
+        "TTL expiry refetches"
+    );
 }
 
 #[test]
@@ -45,7 +49,7 @@ fn per_source_ttls_differ() {
 
     get("/api/recent_jobs"); // 30s TTL -> squeue
     get("/api/system_status"); // 60s TTL -> sinfo
-    // +45s: recent_jobs expired, system_status still fresh.
+                               // +45s: recent_jobs expired, system_status still fresh.
     site.scenario.clock.advance(45);
     get("/api/recent_jobs");
     get("/api/system_status");
@@ -68,7 +72,10 @@ fn query_storm_is_coalesced_to_one_backend_call() {
         handles.push(std::thread::spawn(move || {
             let client = HttpClient::new();
             client
-                .get(&format!("{base}/api/clusterstatus"), &[("X-Remote-User", &user)])
+                .get(
+                    &format!("{base}/api/clusterstatus"),
+                    &[("X-Remote-User", &user)],
+                )
                 .unwrap()
                 .status
         }));
@@ -94,7 +101,10 @@ fn disabling_the_server_cache_forwards_every_request() {
     let user = site.scenario.population.users[0].clone();
     for _ in 0..5 {
         client
-            .get(&format!("{base}/api/system_status"), &[("X-Remote-User", &user)])
+            .get(
+                &format!("{base}/api/system_status"),
+                &[("X-Remote-User", &user)],
+            )
             .unwrap();
     }
     assert_eq!(site.scenario.ctld.stats().count_of("sinfo"), 5);
@@ -120,7 +130,11 @@ fn client_cache_makes_warm_homepage_loads_nearly_free() {
             "{name} should come from the client cache"
         );
     }
-    assert_eq!(browser.network_fetch_count(), after_cold, "no new API traffic");
+    assert_eq!(
+        browser.network_fetch_count(),
+        after_cold,
+        "no new API traffic"
+    );
     // Perceived widget latency on the warm load is cache-read time.
     let warm_p: Vec<_> = warm
         .widgets
@@ -149,8 +163,13 @@ fn stale_client_entries_render_then_revalidate() {
 
     browser.fetch_api("/api/system_status").unwrap();
     // Cross the client freshness horizon (30s default).
-    site.scenario.clock.advance(site.ctx().cfg.cache.client_fresh + 1);
+    site.scenario
+        .clock
+        .advance(site.ctx().cfg.cache.client_fresh + 1);
     let r = browser.fetch_api("/api/system_status").unwrap();
     assert_eq!(r.outcome, FetchOutcome::StaleRevalidated);
-    assert!(r.perceived < r.network, "stale render did not wait for the network");
+    assert!(
+        r.perceived < r.network,
+        "stale render did not wait for the network"
+    );
 }

@@ -23,7 +23,11 @@ fn exported_cache_keeps_a_new_session_instant() {
 
     // The snapshot holds every widget's payload with timestamps.
     let db = IndexedDb::import_json(&saved).unwrap();
-    assert!(db.record_count() >= 5, "all widgets cached: {}", db.record_count());
+    assert!(
+        db.record_count() >= 5,
+        "all widgets cached: {}",
+        db.record_count()
+    );
     let rec = db.get("api", "/api/system_status").expect("cached widget");
     assert!(rec.value["partitions"].is_array());
 

@@ -60,7 +60,12 @@ fn storage_outage_only_kills_the_storage_widget() {
     let (status, body) = fetch(&client, &base, "/api/storage", &user);
     assert_eq!(status, 503);
     assert!(body["error"].as_str().unwrap().contains("storage"));
-    for path in ["/api/announcements", "/api/recent_jobs", "/api/system_status", "/api/accounts"] {
+    for path in [
+        "/api/announcements",
+        "/api/recent_jobs",
+        "/api/system_status",
+        "/api/accounts",
+    ] {
         let (status, _) = fetch(&client, &base, path, &user);
         assert_eq!(status, 200, "{path} should be unaffected");
     }
@@ -91,7 +96,11 @@ fn homepage_renders_error_cards_for_broken_widgets() {
         })
         .collect();
     let html = homepage::render_full("Anvil", &user, &payloads);
-    assert_eq!(html.matches("widget-error").count(), 1, "exactly one error card");
+    assert_eq!(
+        html.matches("widget-error").count(),
+        1,
+        "exactly one error card"
+    );
     assert!(html.contains("data-widget=\"system_status\""));
     assert!(html.contains("data-widget=\"recent_jobs\""));
 }

@@ -32,7 +32,10 @@ fn cpu_only_site_works_end_to_end() {
     let user = site.scenario.population.users[0].clone();
     let get = |path: &str| {
         client
-            .get(&format!("{}{path}", server.base_url()), &[("X-Remote-User", &user)])
+            .get(
+                &format!("{}{path}", server.base_url()),
+                &[("X-Remote-User", &user)],
+            )
             .unwrap()
     };
 
@@ -49,7 +52,10 @@ fn cpu_only_site_works_end_to_end() {
     // My Jobs works and the GPU-efficiency extension stays off.
     let myjobs = get("/api/myjobs?range=all").json().unwrap();
     for job in myjobs["jobs"].as_array().unwrap() {
-        assert!(job["efficiency"]["gpu"].is_null(), "gpu efficiency flag is off");
+        assert!(
+            job["efficiency"]["gpu"].is_null(),
+            "gpu efficiency flag is off"
+        );
     }
 
     // The site-specific cache policy applies: announcements TTL was raised
@@ -60,7 +66,10 @@ fn cpu_only_site_works_end_to_end() {
     get("/api/announcements");
     let after = site.ctx().cache.stats();
     assert_eq!(after.inserts - before.inserts, 1, "one cold load");
-    assert!(after.hits > before.hits, "second read served from cache after 30 min");
+    assert!(
+        after.hits > before.hits,
+        "second read served from cache after 30 min"
+    );
 }
 
 #[test]
@@ -69,5 +78,8 @@ fn same_routes_exist_on_both_sites() {
     let b = second_site();
     let routes_a: Vec<_> = a.dashboard.router().route_patterns();
     let routes_b: Vec<_> = b.dashboard.router().route_patterns();
-    assert_eq!(routes_a, routes_b, "migration changes config, never the route table");
+    assert_eq!(
+        routes_a, routes_b,
+        "migration changes config, never the route table"
+    );
 }

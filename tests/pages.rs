@@ -33,7 +33,10 @@ impl Live {
     fn json(&self, path: &str) -> serde_json::Value {
         let resp = self
             .client
-            .get(&format!("{}{path}", self.base), &[("X-Remote-User", &self.user)])
+            .get(
+                &format!("{}{path}", self.base),
+                &[("X-Remote-User", &self.user)],
+            )
             .unwrap();
         assert_eq!(resp.status, 200, "{path}: {}", resp.body_string());
         resp.json().unwrap()
@@ -76,7 +79,10 @@ fn f3_myjobs_page_with_efficiency_and_charts() {
     let html = pages::myjobs::render_full("Anvil", &l.user, &payload);
     assert!(html.contains("job-table"));
     assert!(html.contains("data-chart="));
-    assert!(html.contains("Toggle") || html.contains("eff"), "efficiency columns present");
+    assert!(
+        html.contains("Toggle") || html.contains("eff"),
+        "efficiency columns present"
+    );
     assert!(
         html.contains("alert-warning"),
         "wasteful job should produce an efficiency warning"

@@ -110,11 +110,13 @@ fn logs_are_owner_only_even_within_the_group() {
     assert_eq!(s.get(&format!("/api/jobs/{id}"), &teammate).status, 200);
     // ...but not the logs (filesystem ownership).
     assert_eq!(
-        s.get(&format!("/api/jobs/{id}/logs?stream=out"), &teammate).status,
+        s.get(&format!("/api/jobs/{id}/logs?stream=out"), &teammate)
+            .status,
         403
     );
     assert_eq!(
-        s.get(&format!("/api/jobs/{id}/logs?stream=out"), &alice).status,
+        s.get(&format!("/api/jobs/{id}/logs?stream=out"), &alice)
+            .status,
         200
     );
 }
@@ -143,7 +145,10 @@ fn storage_and_accounts_are_scoped() {
     }
 
     // Export endpoint enforces membership.
-    let resp = s.get(&format!("/api/accounts/{}/export", alices_accounts[0]), &bob);
+    let resp = s.get(
+        &format!("/api/accounts/{}/export", alices_accounts[0]),
+        &bob,
+    );
     assert_eq!(resp.status, 403);
 }
 
@@ -179,7 +184,10 @@ fn admin_act_as_views_other_users_data() {
         .client
         .get(
             &format!("{}/api/storage", s.base),
-            &[("X-Remote-User", bob.as_str()), ("X-Act-As", alice.as_str())],
+            &[
+                ("X-Remote-User", bob.as_str()),
+                ("X-Act-As", alice.as_str()),
+            ],
         )
         .unwrap();
     let disks = resp.json().unwrap();

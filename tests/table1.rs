@@ -21,7 +21,11 @@ fn observed_sources_match_declared_table() {
 
     // Give Job Overview a target with logs and an array sibling.
     let mut req = JobRequest::simple(&user, &account, "cpu", 1);
-    req.array = Some(ArraySpec { first: 0, last: 1, max_concurrent: None });
+    req.array = Some(ArraySpec {
+        first: 0,
+        last: 1,
+        max_concurrent: None,
+    });
     let ids = site.scenario.ctld.submit(req).unwrap();
     site.scenario.ctld.tick();
     let job_id = ids[0];
@@ -58,9 +62,12 @@ fn observed_sources_match_declared_table() {
     assert_eq!(declared.len(), 10, "the paper's Table 1 has ten rows");
 
     for row in &declared {
-        let got = observed
-            .get(row.feature)
-            .unwrap_or_else(|| panic!("feature {:?} was never observed; observed: {observed:?}", row.feature));
+        let got = observed.get(row.feature).unwrap_or_else(|| {
+            panic!(
+                "feature {:?} was never observed; observed: {observed:?}",
+                row.feature
+            )
+        });
         let want: BTreeSet<String> = row.sources.iter().map(|s| s.to_string()).collect();
         assert_eq!(
             got, &want,
@@ -95,7 +102,9 @@ fn printed_table_matches_paper_shape() {
     ];
     for (feature, source) in expect_fragments {
         assert!(
-            rendered.iter().any(|row| row.starts_with(feature) && row.contains(source)),
+            rendered
+                .iter()
+                .any(|row| row.starts_with(feature) && row.contains(source)),
             "missing Table 1 row {feature} -> {source}: {rendered:#?}"
         );
     }

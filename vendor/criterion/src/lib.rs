@@ -1,0 +1,341 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Measures wall-clock time per iteration and prints min/median/mean per
+//! benchmark. No statistical regression analysis or HTML reports — the
+//! workspace uses criterion as a structured timing harness, and the numbers
+//! here serve the same purpose. `--test` (as passed by
+//! `cargo bench -- --test`) switches to smoke mode: every routine runs once
+//! and nothing is measured, exactly like real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// `"group/function"` benchmark labels.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Accepted by `bench_function`-style entry points: plain strings or
+/// [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+struct Sample {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    iters_total: u64,
+}
+
+/// Handed to benchmark closures; `iter`/`iter_batched` run the routine.
+pub struct Bencher {
+    test_mode: bool,
+    sample_count: usize,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Estimate per-iteration cost, then size batches to ~2 ms each.
+        let t0 = Instant::now();
+        black_box(routine());
+        let estimate = t0.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (Duration::from_millis(2).as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.sample_count);
+        let mut iters_total = 0u64;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed() / iters_per_sample as u32);
+            iters_total += iters_per_sample;
+        }
+        self.sample = Some(summarize(per_iter, iters_total));
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.sample_count);
+        let mut iters_total = 0u64;
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_iter.push(start.elapsed());
+            iters_total += 1;
+        }
+        self.sample = Some(summarize(per_iter, iters_total));
+    }
+}
+
+fn summarize(mut per_iter: Vec<Duration>, iters_total: u64) -> Sample {
+    per_iter.sort();
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+    Sample {
+        min,
+        median,
+        mean,
+        iters_total,
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: false,
+            sample_count: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Honors `--test` (smoke mode) from `cargo bench -- --test`.
+    pub fn configure_from_args(mut self) -> Criterion {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("\n== bench group: {name} ==");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        run_one(self, &label, None, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {
+        if self.test_mode {
+            println!("(criterion --test smoke mode: each routine ran once, no measurements)");
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_count = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(self.criterion, &label, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(self.criterion, &label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        test_mode: criterion.test_mode,
+        sample_count: criterion.sample_count,
+        sample: None,
+    };
+    f(&mut bencher);
+    if criterion.test_mode {
+        println!("test {label} ... ok");
+        return;
+    }
+    match bencher.sample {
+        Some(s) => {
+            print!(
+                "{label:<48} min {:>10.2?}  median {:>10.2?}  mean {:>10.2?}  ({} iters)",
+                s.min, s.median, s.mean, s.iters_total
+            );
+            if let Some(tp) = throughput {
+                let per_sec = |units: u64| {
+                    let secs = s.median.as_secs_f64();
+                    if secs > 0.0 {
+                        units as f64 / secs
+                    } else {
+                        f64::INFINITY
+                    }
+                };
+                match tp {
+                    Throughput::Bytes(n) => {
+                        print!("  {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0))
+                    }
+                    Throughput::Elements(n) => print!("  {:.0} elem/s", per_sec(n)),
+                }
+            }
+            println!();
+        }
+        None => println!("{label:<48} (no measurement taken)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            sample_count: 10,
+        };
+        let mut runs = 0u32;
+        criterion.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measurement_produces_ordered_stats() {
+        let mut criterion = Criterion {
+            test_mode: false,
+            sample_count: 5,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100).sum::<u64>()))
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, n| {
+            b.iter_batched(|| *n, |x| x * 2, BatchSize::LargeInput)
+        });
+        group.finish();
+        criterion.final_summary();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("grid", 48).to_string(), "grid/48");
+        assert_eq!(BenchmarkId::from_parameter("myjobs").to_string(), "myjobs");
+    }
+}

@@ -1,0 +1,9 @@
+//! Vendored stand-in for the `crossbeam` crate.
+//!
+//! Provides the subset the workspace uses: `crossbeam::channel` with bounded
+//! MPMC channels (clonable senders *and* receivers), built on a
+//! `Mutex<VecDeque>` + two condvars. Throughput is far below the real
+//! crossbeam, but the semantics — blocking send on full, blocking recv on
+//! empty, disconnect on last-handle drop — match.
+
+pub mod channel;

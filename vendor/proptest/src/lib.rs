@@ -1,0 +1,465 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! Same testing model — generate many random inputs per property, fail the
+//! test on the first counterexample — without shrinking. Inputs are
+//! deterministic per fully-qualified test name, so a failure reproduces on
+//! every run. Supports the strategy subset used by this workspace: integer
+//! ranges, `Just`, tuples, `prop_map`, weighted `prop_oneof!`,
+//! `collection::vec`, `option::of`, `any::<T>()`, and the two string
+//! pattern families `\PC{m,n}` (printable chars) and `[^...]{m,n}`
+//! (negated char class).
+
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// The per-test random source (xoshiro256++, seeded from the test name).
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test path gives a stable, well-mixed seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer ranges.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// `any::<T>()` — the whole domain of `T`.
+pub fn any<T: rand::Standard>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+// Tuples of strategies.
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Weighted choice between boxed alternatives (`prop_oneof!` backing type).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof!: no alternatives");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof!: zero total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, strat) in &self.arms {
+            if pick < *weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of(strategy)`: `None` a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String patterns
+// ---------------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies, like in real proptest. Only the
+/// two pattern shapes used by the workspace's tests are understood:
+/// `\PC{m,n}` (printable, non-control chars — deliberately including the
+/// HTML/template metacharacters `< > & " ' %`) and `[^abc]{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (pool, min, max) = parse_pattern(self);
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| pool[rng.gen_range(0..pool.len())])
+            .collect()
+    }
+}
+
+/// Printable sample pool. Heavy on ASCII (including every char the escaping
+/// and template tests care about), with a sprinkle of multibyte chars so
+/// UTF-8 boundaries get exercised.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..=0x7e).map(|b| b as char).collect();
+    pool.extend(['é', 'ß', 'λ', '中', '✓', '🙂', '\u{00a0}']);
+    pool
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        (printable_pool(), rest)
+    } else if let Some(stripped) = pattern.strip_prefix("[^") {
+        let end = stripped
+            .find(']')
+            .unwrap_or_else(|| panic!("unterminated char class in pattern {pattern:?}"));
+        let excluded: Vec<char> = stripped[..end].chars().collect();
+        let pool: Vec<char> = printable_pool()
+            .into_iter()
+            .filter(|c| !excluded.contains(c))
+            .collect();
+        (pool, &stripped[end + 1..])
+    } else if let Some(stripped) = pattern.strip_prefix('[') {
+        let end = stripped
+            .find(']')
+            .unwrap_or_else(|| panic!("unterminated char class in pattern {pattern:?}"));
+        let pool: Vec<char> = stripped[..end].chars().collect();
+        (pool, &stripped[end + 1..])
+    } else {
+        panic!("unsupported proptest pattern {pattern:?} (vendored subset)");
+    };
+    assert!(
+        !class.is_empty(),
+        "pattern {pattern:?} excludes every sample char"
+    );
+    let (min, max) = parse_repeat(rest, pattern);
+    (class, min, max)
+}
+
+fn parse_repeat(rest: &str, pattern: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern {pattern:?}"));
+    let (lo, hi) = inner
+        .split_once(',')
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern {pattern:?}"));
+    (
+        lo.trim().parse().expect("pattern repeat min"),
+        hi.trim().parse().expect("pattern repeat max"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------------
+
+/// Number of random cases per property.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::for_test("x::y");
+        let mut b = crate::TestRng::for_test("x::y");
+        let s = "\\PC{0,50}";
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn negated_class_excludes_chars() {
+        let mut rng = crate::TestRng::for_test("neg");
+        for _ in 0..200 {
+            let s = "[^<%]{0,40}".generate(&mut rng);
+            assert!(!s.contains('<') && !s.contains('%'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_pool_hits_metacharacters() {
+        let mut rng = crate::TestRng::for_test("meta");
+        let mut joined = String::new();
+        for _ in 0..300 {
+            joined.push_str(&"\\PC{0,80}".generate(&mut rng));
+        }
+        for c in ['<', '>', '&', '"', '\'', '%'] {
+            assert!(joined.contains(c), "pool never produced {c:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn macro_wires_strategies(v in crate::collection::vec(1u32..10, 0..5), flag in 0u8..2) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|x| (1..10).contains(x)));
+            prop_assert!(flag < 2);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            2 => (0u32..10).prop_map(|n| n * 2),
+            1 => Just(99u32),
+        ]) {
+            prop_assert!(x == 99 || (x % 2 == 0 && x < 20));
+        }
+    }
+}

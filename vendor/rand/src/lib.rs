@@ -1,0 +1,291 @@
+//! Vendored stand-in for the `rand` crate (API subset used by the
+//! workspace: `StdRng`, `SeedableRng::seed_from_u64`, and the `Rng` methods
+//! `gen`, `gen_bool`, `gen_range`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast, decent
+//! statistical quality, and deterministic per seed, which is all the
+//! workload simulator needs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Seed from OS-ish entropy: wall clock + a counter. Good enough for
+    /// non-cryptographic simulation defaults.
+    fn from_entropy() -> Self {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        let c = COUNTER.fetch_add(0x632b_e593_26bf_e191, std::sync::atomic::Ordering::Relaxed);
+        Self::seed_from_u64(t ^ c)
+    }
+}
+
+/// Types that can be sampled uniformly over their whole domain (`rng.gen()`).
+pub trait Standard: Sized {
+    fn sample_standard(rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard(rng: &mut impl RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut impl RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut impl RngCore) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard(rng: &mut impl RngCore) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types that can be sampled uniformly from a sub-range (`gen_range`).
+pub trait SampleUniform: Sized {
+    fn sample_between(rng: &mut impl RngCore, start: Self, end: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(
+                rng: &mut impl RngCore,
+                start: $t,
+                end: $t,
+                inclusive: bool,
+            ) -> $t {
+                let extra = u128::from(inclusive);
+                if inclusive {
+                    assert!(start <= end, "gen_range: empty range");
+                } else {
+                    assert!(start < end, "gen_range: empty range");
+                }
+                let span = (end as i128 - start as i128) as u128 + extra;
+                let v = uniform_u128(rng, span);
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between(rng: &mut impl RngCore, start: f64, end: f64, _inclusive: bool) -> f64 {
+        assert!(start < end, "gen_range: empty range");
+        start + f64::sample_standard(rng) * (end - start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between(rng: &mut impl RngCore, start: f32, end: f32, _inclusive: bool) -> f32 {
+        assert!(start < end, "gen_range: empty range");
+        start + f32::sample_standard(rng) * (end - start)
+    }
+}
+
+/// Ranges usable with `gen_range`. The single blanket impl per range shape
+/// ties the output type to the range's element type, which is what lets
+/// integer-literal inference flow through `gen_range(0..4)` like real rand.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+/// Debiased bounded sampling (widening-multiply with rejection).
+fn uniform_u128(rng: &mut impl RngCore, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        // Lemire's debiased widening-multiply method.
+        let span = span as u64;
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return m >> 64;
+            }
+        }
+    }
+    let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    v % span
+}
+
+/// High-level sampling helpers (auto-implemented for every `RngCore`).
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        f64::sample_standard(self) < p
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A convenience thread-local generator (`rand::thread_rng()` analog).
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

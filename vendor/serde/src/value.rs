@@ -1,0 +1,651 @@
+//! The JSON value tree shared by the vendored `serde` and `serde_json`.
+//!
+//! Lives here (rather than in `serde_json`) so that derived
+//! `Serialize`/`Deserialize` impls can reference it without a circular
+//! dependency; `serde_json` re-exports everything.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object maps are BTreeMaps: keys iterate in sorted order, which gives the
+/// exposition endpoints (e.g. `/api/metrics?format=json`) a stable field
+/// order for free.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+/// A JSON number: unsigned, signed-negative, or float.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn from_u64(n: u64) -> Number {
+        Number::PosInt(n)
+    }
+
+    pub fn from_i64(n: i64) -> Number {
+        if n >= 0 {
+            Number::PosInt(n as u64)
+        } else {
+            Number::NegInt(n)
+        }
+    }
+
+    pub fn from_f64(f: f64) -> Number {
+        Number::Float(f)
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(_) => None,
+            Number::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(f)
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
+            {
+                Some(f as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(n) => Some(n as f64),
+            Number::NegInt(n) => Some(n as f64),
+            Number::Float(f) => Some(f),
+        }
+    }
+
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Number::PosInt(_))
+    }
+
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            // Cross-variant: compare through f64 so 3u64 == 3.0 like serde_json
+            // does NOT — but integer variants never mix because from_i64
+            // normalises non-negative to PosInt; only int-vs-float remains.
+            (a, b) => match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => a.as_f64() == b.as_f64(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; serde_json emits null.
+                    f.write_str("null")
+                }
+            }
+        }
+    }
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Value::Number(n) if n.is_u64())
+    }
+
+    pub fn is_i64(&self) -> bool {
+        matches!(self, Value::Number(n) if n.is_i64())
+    }
+
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Value::Number(n) if n.is_f64())
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object-key or array-index lookup; `None` on kind mismatch or absence.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+
+    pub fn get_mut<I: ValueIndex>(&mut self, index: I) -> Option<&mut Value> {
+        index.index_into_mut(self)
+    }
+
+    /// Replace with `Null` and return the previous value.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+
+    /// Human-readable kind label for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Types usable with [`Value::get`] and `value[...]` (string keys and usize
+/// indices, mirroring serde_json's `Index`).
+pub trait ValueIndex {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+    fn index_into_mut<'v>(&self, v: &'v mut Value) -> Option<&'v mut Value>;
+
+    /// `Some(key)` when this index addresses object members; enables
+    /// auto-vivification on mutable indexing like serde_json.
+    fn as_object_key(&self) -> Option<&str> {
+        None
+    }
+}
+
+impl ValueIndex for str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_object().and_then(|m| m.get(self))
+    }
+
+    fn index_into_mut<'v>(&self, v: &'v mut Value) -> Option<&'v mut Value> {
+        v.as_object_mut().and_then(|m| m.get_mut(self))
+    }
+
+    fn as_object_key(&self) -> Option<&str> {
+        Some(self)
+    }
+}
+
+impl ValueIndex for &str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        (**self).index_into(v)
+    }
+
+    fn index_into_mut<'v>(&self, v: &'v mut Value) -> Option<&'v mut Value> {
+        (**self).index_into_mut(v)
+    }
+
+    fn as_object_key(&self) -> Option<&str> {
+        Some(self)
+    }
+}
+
+impl ValueIndex for String {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        self.as_str().index_into(v)
+    }
+
+    fn index_into_mut<'v>(&self, v: &'v mut Value) -> Option<&'v mut Value> {
+        self.as_str().index_into_mut(v)
+    }
+
+    fn as_object_key(&self) -> Option<&str> {
+        Some(self.as_str())
+    }
+}
+
+impl ValueIndex for usize {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_array().and_then(|a| a.get(*self))
+    }
+
+    fn index_into_mut<'v>(&self, v: &'v mut Value) -> Option<&'v mut Value> {
+        v.as_array_mut().and_then(|a| a.get_mut(*self))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+impl<I: ValueIndex> std::ops::IndexMut<I> for Value {
+    fn index_mut(&mut self, index: I) -> &mut Value {
+        if let Some(key) = index.as_object_key() {
+            // serde_json auto-vivifies: indexing Null with a key makes it an
+            // object, and missing keys are inserted as Null.
+            if self.is_null() {
+                *self = Value::Object(Map::new());
+            }
+            if let Value::Object(m) = self {
+                return m.entry(key.to_string()).or_insert(Value::Null);
+            }
+        }
+        index
+            .index_into_mut(self)
+            .expect("cannot index mutably into this value")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// From conversions (what json! and direct construction rely on)
+// ---------------------------------------------------------------------------
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Number(Number::from_f64(f))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Value {
+        Value::Number(Number::from_f64(f64::from(f)))
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::Number(Number::from_u64(n as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::Number(Number::from_i64(n as i64))
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, usize);
+impl_from_int!(i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Value {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Value {
+        Value::Array(iter.into_iter().collect())
+    }
+}
+
+impl FromIterator<(String, Value)> for Value {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Value {
+        Value::Object(iter.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Literal comparisons (`value == "x"`, `value == 3`, ...)
+// ---------------------------------------------------------------------------
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for bool {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+macro_rules! impl_eq_uint {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_u64() == Some(*other as u64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == Some(*other as i64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_eq_uint!(u8, u16, u32, u64, usize);
+impl_eq_int!(i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for f64 {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display: compact JSON text (serialization logic shared with serde_json)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn escape_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact serialization into `out`.
+pub fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => escape_json_str(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_json_str(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty serialization (2-space indent) into `out`.
+pub fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                escape_json_str(k, out);
+                out.push_str(": ");
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_compact(self, &mut s);
+        f.write_str(&s)
+    }
+}

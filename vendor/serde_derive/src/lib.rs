@@ -1,0 +1,454 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde.
+//!
+//! Implemented with manual token-stream parsing (`syn`/`quote` are not
+//! available offline). Supports exactly the shapes this workspace uses:
+//! non-generic named-field structs, tuple/newtype structs, and enums whose
+//! variants are unit or newtype. Enum representation follows serde's default
+//! external tagging: unit variant -> `"Name"`, newtype variant ->
+//! `{"Name": inner}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported (type `{name}`)");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Extract field names from `{ a: T, pub b: U, ... }`, tracking angle-bracket
+/// depth so commas inside `BTreeMap<String, Value>` don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `:` then the type, up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count fields of `(pub T, pub U, ...)` by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1usize;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        saw_trailing_comma = true;
+                    } else {
+                        arity += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = saw_trailing_comma;
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip variant attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let mut kind = VariantKind::Unit;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut angle_depth = 0i32;
+                for t in &inner {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' => angle_depth -= 1,
+                            ',' if angle_depth == 0 => panic!(
+                                "serde_derive (vendored): multi-field tuple variant \
+                                 `{name}` is not supported"
+                            ),
+                            _ => {}
+                        }
+                    }
+                }
+                kind = VariantKind::Newtype;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                kind = VariantKind::Struct(parse_named_fields(g.stream()));
+                i += 1;
+            }
+            _ => {}
+        }
+        // Skip discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut m = ::serde::value::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), \
+                     ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::value::Value::Object(m)");
+            wrap_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            wrap_serialize(name, "::serde::Serialize::to_json_value(&self.0)")
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            wrap_serialize(
+                name,
+                &format!("::serde::value::Value::Array(vec![{}])", items.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => wrap_serialize(name, "::serde::value::Value::Null"),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::value::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(inner) => {{\n\
+                         let mut m = ::serde::value::Map::new();\n\
+                         m.insert(\"{vname}\".to_string(), \
+                         ::serde::Serialize::to_json_value(inner));\n\
+                         ::serde::value::Value::Object(m)\n}}\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut inner = String::from("let mut fm = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\".to_string(), \
+                                 ::serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n{inner}\
+                             let mut m = ::serde::value::Map::new();\n\
+                             m.insert(\"{vname}\".to_string(), \
+                             ::serde::value::Value::Object(fm));\n\
+                             ::serde::value::Value::Object(m)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            wrap_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn wrap_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\
+                 format!(\"expected object for struct {name}, got {{}}\", v.kind_name())))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "{f}: match obj.get(\"{f}\") {{\n\
+                     Some(fv) => ::serde::Deserialize::from_json_value(fv)?,\n\
+                     None => ::serde::Deserialize::absent_field(\"{f}\")?,\n}},\n"
+                ));
+            }
+            body.push_str("})");
+            wrap_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => wrap_deserialize(
+            name,
+            &format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::DeError::new(\
+                 \"expected array for tuple struct {name}\"))?;\n\
+                 if arr.len() != {arity} {{\n\
+                 return Err(::serde::DeError::new(\
+                 \"wrong tuple arity for {name}\"));\n}}\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::Deserialize::from_json_value(&arr[{i}])?,\n"
+                ));
+            }
+            body.push_str("))");
+            wrap_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => wrap_deserialize(name, &format!("Ok({name})")),
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let payload: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let mut body = String::new();
+            if !unit.is_empty() {
+                body.push_str("if let Some(s) = v.as_str() {\nreturn match s {\n");
+                for v in &unit {
+                    let vname = &v.name;
+                    body.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                }
+                body.push_str(&format!(
+                    "other => Err(::serde::DeError::new(\
+                     format!(\"unknown variant `{{other}}` for enum {name}\"))),\n}};\n}}\n"
+                ));
+            }
+            if !payload.is_empty() {
+                body.push_str(
+                    "if let Some(obj) = v.as_object() {\n\
+                     if obj.len() == 1 {\n\
+                     let (k, inner) = obj.iter().next().unwrap();\n\
+                     return match k.as_str() {\n",
+                );
+                for v in &payload {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Newtype => body.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_json_value(inner)?)),\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let mut ctor = format!(
+                                "\"{vname}\" => {{\n\
+                                 let fobj = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::new(\
+                                 \"expected object payload for variant {vname}\"))?;\n\
+                                 Ok({name}::{vname} {{\n"
+                            );
+                            for f in fields {
+                                ctor.push_str(&format!(
+                                    "{f}: match fobj.get(\"{f}\") {{\n\
+                                     Some(fv) => ::serde::Deserialize::from_json_value(fv)?,\n\
+                                     None => ::serde::Deserialize::absent_field(\"{f}\")?,\n}},\n"
+                                ));
+                            }
+                            ctor.push_str("})\n}\n");
+                            body.push_str(&ctor);
+                        }
+                        VariantKind::Unit => unreachable!(),
+                    }
+                }
+                body.push_str(&format!(
+                    "other => Err(::serde::DeError::new(\
+                     format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                     }};\n}}\n}}\n"
+                ));
+            }
+            body.push_str(&format!(
+                "Err(::serde::DeError::new(format!(\
+                 \"invalid representation for enum {name}: {{}}\", v.kind_name())))"
+            ));
+            wrap_deserialize(name, &body)
+        }
+    }
+}
+
+fn wrap_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

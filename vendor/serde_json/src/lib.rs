@@ -1,0 +1,471 @@
+//! Vendored stand-in for `serde_json`: JSON text parsing and serialization
+//! over the `Value` tree defined in the vendored `serde` crate.
+
+// The json! expansion references `::serde_json::...`; make that path
+// resolve inside this crate too (for the tests below).
+extern crate self as serde_json;
+
+pub use serde::value::{Map, Number, Value};
+pub use serde_json_macros::json;
+
+use serde::{Deserialize, Serialize};
+
+/// serde_json's error type; wraps the shared [`serde::DeError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    inner: serde::DeError,
+}
+
+impl Error {
+    fn msg(message: impl Into<String>) -> Error {
+        Error {
+            inner: serde::DeError::new(message),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(inner: serde::DeError) -> Error {
+        Error { inner }
+    }
+}
+
+/// Serialize any `Serialize` into a `Value` (used by the `json!` expansion).
+pub fn value_of<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_json_value()
+}
+
+/// serde_json::to_value analog (infallible here; kept fallible for parity).
+pub fn to_value<T: Serialize>(v: &T) -> Result<Value, Error> {
+    Ok(v.to_json_value())
+}
+
+pub fn from_value<T: Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_json_value(&v).map_err(Error::from)
+}
+
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::value::write_compact(&v.to_json_value(), &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::value::write_pretty(&v.to_json_value(), &mut out, 0);
+    Ok(out)
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(v: &T) -> Result<Vec<u8>, Error> {
+    to_string(v).map(String::into_bytes)
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::from_json_value(&value).map_err(Error::from)
+}
+
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent JSON parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::msg(format!(
+                "unexpected character `{}` at offset {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error::msg("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::msg(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::msg("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::msg("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling.
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(Error::msg("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    out.push(
+                                        char::from_u32(c)
+                                            .ok_or_else(|| Error::msg("invalid surrogate pair"))?,
+                                    );
+                                } else {
+                                    return Err(Error::msg("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(Error::msg("lone low surrogate"));
+                            } else {
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| Error::msg("invalid \\u escape"))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(Error::msg(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the byte stream.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(Error::msg("truncated UTF-8 sequence"));
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::msg("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::msg("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| Error::msg("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        let number = if is_float {
+            Number::from_f64(
+                text.parse::<f64>()
+                    .map_err(|_| Error::msg(format!("invalid number `{text}`")))?,
+            )
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            let _ = stripped;
+            Number::from_i64(
+                text.parse::<i64>()
+                    .map_err(|_| Error::msg(format!("invalid number `{text}`")))?,
+            )
+        } else {
+            Number::from_u64(
+                text.parse::<u64>()
+                    .map_err(|_| Error::msg(format!("invalid number `{text}`")))?,
+            )
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_object() {
+        let v = json!({
+            "name": "gpu-node-01",
+            "cores": 128,
+            "load": 0.75,
+            "down": false,
+            "tags": ["a100", "infiniband"],
+            "note": null,
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(back["name"], "gpu-node-01");
+        assert_eq!(back["cores"], 128u64);
+        assert!(back["note"].is_null());
+        assert_eq!(back["tags"][1], "infiniband");
+    }
+
+    #[test]
+    fn object_keys_sorted_and_stable() {
+        let v = json!({"zeta": 1, "alpha": 2, "mid": 3});
+        assert_eq!(to_string(&v).unwrap(), r#"{"alpha":2,"mid":3,"zeta":1}"#);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line1\nline2\t\"quoted\" \\slash\\ unicode: \u{1F600} \u{7}";
+        let v = json!({ "s": original });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["s"].as_str(), Some(original));
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogates() {
+        let v: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("é😀"));
+        assert!(from_str::<Value>(r#""\ud800""#).is_err());
+    }
+
+    #[test]
+    fn numbers_preserve_integerness() {
+        let v: Value = from_str("[18446744073709551615, -3, 2.5, 1e3]").unwrap();
+        assert_eq!(v[0].as_u64(), Some(u64::MAX));
+        assert_eq!(v[1].as_i64(), Some(-3));
+        assert_eq!(v[2].as_f64(), Some(2.5));
+        assert_eq!(v[3].as_f64(), Some(1000.0));
+        assert!(v[0].is_u64());
+        assert!(!v[2].is_u64());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>(r#"{"a": 1,}"#).is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn json_macro_embeds_expressions() {
+        let jobs = 7u64;
+        let name = String::from("alice");
+        let v = json!({
+            "user": name.clone(),
+            "jobs": jobs,
+            "double": jobs * 2,
+            "list": [1, jobs, 3],
+            "nested": { "flag": true },
+        });
+        assert_eq!(v["user"], "alice");
+        assert_eq!(v["jobs"], 7u64);
+        assert_eq!(v["double"], 14u64);
+        assert_eq!(v["list"][1], 7u64);
+        assert_eq!(v["nested"]["flag"], true);
+    }
+
+    #[test]
+    fn typed_roundtrip_via_derive() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Probe {
+            id: u64,
+            label: String,
+            maybe: Option<String>,
+            items: Vec<u32>,
+        }
+        let p = Probe {
+            id: 9,
+            label: "x".into(),
+            maybe: None,
+            items: vec![1, 2],
+        };
+        let text = to_string(&p).unwrap();
+        let back: Probe = from_str(&text).unwrap();
+        assert_eq!(p, back);
+        // Absent Option field deserializes as None (serde parity).
+        let partial: Probe = from_str(r#"{"id":1,"label":"y","items":[]}"#).unwrap();
+        assert_eq!(partial.maybe, None);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": [1, 2], "b": {"c": "d"}});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,141 @@
+//! The `json!` macro for the vendored serde_json, as a function-like proc
+//! macro (macro_rules `tt`-munching cannot capture the arbitrary Rust
+//! expressions that appear as object values, e.g. method chains).
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let code = gen_value(&tokens);
+    code.parse().expect("json!: generated invalid expression")
+}
+
+/// Generate a Rust expression of type `::serde_json::Value` from the tokens
+/// of one JSON-ish value.
+fn gen_value(tokens: &[TokenTree]) -> String {
+    if tokens.is_empty() {
+        panic!("json!: empty value");
+    }
+    if tokens.len() == 1 {
+        match &tokens[0] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                return gen_object(&inner);
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                return gen_array(&inner);
+            }
+            TokenTree::Ident(id) if id.to_string() == "null" => {
+                return "::serde_json::Value::Null".to_string();
+            }
+            _ => {}
+        }
+    }
+    // Anything else is a Rust expression; serialize it.
+    format!("::serde_json::value_of(&({}))", render(tokens))
+}
+
+fn gen_object(tokens: &[TokenTree]) -> String {
+    let mut out = String::from("{\nlet mut m = ::serde_json::Map::new();\n");
+    for entry in split_top_level_commas(tokens) {
+        if entry.is_empty() {
+            continue; // trailing comma
+        }
+        let colon = find_top_level_colon(&entry)
+            .unwrap_or_else(|| panic!("json!: object entry missing `:` — `{}`", render(&entry)));
+        let (key_tokens, rest) = entry.split_at(colon);
+        let value_tokens = &rest[1..];
+        if key_tokens.is_empty() || value_tokens.is_empty() {
+            panic!("json!: malformed object entry `{}`", render(&entry));
+        }
+        let key_expr = gen_key(key_tokens);
+        let value_expr = gen_value(value_tokens);
+        out.push_str(&format!("m.insert({key_expr}, {value_expr});\n"));
+    }
+    out.push_str("::serde_json::Value::Object(m)\n}");
+    out
+}
+
+fn gen_array(tokens: &[TokenTree]) -> String {
+    let mut items = Vec::new();
+    for entry in split_top_level_commas(tokens) {
+        if entry.is_empty() {
+            continue;
+        }
+        items.push(gen_value(&entry));
+    }
+    format!("::serde_json::Value::Array(vec![{}])", items.join(", "))
+}
+
+fn gen_key(tokens: &[TokenTree]) -> String {
+    // A lone string literal keys directly; anything else is an expression
+    // converted with `.to_string()` (serde_json allows expression keys too).
+    if tokens.len() == 1 {
+        if let TokenTree::Literal(lit) = &tokens[0] {
+            let s = lit.to_string();
+            if s.starts_with('"') {
+                return format!("{s}.to_string()");
+            }
+        }
+    }
+    format!("({}).to_string()", render(tokens))
+}
+
+/// Split on commas at depth 0. Only group nesting matters: commas inside
+/// `(..)`, `[..]`, `{..}` are inside separate `TokenTree::Group`s already.
+/// Angle brackets in expressions (turbofish) always appear inside paths
+/// where the comma sits within a group or between `<` `>` puncts — for the
+/// expression subset used with json! (call chains, literals, turbofish via
+/// `::<>`), generic commas like `collect::<Vec<(String, u64)>>()` live
+/// inside parens/angle runs; track angle depth defensively anyway.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = (angle_depth - 1).max(0),
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    parts.push(current);
+    parts
+}
+
+/// Find the `:` separating key from value. `::` path separators lex as a
+/// Joint ':' followed by another ':', so skip those pairs.
+fn find_top_level_colon(tokens: &[TokenTree]) -> Option<usize> {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == ':' {
+                if p.spacing() == Spacing::Joint {
+                    if let Some(TokenTree::Punct(q)) = tokens.get(i + 1) {
+                        if q.as_char() == ':' {
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn render(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}
