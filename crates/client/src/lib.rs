@@ -10,8 +10,10 @@
 
 pub mod browser;
 pub mod histogram;
+pub mod live;
 pub mod loadgen;
 
 pub use browser::{DashboardClient, FetchOutcome, FetchResult, PageLoad};
 pub use histogram::{LatencyRecorder, LatencySummary};
+pub use live::{LiveSubscriber, PollOutcome};
 pub use loadgen::{LoadConfig, LoadReport};

@@ -1,0 +1,143 @@
+//! The push-mode live client: a browser tab subscribed to
+//! `/api/updates/stream`.
+//!
+//! Instead of refetching job tables on a timer, the subscriber holds a
+//! server-assigned queue (identified by its `sub` token) and applies the
+//! delivered deltas to a local `live_jobs` store in the IndexedDB analog —
+//! the client half of the poll-to-push inversion in `hpcdash-push`. When the
+//! server reports `resync_required` (queue overflow, or a cursor that fell
+//! out of the event log's retained window) the local store is cleared and
+//! the cursor re-anchors at the reported `latest_seq`; the real frontend
+//! would refetch its tables at that point.
+
+use hpcdash_cache::IndexedDb;
+use hpcdash_http::HttpClient;
+use hpcdash_simtime::SharedClock;
+use std::cell::Cell;
+
+/// What one stream poll produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollOutcome {
+    /// Deltas were applied to the local store.
+    Events(usize),
+    /// The wait expired with nothing queued.
+    Empty,
+    /// The delta stream had a hole: local state was dropped and the cursor
+    /// re-anchored. The caller should refetch full tables.
+    Resync,
+    /// The server shed the long-poll (`503`); retry after the given delay.
+    Shed { retry_after_secs: u64 },
+}
+
+/// The IndexedDB store deltas are applied to (one record per job id).
+pub const LIVE_STORE: &str = "live_jobs";
+
+/// A live-updates subscriber for one user and one tab (`sub` token).
+pub struct LiveSubscriber {
+    http: HttpClient,
+    base_url: String,
+    user: String,
+    token: String,
+    db: IndexedDb,
+    clock: SharedClock,
+    /// The `since` cursor used when the server has to (re)register us.
+    anchor: Cell<u64>,
+    resyncs: Cell<u64>,
+    applied: Cell<u64>,
+}
+
+impl LiveSubscriber {
+    pub fn new(base_url: &str, user: &str, token: &str, clock: SharedClock) -> LiveSubscriber {
+        LiveSubscriber {
+            http: HttpClient::new(),
+            base_url: base_url.trim_end_matches('/').to_string(),
+            user: user.to_string(),
+            token: token.to_string(),
+            db: IndexedDb::new(),
+            clock,
+            anchor: Cell::new(0),
+            resyncs: Cell::new(0),
+            applied: Cell::new(0),
+        }
+    }
+
+    /// Anchor the cursor (e.g. at the `latest_seq` of an initial table
+    /// fetch) so the first subscribe doesn't replay already-rendered
+    /// history.
+    pub fn anchor_at(&self, seq: u64) {
+        self.anchor.set(seq);
+    }
+
+    /// One long-poll round trip: drain the server-side queue (parking up to
+    /// `wait_ms`) and apply the deltas locally.
+    pub fn poll(&self, wait_ms: u64) -> Result<PollOutcome, String> {
+        let url = format!(
+            "{}/api/updates/stream?sub={}&since={}&wait_ms={}",
+            self.base_url,
+            self.token,
+            self.anchor.get(),
+            wait_ms
+        );
+        let resp = self
+            .http
+            .get(&url, &[("X-Remote-User", &self.user)])
+            .map_err(|e| e.to_string())?;
+        if resp.status == 503 {
+            let retry_after_secs = resp
+                .header("Retry-After")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            return Ok(PollOutcome::Shed { retry_after_secs });
+        }
+        if !resp.is_success() {
+            return Err(format!("stream -> HTTP {}", resp.status));
+        }
+        let body = resp.json().map_err(|e| format!("stream: bad json: {e}"))?;
+        let latest = body["latest_seq"].as_u64().unwrap_or(self.anchor.get());
+        self.anchor.set(latest);
+        if body["resync_required"].as_bool().unwrap_or(false) {
+            // The delta stream has a hole: local job state may be stale in
+            // unknowable ways, so drop it and start over from the head.
+            self.db.clear_store(LIVE_STORE);
+            self.resyncs.set(self.resyncs.get() + 1);
+            return Ok(PollOutcome::Resync);
+        }
+        let events = body["events"].as_array().cloned().unwrap_or_default();
+        if events.is_empty() {
+            return Ok(PollOutcome::Empty);
+        }
+        let now = self.clock.now();
+        for event in &events {
+            if let Some(job) = event["job"].as_str() {
+                self.db.put(LIVE_STORE, job, event.clone(), now);
+            }
+        }
+        self.applied.set(self.applied.get() + events.len() as u64);
+        Ok(PollOutcome::Events(events.len()))
+    }
+
+    /// The locally-known state of a job, as last delivered.
+    pub fn job_state(&self, job: &str) -> Option<String> {
+        self.db
+            .get(LIVE_STORE, job)
+            .and_then(|rec| rec.value["to"].as_str().map(str::to_string))
+    }
+
+    /// Jobs with locally-tracked state.
+    pub fn tracked_jobs(&self) -> usize {
+        self.db.record_count()
+    }
+
+    pub fn cursor(&self) -> u64 {
+        self.anchor.get()
+    }
+
+    pub fn resync_count(&self) -> u64 {
+        self.resyncs.get()
+    }
+
+    /// Total deltas applied over this subscriber's lifetime.
+    pub fn events_applied(&self) -> u64 {
+        self.applied.get()
+    }
+}

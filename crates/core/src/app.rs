@@ -360,10 +360,10 @@ mod tests {
         let d = dash();
         let patterns = d.router().route_patterns();
         // 10 features -> 13 API routes (incl. accounts export, job
-        // logs/array) + baseline Active Jobs + live updates feed + 3 admin
-        // actions + 2 observability routes (/api/metrics, /api/health)
-        // + 7 pages + 3 assets + healthz.
-        assert_eq!(patterns.len(), 13 + 2 + 3 + 2 + 7 + 3 + 1, "{patterns:?}");
+        // logs/array) + baseline Active Jobs + live updates feed (poll +
+        // push stream) + 3 admin actions + 2 observability routes
+        // (/api/metrics, /api/health) + 7 pages + 3 assets + healthz.
+        assert_eq!(patterns.len(), 13 + 3 + 3 + 2 + 7 + 3 + 1, "{patterns:?}");
     }
 
     #[test]

@@ -60,6 +60,35 @@ impl CachePolicy {
     }
 }
 
+/// Knobs for the real-time push hub and its long-poll delivery route
+/// (`/api/updates/stream`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushPolicy {
+    /// Bounded per-subscriber queue length before coalesce-to-resync.
+    pub queue_capacity: usize,
+    /// How long (seconds) a subscriber's resolved account set stays trusted.
+    pub accounts_ttl_secs: u64,
+    /// Subscribers idle longer than this (seconds) are garbage-collected.
+    pub idle_ttl_secs: u64,
+    /// Upper bound on a single long-poll wait; client `wait_ms` is clamped.
+    pub max_wait_ms: u64,
+    /// Cap on server workers parked in long-polls at once; past it the
+    /// stream route sheds with `503 + Retry-After`.
+    pub max_parked_workers: usize,
+}
+
+impl Default for PushPolicy {
+    fn default() -> PushPolicy {
+        PushPolicy {
+            queue_capacity: 256,
+            accounts_ttl_secs: 60,
+            idle_ttl_secs: 300,
+            max_wait_ms: 20_000,
+            max_parked_workers: 64,
+        }
+    }
+}
+
 /// Optional features (the paper's future-work items are implemented behind
 /// these flags).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -83,6 +112,7 @@ pub struct DashboardConfig {
     /// Usernames with admin view (when the flag is on).
     pub admins: Vec<String>,
     pub cache: CachePolicy,
+    pub push: PushPolicy,
     pub features: FeatureFlags,
     /// How many announcements the homepage widget shows.
     pub announcements_limit: usize,
@@ -105,6 +135,7 @@ impl DashboardConfig {
             ),
             admins: Vec::new(),
             cache: CachePolicy::default(),
+            push: PushPolicy::default(),
             features: FeatureFlags::default(),
             announcements_limit: 5,
             recent_jobs_limit: 8,

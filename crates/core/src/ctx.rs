@@ -3,9 +3,11 @@
 
 use crate::config::DashboardConfig;
 use hpcdash_cache::CachedFetcher;
+use hpcdash_http::ParkBudget;
 use hpcdash_news::NewsFeed;
 use hpcdash_obs::health::HealthBoard;
 use hpcdash_obs::{Registry, Span};
+use hpcdash_push::{AccountResolver, Hub, HubConfig};
 use hpcdash_simtime::{SharedClock, Timestamp};
 use hpcdash_slurm::ctld::Slurmctld;
 use hpcdash_slurm::dbd::Slurmdbd;
@@ -32,6 +34,11 @@ pub struct DashboardContext {
     pub obs: Arc<Registry>,
     /// Per-data-source health derived from loader outcomes (`/api/health`).
     pub health: Arc<HealthBoard>,
+    /// The real-time fan-out hub: registered as an event sink on the
+    /// cluster's `EventLog`, drained by `/api/updates/stream`.
+    pub push: Arc<Hub>,
+    /// Cap on workers parked in long-polls (`503 + Retry-After` past it).
+    pub park: Arc<ParkBudget>,
     /// route name -> data sources it touched on cache-cold loads.
     sources: Arc<Mutex<BTreeMap<String, BTreeSet<String>>>>,
 }
@@ -86,11 +93,37 @@ impl DashboardContext {
         storage: Arc<StorageDb>,
         news: Arc<NewsFeed>,
     ) -> DashboardContext {
+        let obs = Arc::new(Registry::new());
+        // The resolver reaches into slurmctld (daemon lock); the hub promises
+        // never to call it from the fan-out path, which runs under that lock.
+        let resolver: AccountResolver = {
+            let ctld = ctld.clone();
+            Arc::new(move |user: &str| {
+                ctld.query_assoc(Some(user))
+                    .into_iter()
+                    .map(|r| r.account.name)
+                    .collect()
+            })
+        };
+        let push = Arc::new(Hub::new(
+            HubConfig {
+                queue_capacity: cfg.push.queue_capacity,
+                accounts_ttl: std::time::Duration::from_secs(cfg.push.accounts_ttl_secs),
+                idle_ttl: std::time::Duration::from_secs(cfg.push.idle_ttl_secs),
+                ..HubConfig::default()
+            },
+            resolver,
+        ));
+        push.set_registry(&obs);
+        ctld.events().add_sink(push.clone());
+        let park = Arc::new(ParkBudget::new(cfg.push.max_parked_workers));
         DashboardContext {
             cfg: Arc::new(cfg),
             cache: Arc::new(CachedFetcher::new(clock.clone())),
-            obs: Arc::new(Registry::new()),
+            obs,
             health: Arc::new(HealthBoard::new()),
+            push,
+            park,
             clock,
             ctld,
             dbd,
@@ -225,6 +258,10 @@ pub(crate) mod tests {
     use serde_json::json;
 
     pub(crate) fn test_ctx() -> DashboardContext {
+        test_ctx_with(DashboardConfig::generic("Test"))
+    }
+
+    pub(crate) fn test_ctx_with(cfg: DashboardConfig) -> DashboardContext {
         let clock = SimClock::new(Timestamp(1_000));
         let mut assoc = AssocStore::new();
         assoc.add_account(Account::new("physics"));
@@ -248,7 +285,7 @@ pub(crate) mod tests {
             RpcCostModel::free(),
         ));
         DashboardContext::new(
-            DashboardConfig::generic("Test"),
+            cfg,
             clock.shared(),
             ctld,
             dbd,

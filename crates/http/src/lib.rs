@@ -9,6 +9,7 @@
 //! paper calls out (§2.4) and the fault-isolation benches verify.
 
 pub mod client;
+pub mod longpoll;
 pub mod request;
 pub mod response;
 pub mod router;
@@ -16,6 +17,7 @@ pub mod server;
 pub mod threadpool;
 
 pub use client::{ClientError, ClientResponse, HttpClient};
+pub use longpoll::{ParkBudget, ParkPermit};
 pub use request::{Method, Request};
 pub use response::Response;
 pub use router::{Router, TRACE_HEADER};

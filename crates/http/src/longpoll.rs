@@ -1,0 +1,112 @@
+//! Long-poll support for the thread-pool server.
+//!
+//! The server runs one request per worker thread, so a long-poll route that
+//! parks until data arrives occupies a worker for its whole wait. That is
+//! fine up to a point — parked workers cost nothing but a thread — but past
+//! a cap the pool would starve regular requests. [`ParkBudget`] is that cap:
+//! a handler acquires a [`ParkPermit`] before parking and sheds load with
+//! `503 + Retry-After` when none is available, instead of silently eating
+//! the last worker.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cap on concurrently parked workers.
+#[derive(Debug)]
+pub struct ParkBudget {
+    max: usize,
+    parked: AtomicUsize,
+}
+
+impl ParkBudget {
+    /// Allow at most `max` workers to park at once (at least one).
+    pub fn new(max: usize) -> ParkBudget {
+        ParkBudget {
+            max: max.max(1),
+            parked: AtomicUsize::new(0),
+        }
+    }
+
+    /// Try to reserve a parking slot; `None` means the handler must shed.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<ParkPermit> {
+        let acquired = self
+            .parked
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.max).then_some(n + 1)
+            })
+            .is_ok();
+        acquired.then(|| ParkPermit {
+            budget: self.clone(),
+        })
+    }
+
+    /// Workers currently parked.
+    pub fn parked(&self) -> usize {
+        self.parked.load(Ordering::Acquire)
+    }
+
+    pub fn max(&self) -> usize {
+        self.max
+    }
+}
+
+/// RAII parking slot: dropping it (on response, panic, or timeout) frees
+/// the slot for the next long-poller.
+#[derive(Debug)]
+pub struct ParkPermit {
+    budget: Arc<ParkBudget>,
+}
+
+impl Drop for ParkPermit {
+    fn drop(&mut self) {
+        self.budget.parked.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_caps_and_releases() {
+        let budget = Arc::new(ParkBudget::new(2));
+        let a = budget.try_acquire().expect("slot 1");
+        let _b = budget.try_acquire().expect("slot 2");
+        assert_eq!(budget.parked(), 2);
+        assert!(budget.try_acquire().is_none(), "third parker is shed");
+        drop(a);
+        assert_eq!(budget.parked(), 1);
+        assert!(budget.try_acquire().is_some(), "freed slot is reusable");
+    }
+
+    #[test]
+    fn zero_budget_clamped_to_one() {
+        let budget = Arc::new(ParkBudget::new(0));
+        let _a = budget.try_acquire().expect("at least one slot");
+        assert!(budget.try_acquire().is_none());
+    }
+
+    #[test]
+    fn concurrent_acquires_never_exceed_cap() {
+        let budget = Arc::new(ParkBudget::new(4));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let budget = budget.clone();
+            let peak = peak.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    if let Some(permit) = budget.try_acquire() {
+                        peak.fetch_max(budget.parked(), Ordering::AcqRel);
+                        drop(permit);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::Acquire) <= 4, "cap never exceeded");
+        assert_eq!(budget.parked(), 0, "all permits returned");
+    }
+}

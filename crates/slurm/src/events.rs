@@ -1,15 +1,19 @@
 //! The cluster event log: every job state transition, timestamped.
 //!
 //! This powers the dashboard's real-time job monitoring (listed as future
-//! work in the paper's §9 and implemented here): clients poll
-//! `/api/updates?since=<seq>` and receive only the transitions they have
-//! not seen, instead of refetching whole tables.
+//! work in the paper's §9 and implemented here) in two delivery modes:
+//! clients either poll `/api/updates?since=<seq>` and receive only the
+//! transitions they have not seen, or subscribe through the push hub
+//! (`hpcdash-push`), which registers itself as an [`EventSink`] and fans
+//! each appended event out to parked long-poll subscribers.
 
 use crate::job::{JobId, JobState, PendingReason};
 use hpcdash_simtime::Timestamp;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One job state transition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,21 +30,59 @@ pub struct JobEvent {
     pub reason: Option<PendingReason>,
 }
 
+/// A consumer of appended events, notified synchronously from
+/// [`EventLog::push`] (after the log's own lock is released). Sinks must be
+/// non-blocking: they run on the publisher's thread, which typically holds
+/// the daemon lock.
+pub trait EventSink: Send + Sync {
+    fn publish(&self, event: &JobEvent);
+}
+
+/// Sequence assignment and storage live under ONE lock so `latest_seq()`
+/// can never be observed ahead of the events a concurrent `since()`
+/// returns (the two-lock version allowed a reader to see the bumped
+/// counter before the event landed in the deque).
+struct LogState {
+    events: VecDeque<JobEvent>,
+    next_seq: u64,
+}
+
 /// A bounded, append-only event log.
-#[derive(Debug)]
 pub struct EventLog {
-    events: RwLock<VecDeque<JobEvent>>,
+    state: RwLock<LogState>,
     capacity: usize,
-    next_seq: RwLock<u64>,
+    sinks: RwLock<Vec<Arc<dyn EventSink>>>,
+    /// How many `since()` scans have been served (the poll-cost observable
+    /// the push hub exists to eliminate).
+    scans: AtomicU64,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("latest_seq", &self.latest_seq())
+            .finish()
+    }
 }
 
 impl EventLog {
     pub fn new(capacity: usize) -> EventLog {
         EventLog {
-            events: RwLock::new(VecDeque::new()),
+            state: RwLock::new(LogState {
+                events: VecDeque::new(),
+                next_seq: 1,
+            }),
             capacity: capacity.max(1),
-            next_seq: RwLock::new(1),
+            sinks: RwLock::new(Vec::new()),
+            scans: AtomicU64::new(0),
         }
+    }
+
+    /// Register a sink notified on every append (e.g. the push hub).
+    pub fn add_sink(&self, sink: Arc<dyn EventSink>) {
+        self.sinks.write().push(sink);
     }
 
     /// Append a transition; returns its sequence number.
@@ -55,52 +97,73 @@ impl EventLog {
         to: JobState,
         reason: Option<PendingReason>,
     ) -> u64 {
-        let mut next = self.next_seq.write();
-        let seq = *next;
-        *next += 1;
-        let mut events = self.events.write();
-        if events.len() >= self.capacity {
-            events.pop_front();
+        let event = {
+            let mut state = self.state.write();
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            if state.events.len() >= self.capacity {
+                state.events.pop_front();
+            }
+            let event = JobEvent {
+                seq,
+                at,
+                job,
+                user: user.to_string(),
+                account: account.to_string(),
+                from,
+                to,
+                reason,
+            };
+            state.events.push_back(event.clone());
+            event
+        };
+        // Fan out with the log lock released; sinks are non-blocking.
+        for sink in self.sinks.read().iter() {
+            sink.publish(&event);
         }
-        events.push_back(JobEvent {
-            seq,
-            at,
-            job,
-            user: user.to_string(),
-            account: account.to_string(),
-            from,
-            to,
-            reason,
-        });
-        seq
+        event.seq
     }
 
-    /// Events with `seq > since`, oldest first. `truncated` is true when
-    /// older matching events have already been evicted (the client should
-    /// do a full refresh).
+    /// Events with `seq > since`, oldest first. `truncated` is true when the
+    /// retained window no longer reaches back to `since` — including for a
+    /// fresh `since = 0` cursor against a log whose front has already been
+    /// evicted past seq 1 — so the client knows to do a full refresh rather
+    /// than silently missing history.
     pub fn since(&self, since: u64) -> (Vec<JobEvent>, bool) {
-        let events = self.events.read();
-        let truncated = events
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        let state = self.state.read();
+        let truncated = state
+            .events
             .front()
-            .map(|e| e.seq > since + 1 && since > 0)
+            .map(|e| e.seq > since + 1)
             .unwrap_or(false);
         (
-            events.iter().filter(|e| e.seq > since).cloned().collect(),
+            state
+                .events
+                .iter()
+                .filter(|e| e.seq > since)
+                .cloned()
+                .collect(),
             truncated,
         )
     }
 
     /// The newest sequence number issued (0 when empty).
     pub fn latest_seq(&self) -> u64 {
-        *self.next_seq.read() - 1
+        self.state.read().next_seq - 1
+    }
+
+    /// How many `since()` scans this log has served.
+    pub fn scan_count(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
     }
 
     pub fn len(&self) -> usize {
-        self.events.read().len()
+        self.state.read().events.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.events.read().is_empty()
+        self.state.read().events.is_empty()
     }
 }
 
@@ -152,6 +215,7 @@ mod tests {
         assert!(!truncated);
         let (events, _) = log.since(10);
         assert!(events.is_empty());
+        assert_eq!(log.scan_count(), 2, "every since() counts as a scan");
     }
 
     #[test]
@@ -175,6 +239,57 @@ mod tests {
         let (events, truncated) = log.since(0);
         assert_eq!(events.len(), 3);
         assert!(!truncated);
+    }
+
+    #[test]
+    fn fresh_client_behind_evicted_history_must_resync() {
+        // Regression: `since = 0` against a log whose front seq is already
+        // past 1 used to report `truncated = false`, silently hiding the
+        // evicted prefix from brand-new clients.
+        let log = EventLog::new(4);
+        push_n(&log, 10);
+        let (events, truncated) = log.since(0);
+        assert!(truncated, "a fresh cursor cannot see seqs 1..=6 — resync");
+        assert_eq!(events.first().unwrap().seq, 7);
+    }
+
+    #[test]
+    fn latest_seq_never_ahead_of_since_under_concurrency() {
+        // With one lock over (events, next_seq), any seq implied by
+        // `latest_seq()` must be visible to an immediate `since()` call.
+        let log = Arc::new(EventLog::new(100_000));
+        let writer = {
+            let log = log.clone();
+            std::thread::spawn(move || push_n(&log, 20_000))
+        };
+        for _ in 0..2_000 {
+            let latest = log.latest_seq();
+            let (events, _) = log.since(0);
+            let max_seen = events.last().map(|e| e.seq).unwrap_or(0);
+            assert!(
+                max_seen >= latest,
+                "latest_seq {latest} observed ahead of stored events (max {max_seen})"
+            );
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn sinks_observe_every_append() {
+        struct Collect(parking_lot::Mutex<Vec<u64>>);
+        impl EventSink for Collect {
+            fn publish(&self, event: &JobEvent) {
+                self.0.lock().push(event.seq);
+            }
+        }
+        let log = EventLog::new(8);
+        let sink = Arc::new(Collect(parking_lot::Mutex::new(Vec::new())));
+        log.add_sink(sink.clone());
+        push_n(&log, 20);
+        let seen = sink.0.lock();
+        assert_eq!(seen.len(), 20, "sinks see evicted events too");
+        assert_eq!(seen.first(), Some(&1));
+        assert_eq!(seen.last(), Some(&20));
     }
 
     #[test]

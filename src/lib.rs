@@ -25,6 +25,7 @@ pub use hpcdash_client as client;
 pub use hpcdash_core as core;
 pub use hpcdash_http as http;
 pub use hpcdash_news as news;
+pub use hpcdash_push as push;
 pub use hpcdash_simtime as simtime;
 pub use hpcdash_slurm as slurm;
 pub use hpcdash_slurmcli as slurmcli;

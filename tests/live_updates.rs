@@ -1,8 +1,10 @@
 //! The real-time monitoring extension (paper §9 future work): clients poll
-//! the updates feed and see job transitions as the cluster evolves, without
-//! refetching tables.
+//! the updates feed — or subscribe to its push-mode stream — and see job
+//! transitions as the cluster evolves, without refetching tables.
 
 use hpcdash::SimSite;
+use hpcdash_client::{LiveSubscriber, PollOutcome};
+use hpcdash_core::DashboardConfig;
 use hpcdash_http::HttpClient;
 use hpcdash_workload::ScenarioConfig;
 
@@ -78,6 +80,98 @@ fn polling_sees_the_cluster_evolve() {
             event_user == user || accounts.iter().any(|a| a == event_account),
             "leaked event for {event_user}/{event_account}"
         );
+    }
+}
+
+#[test]
+fn streaming_matches_polling_at_equivalent_freshness() {
+    // A push subscriber anchored at the same cursor as a legacy poller must
+    // see exactly the same deltas — the fan-out hub changes delivery cost,
+    // not content. Queue capacity is raised so a busy round cannot
+    // legitimately coalesce into a resync and void the comparison.
+    let mut cfg = DashboardConfig::purdue_like();
+    cfg.push.queue_capacity = 8_192;
+    let site = SimSite::build_with(ScenarioConfig::small(), cfg);
+    let server = site.serve().unwrap();
+    let base = server.base_url();
+    let client = HttpClient::new();
+    let user = site.scenario.population.users[0].clone();
+
+    // Anchor both modes at the current head.
+    let body = poll(&client, &base, &user, 0);
+    let mut cursor = body["latest_seq"].as_u64().unwrap();
+    let sub = LiveSubscriber::new(&base, &user, "e2e", site.scenario.clock.shared());
+    sub.anchor_at(cursor);
+
+    let mut driver = site.driver(1_800);
+    let mut polled = 0usize;
+    let mut last_state: std::collections::BTreeMap<String, String> = Default::default();
+    for _ in 0..6 {
+        driver.advance(300);
+        let body = poll(&client, &base, &user, cursor);
+        cursor = body["latest_seq"].as_u64().unwrap();
+        for e in body["events"].as_array().unwrap() {
+            polled += 1;
+            last_state.insert(
+                e["job"].as_str().unwrap().to_string(),
+                e["to"].as_str().unwrap().to_string(),
+            );
+        }
+        match sub.poll(0).unwrap() {
+            PollOutcome::Events(_) | PollOutcome::Empty => {}
+            other => panic!("stream should never degrade here: {other:?}"),
+        }
+    }
+
+    assert!(polled > 0, "an active cluster produced no visible events");
+    assert_eq!(
+        sub.events_applied(),
+        polled as u64,
+        "push delivered a different number of deltas than polling"
+    );
+    assert_eq!(sub.cursor(), cursor, "both modes anchored at the same head");
+    for (job, state) in &last_state {
+        assert_eq!(
+            sub.job_state(job).as_deref(),
+            Some(state.as_str()),
+            "job {job} diverged between poll and push"
+        );
+    }
+}
+
+#[test]
+fn streaming_subscriber_recovers_from_overflow() {
+    // A tab that stops draining overflows its bounded queue; on the next
+    // poll it learns it must resync, drops local state, and keeps streaming.
+    let mut cfg = DashboardConfig::purdue_like();
+    cfg.push.queue_capacity = 8;
+    let site = SimSite::build_with(ScenarioConfig::small(), cfg);
+    let server = site.serve().unwrap();
+    let base = server.base_url();
+    let user = site.scenario.population.users[0].clone();
+    let account = site.scenario.population.accounts_of(&user)[0].clone();
+
+    let sub = LiveSubscriber::new(&base, &user, "lazy", site.scenario.clock.shared());
+    assert!(matches!(sub.poll(0).unwrap(), PollOutcome::Empty));
+
+    // 32 visible events against a queue of 8 while the tab is not polling.
+    for _ in 0..16 {
+        let mut req = hpcdash_slurm::job::JobRequest::simple(&user, &account, "cpu", 1);
+        req.usage.planned_runtime_secs = 1;
+        site.scenario.ctld.submit(req).unwrap();
+        site.scenario.clock.advance(2);
+        site.scenario.ctld.tick();
+    }
+    assert!(matches!(sub.poll(0).unwrap(), PollOutcome::Resync));
+    assert_eq!(sub.tracked_jobs(), 0, "local state dropped on resync");
+
+    // Back to normal streaming afterwards.
+    let mut req = hpcdash_slurm::job::JobRequest::simple(&user, &account, "cpu", 1);
+    req.usage.planned_runtime_secs = 1;
+    site.scenario.ctld.submit(req).unwrap();
+    match sub.poll(0).unwrap() {
+        PollOutcome::Events(n) => assert!(n >= 1),
+        other => panic!("expected events after resync, got {other:?}"),
     }
 }
 

@@ -39,6 +39,18 @@ impl<'a, T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'a, T> {
     }
 }
 
+/// Result of a timed condvar wait, parking_lot style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// Blocking-wait coordination, parking_lot style: `wait` takes the guard by
 /// `&mut` and re-locks before returning.
 pub struct Condvar {
@@ -55,6 +67,23 @@ impl Condvar {
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let g = guard.inner.take().expect("guard present");
         guard.inner = Some(self.inner.wait(g).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Wait until notified or `timeout` elapses (long-poll deadlines).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, result) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     pub fn notify_one(&self) {
@@ -220,6 +249,39 @@ mod tests {
         drop((a, b));
         *l.write() = 7;
         assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        use std::time::{Duration, Instant};
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        // Nobody notifies: the wait must time out.
+        let mut g = m.lock();
+        let start = Instant::now();
+        let res = cv.wait_for(&mut g, Duration::from_millis(20));
+        assert!(res.timed_out());
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        drop(g);
+
+        // A notifier wakes the waiter well before the deadline.
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                let res = cv.wait_for(&mut ready, Duration::from_secs(5));
+                if res.timed_out() {
+                    return false;
+                }
+            }
+            true
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        assert!(waiter.join().unwrap(), "woken by notify, not timeout");
     }
 
     #[test]
