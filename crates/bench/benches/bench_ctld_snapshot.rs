@@ -1,0 +1,196 @@
+//! Experiment P7 — the lock-free snapshot read path: reader throughput and
+//! state-mutex pressure while slurmctld keeps scheduling.
+//!
+//! The legacy read path takes the cluster-state mutex for every query, so N
+//! dashboard readers serialize against each other *and* against the
+//! scheduler tick, and each request deep-clones every matching job. The
+//! snapshot path loads an epoch-published `Arc<ClusterSnapshot>` without
+//! touching the mutex, walks precomputed per-user/per-partition indexes, and
+//! hands back shared `Arc<Job>` rows. This bench pins the claim: with a
+//! writer ticking continuously, snapshot readers sustain >=5x the locked
+//! path's throughput, and the read side adds zero state-mutex acquisitions.
+
+use criterion::Criterion;
+use hpcdash_bench::banner;
+use hpcdash_slurm::ctld::JobQuery;
+use hpcdash_slurm::job::JobRequest;
+use hpcdash_workload::{Scenario, ScenarioConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const READERS: usize = 8;
+
+fn site() -> Scenario {
+    let scenario = Scenario::build(ScenarioConfig {
+        free_daemons: true,
+        ..ScenarioConfig::small()
+    });
+    // Populate a realistic mix of running/pending/finished jobs.
+    let mut driver = scenario.driver(900);
+    driver.advance(900);
+    scenario
+}
+
+struct ModeResult {
+    reads: u64,
+    reads_per_sec: f64,
+    state_locks: u64,
+    lock_wait: Duration,
+    publishes: u64,
+}
+
+/// N reader threads hammer `squeue`-shaped queries while one writer thread
+/// keeps the scheduler ticking and submitting; returns reader throughput
+/// and the state-mutex pressure the readers generated.
+fn run_mode(scenario: &Scenario, locked: bool, window: Duration) -> ModeResult {
+    scenario.ctld.stats().reset();
+    let publishes0 = scenario.ctld.snapshot_stats().publishes();
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+
+    let writer = {
+        let ctld = scenario.ctld.clone();
+        let clock = scenario.clock.clone();
+        let stop = stop.clone();
+        let user = scenario.population.user(0).to_string();
+        let account = scenario.population.accounts_of(&user)[0].clone();
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                clock.advance(1);
+                ctld.tick();
+                n += 1;
+                if n.is_multiple_of(16) {
+                    let _ = ctld.submit(JobRequest::simple(&user, &account, "cpu", 1));
+                }
+            }
+            n
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|i| {
+            let ctld = scenario.ctld.clone();
+            let stop = stop.clone();
+            let total = total.clone();
+            let user = scenario
+                .population
+                .user(i % scenario.population.users.len())
+                .to_string();
+            std::thread::spawn(move || {
+                let all = JobQuery::all();
+                let mine = JobQuery::for_user(&user);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Alternate fleet-wide and per-user queries, like a mix
+                    // of admin dashboards and My Jobs tabs.
+                    let q = if n.is_multiple_of(2) { &all } else { &mine };
+                    if locked {
+                        let _ = ctld.query_jobs_locked(q);
+                    } else {
+                        let _ = ctld.query_jobs(q);
+                    }
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = start.elapsed();
+    let ticks = writer.join().expect("writer");
+    for r in readers {
+        r.join().expect("reader");
+    }
+
+    let snap = scenario.ctld.stats().snapshot();
+    let reads = total.load(Ordering::Relaxed);
+    ModeResult {
+        reads,
+        reads_per_sec: reads as f64 / elapsed.as_secs_f64(),
+        // Subtract the writer's own acquisitions (one per tick, one per
+        // submit) so the column shows what the *readers* added.
+        state_locks: scenario
+            .ctld
+            .stats()
+            .state_lock_count()
+            .saturating_sub(ticks + ticks / 16),
+        lock_wait: snap.total_lock_wait,
+        publishes: scenario.ctld.snapshot_stats().publishes() - publishes0,
+    }
+}
+
+fn main() {
+    banner(
+        "P7",
+        &format!("snapshot read path: {READERS} readers vs a continuously ticking slurmctld"),
+    );
+    let smoke = std::env::args().any(|a| a == "--test");
+    let window = if smoke {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(1500)
+    };
+
+    let scenario = site();
+    let locked = run_mode(&scenario, true, window);
+    let snapshot = run_mode(&scenario, false, window);
+
+    println!(
+        "{:>9} | {:>10} {:>12} {:>14} {:>14} {:>9}",
+        "mode", "reads", "reads/sec", "reader locks", "lock wait", "publishes"
+    );
+    println!("{}", "-".repeat(78));
+    for (name, m) in [("locked", &locked), ("snapshot", &snapshot)] {
+        println!(
+            "{:>9} | {:>10} {:>12.0} {:>14} {:>14?} {:>9}",
+            name, m.reads, m.reads_per_sec, m.state_locks, m.lock_wait, m.publishes
+        );
+    }
+    let speedup = snapshot.reads_per_sec / locked.reads_per_sec.max(1.0);
+    println!("\nsnapshot/locked reader throughput: {speedup:.1}x");
+
+    // The claims this bench exists to hold. Skipped in --test smoke mode,
+    // where the measurement window is too short to be meaningful.
+    if !smoke {
+        assert!(
+            speedup >= 5.0,
+            "snapshot readers must sustain >=5x locked throughput (got {speedup:.1}x)"
+        );
+    }
+    assert_eq!(
+        snapshot.state_locks, 0,
+        "snapshot reads must not acquire the state mutex"
+    );
+
+    // Criterion: uncontended single-query latency for the two paths, fleet-
+    // wide and per-user. The per-user snapshot query walks the by_user
+    // index; the locked query scans every job either way.
+    let mut c = Criterion::default().configure_from_args().sample_size(40);
+    {
+        let user = scenario.population.user(0).to_string();
+        let all = JobQuery::all();
+        let mine = JobQuery::for_user(&user);
+        let ctld = scenario.ctld.clone();
+        let mut group = c.benchmark_group("ctld_snapshot");
+        group.bench_function("squeue_all_snapshot", |b| b.iter(|| ctld.query_jobs(&all)));
+        group.bench_function("squeue_all_locked", |b| {
+            b.iter(|| ctld.query_jobs_locked(&all))
+        });
+        group.bench_function("squeue_user_snapshot", |b| {
+            b.iter(|| ctld.query_jobs(&mine))
+        });
+        group.bench_function("squeue_user_locked", |b| {
+            b.iter(|| ctld.query_jobs_locked(&mine))
+        });
+        group.bench_function("sinfo_snapshot", |b| {
+            b.iter(|| hpcdash_slurmcli::sinfo::sinfo_usage(&ctld))
+        });
+        group.finish();
+    }
+    c.final_summary();
+}

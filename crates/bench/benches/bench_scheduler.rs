@@ -16,8 +16,8 @@ fn campus_cluster() -> ClusterState {
         ..ScenarioConfig::campus()
     });
     // Pull a bare ClusterState shaped like the campus scenario.
-    let nodes = scenario.ctld.query_nodes();
-    let partitions = scenario.ctld.query_partitions();
+    let nodes = scenario.ctld.query_nodes().to_vec();
+    let partitions = scenario.ctld.query_partitions().to_vec();
     ClusterState::new(ClusterSpec {
         name: "bench".to_string(),
         nodes,

@@ -41,7 +41,7 @@ fn resolve_job(ctx: &DashboardContext, display_id: &str) -> Option<Job> {
             let id = JobId(display_id.parse().ok()?);
             ctx.note_source(FEATURE, "scontrol show job (slurmctld)");
             if let Some(job) = ctx.ctld.query_job(id) {
-                return Some(job);
+                return Some(Job::clone(&job));
             }
             ctx.note_source(FEATURE, "sacct (slurmdbd)");
             ctx.dbd.job(id)

@@ -79,6 +79,34 @@ fn register_collectors(ctx: &DashboardContext) {
             &[],
             snap.sched_queue_depth as i64,
         ));
+        // Epoch-published snapshot health: publication rate, staleness of the
+        // current epoch, and how far behind readers observe the tip.
+        let ss = ctld.snapshot_stats();
+        out.push(Sample::counter(
+            "hpcdash_ctld_snapshot_publishes_total",
+            &[],
+            ss.publishes(),
+        ));
+        out.push(Sample::gauge(
+            "hpcdash_ctld_snapshot_seq",
+            &[],
+            ss.latest_seq().min(i64::MAX as u64) as i64,
+        ));
+        out.push(Sample::gauge(
+            "hpcdash_ctld_snapshot_age_ns",
+            &[],
+            ss.age().as_nanos().min(i64::MAX as u128) as i64,
+        ));
+        for (label, v) in hpcdash_slurm::snapshot::LAG_BUCKET_LABELS
+            .iter()
+            .zip(ss.lag_buckets())
+        {
+            out.push(Sample::counter(
+                "hpcdash_ctld_snapshot_reader_lag_total",
+                &[("lag", label)],
+                v,
+            ));
+        }
     });
     let dbd = ctx.dbd.clone();
     ctx.obs.register_collector(move |out| {
@@ -380,6 +408,11 @@ mod tests {
         assert!(text.contains("hpcdash_http_requests_total{route=\"/api/system_status\"} 1"));
         assert!(text.contains("hpcdash_cache_misses_total{source=\"system_status\"} 1"));
         assert!(text.contains("hpcdash_sched_queue_depth 0"));
+        assert!(
+            text.contains("hpcdash_ctld_snapshot_publishes_total"),
+            "snapshot health metrics exported:\n{text}"
+        );
+        assert!(text.contains("hpcdash_ctld_snapshot_reader_lag_total{lag=\"0\"}"));
         let resp = get(&d, "/api/health", None);
         assert_eq!(resp.status, 200);
         assert_eq!(

@@ -69,9 +69,11 @@ struct RunPlan {
 }
 
 /// A finished job handed to accounting, plus the log lines it "wrote".
+/// The job is shared (`Arc`): accounting and the log writer take refcount
+/// bumps, not copies.
 #[derive(Debug, Clone)]
 pub struct FinishedJob {
-    pub job: Job,
+    pub job: Arc<Job>,
     pub stdout_lines: Vec<String>,
     pub stderr_lines: Vec<String>,
 }
@@ -84,8 +86,10 @@ pub struct ClusterState {
     pub partitions: BTreeMap<String, Partition>,
     pub qos: BTreeMap<String, Qos>,
     pub assoc: AssocStore,
-    /// Active (pending/running/suspended) jobs.
-    jobs: BTreeMap<JobId, Job>,
+    /// Active (pending/running/suspended) jobs. Stored as `Arc<Job>` so
+    /// snapshot publication shares rows with readers; mutations go through
+    /// `Arc::make_mut` (copy-on-write when a snapshot still holds the row).
+    jobs: BTreeMap<JobId, Arc<Job>>,
     run_plans: HashMap<JobId, RunPlan>,
     next_id: u32,
     weights: PriorityWeights,
@@ -194,7 +198,7 @@ impl ClusterState {
                 JobState::Pending,
                 job.reason,
             );
-            self.jobs.insert(id, job);
+            self.jobs.insert(id, Arc::new(job));
             ids.push(id);
         }
         Ok(ids)
@@ -270,10 +274,16 @@ impl ClusterState {
             _ => {}
         }
         let prior_state = job.state;
-        job.state = JobState::Cancelled;
-        job.end_time = Some(now);
-        job.reason = None;
-        job.exit_code = Some((0, 15));
+        {
+            let j = Arc::make_mut(&mut job);
+            j.state = JobState::Cancelled;
+            j.end_time = Some(now);
+            j.reason = None;
+            j.exit_code = Some((0, 15));
+            if j.start_time.is_some() {
+                j.stats = Some(final_stats(j, now));
+            }
+        }
         self.events.push(
             now,
             id,
@@ -283,9 +293,6 @@ impl ClusterState {
             JobState::Cancelled,
             None,
         );
-        if job.start_time.is_some() {
-            job.stats = Some(final_stats(&job, now));
-        }
         self.finish(job, now, Some("CANCELLED"));
         Ok(())
     }
@@ -294,7 +301,7 @@ impl ClusterState {
     pub fn hold(&mut self, id: JobId, by_admin: bool) -> Result<(), ClusterError> {
         let job = self.jobs.get_mut(&id).ok_or(ClusterError::UnknownJob(id))?;
         if job.state == JobState::Pending {
-            job.reason = Some(if by_admin {
+            Arc::make_mut(job).reason = Some(if by_admin {
                 PendingReason::JobHeldAdmin
             } else {
                 PendingReason::JobHeldUser
@@ -312,7 +319,7 @@ impl ClusterState {
                 Some(PendingReason::JobHeldUser) | Some(PendingReason::JobHeldAdmin)
             )
         {
-            job.reason = Some(PendingReason::Priority);
+            Arc::make_mut(job).reason = Some(PendingReason::Priority);
         }
         Ok(())
     }
@@ -340,11 +347,14 @@ impl ClusterState {
                 continue;
             };
             self.release_job_nodes(&job, plan.end);
-            job.state = plan.final_state;
-            job.end_time = Some(plan.end);
-            job.exit_code = Some(plan.exit_code);
-            job.reason = None;
-            job.stats = Some(final_stats(&job, plan.end));
+            {
+                let j = Arc::make_mut(&mut job);
+                j.state = plan.final_state;
+                j.end_time = Some(plan.end);
+                j.exit_code = Some(plan.exit_code);
+                j.reason = None;
+                j.stats = Some(final_stats(j, plan.end));
+            }
             self.events.push(
                 plan.end,
                 id,
@@ -390,17 +400,21 @@ impl ClusterState {
             }
             if let Some(begin) = job.req.begin_time {
                 if begin > now {
-                    job.reason = Some(PendingReason::BeginTime);
+                    if job.reason != Some(PendingReason::BeginTime) {
+                        Arc::make_mut(job).reason = Some(PendingReason::BeginTime);
+                    }
                     continue;
                 } else if job.reason == Some(PendingReason::BeginTime) {
-                    job.reason = Some(PendingReason::Priority);
+                    Arc::make_mut(job).reason = Some(PendingReason::Priority);
                 }
             }
             if let Some(dep) = job.req.dependency {
                 match dep_states.get(&dep).copied().flatten() {
                     // Dependency still active in the queue.
                     Some(s) if s.is_active() => {
-                        job.reason = Some(PendingReason::Dependency);
+                        if job.reason != Some(PendingReason::Dependency) {
+                            Arc::make_mut(job).reason = Some(PendingReason::Dependency);
+                        }
                         continue;
                     }
                     // Dependency left the active set: it finished, so the
@@ -408,7 +422,7 @@ impl ClusterState {
                     // dependency as satisfied).
                     _ => {
                         if job.reason == Some(PendingReason::Dependency) {
-                            job.reason = Some(PendingReason::Priority);
+                            Arc::make_mut(job).reason = Some(PendingReason::Priority);
                         }
                     }
                 }
@@ -437,7 +451,9 @@ impl ClusterState {
             .collect();
         for (id, p) in &priorities {
             if let Some(j) = self.jobs.get_mut(id) {
-                j.priority = *p;
+                if j.priority != *p {
+                    Arc::make_mut(j).priority = *p;
+                }
             }
         }
 
@@ -489,7 +505,7 @@ impl ClusterState {
             }
         }
 
-        let pending_jobs: Vec<&Job> = pending_ids.iter().map(|id| &self.jobs[id]).collect();
+        let pending_jobs: Vec<&Job> = pending_ids.iter().map(|id| &*self.jobs[id]).collect();
         let plan = sched::plan_schedule(PlanInputs {
             nodes: &self.nodes,
             partitions: &self.partitions,
@@ -516,7 +532,9 @@ impl ClusterState {
                 }
                 ScheduleDecision::Pend { job: id, reason } => {
                     if let Some(j) = self.jobs.get_mut(&id) {
-                        j.reason = Some(reason);
+                        if j.reason != Some(reason) {
+                            Arc::make_mut(j).reason = Some(reason);
+                        }
                     }
                 }
             }
@@ -535,7 +553,8 @@ impl ClusterState {
                 .allocate(per_node, now);
         }
         let (account, cpus, plan) = {
-            let job = self.jobs.get_mut(&id).expect("plan references live job");
+            let arc = self.jobs.get_mut(&id).expect("plan references live job");
+            let job = Arc::make_mut(arc);
             job.state = JobState::Running;
             job.reason = None;
             job.start_time = Some(now);
@@ -573,7 +592,7 @@ impl ClusterState {
         self.qos.get(qos).map(|q| q.usage_factor).unwrap_or(1.0)
     }
 
-    fn finish(&mut self, job: Job, _now: Timestamp, note: Option<&str>) {
+    fn finish(&mut self, job: Arc<Job>, _now: Timestamp, note: Option<&str>) {
         let (stdout_lines, stderr_lines) = synth_log_lines(&job, note);
         self.finished.push_back(FinishedJob {
             job,
@@ -602,12 +621,12 @@ impl ClusterState {
     // ---- read API used by the daemons -------------------------------------
 
     /// Active jobs (pending/running/suspended), id order.
-    pub fn active_jobs(&self) -> impl Iterator<Item = &Job> {
+    pub fn active_jobs(&self) -> impl Iterator<Item = &Arc<Job>> {
         self.jobs.values()
     }
 
     pub fn job(&self, id: JobId) -> Option<&Job> {
-        self.jobs.get(&id)
+        self.jobs.get(&id).map(|a| a.as_ref())
     }
 
     pub fn node(&self, name: &str) -> Option<&Node> {
@@ -635,6 +654,38 @@ impl ClusterState {
 
     pub fn partition_mut(&mut self, name: &str) -> Option<&mut Partition> {
         self.partitions.get_mut(name)
+    }
+
+    /// Association records in `AssocStore::accounts()` order, optionally
+    /// restricted to the accounts `user` belongs to.
+    pub fn assoc_records(&self, user: Option<&str>) -> Vec<crate::ctld::AssocRecord> {
+        self.assoc
+            .accounts()
+            .filter(|a| match user {
+                Some(u) => self.assoc.is_member(&a.name, u),
+                None => true,
+            })
+            .map(|a| crate::ctld::AssocRecord {
+                account: a.clone(),
+                usage: self.assoc.usage(&a.name).cloned().unwrap_or_default(),
+                members: self.assoc.users_of_account(&a.name).to_vec(),
+            })
+            .collect()
+    }
+
+    /// Materialize an immutable snapshot of the whole cluster for epoch
+    /// publication. Jobs are shared (`Arc` clones); nodes/partitions/assoc
+    /// rows are copied once per publication instead of once per read RPC.
+    pub fn capture_snapshot(&self, seq: u64, now: Timestamp) -> crate::snapshot::ClusterSnapshot {
+        crate::snapshot::ClusterSnapshot::build(
+            seq,
+            now,
+            Arc::from(self.name.as_str()),
+            self.jobs.values().cloned().collect(),
+            self.nodes.values().cloned().collect(),
+            self.partitions.values().cloned().collect(),
+            self.assoc_records(None),
+        )
     }
 }
 

@@ -1,22 +1,28 @@
 //! `slurmctld`: the central management daemon.
 //!
-//! All live-state queries (`squeue`, `sinfo`, `scontrol show ...`) and all
-//! mutations (submit/cancel) go through one big daemon lock, exactly like
-//! the single-threaded RPC loop in real slurmctld — and, critically for the
-//! paper's §3.2 argument, so does the scheduling tick. Dashboard query
-//! storms therefore *measurably* delay scheduling unless they are absorbed
-//! by the dashboard's caches.
+//! Mutations (submit/cancel/tick/admin ops) go through one big daemon
+//! lock, exactly like the single-threaded RPC loop in real slurmctld. Live
+//! *queries* (`squeue`, `sinfo`, `scontrol show ...`), however, run on an
+//! epoch-published immutable [`ClusterSnapshot`](crate::snapshot) and never
+//! touch that lock: every mutation and every scheduler tick publishes a
+//! fresh snapshot (with per-user / per-account / per-partition indexes)
+//! while still holding the lock, and readers load it with two atomic ops.
+//! Dashboard query storms therefore cost CPU (the RPC cost model still
+//! burns per row *scanned*) but can no longer delay scheduling — the
+//! contention the paper's §3.2 caching argument is built around now lives
+//! entirely on the write side.
 
 use crate::assoc::{Account, AccountUsage};
 use crate::cluster::{ClusterError, ClusterSpec, ClusterState};
-use crate::job::{Job, JobId, JobRequest};
+use crate::job::{Job, JobId, JobRequest, JobState};
 use crate::joblog::JobLogFs;
 use crate::loadmodel::{RpcCostModel, RpcStats};
 use crate::node::{AdminFlag, Node};
 use crate::partition::{Partition, PartitionState};
+use crate::snapshot::{ClusterSnapshot, EpochCell, SnapshotStats};
 use hpcdash_obs::Span;
 use hpcdash_simtime::{SharedClock, Timestamp};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -64,6 +70,69 @@ impl JobQuery {
         }
         true
     }
+
+    /// Run the query against a snapshot, walking the narrowest precomputed
+    /// index. Returns the matches (ascending id, the `squeue` presentation
+    /// order) plus how many rows were actually scanned — the cost-model
+    /// input, which scales with the index selectivity rather than the
+    /// total active-job count.
+    fn select(&self, snap: &ClusterSnapshot) -> (Vec<Arc<Job>>, usize) {
+        let candidates: Option<Vec<u32>> = if self.user.is_some() || !self.accounts.is_empty() {
+            let mut lists: Vec<&[u32]> = Vec::new();
+            if let Some(u) = &self.user {
+                if let Some(l) = snap.by_user.get(u) {
+                    lists.push(l);
+                }
+            }
+            for a in &self.accounts {
+                if let Some(l) = snap.by_account.get(a) {
+                    lists.push(l);
+                }
+            }
+            Some(merge_ascending(&lists))
+        } else {
+            self.partition
+                .as_ref()
+                .map(|p| snap.by_partition.get(p).cloned().unwrap_or_default())
+        };
+        match candidates {
+            Some(idx) => {
+                let scanned = idx.len();
+                let out = idx
+                    .iter()
+                    .map(|&i| &snap.jobs[i as usize])
+                    .filter(|j| self.matches(j))
+                    .cloned()
+                    .collect();
+                (out, scanned)
+            }
+            None => {
+                let scanned = snap.jobs.len();
+                let out = snap
+                    .jobs
+                    .iter()
+                    .filter(|j| self.matches(j))
+                    .cloned()
+                    .collect();
+                (out, scanned)
+            }
+        }
+    }
+}
+
+/// Merge ascending, internally deduped index lists into one ascending
+/// deduped list (preserves id order across a user OR accounts union).
+fn merge_ascending(lists: &[&[u32]]) -> Vec<u32> {
+    match lists {
+        [] => Vec::new(),
+        [one] => one.to_vec(),
+        many => {
+            let mut all: Vec<u32> = many.iter().flat_map(|l| l.iter().copied()).collect();
+            all.sort_unstable();
+            all.dedup();
+            all
+        }
+    }
 }
 
 /// One account row from `scontrol show assoc`-style queries.
@@ -77,6 +146,12 @@ pub struct AssocRecord {
 /// The central management daemon.
 pub struct Slurmctld {
     state: Mutex<ClusterState>,
+    /// The epoch-published read path: an immutable snapshot swapped in on
+    /// every mutation and every tick. Queries load this, never `state`.
+    snap: EpochCell<ClusterSnapshot>,
+    snap_stats: SnapshotStats,
+    /// The event log, cached here so `events()` needs no state lock.
+    events: Arc<crate::events::EventLog>,
     clock: SharedClock,
     cost: RpcCostModel,
     stats: RpcStats,
@@ -101,8 +176,16 @@ impl Slurmctld {
         logs: Arc<JobLogFs>,
         cost: RpcCostModel,
     ) -> Slurmctld {
+        let state = ClusterState::new(spec);
+        let events = state.events();
+        // Seq 0: queries are answerable (nodes/partitions/assoc populated)
+        // before the first tick or submit ever publishes.
+        let initial = Arc::new(state.capture_snapshot(0, clock.now()));
         Slurmctld {
-            state: Mutex::new(ClusterState::new(spec)),
+            state: Mutex::new(state),
+            snap: EpochCell::new(initial),
+            snap_stats: SnapshotStats::new(),
+            events,
             clock,
             cost,
             stats: RpcStats::new(),
@@ -111,47 +194,78 @@ impl Slurmctld {
         }
     }
 
+    /// Acquire the state mutex, recording the wait and counting the
+    /// acquisition. Only mutations call this; the read RPCs must not.
+    fn lock_state(&self, since: Instant) -> MutexGuard<'_, ClusterState> {
+        let guard = self.state.lock();
+        self.stats.record_lock_wait(since.elapsed());
+        self.stats.note_state_lock();
+        guard
+    }
+
+    /// Publish a fresh snapshot of `state`. Called while the caller still
+    /// holds the state lock, so publications are ordered and `seq` is
+    /// strictly increasing with the mutations it reflects.
+    fn publish_locked(&self, state: &ClusterState, now: Timestamp) -> Arc<ClusterSnapshot> {
+        let seq = self.snap_stats.next_seq();
+        let snap = Arc::new(state.capture_snapshot(seq, now));
+        self.snap.store(snap.clone());
+        self.snap_stats.note_publish();
+        snap
+    }
+
+    fn load_snapshot(&self) -> Arc<ClusterSnapshot> {
+        let snap = self.snap.load();
+        self.snap_stats.note_read(snap.seq);
+        snap
+    }
+
+    /// The current epoch-published snapshot (what every read RPC serves
+    /// from). Exposed for `sinfo`-style aggregation and stress tests.
+    pub fn snapshot(&self) -> Arc<ClusterSnapshot> {
+        self.load_snapshot()
+    }
+
+    /// Snapshot publication/freshness telemetry.
+    pub fn snapshot_stats(&self) -> &SnapshotStats {
+        &self.snap_stats
+    }
+
     /// Advance the simulation to the clock's current instant: run the
     /// scheduler, stream finished jobs to accounting, refresh job logs.
+    /// The critical section is scheduling + snapshot publication only; log
+    /// formatting and the accounting mirror run on the published snapshot
+    /// after the lock drops.
     pub fn tick(&self) {
         let _span = Span::enter("ctld").attr("kind", "sched_tick");
         let start = Instant::now();
         let now = self.clock.now();
-        let (finished, active_snapshot, running_logs) = {
-            let mut state = self.state.lock();
-            self.stats.record_lock_wait(start.elapsed());
+        let (finished, snap) = {
+            let mut state = self.lock_state(start);
             state.tick(now);
             let finished = state.drain_finished();
-            let active: Vec<Job> = state.active_jobs().cloned().collect();
-            // Running jobs keep their stdout fresh: one progress line per
-            // elapsed minute, so the Job Overview output tab has content.
-            let running_logs: Vec<(String, String, Vec<String>)> = state
-                .active_jobs()
-                .filter(|j| j.state == crate::job::JobState::Running)
-                .map(|j| {
-                    let mut lines = vec![format!(
-                        "=== job {} ({}) starting on {} ===",
-                        j.id,
-                        j.req.name,
-                        j.nodes.join(",")
-                    )];
-                    let minutes = j.elapsed_secs(now) / 60;
-                    for i in 0..minutes.min(200) {
-                        lines.push(format!("step {i}: processed batch {i} ok"));
-                    }
-                    (j.stdout_path.clone(), j.req.user.clone(), lines)
-                })
-                .collect();
-            self.cost.burn(active.len());
-            let pending = active
-                .iter()
-                .filter(|j| j.state == crate::job::JobState::Pending)
-                .count() as u64;
-            self.stats.set_sched_queue_depth(pending);
-            (finished, active, running_logs)
+            // The scheduling pass genuinely occupies the daemon.
+            self.cost.burn(state.active_jobs().count());
+            let snap = self.publish_locked(&state, now);
+            (finished, snap)
         };
-        for (path, user, lines) in running_logs {
-            self.logs.write(&path, &user, lines);
+        self.stats
+            .set_sched_queue_depth(u64::from(snap.counts.pending));
+        // Running jobs keep their stdout fresh: one progress line per
+        // elapsed minute, so the Job Overview output tab has content.
+        // Formatted from the immutable snapshot — the lock is gone.
+        for job in snap.jobs.iter().filter(|j| j.state == JobState::Running) {
+            let mut lines = vec![format!(
+                "=== job {} ({}) starting on {} ===",
+                job.id,
+                job.req.name,
+                job.nodes.join(",")
+            )];
+            let minutes = job.elapsed_secs(now) / 60;
+            for i in 0..minutes.min(200) {
+                lines.push(format!("step {i}: processed batch {i} ok"));
+            }
+            self.logs.write(&job.stdout_path, &job.req.user, lines);
         }
         for f in &finished {
             self.logs
@@ -161,7 +275,9 @@ impl Slurmctld {
         }
         self.dbd
             .record_finished(finished.into_iter().map(|f| f.job));
-        self.dbd.sync_active(active_snapshot);
+        // The active mirror shares the snapshot's Arc<Job> rows: refcount
+        // bumps, not a second deep clone of every active job.
+        self.dbd.sync_active(snap.jobs.iter().cloned());
         self.stats.record("sched_tick", start.elapsed());
     }
 
@@ -171,10 +287,13 @@ impl Slurmctld {
         let start = Instant::now();
         let now = self.clock.now();
         let result = {
-            let mut state = self.state.lock();
-            self.stats.record_lock_wait(start.elapsed());
+            let mut state = self.lock_state(start);
             self.cost.burn(1);
-            state.submit(req, now)
+            let result = state.submit(req, now);
+            if result.is_ok() {
+                self.publish_locked(&state, now);
+            }
+            result
         };
         self.stats.record("submit", start.elapsed());
         result
@@ -186,59 +305,75 @@ impl Slurmctld {
         let start = Instant::now();
         let now = self.clock.now();
         let result = {
-            let mut state = self.state.lock();
-            self.stats.record_lock_wait(start.elapsed());
+            let mut state = self.lock_state(start);
             self.cost.burn(1);
-            state.cancel(id, user, now)
+            let result = state.cancel(id, user, now);
+            if result.is_ok() {
+                self.publish_locked(&state, now);
+            }
+            result
         };
         self.stats.record("cancel", start.elapsed());
         result
     }
 
-    /// Live job listing (`squeue`). This is the expensive, schedule-blocking
-    /// query the dashboard must cache.
-    pub fn query_jobs(&self, query: &JobQuery) -> Vec<Job> {
+    /// Live job listing (`squeue`): served from the current snapshot via
+    /// the per-user/per-account/per-partition indexes. Zero state-lock
+    /// acquisitions; the cost model burns per row *scanned*.
+    pub fn query_jobs(&self, query: &JobQuery) -> Vec<Arc<Job>> {
         let _span = Span::enter("ctld").attr("kind", "squeue");
         let start = Instant::now();
-        let out = {
-            let state = self.state.lock();
-            self.stats.record_lock_wait(start.elapsed());
-            let all: Vec<&Job> = state.active_jobs().collect();
-            self.cost.burn(all.len());
-            all.into_iter()
-                .filter(|j| query.matches(j))
-                .cloned()
-                .collect()
-        };
+        let snap = self.load_snapshot();
+        let (out, scanned) = query.select(&snap);
+        self.cost.burn(scanned);
+        self.stats.record_scanned("squeue", scanned as u64);
         self.stats.record("squeue", start.elapsed());
         out
     }
 
-    /// One live job (`scontrol show job`).
-    pub fn query_job(&self, id: JobId) -> Option<Job> {
-        let _span = Span::enter("ctld").attr("kind", "scontrol_job");
+    /// The pre-snapshot `squeue` implementation: takes the state mutex and
+    /// deep-clones every match. Kept (under a distinct stats kind) as the
+    /// contention baseline that `bench_ctld_snapshot` measures against —
+    /// not called by any production path.
+    pub fn query_jobs_locked(&self, query: &JobQuery) -> Vec<Job> {
+        let _span = Span::enter("ctld").attr("kind", "squeue_locked");
         let start = Instant::now();
         let out = {
-            let state = self.state.lock();
-            self.stats.record_lock_wait(start.elapsed());
-            self.cost.burn(1);
-            state.job(id).cloned()
+            let state = self.lock_state(start);
+            let all: Vec<&Arc<Job>> = state.active_jobs().collect();
+            self.cost.burn(all.len());
+            self.stats.record_scanned("squeue_locked", all.len() as u64);
+            all.into_iter()
+                .filter(|j| query.matches(j))
+                .map(|j| Job::clone(j))
+                .collect()
         };
+        self.stats.record("squeue_locked", start.elapsed());
+        out
+    }
+
+    /// One live job (`scontrol show job`).
+    pub fn query_job(&self, id: JobId) -> Option<Arc<Job>> {
+        let _span = Span::enter("ctld").attr("kind", "scontrol_job");
+        let start = Instant::now();
+        let snap = self.load_snapshot();
+        self.cost.burn(1);
+        self.stats.record_scanned("scontrol_job", 1);
+        let out = snap.job(id).cloned();
         self.stats.record("scontrol_job", start.elapsed());
         out
     }
 
-    /// Node inventory (`scontrol show node` / `sinfo` substrate).
-    pub fn query_nodes(&self) -> Vec<Node> {
+    /// Node inventory (`scontrol show node` / `sinfo` substrate). The
+    /// returned slice is shared with the snapshot — no copy.
+    pub fn query_nodes(&self) -> Arc<[Node]> {
         let _span = Span::enter("ctld").attr("kind", "scontrol_node");
         let start = Instant::now();
-        let out = {
-            let state = self.state.lock();
-            self.stats.record_lock_wait(start.elapsed());
-            let nodes: Vec<Node> = state.nodes.values().cloned().collect();
-            self.cost.burn(nodes.len());
-            nodes
-        };
+        let snap = self.load_snapshot();
+        self.cost.burn(snap.nodes.len());
+        self.stats
+            .record_scanned("scontrol_node", snap.nodes.len() as u64);
+        let out = snap.nodes.clone();
         self.stats.record("scontrol_node", start.elapsed());
         out
     }
@@ -246,29 +381,52 @@ impl Slurmctld {
     pub fn query_node(&self, name: &str) -> Option<Node> {
         let _span = Span::enter("ctld").attr("kind", "scontrol_node");
         let start = Instant::now();
-        let out = {
-            let state = self.state.lock();
-            self.stats.record_lock_wait(start.elapsed());
-            self.cost.burn(1);
-            state.node(name).cloned()
-        };
+        let snap = self.load_snapshot();
+        self.cost.burn(1);
+        self.stats.record_scanned("scontrol_node", 1);
+        // The snapshot's node slice is name-ascending (BTreeMap order).
+        let out = snap
+            .nodes
+            .binary_search_by(|n| n.name.as_str().cmp(name))
+            .ok()
+            .map(|i| snap.nodes[i].clone());
         self.stats.record("scontrol_node", start.elapsed());
         out
     }
 
     /// Partition definitions (`scontrol show partition` / `sinfo`).
-    pub fn query_partitions(&self) -> Vec<Partition> {
+    pub fn query_partitions(&self) -> Arc<[Partition]> {
         let _span = Span::enter("ctld").attr("kind", "sinfo");
         let start = Instant::now();
-        let out = {
-            let state = self.state.lock();
-            self.stats.record_lock_wait(start.elapsed());
-            let parts: Vec<Partition> = state.partitions.values().cloned().collect();
-            self.cost.burn(parts.len());
-            parts
-        };
+        let snap = self.load_snapshot();
+        self.cost.burn(snap.partitions.len());
+        self.stats
+            .record_scanned("sinfo", snap.partitions.len() as u64);
+        let out = snap.partitions.clone();
         self.stats.record("sinfo", start.elapsed());
         out
+    }
+
+    /// The combined `sinfo` read: one snapshot load covering the node
+    /// inventory and the partition table, with the same RPC accounting as
+    /// the separate `query_nodes` + `query_partitions` calls it replaces.
+    /// `sinfo` renders from the snapshot's precomputed per-partition node
+    /// groups instead of re-grouping on every call.
+    pub fn query_cluster(&self) -> Arc<ClusterSnapshot> {
+        let _span = Span::enter("ctld").attr("kind", "scontrol_node");
+        let start = Instant::now();
+        let snap = self.load_snapshot();
+        self.cost.burn(snap.nodes.len());
+        self.stats
+            .record_scanned("scontrol_node", snap.nodes.len() as u64);
+        self.stats.record("scontrol_node", start.elapsed());
+        let _span = Span::enter("ctld").attr("kind", "sinfo");
+        let start = Instant::now();
+        self.cost.burn(snap.partitions.len());
+        self.stats
+            .record_scanned("sinfo", snap.partitions.len() as u64);
+        self.stats.record("sinfo", start.elapsed());
+        snap
     }
 
     /// Association dump (`scontrol show assoc_mgr`): accounts with live
@@ -276,65 +434,85 @@ impl Slurmctld {
     pub fn query_assoc(&self, user: Option<&str>) -> Vec<AssocRecord> {
         let _span = Span::enter("ctld").attr("kind", "scontrol_assoc");
         let start = Instant::now();
-        let out = {
-            let state = self.state.lock();
-            self.stats.record_lock_wait(start.elapsed());
-            let records: Vec<AssocRecord> = state
-                .assoc
-                .accounts()
-                .filter(|a| match user {
-                    Some(u) => state.assoc.is_member(&a.name, u),
-                    None => true,
-                })
-                .map(|a| AssocRecord {
-                    account: a.clone(),
-                    usage: state.assoc.usage(&a.name).cloned().unwrap_or_default(),
-                    members: state.assoc.users_of_account(&a.name).to_vec(),
-                })
-                .collect();
-            self.cost.burn(records.len().max(1));
-            records
-        };
+        let snap = self.load_snapshot();
+        let records: Vec<AssocRecord> = snap
+            .assoc
+            .iter()
+            .filter(|r| match user {
+                Some(u) => r.members.iter().any(|m| m == u),
+                None => true,
+            })
+            .cloned()
+            .collect();
+        self.cost.burn(records.len().max(1));
+        self.stats
+            .record_scanned("scontrol_assoc", records.len().max(1) as u64);
         self.stats.record("scontrol_assoc", start.elapsed());
-        out
+        records
     }
 
     /// Cluster name (cheap, cached by callers).
     pub fn cluster_name(&self) -> String {
-        self.state.lock().name.clone()
+        self.load_snapshot().name.to_string()
     }
 
     // ---- admin operations (fault injection, maintenance) ------------------
 
     pub fn set_node_flag(&self, name: &str, flag: AdminFlag, reason: Option<String>) -> bool {
-        let mut state = self.state.lock();
-        match state.node_mut(name) {
+        let start = Instant::now();
+        let now = self.clock.now();
+        let mut state = self.lock_state(start);
+        let ok = match state.node_mut(name) {
             Some(n) => {
                 n.admin_flag = flag;
                 n.reason = reason;
                 true
             }
             None => false,
+        };
+        if ok {
+            self.publish_locked(&state, now);
         }
+        ok
     }
 
     pub fn set_partition_state(&self, name: &str, pstate: PartitionState) -> bool {
-        let mut state = self.state.lock();
-        match state.partition_mut(name) {
+        let start = Instant::now();
+        let now = self.clock.now();
+        let mut state = self.lock_state(start);
+        let ok = match state.partition_mut(name) {
             Some(p) => {
                 p.state = pstate;
                 true
             }
             None => false,
+        };
+        if ok {
+            self.publish_locked(&state, now);
         }
+        ok
     }
 
     pub fn hold(&self, id: JobId, by_admin: bool) -> Result<(), ClusterError> {
-        self.state.lock().hold(id, by_admin)
+        let start = Instant::now();
+        let now = self.clock.now();
+        let mut state = self.lock_state(start);
+        let result = state.hold(id, by_admin);
+        if result.is_ok() {
+            self.publish_locked(&state, now);
+        }
+        result
     }
 
     pub fn release(&self, id: JobId) -> Result<(), ClusterError> {
-        self.state.lock().release(id)
+        let start = Instant::now();
+        let now = self.clock.now();
+        let mut state = self.lock_state(start);
+        let result = state.release(id);
+        if result.is_ok() {
+            self.publish_locked(&state, now);
+        }
+        result
     }
 
     // ---- introspection -----------------------------------------------------
@@ -351,9 +529,10 @@ impl Slurmctld {
         &self.logs
     }
 
-    /// The cluster's job-event log (real-time monitoring feed).
+    /// The cluster's job-event log (real-time monitoring feed). Cached at
+    /// construction — no state lock.
     pub fn events(&self) -> Arc<crate::events::EventLog> {
-        self.state.lock().events()
+        self.events.clone()
     }
 
     pub fn dbd(&self) -> &Arc<crate::dbd::Slurmdbd> {
@@ -365,9 +544,11 @@ impl Slurmctld {
 mod tests {
     use super::*;
     use crate::assoc::AssocStore;
-    use crate::job::{JobState, UsageProfile};
+    use crate::job::UsageProfile;
     use crate::qos::Qos;
     use hpcdash_simtime::SimClock;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn spec() -> ClusterSpec {
         let mut assoc = AssocStore::new();
@@ -458,6 +639,33 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_and_locked_paths_agree() {
+        let (ctld, clock) = daemon();
+        for i in 0..10 {
+            ctld.submit(req(if i % 2 == 0 { "alice" } else { "bob" }, 1, 300 + i))
+                .unwrap();
+        }
+        clock.advance(1);
+        ctld.tick();
+        for q in [
+            JobQuery::all(),
+            JobQuery::for_user("alice"),
+            JobQuery {
+                accounts: vec!["physics".to_string()],
+                ..JobQuery::default()
+            },
+            JobQuery {
+                partition: Some("cpu".to_string()),
+                ..JobQuery::default()
+            },
+        ] {
+            let snap_ids: Vec<JobId> = ctld.query_jobs(&q).iter().map(|j| j.id).collect();
+            let locked_ids: Vec<JobId> = ctld.query_jobs_locked(&q).iter().map(|j| j.id).collect();
+            assert_eq!(snap_ids, locked_ids, "paths disagree for {q:?}");
+        }
+    }
+
+    #[test]
     fn assoc_visibility() {
         let (ctld, _clock) = daemon();
         let mine = ctld.query_assoc(Some("alice"));
@@ -497,6 +705,120 @@ mod tests {
         assert_eq!(ctld.stats().count_of("squeue"), 5);
         assert_eq!(ctld.stats().count_of("scontrol_node"), 1);
         assert!(ctld.stats().count_of("sched_tick") >= 1);
+    }
+
+    #[test]
+    fn squeue_cost_scales_with_users_job_count() {
+        let (ctld, clock) = daemon();
+        for _ in 0..30 {
+            ctld.submit(req("bob", 1, 600)).unwrap();
+        }
+        for _ in 0..3 {
+            ctld.submit(req("alice", 1, 600)).unwrap();
+        }
+        clock.advance(1);
+        ctld.tick();
+        // `squeue -u alice` scans only alice's rows...
+        ctld.stats().reset();
+        assert_eq!(ctld.query_jobs(&JobQuery::for_user("alice")).len(), 3);
+        assert_eq!(ctld.stats().scanned_of("squeue"), 3);
+        // ...an unfiltered squeue scans everything...
+        ctld.stats().reset();
+        assert_eq!(ctld.query_jobs(&JobQuery::all()).len(), 33);
+        assert_eq!(ctld.stats().scanned_of("squeue"), 33);
+        // ...and the legacy locked path scanned everything even for -u.
+        ctld.stats().reset();
+        ctld.query_jobs_locked(&JobQuery::for_user("alice"));
+        assert_eq!(ctld.stats().scanned_of("squeue_locked"), 33);
+    }
+
+    #[test]
+    fn read_rpcs_never_acquire_state_mutex() {
+        let (ctld, clock) = daemon();
+        ctld.submit(req("alice", 1, 600)).unwrap();
+        let id = ctld.submit(req("bob", 1, 600)).unwrap()[0];
+        clock.advance(1);
+        ctld.tick();
+        let locks_before = ctld.stats().state_lock_count();
+        let wait_before = ctld.stats().total_lock_wait();
+        for _ in 0..25 {
+            ctld.query_jobs(&JobQuery::all());
+            ctld.query_jobs(&JobQuery::for_user("alice"));
+            ctld.query_job(id);
+            ctld.query_nodes();
+            ctld.query_node("a001");
+            ctld.query_partitions();
+            ctld.query_cluster();
+            ctld.query_assoc(Some("alice"));
+            ctld.cluster_name();
+            ctld.events();
+        }
+        assert_eq!(
+            ctld.stats().state_lock_count(),
+            locks_before,
+            "a read RPC acquired the state mutex"
+        );
+        assert_eq!(ctld.stats().total_lock_wait(), wait_before);
+    }
+
+    #[test]
+    fn snapshot_readers_see_monotonic_untorn_views() {
+        let (ctld, clock) = daemon();
+        for i in 0..30 {
+            ctld.submit(req(if i % 2 == 0 { "alice" } else { "bob" }, 1, 20 + i))
+                .unwrap();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let c = ctld.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut last_seq = 0u64;
+                    let mut loads = 0u64;
+                    // `loads == 0` guard: even if this thread is starved
+                    // until the ticks finish, it validates one snapshot.
+                    while !stop.load(Ordering::Relaxed) || loads == 0 {
+                        let snap = c.snapshot();
+                        assert!(snap.seq >= last_seq, "snapshot seq went backwards");
+                        last_seq = snap.seq;
+                        // No torn view: every running job's allocated nodes
+                        // exist in the *same* snapshot's node table, and the
+                        // job slice is id-ascending.
+                        let names: HashSet<&str> =
+                            snap.nodes.iter().map(|n| n.name.as_str()).collect();
+                        let mut prev = None;
+                        for job in snap.jobs.iter() {
+                            assert!(Some(job.id) > prev, "jobs out of id order");
+                            prev = Some(job.id);
+                            if job.state == JobState::Running {
+                                for n in &job.nodes {
+                                    assert!(
+                                        names.contains(n.as_str()),
+                                        "job {} allocated to unknown node {n}",
+                                        job.id
+                                    );
+                                }
+                            }
+                        }
+                        loads += 1;
+                    }
+                    loads
+                })
+            })
+            .collect();
+        for round in 0..60u64 {
+            clock.advance(5);
+            ctld.tick();
+            if round % 4 == 0 {
+                let _ = ctld.submit(req("alice", 1, 25));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader never loaded a snapshot");
+        }
+        assert!(ctld.snapshot_stats().publishes() > 60);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use hpcdash_obs::Span;
 use hpcdash_simtime::Timestamp;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Filter for accounting queries, mirroring the sacct flags the dashboard
@@ -75,10 +76,11 @@ impl JobFilter {
     }
 }
 
-/// The accounting daemon.
+/// The accounting daemon. Rows are `Arc<Job>` so slurmctld can feed it the
+/// shared rows of its published snapshot (refcount bumps, not deep clones).
 pub struct Slurmdbd {
-    archived: RwLock<BTreeMap<JobId, Job>>,
-    active_mirror: RwLock<BTreeMap<JobId, Job>>,
+    archived: RwLock<BTreeMap<JobId, Arc<Job>>>,
+    active_mirror: RwLock<BTreeMap<JobId, Arc<Job>>>,
     cost: RpcCostModel,
     stats: RpcStats,
 }
@@ -97,20 +99,23 @@ impl Slurmdbd {
         }
     }
 
-    /// Archive finished jobs (called by slurmctld).
-    pub fn record_finished(&self, jobs: impl IntoIterator<Item = Job>) {
+    /// Archive finished jobs (called by slurmctld). Accepts owned `Job`s or
+    /// shared `Arc<Job>` rows.
+    pub fn record_finished<J: Into<Arc<Job>>>(&self, jobs: impl IntoIterator<Item = J>) {
         let mut archived = self.archived.write();
         for job in jobs {
+            let job = job.into();
             archived.insert(job.id, job);
         }
     }
 
     /// Replace the mirror of currently active jobs (called by slurmctld on
-    /// every tick).
-    pub fn sync_active(&self, jobs: Vec<Job>) {
+    /// every tick, handing over the snapshot's shared rows).
+    pub fn sync_active<J: Into<Arc<Job>>>(&self, jobs: impl IntoIterator<Item = J>) {
         let mut mirror = self.active_mirror.write();
         mirror.clear();
         for job in jobs {
+            let job = job.into();
             mirror.insert(job.id, job);
         }
     }
@@ -125,14 +130,19 @@ impl Slurmdbd {
             let active = self.active_mirror.read();
             let archived = self.archived.read();
             scanned = active.len() + archived.len();
-            out.extend(active.values().filter(|j| filter.matches(j)).cloned());
+            out.extend(
+                active
+                    .values()
+                    .filter(|j| filter.matches(j))
+                    .map(|j| Job::clone(j)),
+            );
             // A job can momentarily exist in both maps between ticks; the
             // archived (final) record wins.
             for job in archived.values().filter(|j| filter.matches(j)) {
                 if let Some(existing) = out.iter_mut().find(|j| j.id == job.id) {
-                    *existing = job.clone();
+                    *existing = Job::clone(job);
                 } else {
-                    out.push(job.clone());
+                    out.push(Job::clone(job));
                 }
             }
         }
@@ -150,8 +160,8 @@ impl Slurmdbd {
             .archived
             .read()
             .get(&id)
-            .cloned()
-            .or_else(|| self.active_mirror.read().get(&id).cloned());
+            .map(|j| Job::clone(j))
+            .or_else(|| self.active_mirror.read().get(&id).map(|j| Job::clone(j)));
         self.cost.burn(1);
         self.stats.record("job_lookup", start.elapsed());
         result
@@ -170,10 +180,10 @@ impl Slurmdbd {
                     .map(|a| a.array_job_id == array_job_id)
                     .unwrap_or(false)
             };
-            out.extend(active.values().filter(|j| pick(j)).cloned());
+            out.extend(active.values().filter(|j| pick(j)).map(|j| Job::clone(j)));
             for job in archived.values().filter(|j| pick(j)) {
                 if !out.iter().any(|j| j.id == job.id) {
-                    out.push(job.clone());
+                    out.push(Job::clone(job));
                 }
             }
         }

@@ -31,6 +31,7 @@ pub mod node;
 pub mod partition;
 pub mod qos;
 pub mod sched;
+pub mod snapshot;
 pub mod tres;
 
 pub use cluster::{ClusterError, ClusterSpec, ClusterState};
@@ -38,4 +39,5 @@ pub use ctld::Slurmctld;
 pub use dbd::Slurmdbd;
 pub use job::{Job, JobId, JobRequest, JobState, PendingReason, UsageProfile};
 pub use node::{Node, NodeState};
+pub use snapshot::{ClusterSnapshot, EpochCell};
 pub use tres::Tres;

@@ -72,6 +72,9 @@ pub struct RpcStats {
     lock_wait_ns: AtomicU64,
     /// Pending-job count observed at the most recent scheduler pass.
     sched_queue_depth: AtomicU64,
+    /// How many times anything acquired the daemon state mutex. Read RPCs
+    /// on the snapshot path must leave this untouched — tests assert it.
+    state_locks: AtomicU64,
     per_kind: Mutex<HashMap<&'static str, KindStats>>,
     /// Ring of recent latencies (ns) for percentile reporting.
     recent: Mutex<Vec<u64>>,
@@ -82,6 +85,10 @@ pub struct KindStats {
     pub count: u64,
     pub total_ns: u64,
     pub max_ns: u64,
+    /// Rows actually walked to serve these RPCs (the cost-model input).
+    /// With indexed queries this scales with the *matching* row count, not
+    /// the table size.
+    pub scanned: u64,
 }
 
 /// A point-in-time summary of daemon load.
@@ -147,6 +154,30 @@ impl RpcStats {
         Duration::from_nanos(self.lock_wait_ns.load(Ordering::Relaxed))
     }
 
+    /// Record rows walked while serving RPCs of `kind`.
+    pub fn record_scanned(&self, kind: &'static str, rows: u64) {
+        self.per_kind.lock().entry(kind).or_default().scanned += rows;
+    }
+
+    /// Total rows walked by RPCs of `kind` (0 if none seen).
+    pub fn scanned_of(&self, kind: &'static str) -> u64 {
+        self.per_kind
+            .lock()
+            .get(kind)
+            .map(|k| k.scanned)
+            .unwrap_or(0)
+    }
+
+    /// Count one acquisition of the daemon state mutex.
+    pub fn note_state_lock(&self) {
+        self.state_locks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total acquisitions of the daemon state mutex.
+    pub fn state_lock_count(&self) -> u64 {
+        self.state_locks.load(Ordering::Relaxed)
+    }
+
     /// Record the pending-job backlog seen by the scheduler pass.
     pub fn set_sched_queue_depth(&self, depth: u64) {
         self.sched_queue_depth.store(depth, Ordering::Relaxed);
@@ -181,6 +212,7 @@ impl RpcStats {
         self.total_busy_ns.store(0, Ordering::Relaxed);
         self.lock_wait_ns.store(0, Ordering::Relaxed);
         self.sched_queue_depth.store(0, Ordering::Relaxed);
+        self.state_locks.store(0, Ordering::Relaxed);
         self.per_kind.lock().clear();
         self.recent.lock().clear();
     }
@@ -252,6 +284,22 @@ mod tests {
         assert!(stats.snapshot().p50.is_none());
         assert_eq!(stats.total_lock_wait(), Duration::ZERO);
         assert_eq!(stats.sched_queue_depth(), 0);
+    }
+
+    #[test]
+    fn scanned_rows_and_state_locks_tracked() {
+        let stats = RpcStats::new();
+        stats.record("squeue", Duration::from_micros(10));
+        stats.record_scanned("squeue", 3);
+        stats.record_scanned("squeue", 2);
+        assert_eq!(stats.scanned_of("squeue"), 5);
+        assert_eq!(stats.scanned_of("sinfo"), 0);
+        stats.note_state_lock();
+        stats.note_state_lock();
+        assert_eq!(stats.state_lock_count(), 2);
+        stats.reset();
+        assert_eq!(stats.scanned_of("squeue"), 0);
+        assert_eq!(stats.state_lock_count(), 0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use hpcdash_obs::Span;
 use hpcdash_slurm::ctld::Slurmctld;
 use hpcdash_slurm::node::{Node, NodeState};
 use hpcdash_slurm::partition::Partition;
+use hpcdash_slurm::snapshot::ClusterSnapshot;
 use std::collections::BTreeMap;
 
 /// One row of the default `sinfo` grouping.
@@ -62,47 +63,73 @@ impl PartitionUsage {
     }
 }
 
-/// Default `sinfo` output: nodes grouped by (partition, state).
+/// Default `sinfo` output: nodes grouped by (partition, state). Served from
+/// one snapshot load; grouping uses the snapshot's precomputed per-partition
+/// node lists instead of rebuilding a name index per call.
 pub fn sinfo_summary(ctld: &Slurmctld) -> String {
     let _span = Span::enter("slurmcli").attr("cmd", "sinfo_summary");
-    let nodes = ctld.query_nodes();
-    let partitions = ctld.query_partitions();
-    render_summary(&partitions, &nodes)
+    render_summary_snapshot(&ctld.query_cluster())
 }
+
+/// Emit the summary rows for one partition given its nodes in declared
+/// order — the single formatting path both entry points share, so snapshot
+/// output is byte-identical to the slice-based renderer.
+fn push_summary_rows<'a>(
+    out: &mut String,
+    part: &Partition,
+    nodes: impl Iterator<Item = &'a Node>,
+) {
+    let mut groups: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    for node in nodes {
+        groups
+            .entry(node.state().to_slurm())
+            .or_default()
+            .push(node.name.clone());
+    }
+    let display = if part.is_default {
+        format!("{}*", part.name)
+    } else {
+        part.name.clone()
+    };
+    for (state, members) in groups {
+        out.push_str(&format!(
+            "{} {} {} {} {} {}\n",
+            display,
+            if part.state == hpcdash_slurm::partition::PartitionState::Up {
+                "up"
+            } else {
+                "down"
+            },
+            part.max_time.to_slurm(),
+            members.len(),
+            state.to_lowercase(),
+            members.join(",")
+        ));
+    }
+}
+
+const SUMMARY_HEADER: &str = "PARTITION AVAIL TIMELIMIT NODES STATE NODELIST\n";
 
 pub fn render_summary(partitions: &[Partition], nodes: &[Node]) -> String {
     let by_name: BTreeMap<&str, &Node> = nodes.iter().map(|n| (n.name.as_str(), n)).collect();
-    let mut out = String::from("PARTITION AVAIL TIMELIMIT NODES STATE NODELIST\n");
+    let mut out = String::from(SUMMARY_HEADER);
     for part in partitions {
-        let mut groups: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
-        for name in &part.nodes {
-            if let Some(node) = by_name.get(name.as_str()) {
-                groups
-                    .entry(node.state().to_slurm())
-                    .or_default()
-                    .push(name.clone());
-            }
-        }
-        let display = if part.is_default {
-            format!("{}*", part.name)
-        } else {
-            part.name.clone()
-        };
-        for (state, members) in groups {
-            out.push_str(&format!(
-                "{} {} {} {} {} {}\n",
-                display,
-                if part.state == hpcdash_slurm::partition::PartitionState::Up {
-                    "up"
-                } else {
-                    "down"
-                },
-                part.max_time.to_slurm(),
-                members.len(),
-                state.to_lowercase(),
-                members.join(",")
-            ));
-        }
+        push_summary_rows(
+            &mut out,
+            part,
+            part.nodes
+                .iter()
+                .filter_map(|n| by_name.get(n.as_str()).copied()),
+        );
+    }
+    out
+}
+
+/// Render the summary straight from a snapshot's per-partition node groups.
+pub fn render_summary_snapshot(snap: &ClusterSnapshot) -> String {
+    let mut out = String::from(SUMMARY_HEADER);
+    for (i, part) in snap.partitions.iter().enumerate() {
+        push_summary_rows(&mut out, part, snap.nodes_of_partition(i));
     }
     out
 }
@@ -137,13 +164,19 @@ pub fn parse_sinfo_summary(text: &str) -> Result<Vec<SinfoRow>, String> {
 /// `PARTITION AVAIL CPUS(A/I/O/T) GPUS(A/T) NODES(I/T)`.
 pub fn sinfo_usage(ctld: &Slurmctld) -> String {
     let _span = Span::enter("slurmcli").attr("cmd", "sinfo_usage");
-    let nodes = ctld.query_nodes();
-    let partitions = ctld.query_partitions();
-    render_usage(&partitions, &nodes)
+    render_usage_snapshot(&ctld.query_cluster())
 }
 
 pub fn render_usage(partitions: &[Partition], nodes: &[Node]) -> String {
-    let usages = compute_usage(partitions, nodes);
+    format_usage(compute_usage(partitions, nodes))
+}
+
+/// Render the usage table straight from a snapshot's node groups.
+pub fn render_usage_snapshot(snap: &ClusterSnapshot) -> String {
+    format_usage(compute_usage_snapshot(snap))
+}
+
+fn format_usage(usages: Vec<PartitionUsage>) -> String {
     let mut out = String::from("PARTITION AVAIL CPUS(A/I/O/T) GPUS(A/T) NODES(U/T)\n");
     for u in usages {
         out.push_str(&format!(
@@ -163,48 +196,64 @@ pub fn render_usage(partitions: &[Partition], nodes: &[Node]) -> String {
     out
 }
 
+/// Aggregate one partition's nodes into a usage record.
+fn usage_of<'a>(part: &Partition, nodes: impl Iterator<Item = &'a Node>) -> PartitionUsage {
+    let mut u = PartitionUsage {
+        partition: part.name.clone(),
+        avail: if part.state == hpcdash_slurm::partition::PartitionState::Up {
+            "up".to_string()
+        } else {
+            "down".to_string()
+        },
+        cpus_alloc: 0,
+        cpus_idle: 0,
+        cpus_other: 0,
+        cpus_total: 0,
+        gpus_alloc: 0,
+        gpus_total: 0,
+        nodes_total: 0,
+        nodes_in_use: 0,
+    };
+    for node in nodes {
+        u.nodes_total += 1;
+        u.cpus_total += node.cpus;
+        u.gpus_total += node.gpus;
+        if node.state().schedulable() {
+            u.cpus_alloc += node.alloc.cpus;
+            u.cpus_idle += node.cpus - node.alloc.cpus.min(node.cpus);
+            u.gpus_alloc += node.alloc.gpus;
+            if node.alloc.cpus > 0 {
+                u.nodes_in_use += 1;
+            }
+        } else {
+            u.cpus_other += node.cpus;
+        }
+    }
+    u
+}
+
 /// Aggregate node state into per-partition usage records.
 pub fn compute_usage(partitions: &[Partition], nodes: &[Node]) -> Vec<PartitionUsage> {
     let by_name: BTreeMap<&str, &Node> = nodes.iter().map(|n| (n.name.as_str(), n)).collect();
     partitions
         .iter()
         .map(|part| {
-            let mut u = PartitionUsage {
-                partition: part.name.clone(),
-                avail: if part.state == hpcdash_slurm::partition::PartitionState::Up {
-                    "up".to_string()
-                } else {
-                    "down".to_string()
-                },
-                cpus_alloc: 0,
-                cpus_idle: 0,
-                cpus_other: 0,
-                cpus_total: 0,
-                gpus_alloc: 0,
-                gpus_total: 0,
-                nodes_total: 0,
-                nodes_in_use: 0,
-            };
-            for name in &part.nodes {
-                let Some(node) = by_name.get(name.as_str()) else {
-                    continue;
-                };
-                u.nodes_total += 1;
-                u.cpus_total += node.cpus;
-                u.gpus_total += node.gpus;
-                if node.state().schedulable() {
-                    u.cpus_alloc += node.alloc.cpus;
-                    u.cpus_idle += node.cpus - node.alloc.cpus.min(node.cpus);
-                    u.gpus_alloc += node.alloc.gpus;
-                    if node.alloc.cpus > 0 {
-                        u.nodes_in_use += 1;
-                    }
-                } else {
-                    u.cpus_other += node.cpus;
-                }
-            }
-            u
+            usage_of(
+                part,
+                part.nodes
+                    .iter()
+                    .filter_map(|n| by_name.get(n.as_str()).copied()),
+            )
         })
+        .collect()
+}
+
+/// Usage records from a snapshot's precomputed per-partition node groups.
+pub fn compute_usage_snapshot(snap: &ClusterSnapshot) -> Vec<PartitionUsage> {
+    snap.partitions
+        .iter()
+        .enumerate()
+        .map(|(i, part)| usage_of(part, snap.nodes_of_partition(i)))
         .collect()
 }
 

@@ -94,10 +94,13 @@ pub fn squeue_long(ctld: &Slurmctld, args: &SqueueArgs) -> String {
 }
 
 /// Render the long format (newest submissions first, as the widget shows).
-pub fn render_long(jobs: &[Job], now: Timestamp) -> String {
+/// Generic over `Borrow<Job>` so it accepts both owned rows (tests) and the
+/// shared `Arc<Job>` rows the snapshot read path returns.
+pub fn render_long<J: std::borrow::Borrow<Job>>(jobs: &[J], now: Timestamp) -> String {
     let mut out = String::from(LONG_HEADER);
     out.push('\n');
     for job in jobs {
+        let job = job.borrow();
         let time = if job.state == JobState::Pending {
             "0:00".to_string()
         } else {
@@ -190,11 +193,12 @@ pub fn squeue(ctld: &Slurmctld, args: &SqueueArgs) -> String {
 }
 
 /// Render job records as `squeue` text (separated so tests can build rows
-/// without a daemon).
-pub fn render(jobs: &[Job], now: Timestamp) -> String {
+/// without a daemon). Generic over `Borrow<Job>` — see [`render_long`].
+pub fn render<J: std::borrow::Borrow<Job>>(jobs: &[J], now: Timestamp) -> String {
     let mut out = String::from(HEADER);
     out.push('\n');
     for job in jobs {
+        let job = job.borrow();
         let time = if job.state == JobState::Pending {
             "0:00".to_string()
         } else {

@@ -50,7 +50,7 @@ fn live_cluster_roundtrips_all_commands() {
         .join("\n");
     let parsed = hpcdash_slurmcli::parse_show_node(&text).expect("scontrol parses");
     assert_eq!(parsed.len(), nodes.len());
-    for (p, n) in parsed.iter().zip(&nodes) {
+    for (p, n) in parsed.iter().zip(nodes.iter()) {
         assert_eq!(p.name, n.name);
         assert_eq!(p.state, n.state());
         assert_eq!(p.cpu_alloc, n.alloc.cpus);
@@ -77,6 +77,20 @@ fn live_cluster_roundtrips_all_commands() {
             u.partition
         );
     }
+
+    // sinfo snapshot-indexed renders are byte-identical to the slice-based
+    // renders over the same live state.
+    let snap = scenario.ctld.query_cluster();
+    assert_eq!(
+        hpcdash_slurmcli::sinfo::render_summary_snapshot(&snap),
+        hpcdash_slurmcli::sinfo::render_summary(&partitions, &nodes),
+        "sinfo summary must not change when served from the snapshot index"
+    );
+    assert_eq!(
+        hpcdash_slurmcli::sinfo::render_usage_snapshot(&snap),
+        hpcdash_slurmcli::sinfo::render_usage(&partitions, &nodes),
+        "sinfo usage must not change when served from the snapshot index"
+    );
 
     // seff agrees with raw stats for a completed job.
     if let Some(done) = recs
