@@ -71,18 +71,34 @@ impl<T> EpochCell<T> {
 
     /// Clone the currently published value. Lock-free: retries only while
     /// racing a concurrent flip, and a flip is two atomic stores.
+    ///
+    /// Memory ordering: the pin (`readers.fetch_add`) followed by the
+    /// `current` re-check, against the writer's `current` flip followed by
+    /// its `readers` drain check, is a store-buffering (Dekker) pattern.
+    /// Acquire/Release is not enough — both sides could observe stale
+    /// values on weakly-ordered hardware and the writer would overwrite a
+    /// slot a pinned reader is dereferencing. All four operations are
+    /// SeqCst so they take part in the single total order: either the
+    /// reader's re-check sees the flip (and retreats), or the writer's
+    /// drain check sees the pin (and waits).
     pub fn load(&self) -> Arc<T> {
+        let mut spins = 0u32;
         loop {
-            let idx = self.current.load(Ordering::Acquire);
+            let idx = self.current.load(Ordering::SeqCst);
             let slot = &self.slots[idx];
-            slot.readers.fetch_add(1, Ordering::Acquire);
+            slot.readers.fetch_add(1, Ordering::SeqCst);
             // Re-check: if a writer flipped `current` between our load and
             // the pin, this slot may be about to be overwritten — unpin and
-            // retry. If it still matches, the pin is visible to any writer
-            // that would target this slot, so the value below is stable.
-            if self.current.load(Ordering::Acquire) != idx {
+            // retry. If it still matches, the pin is visible (SeqCst) to any
+            // writer that would target this slot, so the value is stable.
+            if self.current.load(Ordering::SeqCst) != idx {
                 slot.readers.fetch_sub(1, Ordering::Release);
-                std::hint::spin_loop();
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
                 continue;
             }
             // Safety: pinned + current == idx means no writer mutates this
@@ -105,8 +121,20 @@ impl<T> EpochCell<T> {
         let _guard = self.write_lock.lock();
         let spare = 1 - self.current.load(Ordering::Relaxed);
         let slot = &self.slots[spare];
-        while slot.readers.load(Ordering::Acquire) != 0 {
-            std::hint::spin_loop();
+        // SeqCst pairs with the reader's pin/re-check (see `load`); it also
+        // carries the Acquire edge against a straggler's `fetch_sub`, so the
+        // overwrite below cannot race its `Arc` clone. Yield after a short
+        // spin: a reader preempted between pin and unpin must get scheduled
+        // for this loop to exit, and `publish_locked` calls us while holding
+        // the daemon state mutex.
+        let mut spins = 0u32;
+        while slot.readers.load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
         }
         // Safety: `current` does not point at `spare` and its reader count
         // is zero; late pinners re-check `current` and retreat without
@@ -114,7 +142,7 @@ impl<T> EpochCell<T> {
         unsafe {
             *slot.value.get() = Some(value);
         }
-        self.current.store(spare, Ordering::Release);
+        self.current.store(spare, Ordering::SeqCst);
     }
 }
 
