@@ -31,6 +31,7 @@ fn variant(server_cache: bool, client_cache: bool) -> (String, loadgen::LoadRepo
             "/api/recent_jobs".to_string(),
             "/api/system_status".to_string(),
             "/api/storage".to_string(),
+            "/api/jobtelemetry".to_string(),
         ],
         client_fresh_secs: if client_cache { Some(60) } else { None },
     };
@@ -48,7 +49,7 @@ fn variant(server_cache: bool, client_cache: bool) -> (String, loadgen::LoadRepo
 fn main() {
     banner(
         "P2",
-        "dual caching: perceived latency & backend traffic (12 users x 10 loads x 3 widgets)",
+        "dual caching: perceived latency & backend traffic (12 users x 10 loads x 4 routes)",
     );
     println!(
         "{:<13} {:>10} {:>10} {:>10} | {:>11} {:>10}",

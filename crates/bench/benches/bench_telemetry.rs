@@ -1,0 +1,165 @@
+//! Experiment P8 — the telemetry pipeline: collector ingest throughput,
+//! Gorilla compression ratio, and tier-routed range-query latency.
+//!
+//! Three claims are pinned (asserted even in `--test` smoke mode, since
+//! none depends on a timing window):
+//!
+//! 1. Sealed chunks compress >=4x against the raw 16-byte-per-sample
+//!    encoding for collector-shaped series.
+//! 2. A 24h query at 10m resolution is served *entirely* from the 10m
+//!    rollup tier — the per-tier scan counters prove raw chunks and 1m
+//!    buckets are never touched.
+//! 3. Telemetry collection and queries acquire the slurmctld state mutex
+//!    exactly zero times (the collector reads epoch-published snapshots;
+//!    queries never leave the daemon's own store).
+
+use criterion::Criterion;
+use hpcdash_bench::banner;
+use hpcdash_simtime::Clock;
+use hpcdash_telemetry::{RetentionPolicy, Tier, TsdbStore};
+use hpcdash_workload::{Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// A retention policy that never expires, so compression accounting over a
+/// long synthetic ingest is exact (sealed bytes are all still present).
+fn keep_everything() -> RetentionPolicy {
+    RetentionPolicy {
+        raw_secs: i64::MAX / 4,
+        rollup_1m_secs: i64::MAX / 4,
+        rollup_10m_secs: i64::MAX / 4,
+        ..RetentionPolicy::default()
+    }
+}
+
+/// Collector-shaped utilization series: a bounded random walk quantized to
+/// 1/1024 (exactly what the simulated collectors emit), 30s cadence.
+fn synthesize(store: &TsdbStore, name: &str, t0: i64, samples: i64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = 0.62_f64;
+    for i in 0..samples {
+        v = (v + rng.gen_range(-0.04..0.04)).clamp(0.05, 0.98);
+        let q = (v * 1024.0).round() / 1024.0;
+        store.append(name, t0 + i * 30, q);
+    }
+}
+
+fn main() {
+    banner(
+        "P8",
+        "telemetry pipeline: ingest, compression, tier-routed queries",
+    );
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    // --- Phase 1: a live cluster with per-tick collection. -----------------
+    // 90 simulated minutes keeps every raw chunk inside the 2h retention so
+    // the store's byte gauge covers everything ever sealed.
+    let drive_secs = if smoke { 1_800 } else { 5_400 };
+    let scenario = Scenario::build(ScenarioConfig {
+        free_daemons: true,
+        ..ScenarioConfig::small()
+    });
+    let mut driver = scenario.driver(drive_secs);
+    let wall = Instant::now();
+    driver.advance(drive_secs);
+    let drove = wall.elapsed();
+    let stats = scenario.telemetry.store().stats();
+    println!(
+        "collected {} samples across {} series over {} sim-minutes in {drove:?}",
+        stats.samples_ingested,
+        stats.series,
+        drive_secs / 60,
+    );
+    assert!(stats.series > 0, "collectors produced series");
+    assert_eq!(stats.samples_rejected, 0, "collector emits in order");
+
+    // --- Phase 2: zero state-mutex telemetry (collection + queries). -------
+    scenario.ctld.stats().reset();
+    for _ in 0..50 {
+        scenario.telemetry.collect_now();
+    }
+    let now = scenario.clock.now().as_secs() as i64;
+    for node in scenario.ctld.query_nodes().iter() {
+        let series = format!("node:{}:cpu", node.name);
+        let _ = scenario
+            .telemetry
+            .query_range(&series, now - 3_600, now, 60);
+    }
+    assert_eq!(
+        scenario.ctld.stats().state_lock_count(),
+        0,
+        "telemetry collection and queries must never touch the state mutex"
+    );
+    println!("state-mutex acquisitions during 50 collections + node queries: 0");
+
+    // --- Phase 3: compression ratio on a no-expiry store. ------------------
+    let comp = TsdbStore::new(keep_everything());
+    let t0 = 1_000_000;
+    let day = 24 * 3_600;
+    synthesize(&comp, "synthetic:cpu", t0, 2_880, 7); // 24h at 30s cadence
+    let cstats = comp.stats();
+    let sealed_samples = cstats.chunks_sealed * 128;
+    let raw_bytes = sealed_samples * 16; // (i64 ts, f64 value) per sample
+    let ratio = raw_bytes as f64 / cstats.compressed_bytes.max(1) as f64;
+    println!(
+        "compression: {} sealed samples, {} raw bytes -> {} compressed ({ratio:.1}x)",
+        sealed_samples, raw_bytes, cstats.compressed_bytes,
+    );
+    assert!(
+        ratio >= 4.0,
+        "sealed chunks must compress >=4x vs raw 16B/sample (got {ratio:.1}x)"
+    );
+
+    // --- Phase 4: tier routing for a 24h query at 10m resolution. ----------
+    comp.reset_query_counters();
+    let (points, tier, scanned) = comp.query_range_counted("synthetic:cpu", t0, t0 + day, 600);
+    let routed = comp.stats();
+    println!(
+        "24h@10m query: tier={}, {} points from {} scanned buckets; per-tier scans raw={} 1m={} 10m={}",
+        tier.label(),
+        points.len(),
+        scanned,
+        routed.scanned[Tier::Raw.index()],
+        routed.scanned[Tier::OneMinute.index()],
+        routed.scanned[Tier::TenMinute.index()],
+    );
+    assert_eq!(tier, Tier::TenMinute);
+    assert!(!points.is_empty());
+    assert_eq!(
+        routed.scanned[Tier::Raw.index()],
+        0,
+        "24h@10m must not read raw chunks"
+    );
+    assert_eq!(
+        routed.scanned[Tier::OneMinute.index()],
+        0,
+        "24h@10m must not read 1m buckets"
+    );
+
+    // --- Criterion: ingest throughput and query latency per tier. ----------
+    let mut c = Criterion::default().configure_from_args().sample_size(40);
+    {
+        let mut group = c.benchmark_group("telemetry");
+        let t1 = t0 + day;
+        group.bench_function("query_raw_1h", |b| {
+            b.iter(|| comp.query_range("synthetic:cpu", t1 - 3_600, t1, 30))
+        });
+        group.bench_function("query_1m_6h", |b| {
+            b.iter(|| comp.query_range("synthetic:cpu", t1 - 6 * 3_600, t1, 60))
+        });
+        group.bench_function("query_10m_24h", |b| {
+            b.iter(|| comp.query_range("synthetic:cpu", t0, t1, 600))
+        });
+        let ingest = TsdbStore::new(keep_everything());
+        let mut ts = 0i64;
+        group.bench_function("ingest_append", |b| {
+            b.iter(|| {
+                ts += 30;
+                ingest.append("bench:ingest", ts, 0.5)
+            })
+        });
+        group.finish();
+    }
+    c.final_summary();
+}

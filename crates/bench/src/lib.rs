@@ -47,7 +47,8 @@ impl BenchSite {
             scenario.logs.clone(),
             scenario.storage.clone(),
             scenario.news.clone(),
-        );
+        )
+        .with_telemetry(scenario.telemetry.clone());
         BenchSite {
             dashboard: Dashboard::new(ctx),
             scenario,

@@ -82,6 +82,7 @@ mod tests {
         done.usage = UsageProfile {
             cpu_util: 0.9,
             mem_util: 0.5,
+            gpu_util: 0.0,
             planned_runtime_secs: 1,
             outcome: PlannedOutcome::Success,
         };

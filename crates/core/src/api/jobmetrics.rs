@@ -10,7 +10,11 @@ use serde_json::json;
 
 pub const FEATURE: &str = "Job Performance Metrics";
 pub const ROUTES: &[&str] = &["/api/jobmetrics"];
-pub const SOURCES: &[&str] = &["sacct (slurmdbd)"];
+pub const SOURCES: &[&str] = &[
+    "sacct (slurmdbd)",
+    "squeue (slurmctld)",
+    "telemetryd (metrics collector)",
+];
 
 pub fn register(router: &mut Router, ctx: DashboardContext) {
     router.get(ROUTES[0], move |req| handle(&ctx, req));
@@ -53,8 +57,27 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
             "metrics": metrics.to_json(),
         }))
     });
+    // The live strip: running jobs with their recent collector series,
+    // cached on the faster telemetry (squeue-tier) TTL so the sparklines
+    // track the queue rather than the metrics range.
+    let live = ctx
+        .cached_result(
+            &format!("telemetry:live:{}", user.username),
+            ctx.cfg.cache.telemetry,
+            || {
+                Ok(crate::api::jobtelemetry::live_jobs_payload(
+                    ctx,
+                    FEATURE,
+                    &user.username,
+                ))
+            },
+        )
+        .unwrap_or_else(|_| json!({"window_secs": 0, "jobs": []}));
     match result {
-        Ok(v) => Response::json(&v),
+        Ok(mut v) => {
+            v["live_jobs"] = live;
+            Response::json(&v)
+        }
         Err(e) => Response::service_unavailable(&e),
     }
 }
@@ -83,6 +106,9 @@ mod tests {
         assert_eq!(body["range"], "Last 7 days");
         assert_eq!(body["metrics"]["total_jobs"], 1);
         assert_eq!(body["metrics"]["by_state"]["RUNNING"], 1);
+        let live = body["live_jobs"]["jobs"].as_array().unwrap();
+        assert_eq!(live.len(), 1, "running job appears in the live strip");
+        assert!(live[0]["series"]["cpu"].is_array());
     }
 
     #[test]

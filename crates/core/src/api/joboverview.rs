@@ -23,6 +23,7 @@ pub const SOURCES: &[&str] = &[
     "scontrol show job (slurmctld)",
     "sacct (slurmdbd)",
     "filesystem (job logs)",
+    "telemetryd (metrics collector)",
 ];
 
 pub fn register(router: &mut Router, ctx: DashboardContext) {
@@ -81,7 +82,8 @@ fn handle_overview(ctx: &DashboardContext, req: &Request) -> Response {
     let now = ctx.now();
     let gpu_flag = ctx.cfg.features.gpu_efficiency;
 
-    // Efficiency via the accounting record (has TotalCPU/MaxRSS).
+    // Efficiency via the accounting record (has TotalCPU/MaxRSS), with the
+    // GPU column measured from the collector's series when one exists.
     let efficiency = {
         ctx.note_source(FEATURE, "sacct (slurmdbd)");
         let text = sacct(
@@ -92,11 +94,18 @@ fn handle_overview(ctx: &DashboardContext, req: &Request) -> Response {
             },
             now,
         );
+        let collector_gpu = if gpu_flag {
+            crate::api::jobtelemetry::collector_gpu_mean(ctx, &job)
+        } else {
+            None
+        };
         parse_sacct(&text)
             .ok()
             .and_then(|records| records.into_iter().next())
-            .map(|rec| EfficiencyReport::from_record(&rec, gpu_flag))
+            .map(|rec| EfficiencyReport::from_record_with_gpu(&rec, gpu_flag, collector_gpu))
     };
+    // Sparkline series for the telemetry card.
+    let telemetry = crate::api::jobtelemetry::job_series_payload(ctx, FEATURE, &job);
 
     let elapsed = job.elapsed_secs(now);
     let session = job.req.comment.as_deref().and_then(parse_ood_session);
@@ -142,6 +151,7 @@ fn handle_overview(ctx: &DashboardContext, req: &Request) -> Response {
             },
             "efficiency": efficiency,
         },
+        "telemetry": telemetry,
         "session": session,
         "has_array": job.array.is_some(),
         "array_url": job.array.map(|a| format!("/api/jobs/{}/array", a.array_job_id)),
@@ -278,6 +288,11 @@ mod tests {
             .contains("/files/fs/home/alice"));
         assert_eq!(body["has_array"], false);
         assert!(body["cards"]["time"]["remaining_secs"].is_u64());
+        assert!(
+            body["telemetry"]["cpu"].is_array(),
+            "running job carries a telemetry block: {}",
+            body["telemetry"]
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod clusterstatus;
 pub mod health;
 pub mod jobmetrics;
 pub mod joboverview;
+pub mod jobtelemetry;
 pub mod metrics;
 pub mod myjobs;
 pub mod nodeoverview;
@@ -47,11 +48,12 @@ pub fn register_all(router: &mut Router, ctx: &DashboardContext) {
     joboverview::register(router, ctx.clone());
     nodeoverview::register(router, ctx.clone());
     // Beyond Table 1: the OOD baseline app (for the paper's §4 comparison),
-    // the real-time updates feed, and the admin job controls (§9 future
-    // work, implemented).
+    // the real-time updates feed, the admin job controls (§9 future work,
+    // implemented), and the collector-backed job telemetry series.
     activejobs::register(router, ctx.clone());
     updates::register(router, ctx.clone());
     admin::register(router, ctx.clone());
+    jobtelemetry::register(router, ctx.clone());
     // Observability endpoints (not dashboard widgets): metrics exposition
     // and data-source health.
     metrics::register(router, ctx.clone());

@@ -187,6 +187,7 @@ mod tests {
         wasteful.usage = UsageProfile {
             cpu_util: 0.05,
             mem_util: 0.05,
+            gpu_util: 0.0,
             planned_runtime_secs: 600,
             outcome: PlannedOutcome::Success,
         };

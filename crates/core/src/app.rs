@@ -113,6 +113,36 @@ fn register_collectors(ctx: &DashboardContext) {
         let snap = dbd.stats().snapshot();
         daemon_samples(out, "hpcdash_slurmdbd", &snap);
     });
+    let telemetry = ctx.telemetry.clone();
+    ctx.obs.register_collector(move |out| {
+        daemon_samples(out, "hpcdash_telemetryd", &telemetry.stats().snapshot());
+        let s = telemetry.store().stats();
+        for (name, v) in [
+            ("hpcdash_telemetry_series", s.series),
+            (
+                "hpcdash_telemetry_samples_ingested_total",
+                s.samples_ingested,
+            ),
+            (
+                "hpcdash_telemetry_samples_rejected_total",
+                s.samples_rejected,
+            ),
+            ("hpcdash_telemetry_chunks_sealed_total", s.chunks_sealed),
+            ("hpcdash_telemetry_compressed_bytes", s.compressed_bytes),
+            ("hpcdash_telemetry_expired_points_total", s.expired_points),
+            ("hpcdash_telemetry_queries_total", s.queries),
+            ("hpcdash_telemetry_points_returned_total", s.points_returned),
+        ] {
+            out.push(Sample::counter(name, &[], v));
+        }
+        for tier in hpcdash_telemetry::Tier::ALL {
+            out.push(Sample::counter(
+                "hpcdash_telemetry_points_scanned_total",
+                &[("tier", tier.label())],
+                s.scanned[tier.index()],
+            ));
+        }
+    });
     let cache = ctx.cache.clone();
     ctx.obs.register_collector(move |out| {
         let s = cache.stats();
@@ -268,6 +298,13 @@ const DASHBOARD_CSS: &str = r#"
 .node-cell.node-red { background:var(--red); color:white; }
 .announcement-past { opacity:0.5; }
 .widget-error { border:1px solid var(--red); }
+.sparkline { width:120px; height:32px; background:#fafafa; }
+.sparkline polyline { fill:none; stroke:var(--green); stroke-width:1.5; }
+.spark-mem polyline { stroke:var(--yellow); }
+.spark-gpu polyline { stroke:#6a1b9a; }
+.telemetry-row { display:inline-flex; gap:0.4rem; align-items:center; margin-right:0.8rem; }
+.telemetry-label { font-size:0.8rem; color:var(--gray); }
+.telemetry-pending { color:var(--gray); font-style:italic; }
 "#;
 
 const CACHEDB_JS: &str = r#"
@@ -389,9 +426,14 @@ mod tests {
         let patterns = d.router().route_patterns();
         // 10 features -> 13 API routes (incl. accounts export, job
         // logs/array) + baseline Active Jobs + live updates feed (poll +
-        // push stream) + 3 admin actions + 2 observability routes
-        // (/api/metrics, /api/health) + 7 pages + 3 assets + healthz.
-        assert_eq!(patterns.len(), 13 + 3 + 3 + 2 + 7 + 3 + 1, "{patterns:?}");
+        // push stream) + 3 admin actions + 2 telemetry routes (live strip +
+        // per-job series) + 2 observability routes (/api/metrics,
+        // /api/health) + 7 pages + 3 assets + healthz.
+        assert_eq!(
+            patterns.len(),
+            13 + 3 + 3 + 2 + 2 + 7 + 3 + 1,
+            "{patterns:?}"
+        );
     }
 
     #[test]
@@ -413,6 +455,11 @@ mod tests {
             "snapshot health metrics exported:\n{text}"
         );
         assert!(text.contains("hpcdash_ctld_snapshot_reader_lag_total{lag=\"0\"}"));
+        assert!(
+            text.contains("hpcdash_telemetry_samples_ingested_total")
+                && text.contains("hpcdash_telemetry_points_scanned_total{tier=\"raw\"}"),
+            "telemetry store metrics exported:\n{text}"
+        );
         let resp = get(&d, "/api/health", None);
         assert_eq!(resp.status, 200);
         assert_eq!(

@@ -1,6 +1,7 @@
 //! Chart data preparation (paper §4.2): the job-state distribution and
 //! GPU-hour distribution charts, emitted in the shape Chart.js consumes
-//! (`labels` + `datasets`), grouped by user.
+//! (`labels` + `datasets`), grouped by user — plus the inline SVG
+//! sparklines the telemetry series render as.
 
 use hpcdash_slurm::job::JobState;
 use hpcdash_slurmcli::SacctRecord;
@@ -56,6 +57,41 @@ pub fn gpu_hours_distribution(records: &[SacctRecord]) -> Value {
         "labels": labels,
         "datasets": [{"label": "GPU hours", "data": data}],
     })
+}
+
+/// An inline SVG sparkline from `[[t, v], ...]` pairs where `v` is a
+/// utilization fraction in `[0, 1]` (the y axis is fixed to that range so
+/// sparklines are comparable across jobs). `kind` becomes a `spark-<kind>`
+/// class hook for per-series stroke colors. Empty string when there are
+/// fewer than two points — callers show a placeholder instead.
+pub fn sparkline_svg(pairs: &Value, kind: &str, width: u32, height: u32) -> String {
+    let pts: Vec<(f64, f64)> = pairs
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|p| Some((p[0].as_f64()?, p[1].as_f64()?)))
+        .collect();
+    if pts.len() < 2 {
+        return String::new();
+    }
+    let t0 = pts[0].0;
+    let span = (pts[pts.len() - 1].0 - t0).max(1.0);
+    let coords = pts
+        .iter()
+        .map(|(t, v)| {
+            let x = (t - t0) / span * f64::from(width);
+            let y = (1.0 - v.clamp(0.0, 1.0)) * f64::from(height);
+            format!("{x:.1},{y:.1}")
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!(
+        "<svg class=\"sparkline spark-{kind}\" viewBox=\"0 0 {width} {height}\" \
+         preserveAspectRatio=\"none\" role=\"img\" \
+         aria-label=\"{kind} utilization over time\">\
+         <polyline points=\"{coords}\"/></svg>"
+    )
 }
 
 #[cfg(test)]
@@ -117,6 +153,34 @@ mod tests {
         let chart = gpu_hours_distribution(&recs);
         assert_eq!(chart["labels"], json!(["alice", "bob"]));
         assert_eq!(chart["datasets"][0]["data"], json!([4.0, 0.0]));
+    }
+
+    #[test]
+    fn sparkline_scales_points_into_viewbox() {
+        let pairs = json!([[1_000, 0.0], [1_030, 0.5], [1_060, 1.0]]);
+        let svg = sparkline_svg(&pairs, "cpu", 120, 32);
+        assert!(svg.contains("spark-cpu"));
+        assert!(svg.contains("viewBox=\"0 0 120 32\""));
+        // First point: x=0, v=0 -> bottom (y=height). Last: x=width, top.
+        assert!(svg.contains("0.0,32.0"), "{svg}");
+        assert!(svg.contains("120.0,0.0"), "{svg}");
+        assert!(svg.contains("60.0,16.0"), "midpoint centered: {svg}");
+        assert!(svg.contains("aria-label"), "accessible name present");
+    }
+
+    #[test]
+    fn sparkline_needs_two_points() {
+        assert_eq!(sparkline_svg(&json!([]), "cpu", 120, 32), "");
+        assert_eq!(sparkline_svg(&json!([[0, 0.5]]), "cpu", 120, 32), "");
+        assert_eq!(sparkline_svg(&json!(null), "cpu", 120, 32), "");
+    }
+
+    #[test]
+    fn sparkline_clamps_out_of_range_values() {
+        let pairs = json!([[0, -0.5], [60, 1.5]]);
+        let svg = sparkline_svg(&pairs, "gpu", 100, 20);
+        assert!(svg.contains("0.0,20.0"), "{svg}");
+        assert!(svg.contains("100.0,0.0"), "{svg}");
     }
 
     #[test]

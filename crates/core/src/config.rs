@@ -18,6 +18,11 @@ pub struct CachePolicy {
     pub cluster_status: u64,
     pub job_overview: u64,
     pub node_overview: u64,
+    /// Telemetry sparkline queries. Same tier as squeue (30 s): sparklines
+    /// sit next to live job state, so staler data would visibly disagree
+    /// with the queue, while the collector only adds a point per tick
+    /// anyway — caching harder buys nothing users could see.
+    pub telemetry: u64,
     /// Client-side (IndexedDB) freshness horizon: entries older than this
     /// are revalidated before being trusted, younger ones render instantly.
     pub client_fresh: u64,
@@ -36,6 +41,7 @@ impl Default for CachePolicy {
             cluster_status: 60,
             job_overview: 15,
             node_overview: 30,
+            telemetry: 30,
             client_fresh: 30,
         }
     }
@@ -55,6 +61,7 @@ impl CachePolicy {
             cluster_status: 0,
             job_overview: 0,
             node_overview: 0,
+            telemetry: 0,
             client_fresh: 0,
         }
     }
@@ -170,6 +177,10 @@ mod tests {
     fn defaults_follow_paper_ranges() {
         let c = CachePolicy::default();
         assert_eq!(c.recent_jobs, 30, "squeue cached ~30s (paper §3.2)");
+        assert_eq!(
+            c.telemetry, c.recent_jobs,
+            "sparklines ride the squeue tier"
+        );
         assert!(
             c.announcements >= 1_800,
             "announcements 30-60 min (paper §2.4)"

@@ -13,6 +13,7 @@ use hpcdash_slurm::ctld::Slurmctld;
 use hpcdash_slurm::dbd::Slurmdbd;
 use hpcdash_slurm::joblog::JobLogFs;
 use hpcdash_storage::StorageDb;
+use hpcdash_telemetry::TelemetryD;
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -39,6 +40,11 @@ pub struct DashboardContext {
     pub push: Arc<Hub>,
     /// Cap on workers parked in long-polls (`503 + Retry-After` past it).
     pub park: Arc<ParkBudget>,
+    /// The metrics daemon behind sparklines and collector-backed GPU
+    /// efficiency. [`DashboardContext::new`] builds an empty one; sites
+    /// whose driver feeds a shared daemon inject it via
+    /// [`DashboardContext::with_telemetry`].
+    pub telemetry: Arc<TelemetryD>,
     /// route name -> data sources it touched on cache-cold loads.
     sources: Arc<Mutex<BTreeMap<String, BTreeSet<String>>>>,
 }
@@ -117,9 +123,11 @@ impl DashboardContext {
         push.set_registry(&obs);
         ctld.events().add_sink(push.clone());
         let park = Arc::new(ParkBudget::new(cfg.push.max_parked_workers));
+        let telemetry = Arc::new(TelemetryD::free(clock.clone(), ctld.clone()));
         DashboardContext {
             cfg: Arc::new(cfg),
             cache: Arc::new(CachedFetcher::new(clock.clone())),
+            telemetry,
             obs,
             health: Arc::new(HealthBoard::new()),
             push,
@@ -132,6 +140,13 @@ impl DashboardContext {
             news,
             sources: Arc::new(Mutex::new(BTreeMap::new())),
         }
+    }
+
+    /// Use an externally owned telemetry daemon (the scenario's, so routes
+    /// see the series the sim driver's collection passes produced).
+    pub fn with_telemetry(mut self, telemetry: Arc<TelemetryD>) -> DashboardContext {
+        self.telemetry = telemetry;
+        self
     }
 
     pub fn now(&self) -> Timestamp {
@@ -261,8 +276,19 @@ pub(crate) mod tests {
         test_ctx_with(DashboardConfig::generic("Test"))
     }
 
-    pub(crate) fn test_ctx_with(cfg: DashboardConfig) -> DashboardContext {
+    /// Like [`test_ctx`], but also hands back the clock so tests can
+    /// advance simulated time.
+    pub(crate) fn test_ctx_clocked() -> (DashboardContext, SimClock) {
         let clock = SimClock::new(Timestamp(1_000));
+        let ctx = build_ctx(DashboardConfig::generic("Test"), &clock);
+        (ctx, clock)
+    }
+
+    pub(crate) fn test_ctx_with(cfg: DashboardConfig) -> DashboardContext {
+        build_ctx(cfg, &SimClock::new(Timestamp(1_000)))
+    }
+
+    fn build_ctx(cfg: DashboardConfig, clock: &SimClock) -> DashboardContext {
         let mut assoc = AssocStore::new();
         assoc.add_account(Account::new("physics"));
         assoc.add_user("physics", "alice");

@@ -27,15 +27,31 @@ pub struct EfficiencyReport {
     pub memory: Option<f64>,
     pub time: Option<f64>,
     /// Only set when the GPU-efficiency feature flag is on and the job used
-    /// GPUs; approximated from CPU activity (as the paper notes, exact
-    /// GPU metrics need additional collectors).
+    /// GPUs. Measured from the telemetry collector's GPU-utilization series
+    /// when one exists ([`EfficiencyReport::from_record_with_gpu`]); the
+    /// old CPU-activity approximation remains as the fallback for jobs that
+    /// predate the collectors or whose series has aged out of retention.
     pub gpu: Option<f64>,
     pub warnings: Vec<String>,
 }
 
 impl EfficiencyReport {
-    /// Compute from an accounting record.
+    /// Compute from an accounting record alone (no collector samples; GPU
+    /// efficiency, if enabled, falls back to the CPU approximation).
     pub fn from_record(rec: &SacctRecord, gpu_flag: bool) -> EfficiencyReport {
+        EfficiencyReport::from_record_with_gpu(rec, gpu_flag, None)
+    }
+
+    /// Compute from an accounting record plus, when available, the mean of
+    /// the telemetry collector's GPU-utilization series for this job.
+    /// Collector samples win over the approximation — and unlike it they
+    /// work for still-running jobs, since the series exists from the first
+    /// tick.
+    pub fn from_record_with_gpu(
+        rec: &SacctRecord,
+        gpu_flag: bool,
+        collector_gpu: Option<f64>,
+    ) -> EfficiencyReport {
         let elapsed = rec.elapsed_secs;
         let cpu = match (rec.total_cpu_secs, elapsed, rec.alloc_cpus) {
             (Some(total), e, cpus) if e > 0 && cpus > 0 => {
@@ -53,10 +69,15 @@ impl EfficiencyReport {
             }
             _ => None,
         };
-        let gpu = if gpu_flag && rec.state.is_finished() {
-            // Proxy: GPU jobs in this simulator drive GPUs roughly in
-            // proportion to their CPU activity.
-            cpu.map(|c| (c * 0.9).min(1.0)).filter(|_| has_gpus(rec))
+        let gpu = if gpu_flag && has_gpus(rec) {
+            match collector_gpu {
+                Some(g) => Some(g.clamp(0.0, 1.0)),
+                // Fallback proxy when no series exists: GPU jobs in this
+                // simulator drive GPUs roughly in proportion to their CPU
+                // activity. Only meaningful once the job has finished.
+                None if rec.state.is_finished() => cpu.map(|c| (c * 0.9).min(1.0)),
+                None => None,
+            }
         } else {
             None
         };
@@ -230,6 +251,36 @@ mod tests {
         r.partition = "cpu".into();
         let cpu_job = EfficiencyReport::from_record(&r, true);
         assert!(cpu_job.gpu.is_none(), "non-gpu jobs get no gpu metric");
+    }
+
+    #[test]
+    fn collector_samples_beat_the_approximation() {
+        let mut r = rec(3_600, 7_200, 8, Some(4 * 3_600), Some(8_192), 16_384);
+        r.partition = "gpu".into();
+        let measured = EfficiencyReport::from_record_with_gpu(&r, true, Some(0.83));
+        assert_eq!(measured.gpu, Some(0.83));
+        // Out-of-range collector values are clamped, not propagated.
+        let clamped = EfficiencyReport::from_record_with_gpu(&r, true, Some(1.7));
+        assert_eq!(clamped.gpu, Some(1.0));
+        // Flag off: collector samples do not leak the metric in.
+        let off = EfficiencyReport::from_record_with_gpu(&r, false, Some(0.83));
+        assert!(off.gpu.is_none());
+        // Non-GPU job: samples for it are ignored.
+        r.partition = "cpu".into();
+        let cpu_job = EfficiencyReport::from_record_with_gpu(&r, true, Some(0.83));
+        assert!(cpu_job.gpu.is_none());
+    }
+
+    #[test]
+    fn collector_samples_cover_running_jobs() {
+        let mut r = rec(3_600, 7_200, 8, Some(4 * 3_600), Some(8_192), 16_384);
+        r.partition = "gpu".into();
+        r.state = JobState::Running;
+        // The approximation needs a finished job...
+        assert!(EfficiencyReport::from_record(&r, true).gpu.is_none());
+        // ...but collector samples exist from the first tick.
+        let live = EfficiencyReport::from_record_with_gpu(&r, true, Some(0.6));
+        assert_eq!(live.gpu, Some(0.6));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The Job Overview page (paper §7, Figure 4d): header, timeline, and the
 //! overview / session / output / error / job-array tabs.
 
+use crate::charts::sparkline_svg;
 use crate::pages::layout::{shell, widget_placeholder};
 use crate::template::escape_html;
 use serde_json::Value;
@@ -121,13 +122,37 @@ pub fn render_full(
         Some(f) => format!("{:.1}%", f * 100.0),
         None => "—".to_string(),
     };
+    let gpu_line = if eff["gpu"].is_null() {
+        String::new()
+    } else {
+        format!("<br>GPU: {}", pct(&eff["gpu"]))
+    };
     body.push_str(&format!(
         "<div class=\"card\"><div class=\"card-header\">Efficiency</div><div class=\"card-body\">\
-         CPU: {}<br>Memory: {}<br>Time: {}</div></div>",
+         CPU: {}<br>Memory: {}<br>Time: {}{}</div></div>",
         pct(&eff["cpu"]),
         pct(&eff["memory"]),
         pct(&eff["time"]),
+        gpu_line,
     ));
+    // Utilization card: sparklines from the collector's series, when the
+    // job has run long enough to have any.
+    let tele = &payload["telemetry"];
+    let spark_rows: String = [("cpu", "CPU"), ("mem", "Memory"), ("gpu", "GPU")]
+        .iter()
+        .filter_map(|(key, label)| {
+            let svg = sparkline_svg(&tele[*key], key, 120, 32);
+            (!svg.is_empty()).then(|| {
+                format!("<div class=\"telemetry-row\"><span class=\"telemetry-label\">{label}</span>{svg}</div>")
+            })
+        })
+        .collect();
+    if !spark_rows.is_empty() {
+        body.push_str(&format!(
+            "<div class=\"card\"><div class=\"card-header\">Utilization</div>\
+             <div class=\"card-body\">{spark_rows}</div></div>"
+        ));
+    }
     body.push_str("</div></div>");
 
     // Session tab (interactive-app jobs only).
@@ -247,6 +272,27 @@ mod tests {
         assert!(html.contains("step &lt;two&gt;"), "log content escaped");
         assert!(html.contains("data-autoscroll=\"bottom\""));
         assert!(!html.contains("id=\"error\""), "no stderr tab without data");
+    }
+
+    #[test]
+    fn telemetry_sparklines_and_gpu_efficiency_render() {
+        let mut p = payload();
+        p["cards"]["efficiency"]["gpu"] = json!(0.42);
+        p["telemetry"] = json!({
+            "start": 0, "end": 90, "resolution_secs": 30, "tier": "raw",
+            "cpu": [[0, 0.5], [30, 0.6], [60, 0.55]],
+            "mem": [[0, 0.3], [30, 0.4], [60, 0.45]],
+            "gpu": null,
+        });
+        let html = render_full("Anvil", "alice", &p, None, None);
+        assert!(html.contains("GPU: 42.0%"), "gpu efficiency line renders");
+        assert!(html.contains("Utilization"));
+        assert!(html.contains("spark-cpu") && html.contains("spark-mem"));
+        assert!(!html.contains("spark-gpu"), "no gpu series, no gpu row");
+        // The baseline payload (no telemetry block) has no card at all.
+        let plain = render_full("Anvil", "alice", &payload(), None, None);
+        assert!(!plain.contains("Utilization"));
+        assert!(!plain.contains("GPU:"), "gpu: null stays hidden");
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! The Job Performance Metrics page (paper §5, Figure 4a).
+//! The Job Performance Metrics page (paper §5, Figure 4a), plus the live
+//! strip: the user's running jobs with collector-backed sparklines.
 
+use crate::charts::sparkline_svg;
 use crate::pages::layout::{shell, widget_placeholder};
 use crate::template::escape_html;
 use hpcdash_simtime::format_duration;
@@ -68,6 +70,42 @@ pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
         ));
     }
     body.push_str("</div>");
+    // Live strip: one row per running job, sparklines straight from the
+    // telemetry collectors.
+    let live = payload["live_jobs"]["jobs"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
+    if !live.is_empty() {
+        body.push_str("<h2>Running now</h2><div class=\"live-jobs\">");
+        for job in live {
+            let series = &job["series"];
+            let sparks: String = [("cpu", "CPU"), ("mem", "Memory"), ("gpu", "GPU")]
+                .iter()
+                .filter_map(|(key, label)| {
+                    let svg = sparkline_svg(&series[*key], key, 120, 24);
+                    (!svg.is_empty()).then(|| {
+                        format!(
+                            "<span class=\"telemetry-row\">\
+                             <span class=\"telemetry-label\">{label}</span>{svg}</span>"
+                        )
+                    })
+                })
+                .collect();
+            body.push_str(&format!(
+                "<div class=\"live-job-row\"><a href=\"{}\">{}</a> {}{}</div>",
+                job["overview_url"].as_str().unwrap_or("#"),
+                escape_html(job["id"].as_str().unwrap_or("")),
+                escape_html(job["name"].as_str().unwrap_or("")),
+                if sparks.is_empty() {
+                    " <span class=\"telemetry-pending\">collecting…</span>".to_string()
+                } else {
+                    sparks
+                },
+            ));
+        }
+        body.push_str("</div>");
+    }
     if let Some(by_state) = m["by_state"].as_object() {
         body.push_str("<table class=\"state-table\"><thead><tr><th>State</th><th>Jobs</th></tr></thead><tbody>");
         for (state, count) in by_state {
@@ -115,6 +153,41 @@ mod tests {
             &html[html.find("1200").unwrap()..html.find("1200").unwrap() + 8]
         );
         assert!(html.contains("<td>FAILED</td><td>7</td>"));
+    }
+
+    #[test]
+    fn live_strip_renders_sparklines() {
+        let mut payload = json!({"range": "All time", "metrics": {
+            "total_jobs": 1, "by_state": {"RUNNING": 1}, "avg_wait_secs": null,
+            "mean_duration_secs": null, "total_wall_secs": 0,
+            "total_cpu_hours": 0.0, "total_gpu_hours": 0.0,
+            "avg_cpu_eff": null, "avg_mem_eff": null, "avg_time_eff": null,
+        }});
+        payload["live_jobs"] = json!({"window_secs": 1_800, "jobs": [{
+            "id": "7", "name": "train", "overview_url": "/jobs/7",
+            "series": {
+                "tier": "raw",
+                "cpu": [[0, 0.4], [30, 0.6]],
+                "mem": [[0, 0.2], [30, 0.3]],
+                "gpu": [[0, 0.9], [30, 0.8]],
+            },
+        }]});
+        let html = render_full("Anvil", "alice", &payload);
+        assert!(html.contains("Running now"));
+        assert!(html.contains("href=\"/jobs/7\""));
+        assert!(html.contains("spark-cpu"));
+        assert!(
+            html.contains("spark-gpu"),
+            "gpu series renders when present"
+        );
+        // A job with no samples yet shows the placeholder instead.
+        payload["live_jobs"]["jobs"][0]["series"] =
+            json!({"tier": "raw", "cpu": [], "mem": [], "gpu": null});
+        let html = render_full("Anvil", "alice", &payload);
+        assert!(html.contains("collecting…"));
+        // No running jobs: no strip at all.
+        payload["live_jobs"]["jobs"] = json!([]);
+        assert!(!render_full("Anvil", "alice", &payload).contains("Running now"));
     }
 
     #[test]

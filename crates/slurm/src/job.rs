@@ -241,6 +241,10 @@ pub struct UsageProfile {
     pub cpu_util: f64,
     /// Peak resident set as a fraction of requested memory, in `[0, 1]`.
     pub mem_util: f64,
+    /// Fraction of allocated GPU time actually burned, in `[0, 1]`.
+    /// Ground truth for the telemetry collector's GPU series; zero for
+    /// jobs that request no GPUs.
+    pub gpu_util: f64,
     /// Wall seconds the job would run if not limited.
     pub planned_runtime_secs: u64,
     pub outcome: PlannedOutcome,
@@ -252,6 +256,7 @@ impl UsageProfile {
         UsageProfile {
             cpu_util: 0.92,
             mem_util: 0.7,
+            gpu_util: 0.0,
             planned_runtime_secs,
             outcome: PlannedOutcome::Success,
         }
@@ -262,6 +267,7 @@ impl UsageProfile {
         UsageProfile {
             cpu_util: 0.06,
             mem_util: 0.15,
+            gpu_util: 0.0,
             planned_runtime_secs,
             outcome: PlannedOutcome::Success,
         }

@@ -124,6 +124,7 @@ fn apply(cluster: &mut ClusterState, op: &Op, now: &mut u64, submitted: &mut u64
             req.usage = UsageProfile {
                 cpu_util: 0.8,
                 mem_util: 0.5,
+                gpu_util: 0.0,
                 planned_runtime_secs: *runtime,
                 outcome: match outcome {
                     0 => PlannedOutcome::Success,

@@ -1,0 +1,183 @@
+//! Per-job and per-node sample synthesis.
+//!
+//! Samples are derived deterministically from each job's
+//! [`UsageProfile`](hpcdash_slurm::job::UsageProfile) so the sampled series
+//! and `sacct`'s point-value accounting agree:
+//!
+//! * CPU/GPU series jitter around the profile's utilization with a zero-mean
+//!   hash-derived perturbation, so the series mean converges to the value
+//!   `final_stats` bakes into `TotalCPU`.
+//! * The memory series ramps up to the profile's `mem_util` and plateaus
+//!   there, so the series max matches `MaxRSS`.
+//!
+//! Values are quantized to 1/1024 steps — the granularity real exporters
+//! report at — which keeps XOR deltas short and the chunks compressible.
+
+use crate::store::TsdbStore;
+use hpcdash_slurm::job::{Job, JobState};
+use hpcdash_slurm::snapshot::ClusterSnapshot;
+use std::collections::HashMap;
+
+/// Series-name builders; every producer and consumer goes through these.
+pub mod keys {
+    use hpcdash_slurm::job::JobId;
+
+    pub fn job_cpu(id: JobId) -> String {
+        format!("job:{id}:cpu")
+    }
+
+    pub fn job_mem(id: JobId) -> String {
+        format!("job:{id}:mem")
+    }
+
+    pub fn job_gpu(id: JobId) -> String {
+        format!("job:{id}:gpu")
+    }
+
+    pub fn node_cpu(name: &str) -> String {
+        format!("node:{name}:cpu")
+    }
+
+    pub fn node_mem(name: &str) -> String {
+        format!("node:{name}:mem")
+    }
+
+    pub fn node_gpu(name: &str) -> String {
+        format!("node:{name}:gpu")
+    }
+}
+
+/// Quantize to 1/1024 steps in `[0, 1]` — exact binary fractions, so XOR
+/// deltas between neighbouring readings have few meaningful bits.
+pub fn quantize(x: f64) -> f64 {
+    (x.clamp(0.0, 1.0) * 1024.0).round() / 1024.0
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic jitter in `[-1, 1)`, keyed by job, metric stream, and
+/// sample time. Uniform, hence zero-mean over a trace.
+fn jitter(job: u32, stream: u64, ts: i64) -> f64 {
+    let h = splitmix64((u64::from(job) << 32) ^ stream ^ (ts as u64).rotate_left(17));
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// Instantaneous CPU utilization for a running job at `ts`.
+pub fn cpu_sample(job: &Job, ts: i64) -> f64 {
+    let base = job.req.usage.cpu_util;
+    let amp = (base.min(1.0 - base) * 0.5).min(0.08);
+    quantize(base + amp * jitter(job.id.0, 0x6370_7500, ts))
+}
+
+/// Instantaneous GPU utilization for a running job at `ts`.
+pub fn gpu_sample(job: &Job, ts: i64) -> f64 {
+    let base = job.req.usage.gpu_util;
+    let amp = (base.min(1.0 - base) * 0.5).min(0.08);
+    quantize(base + amp * jitter(job.id.0, 0x6770_7500, ts))
+}
+
+/// Instantaneous memory utilization at `ts`: a ramp from ~55% of the final
+/// footprint up to `mem_util` over the first fifth of the planned runtime,
+/// then a plateau whose maximum is `mem_util` itself (small downward-only
+/// dips), so the series max agrees with `MaxRSS`.
+pub fn mem_sample(job: &Job, ts: i64) -> f64 {
+    let target = job.req.usage.mem_util;
+    let elapsed = job
+        .start_time
+        .map(|s| (ts - s.as_secs() as i64).max(0))
+        .unwrap_or(0) as f64;
+    let ramp = (job.req.usage.planned_runtime_secs as f64 / 5.0).clamp(120.0, 900.0);
+    if elapsed < ramp {
+        quantize(target * (0.55 + 0.45 * elapsed / ramp))
+    } else {
+        let dip = (jitter(job.id.0, 0x6d65_6d00, ts) + 1.0) / 2.0 * 0.03;
+        quantize(target * (1.0 - dip))
+    }
+}
+
+/// What one collection pass produced.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CollectOutcome {
+    pub samples: u64,
+    pub jobs: u64,
+    pub nodes: u64,
+}
+
+/// Sample every running job and every node in the snapshot at `ts`,
+/// appending to `store`. Node utilization is the resource-weighted sum of
+/// the jobs placed on the node, so job and node series stay consistent.
+pub fn collect(store: &TsdbStore, snap: &ClusterSnapshot, ts: i64) -> CollectOutcome {
+    let mut out = CollectOutcome::default();
+    // Per-node absolute usage accumulated from the jobs running there.
+    let mut used: HashMap<&str, (f64, f64, f64)> = HashMap::new();
+
+    for job in snap.jobs.iter() {
+        if job.state != JobState::Running || job.start_time.is_none() {
+            continue;
+        }
+        out.jobs += 1;
+        let cpu = cpu_sample(job, ts);
+        let mem = mem_sample(job, ts);
+        out.samples += store.append(&keys::job_cpu(job.id), ts, cpu) as u64;
+        out.samples += store.append(&keys::job_mem(job.id), ts, mem) as u64;
+        let gpu = if job.req.gpus_per_node > 0 {
+            let g = gpu_sample(job, ts);
+            out.samples += store.append(&keys::job_gpu(job.id), ts, g) as u64;
+            g
+        } else {
+            0.0
+        };
+        for node in &job.nodes {
+            let e = used.entry(node.as_str()).or_default();
+            e.0 += cpu * f64::from(job.req.cpus_per_node);
+            e.1 += mem * job.req.mem_mb_per_node as f64;
+            e.2 += gpu * f64::from(job.req.gpus_per_node);
+        }
+    }
+
+    for node in snap.nodes.iter() {
+        out.nodes += 1;
+        let (cpu, mem, gpu) = used.get(node.name.as_str()).copied().unwrap_or_default();
+        let cpu_frac = quantize(cpu / f64::from(node.cpus.max(1)));
+        let mem_frac = quantize(mem / node.real_memory_mb.max(1) as f64);
+        out.samples += store.append(&keys::node_cpu(&node.name), ts, cpu_frac) as u64;
+        out.samples += store.append(&keys::node_mem(&node.name), ts, mem_frac) as u64;
+        if node.gpus > 0 {
+            let gpu_frac = quantize(gpu / f64::from(node.gpus));
+            out.samples += store.append(&keys::node_gpu(&node.name), ts, gpu_frac) as u64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_snaps_to_1024ths() {
+        assert_eq!(quantize(0.5), 0.5);
+        assert_eq!(quantize(-3.0), 0.0);
+        assert_eq!(quantize(7.0), 1.0);
+        let q = quantize(0.123456);
+        assert_eq!(q * 1024.0, (q * 1024.0).round());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for ts in 0..1_000i64 {
+            let j = jitter(42, 7, ts * 30);
+            assert!((-1.0..1.0).contains(&j));
+            assert_eq!(j, jitter(42, 7, ts * 30));
+        }
+        // Zero-mean to well under the quantization step over a day of ticks.
+        let n = 2_880;
+        let mean: f64 = (0..n).map(|i| jitter(42, 7, i * 30)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "jitter mean {mean}");
+    }
+}

@@ -1,0 +1,108 @@
+//! `TelemetryD`: the metrics daemon the dashboard talks to.
+//!
+//! Collection reads the epoch-published [`ClusterSnapshot`] — never
+//! `slurmctld`'s state mutex — so a telemetry pipeline running at full tick
+//! rate adds zero contention to scheduling (PR 3's invariant, extended here
+//! and asserted by tests and `bench_telemetry`). Queries are served entirely
+//! from the daemon's own store. Like the other simulated daemons it burns a
+//! calibrated [`RpcCostModel`] cost per item touched and records per-kind
+//! [`RpcStats`], so load tests see realistic telemetry latencies.
+
+use crate::collector::{self, CollectOutcome};
+use crate::store::{RangePoint, Tier, TsdbStore};
+use hpcdash_simtime::SharedClock;
+use hpcdash_slurm::ctld::Slurmctld;
+use hpcdash_slurm::loadmodel::{RpcCostModel, RpcStats};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub struct TelemetryD {
+    clock: SharedClock,
+    ctld: Arc<Slurmctld>,
+    store: TsdbStore,
+    cost: RpcCostModel,
+    stats: RpcStats,
+}
+
+impl TelemetryD {
+    /// telemetryd-ish default costs: cheaper per item than slurmctld (it
+    /// serves precomputed buckets), with a small fixed floor.
+    pub fn default_cost() -> RpcCostModel {
+        RpcCostModel {
+            base: Duration::from_micros(60),
+            per_item: Duration::from_nanos(150),
+        }
+    }
+
+    pub fn new(clock: SharedClock, ctld: Arc<Slurmctld>) -> TelemetryD {
+        TelemetryD::with_cost(clock, ctld, TelemetryD::default_cost())
+    }
+
+    /// A zero-cost daemon for tests that don't measure timing.
+    pub fn free(clock: SharedClock, ctld: Arc<Slurmctld>) -> TelemetryD {
+        TelemetryD::with_cost(clock, ctld, RpcCostModel::free())
+    }
+
+    pub fn with_cost(clock: SharedClock, ctld: Arc<Slurmctld>, cost: RpcCostModel) -> TelemetryD {
+        TelemetryD {
+            clock,
+            ctld,
+            store: TsdbStore::default(),
+            cost,
+            stats: RpcStats::new(),
+        }
+    }
+
+    /// Run one collection pass against the current cluster snapshot.
+    /// Lock-free with respect to slurmctld: the snapshot is an epoch load.
+    pub fn collect_now(&self) -> CollectOutcome {
+        let t0 = Instant::now();
+        let snap = self.ctld.snapshot();
+        let ts = self.clock.now().as_secs() as i64;
+        let out = collector::collect(&self.store, &snap, ts);
+        self.cost.burn(out.samples as usize);
+        self.stats.record("collect", t0.elapsed());
+        self.stats.record_scanned("collect", out.samples);
+        out
+    }
+
+    /// Range query with load-model cost proportional to stored points read.
+    pub fn query_range(
+        &self,
+        series: &str,
+        start: i64,
+        end: i64,
+        resolution_secs: i64,
+    ) -> (Vec<RangePoint>, Tier) {
+        let t0 = Instant::now();
+        let (points, tier, scanned) =
+            self.store
+                .query_range_counted(series, start, end, resolution_secs);
+        self.cost.burn(scanned as usize);
+        self.stats.record("range_query", t0.elapsed());
+        self.stats.record_scanned("range_query", scanned);
+        (points, tier)
+    }
+
+    /// Count-weighted series mean over a window (1m tier), with RPC cost.
+    pub fn series_mean(&self, series: &str, start: i64, end: i64) -> Option<f64> {
+        let t0 = Instant::now();
+        let mean = self.store.series_mean(series, start, end);
+        self.cost.burn(1);
+        self.stats.record("series_mean", t0.elapsed());
+        mean
+    }
+
+    /// Direct store access (ingest stats, uncosted reads for exporters).
+    pub fn store(&self) -> &TsdbStore {
+        &self.store
+    }
+
+    pub fn stats(&self) -> &RpcStats {
+        &self.stats
+    }
+
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+}

@@ -1,0 +1,35 @@
+//! Node/job metrics collectors and an embedded time-series store.
+//!
+//! Real deployments of the paper's dashboard lean on external collectors
+//! (node exporters, XDMoD-style accounting pipelines) for utilization
+//! series; the paper lists exact GPU metrics as in-progress work for that
+//! reason. This crate is the simulated equivalent: a collector that samples
+//! CPU/memory/GPU utilization for every node and running job on each
+//! scheduler tick, and a small Gorilla-compressed TSDB with rollup tiers
+//! that the dashboard's sparkline and efficiency views query.
+//!
+//! Pipeline:
+//!
+//! ```text
+//! slurmctld snapshot ──(collector, each tick)──▶ TsdbStore
+//!                                                ├─ raw: open buf → sealed
+//!                                                │  Gorilla chunks (codec)
+//!                                                ├─ 1m rollups (min/max/mean/count)
+//!                                                └─ 10m rollups
+//!            dashboard ──(range query)──▶ coarsest tier satisfying the
+//!                                         requested resolution
+//! ```
+//!
+//! The whole read/collect path is snapshot-based: it never takes
+//! `slurmctld`'s state mutex.
+
+pub mod codec;
+pub mod collector;
+pub mod daemon;
+pub mod series;
+pub mod store;
+
+pub use collector::keys;
+pub use daemon::TelemetryD;
+pub use series::RetentionPolicy;
+pub use store::{RangePoint, StoreStats, Tier, TsdbStore};

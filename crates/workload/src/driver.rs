@@ -4,6 +4,7 @@
 use hpcdash_simtime::{Clock, SimClock, Timestamp};
 use hpcdash_slurm::ctld::Slurmctld;
 use hpcdash_slurm::job::{JobId, JobRequest};
+use hpcdash_telemetry::TelemetryD;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -14,6 +15,9 @@ pub struct SimDriver {
     trace: VecDeque<(Timestamp, JobRequest)>,
     tick_secs: u64,
     submitted: Vec<JobId>,
+    /// When set, a metrics collection pass runs after every tick — the
+    /// simulated equivalent of node exporters firing on their interval.
+    telemetry: Option<Arc<TelemetryD>>,
 }
 
 impl SimDriver {
@@ -29,7 +33,14 @@ impl SimDriver {
             trace: trace.into(),
             tick_secs: tick_secs.max(1),
             submitted: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry daemon; it collects after every scheduler tick.
+    pub fn with_telemetry(mut self, telemetry: Arc<TelemetryD>) -> SimDriver {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Advance simulated time by `secs`, submitting due jobs and running the
@@ -50,6 +61,9 @@ impl SimDriver {
                 }
             }
             self.ctld.tick();
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.collect_now();
+            }
         }
     }
 

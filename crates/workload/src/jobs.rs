@@ -6,6 +6,17 @@ use hpcdash_slurm::job::{ArraySpec, JobRequest, PlannedOutcome, UsageProfile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Hash `seed` to a uniform value in `[0, 1)` (splitmix64 finalizer). Used
+/// where a profile field must be deterministic *without* consuming the
+/// generator's shared RNG stream.
+fn derive_unit(mut x: u64) -> f64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// Relative weights of the job types the paper's intro motivates: batch
 /// production runs, interactive Open OnDemand apps (Jupyter/RStudio), GPU
 /// training jobs, and bulk job arrays.
@@ -192,6 +203,7 @@ impl TraceGenerator {
         req.usage = UsageProfile {
             cpu_util: self.rng.gen_range(0.55..0.99),
             mem_util: self.rng.gen_range(0.3..0.95),
+            gpu_util: 0.0,
             planned_runtime_secs: runtime,
             outcome: self.outcome(),
         };
@@ -221,6 +233,7 @@ impl TraceGenerator {
         req.usage = UsageProfile {
             cpu_util: self.rng.gen_range(0.02..0.18),
             mem_util: self.rng.gen_range(0.05..0.35),
+            gpu_util: 0.0,
             planned_runtime_secs: runtime,
             outcome: if self.rng.gen_bool(0.3) {
                 PlannedOutcome::CancelledMidway
@@ -243,9 +256,16 @@ impl TraceGenerator {
         req.gpus_per_node = gpus;
         req.mem_mb_per_node = 32_768 * gpus as u64;
         req.time_limit = TimeLimit::Limited((runtime as f64 * self.rng.gen_range(1.2..2.5)) as u64);
+        let cpu_util: f64 = self.rng.gen_range(0.2..0.6);
+        let mem_util: f64 = self.rng.gen_range(0.4..0.9);
+        // Derived from the draws above rather than drawn itself: an extra
+        // RNG call here would shift the shared stream and silently reshape
+        // every seeded workload that contains a GPU job.
+        let mix = derive_unit(cpu_util.to_bits() ^ mem_util.to_bits().rotate_left(32));
         req.usage = UsageProfile {
-            cpu_util: self.rng.gen_range(0.2..0.6),
-            mem_util: self.rng.gen_range(0.4..0.9),
+            cpu_util,
+            mem_util,
+            gpu_util: 0.45 + 0.53 * mix,
             planned_runtime_secs: runtime,
             outcome: self.outcome(),
         };
@@ -271,6 +291,7 @@ impl TraceGenerator {
         req.usage = UsageProfile {
             cpu_util: self.rng.gen_range(0.7..0.99),
             mem_util: self.rng.gen_range(0.2..0.8),
+            gpu_util: 0.0,
             planned_runtime_secs: runtime,
             outcome: self.outcome(),
         };

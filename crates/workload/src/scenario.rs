@@ -13,6 +13,7 @@ use hpcdash_slurm::node::Node;
 use hpcdash_slurm::partition::Partition;
 use hpcdash_slurm::qos::Qos;
 use hpcdash_storage::{StorageDb, GB, TB};
+use hpcdash_telemetry::TelemetryD;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -102,6 +103,9 @@ pub struct Scenario {
     pub logs: Arc<JobLogFs>,
     pub storage: Arc<StorageDb>,
     pub news: Arc<NewsFeed>,
+    /// The metrics daemon; [`Scenario::driver`] runs a collection pass
+    /// after every scheduler tick.
+    pub telemetry: Arc<TelemetryD>,
     pub population: Population,
 }
 
@@ -225,6 +229,12 @@ impl Scenario {
             None,
         );
 
+        let telemetry = Arc::new(if config.free_daemons {
+            TelemetryD::free(clock.shared(), ctld.clone())
+        } else {
+            TelemetryD::new(clock.shared(), ctld.clone())
+        });
+
         Scenario {
             config,
             clock,
@@ -233,6 +243,7 @@ impl Scenario {
             logs,
             storage,
             news,
+            telemetry,
             population,
         }
     }
@@ -261,6 +272,7 @@ impl Scenario {
         let mut gen = self.trace_generator();
         let trace = gen.generate(&self.population, self.clock.now(), window_secs);
         crate::SimDriver::new(self.clock.clone(), self.ctld.clone(), trace, 30)
+            .with_telemetry(self.telemetry.clone())
     }
 }
 

@@ -41,7 +41,7 @@ fn main() {
         },
     ];
 
-    println!("16 users x 12 refreshes of 3 widget routes, realistic daemon costs\n");
+    println!("16 users x 12 refreshes of 4 widget routes, realistic daemon costs\n");
     println!(
         "{:<13} {:>10} {:>10} {:>10} | {:>12} {:>14} {:>12}",
         "variant", "p50", "p90", "p99", "net fetches", "ctld RPCs", "ctld busy"
@@ -70,6 +70,7 @@ fn main() {
                 "/api/recent_jobs".to_string(),
                 "/api/system_status".to_string(),
                 "/api/accounts".to_string(),
+                "/api/jobtelemetry".to_string(),
             ],
             client_fresh_secs: if v.client_cache { Some(30) } else { None },
         };

@@ -30,6 +30,7 @@ pub use hpcdash_simtime as simtime;
 pub use hpcdash_slurm as slurm;
 pub use hpcdash_slurmcli as slurmcli;
 pub use hpcdash_storage as storage;
+pub use hpcdash_telemetry as telemetry;
 pub use hpcdash_workload as workload;
 
 use hpcdash_client::DashboardClient;
@@ -61,7 +62,8 @@ impl SimSite {
             scenario.logs.clone(),
             scenario.storage.clone(),
             scenario.news.clone(),
-        );
+        )
+        .with_telemetry(scenario.telemetry.clone());
         SimSite {
             dashboard: Dashboard::new(ctx),
             scenario,

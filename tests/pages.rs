@@ -67,6 +67,7 @@ fn f3_myjobs_page_with_efficiency_and_charts() {
     req.usage = UsageProfile {
         cpu_util: 0.05,
         mem_util: 0.04,
+        gpu_util: 0.0,
         planned_runtime_secs: 400,
         outcome: hpcdash_slurm::job::PlannedOutcome::Success,
     };
