@@ -188,7 +188,7 @@ fn main() {
             b.iter(|| ctld.query_jobs_locked(&mine))
         });
         group.bench_function("sinfo_snapshot", |b| {
-            b.iter(|| hpcdash_slurmcli::sinfo::sinfo_usage(&ctld))
+            b.iter(|| hpcdash_slurmcli::sinfo::sinfo_usage(&ctld).expect("sinfo"))
         });
         group.finish();
     }

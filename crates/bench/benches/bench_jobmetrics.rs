@@ -41,7 +41,8 @@ fn main() {
                 &site.scenario.dbd,
                 &hpcdash_slurmcli::SacctArgs::default(),
                 site.scenario.clock.now(),
-            );
+            )
+            .expect("sacct");
             hpcdash_slurmcli::parse_sacct(&text).expect("parse")
         };
         let mut group = c.benchmark_group("metrics_kernel");

@@ -114,7 +114,8 @@ fn main() {
                 &site.scenario.dbd,
                 &hpcdash_slurmcli::SacctArgs::default(),
                 site.scenario.clock.now(),
-            );
+            )
+            .expect("sacct");
             hpcdash_slurmcli::parse_sacct(&text).expect("parse")
         };
         group.bench_function("efficiency_engine", |b| {

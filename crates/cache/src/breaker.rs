@@ -1,0 +1,304 @@
+//! Per-source circuit breakers.
+//!
+//! A source that keeps failing should stop being *asked*: retry storms
+//! against a struggling `slurmdbd` are exactly how a degraded daemon
+//! becomes a dead one. Each data source gets the classic three-state
+//! breaker: `Closed` (normal), `Open` (requests short-circuit without
+//! touching the backend), `HalfOpen` (after a cool-down, a bounded number
+//! of probe requests test recovery). Timing runs on the simulation clock,
+//! so chaos tests can assert the exact tick a breaker opens and recovers.
+
+use hpcdash_simtime::{SharedClock, Timestamp};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Breaker tuning. See `ResiliencePolicy` in the core crate for the
+/// documented defaults and how they interact with retry counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip `Closed` -> `Open`.
+    pub failure_threshold: u32,
+    /// Seconds (sim time) an open breaker waits before allowing probes.
+    pub open_secs: u64,
+    /// Probe requests allowed per `HalfOpen` episode.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_secs: 30,
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// The classic breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for metrics/health payloads.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Numeric encoding for the `hpcdash_breaker_state` gauge
+    /// (0 = closed, 1 = half-open, 2 = open).
+    pub fn as_gauge(&self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Timestamp,
+    probes_issued: u32,
+    opens: u64,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: Timestamp(0),
+            probes_issued: 0,
+            opens: 0,
+        }
+    }
+
+    /// Move `Open` -> `HalfOpen` if the cool-down has elapsed.
+    fn settle(&mut self, now: Timestamp, cfg: &BreakerConfig) {
+        if self.state == BreakerState::Open && now.since(self.opened_at) >= cfg.open_secs {
+            self.state = BreakerState::HalfOpen;
+            self.probes_issued = 0;
+        }
+    }
+}
+
+/// A snapshot of one breaker, for `/api/health` and `/api/metrics`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    pub source: String,
+    pub state: BreakerState,
+    pub consecutive_failures: u32,
+    /// How many times this breaker has tripped open in total.
+    pub opens: u64,
+}
+
+/// All the sources' breakers, keyed by source name, timed on the sim clock.
+pub struct BreakerBoard {
+    clock: SharedClock,
+    cfg: BreakerConfig,
+    breakers: Mutex<BTreeMap<String, Breaker>>,
+}
+
+impl BreakerBoard {
+    pub fn new(clock: SharedClock, cfg: BreakerConfig) -> BreakerBoard {
+        BreakerBoard {
+            clock,
+            cfg,
+            breakers: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn config(&self) -> BreakerConfig {
+        self.cfg
+    }
+
+    /// May a request for `source` touch the backend right now? `Closed`
+    /// always; `Open` never (until the cool-down converts it to
+    /// `HalfOpen`); `HalfOpen` admits up to `half_open_probes` probes.
+    pub fn allow(&self, source: &str) -> bool {
+        let now = self.clock.now();
+        let mut map = self.breakers.lock();
+        let b = map.entry(source.to_string()).or_insert_with(Breaker::new);
+        b.settle(now, &self.cfg);
+        match b.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if b.probes_issued < self.cfg.half_open_probes {
+                    b.probes_issued += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A backend call for `source` succeeded: a half-open breaker closes,
+    /// and the failure streak resets.
+    pub fn record_success(&self, source: &str) {
+        let mut map = self.breakers.lock();
+        let b = map.entry(source.to_string()).or_insert_with(Breaker::new);
+        b.state = BreakerState::Closed;
+        b.consecutive_failures = 0;
+        b.probes_issued = 0;
+    }
+
+    /// A backend call for `source` failed: a half-open breaker re-opens
+    /// immediately; a closed one opens once the streak hits the threshold.
+    pub fn record_failure(&self, source: &str) {
+        let now = self.clock.now();
+        let mut map = self.breakers.lock();
+        let b = map.entry(source.to_string()).or_insert_with(Breaker::new);
+        b.settle(now, &self.cfg);
+        b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+        match b.state {
+            BreakerState::HalfOpen => {
+                b.state = BreakerState::Open;
+                b.opened_at = now;
+                b.opens += 1;
+            }
+            BreakerState::Closed => {
+                if b.consecutive_failures >= self.cfg.failure_threshold {
+                    b.state = BreakerState::Open;
+                    b.opened_at = now;
+                    b.opens += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The effective state of `source`'s breaker (cool-down applied).
+    pub fn state_of(&self, source: &str) -> BreakerState {
+        let now = self.clock.now();
+        let mut map = self.breakers.lock();
+        match map.get_mut(source) {
+            Some(b) => {
+                b.settle(now, &self.cfg);
+                b.state
+            }
+            None => BreakerState::Closed,
+        }
+    }
+
+    /// Snapshots of every breaker that has seen traffic, source-ordered.
+    pub fn snapshots(&self) -> Vec<BreakerSnapshot> {
+        let now = self.clock.now();
+        let mut map = self.breakers.lock();
+        map.iter_mut()
+            .map(|(source, b)| {
+                b.settle(now, &self.cfg);
+                BreakerSnapshot {
+                    source: source.clone(),
+                    state: b.state,
+                    consecutive_failures: b.consecutive_failures,
+                    opens: b.opens,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcdash_simtime::SimClock;
+
+    fn board(threshold: u32, open_secs: u64, probes: u32) -> (BreakerBoard, SimClock) {
+        let clock = SimClock::new(Timestamp(1_000));
+        let b = BreakerBoard::new(
+            clock.shared(),
+            BreakerConfig {
+                failure_threshold: threshold,
+                open_secs,
+                half_open_probes: probes,
+            },
+        );
+        (b, clock)
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let (b, _clock) = board(3, 30, 1);
+        assert!(b.allow("sacct"));
+        b.record_failure("sacct");
+        b.record_failure("sacct");
+        assert_eq!(b.state_of("sacct"), BreakerState::Closed);
+        assert!(b.allow("sacct"), "still closed below the threshold");
+        b.record_failure("sacct");
+        assert_eq!(b.state_of("sacct"), BreakerState::Open);
+        assert!(!b.allow("sacct"), "open breaker short-circuits");
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let (b, _clock) = board(3, 30, 1);
+        b.record_failure("sacct");
+        b.record_failure("sacct");
+        b.record_success("sacct");
+        b.record_failure("sacct");
+        b.record_failure("sacct");
+        assert_eq!(
+            b.state_of("sacct"),
+            BreakerState::Closed,
+            "non-consecutive failures never trip it"
+        );
+    }
+
+    #[test]
+    fn half_open_probe_then_close_or_reopen() {
+        let (b, clock) = board(2, 30, 1);
+        b.record_failure("squeue");
+        b.record_failure("squeue");
+        assert_eq!(b.state_of("squeue"), BreakerState::Open);
+        clock.advance(29);
+        assert!(!b.allow("squeue"), "cool-down not elapsed");
+        clock.advance(1);
+        assert_eq!(b.state_of("squeue"), BreakerState::HalfOpen);
+        assert!(b.allow("squeue"), "one probe admitted");
+        assert!(!b.allow("squeue"), "second probe rejected");
+        // Probe fails: straight back to open, full cool-down again.
+        b.record_failure("squeue");
+        assert_eq!(b.state_of("squeue"), BreakerState::Open);
+        assert!(!b.allow("squeue"));
+        clock.advance(30);
+        assert!(b.allow("squeue"));
+        // Probe succeeds: closed, and traffic flows again.
+        b.record_success("squeue");
+        assert_eq!(b.state_of("squeue"), BreakerState::Closed);
+        assert!(b.allow("squeue"));
+    }
+
+    #[test]
+    fn sources_are_independent() {
+        let (b, _clock) = board(1, 30, 1);
+        b.record_failure("storage");
+        assert_eq!(b.state_of("storage"), BreakerState::Open);
+        assert_eq!(b.state_of("squeue"), BreakerState::Closed);
+        assert!(b.allow("squeue"));
+        let snaps = b.snapshots();
+        assert_eq!(snaps.len(), 2, "squeue allow() registered it");
+        assert_eq!(snaps[0].source, "squeue");
+        assert_eq!(snaps[1].source, "storage");
+        assert_eq!(snaps[1].opens, 1);
+    }
+
+    #[test]
+    fn gauge_and_label_encodings() {
+        assert_eq!(BreakerState::Closed.as_gauge(), 0);
+        assert_eq!(BreakerState::HalfOpen.as_gauge(), 1);
+        assert_eq!(BreakerState::Open.as_gauge(), 2);
+        assert_eq!(BreakerState::HalfOpen.as_str(), "half_open");
+    }
+}

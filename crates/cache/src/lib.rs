@@ -11,14 +11,16 @@
 //! All expiry is driven by `hpcdash_simtime::Clock`, so cache behaviour is
 //! deterministic under simulated time.
 
+pub mod breaker;
 pub mod clientdb;
 pub mod fetch;
 pub mod singleflight;
 pub mod stats;
 pub mod ttl;
 
+pub use breaker::{BreakerBoard, BreakerConfig, BreakerSnapshot, BreakerState};
 pub use clientdb::{IndexedDb, StoredRecord};
-pub use fetch::CachedFetcher;
+pub use fetch::{CachedFetcher, GraceOutcome};
 pub use singleflight::SingleFlight;
 pub use stats::{CacheStats, CacheStatsSnapshot};
 pub use ttl::TtlCache;

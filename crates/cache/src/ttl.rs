@@ -84,6 +84,18 @@ impl<V: Clone> TtlCache<V> {
         shard.get(key).map(|e| (e.value.clone(), !e.expired(now)))
     }
 
+    /// The value even if expired, with its age in seconds and freshness —
+    /// the serve-stale-on-error read: when a refresh fails, the caller
+    /// returns this last-known-good value labelled "from N seconds ago".
+    /// No stats side effects; the caller records the outcome it chose.
+    pub fn get_stale_with_age(&self, key: &str) -> Option<(V, u64, bool)> {
+        let now = self.clock.now();
+        let shard = self.shard(key).read();
+        shard
+            .get(key)
+            .map(|e| (e.value.clone(), now.since(e.stored_at), !e.expired(now)))
+    }
+
     pub fn insert(&self, key: impl Into<String>, value: V, ttl_secs: u64) {
         let key = key.into();
         let entry = Entry {

@@ -17,6 +17,10 @@ pub enum FetchOutcome {
     StaleRevalidated,
     /// Cache miss: the user waited for the network.
     Network,
+    /// The revalidation failed (network error, 5xx, or a server payload
+    /// already marked degraded): the client kept rendering its own
+    /// last-known-good copy instead of going blank.
+    StaleOnError,
 }
 
 /// One component fetch as the user experienced it.
@@ -50,6 +54,12 @@ impl PageLoad {
     pub fn healthy_widgets(&self) -> usize {
         self.widgets.iter().filter(|(_, r)| r.is_ok()).count()
     }
+}
+
+/// True when the server annotated this payload as a stale fallback
+/// (`"degraded": true`, from the resilience layer's serve-stale-on-error).
+fn is_degraded(value: &Value) -> bool {
+    value.get("degraded") == Some(&Value::Bool(true))
 }
 
 /// A headless dashboard client for one user.
@@ -113,22 +123,44 @@ impl DashboardClient {
                 }
                 // Stale: the user already sees the cached data; refresh in
                 // the "background" (synchronously here, but not counted
-                // toward perceived latency).
-                let (fresh_value, network, trace) = self.network_get(path)?;
-                self.db.put("api", path, fresh_value, now);
-                return Ok(FetchResult {
-                    value,
-                    outcome: FetchOutcome::StaleRevalidated,
-                    perceived,
-                    network,
-                    trace: Some(trace),
+                // toward perceived latency). A failed refresh — or one the
+                // server itself marked degraded — keeps our copy on screen
+                // and in the store: serve-stale-on-error, client edition.
+                return Ok(match self.network_get(path) {
+                    Ok((fresh_value, network, trace)) if !is_degraded(&fresh_value) => {
+                        self.db.put("api", path, fresh_value, now);
+                        FetchResult {
+                            value,
+                            outcome: FetchOutcome::StaleRevalidated,
+                            perceived,
+                            network,
+                            trace: Some(trace),
+                        }
+                    }
+                    Ok((_degraded, network, trace)) => FetchResult {
+                        value,
+                        outcome: FetchOutcome::StaleOnError,
+                        perceived,
+                        network,
+                        trace: Some(trace),
+                    },
+                    Err(_) => FetchResult {
+                        value,
+                        outcome: FetchOutcome::StaleOnError,
+                        perceived,
+                        network: Duration::ZERO,
+                        trace: None,
+                    },
                 });
             }
         }
         let start = Instant::now();
         let (value, network, trace) = self.network_get(path)?;
         let perceived = start.elapsed();
-        if self.fresh_secs.is_some() {
+        // Degraded payloads render but are never stored: adopting the
+        // server's stale fallback would launder old data into a "fresh"
+        // client entry.
+        if self.fresh_secs.is_some() && !is_degraded(&value) {
             self.db.put("api", path, value.clone(), now);
         }
         Ok(FetchResult {
@@ -235,7 +267,7 @@ mod tests {
     use hpcdash_storage::StorageDb;
     use std::sync::Arc;
 
-    fn test_site() -> (hpcdash_http::Server, SimClock) {
+    fn test_site() -> (hpcdash_http::Server, SimClock, Arc<StorageDb>) {
         let clock = SimClock::new(Timestamp(1_000));
         let mut assoc = AssocStore::new();
         assoc.add_account(Account::new("physics"));
@@ -265,19 +297,19 @@ mod tests {
             ctld,
             dbd,
             logs,
-            storage,
+            storage.clone(),
             Arc::new(NewsFeed::new()),
         );
         let dash = Dashboard::new(ctx);
         let server = dash.serve("127.0.0.1:0", 4).unwrap();
         // Keep the dashboard alive as long as the server: leak it (tests).
         std::mem::forget(dash);
-        (server, clock)
+        (server, clock, storage)
     }
 
     #[test]
     fn cold_load_then_warm_load() {
-        let (server, _clock) = test_site();
+        let (server, _clock, _storage) = test_site();
         let clock2 = SimClock::new(Timestamp(1_000));
         let client = DashboardClient::new(&server.base_url(), "alice", clock2.shared(), Some(30));
         let cold = client.load_homepage().unwrap();
@@ -303,7 +335,7 @@ mod tests {
 
     #[test]
     fn stale_entries_revalidate() {
-        let (server, _server_clock) = test_site();
+        let (server, _server_clock, _storage) = test_site();
         let clock = SimClock::new(Timestamp(1_000));
         let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), Some(30));
         client.fetch_api("/api/system_status").unwrap();
@@ -318,7 +350,7 @@ mod tests {
 
     #[test]
     fn disabled_cache_always_hits_network() {
-        let (server, _clock) = test_site();
+        let (server, _clock, _storage) = test_site();
         let clock = SimClock::new(Timestamp(1_000));
         let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), None);
         for _ in 0..3 {
@@ -330,7 +362,7 @@ mod tests {
 
     #[test]
     fn errors_are_reported_not_cached() {
-        let (server, _clock) = test_site();
+        let (server, _clock, _storage) = test_site();
         let clock = SimClock::new(Timestamp(1_000));
         let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), Some(30));
         let err = client.fetch_api("/api/nodes/zzz").unwrap_err();
@@ -340,8 +372,44 @@ mod tests {
     }
 
     #[test]
+    fn unreachable_server_serves_the_client_copy() {
+        let (server, _clock, _storage) = test_site();
+        let clock = SimClock::new(Timestamp(1_000));
+        let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), Some(30));
+        let first = client.fetch_api("/api/storage").unwrap();
+        clock.advance(31);
+        drop(server);
+        let r = client.fetch_api("/api/storage").unwrap();
+        assert_eq!(r.outcome, FetchOutcome::StaleOnError);
+        assert_eq!(r.value, first.value, "last-known-good copy rendered");
+        // The copy survives for the next outage-era fetch too.
+        let r = client.fetch_api("/api/storage").unwrap();
+        assert_eq!(r.outcome, FetchOutcome::StaleOnError);
+    }
+
+    #[test]
+    fn degraded_server_payloads_render_but_are_never_stored() {
+        let (server, server_clock, storage) = test_site();
+        let clock = SimClock::new(Timestamp(1_000));
+        let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), Some(30));
+        client.fetch_api("/api/storage").unwrap();
+        // Both clocks pass the TTLs; then the backend dies. The server falls
+        // back to its last-known-good copy, annotated "degraded".
+        server_clock.advance(601);
+        clock.advance(31);
+        storage.set_available(false);
+        let r = client.fetch_api("/api/storage").unwrap();
+        assert_eq!(r.outcome, FetchOutcome::StaleOnError);
+        let stored = client.db.get("api", "/api/storage").unwrap();
+        assert!(
+            stored.value.get("degraded").is_none(),
+            "the degraded payload must not overwrite the client's own copy"
+        );
+    }
+
+    #[test]
     fn clear_cache_forces_network() {
-        let (server, _clock) = test_site();
+        let (server, _clock, _storage) = test_site();
         let clock = SimClock::new(Timestamp(1_000));
         let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), Some(300));
         client.fetch_api("/api/storage").unwrap();

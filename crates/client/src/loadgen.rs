@@ -5,6 +5,8 @@ use crate::browser::{DashboardClient, FetchOutcome};
 use crate::histogram::{LatencyRecorder, LatencySummary};
 use hpcdash_obs::Registry;
 use hpcdash_simtime::SharedClock;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -34,8 +36,13 @@ pub struct LoadReport {
     pub cache_fresh: u64,
     /// Stale-served-then-revalidated fetches.
     pub stale_revalidated: u64,
+    /// Fetches rescued by serve-stale-on-error (either side's cache).
+    pub stale_on_error: u64,
     /// Failed fetches.
     pub errors: u64,
+    /// Per-route availability: how each fetch ended for the user
+    /// (fresh data, degraded-but-rendered, or failed).
+    pub availability: BTreeMap<String, RouteAvailability>,
     /// Per-route client-side metrics for this run:
     /// `hpcdash_client_perceived_latency{route}` and
     /// `hpcdash_client_network_latency{route}` histograms (p50/p95/p99 at
@@ -51,6 +58,32 @@ impl LoadReport {
     }
 }
 
+/// Per-route fetch outcomes, as the user experienced them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RouteAvailability {
+    /// Current data rendered (client-fresh, revalidated, or fresh network).
+    pub fresh: u64,
+    /// Old-but-honest data rendered (serve-stale-on-error, either side).
+    pub degraded: u64,
+    /// Nothing rendered — the widget went dark.
+    pub failed: u64,
+}
+
+impl RouteAvailability {
+    pub fn total(&self) -> u64 {
+        self.fresh + self.degraded + self.failed
+    }
+
+    /// Fraction of fetches that rendered data at all (fresh or degraded):
+    /// the availability number the resilience experiments report.
+    pub fn availability(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        (self.fresh + self.degraded) as f64 / self.total() as f64
+    }
+}
+
 /// Run a load test against `base_url`. One OS thread per user; each user
 /// has an independent client cache, like separate browsers.
 pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
@@ -60,7 +93,10 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
     let fresh_hits = Arc::new(AtomicU64::new(0));
     let stale_hits = Arc::new(AtomicU64::new(0));
     let net_count = Arc::new(AtomicU64::new(0));
+    let stale_errors = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
+    let routes: Arc<Mutex<BTreeMap<String, RouteAvailability>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
 
     let mut handles = Vec::new();
     for user in &cfg.users {
@@ -74,7 +110,9 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
         let fresh_hits = fresh_hits.clone();
         let stale_hits = stale_hits.clone();
         let net_count = net_count.clone();
+        let stale_errors = stale_errors.clone();
         let errors = errors.clone();
+        let routes = routes.clone();
         handles.push(std::thread::spawn(move || {
             let client = DashboardClient::new(&base_url, &user, clock, cfg.client_fresh_secs);
             for _ in 0..cfg.iterations {
@@ -86,6 +124,21 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
                             registry
                                 .histogram("hpcdash_client_perceived_latency", &labels)
                                 .observe(result.perceived);
+                            // Server-annotated stale payloads count as
+                            // degraded even when the wire request succeeded.
+                            let server_degraded =
+                                result.value.get("degraded") == Some(&serde_json::json!(true));
+                            let degraded =
+                                server_degraded || result.outcome == FetchOutcome::StaleOnError;
+                            {
+                                let mut map = routes.lock();
+                                let slot = map.entry(path.clone()).or_default();
+                                if degraded {
+                                    slot.degraded += 1;
+                                } else {
+                                    slot.fresh += 1;
+                                }
+                            }
                             match result.outcome {
                                 FetchOutcome::CacheFresh => {
                                     fresh_hits.fetch_add(1, Ordering::Relaxed);
@@ -103,10 +156,14 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
                                         .histogram("hpcdash_client_network_latency", &labels)
                                         .observe(result.network);
                                 }
+                                FetchOutcome::StaleOnError => {
+                                    stale_errors.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
                         }
                         Err(_) => {
                             errors.fetch_add(1, Ordering::Relaxed);
+                            routes.lock().entry(path.clone()).or_default().failed += 1;
                         }
                     }
                 }
@@ -124,7 +181,11 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
         network_fetches: net_count.load(Ordering::Relaxed),
         cache_fresh: fresh_hits.load(Ordering::Relaxed),
         stale_revalidated: stale_hits.load(Ordering::Relaxed),
+        stale_on_error: stale_errors.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
+        availability: Arc::try_unwrap(routes)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone()),
         registry,
     }
 }
@@ -205,6 +266,30 @@ mod tests {
         assert_eq!(report.network_fetches, 2);
         assert_eq!(report.cache_fresh, 18);
         assert!(report.perceived.unwrap().count == 20);
+        let avail = &report.availability["/api/system_status"];
+        assert_eq!(avail.fresh, 20);
+        assert_eq!(avail.availability(), 1.0);
+    }
+
+    #[test]
+    fn per_route_availability_separates_failed_routes() {
+        let (server, clock, _ctx) = site(true);
+        let cfg = LoadConfig {
+            users: vec!["u1".to_string()],
+            iterations: 3,
+            paths: vec![
+                "/api/system_status".to_string(),
+                "/api/nodes/nope".to_string(),
+            ],
+            client_fresh_secs: Some(3_600),
+        };
+        let report = run(&server.base_url(), clock.shared(), &cfg);
+        let ok = &report.availability["/api/system_status"];
+        assert_eq!(ok.fresh, 3);
+        assert_eq!(ok.availability(), 1.0);
+        let bad = &report.availability["/api/nodes/nope"];
+        assert_eq!(bad.failed, 3);
+        assert_eq!(bad.availability(), 0.0);
     }
 
     #[test]

@@ -26,9 +26,9 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
     };
     let key = format!("accounts:{}", user.username);
     let guide = ctx.cfg.user_guide_url.clone();
-    let result = ctx.cached_result(&key, ctx.cfg.cache.accounts, || {
+    let outcome = ctx.cached_resilient(&key, ctx.cfg.cache.accounts, || {
         ctx.note_source(FEATURE, "scontrol show assoc (slurmctld)");
-        let text = show_assoc(&ctx.ctld, Some(&user.username));
+        let text = show_assoc(&ctx.ctld, Some(&user.username))?;
         let rows = parse_show_assoc(&text).map_err(|e| format!("assoc parse: {e}"))?;
         Ok(json!({
             "accounts": rows
@@ -62,10 +62,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
             "user_guide_url": guide,
         }))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) => Response::service_unavailable(&e),
-    }
+    super::respond(outcome)
 }
 
 /// Per-user usage breakdown for one account, exported as CSV (or an

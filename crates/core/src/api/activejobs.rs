@@ -29,7 +29,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
         Err(resp) => return resp,
     };
     let key = format!("activejobs:{}", user.username);
-    let result = ctx.cached_result(&key, ctx.cfg.cache.recent_jobs, || {
+    let outcome = ctx.cached_resilient(&key, ctx.cfg.cache.recent_jobs, || {
         ctx.note_source(FEATURE, "squeue (slurmctld)");
         let text = squeue(
             &ctx.ctld,
@@ -37,7 +37,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 user: Some(user.username.clone()),
                 ..SqueueArgs::default()
             },
-        );
+        )?;
         let rows = parse_squeue(&text).map_err(|e| format!("squeue parse: {e}"))?;
         Ok(json!({
             "jobs": rows
@@ -57,10 +57,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 .collect::<Vec<_>>(),
         }))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) => Response::service_unavailable(&e),
-    }
+    super::respond(outcome)
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
     } else {
         "announcements"
     };
-    let result = ctx.cached_result(key, ctx.cfg.cache.announcements, || {
+    let outcome = ctx.cached_resilient(key, ctx.cfg.cache.announcements, || {
         ctx.note_source(FEATURE, "news API");
         let items = if all {
             ctx.news.all().map_err(|e| e.to_string())?
@@ -59,10 +59,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
             "all_news_url": news_url,
         }))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) => Response::service_unavailable(&e),
-    }
+    super::respond(outcome)
 }
 
 #[cfg(test)]

@@ -20,9 +20,9 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
     if let Err(resp) = CurrentUser::from_request(ctx, req) {
         return resp;
     }
-    let result = ctx.cached_result("clusterstatus", ctx.cfg.cache.cluster_status, || {
+    let outcome = ctx.cached_resilient("clusterstatus", ctx.cfg.cache.cluster_status, || {
         ctx.note_source(FEATURE, "scontrol show node (slurmctld)");
-        let text = show_node(&ctx.ctld, None);
+        let text = show_node(&ctx.ctld, None)?;
         let nodes = parse_show_node(&text).map_err(|e| format!("scontrol parse: {e}"))?;
         Ok(json!({
             "nodes": nodes
@@ -62,10 +62,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 .collect::<Vec<_>>(),
         }))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) => Response::service_unavailable(&e),
-    }
+    super::respond(outcome)
 }
 
 #[cfg(test)]

@@ -16,7 +16,27 @@ pub fn register(router: &mut Router, ctx: DashboardContext) {
 
 fn handle(ctx: &DashboardContext, _req: &Request) -> Response {
     let report = ctx.health.report();
-    let resp = Response::json(&report.to_json());
+    let mut body = report.to_json();
+    // Circuit-breaker states ride along: operators reading /api/health see
+    // not just that a source is down but whether the dashboard has stopped
+    // asking it (open) or is probing for recovery (half_open).
+    body["breakers"] = ctx
+        .breakers
+        .snapshots()
+        .into_iter()
+        .map(|s| {
+            (
+                s.source,
+                serde_json::json!({
+                    "state": s.state.as_str(),
+                    "consecutive_failures": s.consecutive_failures,
+                    "opens": s.opens,
+                }),
+            )
+        })
+        .collect::<serde_json::Map>()
+        .into();
+    let resp = Response::json(&body);
     match report.overall {
         // A degraded dashboard still answers 200 (it serves stale/partial
         // data); only Down surfaces as an unhealthy status code.
@@ -63,5 +83,20 @@ mod tests {
         assert_eq!(body["status"], "down");
         assert_eq!(body["sources"]["squeue"]["status"], "down");
         assert_eq!(body["sources"]["sinfo"]["status"], "up");
+    }
+
+    #[test]
+    fn breaker_states_ride_along() {
+        let ctx = test_ctx();
+        ctx.health.record_ok("sinfo");
+        for _ in 0..ctx.breakers.config().failure_threshold {
+            ctx.breakers.record_failure("sacct");
+        }
+        ctx.breakers.record_success("sinfo");
+        let resp = handle(&ctx, &request());
+        let body = resp.body_json().unwrap();
+        assert_eq!(body["breakers"]["sacct"]["state"], "open");
+        assert_eq!(body["breakers"]["sacct"]["opens"], 1);
+        assert_eq!(body["breakers"]["sinfo"]["state"], "closed");
     }
 }

@@ -34,7 +34,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
     };
     let now = ctx.now();
     let key = format!("jobmetrics:{}:{:?}", user.username, range.window(now));
-    let result = ctx.cached_result(&key, ctx.cfg.cache.jobmetrics, || {
+    let outcome = ctx.cached_resilient(&key, ctx.cfg.cache.jobmetrics, || {
         ctx.note_source(FEATURE, "sacct (slurmdbd)");
         let (since, until) = range.window(now);
         let text = sacct(
@@ -49,7 +49,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 job_ids: None,
             },
             now,
-        );
+        )?;
         let records = parse_sacct(&text).map_err(|e| format!("sacct parse: {e}"))?;
         let metrics = JobMetrics::aggregate(&records);
         Ok(json!({
@@ -60,8 +60,10 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
     // The live strip: running jobs with their recent collector series,
     // cached on the faster telemetry (squeue-tier) TTL so the sparklines
     // track the queue rather than the metrics range.
+    // The sparkline strip is a bonus column: if telemetry is down, the
+    // metrics page still renders, just without live series.
     let live = ctx
-        .cached_result(
+        .cached_resilient(
             &format!("telemetry:live:{}", user.username),
             ctx.cfg.cache.telemetry,
             || {
@@ -72,14 +74,27 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 ))
             },
         )
-        .unwrap_or_else(|_| json!({"window_secs": 0, "jobs": []}));
-    match result {
-        Ok(mut v) => {
+        .ok_value()
+        .unwrap_or_else(|| json!({"window_secs": 0, "jobs": []}));
+    super::respond(match outcome {
+        crate::ctx::SourceOutcome::Fresh(mut v) => {
             v["live_jobs"] = live;
-            Response::json(&v)
+            crate::ctx::SourceOutcome::Fresh(v)
         }
-        Err(e) => Response::service_unavailable(&e),
-    }
+        crate::ctx::SourceOutcome::Stale {
+            mut value,
+            age_secs,
+            error,
+        } => {
+            value["live_jobs"] = live;
+            crate::ctx::SourceOutcome::Stale {
+                value,
+                age_secs,
+                error,
+            }
+        }
+        failed => failed,
+    })
 }
 
 #[cfg(test)]

@@ -93,7 +93,10 @@ fn handle_overview(ctx: &DashboardContext, req: &Request) -> Response {
                 ..SacctArgs::default()
             },
             now,
-        );
+        )
+        // Efficiency is a bonus column: if accounting is down the overview
+        // still renders, just without it.
+        .unwrap_or_default();
         let collector_gpu = if gpu_flag {
             crate::api::jobtelemetry::collector_gpu_mean(ctx, &job)
         } else {

@@ -154,13 +154,10 @@ fn handle_live(ctx: &DashboardContext, req: &Request) -> Response {
         Err(resp) => return resp,
     };
     let key = format!("telemetry:live:{}", user.username);
-    let result = ctx.cached_result(&key, ctx.cfg.cache.telemetry, || {
+    let outcome = ctx.cached_resilient(&key, ctx.cfg.cache.telemetry, || {
         Ok(live_jobs_payload(ctx, FEATURE, &user.username))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) => Response::service_unavailable(&e),
-    }
+    super::respond(outcome)
 }
 
 /// Resolve a display id like the Job Overview route does, but noting the
@@ -203,17 +200,14 @@ fn handle_job(ctx: &DashboardContext, req: &Request) -> Response {
         return Response::forbidden("this job belongs to another group");
     }
     let key = format!("telemetry:job:{}", job.display_id());
-    let result = ctx.cached_result(&key, ctx.cfg.cache.telemetry, || {
+    let outcome = ctx.cached_resilient(&key, ctx.cfg.cache.telemetry, || {
         Ok(json!({
             "id": job.display_id(),
             "state": job.state.to_slurm(),
             "telemetry": job_series_payload(ctx, FEATURE, &job),
         }))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) => Response::service_unavailable(&e),
-    }
+    super::respond(outcome)
 }
 
 #[cfg(test)]

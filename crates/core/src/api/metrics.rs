@@ -15,6 +15,18 @@ pub fn register(router: &mut Router, ctx: DashboardContext) {
 }
 
 fn handle(ctx: &DashboardContext, req: &Request) -> Response {
+    // Refresh the breaker gauges at scrape time: breakers transition lazily
+    // (on the next request), so the scrape itself settles cool-downs and
+    // reports the effective state.
+    for snap in ctx.breakers.snapshots() {
+        let labels = [("source", snap.source.as_str())];
+        ctx.obs
+            .gauge("hpcdash_breaker_state", &labels)
+            .set(snap.state.as_gauge() as i64);
+        ctx.obs
+            .gauge("hpcdash_breaker_opens", &labels)
+            .set(snap.opens as i64);
+    }
     if req.query_param("format").is_some_and(|f| f == "json") {
         return Response::json(&scrape_json(&ctx.obs));
     }
@@ -44,5 +56,20 @@ mod tests {
             .unwrap()
             .iter()
             .any(|s| s["name"] == "hpcdash_cache_requests_total"));
+    }
+
+    #[test]
+    fn breaker_gauges_are_scraped() {
+        let ctx = test_ctx();
+        for _ in 0..ctx.breakers.config().failure_threshold {
+            ctx.breakers.record_failure("sacct");
+        }
+        let resp = handle(&ctx, &Request::new(Method::Get, "/api/metrics"));
+        let text = resp.body_string();
+        assert!(
+            text.contains("hpcdash_breaker_state{source=\"sacct\"} 2"),
+            "open breaker exposed as gauge 2: {text}"
+        );
+        assert!(text.contains("hpcdash_breaker_opens{source=\"sacct\"} 1"));
     }
 }

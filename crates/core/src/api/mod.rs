@@ -24,8 +24,38 @@ pub mod storage;
 pub mod system_status;
 pub mod updates;
 
-use crate::ctx::DashboardContext;
-use hpcdash_http::Router;
+use crate::ctx::{DashboardContext, SourceOutcome};
+use hpcdash_http::{Response, Router};
+
+/// Turn a resilient fetch outcome into the widget's HTTP response — the
+/// single place the per-widget degradation contract is encoded:
+///
+/// * `Fresh` — 200, payload unchanged.
+/// * `Stale` — 200, payload annotated with `"degraded": true`,
+///   `"stale_age_secs"`, and `"stale_error"` so the frontend can render the
+///   accessible "showing data from N min ago" notice instead of silently
+///   presenting old numbers as current.
+/// * `Failed` — 503 with the error; only this widget goes dark.
+pub(crate) fn respond(outcome: SourceOutcome) -> Response {
+    match outcome {
+        SourceOutcome::Fresh(v) => Response::json(&v),
+        SourceOutcome::Stale {
+            mut value,
+            age_secs,
+            error,
+        } => {
+            // Every route payload is a JSON object; anything else is served
+            // unannotated rather than re-shaped under the client's feet.
+            if let Some(obj) = value.as_object_mut() {
+                obj.insert("degraded".to_string(), serde_json::json!(true));
+                obj.insert("stale_age_secs".to_string(), serde_json::json!(age_secs));
+                obj.insert("stale_error".to_string(), serde_json::json!(error));
+            }
+            Response::json(&value)
+        }
+        SourceOutcome::Failed(e) => Response::service_unavailable(&e),
+    }
+}
 
 /// One row of the (declared) Table 1.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -62,7 +62,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
         qos_filter,
         member_filter,
     );
-    let result = ctx.cached_result(&key, ctx.cfg.cache.myjobs, || {
+    let outcome = ctx.cached_resilient(&key, ctx.cfg.cache.myjobs, || {
         let accounts = user.visible_accounts(ctx);
 
         ctx.note_source(FEATURE, "sacct (slurmdbd)");
@@ -78,7 +78,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 job_ids: None,
             },
             now,
-        );
+        )?;
         let mut records = parse_sacct(&text).map_err(|e| format!("sacct parse: {e}"))?;
         if let Some(p) = &partition_filter {
             records.retain(|r| r.partition == *p);
@@ -99,7 +99,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 accounts,
                 partition: None,
             },
-        );
+        )?;
         let qrows = parse_squeue_long(&qtext).map_err(|e| format!("squeue parse: {e}"))?;
         let reasons: HashMap<String, _> = qrows
             .iter()
@@ -157,10 +157,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
             },
         }))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) => Response::service_unavailable(&e),
-    }
+    super::respond(outcome)
 }
 
 /// Extract the Open OnDemand session id from a job comment.

@@ -25,11 +25,13 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
         return Response::bad_request("missing node name");
     };
     let key = format!("node:{name}");
-    let result = ctx.cached_result(&key, ctx.cfg.cache.node_overview, || {
+    let outcome = ctx.cached_resilient(&key, ctx.cfg.cache.node_overview, || {
         ctx.note_source(FEATURE, "scontrol show node (slurmctld)");
-        let text = show_node(&ctx.ctld, Some(&name));
+        let text = show_node(&ctx.ctld, Some(&name))?;
         if text.is_empty() {
-            return Err(format!("node {name} not found"));
+            // A bad node name is data, not a backend failure: returning Ok
+            // keeps retries, health errors, and the breaker out of 404s.
+            return Ok(json!({ "not_found": true }));
         }
         let nodes = parse_show_node(&text).map_err(|e| format!("scontrol parse: {e}"))?;
         let n = nodes.into_iter().next().ok_or("empty scontrol output")?;
@@ -107,11 +109,15 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 .collect::<Vec<_>>(),
         }))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) if e.contains("not found") => Response::not_found(&e),
-        Err(e) => Response::service_unavailable(&e),
+    let served = match &outcome {
+        crate::ctx::SourceOutcome::Fresh(v) => Some(v),
+        crate::ctx::SourceOutcome::Stale { value, .. } => Some(value),
+        crate::ctx::SourceOutcome::Failed(_) => None,
+    };
+    if served.is_some_and(|v| v["not_found"] == serde_json::json!(true)) {
+        return Response::not_found(&format!("node {name} not found"));
     }
+    super::respond(outcome)
 }
 
 /// Count trailing `:N` of a gres string like `gpu:a100:4`.

@@ -24,7 +24,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
     };
     let limit = ctx.cfg.recent_jobs_limit;
     let key = format!("recent_jobs:{}", user.username);
-    let result = ctx.cached_result(&key, ctx.cfg.cache.recent_jobs, || {
+    let outcome = ctx.cached_resilient(&key, ctx.cfg.cache.recent_jobs, || {
         ctx.note_source(FEATURE, "squeue (slurmctld)");
         // The route shells out to squeue and parses its text, exactly like
         // the paper's backend.
@@ -34,7 +34,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 user: Some(user.username.clone()),
                 ..SqueueArgs::default()
             },
-        );
+        )?;
         let rows = parse_squeue_long(&text).map_err(|e| format!("squeue parse: {e}"))?;
         Ok(json!({
             "jobs": rows
@@ -60,10 +60,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 .collect::<Vec<_>>(),
         }))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) => Response::service_unavailable(&e),
-    }
+    super::respond(outcome)
 }
 
 #[cfg(test)]

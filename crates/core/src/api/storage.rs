@@ -21,7 +21,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
         Err(resp) => return resp,
     };
     let key = format!("storage:{}", user.username);
-    let result = ctx.cached_result(&key, ctx.cfg.cache.storage, || {
+    let outcome = ctx.cached_resilient(&key, ctx.cfg.cache.storage, || {
         ctx.note_source(FEATURE, "ZFS and GPFS storage database");
         let groups = user.visible_accounts(ctx);
         let dirs = ctx
@@ -51,10 +51,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
                 .collect::<Vec<_>>(),
         }))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) => Response::service_unavailable(&e),
-    }
+    super::respond(outcome)
 }
 
 #[cfg(test)]

@@ -20,9 +20,9 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
     if let Err(resp) = CurrentUser::from_request(ctx, req) {
         return resp;
     }
-    let result = ctx.cached_result("system_status", ctx.cfg.cache.system_status, || {
+    let outcome = ctx.cached_resilient("system_status", ctx.cfg.cache.system_status, || {
         ctx.note_source(FEATURE, "sinfo (slurmctld)");
-        let text = sinfo_usage(&ctx.ctld);
+        let text = sinfo_usage(&ctx.ctld)?;
         let rows = parse_sinfo_usage(&text).map_err(|e| format!("sinfo parse: {e}"))?;
         Ok(json!({
             "partitions": rows
@@ -58,10 +58,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
             "details_url": "/clusterstatus",
         }))
     });
-    match result {
-        Ok(v) => Response::json(&v),
-        Err(e) => Response::service_unavailable(&e),
-    }
+    super::respond(outcome)
 }
 
 #[cfg(test)]

@@ -96,6 +96,90 @@ impl Default for PushPolicy {
     }
 }
 
+/// Retry, backoff, deadline, and circuit-breaker tuning for the resilient
+/// fetch path (`DashboardContext::cached_resilient`).
+///
+/// The defaults are chosen so the layers compose instead of fighting:
+///
+/// * **Retries** — `max_retries = 2` means at most 3 attempts per request.
+///   Backend blips (a flapping daemon, one garbled render) usually clear
+///   within a retry or two; more attempts just add latency to a request
+///   that serve-stale will rescue anyway.
+/// * **Backoff** — exponential from `backoff_base_ms` capped at
+///   `backoff_cap_ms`, scaled by deterministic jitter in `[0.5, 1.5)`
+///   keyed on `(seed, cache key, attempt)`. Jitter prevents coordinated
+///   retry waves when many widgets fail at once; the seed keeps chaos
+///   runs reproducible. The delays are real (wall-clock) sleeps and small,
+///   because widget loaders run on request threads.
+/// * **Deadline** — `deadline_ms` bounds attempts + backoff per request.
+///   A latency fault that makes one attempt overrun the whole deadline
+///   stops the retry loop immediately: slow backends degrade to stale
+///   data rather than pile-ups.
+/// * **Breaker** — `breaker_failure_threshold = 5` is deliberately larger
+///   than the 3 attempts a single request makes, so one failed request
+///   can never trip a breaker by itself; it takes failures across at
+///   least two separate requests, i.e. sustained trouble. An open breaker
+///   short-circuits for `breaker_open_secs` of *simulation* time, then
+///   admits `breaker_half_open_probes` probe requests; one success closes
+///   it. Breaker timing uses sim time so tests can assert transitions at
+///   exact ticks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResiliencePolicy {
+    /// Extra attempts after the first failure (total attempts = this + 1).
+    pub max_retries: u32,
+    /// First backoff delay (milliseconds, wall clock).
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff delay (milliseconds).
+    pub backoff_cap_ms: u64,
+    /// Per-request budget across attempts and backoff (milliseconds).
+    pub deadline_ms: u64,
+    /// Consecutive failures (across requests) that trip a source's breaker.
+    pub breaker_failure_threshold: u32,
+    /// Sim-time seconds an open breaker waits before probing.
+    pub breaker_open_secs: u64,
+    /// Probe requests admitted per half-open episode.
+    pub breaker_half_open_probes: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> ResiliencePolicy {
+        ResiliencePolicy {
+            max_retries: 2,
+            backoff_base_ms: 5,
+            backoff_cap_ms: 40,
+            deadline_ms: 500,
+            breaker_failure_threshold: 5,
+            breaker_open_secs: 30,
+            breaker_half_open_probes: 1,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// Total attempts a single request may make.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_retries + 1
+    }
+
+    /// A policy that disables retries and breakers (ablation tests: the
+    /// pre-resilience behaviour, single attempt, fail fast).
+    pub fn disabled() -> ResiliencePolicy {
+        ResiliencePolicy {
+            max_retries: 0,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            deadline_ms: u64::MAX,
+            breaker_failure_threshold: u32::MAX,
+            breaker_open_secs: 0,
+            breaker_half_open_probes: u32::MAX,
+            seed: 0,
+        }
+    }
+}
+
 /// Optional features (the paper's future-work items are implemented behind
 /// these flags).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -120,6 +204,7 @@ pub struct DashboardConfig {
     pub admins: Vec<String>,
     pub cache: CachePolicy,
     pub push: PushPolicy,
+    pub resilience: ResiliencePolicy,
     pub features: FeatureFlags,
     /// How many announcements the homepage widget shows.
     pub announcements_limit: usize,
@@ -143,6 +228,7 @@ impl DashboardConfig {
             admins: Vec::new(),
             cache: CachePolicy::default(),
             push: PushPolicy::default(),
+            resilience: ResiliencePolicy::default(),
             features: FeatureFlags::default(),
             announcements_limit: 5,
             recent_jobs_limit: 8,
@@ -212,6 +298,23 @@ mod tests {
         let cfg = DashboardConfig::generic("Bell");
         assert!(cfg.news_page_url.contains("bell"));
         assert_eq!(cfg.cluster_label, "Bell");
+    }
+
+    #[test]
+    fn resilience_defaults_compose() {
+        let r = ResiliencePolicy::default();
+        assert!(
+            r.breaker_failure_threshold > r.max_attempts(),
+            "one request's failures must never trip a breaker alone"
+        );
+        assert!(r.backoff_base_ms <= r.backoff_cap_ms);
+        // Worst case attempts + capped backoff fits the deadline.
+        let worst_backoff: u64 = (0..r.max_retries)
+            .map(|a| (r.backoff_base_ms << a).min(r.backoff_cap_ms) * 3 / 2)
+            .sum();
+        assert!(worst_backoff < r.deadline_ms);
+        let d = ResiliencePolicy::disabled();
+        assert_eq!(d.max_attempts(), 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! data-source probe used to regenerate the paper's Table 1.
 
 use crate::config::DashboardConfig;
-use hpcdash_cache::CachedFetcher;
+use hpcdash_cache::{BreakerBoard, BreakerConfig, CachedFetcher, GraceOutcome};
 use hpcdash_http::ParkBudget;
 use hpcdash_news::NewsFeed;
 use hpcdash_obs::health::HealthBoard;
@@ -40,6 +40,9 @@ pub struct DashboardContext {
     pub push: Arc<Hub>,
     /// Cap on workers parked in long-polls (`503 + Retry-After` past it).
     pub park: Arc<ParkBudget>,
+    /// Per-source circuit breakers gating the resilient fetch path
+    /// ([`DashboardContext::cached_resilient`]); timed on the sim clock.
+    pub breakers: Arc<BreakerBoard>,
     /// The metrics daemon behind sparklines and collector-backed GPU
     /// efficiency. [`DashboardContext::new`] builds an empty one; sites
     /// whose driver feeds a shared daemon inject it via
@@ -89,6 +92,55 @@ fn source_of(key: &str) -> &str {
     key.split(':').next().unwrap_or(key)
 }
 
+/// How [`DashboardContext::cached_resilient`] answered — the per-widget
+/// degradation contract. One failing data source degrades only the widgets
+/// that read from it; each widget learns *how* its data arrived and renders
+/// an honest notice instead of a blank page.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceOutcome {
+    /// Current data: a fresh cache hit or a successful (possibly retried)
+    /// load.
+    Fresh(serde_json::Value),
+    /// The source is failing; the last-known-good payload is served with
+    /// its age so the widget can say "showing data from N min ago".
+    Stale {
+        value: serde_json::Value,
+        age_secs: u64,
+        error: String,
+    },
+    /// The source is failing and no last-known-good copy exists; the widget
+    /// shows "temporarily unavailable", everything else keeps rendering.
+    Failed(String),
+}
+
+impl SourceOutcome {
+    /// True unless the fetch came back `Failed` — the availability measure
+    /// loadgen and `bench_resilience` report (stale counts as available:
+    /// the widget rendered data).
+    pub fn is_available(&self) -> bool {
+        !matches!(self, SourceOutcome::Failed(_))
+    }
+
+    /// Stable label for metrics and load-generator reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SourceOutcome::Fresh(_) => "fresh",
+            SourceOutcome::Stale { .. } => "degraded",
+            SourceOutcome::Failed(_) => "failed",
+        }
+    }
+
+    /// The payload, if any was served (fresh or stale). For optional
+    /// side-channel data ("bonus columns") where a failure should simply
+    /// drop the extra and not degrade the response.
+    pub fn ok_value(self) -> Option<serde_json::Value> {
+        match self {
+            SourceOutcome::Fresh(v) | SourceOutcome::Stale { value: v, .. } => Some(v),
+            SourceOutcome::Failed(_) => None,
+        }
+    }
+}
+
 impl DashboardContext {
     pub fn new(
         cfg: DashboardConfig,
@@ -124,6 +176,14 @@ impl DashboardContext {
         ctld.events().add_sink(push.clone());
         let park = Arc::new(ParkBudget::new(cfg.push.max_parked_workers));
         let telemetry = Arc::new(TelemetryD::free(clock.clone(), ctld.clone()));
+        let breakers = Arc::new(BreakerBoard::new(
+            clock.clone(),
+            BreakerConfig {
+                failure_threshold: cfg.resilience.breaker_failure_threshold,
+                open_secs: cfg.resilience.breaker_open_secs,
+                half_open_probes: cfg.resilience.breaker_half_open_probes,
+            },
+        ));
         DashboardContext {
             cfg: Arc::new(cfg),
             cache: Arc::new(CachedFetcher::new(clock.clone())),
@@ -132,6 +192,7 @@ impl DashboardContext {
             health: Arc::new(HealthBoard::new()),
             push,
             park,
+            breakers,
             clock,
             ctld,
             dbd,
@@ -250,13 +311,167 @@ impl DashboardContext {
                 Ok(v)
             }
             CacheEnvelope::Failed(e) => {
-                if loader_ran.get() {
-                    self.health.record_error(source);
-                }
+                // A served failure is an observed failure even when this
+                // caller coalesced onto another thread's load (or raced a
+                // just-stored envelope): the user saw the source fail, so
+                // the health board must too.
+                self.health.record_error(source);
                 self.cache.invalidate(key);
                 Err(e)
             }
         }
+    }
+
+    /// The resilient fetch path routes use: cache + single-flight like
+    /// [`DashboardContext::cached_result`], wrapped in the full
+    /// [`crate::config::ResiliencePolicy`]:
+    ///
+    /// * failed loads are retried up to `max_retries` times with seeded
+    ///   exponential-jitter backoff, bounded by the per-request deadline;
+    /// * a tripped circuit breaker short-circuits the backend entirely;
+    /// * when every attempt fails (or the breaker is open), the
+    ///   last-known-good cached value is served with its age — failures are
+    ///   never cached and never evict the copy that keeps a widget alive.
+    ///
+    /// A `ttl` of zero (the no-cache ablation) makes a single attempt and
+    /// skips retries, breakers, and stale fallback — the pre-resilience
+    /// behaviour.
+    pub fn cached_resilient(
+        &self,
+        key: &str,
+        ttl: u64,
+        load: impl Fn() -> Result<serde_json::Value, String>,
+    ) -> SourceOutcome {
+        let source = source_of(key);
+        if ttl == 0 {
+            return match load() {
+                Ok(v) => {
+                    self.health.record_ok(source);
+                    SourceOutcome::Fresh(v)
+                }
+                Err(e) => {
+                    self.health.record_error(source);
+                    SourceOutcome::Failed(e)
+                }
+            };
+        }
+        let labels = [("source", source)];
+        self.obs
+            .counter("hpcdash_cache_requests_total", &labels)
+            .inc();
+        let loader_ran = Cell::new(false);
+        let last_err: Cell<Option<String>> = Cell::new(None);
+        let outcome = self.cache.get_or_fetch_grace(key, ttl, || {
+            loader_ran.set(true);
+            let _span = Span::enter("cache-miss").attr("key", key.to_string());
+            // The breaker gate lives inside the loader: fresh cache hits
+            // above never consult it (they don't touch the backend), and
+            // coalesced followers share the leader's verdict.
+            if !self.breakers.allow(source) {
+                self.obs
+                    .counter("hpcdash_breaker_short_circuits_total", &labels)
+                    .inc();
+                last_err.set(Some(format!("{source}: circuit open")));
+                return None;
+            }
+            self.attempt_with_retries(key, source, &labels, &last_err, &load)
+        });
+        let counter = if loader_ran.get() {
+            "hpcdash_cache_misses_total"
+        } else {
+            "hpcdash_cache_hits_total"
+        };
+        self.obs.counter(counter, &labels).inc();
+        let take_err = || {
+            last_err
+                .take()
+                .unwrap_or_else(|| format!("{source}: load failed"))
+        };
+        match outcome {
+            GraceOutcome::Hit(v) | GraceOutcome::Loaded { value: v, .. } => SourceOutcome::Fresh(v),
+            GraceOutcome::Stale { value, age_secs } => {
+                self.obs
+                    .counter("hpcdash_stale_serves_total", &labels)
+                    .inc();
+                SourceOutcome::Stale {
+                    value,
+                    age_secs,
+                    error: take_err(),
+                }
+            }
+            GraceOutcome::Miss => SourceOutcome::Failed(take_err()),
+        }
+    }
+
+    /// The retry loop under [`DashboardContext::cached_resilient`]: run
+    /// `load` up to `max_attempts` times, sleeping the seeded-jitter
+    /// backoff between attempts, stopping early when the deadline would be
+    /// overrun or the breaker trips. Every attempt's outcome feeds the
+    /// health board and the source's breaker.
+    fn attempt_with_retries(
+        &self,
+        key: &str,
+        source: &str,
+        labels: &[(&str, &str)],
+        last_err: &Cell<Option<String>>,
+        load: &impl Fn() -> Result<serde_json::Value, String>,
+    ) -> Option<serde_json::Value> {
+        let policy = &self.cfg.resilience;
+        let started = std::time::Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            if attempt > 1 {
+                self.obs
+                    .counter("hpcdash_retry_attempts_total", labels)
+                    .inc();
+            }
+            match load() {
+                Ok(v) => {
+                    self.health.record_ok(source);
+                    self.breakers.record_success(source);
+                    return Some(v);
+                }
+                Err(e) => {
+                    self.health.record_error(source);
+                    self.breakers.record_failure(source);
+                    last_err.set(Some(e));
+                }
+            }
+            if attempt >= policy.max_attempts() {
+                break;
+            }
+            // A breaker that tripped during this request (failures carried
+            // over from earlier requests) stops further probing, and a
+            // half-open breaker never gets more than its probe budget.
+            if !self.breakers.allow(source) {
+                self.obs
+                    .counter("hpcdash_breaker_short_circuits_total", labels)
+                    .inc();
+                break;
+            }
+            let delay = hpcdash_faults::backoff_delay_ms(
+                policy.backoff_base_ms,
+                policy.backoff_cap_ms,
+                attempt - 1,
+                policy.seed,
+                key,
+            );
+            let elapsed = started.elapsed().as_millis() as u64;
+            if elapsed.saturating_add(delay) >= policy.deadline_ms {
+                self.obs
+                    .counter("hpcdash_retry_deadline_total", labels)
+                    .inc();
+                break;
+            }
+            if delay > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+            }
+        }
+        self.obs
+            .counter("hpcdash_retry_exhausted_total", labels)
+            .inc();
+        None
     }
 }
 
@@ -376,6 +591,210 @@ pub(crate) mod tests {
             ctx.health.status_of("flaky"),
             hpcdash_obs::health::HealthStatus::Down
         );
+    }
+
+    #[test]
+    fn served_failure_envelopes_always_hit_the_health_board() {
+        // Regression: a Failed envelope served where the loader did NOT run
+        // (a coalesced follower, or a raced just-stored envelope) returned
+        // Err to the user without recording the failure, so /api/health
+        // could show a source Up while every request to it was failing.
+        // Seed a Failed envelope directly, as the race would have.
+        let ctx = test_ctx();
+        ctx.cache.get_or_fetch(
+            "racy:k",
+            60,
+            || serde_json::json!({ "Failed": "backend down" }),
+        );
+        let r = ctx.cached_result("racy:k", 60, || unreachable!());
+        assert_eq!(r.unwrap_err(), "backend down");
+        let report = ctx.health.report();
+        let racy = report
+            .sources
+            .iter()
+            .find(|s| s.name == "racy")
+            .expect("a served failure is an observed failure even without a loader run");
+        assert_eq!(racy.total_err, 1);
+    }
+
+    #[test]
+    fn resilient_retries_then_succeeds() {
+        let ctx = test_ctx();
+        let calls = Cell::new(0u32);
+        let out = ctx.cached_resilient("squeue:alice", 60, || {
+            calls.set(calls.get() + 1);
+            if calls.get() < 3 {
+                Err("flap".to_string())
+            } else {
+                Ok(json!({"jobs": 2}))
+            }
+        });
+        assert_eq!(out, SourceOutcome::Fresh(json!({"jobs": 2})));
+        assert_eq!(calls.get(), 3, "two retries rescued the request");
+        assert_eq!(
+            ctx.obs
+                .counter("hpcdash_retry_attempts_total", &[("source", "squeue")])
+                .get(),
+            2
+        );
+        // The rescued request never shows up as exhausted.
+        assert_eq!(
+            ctx.obs
+                .counter("hpcdash_retry_exhausted_total", &[("source", "squeue")])
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn resilient_serves_stale_with_age_on_failure() {
+        let (ctx, clock) = test_ctx_clocked();
+        let out = ctx.cached_resilient("sinfo:all", 30, || Ok(json!({"nodes": 4})));
+        assert_eq!(out, SourceOutcome::Fresh(json!({"nodes": 4})));
+        clock.advance(45);
+        let out = ctx.cached_resilient("sinfo:all", 30, || Err("ctld down".to_string()));
+        assert_eq!(
+            out,
+            SourceOutcome::Stale {
+                value: json!({"nodes": 4}),
+                age_secs: 45,
+                error: "ctld down".to_string(),
+            }
+        );
+        assert!(out.is_available(), "stale still renders the widget");
+        assert_eq!(out.kind(), "degraded");
+        // The failed refresh did not evict the copy: another failing pass
+        // still serves it, older.
+        clock.advance(15);
+        match ctx.cached_resilient("sinfo:all", 30, || Err("ctld down".to_string())) {
+            SourceOutcome::Stale { age_secs, .. } => assert_eq!(age_secs, 60),
+            other => panic!("expected stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_cold_failure_is_failed_not_panic() {
+        let ctx = test_ctx();
+        let out = ctx.cached_resilient("sacct:bob", 60, || Err("dbd gone".to_string()));
+        assert_eq!(out, SourceOutcome::Failed("dbd gone".to_string()));
+        assert!(!out.is_available());
+        assert_eq!(out.kind(), "failed");
+        assert_eq!(
+            ctx.obs
+                .counter("hpcdash_retry_exhausted_total", &[("source", "sacct")])
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn resilient_breaker_opens_after_sustained_failures_and_recovers() {
+        let (ctx, clock) = test_ctx_clocked();
+        let policy = ctx.cfg.resilience.clone();
+        let calls = Cell::new(0u32);
+        let fail = || {
+            calls.set(calls.get() + 1);
+            Err::<serde_json::Value, _>("down".to_string())
+        };
+        // Default threshold 5, 3 attempts per request: the second request
+        // trips the breaker mid-retry (5th consecutive failure).
+        assert!(matches!(
+            ctx.cached_resilient("storage:a", 30, fail),
+            SourceOutcome::Failed(_)
+        ));
+        assert_eq!(calls.get(), 3);
+        assert!(matches!(
+            ctx.cached_resilient("storage:a", 30, fail),
+            SourceOutcome::Failed(_)
+        ));
+        assert_eq!(calls.get(), 5, "breaker tripped before the 6th attempt");
+        assert_eq!(
+            ctx.breakers.state_of("storage"),
+            hpcdash_cache::BreakerState::Open
+        );
+        // While open, the backend is never touched.
+        assert!(matches!(
+            ctx.cached_resilient("storage:a", 30, fail),
+            SourceOutcome::Failed(_)
+        ));
+        assert_eq!(calls.get(), 5, "open breaker short-circuits the loader");
+        // After the cool-down, one probe goes through; success closes it.
+        clock.advance(policy.breaker_open_secs);
+        let out = ctx.cached_resilient("storage:a", 30, || Ok(json!("back")));
+        assert_eq!(out, SourceOutcome::Fresh(json!("back")));
+        assert_eq!(
+            ctx.breakers.state_of("storage"),
+            hpcdash_cache::BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn resilient_short_circuit_serves_stale_when_available() {
+        let (ctx, clock) = test_ctx_clocked();
+        // Warm the cache, then let the entry expire.
+        ctx.cached_resilient("news:list", 30, || Ok(json!(["headline"])));
+        clock.advance(60);
+        // Trip the breaker with sustained failures.
+        for _ in 0..2 {
+            ctx.cached_resilient("news:list", 30, || Err("feed down".to_string()));
+        }
+        assert_eq!(
+            ctx.breakers.state_of("news"),
+            hpcdash_cache::BreakerState::Open
+        );
+        // An open breaker still serves the last-known-good copy.
+        let out = ctx.cached_resilient("news:list", 30, || unreachable!());
+        match out {
+            SourceOutcome::Stale {
+                value,
+                age_secs,
+                error,
+            } => {
+                assert_eq!(value, json!(["headline"]));
+                assert_eq!(age_secs, 60);
+                assert_eq!(error, "news: circuit open");
+            }
+            other => panic!("expected stale serve, got {other:?}"),
+        }
+        assert!(
+            ctx.obs
+                .counter(
+                    "hpcdash_breaker_short_circuits_total",
+                    &[("source", "news")]
+                )
+                .get()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn resilient_ttl_zero_is_single_attempt() {
+        let ctx = test_ctx();
+        let calls = Cell::new(0u32);
+        let out = ctx.cached_resilient("squeue:z", 0, || {
+            calls.set(calls.get() + 1);
+            Err("down".to_string())
+        });
+        assert_eq!(out, SourceOutcome::Failed("down".to_string()));
+        assert_eq!(
+            calls.get(),
+            1,
+            "no-cache ablation keeps fail-fast semantics"
+        );
+    }
+
+    #[test]
+    fn resilient_disabled_policy_restores_fail_fast() {
+        let mut cfg = DashboardConfig::generic("Test");
+        cfg.resilience = crate::config::ResiliencePolicy::disabled();
+        let ctx = test_ctx_with(cfg);
+        let calls = Cell::new(0u32);
+        let out = ctx.cached_resilient("sacct:q", 60, || {
+            calls.set(calls.get() + 1);
+            Err("down".to_string())
+        });
+        assert_eq!(out, SourceOutcome::Failed("down".to_string()));
+        assert_eq!(calls.get(), 1, "ablation: one attempt, no retries");
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod template;
 pub mod widgets;
 
 pub use app::Dashboard;
-pub use config::{CachePolicy, DashboardConfig, FeatureFlags};
+pub use config::{CachePolicy, DashboardConfig, FeatureFlags, ResiliencePolicy};
 pub use ctx::DashboardContext;

@@ -35,14 +35,19 @@ pub fn render_full(
     let mut body = String::from("<div class=\"widget-grid\">");
     for (id, payload) in payloads {
         let html = match payload {
-            Ok(value) => match *id {
-                "announcements" => widgets::announcements::render(value),
-                "recent_jobs" => widgets::recent_jobs::render(value),
-                "system_status" => widgets::system_status::render(value),
-                "accounts" => widgets::accounts::render(value),
-                "storage" => widgets::storage::render(value),
-                other => widgets::error_card(other, "unknown widget"),
-            },
+            Ok(value) => {
+                let rendered = match *id {
+                    "announcements" => widgets::announcements::render(value),
+                    "recent_jobs" => widgets::recent_jobs::render(value),
+                    "system_status" => widgets::system_status::render(value),
+                    "accounts" => widgets::accounts::render(value),
+                    "storage" => widgets::storage::render(value),
+                    other => widgets::error_card(other, "unknown widget"),
+                };
+                // Server-annotated stale payloads get their accessible
+                // "showing data from N ago" notice.
+                widgets::with_degradation(rendered, value)
+            }
             Err(e) => widgets::error_card(id, e),
         };
         body.push_str(&html);

@@ -26,13 +26,71 @@ pub fn error_card(widget_name: &str, message: &str) -> String {
     )
 }
 
+/// The accessible degraded-data notice: when a widget's source is failing
+/// and the server fell back to the last-known-good payload, the widget
+/// must *say so* rather than present old numbers as current. `role=status`
+/// with `aria-live=polite` so screen readers announce the change without
+/// stealing focus (the paper's accessibility bar, §6).
+pub fn stale_notice(age_secs: u64) -> String {
+    let age = if age_secs < 120 {
+        format!("{age_secs} seconds")
+    } else {
+        format!("{} minutes", age_secs / 60)
+    };
+    format!(
+        "<div class=\"widget-stale-notice\" role=\"status\" aria-live=\"polite\">\
+         Showing data from {age} ago — the data source is temporarily unreachable.\
+         </div>"
+    )
+}
+
+/// Wrap a rendered widget with its stale notice when the payload carries
+/// the server's `"degraded": true` annotation; unannotated payloads pass
+/// through untouched.
+pub fn with_degradation(html: String, payload: &serde_json::Value) -> String {
+    if payload["degraded"] != serde_json::json!(true) {
+        return html;
+    }
+    let age = payload["stale_age_secs"].as_u64().unwrap_or(0);
+    format!(
+        "<div class=\"widget-degraded\">{}{}</div>",
+        stale_notice(age),
+        html
+    )
+}
+
 #[cfg(test)]
 mod tests {
+    use serde_json::json;
+
     #[test]
     fn error_card_escapes() {
         let html = super::error_card("Storage", "<boom>");
         assert!(html.contains("widget-error"));
         assert!(html.contains("&lt;boom&gt;"));
         assert!(!html.contains("<boom>"));
+    }
+
+    #[test]
+    fn stale_notice_is_accessible_and_humane() {
+        let n = super::stale_notice(45);
+        assert!(n.contains("role=\"status\""));
+        assert!(n.contains("aria-live=\"polite\""));
+        assert!(n.contains("45 seconds ago"));
+        assert!(super::stale_notice(300).contains("5 minutes ago"));
+    }
+
+    #[test]
+    fn degradation_wrapper_only_fires_on_annotated_payloads() {
+        let fresh = json!({"jobs": []});
+        assert_eq!(
+            super::with_degradation("<div>w</div>".to_string(), &fresh),
+            "<div>w</div>"
+        );
+        let stale = json!({"jobs": [], "degraded": true, "stale_age_secs": 90});
+        let html = super::with_degradation("<div>w</div>".to_string(), &stale);
+        assert!(html.contains("widget-stale-notice"));
+        assert!(html.contains("90 seconds ago"));
+        assert!(html.contains("<div>w</div>"));
     }
 }

@@ -20,6 +20,7 @@ use crate::loadmodel::{RpcCostModel, RpcStats};
 use crate::node::{AdminFlag, Node};
 use crate::partition::{Partition, PartitionState};
 use crate::snapshot::{ClusterSnapshot, EpochCell, SnapshotStats};
+use hpcdash_faults::FaultHost;
 use hpcdash_obs::Span;
 use hpcdash_simtime::{SharedClock, Timestamp};
 use parking_lot::{Mutex, MutexGuard};
@@ -157,6 +158,11 @@ pub struct Slurmctld {
     stats: RpcStats,
     dbd: Arc<crate::dbd::Slurmdbd>,
     logs: Arc<JobLogFs>,
+    /// Injected-fault hook, consulted by every RPC. Disarmed (the default)
+    /// it costs one relaxed atomic load. Latency faults burn inside the
+    /// RPC; error/garble faults are enforced at the CLI render boundary
+    /// (`hpcdash-slurmcli`), which consults this same host.
+    faults: FaultHost,
 }
 
 impl Slurmctld {
@@ -191,7 +197,13 @@ impl Slurmctld {
             stats: RpcStats::new(),
             dbd,
             logs,
+            faults: FaultHost::new("slurmctld"),
         }
+    }
+
+    /// The daemon's fault-injection hook (install a `FaultPlan` here).
+    pub fn faults(&self) -> &FaultHost {
+        &self.faults
     }
 
     /// Acquire the state mutex, recording the wait and counting the
@@ -240,6 +252,7 @@ impl Slurmctld {
         let _span = Span::enter("ctld").attr("kind", "sched_tick");
         let start = Instant::now();
         let now = self.clock.now();
+        self.faults.check("sched_tick").burn();
         let (finished, snap) = {
             let mut state = self.lock_state(start);
             state.tick(now);
@@ -286,6 +299,7 @@ impl Slurmctld {
         let _span = Span::enter("ctld").attr("kind", "submit");
         let start = Instant::now();
         let now = self.clock.now();
+        self.faults.check("submit").burn();
         let result = {
             let mut state = self.lock_state(start);
             self.cost.burn(1);
@@ -304,6 +318,7 @@ impl Slurmctld {
         let _span = Span::enter("ctld").attr("kind", "cancel");
         let start = Instant::now();
         let now = self.clock.now();
+        self.faults.check("cancel").burn();
         let result = {
             let mut state = self.lock_state(start);
             self.cost.burn(1);
@@ -323,6 +338,7 @@ impl Slurmctld {
     pub fn query_jobs(&self, query: &JobQuery) -> Vec<Arc<Job>> {
         let _span = Span::enter("ctld").attr("kind", "squeue");
         let start = Instant::now();
+        self.faults.check("squeue").burn();
         let snap = self.load_snapshot();
         let (out, scanned) = query.select(&snap);
         self.cost.burn(scanned);
@@ -356,6 +372,7 @@ impl Slurmctld {
     pub fn query_job(&self, id: JobId) -> Option<Arc<Job>> {
         let _span = Span::enter("ctld").attr("kind", "scontrol_job");
         let start = Instant::now();
+        self.faults.check("scontrol_job").burn();
         let snap = self.load_snapshot();
         self.cost.burn(1);
         self.stats.record_scanned("scontrol_job", 1);
@@ -369,6 +386,7 @@ impl Slurmctld {
     pub fn query_nodes(&self) -> Arc<[Node]> {
         let _span = Span::enter("ctld").attr("kind", "scontrol_node");
         let start = Instant::now();
+        self.faults.check("scontrol_node").burn();
         let snap = self.load_snapshot();
         self.cost.burn(snap.nodes.len());
         self.stats
@@ -381,6 +399,7 @@ impl Slurmctld {
     pub fn query_node(&self, name: &str) -> Option<Node> {
         let _span = Span::enter("ctld").attr("kind", "scontrol_node");
         let start = Instant::now();
+        self.faults.check("scontrol_node").burn();
         let snap = self.load_snapshot();
         self.cost.burn(1);
         self.stats.record_scanned("scontrol_node", 1);
@@ -398,6 +417,7 @@ impl Slurmctld {
     pub fn query_partitions(&self) -> Arc<[Partition]> {
         let _span = Span::enter("ctld").attr("kind", "sinfo");
         let start = Instant::now();
+        self.faults.check("sinfo").burn();
         let snap = self.load_snapshot();
         self.cost.burn(snap.partitions.len());
         self.stats
@@ -415,6 +435,7 @@ impl Slurmctld {
     pub fn query_cluster(&self) -> Arc<ClusterSnapshot> {
         let _span = Span::enter("ctld").attr("kind", "scontrol_node");
         let start = Instant::now();
+        self.faults.check("sinfo").burn();
         let snap = self.load_snapshot();
         self.cost.burn(snap.nodes.len());
         self.stats
@@ -434,6 +455,7 @@ impl Slurmctld {
     pub fn query_assoc(&self, user: Option<&str>) -> Vec<AssocRecord> {
         let _span = Span::enter("ctld").attr("kind", "scontrol_assoc");
         let start = Instant::now();
+        self.faults.check("scontrol_assoc").burn();
         let snap = self.load_snapshot();
         let records: Vec<AssocRecord> = snap
             .assoc

@@ -5,6 +5,7 @@
 
 use crate::job::{Job, JobId, JobState};
 use crate::loadmodel::{RpcCostModel, RpcStats};
+use hpcdash_faults::{FaultFailure, FaultHost};
 use hpcdash_obs::Span;
 use hpcdash_simtime::Timestamp;
 use parking_lot::RwLock;
@@ -83,6 +84,12 @@ pub struct Slurmdbd {
     active_mirror: RwLock<BTreeMap<JobId, Arc<Job>>>,
     cost: RpcCostModel,
     stats: RpcStats,
+    /// Injected-fault hook. Latency faults burn inside the query RPCs; a
+    /// `Lag` fault on `sync_active` freezes the active mirror (accounting
+    /// answers from stale data, exactly like a lagging production dbd);
+    /// error/garble faults are enforced at the `sacct`/`seff` render
+    /// boundary in `hpcdash-slurmcli`.
+    faults: FaultHost,
 }
 
 impl Slurmdbd {
@@ -96,7 +103,13 @@ impl Slurmdbd {
             active_mirror: RwLock::new(BTreeMap::new()),
             cost,
             stats: RpcStats::new(),
+            faults: FaultHost::new("slurmdbd"),
         }
+    }
+
+    /// The daemon's fault-injection hook (install a `FaultPlan` here).
+    pub fn faults(&self) -> &FaultHost {
+        &self.faults
     }
 
     /// Archive finished jobs (called by slurmctld). Accepts owned `Job`s or
@@ -112,6 +125,13 @@ impl Slurmdbd {
     /// Replace the mirror of currently active jobs (called by slurmctld on
     /// every tick, handing over the snapshot's shared rows).
     pub fn sync_active<J: Into<Arc<Job>>>(&self, jobs: impl IntoIterator<Item = J>) {
+        let check = self.faults.check("sync_active");
+        check.burn();
+        if matches!(check.failure, Some(FaultFailure::Lag)) {
+            // The accounting daemon has fallen behind: drop this sync and
+            // keep answering queries from the last mirror it applied.
+            return;
+        }
         let mut mirror = self.active_mirror.write();
         mirror.clear();
         for job in jobs {
@@ -124,6 +144,7 @@ impl Slurmdbd {
     pub fn query_jobs(&self, filter: &JobFilter) -> Vec<Job> {
         let _span = Span::enter("dbd").attr("kind", "sacct_query");
         let start = Instant::now();
+        self.faults.check("sacct_query").burn();
         let mut out: Vec<Job> = Vec::new();
         let scanned;
         {
@@ -156,6 +177,7 @@ impl Slurmdbd {
     pub fn job(&self, id: JobId) -> Option<Job> {
         let _span = Span::enter("dbd").attr("kind", "job_lookup");
         let start = Instant::now();
+        self.faults.check("job_lookup").burn();
         let result = self
             .archived
             .read()
@@ -171,6 +193,7 @@ impl Slurmdbd {
     pub fn array_tasks(&self, array_job_id: JobId) -> Vec<Job> {
         let _span = Span::enter("dbd").attr("kind", "array_lookup");
         let start = Instant::now();
+        self.faults.check("array_lookup").burn();
         let mut out: Vec<Job> = Vec::new();
         {
             let active = self.active_mirror.read();

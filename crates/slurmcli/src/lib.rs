@@ -28,6 +28,24 @@ pub use squeue::{
     parse_squeue, parse_squeue_long, squeue, squeue_long, SqueueArgs, SqueueLongRow, SqueueRow,
 };
 
+/// Apply a daemon's boundary faults to a rendered command output: an
+/// `Error` fault fails the command (the `Err` a real popen would surface),
+/// a `Garble` fault deterministically corrupts the text so the caller's
+/// parser must cope. Latency faults already burned inside the daemon RPC,
+/// so they are not re-burned here. Disarmed this is one relaxed load.
+pub(crate) fn boundary(
+    host: &hpcdash_faults::FaultHost,
+    cmd: &str,
+    text: String,
+) -> Result<String, String> {
+    if !host.is_armed() {
+        return Ok(text);
+    }
+    let mut check = host.check(cmd);
+    check.latency_micros = 0;
+    check.apply_to_output(text)
+}
+
 /// Render a missing timestamp the way Slurm does.
 pub(crate) fn opt_time(t: Option<hpcdash_simtime::Timestamp>) -> String {
     match t {

@@ -114,10 +114,10 @@ impl SacctRecord {
 
 /// Run an accounting query and return `--parsable2` text. `now` is used to
 /// report elapsed-so-far for still-running jobs, as real sacct does.
-pub fn sacct(dbd: &Slurmdbd, args: &SacctArgs, now: Timestamp) -> String {
+pub fn sacct(dbd: &Slurmdbd, args: &SacctArgs, now: Timestamp) -> Result<String, String> {
     let _span = Span::enter("slurmcli").attr("cmd", "sacct");
     let jobs = dbd.query_jobs(&args.to_filter());
-    render(&jobs, now)
+    crate::boundary(dbd.faults(), "sacct", render(&jobs, now))
 }
 
 /// Render accounting records as parsable2 text.

@@ -68,10 +68,17 @@ pub struct ScontrolNode {
     pub raw: BTreeMap<String, String>,
 }
 
-/// `scontrol show job <id>`: live job details from slurmctld.
-pub fn show_job(ctld: &Slurmctld, id: JobId) -> Option<String> {
+/// `scontrol show job <id>`: live job details from slurmctld. `Ok(None)`
+/// if the job is unknown, `Err` if the command itself fails.
+pub fn show_job(ctld: &Slurmctld, id: JobId) -> Result<Option<String>, String> {
     let _span = Span::enter("slurmcli").attr("cmd", "scontrol_show_job");
-    ctld.query_job(id).map(|j| render_job(&j, ctld.clock_now()))
+    match ctld.query_job(id) {
+        Some(j) => {
+            let text = render_job(&j, ctld.clock_now());
+            crate::boundary(ctld.faults(), "scontrol_job", text).map(Some)
+        }
+        None => crate::boundary(ctld.faults(), "scontrol_job", String::new()).map(|_| None),
+    }
 }
 
 /// Render one job record.
@@ -200,9 +207,9 @@ pub fn parse_show_job(text: &str) -> Result<ScontrolJob, String> {
 }
 
 /// `scontrol show node [<name>]`: one or all nodes.
-pub fn show_node(ctld: &Slurmctld, name: Option<&str>) -> String {
+pub fn show_node(ctld: &Slurmctld, name: Option<&str>) -> Result<String, String> {
     let _span = Span::enter("slurmcli").attr("cmd", "scontrol_show_node");
-    match name {
+    let text = match name {
         Some(n) => ctld
             .query_node(n)
             .map(|node| render_node(&node))
@@ -211,7 +218,8 @@ pub fn show_node(ctld: &Slurmctld, name: Option<&str>) -> String {
             let nodes = ctld.query_nodes();
             nodes.iter().map(render_node).collect::<Vec<_>>().join("\n")
         }
-    }
+    };
+    crate::boundary(ctld.faults(), "scontrol_node", text)
 }
 
 /// Render one node record.
@@ -309,7 +317,7 @@ pub fn parse_show_node(text: &str) -> Result<Vec<ScontrolNode>, String> {
 
 /// `scontrol show assoc_mgr`-flavoured account dump (simplified format, one
 /// line per account).
-pub fn show_assoc(ctld: &Slurmctld, user: Option<&str>) -> String {
+pub fn show_assoc(ctld: &Slurmctld, user: Option<&str>) -> Result<String, String> {
     let _span = Span::enter("slurmcli").attr("cmd", "scontrol_show_assoc");
     let records = ctld.query_assoc(user);
     let mut s = String::from(
@@ -337,7 +345,7 @@ pub fn show_assoc(ctld: &Slurmctld, user: Option<&str>) -> String {
             }
         ));
     }
-    s
+    crate::boundary(ctld.faults(), "scontrol_assoc", s)
 }
 
 /// One parsed assoc row.

@@ -9,11 +9,14 @@ use hpcdash_simtime::format_duration;
 use hpcdash_slurm::dbd::Slurmdbd;
 use hpcdash_slurm::job::{Job, JobId};
 
-/// Render the `seff` report for a job, or `None` if accounting has no
-/// record of it.
-pub fn seff(dbd: &Slurmdbd, id: JobId) -> Option<String> {
+/// Render the `seff` report for a job; `Ok(None)` if accounting has no
+/// record of it, `Err` if the command itself fails.
+pub fn seff(dbd: &Slurmdbd, id: JobId) -> Result<Option<String>, String> {
     let _span = Span::enter("slurmcli").attr("cmd", "seff");
-    dbd.job(id).map(|job| render(&job))
+    match dbd.job(id) {
+        Some(job) => crate::boundary(dbd.faults(), "seff", render(&job)).map(Some),
+        None => crate::boundary(dbd.faults(), "seff", String::new()).map(|_| None),
+    }
 }
 
 /// Render the report from a job record.

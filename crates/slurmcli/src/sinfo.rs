@@ -66,9 +66,10 @@ impl PartitionUsage {
 /// Default `sinfo` output: nodes grouped by (partition, state). Served from
 /// one snapshot load; grouping uses the snapshot's precomputed per-partition
 /// node lists instead of rebuilding a name index per call.
-pub fn sinfo_summary(ctld: &Slurmctld) -> String {
+pub fn sinfo_summary(ctld: &Slurmctld) -> Result<String, String> {
     let _span = Span::enter("slurmcli").attr("cmd", "sinfo_summary");
-    render_summary_snapshot(&ctld.query_cluster())
+    let text = render_summary_snapshot(&ctld.query_cluster());
+    crate::boundary(ctld.faults(), "sinfo", text)
 }
 
 /// Emit the summary rows for one partition given its nodes in declared
@@ -162,9 +163,10 @@ pub fn parse_sinfo_summary(text: &str) -> Result<Vec<SinfoRow>, String> {
 
 /// `sinfo -o "%P %a %C %G"`-style usage output:
 /// `PARTITION AVAIL CPUS(A/I/O/T) GPUS(A/T) NODES(I/T)`.
-pub fn sinfo_usage(ctld: &Slurmctld) -> String {
+pub fn sinfo_usage(ctld: &Slurmctld) -> Result<String, String> {
     let _span = Span::enter("slurmcli").attr("cmd", "sinfo_usage");
-    render_usage_snapshot(&ctld.query_cluster())
+    let text = render_usage_snapshot(&ctld.query_cluster());
+    crate::boundary(ctld.faults(), "sinfo", text)
 }
 
 pub fn render_usage(partitions: &[Partition], nodes: &[Node]) -> String {

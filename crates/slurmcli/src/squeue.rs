@@ -78,8 +78,9 @@ impl SqueueLongRow {
     }
 }
 
-/// Run `squeue` with the long format.
-pub fn squeue_long(ctld: &Slurmctld, args: &SqueueArgs) -> String {
+/// Run `squeue` with the long format. `Err` is the command failing the way
+/// a real popen would: non-zero exit, message on stderr.
+pub fn squeue_long(ctld: &Slurmctld, args: &SqueueArgs) -> Result<String, String> {
     let _span = Span::enter("slurmcli").attr("cmd", "squeue_long");
     let query = JobQuery {
         user: args.user.clone(),
@@ -90,7 +91,7 @@ pub fn squeue_long(ctld: &Slurmctld, args: &SqueueArgs) -> String {
     let mut jobs = ctld.query_jobs(&query);
     jobs.sort_by_key(|j| std::cmp::Reverse(j.submit_time));
     let now = ctld.clock_now();
-    render_long(&jobs, now)
+    crate::boundary(ctld.faults(), "squeue", render_long(&jobs, now))
 }
 
 /// Render the long format (newest submissions first, as the widget shows).
@@ -177,8 +178,9 @@ pub fn parse_squeue_long(text: &str) -> Result<Vec<SqueueLongRow>, String> {
     Ok(rows)
 }
 
-/// Run `squeue` against the daemon and return its textual output.
-pub fn squeue(ctld: &Slurmctld, args: &SqueueArgs) -> String {
+/// Run `squeue` against the daemon and return its textual output. `Err`
+/// is the command failing the way a real popen would.
+pub fn squeue(ctld: &Slurmctld, args: &SqueueArgs) -> Result<String, String> {
     let _span = Span::enter("slurmcli").attr("cmd", "squeue");
     let query = JobQuery {
         user: args.user.clone(),
@@ -189,7 +191,7 @@ pub fn squeue(ctld: &Slurmctld, args: &SqueueArgs) -> String {
     let mut jobs = ctld.query_jobs(&query);
     jobs.sort_by_key(|j| j.id);
     let now = ctld.clock_now();
-    render(&jobs, now)
+    crate::boundary(ctld.faults(), "squeue", render(&jobs, now))
 }
 
 /// Render job records as `squeue` text (separated so tests can build rows

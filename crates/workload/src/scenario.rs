@@ -2,6 +2,7 @@
 
 use crate::jobs::{JobMix, TraceGenerator};
 use crate::population::{Population, PopulationConfig};
+use hpcdash_faults::FaultPlan;
 use hpcdash_news::{Category, NewsFeed};
 use hpcdash_simtime::{Clock, SimClock, Timestamp};
 use hpcdash_slurm::cluster::ClusterSpec;
@@ -35,6 +36,17 @@ pub struct ScenarioConfig {
     pub start: Timestamp,
     /// Use zero-cost daemons (unit tests) instead of realistic RPC costs.
     pub free_daemons: bool,
+    /// Seeded fault script installed into the daemons at build time (chaos
+    /// runs). `None` (the default scenarios) leaves every hook disarmed.
+    pub faults: Option<FaultPlan>,
+}
+
+impl ScenarioConfig {
+    /// The same scenario with a fault script armed.
+    pub fn with_faults(mut self, plan: FaultPlan) -> ScenarioConfig {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 impl ScenarioConfig {
@@ -62,6 +74,7 @@ impl ScenarioConfig {
             seed: 7,
             start: Timestamp(20_638 * 86_400 + 8 * 3_600), // 2026-07-04T08:00Z
             free_daemons: true,
+            faults: None,
         }
     }
 
@@ -90,6 +103,7 @@ impl ScenarioConfig {
             seed: 42,
             start: Timestamp(20_638 * 86_400 + 8 * 3_600),
             free_daemons: false,
+            faults: None,
         }
     }
 }
@@ -229,6 +243,14 @@ impl Scenario {
             None,
         );
 
+        // Arm the fault script (chaos scenarios) before anything queries the
+        // daemons, so even the first RPC sees the scripted weather.
+        if let Some(plan) = &config.faults {
+            let plan = Arc::new(plan.clone());
+            ctld.faults().install(plan.clone(), clock.shared());
+            dbd.faults().install(plan, clock.shared());
+        }
+
         let telemetry = Arc::new(if config.free_daemons {
             TelemetryD::free(clock.shared(), ctld.clone())
         } else {
@@ -317,6 +339,25 @@ mod tests {
         assert!(relevances.contains(&Relevance::Upcoming));
         assert!(relevances.contains(&Relevance::Past));
         assert!(relevances.contains(&Relevance::Timeless));
+    }
+
+    #[test]
+    fn fault_plan_arms_both_daemons() {
+        use hpcdash_faults::FaultRule;
+        let plan = FaultPlan::new(11)
+            .rule(FaultRule::error(
+                "slurmctld",
+                "squeue",
+                "ctld: connection refused",
+            ))
+            .rule(FaultRule::error("slurmdbd", "sacct_query", "dbd down"));
+        let s = Scenario::build(ScenarioConfig::small().with_faults(plan));
+        assert!(s.ctld.faults().is_armed());
+        assert!(s.dbd.faults().is_armed());
+        // The default scenarios stay disarmed: no hidden chaos in tests.
+        let calm = Scenario::build(ScenarioConfig::small());
+        assert!(!calm.ctld.faults().is_armed());
+        assert!(!calm.dbd.faults().is_armed());
     }
 
     #[test]
