@@ -1,0 +1,96 @@
+//! Experiment P10 — trace-pipeline overhead: what tail-sampled retention
+//! adds to the span record path.
+//!
+//! Every span close already pays for building its record and pushing it
+//! into the bounded ring sink; the tail sampler adds an `observe` on the
+//! same path (assembly, retention decision, occasional retention). The
+//! pinned claim, asserted even in `--test` smoke mode: the full record
+//! path with the trace store enabled costs at most **2x** the
+//! ring-buffer-only baseline, measured as the min over several trials so
+//! scheduler noise can only widen the ratio, never fake a pass.
+
+use hpcdash_bench::banner;
+use hpcdash_obs::trace::{Span, TraceId, TraceScope};
+use hpcdash_obs::tracestore::store;
+use std::time::Instant;
+
+/// One trial: `n` single-span traces (root close = full finalize path when
+/// the store is on), each under its own trace id so every iteration takes
+/// the worst-case assembly branch. Returns elapsed nanoseconds.
+fn trial(n: u64, tag: u64) -> u64 {
+    let t0 = Instant::now();
+    for i in 0..n {
+        // Ids are disjoint across trials (tag in the high bits) and never
+        // zero, so the discarded-recent ring can't short-circuit reruns.
+        let id = TraceId((tag << 32) | i | 1);
+        let _scope = TraceScope::enter(id);
+        let span = Span::enter("route").attr("route", "/bench/obs");
+        drop(span);
+    }
+    t0.elapsed().as_nanos() as u64
+}
+
+fn min_of(trials: u64, n: u64, tag_base: u64) -> u64 {
+    (0..trials)
+        .map(|t| trial(n, tag_base + t))
+        .min()
+        .expect("at least one trial")
+}
+
+fn main() {
+    banner("P10", "trace store overhead on the span record path");
+    let smoke = std::env::args().any(|a| a == "--test");
+    let spans: u64 = if smoke { 20_000 } else { 200_000 };
+    let trials: u64 = 5;
+
+    // Warm both paths (lazy globals, allocator) before timing anything.
+    store().set_enabled(true);
+    trial(1_000, 0x7a);
+    store().set_enabled(false);
+    trial(1_000, 0x7b);
+
+    store().set_enabled(false);
+    store().clear();
+    let baseline = min_of(trials, spans, 0x100);
+
+    store().set_enabled(true);
+    store().clear();
+    let traced = min_of(trials, spans, 0x200);
+
+    let stats = store().stats();
+    let ratio = traced as f64 / baseline.max(1) as f64;
+    println!(
+        "  ring only        : {:>6.1} ns/span",
+        baseline as f64 / spans as f64
+    );
+    println!(
+        "  ring + tailstore : {:>6.1} ns/span  ({ratio:.2}x)",
+        traced as f64 / spans as f64
+    );
+    println!(
+        "  retained {} of {} finalized ({} sampled, {} evicted)",
+        stats.retained_total(),
+        stats.finalized,
+        stats.retained_by_cause[hpcdash_obs::RetainCause::Sampled.index()],
+        stats.evicted,
+    );
+
+    // Sanity: the enabled run really exercised the sampler.
+    assert!(
+        stats.finalized >= spans,
+        "every root close must reach the store (finalized {} < {spans})",
+        stats.finalized
+    );
+    assert!(
+        stats.retained_total() > 0,
+        "healthy 1-in-N sampling retained nothing"
+    );
+    assert!(
+        ratio <= 2.0,
+        "tail-sampled retention must stay within 2x of the ring baseline, got {ratio:.2}x"
+    );
+
+    // Leave the global store the way other benches and tests expect it.
+    store().set_enabled(true);
+    store().clear();
+}

@@ -16,4 +16,4 @@ pub mod loadgen;
 pub use browser::{DashboardClient, FetchOutcome, FetchResult, PageLoad};
 pub use histogram::{LatencyRecorder, LatencySummary};
 pub use live::{LiveSubscriber, PollOutcome};
-pub use loadgen::{LoadConfig, LoadReport};
+pub use loadgen::{admin_observability_paths, LoadConfig, LoadReport};

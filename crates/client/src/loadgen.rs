@@ -84,6 +84,19 @@ impl RouteAvailability {
     }
 }
 
+/// The admin observability route mix: what an operator keeping the
+/// `/observatory` page open adds to a load run. Meant to be appended to a
+/// `LoadConfig.paths` for users in the site's admin list — non-admins get
+/// 403s, which count as failed fetches.
+pub fn admin_observability_paths() -> Vec<String> {
+    vec![
+        "/api/observatory".to_string(),
+        "/api/traces?limit=20".to_string(),
+        // The page's default self-metrics sparkline (name urlencoded).
+        "/api/obs/series?name=self%3Ahpcdash_sched_queue_depth&resolution=60".to_string(),
+    ]
+}
+
 /// Run a load test against `base_url`. One OS thread per user; each user
 /// has an independent client cache, like separate browsers.
 pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
@@ -306,6 +319,57 @@ mod tests {
         assert_eq!(report.cache_fresh, 0);
         // But the SERVER cache still protected slurmctld: one sinfo total.
         assert_eq!(ctx.ctld.stats().count_of("sinfo"), 1);
+    }
+
+    #[test]
+    fn admin_mix_is_available_to_admins_and_refused_otherwise() {
+        let (server, clock, _ctx) = admin_site();
+        let mut paths = vec!["/api/system_status".to_string()];
+        paths.extend(admin_observability_paths());
+        let cfg = LoadConfig {
+            users: vec!["root".to_string()],
+            iterations: 3,
+            paths,
+            client_fresh_secs: None,
+        };
+        let report = run(&server.base_url(), clock.shared(), &cfg);
+        assert_eq!(report.errors, 0, "{:?}", report.availability);
+        for path in admin_observability_paths() {
+            let avail = &report.availability[&path];
+            assert_eq!(avail.availability(), 1.0, "{path}: {avail:?}");
+        }
+        // A non-admin running the same mix sees the admin routes refused
+        // while the ordinary widget keeps working.
+        let cfg = LoadConfig {
+            users: vec!["u1".to_string()],
+            iterations: 1,
+            paths: admin_observability_paths(),
+            client_fresh_secs: None,
+        };
+        let report = run(&server.base_url(), clock.shared(), &cfg);
+        assert_eq!(report.errors, 3, "all admin routes 403 for u1");
+    }
+
+    fn admin_site() -> (hpcdash_http::Server, SimClock, DashboardContext) {
+        let (server, clock, ctx) = site(true);
+        drop(server);
+        // Rebuild the dashboard with an admin list; same daemons.
+        let mut cfg = (*ctx.cfg).clone();
+        cfg.admins = vec!["root".to_string()];
+        cfg.features.admin_view = true;
+        let ctx = DashboardContext::new(
+            cfg,
+            ctx.clock.clone(),
+            ctx.ctld.clone(),
+            ctx.dbd.clone(),
+            ctx.logs.clone(),
+            ctx.storage.clone(),
+            ctx.news.clone(),
+        );
+        let dash = Dashboard::new(ctx.clone());
+        let server = dash.serve("127.0.0.1:0", 4).unwrap();
+        std::mem::forget(dash);
+        (server, clock, ctx)
     }
 
     #[test]

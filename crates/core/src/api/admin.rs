@@ -67,7 +67,7 @@ fn handle(ctx: &DashboardContext, req: &Request, action: Action) -> Response {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::ctx::tests::test_ctx;
     use hpcdash_slurm::job::{JobRequest, JobState, PendingReason};
@@ -78,7 +78,7 @@ mod tests {
         r
     }
 
-    fn admin_ctx() -> crate::ctx::DashboardContext {
+    pub(crate) fn admin_ctx() -> crate::ctx::DashboardContext {
         let ctx = test_ctx();
         // test_ctx uses the generic config (no admins); rebuild with root.
         let mut cfg = (*ctx.cfg).clone();

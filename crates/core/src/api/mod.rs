@@ -19,6 +19,7 @@ pub mod jobtelemetry;
 pub mod metrics;
 pub mod myjobs;
 pub mod nodeoverview;
+pub mod observatory;
 pub mod recent_jobs;
 pub mod storage;
 pub mod system_status;
@@ -37,6 +38,15 @@ use hpcdash_http::{Response, Router};
 ///   presenting old numbers as current.
 /// * `Failed` — 503 with the error; only this widget goes dark.
 pub(crate) fn respond(outcome: SourceOutcome) -> Response {
+    // Note the degradation outcome on the current trace: tail sampling
+    // retains every trace whose request was served stale or failed, even
+    // though both can answer 200/503 — the status alone can't tell the
+    // trace store a stale serve happened.
+    match &outcome {
+        SourceOutcome::Stale { .. } => hpcdash_obs::tracestore::annotate("outcome", "degraded"),
+        SourceOutcome::Failed(_) => hpcdash_obs::tracestore::annotate("outcome", "failed"),
+        SourceOutcome::Fresh(_) => {}
+    }
     match outcome {
         SourceOutcome::Fresh(v) => Response::json(&v),
         SourceOutcome::Stale {
@@ -88,6 +98,9 @@ pub fn register_all(router: &mut Router, ctx: &DashboardContext) {
     // and data-source health.
     metrics::register(router, ctx.clone());
     health::register(router, ctx.clone());
+    // The admin observatory: stored traces, self-metrics history, and the
+    // SLO/breaker/profiler summary behind the `/observatory` page.
+    observatory::register(router, ctx.clone());
 }
 
 /// The declared feature -> data-source table (the paper's Table 1).

@@ -143,6 +143,75 @@ fn register_collectors(ctx: &DashboardContext) {
             ));
         }
     });
+    // Trace pipeline health: span-sink ring pressure and the tail sampler's
+    // retention accounting, by cause.
+    ctx.obs.register_collector(move |out| {
+        let sink = hpcdash_obs::trace::sink();
+        out.push(Sample::counter(
+            "hpcdash_trace_spans_dropped_total",
+            &[],
+            sink.dropped(),
+        ));
+        out.push(Sample::gauge(
+            "hpcdash_trace_sink_depth",
+            &[],
+            sink.len() as i64,
+        ));
+        out.push(Sample::gauge(
+            "hpcdash_trace_sink_capacity",
+            &[],
+            sink.capacity() as i64,
+        ));
+        let stats = hpcdash_obs::tracestore::store().stats();
+        for cause in hpcdash_obs::RetainCause::ALL {
+            out.push(Sample::counter(
+                "hpcdash_trace_retained_total",
+                &[("cause", cause.label())],
+                stats.retained_by_cause[cause.index()],
+            ));
+        }
+        out.push(Sample::counter(
+            "hpcdash_trace_discarded_total",
+            &[],
+            stats.discarded,
+        ));
+        out.push(Sample::counter(
+            "hpcdash_trace_evicted_total",
+            &[],
+            stats.evicted,
+        ));
+        out.push(Sample::gauge(
+            "hpcdash_trace_store_size",
+            &[],
+            stats.retained_current as i64,
+        ));
+    });
+    // Tick-phase wall-time accounting for each simulated daemon.
+    let ctld = ctx.ctld.clone();
+    let dbd = ctx.dbd.clone();
+    let telemetry = ctx.telemetry.clone();
+    ctx.obs.register_collector(move |out| {
+        let daemons: [(&str, &hpcdash_obs::PhaseProfiler); 3] = [
+            ("slurmctld", ctld.phase_profile()),
+            ("slurmdbd", dbd.phase_profile()),
+            ("telemetryd", telemetry.phase_profile()),
+        ];
+        for (daemon, profile) in daemons {
+            for (phase, agg) in profile.snapshot() {
+                let labels = [("daemon", daemon), ("phase", phase)];
+                out.push(Sample::counter(
+                    "hpcdash_tick_phase_runs_total",
+                    &labels,
+                    agg.count,
+                ));
+                out.push(Sample::counter(
+                    "hpcdash_tick_phase_ns_total",
+                    &labels,
+                    agg.total_ns,
+                ));
+            }
+        }
+    });
     let cache = ctx.cache.clone();
     ctx.obs.register_collector(move |out| {
         let s = cache.stats();
@@ -240,13 +309,28 @@ fn register_pages(router: &mut Router, ctx: &DashboardContext) {
         })
     });
 
-    let c = cluster;
+    let c = cluster.clone();
     let cx = ctx.clone();
     router.get("/nodes/:name", move |req| {
         let name = req.param("name").unwrap_or("?").to_string();
         with_user(&cx, req, |user| {
             Response::html(pages::nodeoverview::render_shell(&c, user, &name))
         })
+    });
+
+    // Admin-only: the observability page. Gated like its API routes — the
+    // shell itself leaks nothing, but serving it to non-admins would
+    // advertise a surface they can never load.
+    let c = cluster;
+    let cx = ctx.clone();
+    router.get("/observatory", move |req| {
+        match CurrentUser::from_request(&cx, req) {
+            Ok(user) if user.is_admin => {
+                Response::html(pages::observatory::render_shell(&c, &user.username))
+            }
+            Ok(_) => Response::forbidden("administrator access required"),
+            Err(resp) => resp,
+        }
     });
 }
 
@@ -427,12 +511,38 @@ mod tests {
         // 10 features -> 13 API routes (incl. accounts export, job
         // logs/array) + baseline Active Jobs + live updates feed (poll +
         // push stream) + 3 admin actions + 2 telemetry routes (live strip +
-        // per-job series) + 2 observability routes (/api/metrics,
-        // /api/health) + 7 pages + 3 assets + healthz.
+        // per-job series) + 6 observability routes (/api/metrics,
+        // /api/health, /api/observatory, /api/traces, /api/traces/:id,
+        // /api/obs/series) + 8 pages (incl. /observatory) + 3 assets +
+        // healthz.
         assert_eq!(
             patterns.len(),
-            13 + 3 + 3 + 2 + 2 + 7 + 3 + 1,
+            13 + 3 + 3 + 2 + 6 + 8 + 3 + 1,
             "{patterns:?}"
+        );
+    }
+
+    #[test]
+    fn observatory_page_is_admin_gated() {
+        // The generic test config has no admins: everyone is refused.
+        let d = dash();
+        assert_eq!(get(&d, "/observatory", Some("alice")).status, 403);
+        // An admin-enabled site serves the shell to its operators only.
+        let d = Dashboard::new(crate::ctx::tests::test_ctx_with(
+            crate::config::DashboardConfig::purdue_like(),
+        ));
+        assert_eq!(get(&d, "/observatory", Some("alice")).status, 403);
+        let resp = get(&d, "/observatory", Some("root"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_string().contains("data-api=\"/api/observatory\""));
+        // Tick phases show up after a scheduling pass.
+        d.ctx().ctld.tick();
+        let resp = get(&d, "/api/metrics", Some("root"));
+        assert!(
+            resp.body_string()
+                .contains("hpcdash_tick_phase_ns_total{daemon=\"slurmctld\",phase=\"sched_pass\"}"),
+            "{}",
+            resp.body_string()
         );
     }
 
@@ -459,6 +569,12 @@ mod tests {
             text.contains("hpcdash_telemetry_samples_ingested_total")
                 && text.contains("hpcdash_telemetry_points_scanned_total{tier=\"raw\"}"),
             "telemetry store metrics exported:\n{text}"
+        );
+        assert!(
+            text.contains("hpcdash_trace_spans_dropped_total")
+                && text.contains("hpcdash_trace_sink_capacity")
+                && text.contains("hpcdash_trace_retained_total{cause=\"error\"}"),
+            "trace pipeline metrics exported:\n{text}"
         );
         let resp = get(&d, "/api/health", None);
         assert_eq!(resp.status, 200);

@@ -26,6 +26,11 @@ pub struct CachePolicy {
     /// Client-side (IndexedDB) freshness horizon: entries older than this
     /// are revalidated before being trusted, younger ones render instantly.
     pub client_fresh: u64,
+    /// The admin observatory summary (`/api/observatory`). Short: operators
+    /// debugging an incident want near-live breaker/SLO state, and the
+    /// payload is assembled from in-memory stats (no backend RPC), so a
+    /// long TTL would only hide the incident it exists to show.
+    pub observatory: u64,
 }
 
 impl Default for CachePolicy {
@@ -43,6 +48,7 @@ impl Default for CachePolicy {
             node_overview: 30,
             telemetry: 30,
             client_fresh: 30,
+            observatory: 5,
         }
     }
 }
@@ -63,6 +69,7 @@ impl CachePolicy {
             node_overview: 0,
             telemetry: 0,
             client_fresh: 0,
+            observatory: 0,
         }
     }
 }

@@ -152,6 +152,10 @@ impl DashboardContext {
         news: Arc<NewsFeed>,
     ) -> DashboardContext {
         let obs = Arc::new(Registry::new());
+        // Tail-sampled trace retention writes p99 exemplars into this
+        // registry's latency histograms (last context built wins — fine:
+        // tests build isolated contexts and never assert cross-context).
+        hpcdash_obs::tracestore::store().set_registry(&obs);
         // The resolver reaches into slurmctld (daemon lock); the hub promises
         // never to call it from the fan-out path, which runs under that lock.
         let resolver: AccountResolver = {
@@ -176,6 +180,7 @@ impl DashboardContext {
         ctld.events().add_sink(push.clone());
         let park = Arc::new(ParkBudget::new(cfg.push.max_parked_workers));
         let telemetry = Arc::new(TelemetryD::free(clock.clone(), ctld.clone()));
+        telemetry.set_registry(&obs);
         let breakers = Arc::new(BreakerBoard::new(
             clock.clone(),
             BreakerConfig {
@@ -206,6 +211,10 @@ impl DashboardContext {
     /// Use an externally owned telemetry daemon (the scenario's, so routes
     /// see the series the sim driver's collection passes produced).
     pub fn with_telemetry(mut self, telemetry: Arc<TelemetryD>) -> DashboardContext {
+        // The injected daemon scrapes this dashboard's own metrics into
+        // `self:` series on every collection pass (the free daemon built by
+        // `new` did the same, but it is being replaced here).
+        telemetry.set_registry(&self.obs);
         self.telemetry = telemetry;
         self
     }

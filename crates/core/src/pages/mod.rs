@@ -17,3 +17,4 @@ pub mod layout;
 pub mod myjobs;
 pub mod newsall;
 pub mod nodeoverview;
+pub mod observatory;

@@ -4,7 +4,7 @@
 use crate::request::{Method, Request};
 use crate::response::Response;
 use hpcdash_obs::trace::{Span, TraceId, TraceScope};
-use hpcdash_obs::Registry;
+use hpcdash_obs::{tracestore, Registry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -154,9 +154,16 @@ impl Router {
                     Ok(resp) => resp,
                     Err(_) => Response::internal_error("component failed"),
                 };
+                // Tail-sampling retention needs the route and final status
+                // noted before the root span closes (which may be this
+                // route span, for in-process dispatch).
+                tracestore::annotate("route", route.pattern.clone());
+                tracestore::annotate("status", resp.status.to_string());
                 return (&route.pattern, resp);
             }
         }
+        tracestore::annotate("route", "unmatched");
+        tracestore::annotate("status", "404");
         (
             "unmatched",
             Response::not_found(&format!(

@@ -118,6 +118,7 @@ pub fn to_json(samples: &[Sample]) -> Value {
                     "p95_ns": h.p95_ns,
                     "p99_ns": h.p99_ns,
                     "max_ns": h.max_ns,
+                    "p99_exemplar": s.exemplar.map(|t| t.to_hex()),
                 }),
             }
         })

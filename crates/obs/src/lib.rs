@@ -15,6 +15,13 @@
 //!   [`trace::TraceSink`] from which per-request hop breakdowns are read.
 //! * [`recorder`] — an exact-sample latency recorder for load-generator
 //!   style summaries (p50/p90/p99), shared by the headless client.
+//! * [`tracestore`] — tail-sampled trace retention: spans assemble into
+//!   complete traces at root close, and errored/degraded/slow traces (plus
+//!   a deterministic 1-in-N healthy sample) are kept with per-cause
+//!   counters, bounded memory, and exemplar links into the latency
+//!   histograms.
+//! * [`profile`] — per-phase wall-time accounting for the daemon tick
+//!   loops (sched pass, snapshot publish, dbd sync, TSDB ingest).
 //! * [`expo`] — Prometheus-style text and JSON exposition with stable
 //!   (sorted) ordering, served by `core` at `/api/metrics`.
 //! * [`health`] — rolls recent per-source error counters into an
@@ -25,10 +32,14 @@
 
 pub mod expo;
 pub mod health;
+pub mod profile;
 pub mod recorder;
 pub mod registry;
 pub mod trace;
+pub mod tracestore;
 
+pub use profile::{PhaseAgg, PhaseProfiler};
 pub use recorder::LatencyRecorder;
 pub use registry::{Counter, Gauge, Histogram, Registry, Sample, SampleValue};
 pub use trace::{Span, TraceId};
+pub use tracestore::{RetainCause, StoredTrace, TraceStore, TraceStoreConfig};

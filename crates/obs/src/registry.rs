@@ -6,6 +6,7 @@
 //! lock is only taken at registration and scrape time, never on the hot
 //! path.
 
+use crate::trace::TraceId;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -94,6 +95,11 @@ const BUCKETS: usize = BUCKET_BOUNDS_NS.len() + 1; // +Inf
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Per-bucket exemplar: the raw bits of a [`TraceId`] for a recent
+    /// representative observation in that bucket (0 = none). Written by the
+    /// tail-sampling trace store at retention time, so a non-zero exemplar
+    /// always refers to a trace that was actually kept.
+    exemplars: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
@@ -103,6 +109,7 @@ impl Default for Histogram {
     fn default() -> Histogram {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
@@ -173,6 +180,62 @@ impl Histogram {
         max
     }
 
+    /// Attach `trace` as the exemplar for the bucket an observation of `ns`
+    /// lands in. Overwrites the previous exemplar — each bucket keeps the
+    /// most *recent* representative, not the worst.
+    pub fn set_exemplar(&self, ns: u64, trace: TraceId) {
+        let idx = BUCKET_BOUNDS_NS.partition_point(|&bound| bound < ns);
+        self.exemplars[idx].store(trace.0, Ordering::Relaxed);
+    }
+
+    /// The exemplar stored for bucket `idx`, if any.
+    pub fn bucket_exemplar(&self, idx: usize) -> Option<TraceId> {
+        let bits = self.exemplars.get(idx)?.load(Ordering::Relaxed);
+        (bits != 0).then_some(TraceId(bits))
+    }
+
+    /// The bucket index the `q`-quantile rank falls in, or `None` when the
+    /// histogram is empty.
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            if c > 0 && seen + c >= rank {
+                return Some(idx);
+            }
+            seen += c;
+        }
+        Some(BUCKETS - 1)
+    }
+
+    /// An exemplar trace for the `q`-quantile: the one stored in the bucket
+    /// the quantile rank falls in, falling back to the nearest populated
+    /// neighbour (first above, then below) so a link is returned whenever
+    /// *any* exemplar exists.
+    pub fn quantile_exemplar(&self, q: f64) -> Option<TraceId> {
+        // An empty histogram can still hold exemplars (written at trace
+        // retention); start the fallback scan from the bottom then.
+        let at = self.quantile_bucket(q).unwrap_or(0);
+        if let Some(t) = self.bucket_exemplar(at) {
+            return Some(t);
+        }
+        for idx in (at + 1)..BUCKETS {
+            if let Some(t) = self.bucket_exemplar(idx) {
+                return Some(t);
+            }
+        }
+        (0..at).rev().find_map(|idx| self.bucket_exemplar(idx))
+    }
+
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count(),
@@ -213,6 +276,10 @@ pub struct Sample {
     pub name: String,
     pub labels: Labels,
     pub value: SampleValue,
+    /// For summaries scraped from a live [`Histogram`]: the trace exemplar
+    /// nearest the p99 bucket, linking the aggregate to a stored trace.
+    /// Only the JSON exposition carries it — the text format stays numeric.
+    pub exemplar: Option<TraceId>,
 }
 
 impl Sample {
@@ -221,6 +288,7 @@ impl Sample {
             name: name.into(),
             labels: normalize_labels(labels),
             value: SampleValue::Counter(v),
+            exemplar: None,
         }
     }
 
@@ -229,6 +297,7 @@ impl Sample {
             name: name.into(),
             labels: normalize_labels(labels),
             value: SampleValue::Gauge(v),
+            exemplar: None,
         }
     }
 
@@ -241,6 +310,7 @@ impl Sample {
             name: name.into(),
             labels: normalize_labels(labels),
             value: SampleValue::Summary(s),
+            exemplar: None,
         }
     }
 }
@@ -327,6 +397,7 @@ impl Registry {
                     name: name.clone(),
                     labels: labels.clone(),
                     value: SampleValue::Counter(c.get()),
+                    exemplar: None,
                 });
             }
             for ((name, labels), g) in &ins.gauges {
@@ -334,6 +405,7 @@ impl Registry {
                     name: name.clone(),
                     labels: labels.clone(),
                     value: SampleValue::Gauge(g.get()),
+                    exemplar: None,
                 });
             }
             for ((name, labels), h) in &ins.histograms {
@@ -341,6 +413,7 @@ impl Registry {
                     name: name.clone(),
                     labels: labels.clone(),
                     value: SampleValue::Summary(h.summary()),
+                    exemplar: h.quantile_exemplar(0.99),
                 });
             }
         }
@@ -408,6 +481,47 @@ mod tests {
         );
         assert!(s.p95_ns >= s.p50_ns && s.p99_ns >= s.p95_ns && s.max_ns >= s.p99_ns);
         assert_eq!(s.sum_ns, (1..=100u64).map(|x| x * 1_000_000).sum::<u64>());
+    }
+
+    #[test]
+    fn exemplars_attach_to_buckets_with_nearest_fallback() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_exemplar(0.99), None, "empty histogram");
+        for _ in 0..90 {
+            h.observe_ns(3_000); // bucket (2µs, 5µs]
+        }
+        for _ in 0..10 {
+            h.observe_ns(80_000_000); // bucket (50ms, 100ms] — the p99 tail
+        }
+        assert_eq!(
+            h.quantile_exemplar(0.99),
+            None,
+            "observations alone carry no exemplar"
+        );
+        // Exemplar in a *lower* bucket than p99: nearest-fallback finds it.
+        h.set_exemplar(3_000, TraceId(0xaa));
+        assert_eq!(h.quantile_exemplar(0.99), Some(TraceId(0xaa)));
+        // An exemplar in the p99 bucket itself wins.
+        h.set_exemplar(80_000_000, TraceId(0xbb));
+        assert_eq!(h.quantile_exemplar(0.99), Some(TraceId(0xbb)));
+        assert_eq!(h.quantile_exemplar(0.50), Some(TraceId(0xaa)));
+        // Most recent write per bucket sticks.
+        h.set_exemplar(80_000_000, TraceId(0xcc));
+        assert_eq!(h.quantile_exemplar(0.99), Some(TraceId(0xcc)));
+    }
+
+    #[test]
+    fn gather_carries_p99_exemplar_for_histograms() {
+        let reg = Registry::new();
+        let h = reg.histogram("hpcdash_http_request_latency", &[("route", "/x")]);
+        h.observe_ns(4_000);
+        h.set_exemplar(4_000, TraceId(0x77));
+        let samples = reg.gather();
+        let s = samples
+            .iter()
+            .find(|s| s.name == "hpcdash_http_request_latency")
+            .expect("summary sample");
+        assert_eq!(s.exemplar, Some(TraceId(0x77)));
     }
 
     #[test]

@@ -43,9 +43,11 @@ impl TraceId {
     }
 
     /// Parse the header wire format (16 hex digits, case-insensitive).
+    /// Strictly hex: `from_str_radix` alone would also accept a `+`/`-`
+    /// sign prefix, which is not a valid `X-Trace-Id`.
     pub fn from_hex(s: &str) -> Option<TraceId> {
         let s = s.trim();
-        if s.is_empty() || s.len() > 16 {
+        if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
             return None;
         }
         u64::from_str_radix(s, 16).ok().map(TraceId)
@@ -151,7 +153,7 @@ impl Drop for Span {
         // Clamp to >= 1ns so "this hop happened" is always distinguishable
         // from "never recorded", even for sub-resolution scopes.
         let dur_ns = (self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64).max(1);
-        sink().push(SpanRecord {
+        let rec = SpanRecord {
             trace: self.trace,
             name: self.name,
             attrs: std::mem::take(&mut self.attrs),
@@ -159,7 +161,12 @@ impl Drop for Span {
             dur_ns,
             seq: self.seq,
             depth: self.depth,
-        });
+        };
+        // The tail-sampling store sees every completed span first (it keeps
+        // its own copies for retained traces); the flat ring gets the
+        // original record regardless.
+        crate::tracestore::store().observe(&rec);
+        sink().push(rec);
     }
 }
 
@@ -191,6 +198,7 @@ pub const DEFAULT_SINK_CAPACITY: usize = 4096;
 pub struct TraceSink {
     ring: Mutex<VecDeque<SpanRecord>>,
     capacity: usize,
+    dropped: AtomicU64,
 }
 
 impl TraceSink {
@@ -198,6 +206,7 @@ impl TraceSink {
         TraceSink {
             ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
             capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -205,12 +214,23 @@ impl TraceSink {
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(rec);
     }
 
     pub fn len(&self) -> usize {
         self.ring.lock().len()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans evicted from the ring to make room — the overflow that used to
+    /// be silent.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -294,6 +314,20 @@ mod tests {
     }
 
     #[test]
+    fn from_hex_rejects_sign_prefixes_and_whitespace_padding_tricks() {
+        // `u64::from_str_radix` accepts a leading sign; the header format
+        // must not.
+        assert_eq!(TraceId::from_hex("+1f"), None);
+        assert_eq!(TraceId::from_hex("-1"), None);
+        assert_eq!(TraceId::from_hex("+0000000000000001"), None);
+        assert_eq!(TraceId::from_hex("1 f"), None, "inner whitespace");
+        assert_eq!(TraceId::from_hex("0x1f"), None, "radix prefix");
+        // Surrounding whitespace is still trimmed, as before.
+        assert_eq!(TraceId::from_hex("  1f  "), Some(TraceId(0x1f)));
+        assert_eq!(TraceId::from_hex("AB"), Some(TraceId(0xab)), "upper hex");
+    }
+
+    #[test]
     fn generated_ids_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..1_000 {
@@ -371,6 +405,9 @@ mod tests {
         let records = sink.records_for(id);
         assert_eq!(records.len(), 4);
         assert_eq!(records[0].seq, 2, "oldest two evicted");
+        assert_eq!(sink.dropped(), 2, "evictions are counted, not silent");
+        assert_eq!(sink.capacity(), 4);
+        assert_eq!(sink.len(), 4);
     }
 
     #[test]

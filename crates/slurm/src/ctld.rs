@@ -21,7 +21,7 @@ use crate::node::{AdminFlag, Node};
 use crate::partition::{Partition, PartitionState};
 use crate::snapshot::{ClusterSnapshot, EpochCell, SnapshotStats};
 use hpcdash_faults::FaultHost;
-use hpcdash_obs::Span;
+use hpcdash_obs::{PhaseProfiler, Span};
 use hpcdash_simtime::{SharedClock, Timestamp};
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
@@ -163,6 +163,10 @@ pub struct Slurmctld {
     /// RPC; error/garble faults are enforced at the CLI render boundary
     /// (`hpcdash-slurmcli`), which consults this same host.
     faults: FaultHost,
+    /// Per-phase wall time inside `tick` (sched pass, snapshot publish,
+    /// joblog refresh, dbd handoff) — the profiling foundation for the
+    /// scale work: it shows where a tick's budget actually goes.
+    phases: PhaseProfiler,
 }
 
 impl Slurmctld {
@@ -198,12 +202,18 @@ impl Slurmctld {
             dbd,
             logs,
             faults: FaultHost::new("slurmctld"),
+            phases: PhaseProfiler::new(),
         }
     }
 
     /// The daemon's fault-injection hook (install a `FaultPlan` here).
     pub fn faults(&self) -> &FaultHost {
         &self.faults
+    }
+
+    /// Per-phase wall-time accounting for the tick loop.
+    pub fn phase_profile(&self) -> &PhaseProfiler {
+        &self.phases
     }
 
     /// Acquire the state mutex, recording the wait and counting the
@@ -255,11 +265,16 @@ impl Slurmctld {
         self.faults.check("sched_tick").burn();
         let (finished, snap) = {
             let mut state = self.lock_state(start);
-            state.tick(now);
-            let finished = state.drain_finished();
-            // The scheduling pass genuinely occupies the daemon.
-            self.cost.burn(state.active_jobs().count());
-            let snap = self.publish_locked(&state, now);
+            let finished = self.phases.time("sched_pass", || {
+                state.tick(now);
+                let finished = state.drain_finished();
+                // The scheduling pass genuinely occupies the daemon.
+                self.cost.burn(state.active_jobs().count());
+                finished
+            });
+            let snap = self
+                .phases
+                .time("snapshot_publish", || self.publish_locked(&state, now));
             (finished, snap)
         };
         self.stats
@@ -267,30 +282,36 @@ impl Slurmctld {
         // Running jobs keep their stdout fresh: one progress line per
         // elapsed minute, so the Job Overview output tab has content.
         // Formatted from the immutable snapshot — the lock is gone.
-        for job in snap.jobs.iter().filter(|j| j.state == JobState::Running) {
-            let mut lines = vec![format!(
-                "=== job {} ({}) starting on {} ===",
-                job.id,
-                job.req.name,
-                job.nodes.join(",")
-            )];
-            let minutes = job.elapsed_secs(now) / 60;
-            for i in 0..minutes.min(200) {
-                lines.push(format!("step {i}: processed batch {i} ok"));
+        self.phases.time("joblog_write", || {
+            for job in snap.jobs.iter().filter(|j| j.state == JobState::Running) {
+                let mut lines = vec![format!(
+                    "=== job {} ({}) starting on {} ===",
+                    job.id,
+                    job.req.name,
+                    job.nodes.join(",")
+                )];
+                let minutes = job.elapsed_secs(now) / 60;
+                for i in 0..minutes.min(200) {
+                    lines.push(format!("step {i}: processed batch {i} ok"));
+                }
+                self.logs.write(&job.stdout_path, &job.req.user, lines);
             }
-            self.logs.write(&job.stdout_path, &job.req.user, lines);
-        }
-        for f in &finished {
-            self.logs
-                .write(&f.job.stdout_path, &f.job.req.user, f.stdout_lines.clone());
-            self.logs
-                .write(&f.job.stderr_path, &f.job.req.user, f.stderr_lines.clone());
-        }
-        self.dbd
-            .record_finished(finished.into_iter().map(|f| f.job));
+            for f in &finished {
+                self.logs
+                    .write(&f.job.stdout_path, &f.job.req.user, f.stdout_lines.clone());
+                self.logs
+                    .write(&f.job.stderr_path, &f.job.req.user, f.stderr_lines.clone());
+            }
+        });
+        self.phases.time("dbd_record", || {
+            self.dbd
+                .record_finished(finished.into_iter().map(|f| f.job));
+        });
         // The active mirror shares the snapshot's Arc<Job> rows: refcount
         // bumps, not a second deep clone of every active job.
-        self.dbd.sync_active(snap.jobs.iter().cloned());
+        self.phases.time("dbd_sync", || {
+            self.dbd.sync_active(snap.jobs.iter().cloned())
+        });
         self.stats.record("sched_tick", start.elapsed());
     }
 

@@ -6,7 +6,7 @@
 use crate::job::{Job, JobId, JobState};
 use crate::loadmodel::{RpcCostModel, RpcStats};
 use hpcdash_faults::{FaultFailure, FaultHost};
-use hpcdash_obs::Span;
+use hpcdash_obs::{PhaseProfiler, Span};
 use hpcdash_simtime::Timestamp;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -90,6 +90,9 @@ pub struct Slurmdbd {
     /// error/garble faults are enforced at the `sacct`/`seff` render
     /// boundary in `hpcdash-slurmcli`.
     faults: FaultHost,
+    /// Per-phase wall time on the ingest side (archive writes, mirror
+    /// syncs) — the dbd half of the tick-phase profile.
+    phases: PhaseProfiler,
 }
 
 impl Slurmdbd {
@@ -104,6 +107,7 @@ impl Slurmdbd {
             cost,
             stats: RpcStats::new(),
             faults: FaultHost::new("slurmdbd"),
+            phases: PhaseProfiler::new(),
         }
     }
 
@@ -112,32 +116,41 @@ impl Slurmdbd {
         &self.faults
     }
 
+    /// Per-phase wall-time accounting for the ingest path.
+    pub fn phase_profile(&self) -> &PhaseProfiler {
+        &self.phases
+    }
+
     /// Archive finished jobs (called by slurmctld). Accepts owned `Job`s or
     /// shared `Arc<Job>` rows.
     pub fn record_finished<J: Into<Arc<Job>>>(&self, jobs: impl IntoIterator<Item = J>) {
-        let mut archived = self.archived.write();
-        for job in jobs {
-            let job = job.into();
-            archived.insert(job.id, job);
-        }
+        self.phases.time("archive", || {
+            let mut archived = self.archived.write();
+            for job in jobs {
+                let job = job.into();
+                archived.insert(job.id, job);
+            }
+        });
     }
 
     /// Replace the mirror of currently active jobs (called by slurmctld on
     /// every tick, handing over the snapshot's shared rows).
     pub fn sync_active<J: Into<Arc<Job>>>(&self, jobs: impl IntoIterator<Item = J>) {
-        let check = self.faults.check("sync_active");
-        check.burn();
-        if matches!(check.failure, Some(FaultFailure::Lag)) {
-            // The accounting daemon has fallen behind: drop this sync and
-            // keep answering queries from the last mirror it applied.
-            return;
-        }
-        let mut mirror = self.active_mirror.write();
-        mirror.clear();
-        for job in jobs {
-            let job = job.into();
-            mirror.insert(job.id, job);
-        }
+        self.phases.time("mirror_sync", || {
+            let check = self.faults.check("sync_active");
+            check.burn();
+            if matches!(check.failure, Some(FaultFailure::Lag)) {
+                // The accounting daemon has fallen behind: drop this sync and
+                // keep answering queries from the last mirror it applied.
+                return;
+            }
+            let mut mirror = self.active_mirror.write();
+            mirror.clear();
+            for job in jobs {
+                let job = job.into();
+                mirror.insert(job.id, job);
+            }
+        });
     }
 
     /// `sacct`-style query across active + archived jobs, newest first.

@@ -45,6 +45,19 @@ pub mod keys {
     pub fn node_gpu(name: &str) -> String {
         format!("node:{name}:gpu")
     }
+
+    /// A self-metrics series scraped from the dashboard's own registry:
+    /// `self:<metric>` for a bare instrument, `self:<metric>{k=v,...}` for
+    /// a labelled one. Summary sub-series append `:p50` / `:p99` /
+    /// `:count` to this base.
+    pub fn self_series(name: &str, labels: &[(String, String)]) -> String {
+        if labels.is_empty() {
+            format!("self:{name}")
+        } else {
+            let kv: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("self:{name}{{{}}}", kv.join(","))
+        }
+    }
 }
 
 /// Quantize to 1/1024 steps in `[0, 1]` — exact binary fractions, so XOR

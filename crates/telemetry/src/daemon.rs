@@ -8,11 +8,14 @@
 //! calibrated [`RpcCostModel`] cost per item touched and records per-kind
 //! [`RpcStats`], so load tests see realistic telemetry latencies.
 
-use crate::collector::{self, CollectOutcome};
+use crate::collector::{self, keys, CollectOutcome};
 use crate::store::{RangePoint, Tier, TsdbStore};
+use hpcdash_obs::registry::{Registry, SampleValue};
+use hpcdash_obs::PhaseProfiler;
 use hpcdash_simtime::SharedClock;
 use hpcdash_slurm::ctld::Slurmctld;
 use hpcdash_slurm::loadmodel::{RpcCostModel, RpcStats};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -22,6 +25,11 @@ pub struct TelemetryD {
     store: TsdbStore,
     cost: RpcCostModel,
     stats: RpcStats,
+    /// When attached, every collection pass also scrapes this registry
+    /// into `self:`-prefixed series, making the dashboard's own metrics
+    /// range-queryable history.
+    registry: Mutex<Option<Arc<Registry>>>,
+    phases: PhaseProfiler,
 }
 
 impl TelemetryD {
@@ -50,7 +58,20 @@ impl TelemetryD {
             store: TsdbStore::default(),
             cost,
             stats: RpcStats::new(),
+            registry: Mutex::new(None),
+            phases: PhaseProfiler::new(),
         }
+    }
+
+    /// Attach the metrics registry to scrape into `self:` series on every
+    /// collection pass.
+    pub fn set_registry(&self, registry: &Arc<Registry>) {
+        *self.registry.lock() = Some(registry.clone());
+    }
+
+    /// Per-phase wall-time accounting for the collection loop.
+    pub fn phase_profile(&self) -> &PhaseProfiler {
+        &self.phases
     }
 
     /// Run one collection pass against the current cluster snapshot.
@@ -59,11 +80,43 @@ impl TelemetryD {
         let t0 = Instant::now();
         let snap = self.ctld.snapshot();
         let ts = self.clock.now().as_secs() as i64;
-        let out = collector::collect(&self.store, &snap, ts);
-        self.cost.burn(out.samples as usize);
+        let out = self
+            .phases
+            .time("tsdb_ingest", || collector::collect(&self.store, &snap, ts));
+        let scraped = self.phases.time("self_scrape", || self.self_scrape(ts));
+        self.cost.burn((out.samples + scraped) as usize);
         self.stats.record("collect", t0.elapsed());
         self.stats.record_scanned("collect", out.samples);
         out
+    }
+
+    /// Scrape the attached registry into the store: counters/gauges as one
+    /// series each, histogram summaries as `:p50` / `:p99` / `:count`
+    /// sub-series. Returns samples appended (duplicate timestamps are
+    /// rejected by the store's monotonic-append rule and not counted).
+    fn self_scrape(&self, ts: i64) -> u64 {
+        let Some(reg) = self.registry.lock().clone() else {
+            return 0;
+        };
+        let mut appended = 0u64;
+        for s in reg.gather() {
+            let base = keys::self_series(&s.name, &s.labels);
+            let mut put = |key: String, v: f64| {
+                if self.store.append(&key, ts, v) {
+                    appended += 1;
+                }
+            };
+            match s.value {
+                SampleValue::Counter(v) => put(base, v as f64),
+                SampleValue::Gauge(v) => put(base, v as f64),
+                SampleValue::Summary(h) => {
+                    put(format!("{base}:p50"), h.p50_ns as f64);
+                    put(format!("{base}:p99"), h.p99_ns as f64);
+                    put(format!("{base}:count"), h.count as f64);
+                }
+            }
+        }
+        appended
     }
 
     /// Range query with load-model cost proportional to stored points read.
