@@ -34,6 +34,7 @@ fn variant(server_cache: bool, client_cache: bool) -> (String, loadgen::LoadRepo
             "/api/jobtelemetry".to_string(),
         ],
         client_fresh_secs: if client_cache { Some(60) } else { None },
+        bearer: Default::default(),
     };
     let report = loadgen::run(&server.base_url(), site.scenario.clock.shared(), &cfg);
     let rpcs = site.scenario.ctld.stats().snapshot().total_rpcs;

@@ -72,6 +72,10 @@ pub struct DashboardClient {
     /// Client-cache freshness horizon (seconds); `None` disables the client
     /// cache entirely (the no-client-cache ablation).
     fresh_secs: Option<u64>,
+    /// API token secret sent as `Authorization: Bearer` on every API
+    /// request; the `/slurm/v0` family authenticates with this instead of
+    /// `X-Remote-User`.
+    bearer: Option<String>,
     network_fetches: std::sync::atomic::AtomicU64,
 }
 
@@ -89,8 +93,16 @@ impl DashboardClient {
             db: IndexedDb::new(),
             clock,
             fresh_secs,
+            bearer: None,
             network_fetches: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Attach an API token: subsequent requests carry
+    /// `Authorization: Bearer <secret>` alongside the proxy identity.
+    pub fn with_bearer(mut self, secret: &str) -> DashboardClient {
+        self.bearer = Some(secret.to_string());
+        self
     }
 
     pub fn user(&self) -> &str {
@@ -183,12 +195,15 @@ impl DashboardClient {
         let start = Instant::now();
         self.network_fetches
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut headers: Vec<(&str, &str)> =
+            vec![("X-Remote-User", &self.user), (TRACE_HEADER, &trace_hex)];
+        let auth = self.bearer.as_ref().map(|s| format!("Bearer {s}"));
+        if let Some(auth) = &auth {
+            headers.push(("Authorization", auth));
+        }
         let resp = self
             .http
-            .get(
-                &format!("{}{}", self.base_url, path),
-                &[("X-Remote-User", &self.user), (TRACE_HEADER, &trace_hex)],
-            )
+            .get(&format!("{}{}", self.base_url, path), &headers)
             .map_err(|e| e.to_string())?;
         let elapsed = start.elapsed();
         if !resp.is_success() {

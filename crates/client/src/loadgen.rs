@@ -21,6 +21,22 @@ pub struct LoadConfig {
     pub paths: Vec<String>,
     /// Client-cache freshness horizon; `None` disables the client cache.
     pub client_fresh_secs: Option<u64>,
+    /// Per-user API token secrets (`Authorization: Bearer`), for runs whose
+    /// path mix includes the `/slurm/v0` family. Users without an entry
+    /// send no bearer and get 401s on those routes.
+    pub bearer: BTreeMap<String, String>,
+}
+
+impl LoadConfig {
+    pub fn new(users: Vec<String>, iterations: usize, paths: Vec<String>) -> LoadConfig {
+        LoadConfig {
+            users,
+            iterations,
+            paths,
+            client_fresh_secs: None,
+            bearer: BTreeMap::new(),
+        }
+    }
 }
 
 /// Aggregate results of a load run.
@@ -97,6 +113,20 @@ pub fn admin_observability_paths() -> Vec<String> {
     ]
 }
 
+/// The `/slurm/v0` structured route mix: what a programmatic consumer
+/// (script, pipeline, wall display) polling the REST family adds to a load
+/// run. Append to `LoadConfig.paths` and supply each user's token secret
+/// via `LoadConfig.bearer` — users without one get 401s, which count as
+/// failed fetches, so availability reports cover the token gate too.
+pub fn slurm_v0_paths() -> Vec<String> {
+    vec![
+        "/slurm/v0/jobs".to_string(),
+        "/slurm/v0/nodes".to_string(),
+        "/slurm/v0/partitions".to_string(),
+        "/slurm/v0/associations".to_string(),
+    ]
+}
+
 /// Run a load test against `base_url`. One OS thread per user; each user
 /// has an independent client cache, like separate browsers.
 pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
@@ -127,7 +157,10 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
         let errors = errors.clone();
         let routes = routes.clone();
         handles.push(std::thread::spawn(move || {
-            let client = DashboardClient::new(&base_url, &user, clock, cfg.client_fresh_secs);
+            let mut client = DashboardClient::new(&base_url, &user, clock, cfg.client_fresh_secs);
+            if let Some(secret) = cfg.bearer.get(&user) {
+                client = client.with_bearer(secret);
+            }
             for _ in 0..cfg.iterations {
                 for path in &cfg.paths {
                     match client.fetch_api(path) {
@@ -271,6 +304,7 @@ mod tests {
             iterations: 10,
             paths: vec!["/api/system_status".to_string()],
             client_fresh_secs: Some(3_600),
+            bearer: Default::default(),
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.errors, 0);
@@ -295,6 +329,7 @@ mod tests {
                 "/api/nodes/nope".to_string(),
             ],
             client_fresh_secs: Some(3_600),
+            bearer: Default::default(),
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         let ok = &report.availability["/api/system_status"];
@@ -313,6 +348,7 @@ mod tests {
             iterations: 5,
             paths: vec!["/api/system_status".to_string()],
             client_fresh_secs: None,
+            bearer: Default::default(),
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.network_fetches, 5);
@@ -331,6 +367,7 @@ mod tests {
             iterations: 3,
             paths,
             client_fresh_secs: None,
+            bearer: Default::default(),
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.errors, 0, "{:?}", report.availability);
@@ -345,6 +382,7 @@ mod tests {
             iterations: 1,
             paths: admin_observability_paths(),
             client_fresh_secs: None,
+            bearer: Default::default(),
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.errors, 3, "all admin routes 403 for u1");
@@ -372,6 +410,68 @@ mod tests {
         (server, clock, ctx)
     }
 
+    /// Mint an API token for `subject` through the admin endpoint, acting
+    /// as `root`, and return the one-time secret.
+    fn mint_token(base_url: &str, subject: &str, scopes: &[&str]) -> String {
+        let http = hpcdash_http::HttpClient::new();
+        let body = serde_json::json!({ "subject": subject, "scopes": scopes });
+        let resp = http
+            .post(
+                &format!("{base_url}/slurm/v0/admin/tokens"),
+                &[("X-Remote-User", "root")],
+                body.to_string().into_bytes(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_string());
+        resp.json().unwrap()["secret"].as_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn slurm_v0_mix_availability_tracks_the_token_gate() {
+        let (server, clock, _ctx) = admin_site();
+        let base = server.base_url();
+
+        // An admin token sees the whole family.
+        let mut cfg = LoadConfig::new(vec!["root".to_string()], 3, slurm_v0_paths());
+        cfg.bearer.insert(
+            "root".to_string(),
+            mint_token(&base, "root", &["read-cluster"]),
+        );
+        let report = run(&base, clock.shared(), &cfg);
+        assert_eq!(report.errors, 0, "{:?}", report.availability);
+        for path in slurm_v0_paths() {
+            assert_eq!(report.availability[&path].availability(), 1.0, "{path}");
+        }
+
+        // A user token scoped to own jobs + account: the job-family routes
+        // stay available, node/partition routes refuse (no partition scope),
+        // and the per-route report keeps the two families apart.
+        let mut cfg = LoadConfig::new(vec!["u1".to_string()], 2, slurm_v0_paths());
+        cfg.bearer.insert(
+            "u1".to_string(),
+            mint_token(&base, "u1", &["read-own-jobs", "read-account:physics"]),
+        );
+        let report = run(&base, clock.shared(), &cfg);
+        assert_eq!(report.availability["/slurm/v0/jobs"].availability(), 1.0);
+        assert_eq!(
+            report.availability["/slurm/v0/associations"].availability(),
+            1.0
+        );
+        assert_eq!(report.availability["/slurm/v0/nodes"].availability(), 0.0);
+        assert_eq!(
+            report.availability["/slurm/v0/partitions"].availability(),
+            0.0
+        );
+
+        // No token at all: every route in the family 401s.
+        let cfg = LoadConfig::new(vec!["u2".to_string()], 1, slurm_v0_paths());
+        let report = run(&base, clock.shared(), &cfg);
+        assert_eq!(report.errors, 4, "{:?}", report.availability);
+        for path in slurm_v0_paths() {
+            assert_eq!(report.availability[&path].availability(), 0.0, "{path}");
+        }
+    }
+
     #[test]
     fn no_caches_at_all_hammers_the_daemon() {
         let (server, clock, ctx) = site(false);
@@ -380,6 +480,7 @@ mod tests {
             iterations: 4,
             paths: vec!["/api/system_status".to_string()],
             client_fresh_secs: None,
+            bearer: Default::default(),
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.network_fetches, 12);

@@ -21,6 +21,7 @@ pub mod myjobs;
 pub mod nodeoverview;
 pub mod observatory;
 pub mod recent_jobs;
+pub mod slurmrest;
 pub mod storage;
 pub mod system_status;
 pub mod updates;
@@ -101,6 +102,8 @@ pub fn register_all(router: &mut Router, ctx: &DashboardContext) {
     // The admin observatory: stored traces, self-metrics history, and the
     // SLO/breaker/profiler summary behind the `/observatory` page.
     observatory::register(router, ctx.clone());
+    // The `/slurm/v0` structured family (token-scoped, snapshot-serialized).
+    slurmrest::register(router, ctx.clone());
 }
 
 /// The declared feature -> data-source table (the paper's Table 1).

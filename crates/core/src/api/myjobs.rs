@@ -71,7 +71,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
             &ctx.dbd,
             &SacctArgs {
                 user: Some(user.username.clone()),
-                accounts: accounts.clone(),
+                accounts: accounts.to_vec(),
                 states: state_filter.map(|s| vec![s]),
                 since,
                 until,
@@ -96,7 +96,7 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
             &ctx.ctld,
             &SqueueArgs {
                 user: Some(user.username.clone()),
-                accounts,
+                accounts: accounts.to_vec(),
                 partition: None,
             },
         )?;

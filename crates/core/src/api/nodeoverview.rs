@@ -6,8 +6,10 @@ use crate::colors::{node_color, utilization_color};
 use crate::ctx::DashboardContext;
 use hpcdash_http::{Request, Response, Router};
 use hpcdash_slurm::ctld::JobQuery;
-use hpcdash_slurmcli::{parse_show_node, show_node};
+use hpcdash_slurm::job::Job;
+use hpcdash_slurmcli::{node_fields, parse_show_node, show_node, ScontrolNode};
 use serde_json::json;
+use std::sync::Arc;
 
 pub const FEATURE: &str = "Node Overview";
 pub const ROUTES: &[&str] = &["/api/nodes/:name"];
@@ -26,88 +28,11 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
     };
     let key = format!("node:{name}");
     let outcome = ctx.cached_resilient(&key, ctx.cfg.cache.node_overview, || {
-        ctx.note_source(FEATURE, "scontrol show node (slurmctld)");
-        let text = show_node(&ctx.ctld, Some(&name))?;
-        if text.is_empty() {
-            // A bad node name is data, not a backend failure: returning Ok
-            // keeps retries, health errors, and the breaker out of 404s.
-            return Ok(json!({ "not_found": true }));
+        if ctx.cfg.features.structured_widgets {
+            load_structured(ctx, &name)
+        } else {
+            load_text(ctx, &name)
         }
-        let nodes = parse_show_node(&text).map_err(|e| format!("scontrol parse: {e}"))?;
-        let n = nodes.into_iter().next().ok_or("empty scontrol output")?;
-
-        // Running-jobs tab: every job on this node (name/user/partition are
-        // public queue data, as in squeue).
-        ctx.note_source(FEATURE, "squeue (slurmctld)");
-        let jobs = ctx.ctld.query_jobs(&JobQuery {
-            node: Some(name.clone()),
-            ..JobQuery::default()
-        });
-
-        let cpu_frac = if n.cpu_total > 0 {
-            n.cpu_alloc as f64 / n.cpu_total as f64
-        } else {
-            0.0
-        };
-        let mem_frac = if n.real_memory_mb > 0 {
-            n.alloc_memory_mb as f64 / n.real_memory_mb as f64
-        } else {
-            0.0
-        };
-        let gpu_usage = n.gres_used.as_deref().and_then(parse_gres_count);
-        let gpu_total = n.gres.as_deref().and_then(parse_gres_count);
-
-        Ok(json!({
-            "status_card": {
-                "name": n.name,
-                "state": n.state.to_slurm(),
-                "color": node_color(n.state),
-                "last_busy": n.last_busy.map(|t| t.to_slurm()),
-                "reason": n.reason,
-            },
-            "resource_card": {
-                "cpu": {
-                    "alloc": n.cpu_alloc,
-                    "total": n.cpu_total,
-                    "percent": (cpu_frac * 1000.0).round() / 10.0,
-                    "color": utilization_color(cpu_frac),
-                },
-                "memory": {
-                    "alloc_mb": n.alloc_memory_mb,
-                    "total_mb": n.real_memory_mb,
-                    "percent": (mem_frac * 1000.0).round() / 10.0,
-                    "color": utilization_color(mem_frac),
-                },
-                "gpu": match (gpu_usage, gpu_total) {
-                    (Some(used), Some(total)) if total > 0 => {
-                        let frac = used as f64 / total as f64;
-                        json!({
-                            "alloc": used,
-                            "total": total,
-                            "percent": (frac * 1000.0).round() / 10.0,
-                            "color": utilization_color(frac),
-                        })
-                    }
-                    _ => serde_json::Value::Null,
-                },
-            },
-            // Details tab: the raw scontrol fields (paper: "pulled directly
-            // from Slurm's scontrol show node command").
-            "details": n.raw,
-            "running_jobs": jobs
-                .iter()
-                .map(|j| json!({
-                    "id": j.display_id(),
-                    "name": j.req.name,
-                    "user": j.req.user,
-                    "partition": j.req.partition,
-                    "state": j.state.to_slurm(),
-                    "alloc_cpus": j.req.cpus_per_node,
-                    "alloc_mem_mb": j.req.mem_mb_per_node,
-                    "overview_url": format!("/jobs/{}", j.display_id()),
-                }))
-                .collect::<Vec<_>>(),
-        }))
     });
     let served = match &outcome {
         crate::ctx::SourceOutcome::Fresh(v) => Some(v),
@@ -118,6 +43,143 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
         return Response::not_found(&format!("node {name} not found"));
     }
     super::respond(outcome)
+}
+
+/// The stock loader: render `scontrol show node` text and parse it back.
+fn load_text(ctx: &DashboardContext, name: &str) -> Result<serde_json::Value, String> {
+    ctx.note_source(FEATURE, "scontrol show node (slurmctld)");
+    let text = show_node(&ctx.ctld, Some(name))?;
+    if text.is_empty() {
+        // A bad node name is data, not a backend failure: returning Ok
+        // keeps retries, health errors, and the breaker out of 404s.
+        return Ok(json!({ "not_found": true }));
+    }
+    let nodes = parse_show_node(&text).map_err(|e| format!("scontrol parse: {e}"))?;
+    let n = nodes.into_iter().next().ok_or("empty scontrol output")?;
+
+    // Running-jobs tab: every job on this node (name/user/partition are
+    // public queue data, as in squeue).
+    ctx.note_source(FEATURE, "squeue (slurmctld)");
+    let jobs = ctx.ctld.query_jobs(&JobQuery {
+        node: Some(name.to_string()),
+        ..JobQuery::default()
+    });
+    Ok(payload(&n, &jobs))
+}
+
+/// The `structured_widgets` opt-in: the same payload straight from the
+/// snapshot. `node_fields` supplies the details tab as the exact token map
+/// `scontrol show node` would have rendered (property-tested in slurmcli),
+/// so the two paths serve identical JSON. `scontrol_node` error faults
+/// still fail this loader, matching the text path's chaos behaviour.
+fn load_structured(ctx: &DashboardContext, name: &str) -> Result<serde_json::Value, String> {
+    ctx.note_source(FEATURE, "scontrol show node (slurmctld)");
+    if ctx.ctld.faults().is_armed() {
+        let check = ctx.ctld.faults().check("scontrol_node");
+        check.burn();
+        if let Some(msg) = check.error() {
+            return Err(msg.to_string());
+        }
+    }
+    let snap = ctx.ctld.snapshot();
+    let Some(node) = snap.nodes.iter().find(|n| n.name == name) else {
+        return Ok(json!({ "not_found": true }));
+    };
+    let raw = node_fields(node);
+    let view = ScontrolNode {
+        name: node.name.clone(),
+        state: node.state(),
+        cpu_alloc: node.alloc.cpus,
+        cpu_total: node.cpus,
+        cpu_load: node.cpu_load,
+        real_memory_mb: node.real_memory_mb,
+        alloc_memory_mb: node.alloc.mem_mb,
+        gres: raw.get("Gres").cloned(),
+        gres_used: raw.get("GresUsed").cloned(),
+        features: node.features.clone(),
+        partitions: node.partitions.clone(),
+        os: node.os.clone(),
+        boot_time: Some(node.boot_time),
+        last_busy: Some(node.last_busy),
+        reason: raw.get("Reason").cloned(),
+        raw,
+    };
+    ctx.note_source(FEATURE, "squeue (slurmctld)");
+    let jobs: Vec<Arc<Job>> = snap
+        .jobs
+        .iter()
+        .filter(|j| j.nodes.iter().any(|n| n == name))
+        .cloned()
+        .collect();
+    Ok(payload(&view, &jobs))
+}
+
+/// The response both loaders share — one shape, two provenances.
+fn payload(n: &ScontrolNode, jobs: &[Arc<Job>]) -> serde_json::Value {
+    let cpu_frac = if n.cpu_total > 0 {
+        n.cpu_alloc as f64 / n.cpu_total as f64
+    } else {
+        0.0
+    };
+    let mem_frac = if n.real_memory_mb > 0 {
+        n.alloc_memory_mb as f64 / n.real_memory_mb as f64
+    } else {
+        0.0
+    };
+    let gpu_usage = n.gres_used.as_deref().and_then(parse_gres_count);
+    let gpu_total = n.gres.as_deref().and_then(parse_gres_count);
+
+    json!({
+        "status_card": {
+            "name": n.name,
+            "state": n.state.to_slurm(),
+            "color": node_color(n.state),
+            "last_busy": n.last_busy.map(|t| t.to_slurm()),
+            "reason": n.reason,
+        },
+        "resource_card": {
+            "cpu": {
+                "alloc": n.cpu_alloc,
+                "total": n.cpu_total,
+                "percent": (cpu_frac * 1000.0).round() / 10.0,
+                "color": utilization_color(cpu_frac),
+            },
+            "memory": {
+                "alloc_mb": n.alloc_memory_mb,
+                "total_mb": n.real_memory_mb,
+                "percent": (mem_frac * 1000.0).round() / 10.0,
+                "color": utilization_color(mem_frac),
+            },
+            "gpu": match (gpu_usage, gpu_total) {
+                (Some(used), Some(total)) if total > 0 => {
+                    let frac = used as f64 / total as f64;
+                    json!({
+                        "alloc": used,
+                        "total": total,
+                        "percent": (frac * 1000.0).round() / 10.0,
+                        "color": utilization_color(frac),
+                    })
+                }
+                _ => serde_json::Value::Null,
+            },
+        },
+        // Details tab: the raw scontrol fields (paper: "pulled directly
+        // from Slurm's scontrol show node command").
+        "details": n.raw,
+        "running_jobs": jobs
+            .iter()
+            .map(|j| json!({
+                "id": j.display_id(),
+                "name": j.req.name,
+                "user": j.req.user,
+                "partition": j.req.partition,
+                "state": j.state.to_slurm(),
+                "alloc_cpus": j.req.cpus_per_node,
+                "alloc_mem_mb": j.req.mem_mb_per_node,
+                "overview_url": format!("/jobs/{}", j.display_id()),
+            }))
+            .collect::<Vec<_>>(),
+    })
 }
 
 /// Count trailing `:N` of a gres string like `gpu:a100:4`.
@@ -166,6 +228,24 @@ mod tests {
     fn unknown_node_is_404() {
         let ctx = test_ctx();
         assert_eq!(handle(&ctx, &request("zzz")).status, 404);
+    }
+
+    #[test]
+    fn structured_path_matches_text_path_without_parsing() {
+        let ctx = test_ctx();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 8))
+            .unwrap();
+        ctx.ctld.tick();
+        let text = handle(&ctx, &request("a001")).body_json().unwrap();
+
+        let sctx = crate::api::activejobs::tests::structured_twin(&ctx);
+        let parses = hpcdash_slurmcli::parse_call_count();
+        let structured = handle(&sctx, &request("a001")).body_json().unwrap();
+        assert_eq!(structured, text, "flag changes the path, not the payload");
+        assert_eq!(hpcdash_slurmcli::parse_call_count(), parses);
+        // not_found semantics survive the structured path too.
+        assert_eq!(handle(&sctx, &request("zzz")).status, 404);
     }
 
     #[test]

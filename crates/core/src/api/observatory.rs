@@ -127,6 +127,34 @@ fn phase_rows(profile: &hpcdash_obs::PhaseProfiler) -> Vec<Value> {
         .collect()
 }
 
+/// The act-as audit table: every admin→target identity switch recorded by
+/// `hpcdash_act_as_total`, whether it came through the `X-Act-As` header or
+/// an `admin-act-as` token on `/slurm/v0`.
+fn act_as_rows(ctx: &DashboardContext) -> Vec<Value> {
+    let mut rows = Vec::new();
+    for s in ctx.obs.gather() {
+        if s.name != "hpcdash_act_as_total" {
+            continue;
+        }
+        let SampleValue::Counter(v) = s.value else {
+            continue;
+        };
+        let label = |key: &str| {
+            s.labels
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        rows.push(json!({
+            "admin": label("admin"),
+            "target": label("target"),
+            "count": v,
+        }));
+    }
+    rows
+}
+
 /// The `/api/observatory` payload: everything the page's widgets need in
 /// one round trip.
 pub(crate) fn summary_payload(ctx: &DashboardContext) -> Value {
@@ -170,6 +198,7 @@ pub(crate) fn summary_payload(ctx: &DashboardContext) -> Value {
         .collect();
     json!({
         "slo": slo_rows(ctx),
+        "act_as": act_as_rows(ctx),
         "breakers": breakers,
         "phases": Value::Object(phases),
         "traces": {
@@ -376,6 +405,25 @@ mod tests {
             "tick profiled: {phases:?}"
         );
         assert!(body["trace_sink"]["capacity"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn summary_surfaces_act_as_audit() {
+        let ctx = admin_ctx();
+        crate::auth::note_act_as(&ctx, "root", "alice");
+        crate::auth::note_act_as(&ctx, "root", "alice");
+        crate::auth::note_act_as(&ctx, "root", "bob");
+        let body = handle_summary(&ctx, &get("/api/observatory", "root"))
+            .body_json()
+            .unwrap();
+        let rows = body["act_as"].as_array().unwrap().clone();
+        assert_eq!(rows.len(), 2, "{rows:?}");
+        let alice = rows
+            .iter()
+            .find(|r| r["target"] == "alice")
+            .expect("alice row");
+        assert_eq!(alice["admin"], "root");
+        assert_eq!(alice["count"], 2);
     }
 
     #[test]

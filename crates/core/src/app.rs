@@ -513,11 +513,11 @@ mod tests {
         // push stream) + 3 admin actions + 2 telemetry routes (live strip +
         // per-job series) + 6 observability routes (/api/metrics,
         // /api/health, /api/observatory, /api/traces, /api/traces/:id,
-        // /api/obs/series) + 8 pages (incl. /observatory) + 3 assets +
-        // healthz.
+        // /api/obs/series) + 9 `/slurm/v0` routes (6 reads + mint + list +
+        // revoke) + 8 pages (incl. /observatory) + 3 assets + healthz.
         assert_eq!(
             patterns.len(),
-            13 + 3 + 3 + 2 + 6 + 8 + 3 + 1,
+            13 + 3 + 3 + 2 + 6 + 9 + 8 + 3 + 1,
             "{patterns:?}"
         );
     }

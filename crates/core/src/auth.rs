@@ -4,19 +4,49 @@
 //! username; this dashboard reads it from `X-Remote-User`. Every route then
 //! restricts data to "the user, or allocations/groups the user is a part
 //! of". Admins (behind the `admin_view` feature flag) may act as others via
-//! `X-Act-As`, the permission-based-accounting extension from §9.
+//! `X-Act-As`, the permission-based-accounting extension from §9 — every
+//! identity switch is audited in `hpcdash_act_as_total{admin,target}`.
+//!
+//! Since the `/slurm/v0` token family landed, the privacy filter is no
+//! longer its own code path: a viewer's rights are expressed as the same
+//! [`ScopeSet`] tokens carry ([`CurrentUser::scope_profile`]), and
+//! [`CurrentUser::may_view_job_of`] just evaluates that profile. A token
+//! can never see more than the widget routes would show its subject,
+//! because both answer through one predicate.
 
 use crate::ctx::DashboardContext;
 use hpcdash_http::{Request, Response};
+use hpcdash_restapi::ScopeSet;
+use std::sync::OnceLock;
 
 /// The authenticated viewer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CurrentUser {
     pub username: String,
     pub is_admin: bool,
+    /// Association lookup memoized for the life of this request — satellite
+    /// routes call `visible_accounts` several times while building one
+    /// response, and each call used to re-query slurmctld.
+    accounts: OnceLock<Vec<String>>,
 }
 
+impl PartialEq for CurrentUser {
+    fn eq(&self, other: &CurrentUser) -> bool {
+        self.username == other.username && self.is_admin == other.is_admin
+    }
+}
+
+impl Eq for CurrentUser {}
+
 impl CurrentUser {
+    pub fn new(username: impl Into<String>, is_admin: bool) -> CurrentUser {
+        CurrentUser {
+            username: username.into(),
+            is_admin,
+            accounts: OnceLock::new(),
+        }
+    }
+
     /// Resolve identity from a request, or produce the HTTP error to send.
     pub fn from_request(ctx: &DashboardContext, req: &Request) -> Result<CurrentUser, Response> {
         let Some(remote) = req.remote_user() else {
@@ -28,19 +58,36 @@ impl CurrentUser {
         let is_admin = ctx.cfg.is_admin(remote);
         // Admins may view as another user; everyone else is themselves.
         let username = match (is_admin, req.header("x-act-as")) {
-            (true, Some(other)) if !other.is_empty() => other.to_string(),
+            (true, Some(other)) if !other.is_empty() => {
+                if other != remote {
+                    note_act_as(ctx, remote, other);
+                }
+                other.to_string()
+            }
             _ => remote.to_string(),
         };
-        Ok(CurrentUser { username, is_admin })
+        Ok(CurrentUser::new(username, is_admin))
     }
 
-    /// The accounts this user may see (their own allocations).
-    pub fn visible_accounts(&self, ctx: &DashboardContext) -> Vec<String> {
-        ctx.ctld
-            .query_assoc(Some(&self.username))
-            .into_iter()
-            .map(|r| r.account.name)
-            .collect()
+    /// The accounts this user may see (their own allocations). Resolved
+    /// against slurmctld once per request, then reused.
+    pub fn visible_accounts(&self, ctx: &DashboardContext) -> &[String] {
+        self.accounts.get_or_init(|| {
+            ctx.ctld
+                .query_assoc(Some(&self.username))
+                .into_iter()
+                .map(|r| r.account.name)
+                .collect()
+        })
+    }
+
+    /// This viewer's rights as the scope vocabulary the `/slurm/v0` token
+    /// family uses: own jobs, one `read-account` per allocation, and the
+    /// cluster-wide scopes for admins. Minted tokens are validated against
+    /// this same profile, which is what makes token visibility provably a
+    /// subset of widget visibility.
+    pub fn scope_profile(&self, ctx: &DashboardContext) -> ScopeSet {
+        ScopeSet::profile_for(self.visible_accounts(ctx), self.is_admin)
     }
 
     /// May this user inspect `job_user`'s job details?
@@ -50,12 +97,21 @@ impl CurrentUser {
         job_account: &str,
         ctx: &DashboardContext,
     ) -> bool {
-        if self.is_admin || self.username == job_user {
-            return true;
-        }
-        // Group visibility: same allocation.
-        self.visible_accounts(ctx).iter().any(|a| a == job_account)
+        self.scope_profile(ctx)
+            .allows_job(&self.username, job_user, job_account, "")
     }
+}
+
+/// Audit an admin viewing as somebody else, wherever the switch came from
+/// (the `X-Act-As` header or an `admin-act-as` token scope). Surfaced on
+/// `/observatory`.
+pub(crate) fn note_act_as(ctx: &DashboardContext, admin: &str, target: &str) {
+    ctx.obs
+        .counter(
+            "hpcdash_act_as_total",
+            &[("admin", admin), ("target", target)],
+        )
+        .inc();
 }
 
 #[cfg(test)]
@@ -86,46 +142,106 @@ mod tests {
     #[test]
     fn act_as_requires_admin() {
         let ctx = test_ctx();
-        // alice is not an admin: X-Act-As ignored.
+        // alice is not an admin: X-Act-As ignored, and no audit line.
         let req = Request::new(Method::Get, "/x")
             .with_header("X-Remote-User", "alice")
             .with_header("X-Act-As", "bob");
         let user = CurrentUser::from_request(&ctx, &req).unwrap();
         assert_eq!(user.username, "alice");
+        assert_eq!(
+            ctx.obs
+                .counter(
+                    "hpcdash_act_as_total",
+                    &[("admin", "alice"), ("target", "bob")]
+                )
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn act_as_switch_is_audited() {
+        let mut cfg = crate::config::DashboardConfig::generic("Test");
+        cfg.admins = vec!["root".to_string()];
+        cfg.features.admin_view = true;
+        let ctx = crate::ctx::tests::test_ctx_with(cfg);
+        let req = Request::new(Method::Get, "/x")
+            .with_header("X-Remote-User", "root")
+            .with_header("X-Act-As", "alice");
+        let user = CurrentUser::from_request(&ctx, &req).unwrap();
+        assert_eq!(user.username, "alice");
+        assert!(user.is_admin);
+        assert_eq!(
+            ctx.obs
+                .counter(
+                    "hpcdash_act_as_total",
+                    &[("admin", "root"), ("target", "alice")]
+                )
+                .get(),
+            1
+        );
+        // Acting as yourself is not a switch.
+        let req = Request::new(Method::Get, "/x")
+            .with_header("X-Remote-User", "root")
+            .with_header("X-Act-As", "root");
+        CurrentUser::from_request(&ctx, &req).unwrap();
+        assert_eq!(
+            ctx.obs
+                .counter(
+                    "hpcdash_act_as_total",
+                    &[("admin", "root"), ("target", "root")]
+                )
+                .get(),
+            0
+        );
     }
 
     #[test]
     fn visible_accounts_filter() {
         let ctx = test_ctx();
-        let alice = CurrentUser {
-            username: "alice".to_string(),
-            is_admin: false,
-        };
-        assert_eq!(alice.visible_accounts(&ctx), vec!["physics".to_string()]);
-        let stranger = CurrentUser {
-            username: "mallory".to_string(),
-            is_admin: false,
-        };
+        let alice = CurrentUser::new("alice", false);
+        assert_eq!(alice.visible_accounts(&ctx), ["physics".to_string()]);
+        let stranger = CurrentUser::new("mallory", false);
         assert!(stranger.visible_accounts(&ctx).is_empty());
+    }
+
+    #[test]
+    fn visible_accounts_resolve_once_per_request() {
+        let ctx = test_ctx();
+        let alice = CurrentUser::new("alice", false);
+        let before = ctx.ctld.stats().count_of("scontrol_assoc");
+        alice.visible_accounts(&ctx);
+        alice.may_view_job_of("bob", "physics", &ctx);
+        alice.may_view_job_of("carol", "chem", &ctx);
+        let after = ctx.ctld.stats().count_of("scontrol_assoc");
+        assert_eq!(after - before, 1, "one association query per request");
     }
 
     #[test]
     fn job_visibility_rules() {
         let ctx = test_ctx();
-        let alice = CurrentUser {
-            username: "alice".to_string(),
-            is_admin: false,
-        };
+        let alice = CurrentUser::new("alice", false);
         assert!(alice.may_view_job_of("alice", "physics", &ctx), "own job");
         assert!(alice.may_view_job_of("bob", "physics", &ctx), "group job");
         assert!(
             !alice.may_view_job_of("mallory", "secret", &ctx),
             "unrelated job"
         );
-        let admin = CurrentUser {
-            username: "root".to_string(),
-            is_admin: true,
-        };
+        let admin = CurrentUser::new("root", true);
         assert!(admin.may_view_job_of("anyone", "anything", &ctx));
+    }
+
+    #[test]
+    fn scope_profile_mirrors_privacy_filter() {
+        let ctx = test_ctx();
+        let alice = CurrentUser::new("alice", false);
+        let profile = alice.scope_profile(&ctx);
+        assert!(profile.allows_job("alice", "alice", "physics", ""));
+        assert!(profile.allows_job("alice", "bob", "physics", ""));
+        assert!(!profile.allows_job("alice", "mallory", "secret", ""));
+        assert!(!profile.has_cluster());
+        let admin = CurrentUser::new("root", true);
+        assert!(admin.scope_profile(&ctx).has_cluster());
+        assert!(admin.scope_profile(&ctx).has_act_as());
     }
 }

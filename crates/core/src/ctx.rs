@@ -8,6 +8,7 @@ use hpcdash_news::NewsFeed;
 use hpcdash_obs::health::HealthBoard;
 use hpcdash_obs::{Registry, Span};
 use hpcdash_push::{AccountResolver, Hub, HubConfig};
+use hpcdash_restapi::{RestCache, TokenStore};
 use hpcdash_simtime::{SharedClock, Timestamp};
 use hpcdash_slurm::ctld::Slurmctld;
 use hpcdash_slurm::dbd::Slurmdbd;
@@ -48,6 +49,12 @@ pub struct DashboardContext {
     /// whose driver feeds a shared daemon inject it via
     /// [`DashboardContext::with_telemetry`].
     pub telemetry: Arc<TelemetryD>,
+    /// API tokens for the `/slurm/v0` structured family: minted by admins,
+    /// presented as bearers, audited via `hpcdash_api_token_*` counters.
+    pub tokens: Arc<TokenStore>,
+    /// Serialized `/slurm/v0` response bytes keyed on snapshot seq — the
+    /// steady-state fast path, and the stale fallback under faults.
+    pub rest_cache: Arc<RestCache>,
     /// route name -> data sources it touched on cache-cold loads.
     sources: Arc<Mutex<BTreeMap<String, BTreeSet<String>>>>,
 }
@@ -189,9 +196,15 @@ impl DashboardContext {
                 half_open_probes: cfg.resilience.breaker_half_open_probes,
             },
         ));
+        // Token secrets come off the same site seed as the backoff jitter,
+        // so a given configuration mints a reproducible sequence.
+        let tokens = Arc::new(TokenStore::new(cfg.resilience.seed));
+        tokens.set_registry(&obs);
         DashboardContext {
             cfg: Arc::new(cfg),
             cache: Arc::new(CachedFetcher::new(clock.clone())),
+            tokens,
+            rest_cache: Arc::new(RestCache::new()),
             telemetry,
             obs,
             health: Arc::new(HealthBoard::new()),

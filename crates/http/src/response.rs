@@ -77,9 +77,11 @@ impl Response {
     }
 
     /// Error responses are JSON too, so the frontend can render the failing
-    /// widget's error card without special cases.
+    /// widget's error card without special cases. The body repeats the
+    /// status code so API consumers (the `/slurm/v0` family in particular)
+    /// can log one self-contained object.
     pub fn error(status: u16, msg: &str) -> Response {
-        let body = serde_json::json!({ "error": msg });
+        let body = serde_json::json!({ "error": msg, "status": status });
         Response::new(status)
             .with_header("Content-Type", "application/json")
             .with_body(serde_json::to_vec(&body).expect("json serializes"))
@@ -171,7 +173,14 @@ mod tests {
         let r = Response::forbidden("not your job");
         assert_eq!(r.status, 403);
         assert!(!r.is_success());
-        assert_eq!(r.body_json().unwrap()["error"], "not your job");
+        assert_eq!(r.header("content-type"), Some("application/json"));
+        let body = r.body_json().unwrap();
+        assert_eq!(body["error"], "not your job");
+        assert_eq!(body["status"], 403, "body repeats the status code");
+        let r = Response::unauthorized("who are you");
+        assert_eq!(r.body_json().unwrap()["status"], 401);
+        let r = Response::not_found("nope");
+        assert_eq!(r.body_json().unwrap()["status"], 404);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Structured JSON straight from snapshot structs — the whole point of the
+//! `/slurm/v0` family. Nothing in this module renders command text or
+//! parses anything; every body is built from the immutable
+//! [`ClusterSnapshot`] the epoch cell published. Field names follow
+//! `slurmrestd`'s `openapi/v0.0.x` vocabulary where the simulator has an
+//! equivalent (`job_id`, `user_name`, `node_count`, `state_reason`, ...),
+//! so external consumers written against real Slurm mostly port over.
+
+use hpcdash_slurm::ctld::AssocRecord;
+use hpcdash_slurm::job::Job;
+use hpcdash_slurm::node::Node;
+use hpcdash_slurm::snapshot::ClusterSnapshot;
+use serde_json::{json, Value};
+
+/// The response envelope every endpoint shares: which plugin emitted it,
+/// which cluster, and which publication epoch the data came from. `seq`
+/// makes staleness observable to clients (and testable).
+pub fn meta(snap: &ClusterSnapshot) -> Value {
+    json!({
+        "plugin": { "type": "hpcdash/v0", "name": "snapshot" },
+        "cluster": snap.name.as_ref(),
+        "snapshot_seq": snap.seq,
+        "time": snap.now.as_secs(),
+    })
+}
+
+/// One job, `slurmrestd`-shaped.
+pub fn job_value(job: &Job, snap: &ClusterSnapshot) -> Value {
+    let now = snap.now;
+    json!({
+        "job_id": job.id.0,
+        "name": job.req.name,
+        "user_name": job.req.user,
+        "account": job.req.account,
+        "partition": job.req.partition,
+        "qos": job.req.qos,
+        "job_state": job.state.to_slurm(),
+        "state_reason": job.reason.map(|r| r.to_slurm()),
+        "priority": job.priority,
+        "node_count": job.req.nodes,
+        "cpus": job.alloc_cpus(),
+        "memory_per_node_mb": job.req.mem_mb_per_node,
+        "gpus_per_node": job.req.gpus_per_node,
+        "nodes": job.nodes,
+        "array_job_id": job.array.map(|a| a.array_job_id.0),
+        "array_task_id": job.array.map(|a| a.task_id),
+        "submit_time": job.submit_time.as_secs(),
+        "start_time": job.start_time.map(|t| t.as_secs()),
+        "end_time": job.end_time.map(|t| t.as_secs()),
+        "elapsed_secs": job.elapsed_secs(now),
+        "time_limit_secs": job.req.time_limit.as_secs(),
+    })
+}
+
+/// One node.
+pub fn node_value(node: &Node) -> Value {
+    json!({
+        "name": node.name,
+        "state": node.state().to_slurm(),
+        "cpus": node.cpus,
+        "alloc_cpus": node.alloc.cpus,
+        "cpu_load": node.cpu_load,
+        "real_memory_mb": node.real_memory_mb,
+        "alloc_memory_mb": node.alloc.mem_mb,
+        "gpus": node.gpus,
+        "alloc_gpus": node.alloc.gpus,
+        "gpu_type": node.gpu_type,
+        "features": node.features,
+        "partitions": node.partitions,
+        "operating_system": node.os,
+        "reason": node.reason,
+        "boot_time": node.boot_time.as_secs(),
+        "last_busy": node.last_busy.as_secs(),
+    })
+}
+
+/// One partition (by snapshot index, so member totals come from the
+/// precomputed `partition_nodes` groups).
+pub fn partition_value(snap: &ClusterSnapshot, idx: usize) -> Value {
+    let p = &snap.partitions[idx];
+    let mut total_cpus = 0u64;
+    let mut total_nodes = 0u64;
+    for n in snap.nodes_of_partition(idx) {
+        total_cpus += u64::from(n.cpus);
+        total_nodes += 1;
+    }
+    json!({
+        "name": p.name,
+        "state": p.state.to_slurm(),
+        "nodes": p.nodes,
+        "node_count": total_nodes,
+        "total_cpus": total_cpus,
+        "max_time_secs": p.max_time.as_secs(),
+        "default_time_secs": p.default_time.as_secs(),
+        "priority_tier": p.priority_tier,
+        "is_default": p.is_default,
+        "max_nodes_per_job": p.max_nodes_per_job,
+    })
+}
+
+/// One association record.
+pub fn assoc_value(rec: &AssocRecord) -> Value {
+    json!({
+        "account": rec.account.name,
+        "description": rec.account.description,
+        "parent": rec.account.parent,
+        "members": rec.members,
+        "limits": {
+            "grp_cpu": rec.account.grp_cpu_limit,
+            "grp_gpu_mins": rec.account.grp_gpu_mins_limit,
+        },
+        "usage": {
+            "cpus_running": rec.usage.cpus_running,
+            "cpus_queued": rec.usage.cpus_queued,
+            "cpu_seconds": rec.usage.cpu_seconds,
+            "gpu_seconds": rec.usage.gpu_seconds,
+        },
+    })
+}
+
+/// `/slurm/v0/jobs` (and `/jobs/:id`): the given positions into
+/// `snap.jobs`, in ascending id order.
+pub fn jobs_body(snap: &ClusterSnapshot, positions: &[u32]) -> String {
+    let jobs: Vec<Value> = positions
+        .iter()
+        .map(|&p| job_value(&snap.jobs[p as usize], snap))
+        .collect();
+    json!({ "meta": meta(snap), "jobs": jobs }).to_string()
+}
+
+/// `/slurm/v0/nodes`: all nodes, or the subset at `positions` (a
+/// partition-scoped view).
+pub fn nodes_body(snap: &ClusterSnapshot, positions: Option<&[u32]>) -> String {
+    let nodes: Vec<Value> = match positions {
+        None => snap.nodes.iter().map(node_value).collect(),
+        Some(ps) => ps
+            .iter()
+            .map(|&p| node_value(&snap.nodes[p as usize]))
+            .collect(),
+    };
+    json!({ "meta": meta(snap), "nodes": nodes }).to_string()
+}
+
+/// `/slurm/v0/partitions`: the partitions at `indices`.
+pub fn partitions_body(snap: &ClusterSnapshot, indices: &[usize]) -> String {
+    let partitions: Vec<Value> = indices.iter().map(|&i| partition_value(snap, i)).collect();
+    json!({ "meta": meta(snap), "partitions": partitions }).to_string()
+}
+
+/// `/slurm/v0/associations`: the records at `indices`.
+pub fn assoc_body(snap: &ClusterSnapshot, indices: &[usize]) -> String {
+    let associations: Vec<Value> = indices
+        .iter()
+        .map(|&i| assoc_value(&snap.assoc[i]))
+        .collect();
+    json!({ "meta": meta(snap), "associations": associations }).to_string()
+}
+
+/// `/slurm/v0/diag`: snapshot-wide statistics plus whatever server-side
+/// `extra` the host wires in (RPC counters, token counts).
+pub fn diag_body(snap: &ClusterSnapshot, extra: &Value) -> String {
+    json!({
+        "meta": meta(snap),
+        "statistics": {
+            "jobs_pending": snap.counts.pending,
+            "jobs_running": snap.counts.running,
+            "jobs_suspended": snap.counts.suspended,
+            "job_count": snap.jobs.len(),
+            "node_count": snap.nodes.len(),
+            "partition_count": snap.partitions.len(),
+            "association_count": snap.assoc.len(),
+            "server": extra,
+        },
+    })
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcdash_simtime::Timestamp;
+    use hpcdash_slurm::assoc::{Account, AccountUsage};
+    use hpcdash_slurm::job::{JobId, JobRequest, JobState};
+    use hpcdash_slurm::partition::Partition;
+    use std::sync::Arc;
+
+    fn snap_with_one_of_each() -> ClusterSnapshot {
+        let req = JobRequest::simple("alice", "physics", "cpu", 4);
+        let job = Job {
+            id: JobId(10),
+            array: None,
+            req,
+            state: JobState::Running,
+            reason: None,
+            priority: 500,
+            submit_time: Timestamp(100),
+            eligible_time: Timestamp(100),
+            start_time: Some(Timestamp(200)),
+            end_time: None,
+            nodes: vec!["a001".to_string()],
+            exit_code: None,
+            stats: None,
+            stdout_path: String::new(),
+            stderr_path: String::new(),
+        };
+        let node = Node::new("a001", 16, 64_000, 0);
+        let part = Partition::new("cpu").with_nodes(vec!["a001".to_string()]);
+        let assoc = AssocRecord {
+            account: Account::new("physics"),
+            usage: AccountUsage::default(),
+            members: vec!["alice".to_string()],
+        };
+        ClusterSnapshot::build(
+            3,
+            Timestamp(1_000),
+            Arc::from("t"),
+            vec![Arc::new(job)],
+            vec![node],
+            vec![part],
+            vec![assoc],
+        )
+    }
+
+    #[test]
+    fn jobs_body_is_slurmrestd_shaped() {
+        let snap = snap_with_one_of_each();
+        let body: Value = serde_json::from_str(&jobs_body(&snap, &[0])).unwrap();
+        assert_eq!(body["meta"]["snapshot_seq"], 3);
+        assert_eq!(body["meta"]["cluster"], "t");
+        let j = &body["jobs"][0];
+        assert_eq!(j["job_id"], 10);
+        assert_eq!(j["user_name"], "alice");
+        assert_eq!(j["account"], "physics");
+        assert_eq!(j["job_state"], "RUNNING");
+        assert_eq!(j["elapsed_secs"], 800, "now=1000, start=200");
+        assert_eq!(j["nodes"][0], "a001");
+        assert_eq!(j["state_reason"], Value::Null);
+    }
+
+    #[test]
+    fn nodes_body_full_and_subset() {
+        let snap = snap_with_one_of_each();
+        let all: Value = serde_json::from_str(&nodes_body(&snap, None)).unwrap();
+        assert_eq!(all["nodes"].as_array().unwrap().len(), 1);
+        assert_eq!(all["nodes"][0]["name"], "a001");
+        assert_eq!(all["nodes"][0]["cpus"], 16);
+        let none: Value = serde_json::from_str(&nodes_body(&snap, Some(&[]))).unwrap();
+        assert_eq!(none["nodes"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn partition_body_aggregates_member_nodes() {
+        let snap = snap_with_one_of_each();
+        let body: Value = serde_json::from_str(&partitions_body(&snap, &[0])).unwrap();
+        let p = &body["partitions"][0];
+        assert_eq!(p["name"], "cpu");
+        assert_eq!(p["node_count"], 1);
+        assert_eq!(p["total_cpus"], 16);
+    }
+
+    #[test]
+    fn assoc_and_diag_bodies() {
+        let snap = snap_with_one_of_each();
+        let body: Value = serde_json::from_str(&assoc_body(&snap, &[0])).unwrap();
+        assert_eq!(body["associations"][0]["account"], "physics");
+        assert_eq!(body["associations"][0]["members"][0], "alice");
+
+        let diag: Value =
+            serde_json::from_str(&diag_body(&snap, &json!({"tokens_active": 2}))).unwrap();
+        assert_eq!(diag["statistics"]["jobs_running"], 1);
+        assert_eq!(diag["statistics"]["node_count"], 1);
+        assert_eq!(diag["statistics"]["server"]["tokens_active"], 2);
+    }
+}

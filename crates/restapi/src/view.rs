@@ -1,0 +1,220 @@
+//! Scope → snapshot-index resolution, and the seq-keyed response cache.
+//!
+//! The hot path promises zero text render, zero parse, and zero state-mutex
+//! acquisitions. [`visible_job_positions`] delivers the first two by
+//! unioning the snapshot's precomputed per-user / per-account /
+//! per-partition indexes; [`RestCache`] makes the steady state cheaper
+//! still by keying serialized response bytes on the snapshot's publication
+//! sequence — until the cluster publishes a new epoch, a repeat request is
+//! a hash lookup and an `Arc` clone (this is the caching the Palmetto paper
+//! layers over its Slurm REST API).
+
+use crate::scope::ScopeSet;
+use hpcdash_slurm::snapshot::ClusterSnapshot;
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The job positions (into `snap.jobs`) these scopes may see, ascending.
+/// `None` means the scopes grant no job visibility at all — the caller
+/// answers 403, distinct from an empty-but-authorized list.
+pub fn visible_job_positions(
+    snap: &ClusterSnapshot,
+    scopes: &ScopeSet,
+    subject: &str,
+) -> Option<Vec<u32>> {
+    if !scopes.has_job_scope() {
+        return None;
+    }
+    if scopes.has_cluster() {
+        return Some((0..snap.jobs.len() as u32).collect());
+    }
+    let mut positions: BTreeSet<u32> = BTreeSet::new();
+    if scopes.contains(&crate::scope::Scope::ReadOwnJobs) {
+        if let Some(ps) = snap.by_user.get(subject) {
+            positions.extend(ps.iter().copied());
+        }
+    }
+    for acct in scopes.accounts() {
+        if let Some(ps) = snap.by_account.get(acct) {
+            positions.extend(ps.iter().copied());
+        }
+    }
+    for part in scopes.partitions() {
+        if let Some(ps) = snap.by_partition.get(part) {
+            positions.extend(ps.iter().copied());
+        }
+    }
+    Some(positions.into_iter().collect())
+}
+
+struct Entry {
+    seq: u64,
+    body: Arc<str>,
+}
+
+/// Response bytes keyed on `(endpoint view, snapshot seq)`. A new epoch
+/// invalidates implicitly — the seq comparison fails and the caller
+/// re-serializes. Old bodies are kept (overwritten in place) so a fault on
+/// the source can still serve the last-known-good bytes, mirroring the
+/// widget path's serve-stale contract.
+#[derive(Default)]
+pub struct RestCache {
+    entries: Mutex<HashMap<String, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RestCache {
+    pub fn new() -> RestCache {
+        RestCache::default()
+    }
+
+    /// The cached body for `key` if it was built from snapshot `seq`.
+    pub fn get(&self, key: &str, seq: u64) -> Option<Arc<str>> {
+        let entries = self.entries.lock();
+        match entries.get(key) {
+            Some(e) if e.seq == seq => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.body.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store the freshly serialized body for `key` at `seq`.
+    pub fn put(&self, key: &str, seq: u64, body: Arc<str>) {
+        self.entries
+            .lock()
+            .insert(key.to_string(), Entry { seq, body });
+    }
+
+    /// The last body stored for `key`, however old — the stale fallback
+    /// when the source is fault-injected down.
+    pub fn last_any(&self, key: &str) -> Option<(u64, Arc<str>)> {
+        self.entries
+            .lock()
+            .get(key)
+            .map(|e| (e.seq, e.body.clone()))
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::Scope;
+    use hpcdash_simtime::Timestamp;
+    use hpcdash_slurm::job::{Job, JobId, JobRequest, JobState};
+    use hpcdash_slurm::node::Node;
+    use hpcdash_slurm::partition::Partition;
+
+    fn job(id: u32, user: &str, account: &str, partition: &str) -> Arc<Job> {
+        let mut req = JobRequest::simple(user, account, partition, 1);
+        req.partition = partition.to_string();
+        Arc::new(Job {
+            id: JobId(id),
+            array: None,
+            req,
+            state: JobState::Pending,
+            reason: None,
+            priority: 0,
+            submit_time: Timestamp(0),
+            eligible_time: Timestamp(0),
+            start_time: None,
+            end_time: None,
+            nodes: Vec::new(),
+            exit_code: None,
+            stats: None,
+            stdout_path: String::new(),
+            stderr_path: String::new(),
+        })
+    }
+
+    fn snap() -> ClusterSnapshot {
+        ClusterSnapshot::build(
+            1,
+            Timestamp(0),
+            Arc::from("t"),
+            vec![
+                job(1, "alice", "physics", "cpu"),
+                job(2, "bob", "physics", "gpu"),
+                job(3, "carol", "chem", "gpu"),
+            ],
+            vec![Node::new("a001", 8, 32_000, 0)],
+            vec![Partition::new("cpu"), Partition::new("gpu")],
+            vec![],
+        )
+    }
+
+    fn set(scopes: impl IntoIterator<Item = Scope>) -> ScopeSet {
+        ScopeSet::new(scopes)
+    }
+
+    #[test]
+    fn positions_union_across_scopes() {
+        let s = snap();
+        assert_eq!(
+            visible_job_positions(&s, &set([Scope::ReadOwnJobs]), "alice"),
+            Some(vec![0])
+        );
+        assert_eq!(
+            visible_job_positions(&s, &set([Scope::ReadAccount("physics".into())]), "zed"),
+            Some(vec![0, 1])
+        );
+        assert_eq!(
+            visible_job_positions(&s, &set([Scope::ReadPartition("gpu".into())]), "zed"),
+            Some(vec![1, 2])
+        );
+        // Union dedupes: own ∪ account both contain alice's job.
+        assert_eq!(
+            visible_job_positions(
+                &s,
+                &set([Scope::ReadOwnJobs, Scope::ReadAccount("physics".into())]),
+                "alice"
+            ),
+            Some(vec![0, 1])
+        );
+        assert_eq!(
+            visible_job_positions(&s, &set([Scope::ReadCluster]), "zed"),
+            Some(vec![0, 1, 2])
+        );
+        // No job scope at all -> None (403), not empty (200).
+        assert_eq!(
+            visible_job_positions(&s, &set([Scope::AdminActAs]), "root"),
+            None
+        );
+        // Authorized but nothing visible -> empty, still 200.
+        assert_eq!(
+            visible_job_positions(&s, &set([Scope::ReadOwnJobs]), "mallory"),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn cache_is_seq_keyed_with_stale_fallback() {
+        let cache = RestCache::new();
+        assert!(cache.get("jobs|alice", 1).is_none());
+        cache.put("jobs|alice", 1, Arc::from("{\"v\":1}"));
+        assert_eq!(cache.get("jobs|alice", 1).unwrap().as_ref(), "{\"v\":1}");
+        // New epoch: miss, but the old body is still reachable as stale.
+        assert!(cache.get("jobs|alice", 2).is_none());
+        let (seq, body) = cache.last_any("jobs|alice").unwrap();
+        assert_eq!((seq, body.as_ref()), (1, "{\"v\":1}"));
+        cache.put("jobs|alice", 2, Arc::from("{\"v\":2}"));
+        assert_eq!(cache.get("jobs|alice", 2).unwrap().as_ref(), "{\"v\":2}");
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+}

@@ -16,8 +16,8 @@ pub mod squeue;
 
 pub use sacct::{parse_sacct, sacct, SacctArgs, SacctRecord, SACCT_FIELDS};
 pub use scontrol::{
-    parse_show_assoc, parse_show_job, parse_show_node, show_assoc, show_job, show_node, AssocRow,
-    ScontrolJob, ScontrolNode,
+    node_fields, parse_show_assoc, parse_show_job, parse_show_node, show_assoc, show_job,
+    show_node, AssocRow, ScontrolJob, ScontrolNode,
 };
 pub use seff::seff;
 pub use sinfo::{
@@ -25,8 +25,24 @@ pub use sinfo::{
     PartitionUsage, SinfoRow,
 };
 pub use squeue::{
-    parse_squeue, parse_squeue_long, squeue, squeue_long, SqueueArgs, SqueueLongRow, SqueueRow,
+    display_name, parse_squeue, parse_squeue_long, squeue, squeue_long, SqueueArgs, SqueueLongRow,
+    SqueueRow,
 };
+
+/// Total invocations of every public `parse_*` in this crate, however the
+/// text got to them. `/slurm/v0` tests and `bench_restapi` assert this
+/// stays flat across structured requests — the proof that the REST family
+/// really bypasses the command→text→parse boundary.
+static PARSE_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Snapshot of the global parse counter (monotonic, process-wide).
+pub fn parse_call_count() -> u64 {
+    PARSE_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+pub(crate) fn note_parse() {
+    PARSE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
 
 /// Apply a daemon's boundary faults to a rendered command output: an
 /// `Error` fault fails the command (the `Err` a real popen would surface),

@@ -167,6 +167,7 @@ pub fn render(jobs: &[Job], now: Timestamp) -> String {
 
 /// Parse parsable2 output back into records.
 pub fn parse_sacct(text: &str) -> Result<Vec<SacctRecord>, String> {
+    crate::note_parse();
     let mut lines = text.lines();
     let header = lines.next().unwrap_or_default();
     if header != SACCT_FIELDS.join("|") {

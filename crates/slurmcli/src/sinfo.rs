@@ -137,6 +137,7 @@ pub fn render_summary_snapshot(snap: &ClusterSnapshot) -> String {
 
 /// Parse the default summary back into rows.
 pub fn parse_sinfo_summary(text: &str) -> Result<Vec<SinfoRow>, String> {
+    crate::note_parse();
     let mut rows = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if i == 0 || line.trim().is_empty() {
@@ -261,6 +262,7 @@ pub fn compute_usage_snapshot(snap: &ClusterSnapshot) -> Vec<PartitionUsage> {
 
 /// Parse the usage format back into records.
 pub fn parse_sinfo_usage(text: &str) -> Result<Vec<PartitionUsage>, String> {
+    crate::note_parse();
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if i == 0 || line.trim().is_empty() {

@@ -134,6 +134,7 @@ pub fn render_long<J: std::borrow::Borrow<Job>>(jobs: &[J], now: Timestamp) -> S
 
 /// Parse long-format output.
 pub fn parse_squeue_long(text: &str) -> Result<Vec<SqueueLongRow>, String> {
+    crate::note_parse();
     let mut rows = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if i == 0 {
@@ -228,6 +229,7 @@ pub fn render<J: std::borrow::Borrow<Job>>(jobs: &[J], now: Timestamp) -> String
 
 /// Parse `squeue` output back into rows.
 pub fn parse_squeue(text: &str) -> Result<Vec<SqueueRow>, String> {
+    crate::note_parse();
     let mut rows = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if i == 0 {
@@ -269,8 +271,10 @@ pub fn parse_squeue(text: &str) -> Result<Vec<SqueueRow>, String> {
     Ok(rows)
 }
 
-/// Job names can contain whitespace; squeue columns cannot.
-fn sanitize(name: &str) -> String {
+/// Job names can contain whitespace; squeue columns cannot. Public so the
+/// structured widget path renders names exactly as a squeue round-trip
+/// would (the byte-parity the opt-in flag promises).
+pub fn display_name(name: &str) -> String {
     let cleaned: String = name
         .chars()
         .map(|c| if c.is_whitespace() { '_' } else { c })
@@ -280,6 +284,10 @@ fn sanitize(name: &str) -> String {
     } else {
         cleaned
     }
+}
+
+fn sanitize(name: &str) -> String {
+    display_name(name)
 }
 
 #[cfg(test)]

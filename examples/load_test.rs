@@ -73,6 +73,7 @@ fn main() {
                 "/api/jobtelemetry".to_string(),
             ],
             client_fresh_secs: if v.client_cache { Some(30) } else { None },
+            bearer: Default::default(),
         };
         let report = loadgen::run(&server.base_url(), site.scenario.clock.shared(), &cfg);
         let snap = site.scenario.ctld.stats().snapshot();

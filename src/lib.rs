@@ -26,6 +26,7 @@ pub use hpcdash_core as core;
 pub use hpcdash_http as http;
 pub use hpcdash_news as news;
 pub use hpcdash_push as push;
+pub use hpcdash_restapi as restapi;
 pub use hpcdash_simtime as simtime;
 pub use hpcdash_slurm as slurm;
 pub use hpcdash_slurmcli as slurmcli;
