@@ -35,6 +35,7 @@ fn variant(server_cache: bool, client_cache: bool) -> (String, loadgen::LoadRepo
         ],
         client_fresh_secs: if client_cache { Some(60) } else { None },
         bearer: Default::default(),
+        keep_alive: false,
     };
     let report = loadgen::run(&server.base_url(), site.scenario.clock.shared(), &cfg);
     let rpcs = site.scenario.ctld.stats().snapshot().total_rpcs;

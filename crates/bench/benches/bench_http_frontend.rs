@@ -1,0 +1,276 @@
+//! Experiment P12 — the million-client path: the event-driven HTTP
+//! frontend holds thousands of concurrent keep-alive connections on a
+//! fixed thread count, and the per-epoch render-bytes cache answers
+//! ETag revalidation (`If-None-Match` -> `304`) without executing the
+//! route or serializing a byte.
+//!
+//! Three claims asserted here:
+//!   1. N concurrent keep-alive connections are served by exactly
+//!      `reactors + workers` threads — no thread-per-connection anywhere.
+//!   2. A revalidated poll (304) costs >=10x less than a full render.
+//!   3. The render-bytes cache serves byte-identical bodies hit vs miss.
+
+use criterion::Criterion;
+use hpcdash_bench::{banner, BenchSite};
+use hpcdash_core::CachePolicy;
+use hpcdash_http::{Method, Request, Server, ServerConfig};
+use hpcdash_workload::ScenarioConfig;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Lift RLIMIT_NOFILE toward `want` (capped at the hard limit) so the
+/// connection flood isn't cut short by a conservative default soft limit.
+/// Returns the effective soft limit.
+#[cfg(target_os = "linux")]
+fn raise_nofile(want: u64) -> u64 {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    unsafe {
+        let mut r = Rlimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut r) != 0 {
+            return 1024;
+        }
+        if r.cur < want {
+            let bumped = Rlimit {
+                cur: want.min(r.max),
+                max: r.max,
+            };
+            if setrlimit(RLIMIT_NOFILE, &bumped) == 0 {
+                return bumped.cur;
+            }
+        }
+        r.cur
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn raise_nofile(_want: u64) -> u64 {
+    1024
+}
+
+fn os_thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// One keep-alive request/response on a raw socket; returns the body.
+fn roundtrip(stream: &mut TcpStream, path: &str, user: &str) -> Vec<u8> {
+    let req = format!(
+        "GET {path} HTTP/1.1\r\nHost: bench\r\nX-Remote-User: {user}\r\nConnection: keep-alive\r\n\r\n"
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("HTTP/1.1 "), "bad status line: {line:?}");
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).unwrap();
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    body
+}
+
+/// Claim 1: a flood of concurrent keep-alive connections on a fixed
+/// thread budget. Opens `target` connections in batches, each completing
+/// one request and then staying open (parked in the reactor, not on a
+/// thread), and asserts the process thread count never moves.
+fn connection_flood(site: &BenchSite, target: usize) {
+    let cfg = ServerConfig {
+        reactors: 2,
+        workers: 8,
+        max_connections: target + 1_024,
+        idle_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", site.dashboard.router(), cfg).unwrap();
+    let addr = server.addr();
+    let expected_threads = server.thread_count();
+    let baseline = os_thread_count();
+    let user = site.user();
+
+    let t0 = Instant::now();
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(target);
+    while conns.len() < target {
+        let batch = (target - conns.len()).min(128);
+        let mut opened = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            opened.push(TcpStream::connect(addr).unwrap());
+        }
+        for stream in &mut opened {
+            let body = roundtrip(stream, "/healthz", &user);
+            assert!(!body.is_empty());
+        }
+        conns.append(&mut opened);
+        // The thread count must not grow with connections — that is the
+        // whole point of the event loop.
+        assert_eq!(
+            os_thread_count(),
+            baseline,
+            "server grew threads at {} connections",
+            conns.len()
+        );
+    }
+    let elapsed = t0.elapsed();
+    assert_eq!(server.connection_count(), target);
+
+    // A sample of parked connections must still be live (keep-alive reuse).
+    for stream in conns.iter_mut().step_by((target / 64).max(1)) {
+        let body = roundtrip(stream, "/healthz", &user);
+        assert!(!body.is_empty());
+    }
+    assert_eq!(os_thread_count(), baseline);
+
+    println!(
+        "{target} concurrent keep-alive connections on {expected_threads} server threads \
+         ({:.1}s to establish+serve, {:.0} conns/s)",
+        elapsed.as_secs_f64(),
+        target as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    drop(conns);
+    server.shutdown();
+}
+
+/// Claim 2 + 3: revalidated polls vs full renders, in-process so the
+/// comparison measures route cost and not socket noise.
+fn revalidation_vs_render(iters: usize) -> (Duration, Duration) {
+    // Cached site: the second request onward is served from the
+    // render-bytes cache; with If-None-Match it degenerates to a 304.
+    let cached = BenchSite::fast();
+    cached.warm_up(300);
+    let user = cached.user();
+    let path = "/api/system_status";
+    let get = |etag: Option<&str>| {
+        let mut req = Request::new(Method::Get, path).with_header("X-Remote-User", &user);
+        if let Some(etag) = etag {
+            req = req.with_header("If-None-Match", etag);
+        }
+        cached.dashboard.handle(&req)
+    };
+
+    // Claim 3 first: miss and hit bodies are byte-identical.
+    let miss = get(None);
+    assert_eq!(miss.status, 200);
+    let etag = miss
+        .header("ETag")
+        .expect("cacheable route sets ETag")
+        .to_string();
+    let hit = get(None);
+    assert_eq!(hit.status, 200);
+    assert_eq!(
+        miss.body.as_slice(),
+        hit.body.as_slice(),
+        "render cache must serve byte-identical bodies"
+    );
+    assert_eq!(hit.header("ETag"), Some(etag.as_str()));
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let resp = get(Some(&etag));
+        assert_eq!(resp.status, 304, "revalidation must short-circuit");
+    }
+    let revalidated = t0.elapsed();
+
+    // Uncached site: every request executes the route and serializes.
+    let mut cfg = ScenarioConfig::small();
+    cfg.free_daemons = true;
+    let mut dcfg = hpcdash_core::DashboardConfig::purdue_like();
+    dcfg.cache = CachePolicy::disabled();
+    let uncached = BenchSite::build(cfg, dcfg);
+    uncached.warm_up(300);
+    let uuser = uncached.user();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let resp = uncached.get(path, &uuser);
+        assert_eq!(resp.status, 200);
+    }
+    let full = t0.elapsed();
+    (revalidated, full)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    banner(
+        "P12",
+        "event-driven frontend: concurrent keep-alive connections + 304 revalidation cost",
+    );
+
+    let want = if smoke { 512 } else { 10_000 };
+    // Client and server ends live in this one process: ~2 fds per
+    // connection plus headroom.
+    let limit = raise_nofile(2 * want as u64 + 2_048);
+    let budget = (limit.saturating_sub(1_024) / 2) as usize;
+    let target = want.min(budget.max(256));
+    if target < want {
+        println!("(fd budget {limit} caps the flood at {target} connections, wanted {want})");
+    }
+
+    let site = BenchSite::fast();
+    site.warm_up(300);
+    connection_flood(&site, target);
+
+    let iters = if smoke { 200 } else { 2_000 };
+    let (revalidated, full) = revalidation_vs_render(iters);
+    let per_304 = revalidated.as_nanos() as f64 / iters as f64;
+    let per_full = full.as_nanos() as f64 / iters as f64;
+    println!(
+        "{iters} polls: 304 revalidation {:.1}us/req vs full render {:.1}us/req ({:.1}x)",
+        per_304 / 1_000.0,
+        per_full / 1_000.0,
+        per_full / per_304,
+    );
+    // The floor the issue requires: revalidated polls are an order of
+    // magnitude cheaper than rendering.
+    assert!(
+        per_full >= 10.0 * per_304,
+        "304 path must be >=10x cheaper than a full render \
+         ({per_304:.0}ns vs {per_full:.0}ns)"
+    );
+
+    // Criterion numbers for the report.
+    let cached = BenchSite::fast();
+    cached.warm_up(300);
+    let user = cached.user();
+    let miss = cached.get("/api/system_status", &user);
+    let etag = miss.header("ETag").unwrap().to_string();
+    let mut cbench = Criterion::default().configure_from_args().sample_size(30);
+    {
+        let mut group = cbench.benchmark_group("http_frontend");
+        group.bench_function("revalidated_304", |b| {
+            b.iter(|| {
+                let req = Request::new(Method::Get, "/api/system_status")
+                    .with_header("X-Remote-User", &user)
+                    .with_header("If-None-Match", &etag);
+                let resp = cached.dashboard.handle(&req);
+                assert_eq!(resp.status, 304);
+            })
+        });
+        group.bench_function("render_bytes_hit", |b| {
+            b.iter(|| {
+                let resp = cached.get("/api/system_status", &user);
+                assert_eq!(resp.status, 200);
+            })
+        });
+        group.finish();
+    }
+    cbench.final_summary();
+}

@@ -5,7 +5,9 @@ use hpcdash_http::{HttpClient, TRACE_HEADER};
 use hpcdash_obs::trace::TraceScope;
 use hpcdash_obs::{Span, TraceId};
 use hpcdash_simtime::SharedClock;
+use parking_lot::Mutex;
 use serde_json::Value;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Where the rendered data came from.
@@ -17,6 +19,10 @@ pub enum FetchOutcome {
     StaleRevalidated,
     /// Cache miss: the user waited for the network.
     Network,
+    /// A conditional request (`If-None-Match` from the last seen ETag) the
+    /// server answered `304 Not Modified`: a round trip happened, but no
+    /// body crossed the wire — the validator-cached copy rendered.
+    NotModified,
     /// The revalidation failed (network error, 5xx, or a server payload
     /// already marked degraded): the client kept rendering its own
     /// last-known-good copy instead of going blank.
@@ -77,6 +83,11 @@ pub struct DashboardClient {
     /// `X-Remote-User`.
     bearer: Option<String>,
     network_fetches: std::sync::atomic::AtomicU64,
+    /// Last seen strong validator per path: `(etag, body)`. Requests send
+    /// `If-None-Match: <etag>`; a `304 Not Modified` renders the stored
+    /// body without a byte of payload crossing the wire.
+    validators: Mutex<HashMap<String, (String, Value)>>,
+    not_modified: std::sync::atomic::AtomicU64,
 }
 
 impl DashboardClient {
@@ -95,6 +106,8 @@ impl DashboardClient {
             fresh_secs,
             bearer: None,
             network_fetches: std::sync::atomic::AtomicU64::new(0),
+            validators: Mutex::new(HashMap::new()),
+            not_modified: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -102,6 +115,13 @@ impl DashboardClient {
     /// `Authorization: Bearer <secret>` alongside the proxy identity.
     pub fn with_bearer(mut self, secret: &str) -> DashboardClient {
         self.bearer = Some(secret.to_string());
+        self
+    }
+
+    /// Reuse one TCP connection across requests (HTTP/1.1 keep-alive)
+    /// instead of a fresh connect per fetch — how a real browser behaves.
+    pub fn with_keep_alive(mut self) -> DashboardClient {
+        self.http = HttpClient::keep_alive();
         self
     }
 
@@ -113,6 +133,19 @@ impl DashboardClient {
     pub fn network_fetch_count(&self) -> u64 {
         self.network_fetches
             .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// How many of those requests the server answered `304 Not Modified`
+    /// (a round trip with no body — the ETag revalidation fast path).
+    pub fn not_modified_count(&self) -> u64 {
+        self.not_modified.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// `(connections opened, requests served over a reused connection)` for
+    /// this client's transport. Both zero for a one-shot (non-keep-alive)
+    /// client.
+    pub fn connection_stats(&self) -> (u64, u64) {
+        self.http.connection_stats()
     }
 
     /// Fetch an API route through the client cache, mirroring the frontend
@@ -139,7 +172,9 @@ impl DashboardClient {
                 // server itself marked degraded — keeps our copy on screen
                 // and in the store: serve-stale-on-error, client edition.
                 return Ok(match self.network_get(path) {
-                    Ok((fresh_value, network, trace)) if !is_degraded(&fresh_value) => {
+                    Ok((fresh_value, network, trace, _not_modified))
+                        if !is_degraded(&fresh_value) =>
+                    {
                         self.db.put("api", path, fresh_value, now);
                         FetchResult {
                             value,
@@ -149,7 +184,7 @@ impl DashboardClient {
                             trace: Some(trace),
                         }
                     }
-                    Ok((_degraded, network, trace)) => FetchResult {
+                    Ok((_degraded, network, trace, _)) => FetchResult {
                         value,
                         outcome: FetchOutcome::StaleOnError,
                         perceived,
@@ -167,7 +202,7 @@ impl DashboardClient {
             }
         }
         let start = Instant::now();
-        let (value, network, trace) = self.network_get(path)?;
+        let (value, network, trace, not_modified) = self.network_get(path)?;
         let perceived = start.elapsed();
         // Degraded payloads render but are never stored: adopting the
         // server's stale fallback would launder old data into a "fresh"
@@ -177,7 +212,11 @@ impl DashboardClient {
         }
         Ok(FetchResult {
             value,
-            outcome: FetchOutcome::Network,
+            outcome: if not_modified {
+                FetchOutcome::NotModified
+            } else {
+                FetchOutcome::Network
+            },
             perceived,
             network,
             trace: Some(trace),
@@ -187,7 +226,7 @@ impl DashboardClient {
     /// One wire request. Each request starts a fresh trace: the id rides the
     /// `X-Trace-Id` header to the server, so the "client" span recorded here
     /// and the server-side hops land under the same trace in the span sink.
-    fn network_get(&self, path: &str) -> Result<(Value, Duration, TraceId), String> {
+    fn network_get(&self, path: &str) -> Result<(Value, Duration, TraceId, bool), String> {
         let trace = TraceId::generate();
         let _scope = TraceScope::enter(trace);
         let _span = Span::enter("client").attr("path", path.to_string());
@@ -195,22 +234,45 @@ impl DashboardClient {
         let start = Instant::now();
         self.network_fetches
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let validator = self.validators.lock().get(path).cloned();
         let mut headers: Vec<(&str, &str)> =
             vec![("X-Remote-User", &self.user), (TRACE_HEADER, &trace_hex)];
         let auth = self.bearer.as_ref().map(|s| format!("Bearer {s}"));
         if let Some(auth) = &auth {
             headers.push(("Authorization", auth));
         }
+        if let Some((etag, _)) = &validator {
+            headers.push(("If-None-Match", etag));
+        }
         let resp = self
             .http
             .get(&format!("{}{}", self.base_url, path), &headers)
             .map_err(|e| e.to_string())?;
         let elapsed = start.elapsed();
+        if resp.status == 304 {
+            // Our copy is still current; render it without reparsing.
+            if let Some((_, body)) = validator {
+                self.not_modified
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Ok((body, elapsed, trace, true));
+            }
+            return Err(format!("{path} -> HTTP 304 without a stored validator"));
+        }
         if !resp.is_success() {
             return Err(format!("{} -> HTTP {}", path, resp.status));
         }
         let value = resp.json().map_err(|e| format!("{path}: bad json: {e}"))?;
-        Ok((value, elapsed, trace))
+        match resp.header("etag") {
+            Some(etag) => {
+                self.validators
+                    .lock()
+                    .insert(path.to_string(), (etag.to_string(), value.clone()));
+            }
+            None => {
+                self.validators.lock().remove(path);
+            }
+        }
+        Ok((value, elapsed, trace, false))
     }
 
     /// Fetch a page shell (HTML), returning time-to-first-byte.
@@ -368,11 +430,32 @@ mod tests {
         let (server, _clock, _storage) = test_site();
         let clock = SimClock::new(Timestamp(1_000));
         let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), None);
-        for _ in 0..3 {
+        // First fetch pays for the body and learns the ETag; repeats still
+        // hit the network but come back 304 from the render-bytes cache.
+        let r = client.fetch_api("/api/system_status").unwrap();
+        assert_eq!(r.outcome, FetchOutcome::Network);
+        let first = r.value;
+        for _ in 0..2 {
             let r = client.fetch_api("/api/system_status").unwrap();
-            assert_eq!(r.outcome, FetchOutcome::Network);
+            assert_eq!(r.outcome, FetchOutcome::NotModified);
+            assert_eq!(r.value, first, "validator copy renders on 304");
         }
         assert_eq!(client.network_fetch_count(), 3);
+        assert_eq!(client.not_modified_count(), 2);
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_its_connection() {
+        let (server, _clock, _storage) = test_site();
+        let clock = SimClock::new(Timestamp(1_000));
+        let client = DashboardClient::new(&server.base_url(), "alice", clock.shared(), None)
+            .with_keep_alive();
+        for _ in 0..4 {
+            client.fetch_api("/api/system_status").unwrap();
+        }
+        let (opened, reused) = client.connection_stats();
+        assert_eq!(opened, 1, "one TCP connection for the whole session");
+        assert_eq!(reused, 3);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 use hpcdash_cache::IndexedDb;
 use hpcdash_http::HttpClient;
 use hpcdash_simtime::SharedClock;
-use std::cell::Cell;
+use serde_json::Value;
+use std::cell::{Cell, RefCell};
 
 /// What one stream poll produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +51,11 @@ pub struct LiveSubscriber {
     /// Per-subscriber jitter seed derived from the `sub` token, so a fleet
     /// of shed tabs spreads its retries instead of returning in one wave.
     seed: u64,
+    /// Last seen `(etag, body)` validator for the stream route; polls send
+    /// `If-None-Match` so an unchanged answer costs a `304` round trip
+    /// instead of a re-serialized body.
+    validator: RefCell<Option<(String, Value)>>,
+    not_modified: Cell<u64>,
 }
 
 impl LiveSubscriber {
@@ -59,7 +65,9 @@ impl LiveSubscriber {
             (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
         });
         LiveSubscriber {
-            http: HttpClient::new(),
+            // A live tab holds one TCP connection and parks it between
+            // deliveries; reconnect-per-poll would defeat the event loop.
+            http: HttpClient::keep_alive(),
             base_url: base_url.trim_end_matches('/').to_string(),
             user: user.to_string(),
             token: token.to_string(),
@@ -70,6 +78,8 @@ impl LiveSubscriber {
             applied: Cell::new(0),
             shed_streak: Cell::new(0),
             seed,
+            validator: RefCell::new(None),
+            not_modified: Cell::new(0),
         }
     }
 
@@ -90,10 +100,12 @@ impl LiveSubscriber {
             self.anchor.get(),
             wait_ms
         );
-        let resp = self
-            .http
-            .get(&url, &[("X-Remote-User", &self.user)])
-            .map_err(|e| e.to_string())?;
+        let validator = self.validator.borrow().clone();
+        let mut headers: Vec<(&str, &str)> = vec![("X-Remote-User", &self.user)];
+        if let Some((etag, _)) = &validator {
+            headers.push(("If-None-Match", etag));
+        }
+        let resp = self.http.get(&url, &headers).map_err(|e| e.to_string())?;
         if resp.status == 503 {
             let retry_after_secs = resp
                 .header("Retry-After")
@@ -103,11 +115,25 @@ impl LiveSubscriber {
                 .set(self.shed_streak.get().saturating_add(1));
             return Ok(PollOutcome::Shed { retry_after_secs });
         }
-        if !resp.is_success() {
-            return Err(format!("stream -> HTTP {}", resp.status));
-        }
-        self.shed_streak.set(0);
-        let body = resp.json().map_err(|e| format!("stream: bad json: {e}"))?;
+        let body = if resp.status == 304 {
+            // Unchanged since our last delivery: render the validator copy.
+            let Some((_, body)) = validator else {
+                return Err("stream -> HTTP 304 without a stored validator".to_string());
+            };
+            self.not_modified.set(self.not_modified.get() + 1);
+            self.shed_streak.set(0);
+            body
+        } else {
+            if !resp.is_success() {
+                return Err(format!("stream -> HTTP {}", resp.status));
+            }
+            self.shed_streak.set(0);
+            let body: Value = resp.json().map_err(|e| format!("stream: bad json: {e}"))?;
+            *self.validator.borrow_mut() = resp
+                .header("etag")
+                .map(|etag| (etag.to_string(), body.clone()));
+            body
+        };
         let latest = body["latest_seq"].as_u64().unwrap_or(self.anchor.get());
         self.anchor.set(latest);
         if body["resync_required"].as_bool().unwrap_or(false) {
@@ -159,6 +185,16 @@ impl LiveSubscriber {
     /// Consecutive sheds without a successful poll in between.
     pub fn shed_streak(&self) -> u32 {
         self.shed_streak.get()
+    }
+
+    /// Polls the server answered `304 Not Modified`.
+    pub fn not_modified_count(&self) -> u64 {
+        self.not_modified.get()
+    }
+
+    /// `(connections opened, requests served over a reused connection)`.
+    pub fn connection_stats(&self) -> (u64, u64) {
+        self.http.connection_stats()
     }
 
     /// How long to wait before re-polling after a `Shed`.

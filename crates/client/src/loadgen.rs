@@ -25,6 +25,9 @@ pub struct LoadConfig {
     /// path mix includes the `/slurm/v0` family. Users without an entry
     /// send no bearer and get 401s on those routes.
     pub bearer: BTreeMap<String, String>,
+    /// Reuse one TCP connection per user (HTTP/1.1 keep-alive) instead of a
+    /// fresh connect per request — browsers do; `curl` loops don't.
+    pub keep_alive: bool,
 }
 
 impl LoadConfig {
@@ -35,6 +38,7 @@ impl LoadConfig {
             paths,
             client_fresh_secs: None,
             bearer: BTreeMap::new(),
+            keep_alive: false,
         }
     }
 }
@@ -54,6 +58,14 @@ pub struct LoadReport {
     pub stale_revalidated: u64,
     /// Fetches rescued by serve-stale-on-error (either side's cache).
     pub stale_on_error: u64,
+    /// Wire requests the server answered `304 Not Modified` (ETag
+    /// revalidation — a round trip, but no body and no server-side render).
+    pub not_modified: u64,
+    /// TCP connections opened across the fleet.
+    pub connections_opened: u64,
+    /// Requests served over a reused (kept-alive) connection. Zero unless
+    /// [`LoadConfig::keep_alive`] is set.
+    pub connections_reused: u64,
     /// Failed fetches.
     pub errors: u64,
     /// Per-route availability: how each fetch ended for the user
@@ -72,6 +84,22 @@ impl LoadReport {
         // stale serves, so user-visible fetches = cache hits + network hits.
         self.cache_fresh + self.network_fetches
     }
+
+    /// Fraction of wire requests that rode an already-open connection.
+    pub fn connection_reuse_ratio(&self) -> f64 {
+        if self.network_fetches == 0 {
+            return 0.0;
+        }
+        self.connections_reused as f64 / self.network_fetches as f64
+    }
+
+    /// Fraction of wire requests answered `304 Not Modified`.
+    pub fn not_modified_ratio(&self) -> f64 {
+        if self.network_fetches == 0 {
+            return 0.0;
+        }
+        self.not_modified as f64 / self.network_fetches as f64
+    }
 }
 
 /// Per-route fetch outcomes, as the user experienced them.
@@ -83,11 +111,22 @@ pub struct RouteAvailability {
     pub degraded: u64,
     /// Nothing rendered — the widget went dark.
     pub failed: u64,
+    /// Subset of `fresh` that the server answered `304 Not Modified`
+    /// (the ETag fast path: current data, no body on the wire).
+    pub not_modified: u64,
 }
 
 impl RouteAvailability {
     pub fn total(&self) -> u64 {
         self.fresh + self.degraded + self.failed
+    }
+
+    /// Fraction of this route's fetches answered `304 Not Modified`.
+    pub fn not_modified_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.not_modified as f64 / self.total() as f64
     }
 
     /// Fraction of fetches that rendered data at all (fresh or degraded):
@@ -136,6 +175,9 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
     let fresh_hits = Arc::new(AtomicU64::new(0));
     let stale_hits = Arc::new(AtomicU64::new(0));
     let net_count = Arc::new(AtomicU64::new(0));
+    let nm_count = Arc::new(AtomicU64::new(0));
+    let conns_opened = Arc::new(AtomicU64::new(0));
+    let conns_reused = Arc::new(AtomicU64::new(0));
     let stale_errors = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
     let routes: Arc<Mutex<BTreeMap<String, RouteAvailability>>> =
@@ -153,11 +195,17 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
         let fresh_hits = fresh_hits.clone();
         let stale_hits = stale_hits.clone();
         let net_count = net_count.clone();
+        let nm_count = nm_count.clone();
+        let conns_opened = conns_opened.clone();
+        let conns_reused = conns_reused.clone();
         let stale_errors = stale_errors.clone();
         let errors = errors.clone();
         let routes = routes.clone();
         handles.push(std::thread::spawn(move || {
             let mut client = DashboardClient::new(&base_url, &user, clock, cfg.client_fresh_secs);
+            if cfg.keep_alive {
+                client = client.with_keep_alive();
+            }
             if let Some(secret) = cfg.bearer.get(&user) {
                 client = client.with_bearer(secret);
             }
@@ -184,6 +232,9 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
                                 } else {
                                     slot.fresh += 1;
                                 }
+                                if result.outcome == FetchOutcome::NotModified {
+                                    slot.not_modified += 1;
+                                }
                             }
                             match result.outcome {
                                 FetchOutcome::CacheFresh => {
@@ -196,7 +247,7 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
                                         .histogram("hpcdash_client_network_latency", &labels)
                                         .observe(result.network);
                                 }
-                                FetchOutcome::Network => {
+                                FetchOutcome::Network | FetchOutcome::NotModified => {
                                     network.record(result.network);
                                     registry
                                         .histogram("hpcdash_client_network_latency", &labels)
@@ -215,6 +266,10 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
                 }
             }
             net_count.fetch_add(client.network_fetch_count(), Ordering::Relaxed);
+            nm_count.fetch_add(client.not_modified_count(), Ordering::Relaxed);
+            let (opened, reused) = client.connection_stats();
+            conns_opened.fetch_add(opened, Ordering::Relaxed);
+            conns_reused.fetch_add(reused, Ordering::Relaxed);
         }));
     }
     for h in handles {
@@ -228,6 +283,9 @@ pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
         cache_fresh: fresh_hits.load(Ordering::Relaxed),
         stale_revalidated: stale_hits.load(Ordering::Relaxed),
         stale_on_error: stale_errors.load(Ordering::Relaxed),
+        not_modified: nm_count.load(Ordering::Relaxed),
+        connections_opened: conns_opened.load(Ordering::Relaxed),
+        connections_reused: conns_reused.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
         availability: Arc::try_unwrap(routes)
             .map(|m| m.into_inner())
@@ -305,6 +363,7 @@ mod tests {
             paths: vec!["/api/system_status".to_string()],
             client_fresh_secs: Some(3_600),
             bearer: Default::default(),
+            keep_alive: false,
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.errors, 0);
@@ -330,6 +389,7 @@ mod tests {
             ],
             client_fresh_secs: Some(3_600),
             bearer: Default::default(),
+            keep_alive: false,
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         let ok = &report.availability["/api/system_status"];
@@ -349,12 +409,43 @@ mod tests {
             paths: vec!["/api/system_status".to_string()],
             client_fresh_secs: None,
             bearer: Default::default(),
+            keep_alive: false,
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.network_fetches, 5);
         assert_eq!(report.cache_fresh, 0);
         // But the SERVER cache still protected slurmctld: one sinfo total.
         assert_eq!(ctx.ctld.stats().count_of("sinfo"), 1);
+        // And the render-bytes cache answered the repeats with 304s: the
+        // first request paid for the body, the other four revalidated.
+        assert_eq!(report.not_modified, 4);
+        let avail = &report.availability["/api/system_status"];
+        assert_eq!(avail.not_modified, 4);
+        assert_eq!(avail.fresh, 5);
+    }
+
+    #[test]
+    fn keep_alive_fleet_reuses_connections() {
+        let (server, clock, _ctx) = site(true);
+        let mut cfg = LoadConfig::new(
+            vec!["u1".to_string(), "u2".to_string()],
+            5,
+            vec!["/api/system_status".to_string()],
+        );
+        cfg.keep_alive = true;
+        let report = run(&server.base_url(), clock.shared(), &cfg);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.network_fetches, 10);
+        // One TCP connection per user for the whole run.
+        assert_eq!(report.connections_opened, 2);
+        assert_eq!(report.connections_reused, 8);
+        assert!(report.connection_reuse_ratio() > 0.75);
+        // The same run without keep-alive opens nothing through the pool
+        // (one-shot connections are not pooled, so both stats read zero).
+        let mut cfg2 = cfg.clone();
+        cfg2.keep_alive = false;
+        let report2 = run(&server.base_url(), clock.shared(), &cfg2);
+        assert_eq!(report2.connections_reused, 0);
     }
 
     #[test]
@@ -368,6 +459,7 @@ mod tests {
             paths,
             client_fresh_secs: None,
             bearer: Default::default(),
+            keep_alive: false,
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.errors, 0, "{:?}", report.availability);
@@ -383,6 +475,7 @@ mod tests {
             paths: admin_observability_paths(),
             client_fresh_secs: None,
             bearer: Default::default(),
+            keep_alive: false,
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.errors, 3, "all admin routes 403 for u1");
@@ -481,6 +574,7 @@ mod tests {
             paths: vec!["/api/system_status".to_string()],
             client_fresh_secs: None,
             bearer: Default::default(),
+            keep_alive: false,
         };
         let report = run(&server.base_url(), clock.shared(), &cfg);
         assert_eq!(report.network_fetches, 12);

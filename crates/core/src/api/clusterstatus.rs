@@ -13,7 +13,15 @@ pub const ROUTES: &[&str] = &["/api/clusterstatus"];
 pub const SOURCES: &[&str] = &["scontrol show node (slurmctld)"];
 
 pub fn register(router: &mut Router, ctx: DashboardContext) {
-    router.get(ROUTES[0], move |req| handle(&ctx, req));
+    let keyctx = ctx.clone();
+    router.get_cached(
+        ROUTES[0],
+        move |req| {
+            let ttl = keyctx.cfg.cache.cluster_status;
+            super::render_decision(&keyctx, req, ROUTES[0], ttl)
+        },
+        move |req| handle(&ctx, req),
+    );
 }
 
 fn handle(ctx: &DashboardContext, req: &Request) -> Response {

@@ -29,7 +29,15 @@ pub const SOURCES: &[&str] = &[
 pub fn register(router: &mut Router, ctx: DashboardContext) {
     let ctx_logs = ctx.clone();
     let ctx_array = ctx.clone();
-    router.get(ROUTES[0], move |req| handle_overview(&ctx, req));
+    let keyctx = ctx.clone();
+    router.get_cached(
+        ROUTES[0],
+        move |req| {
+            let ttl = keyctx.cfg.cache.job_overview;
+            super::render_decision(&keyctx, req, ROUTES[0], ttl)
+        },
+        move |req| handle_overview(&ctx, req),
+    );
     router.get(ROUTES[1], move |req| handle_logs(&ctx_logs, req));
     router.get(ROUTES[2], move |req| handle_array(&ctx_array, req));
 }
@@ -164,7 +172,9 @@ fn handle_overview(ctx: &DashboardContext, req: &Request) -> Response {
         },
         "exit_code": job.exit_code.map(|(c, s)| format!("{c}:{s}")),
     });
-    Response::json(&body)
+    // The overview rebuilds from backends every call, so the render cache
+    // (keyed per job, invalidated each scheduler epoch) is its only cache.
+    Response::json(&body).mark_cacheable()
 }
 
 /// The session tab payload parsed from the OOD comment

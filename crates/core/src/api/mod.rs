@@ -27,7 +27,7 @@ pub mod system_status;
 pub mod updates;
 
 use crate::ctx::{DashboardContext, SourceOutcome};
-use hpcdash_http::{Response, Router};
+use hpcdash_http::{CacheDecision, Request, Response, Router};
 
 /// Turn a resilient fetch outcome into the widget's HTTP response — the
 /// single place the per-widget degradation contract is encoded:
@@ -49,7 +49,9 @@ pub(crate) fn respond(outcome: SourceOutcome) -> Response {
         SourceOutcome::Fresh(_) => {}
     }
     match outcome {
-        SourceOutcome::Fresh(v) => Response::json(&v),
+        // Only a fully fresh payload may enter the render-bytes cache;
+        // degraded/stale responses keep their ages and banners per-request.
+        SourceOutcome::Fresh(v) => Response::json(&v).mark_cacheable(),
         SourceOutcome::Stale {
             mut value,
             age_secs,
@@ -66,6 +68,56 @@ pub(crate) fn respond(outcome: SourceOutcome) -> Response {
         }
         SourceOutcome::Failed(e) => Response::service_unavailable(&e),
     }
+}
+
+/// Render-cache admission shared by every cacheable GET route: decide the
+/// cache key, epoch, and TTL for one request — or decline (`None`) so the
+/// request flows uncached.
+///
+/// The key folds in everything that can change the bytes: the route and
+/// concrete path (so `:param` routes key per target), the authenticated
+/// identity with its admin bit, any `X-Act-As` impersonation, and the
+/// query string. The version is the cluster snapshot's publication seq —
+/// a new scheduler epoch invalidates implicitly, the same trick the
+/// `/slurm/v0` response cache uses. `now`/TTL ride the sim clock so the
+/// render cache can never outlive the JSON value cache underneath it, and
+/// a TTL of zero (the no-cache ablation) disables render caching too.
+pub(crate) fn render_decision(
+    ctx: &DashboardContext,
+    req: &Request,
+    route: &'static str,
+    ttl_secs: u64,
+) -> Option<CacheDecision> {
+    if ttl_secs == 0 {
+        return None;
+    }
+    let user = req.remote_user()?; // anonymous requests 401 in the handler
+    let is_admin = ctx.cfg.is_admin(user);
+    let mut key = String::with_capacity(64);
+    key.push_str(route);
+    key.push('|');
+    key.push_str(&req.path);
+    key.push('|');
+    key.push_str(if is_admin { "admin:" } else { "user:" });
+    key.push_str(user);
+    if is_admin {
+        if let Some(target) = req.header("x-act-as") {
+            key.push_str("|act:");
+            key.push_str(target);
+        }
+    }
+    for (k, v) in &req.query {
+        key.push('|');
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    Some(CacheDecision {
+        key,
+        version: ctx.ctld.snapshot().seq,
+        ttl_secs,
+        now_secs: ctx.now().0,
+    })
 }
 
 /// One row of the (declared) Table 1.

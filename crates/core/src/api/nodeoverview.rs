@@ -16,7 +16,15 @@ pub const ROUTES: &[&str] = &["/api/nodes/:name"];
 pub const SOURCES: &[&str] = &["scontrol show node (slurmctld)", "squeue (slurmctld)"];
 
 pub fn register(router: &mut Router, ctx: DashboardContext) {
-    router.get(ROUTES[0], move |req| handle(&ctx, req));
+    let keyctx = ctx.clone();
+    router.get_cached(
+        ROUTES[0],
+        move |req| {
+            let ttl = keyctx.cfg.cache.node_overview;
+            super::render_decision(&keyctx, req, ROUTES[0], ttl)
+        },
+        move |req| handle(&ctx, req),
+    );
 }
 
 fn handle(ctx: &DashboardContext, req: &Request) -> Response {

@@ -155,6 +155,42 @@ fn act_as_rows(ctx: &DashboardContext) -> Vec<Value> {
     rows
 }
 
+/// The event-loop frontend panel: connection counts by state, shed and
+/// 304-revalidation totals, and per-reactor loop lag, read back out of the
+/// registry the HTTP server writes into.
+fn http_rows(ctx: &DashboardContext) -> Value {
+    let mut connections = serde_json::Map::new();
+    let mut reactor_lag = serde_json::Map::new();
+    let mut sheds = 0u64;
+    let mut not_modified = 0u64;
+    for s in ctx.obs.gather() {
+        let label = |key: &str| {
+            s.labels
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        match (s.name.as_str(), &s.value) {
+            ("hpcdash_http_connections", SampleValue::Gauge(v)) => {
+                connections.insert(label("state"), json!(v));
+            }
+            ("hpcdash_http_reactor_loop_lag_us", SampleValue::Gauge(v)) => {
+                reactor_lag.insert(label("reactor"), json!(v));
+            }
+            ("hpcdash_http_sheds_total", SampleValue::Counter(v)) => sheds += v,
+            ("hpcdash_http_304_total", SampleValue::Counter(v)) => not_modified += v,
+            _ => {}
+        }
+    }
+    json!({
+        "connections": Value::Object(connections),
+        "sheds": sheds,
+        "not_modified": not_modified,
+        "reactor_lag_us": Value::Object(reactor_lag),
+    })
+}
+
 /// The `/api/observatory` payload: everything the page's widgets need in
 /// one round trip.
 pub(crate) fn summary_payload(ctx: &DashboardContext) -> Value {
@@ -199,6 +235,7 @@ pub(crate) fn summary_payload(ctx: &DashboardContext) -> Value {
     json!({
         "slo": slo_rows(ctx),
         "act_as": act_as_rows(ctx),
+        "http": http_rows(ctx),
         "breakers": breakers,
         "phases": Value::Object(phases),
         "traces": {

@@ -30,9 +30,12 @@ use crate::auth::CurrentUser;
 use crate::colors::job_state_color;
 use crate::ctx::DashboardContext;
 use crate::reasons::friendly_reason;
-use hpcdash_http::{Request, Response, Router};
+use hpcdash_http::{
+    ParkDirective, ParkWaker, Request, Response, Router, CONN_PARK_HEADER, PARK_FINAL_HEADER,
+};
 use hpcdash_slurm::events::JobEvent;
 use serde_json::json;
+use std::sync::Arc;
 use std::time::Duration;
 
 pub const FEATURE: &str = "Live Updates (extension)";
@@ -93,9 +96,16 @@ fn handle(ctx: &DashboardContext, req: &Request) -> Response {
 /// The push-mode long-poll. First request with a fresh `sub` token registers
 /// the subscriber and backfills it from `since`; subsequent requests drain
 /// the subscriber's queue, parking up to `wait_ms` (clamped by
-/// `PushPolicy::max_wait_ms`) while it is empty. When the parked-worker
-/// budget is exhausted the route sheds with `503 + Retry-After` instead of
-/// starving the pool.
+/// `PushPolicy::max_wait_ms`) while it is empty. When the park budget is
+/// exhausted the route sheds with `503 + Retry-After` instead of starving.
+///
+/// Parking has two implementations behind one contract. Dispatched from the
+/// event loop (the `x-hpcdash-conn-park` marker), an empty queue returns a
+/// [`ParkDirective`]: the *connection* parks inside the reactor at zero
+/// thread cost, a hub notify fires the directive's waker, and the reactor
+/// re-dispatches this request with `x-hpcdash-park-final` for the immediate
+/// answer. Called any other way (tests, in-process benches), the handler
+/// blocks on the hub condvar exactly as the thread era did.
 fn handle_stream(ctx: &DashboardContext, req: &Request) -> Response {
     let user = match CurrentUser::from_request(ctx, req) {
         Ok(u) => u,
@@ -128,12 +138,34 @@ fn handle_stream(ctx: &DashboardContext, req: &Request) -> Response {
     }
     // Drain without parking first: only an empty queue costs a park slot.
     let mut delivery = ctx.push.wait(&handle, Duration::ZERO);
-    if delivery.events.is_empty() && !delivery.resync_required && wait_ms > 0 {
-        let Some(_permit) = ctx.park.try_acquire() else {
+    if delivery.events.is_empty()
+        && !delivery.resync_required
+        && wait_ms > 0
+        && req.header(PARK_FINAL_HEADER).is_none()
+    {
+        let Some(permit) = ctx.park.try_acquire() else {
             return Response::service_unavailable("long-poll capacity exhausted, retry shortly")
                 .with_header("Retry-After", "1");
         };
-        delivery = ctx.push.wait(&handle, Duration::from_millis(wait_ms));
+        if req.header(CONN_PARK_HEADER).is_some() {
+            // Event-loop dispatch: park the connection, not this thread.
+            let waker = ParkWaker::new();
+            let notify = waker.clone();
+            ctx.push.set_notify(&handle, move || notify.wake());
+            // Close the install/publish race: anything queued since the
+            // drain above answers now instead of parking.
+            delivery = ctx.push.wait(&handle, Duration::ZERO);
+            if delivery.events.is_empty() && !delivery.resync_required {
+                return Response::json(&json!({"parked": true})).with_park(ParkDirective {
+                    waker,
+                    max_wait: Duration::from_millis(wait_ms),
+                    permit: Some(Arc::new(permit)),
+                });
+            }
+            ctx.push.clear_notify(&handle);
+        } else {
+            delivery = ctx.push.wait(&handle, Duration::from_millis(wait_ms));
+        }
     }
     let events: Vec<serde_json::Value> = delivery.events.iter().map(event_json).collect();
     Response::json(&json!({

@@ -18,8 +18,9 @@ pub fn render_shell(cluster: &str, user: &str) -> String {
     let mut body = String::from("<h1>Observatory</h1>");
     body.push_str(
         "<p class=\"observatory-intro\">Dashboard self-observability: \
-         service levels, circuit breakers, daemon tick phases, and \
-         tail-sampled request traces.</p>",
+         service levels, circuit breakers, daemon tick phases, the HTTP \
+         event loop (connections by state, sheds, 304 revalidations, \
+         reactor lag), and tail-sampled request traces.</p>",
     );
     body.push_str("<div class=\"widget-grid\">");
     body.push_str(&widget_placeholder("observatory", "/api/observatory"));

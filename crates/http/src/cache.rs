@@ -1,0 +1,175 @@
+//! The render-bytes cache: pre-serialized hot-route responses.
+//!
+//! PR 7's `RestCache` proved the pattern for `/slurm/v0`: key serialized
+//! bytes on the snapshot publication sequence and a repeat request becomes
+//! a hash lookup plus an `Arc` clone. This generalizes it to any route the
+//! router marks cacheable. An entry stores the body as `Arc<[u8]>` and a
+//! strong ETag derived from the *content* (FNV-64 of the bytes) — content-
+//! derived on purpose, so when a new epoch renders byte-identical JSON the
+//! ETag survives and `If-None-Match` still collapses to a 304. Validity is
+//! the intersection of two signals: the publisher's version (snapshot seq;
+//! mismatch = the world changed) and a TTL on the *simulation* clock that
+//! mirrors the widget cache's TTL, so the render cache can never serve
+//! longer than the data layer beneath it would have.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A route's answer to "may this request be served from rendered bytes?"
+/// Produced per-request by the key function registered with the route.
+#[derive(Debug, Clone)]
+pub struct CacheDecision {
+    /// Full identity of the rendered view: route | subject | scope
+    /// fingerprint (anything that changes the bytes must be in here).
+    pub key: String,
+    /// Publisher version (cluster snapshot seq) the entry must match.
+    pub version: u64,
+    /// Max age on the sim clock; `0` is handled upstream (no decision).
+    pub ttl_secs: u64,
+    /// Current sim time, for the age check.
+    pub now_secs: u64,
+}
+
+/// One cached render.
+#[derive(Clone)]
+pub struct CachedRender {
+    pub etag: Arc<str>,
+    pub body: Arc<[u8]>,
+    pub content_type: String,
+    version: u64,
+    born_secs: u64,
+}
+
+/// Render-bytes store. Entries are overwritten in place per key, so memory
+/// is bounded by the number of distinct (route, subject, scope) views.
+#[derive(Default)]
+pub struct RenderCache {
+    entries: Mutex<HashMap<String, CachedRender>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RenderCache {
+    pub fn new() -> RenderCache {
+        RenderCache::default()
+    }
+
+    /// The entry for `d.key`, if it is still valid under `d` (same
+    /// publisher version *and* younger than the TTL).
+    pub fn get(&self, d: &CacheDecision) -> Option<CachedRender> {
+        let entries = self.entries.lock();
+        match entries.get(&d.key) {
+            Some(e)
+                if e.version == d.version
+                    && d.now_secs.saturating_sub(e.born_secs) < d.ttl_secs =>
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store freshly rendered bytes for `d.key` and return the entry
+    /// (so the very response that populated the cache can share its body).
+    pub fn put(&self, d: &CacheDecision, body: Arc<[u8]>, content_type: &str) -> CachedRender {
+        let entry = CachedRender {
+            etag: Arc::from(etag_for(&body).as_str()),
+            body,
+            content_type: content_type.to_string(),
+            version: d.version,
+            born_secs: d.now_secs,
+        };
+        self.entries.lock().insert(d.key.clone(), entry.clone());
+        entry
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Strong ETag for a body: quoted FNV-1a/64 of the content. Content-hashed
+/// (not seq-prefixed) so byte-identical renders across epochs revalidate.
+pub fn etag_for(body: &[u8]) -> String {
+    format!("\"{:016x}\"", fnv64(body))
+}
+
+/// FNV-1a, 64-bit — tiny, dependency-free, and plenty for cache validators
+/// (collisions only risk an extra render, never wrong bytes).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(key: &str, version: u64, now: u64) -> CacheDecision {
+        CacheDecision {
+            key: key.to_string(),
+            version,
+            ttl_secs: 30,
+            now_secs: now,
+        }
+    }
+
+    #[test]
+    fn version_and_ttl_both_gate_validity() {
+        let cache = RenderCache::new();
+        let decision = d("jobs|alice", 5, 100);
+        assert!(cache.get(&decision).is_none());
+        cache.put(&decision, Arc::from(&b"{\"a\":1}"[..]), "application/json");
+
+        // Same version, inside TTL: hit.
+        let hit = cache.get(&d("jobs|alice", 5, 129)).unwrap();
+        assert_eq!(&*hit.body, b"{\"a\":1}");
+
+        // Same version, TTL lapsed: miss (the data layer would refetch).
+        assert!(cache.get(&d("jobs|alice", 5, 130)).is_none());
+
+        // New version inside TTL: miss (the world changed).
+        assert!(cache.get(&d("jobs|alice", 6, 101)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn etags_are_content_derived() {
+        let cache = RenderCache::new();
+        let v5 = cache.put(&d("k", 5, 0), Arc::from(&b"same-bytes"[..]), "text/plain");
+        let v6 = cache.put(&d("k", 6, 40), Arc::from(&b"same-bytes"[..]), "text/plain");
+        assert_eq!(
+            v5.etag, v6.etag,
+            "identical bytes across epochs keep the ETag (cross-epoch 304s)"
+        );
+        let other = cache.put(&d("k", 7, 80), Arc::from(&b"other"[..]), "text/plain");
+        assert_ne!(v5.etag, other.etag);
+        assert!(
+            v5.etag.starts_with('"') && v5.etag.ends_with('"'),
+            "strong quoted ETag"
+        );
+    }
+}

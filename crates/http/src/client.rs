@@ -1,9 +1,15 @@
-//! A blocking HTTP client (one request per connection), used by the
-//! headless browser and the load generator.
+//! A blocking HTTP client used by the headless browser and the load
+//! generator. Two modes: the default one-request-per-connection client
+//! (`Connection: close`, zero state), and a keep-alive client that pools
+//! one connection per host and reuses it across requests — the shape a
+//! real dashboard tab presents to the server.
 
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Client-side errors.
@@ -60,21 +66,67 @@ impl ClientResponse {
     }
 }
 
-/// The client. Stateless; safe to share across threads by cloning.
+/// One pooled connection per host, plus open/reuse counters so the load
+/// generator can report connection-reuse ratios.
+#[derive(Debug, Default)]
+struct Pool {
+    conns: Mutex<HashMap<String, BufReader<TcpStream>>>,
+    opened: AtomicU64,
+    reused: AtomicU64,
+}
+
+/// The client. Safe to share across threads by cloning; clones of a
+/// keep-alive client share one connection pool.
 #[derive(Debug, Clone)]
 pub struct HttpClient {
     timeout: Duration,
+    pool: Option<Arc<Pool>>,
 }
 
 impl HttpClient {
+    /// The stateless one-shot client: every request opens a fresh
+    /// connection and sends `Connection: close`.
     pub fn new() -> HttpClient {
         HttpClient {
             timeout: Duration::from_secs(10),
+            pool: None,
         }
     }
 
     pub fn with_timeout(timeout: Duration) -> HttpClient {
-        HttpClient { timeout }
+        HttpClient {
+            timeout,
+            pool: None,
+        }
+    }
+
+    /// A keep-alive client: requests reuse one pooled connection per host
+    /// when the server allows it, reconnecting transparently when a pooled
+    /// connection has gone stale.
+    pub fn keep_alive() -> HttpClient {
+        HttpClient {
+            timeout: Duration::from_secs(10),
+            pool: Some(Arc::new(Pool::default())),
+        }
+    }
+
+    pub fn keep_alive_with_timeout(timeout: Duration) -> HttpClient {
+        HttpClient {
+            timeout,
+            pool: Some(Arc::new(Pool::default())),
+        }
+    }
+
+    /// `(connections_opened, connections_reused)` — zeros for the
+    /// one-shot client, which never reuses anything.
+    pub fn connection_stats(&self) -> (u64, u64) {
+        match &self.pool {
+            Some(p) => (
+                p.opened.load(Ordering::Relaxed),
+                p.reused.load(Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        }
     }
 
     pub fn get(&self, url: &str, headers: &[(&str, &str)]) -> Result<ClientResponse, ClientError> {
@@ -98,32 +150,119 @@ impl HttpClient {
         body: Vec<u8>,
     ) -> Result<ClientResponse, ClientError> {
         let (host, path) = split_url(url).ok_or_else(|| ClientError::BadUrl(url.to_string()))?;
-        let stream = TcpStream::connect(&host)?;
+        match &self.pool {
+            None => self.request_oneshot(method, &host, &path, headers, &body),
+            Some(pool) => self.request_pooled(pool, method, &host, &path, headers, &body),
+        }
+    }
+
+    fn connect(&self, host: &str) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect(host)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         stream.set_nodelay(true)?;
+        Ok(stream)
+    }
 
-        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n");
-        for (k, v) in headers {
-            req.push_str(&format!("{k}: {v}\r\n"));
-        }
-        if !body.is_empty() {
-            req.push_str(&format!("Content-Length: {}\r\n", body.len()));
-        }
-        req.push_str("\r\n");
-
+    fn request_oneshot(
+        &self,
+        method: &str,
+        host: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let stream = self.connect(host)?;
+        let req = build_request(method, host, path, headers, body, false);
         let mut write_half = stream.try_clone()?;
-        write_half.write_all(req.as_bytes())?;
-        write_half.write_all(&body)?;
+        write_half.write_all(&req)?;
+        write_half.write_all(body)?;
         write_half.flush()?;
-
         read_response(&mut BufReader::new(stream))
+    }
+
+    fn request_pooled(
+        &self,
+        pool: &Arc<Pool>,
+        method: &str,
+        host: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let req = build_request(method, host, path, headers, body, true);
+
+        // One attempt on a pooled connection (which may be stale — the
+        // server is free to close an idle keep-alive at any time), then
+        // one on a fresh connection before giving up. The guard must drop
+        // before the exchange: maybe_pool re-locks the pool.
+        let pooled = pool.conns.lock().remove(host);
+        if let Some(mut reader) = pooled {
+            if let Ok(resp) = exchange(&mut reader, &req, body) {
+                pool.reused.fetch_add(1, Ordering::Relaxed);
+                maybe_pool(pool, host, reader, &resp);
+                return Ok(resp);
+            }
+        }
+
+        let stream = self.connect(host)?;
+        pool.opened.fetch_add(1, Ordering::Relaxed);
+        let mut reader = BufReader::new(stream);
+        let resp = exchange(&mut reader, &req, body)?;
+        maybe_pool(pool, host, reader, &resp);
+        Ok(resp)
     }
 }
 
 impl Default for HttpClient {
     fn default() -> HttpClient {
         HttpClient::new()
+    }
+}
+
+fn build_request(
+    method: &str,
+    host: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut req =
+        format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: {connection}\r\n");
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    if !body.is_empty() {
+        req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    req.push_str("\r\n");
+    req.into_bytes()
+}
+
+/// Write one request and read one response on a (possibly reused) stream.
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    req: &[u8],
+    body: &[u8],
+) -> Result<ClientResponse, ClientError> {
+    let mut write_half = reader.get_ref().try_clone()?;
+    write_half.write_all(req)?;
+    write_half.write_all(body)?;
+    write_half.flush()?;
+    read_response(reader)
+}
+
+/// Put a connection back only when the response both declared a length
+/// (so the stream position is known) and didn't ask to close.
+fn maybe_pool(pool: &Arc<Pool>, host: &str, reader: BufReader<TcpStream>, resp: &ClientResponse) {
+    let framed = resp.headers.contains_key("content-length");
+    let closing = resp
+        .header("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+    if framed && !closing {
+        pool.conns.lock().insert(host.to_string(), reader);
     }
 }
 
@@ -234,5 +373,19 @@ mod tests {
     fn rejects_non_http() {
         let raw = b"SPDY/3 200\r\n\r\n";
         assert!(read_response(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn request_heads_carry_connection_mode() {
+        let close = build_request("GET", "h:1", "/p", &[("A", "b")], b"", false);
+        let close = String::from_utf8(close).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+        assert!(close.contains("A: b\r\n"));
+        assert!(!close.contains("Content-Length"));
+
+        let ka = build_request("POST", "h:1", "/p", &[], b"xyz", true);
+        let ka = String::from_utf8(ka).unwrap();
+        assert!(ka.contains("Connection: keep-alive\r\n"));
+        assert!(ka.contains("Content-Length: 3\r\n"));
     }
 }

@@ -1,0 +1,72 @@
+//! Per-connection state for the event loop.
+
+use crate::longpoll::ParkDirective;
+use crate::request::Request;
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Where a connection is in its request/response lifecycle. Exactly one
+/// party drives it at a time: the reactor in every state except
+/// `Dispatching`, where a worker owns the exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Keep-alive, no bytes pending; armed for read with the idle timeout.
+    Idle,
+    /// A partial request is buffered; armed for read with the read timeout.
+    Reading,
+    /// A worker is routing the parsed request(s); not armed.
+    Dispatching,
+    /// Response bytes remain; armed for write with the write timeout.
+    Writing,
+    /// A long-poll holds the connection open (no thread); armed for read
+    /// so a client hangup is noticed, deadline = the poll's max wait.
+    Parked,
+}
+
+impl ConnState {
+    /// The metrics label for `hpcdash_http_connections{state=...}`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConnState::Idle => "idle",
+            ConnState::Reading => "reading",
+            ConnState::Dispatching => "dispatching",
+            ConnState::Writing => "writing",
+            ConnState::Parked => "parked",
+        }
+    }
+}
+
+/// A parked long-poll: the original request (re-dispatched on wake) and
+/// the handler's directive (whose drop releases the park-budget permit).
+pub(crate) struct ParkedExchange {
+    pub req: Request,
+    pub directive: ParkDirective,
+}
+
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub state: ConnState,
+    pub read_buf: Vec<u8>,
+    pub write_buf: Vec<u8>,
+    pub write_pos: usize,
+    /// Current deadline; the heap may hold stale earlier entries, the
+    /// reactor validates against this field before acting.
+    pub deadline: Option<Instant>,
+    pub close_after_write: bool,
+    pub parked: Option<ParkedExchange>,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            state: ConnState::Idle,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            deadline: None,
+            close_after_write: false,
+            parked: None,
+        }
+    }
+}

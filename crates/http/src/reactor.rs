@@ -1,0 +1,681 @@
+//! The readiness event loop: a small set of reactor threads own every
+//! connection; a worker pool runs handlers.
+//!
+//! Ownership discipline: a connection belongs to exactly one reactor and is
+//! armed one-shot, so at any instant it is being driven either by its
+//! reactor (read/write/timeout) or by one worker (routing) — never both.
+//! Workers hand results back through the reactor's injection queue + waker,
+//! the only cross-thread channel. The state machine per connection:
+//!
+//! ```text
+//!   Idle --bytes--> Reading --full request--> Dispatching --response-->
+//!   Writing --flushed--> Idle (keep-alive)    (or Parked, for long-polls:
+//!   the connection waits armed-for-EOF until the push hub fires the
+//!   directive's waker or the deadline lapses, then re-dispatches)
+//! ```
+//!
+//! Idle reactors burn zero CPU: `epoll_wait` blocks until readiness or the
+//! nearest connection deadline (idle/read/write timeout, park wait).
+
+use crate::conn::{Conn, ConnState, ParkedExchange};
+use crate::longpoll::{CONN_PARK_HEADER, PARK_FINAL_HEADER};
+use crate::request::{ParseError, ParseStatus, Request};
+use crate::response::Response;
+use crate::router::Router;
+use crate::server::{Metrics, Shared};
+use crate::sys::{Event, Interest, Poller, WakeReceiver, Waker};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TOKEN_WAKER: u64 = 0;
+const TOKEN_LISTENER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+/// Cap on requests routed per dispatch batch (pipelining fairness bound).
+const MAX_BATCH: usize = 32;
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Work handed to a reactor from outside its thread.
+pub(crate) enum Inject {
+    /// A freshly accepted connection to adopt.
+    Conn(TcpStream),
+    /// A worker finished routing: serialized response bytes, and whether
+    /// to close afterwards. `park` keeps the exchange open instead.
+    Done {
+        token: u64,
+        out: Vec<u8>,
+        close: bool,
+        park: Option<ParkedExchange>,
+    },
+    /// A parked connection's waker fired.
+    Wake { token: u64 },
+}
+
+/// A reactor's inbox: lock-guarded queue + readiness waker.
+pub(crate) struct Injector {
+    queue: Mutex<VecDeque<Inject>>,
+    waker: Waker,
+}
+
+impl Injector {
+    pub(crate) fn new(waker: Waker) -> Injector {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+            waker,
+        }
+    }
+
+    pub(crate) fn push(&self, inj: Inject) {
+        self.queue.lock().push_back(inj);
+        self.waker.wake();
+    }
+
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+}
+
+pub(crate) struct Reactor {
+    ix: usize,
+    shared: Arc<Shared>,
+    injector: Arc<Injector>,
+    rx: WakeReceiver,
+    listener: Option<TcpListener>,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    deadlines: BinaryHeap<Reverse<(Instant, u64)>>,
+    next_token: u64,
+}
+
+impl Reactor {
+    pub(crate) fn new(
+        ix: usize,
+        shared: Arc<Shared>,
+        injector: Arc<Injector>,
+        rx: WakeReceiver,
+        listener: Option<TcpListener>,
+    ) -> std::io::Result<Reactor> {
+        let poller = Poller::new()?;
+        poller.add(rx.fd(), TOKEN_WAKER, Interest::Read, false)?;
+        if let Some(l) = &listener {
+            poller.add(l.as_raw_fd(), TOKEN_LISTENER, Interest::Read, false)?;
+        }
+        Ok(Reactor {
+            ix,
+            shared,
+            injector,
+            rx,
+            listener,
+            poller,
+            conns: HashMap::new(),
+            deadlines: BinaryHeap::new(),
+            next_token: FIRST_CONN_TOKEN,
+        })
+    }
+
+    pub(crate) fn run(mut self) {
+        let mut events: Vec<Event> = Vec::with_capacity(256);
+        loop {
+            let timeout = self.next_timeout();
+            events.clear();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            let busy_start = Instant::now();
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            self.rx.drain(&self.injector.waker);
+            self.drain_injections();
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_WAKER => {}
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_ready(token, ev),
+                }
+            }
+            self.expire_deadlines();
+            if let Some(m) = &self.shared.metrics {
+                m.loop_lag[self.ix].set(busy_start.elapsed().as_micros() as i64);
+            }
+        }
+        // Shutdown: account every connection back out of the gauges.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for t in tokens {
+            self.close_conn(t);
+        }
+    }
+
+    /// Time until the nearest live deadline (stale heap entries pruned).
+    fn next_timeout(&mut self) -> Option<Duration> {
+        let now = Instant::now();
+        while let Some(&Reverse((t, token))) = self.deadlines.peek() {
+            let live = self
+                .conns
+                .get(&token)
+                .is_some_and(|c| c.deadline == Some(t));
+            if !live {
+                self.deadlines.pop();
+                continue;
+            }
+            return Some(t.saturating_duration_since(now));
+        }
+        None
+    }
+
+    fn drain_injections(&mut self) {
+        loop {
+            let batch: Vec<Inject> = {
+                let mut q = self.injector.queue.lock();
+                if q.is_empty() {
+                    return;
+                }
+                q.drain(..).collect()
+            };
+            for inj in batch {
+                match inj {
+                    Inject::Conn(stream) => self.adopt(stream),
+                    Inject::Done {
+                        token,
+                        out,
+                        close,
+                        park,
+                    } => self.dispatch_done(token, out, close, park),
+                    Inject::Wake { token } => self.park_wake(token),
+                }
+            }
+        }
+    }
+
+    // ---- accept path -----------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = self
+                .listener
+                .as_ref()
+                .expect("listener on this reactor")
+                .accept();
+            match accepted {
+                Ok((stream, _peer)) => {
+                    let count = self.shared.conn_count.load(Ordering::Acquire);
+                    if count >= self.shared.cfg.max_connections {
+                        shed(stream, &self.shared.metrics);
+                        continue;
+                    }
+                    self.shared.conn_count.fetch_add(1, Ordering::AcqRel);
+                    let n = self.shared.injectors.len();
+                    let target = self.shared.next_reactor.fetch_add(1, Ordering::AcqRel) % n;
+                    if target == self.ix {
+                        self.adopt(stream);
+                    } else {
+                        self.shared.injectors[target].push(Inject::Conn(stream));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Take ownership of an accepted connection (conn_count already ours).
+    fn adopt(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            self.shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .add(stream.as_raw_fd(), token, Interest::Read, true)
+            .is_err()
+        {
+            self.shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        let mut conn = Conn::new(stream);
+        if let Some(m) = &self.shared.metrics {
+            m.conn_gauge(conn.state).inc();
+        }
+        let deadline = Instant::now() + self.shared.cfg.idle_timeout;
+        conn.deadline = Some(deadline);
+        self.deadlines.push(Reverse((deadline, token)));
+        self.conns.insert(token, conn);
+    }
+
+    // ---- readiness dispatch ---------------------------------------------
+
+    fn conn_ready(&mut self, token: u64, ev: Event) {
+        let Some(state) = self.conns.get(&token).map(|c| c.state) else {
+            return;
+        };
+        match state {
+            ConnState::Idle | ConnState::Reading => self.do_read(token),
+            ConnState::Writing => {
+                if ev.err && !ev.writable {
+                    self.close_conn(token);
+                } else {
+                    self.do_write(token);
+                }
+            }
+            ConnState::Parked => self.parked_readable(token),
+            // Not armed while dispatching; a stray event is ignorable.
+            ConnState::Dispatching => {}
+        }
+    }
+
+    fn do_read(&mut self, token: u64) {
+        let closed = {
+            let conn = self.conns.get_mut(&token).expect("conn exists");
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                match (&conn.stream).read(&mut chunk) {
+                    Ok(0) => break true,
+                    Ok(n) => {
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                        if n < chunk.len() {
+                            break false;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break true,
+                }
+            }
+        };
+        if closed {
+            self.close_conn(token);
+            return;
+        }
+        self.advance(token);
+    }
+
+    /// Parse whatever is buffered and act: dispatch a batch, queue a parse
+    /// error, or rearm for more bytes.
+    fn advance(&mut self, token: u64) {
+        let (batch, parse_error, buf_empty) = {
+            let conn = self.conns.get_mut(&token).expect("conn exists");
+            let mut batch: Vec<Request> = Vec::new();
+            let mut parse_error: Option<ParseError> = None;
+            loop {
+                match Request::parse_buf(&conn.read_buf) {
+                    ParseStatus::Complete { req, consumed } => {
+                        conn.read_buf.drain(..consumed);
+                        let keep = req.keep_alive();
+                        batch.push(req);
+                        if !keep {
+                            // Nothing after an explicit close is answerable.
+                            conn.read_buf.clear();
+                            break;
+                        }
+                        if batch.len() >= MAX_BATCH {
+                            break;
+                        }
+                    }
+                    ParseStatus::Partial => break,
+                    ParseStatus::Error(e) => {
+                        // Requests already parsed are answered first; the
+                        // error goes out when the connection drains back to
+                        // Idle and re-parses the poisoned buffer.
+                        if batch.is_empty() {
+                            parse_error = Some(e);
+                        }
+                        break;
+                    }
+                }
+            }
+            let buf_empty = conn.read_buf.is_empty();
+            (batch, parse_error, buf_empty)
+        };
+
+        if let Some(e) = parse_error {
+            let resp = match e {
+                ParseError::BodyTooLarge(_) => Response::error(413, "body too large"),
+                ParseError::HeadersTooLarge(_) => {
+                    Response::error(431, "request header fields too large")
+                }
+                _ => Response::bad_request("malformed request"),
+            };
+            {
+                let conn = self.conns.get_mut(&token).expect("conn exists");
+                conn.read_buf.clear();
+                conn.read_buf.shrink_to_fit();
+                resp.serialize_into(&mut conn.write_buf, false, false);
+                conn.close_after_write = true;
+            }
+            self.set_state(token, ConnState::Writing);
+            self.do_write(token);
+            return;
+        }
+
+        if !batch.is_empty() {
+            self.dispatch(token, batch);
+            return;
+        }
+
+        // Partial (or nothing): arm for more bytes. A half-read request
+        // rides the shorter read timeout; a quiet keep-alive connection the
+        // idle timeout.
+        let (state, timeout) = if buf_empty {
+            (ConnState::Idle, self.shared.cfg.idle_timeout)
+        } else {
+            (ConnState::Reading, self.shared.cfg.read_timeout)
+        };
+        self.set_state(token, state);
+        self.set_deadline(token, Some(Instant::now() + timeout));
+        self.arm(token, Interest::Read);
+    }
+
+    // ---- worker dispatch -------------------------------------------------
+
+    fn dispatch(&mut self, token: u64, batch: Vec<Request>) {
+        self.set_state(token, ConnState::Dispatching);
+        self.set_deadline(token, None);
+        let router = self.shared.router.clone();
+        let injector = self.injector.clone();
+        self.shared.pool.execute(move || {
+            let n = batch.len();
+            let mut out = Vec::new();
+            let mut close = false;
+            let mut park: Option<ParkedExchange> = None;
+            for mut req in batch {
+                let keep = req.keep_alive();
+                let head_only = req.method == crate::request::Method::Head;
+                // The park protocol is the server's, never the client's.
+                req.headers.remove(PARK_FINAL_HEADER);
+                req.headers
+                    .insert(CONN_PARK_HEADER.to_string(), "1".to_string());
+                let resp = route_on_worker(&router, &req);
+                if let Some(directive) = resp.park.clone() {
+                    if n == 1 {
+                        // Sole request of the batch: park the connection.
+                        park = Some(ParkedExchange { req, directive });
+                        break;
+                    }
+                    // Pipelined company: resolve immediately (a long-poll
+                    // sandwiched in a pipeline gets a fast empty poll).
+                    let mut final_req = req.clone();
+                    final_req
+                        .headers
+                        .insert(PARK_FINAL_HEADER.to_string(), "1".to_string());
+                    let resp = route_on_worker(&router, &final_req);
+                    resp.serialize_into(&mut out, keep, head_only);
+                } else {
+                    resp.serialize_into(&mut out, keep, head_only);
+                }
+                if !keep {
+                    close = true;
+                    break;
+                }
+            }
+            injector.push(Inject::Done {
+                token,
+                out,
+                close,
+                park,
+            });
+        });
+    }
+
+    fn dispatch_done(
+        &mut self,
+        token: u64,
+        out: Vec<u8>,
+        close: bool,
+        park: Option<ParkedExchange>,
+    ) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if let Some(p) = park {
+            // Hold the exchange open; the hub's waker (or the deadline)
+            // re-dispatches. Armed for read so a vanished client is
+            // noticed instead of parked forever.
+            let deadline = Instant::now() + p.directive.max_wait;
+            let injector = self.injector.clone();
+            p.directive.waker.set_hook(move || {
+                injector.push(Inject::Wake { token });
+            });
+            conn.parked = Some(p);
+            self.set_state(token, ConnState::Parked);
+            self.set_deadline(token, Some(deadline));
+            self.arm(token, Interest::Read);
+            return;
+        }
+        conn.write_buf.extend_from_slice(&out);
+        if close {
+            conn.close_after_write = true;
+        }
+        self.set_state(token, ConnState::Writing);
+        self.do_write(token);
+    }
+
+    // ---- parked connections ---------------------------------------------
+
+    /// Readable while parked: either the client hung up (tear down, freeing
+    /// the park slot immediately) or it sent pipelined bytes (buffer them —
+    /// they are answered after the park resolves).
+    fn parked_readable(&mut self, token: u64) {
+        let closed = {
+            let conn = self.conns.get_mut(&token).expect("conn exists");
+            let mut chunk = [0u8; 1024];
+            loop {
+                match (&conn.stream).read(&mut chunk) {
+                    Ok(0) => break true,
+                    Ok(n) => {
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                        if conn.read_buf.len() > crate::request::MAX_HEAD {
+                            break true;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break true,
+                }
+            }
+        };
+        if closed {
+            self.close_conn(token);
+            return;
+        }
+        self.arm(token, Interest::Read);
+    }
+
+    fn park_wake(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // connection died or resolved already — stale wake
+        };
+        if !matches!(conn.state, ConnState::Parked) {
+            return;
+        }
+        let p = conn.parked.take().expect("parked state carries exchange");
+        self.resolve_park(token, p);
+    }
+
+    /// Re-dispatch a parked request with the park-final marker; the handler
+    /// drains instantly and the response flows out the normal path. The
+    /// directive (and its budget permit) lives until the worker finishes.
+    fn resolve_park(&mut self, token: u64, p: ParkedExchange) {
+        self.set_state(token, ConnState::Dispatching);
+        self.set_deadline(token, None);
+        let router = self.shared.router.clone();
+        let injector = self.injector.clone();
+        self.shared.pool.execute(move || {
+            let ParkedExchange { mut req, directive } = p;
+            let keep = req.keep_alive();
+            let head_only = req.method == crate::request::Method::Head;
+            req.headers
+                .insert(PARK_FINAL_HEADER.to_string(), "1".to_string());
+            let resp = route_on_worker(&router, &req);
+            let mut out = Vec::new();
+            resp.serialize_into(&mut out, keep, head_only);
+            drop(directive); // park slot free the instant the answer exists
+            injector.push(Inject::Done {
+                token,
+                out,
+                close: !keep,
+                park: None,
+            });
+        });
+    }
+
+    // ---- write path ------------------------------------------------------
+
+    fn do_write(&mut self, token: u64) {
+        enum Outcome {
+            Flushed,
+            Blocked,
+            Failed,
+        }
+        let outcome = {
+            let conn = self.conns.get_mut(&token).expect("conn exists");
+            loop {
+                if conn.write_pos >= conn.write_buf.len() {
+                    break Outcome::Flushed;
+                }
+                match (&conn.stream).write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => break Outcome::Failed,
+                    Ok(n) => conn.write_pos += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Outcome::Blocked,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break Outcome::Failed,
+                }
+            }
+        };
+        match outcome {
+            Outcome::Failed => self.close_conn(token),
+            Outcome::Blocked => {
+                self.set_state(token, ConnState::Writing);
+                self.set_deadline(token, Some(Instant::now() + self.shared.cfg.write_timeout));
+                self.arm(token, Interest::Write);
+            }
+            Outcome::Flushed => {
+                let close = {
+                    let conn = self.conns.get_mut(&token).expect("conn exists");
+                    conn.write_buf.clear();
+                    conn.write_pos = 0;
+                    conn.close_after_write
+                };
+                if close {
+                    self.close_conn(token);
+                    return;
+                }
+                // Back to keep-alive; pipelined leftovers dispatch now.
+                self.set_state(token, ConnState::Idle);
+                self.advance(token);
+            }
+        }
+    }
+
+    // ---- deadlines -------------------------------------------------------
+
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        loop {
+            let Some(&Reverse((t, token))) = self.deadlines.peek() else {
+                return;
+            };
+            if t > now {
+                return;
+            }
+            self.deadlines.pop();
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            if conn.deadline != Some(t) {
+                continue; // superseded
+            }
+            match conn.state {
+                // A parked long-poll reaching its wait budget is the normal
+                // empty-poll case, not an error.
+                ConnState::Parked => {
+                    let p = conn.parked.take().expect("parked state carries exchange");
+                    self.resolve_park(token, p);
+                }
+                ConnState::Dispatching => {}
+                _ => self.close_conn(token),
+            }
+        }
+    }
+
+    // ---- small helpers ---------------------------------------------------
+
+    fn arm(&mut self, token: u64, interest: Interest) {
+        let conn = self.conns.get_mut(&token).expect("conn exists");
+        if self
+            .poller
+            .modify(conn.stream.as_raw_fd(), token, interest, true)
+            .is_err()
+        {
+            self.close_conn(token);
+        }
+    }
+
+    fn set_state(&mut self, token: u64, state: ConnState) {
+        let conn = self.conns.get_mut(&token).expect("conn exists");
+        if conn.state == state {
+            return;
+        }
+        if let Some(m) = &self.shared.metrics {
+            m.conn_gauge(conn.state).dec();
+            m.conn_gauge(state).inc();
+        }
+        conn.state = state;
+    }
+
+    fn set_deadline(&mut self, token: u64, deadline: Option<Instant>) {
+        let conn = self.conns.get_mut(&token).expect("conn exists");
+        conn.deadline = deadline;
+        if let Some(t) = deadline {
+            self.deadlines.push(Reverse((t, token)));
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if let Some(m) = &self.shared.metrics {
+                m.conn_gauge(conn.state).dec();
+            }
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
+            self.shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+            // conn (and any ParkedExchange with its permit) drops here.
+        }
+    }
+}
+
+/// Best-effort 503 to a connection over the watermark. One optimistic
+/// write — the response is ~120 bytes and the socket buffer is empty, so
+/// in practice it always lands; a client that still misses it sees ECONNRESET,
+/// which it treats the same way (back off and retry).
+fn shed(stream: TcpStream, metrics: &Option<Metrics>) {
+    let _ = stream.set_nonblocking(true);
+    let resp = Response::service_unavailable("connection capacity reached")
+        .with_header("Retry-After", "1");
+    let mut buf = Vec::new();
+    resp.serialize_into(&mut buf, false, false);
+    let _ = (&stream).write(&buf);
+    if let Some(m) = metrics {
+        m.sheds.inc();
+    }
+}
+
+/// One request's trip through the router on a worker thread, wrapped in
+/// the wire-level "http" span (same shape the thread-per-connection server
+/// had, so traces and the chaos suite see an identical hop sequence).
+fn route_on_worker(router: &Router, req: &Request) -> Response {
+    let _scope = req
+        .header(crate::router::TRACE_HEADER)
+        .and_then(hpcdash_obs::TraceId::from_hex)
+        .map(hpcdash_obs::trace::TraceScope::enter);
+    let _span = hpcdash_obs::Span::enter("http").attr("path", req.path.clone());
+    router.handle(req)
+}

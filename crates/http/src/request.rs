@@ -61,10 +61,30 @@ pub enum ParseError {
     Eof,
     Malformed(String),
     BodyTooLarge(usize),
+    /// Request line + headers exceed [`MAX_HEAD`] — answered with 431 so a
+    /// peer streaming an unbounded header can never grow our buffers.
+    HeadersTooLarge(usize),
 }
 
 /// Largest accepted body (the dashboard only posts small forms).
 pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// Largest accepted request head (request line + headers). Anything the
+/// dashboard or its API clients send fits in a fraction of this.
+pub const MAX_HEAD: usize = 64 * 1024;
+
+/// Result of [`Request::parse_buf`]: incremental parsing over whatever
+/// bytes have arrived so far on a non-blocking connection.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// One full request parsed; `consumed` bytes belong to it (any
+    /// remainder is the start of the next pipelined request).
+    Complete { req: Request, consumed: usize },
+    /// Not enough bytes yet — keep the buffer, wait for more.
+    Partial,
+    /// Protocol violation; the connection must answer an error and close.
+    Error(ParseError),
+}
 
 impl Request {
     /// Construct a request directly (tests and in-process dispatch).
@@ -174,6 +194,95 @@ impl Request {
         })
     }
 
+    /// Parse one request out of an in-memory byte buffer, without consuming
+    /// it — the event loop's entry point. Unlike [`Request::read_from`]
+    /// this never blocks: a half-arrived request is [`ParseStatus::Partial`]
+    /// and the caller retries when more bytes land. Bounded by construction:
+    /// a head larger than [`MAX_HEAD`] or a declared body over [`MAX_BODY`]
+    /// is an error, so a hostile peer cannot grow our buffers or wedge the
+    /// parser.
+    pub fn parse_buf(buf: &[u8]) -> ParseStatus {
+        let head_end = match find_head_end(buf) {
+            Some(end) if end <= MAX_HEAD => end,
+            Some(end) => return ParseStatus::Error(ParseError::HeadersTooLarge(end)),
+            None if buf.len() > MAX_HEAD => {
+                return ParseStatus::Error(ParseError::HeadersTooLarge(buf.len()))
+            }
+            None => return ParseStatus::Partial,
+        };
+        let head = match std::str::from_utf8(&buf[..head_end]) {
+            Ok(s) => s,
+            Err(_) => {
+                return ParseStatus::Error(ParseError::Malformed("head is not utf-8".to_string()))
+            }
+        };
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = match parts.next().and_then(Method::parse) {
+            Some(m) => m,
+            None => {
+                return ParseStatus::Error(ParseError::Malformed(format!(
+                    "bad request line: {request_line:?}"
+                )))
+            }
+        };
+        let target = match parts.next() {
+            Some(t) => t,
+            None => {
+                return ParseStatus::Error(ParseError::Malformed(
+                    "missing request target".to_string(),
+                ))
+            }
+        };
+        let version = parts.next().unwrap_or("HTTP/1.1");
+        if !version.starts_with("HTTP/1.") {
+            return ParseStatus::Error(ParseError::Malformed(format!(
+                "unsupported version {version:?}"
+            )));
+        }
+        let mut headers = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = match line.split_once(':') {
+                Some(kv) => kv,
+                None => {
+                    return ParseStatus::Error(ParseError::Malformed(format!(
+                        "bad header: {line:?}"
+                    )))
+                }
+            };
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+
+        let content_length: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if content_length > MAX_BODY {
+            return ParseStatus::Error(ParseError::BodyTooLarge(content_length));
+        }
+        let total = head_end + content_length;
+        if buf.len() < total {
+            return ParseStatus::Partial;
+        }
+        let body = buf[head_end..total].to_vec();
+        let (path, query) = split_query(target);
+        ParseStatus::Complete {
+            req: Request {
+                method,
+                path,
+                query,
+                headers,
+                body,
+                params: BTreeMap::new(),
+            },
+            consumed: total,
+        }
+    }
+
     /// Does the peer want the connection kept open after this exchange?
     pub fn keep_alive(&self) -> bool {
         !matches!(
@@ -181,6 +290,27 @@ impl Request {
             Some(v) if v == "close"
         )
     }
+}
+
+/// Index one past the blank line terminating the head, accepting both
+/// `\r\n\r\n` and bare `\n\n` (mirrors the lenient line-based reader).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        match buf[i] {
+            b'\n' => {
+                if buf.get(i + 1) == Some(&b'\n') {
+                    return Some(i + 2);
+                }
+                if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                    return Some(i + 3);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
 }
 
 fn split_query(target: &str) -> (String, BTreeMap<String, String>) {
@@ -320,6 +450,68 @@ mod tests {
         assert_eq!(urldecode("%zz"), "%zz");
         assert_eq!(urlencode("a b/c"), "a+b%2Fc");
         assert_eq!(urldecode(&urlencode("node[1-4] & più")), "node[1-4] & più");
+    }
+
+    #[test]
+    fn parse_buf_matches_reader_and_pipelines() {
+        let raw = b"GET /api/myjobs?range=7d HTTP/1.1\r\nX-Remote-User: alice\r\n\r\nPOST /api/jobs HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /next HTTP/1.1\r\n\r\n";
+        let mut offset = 0;
+        let mut reqs = Vec::new();
+        while offset < raw.len() {
+            match Request::parse_buf(&raw[offset..]) {
+                ParseStatus::Complete { req, consumed } => {
+                    offset += consumed;
+                    reqs.push(req);
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].path, "/api/myjobs");
+        assert_eq!(reqs[0].remote_user(), Some("alice"));
+        assert_eq!(reqs[1].method, Method::Post);
+        assert_eq!(reqs[1].body, b"abc");
+        assert_eq!(reqs[2].path, "/next");
+    }
+
+    #[test]
+    fn parse_buf_partial_until_complete() {
+        let raw = b"GET /x HTTP/1.1\r\nHost: a\r\n\r\n";
+        for cut in 0..raw.len() {
+            match Request::parse_buf(&raw[..cut]) {
+                ParseStatus::Partial => {}
+                other => panic!("cut {cut}: expected Partial, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            Request::parse_buf(raw),
+            ParseStatus::Complete { consumed, .. } if consumed == raw.len()
+        ));
+        // Body split the same way: head complete, body short -> Partial.
+        let post = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab";
+        assert!(matches!(Request::parse_buf(post), ParseStatus::Partial));
+    }
+
+    #[test]
+    fn parse_buf_bounds_heads_and_bodies() {
+        let mut big = b"GET / HTTP/1.1\r\n".to_vec();
+        big.extend(std::iter::repeat_n(b'a', MAX_HEAD + 10));
+        assert!(matches!(
+            Request::parse_buf(&big),
+            ParseStatus::Error(ParseError::HeadersTooLarge(_))
+        ));
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            Request::parse_buf(huge_body.as_bytes()),
+            ParseStatus::Error(ParseError::BodyTooLarge(_))
+        ));
+        assert!(matches!(
+            Request::parse_buf(b"BLARGH / HTTP/1.1\r\n\r\n"),
+            ParseStatus::Error(ParseError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -2,13 +2,99 @@
 
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::Arc;
+
+/// Response payload bytes. Most handlers build an [`Body::Owned`] vector;
+/// the render-bytes cache serves [`Body::Shared`] so a hot widget response
+/// is an `Arc` clone, not a copy, no matter how many connections poll it.
+#[derive(Debug, Clone)]
+pub enum Body {
+    Owned(Vec<u8>),
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a,
+        }
+    }
+
+    /// The bytes as a shareable `Arc` (free for `Shared`, one copy for
+    /// `Owned` — used when a response enters the render cache).
+    pub fn to_shared(&self) -> Arc<[u8]> {
+        match self {
+            Body::Owned(v) => Arc::from(v.as_slice()),
+            Body::Shared(a) => a.clone(),
+        }
+    }
+}
+
+impl Default for Body {
+    fn default() -> Body {
+        Body::Owned(Vec::new())
+    }
+}
+
+impl std::ops::Deref for Body {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::Owned(v)
+    }
+}
+
+impl From<Arc<[u8]>> for Body {
+    fn from(a: Arc<[u8]>) -> Body {
+        Body::Shared(a)
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Body) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Body {}
+
+impl PartialEq<Vec<u8>> for Body {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Body {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Body {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
 
 /// An HTTP response.
 #[derive(Debug, Clone)]
 pub struct Response {
     pub status: u16,
     pub headers: BTreeMap<String, String>,
-    pub body: Vec<u8>,
+    pub body: Body,
+    /// Set by long-poll handlers running on the event loop: "park this
+    /// *connection* (not a thread) and re-dispatch me on wake". Never
+    /// serialized; the wire layer intercepts it.
+    pub park: Option<crate::longpoll::ParkDirective>,
+    /// Marked by handlers whose 200 bodies may enter the render-bytes
+    /// cache (fresh, non-degraded widget payloads only).
+    pub cacheable: bool,
 }
 
 impl Response {
@@ -16,7 +102,9 @@ impl Response {
         Response {
             status,
             headers: BTreeMap::new(),
-            body: Vec::new(),
+            body: Body::default(),
+            park: None,
+            cacheable: false,
         }
     }
 
@@ -50,6 +138,12 @@ impl Response {
                 &format!("attachment; filename=\"{filename}\""),
             )
             .with_body(body.into().into_bytes())
+    }
+
+    /// 304 against the given strong ETag: the client's copy is current, no
+    /// body crosses the wire.
+    pub fn not_modified(etag: &str) -> Response {
+        Response::new(304).with_header("ETag", etag)
     }
 
     pub fn not_found(msg: &str) -> Response {
@@ -92,8 +186,23 @@ impl Response {
         self
     }
 
-    pub fn with_body(mut self, body: Vec<u8>) -> Response {
-        self.body = body;
+    pub fn with_body(mut self, body: impl Into<Body>) -> Response {
+        self.body = body.into();
+        self
+    }
+
+    /// Flag this response as eligible for the render-bytes cache. Only
+    /// fresh (non-degraded) 200s should carry this; the router checks the
+    /// status, the handler vouches for freshness.
+    pub fn mark_cacheable(mut self) -> Response {
+        self.cacheable = true;
+        self
+    }
+
+    /// Attach a park directive (event-loop long-poll). See
+    /// [`crate::longpoll::ParkDirective`].
+    pub fn with_park(mut self, park: crate::longpoll::ParkDirective) -> Response {
+        self.park = Some(park);
         self
     }
 
@@ -129,27 +238,46 @@ impl Response {
             403 => "Forbidden",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 
-    /// Serialize onto a stream, with `Connection` and `Content-Length` set.
-    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+    /// Serialize into a byte buffer. `head_only` is the HEAD-request rule:
+    /// real `Content-Length`, zero body bytes. 204 and 304 never carry a
+    /// body; they advertise `Content-Length: 0` explicitly because every
+    /// client of this stack (including our own keep-alive client) frames
+    /// responses by that header.
+    pub fn serialize_into(&self, out: &mut Vec<u8>, keep_alive: bool, head_only: bool) {
+        let bodyless_status = self.status == 204 || self.status == 304;
+        let content_length = if bodyless_status { 0 } else { self.body.len() };
         let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
         for (k, v) in &self.headers {
             head.push_str(&format!("{k}: {v}\r\n"));
         }
-        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str(&format!("Content-Length: {content_length}\r\n"));
         head.push_str(if keep_alive {
             "Connection: keep-alive\r\n"
         } else {
             "Connection: close\r\n"
         });
         head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        out.extend_from_slice(head.as_bytes());
+        if !bodyless_status && !head_only {
+            out.extend_from_slice(&self.body);
+        }
+    }
+
+    /// Serialize onto a stream, with `Connection` and `Content-Length` set.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(self.body.len() + 256);
+        self.serialize_into(&mut buf, keep_alive, false);
+        w.write_all(&buf)?;
         w.flush()
     }
 }
@@ -212,11 +340,49 @@ mod tests {
     }
 
     #[test]
+    fn bodyless_statuses_and_head_omit_the_body() {
+        // 304: ETag present, explicit zero length, no body bytes even if
+        // someone attached one.
+        let r = Response::not_modified("\"abc\"").with_body(b"sneaky".to_vec());
+        let mut buf = Vec::new();
+        r.serialize_into(&mut buf, true, false);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(text.contains("ETag: \"abc\"\r\n"));
+        assert!(text.contains("Content-Length: 0\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body on 304");
+
+        let mut buf = Vec::new();
+        Response::new(204).serialize_into(&mut buf, false, false);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Content-Length: 0\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body on 204");
+
+        // HEAD: the GET representation's length, zero body bytes.
+        let r = Response::text("hello");
+        let mut buf = Vec::new();
+        r.serialize_into(&mut buf, true, true);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body on HEAD");
+    }
+
+    #[test]
+    fn shared_bodies_compare_and_share() {
+        let owned = Response::text("payload");
+        let shared = Response::new(200).with_body(owned.body.to_shared());
+        assert_eq!(owned.body, shared.body);
+        assert!(matches!(shared.body, Body::Shared(_)));
+        assert_eq!(shared.body_string(), "payload");
+    }
+
+    #[test]
     fn status_helpers() {
         assert_eq!(Response::not_found("x").status, 404);
         assert_eq!(Response::bad_request("x").status, 400);
         assert_eq!(Response::unauthorized("x").status, 401);
         assert_eq!(Response::internal_error("x").status, 500);
         assert_eq!(Response::service_unavailable("x").status, 503);
+        assert_eq!(Response::not_modified("\"e\"").status, 304);
     }
 }

@@ -1,17 +1,24 @@
 //! Path routing with `:param` captures, panic isolation, and per-route
 //! observability (trace propagation + request metrics).
 
+use crate::cache::{CacheDecision, RenderCache};
 use crate::request::{Method, Request};
 use crate::response::Response;
 use hpcdash_obs::trace::{Span, TraceId, TraceScope};
-use hpcdash_obs::{tracestore, Registry};
+use hpcdash_obs::{tracestore, Counter, Histogram, Registry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The header carrying the request's trace id end to end.
 pub const TRACE_HEADER: &str = "X-Trace-Id";
 
 type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Per-request cache admission for a route registered with
+/// [`Router::get_cached`]: `None` means "serve this one uncached" (caching
+/// disabled, anonymous request, ...), `Some` carries the key/version/TTL
+/// the render cache validates against.
+pub type CacheKeyFn = Arc<dyn Fn(&Request) -> Option<CacheDecision> + Send + Sync>;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Seg {
@@ -24,6 +31,62 @@ struct Route {
     pattern: String,
     segments: Vec<Seg>,
     handler: Handler,
+    /// Set for routes whose rendered bytes may be served from
+    /// [`Router::render_cache`].
+    cache: Option<CacheKeyFn>,
+    /// Metric handles resolved once per route instead of per request —
+    /// registry lookups (lock + label-key allocation) are too expensive
+    /// for the revalidation fast path.
+    metrics: RouteMetrics,
+}
+
+/// Lazily-resolved per-route instrument handles. Each series is created on
+/// first use, matching the registry's on-demand semantics (a class or 304
+/// counter appears in `/api/metrics` only once it has fired).
+#[derive(Default)]
+struct RouteMetrics {
+    requests: OnceLock<Arc<Counter>>,
+    latency: OnceLock<Arc<Histogram>>,
+    /// One per status class: 2xx, 3xx, 4xx, 5xx.
+    responses: [OnceLock<Arc<Counter>>; 4],
+    not_modified: OnceLock<Arc<Counter>>,
+}
+
+impl RouteMetrics {
+    fn record(
+        &self,
+        reg: &Arc<Registry>,
+        pattern: &str,
+        status: u16,
+        elapsed: std::time::Duration,
+    ) {
+        let labels = [("route", pattern)];
+        self.requests
+            .get_or_init(|| reg.counter("hpcdash_http_requests_total", &labels))
+            .inc();
+        let (ix, class) = match status {
+            200..=299 => (0, "2xx"),
+            300..=399 => (1, "3xx"),
+            400..=499 => (2, "4xx"),
+            _ => (3, "5xx"),
+        };
+        self.responses[ix]
+            .get_or_init(|| {
+                reg.counter(
+                    "hpcdash_http_responses_total",
+                    &[("route", pattern), ("class", class)],
+                )
+            })
+            .inc();
+        if status == 304 {
+            self.not_modified
+                .get_or_init(|| reg.counter("hpcdash_http_304_total", &labels))
+                .inc();
+        }
+        self.latency
+            .get_or_init(|| reg.histogram("hpcdash_http_request_latency", &labels))
+            .observe(elapsed);
+    }
 }
 
 /// The route table. Each dashboard component registers exactly one route
@@ -35,6 +98,12 @@ pub struct Router {
     /// latency histograms here (labelled by route *pattern*, so parameter
     /// values cannot blow up metric cardinality).
     registry: Option<Arc<Registry>>,
+    /// Pre-serialized bodies for cache-registered routes; see
+    /// [`crate::cache::RenderCache`].
+    render_cache: Arc<RenderCache>,
+    /// Shared instrument handles for unmatched requests (all 404s share
+    /// one label so unknown paths can't blow up metric cardinality).
+    unmatched_metrics: RouteMetrics,
 }
 
 impl Router {
@@ -78,8 +147,36 @@ impl Router {
             pattern: pattern.to_string(),
             segments: parse_pattern(pattern),
             handler: Arc::new(handler),
+            cache: None,
+            metrics: RouteMetrics::default(),
         });
         self
+    }
+
+    /// A GET route whose rendered bytes flow through the render cache.
+    /// `keyfn` decides admission per request; on a valid hit the handler
+    /// never runs and `If-None-Match` revalidation answers 304 with zero
+    /// serialization.
+    pub fn get_cached(
+        &mut self,
+        pattern: &str,
+        keyfn: impl Fn(&Request) -> Option<CacheDecision> + Send + Sync + 'static,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.routes.push(Route {
+            method: Method::Get,
+            pattern: pattern.to_string(),
+            segments: parse_pattern(pattern),
+            handler: Arc::new(handler),
+            cache: Some(Arc::new(keyfn)),
+            metrics: RouteMetrics::default(),
+        });
+        self
+    }
+
+    /// The render-bytes cache (benches assert its hit/miss economics).
+    pub fn render_cache(&self) -> &Arc<RenderCache> {
+        &self.render_cache
     }
 
     /// Registered `(method, pattern)` pairs, for the Table-1 harness.
@@ -113,23 +210,19 @@ impl Router {
         let trace = req.header(TRACE_HEADER).and_then(TraceId::from_hex);
         let _scope = trace.map(TraceScope::enter);
         let start = std::time::Instant::now();
-        let (pattern, mut resp) = self.dispatch(req);
+        let (route, mut resp) = self.dispatch(req);
         if let Some(reg) = &self.registry {
-            let status_class = match resp.status {
-                200..=299 => "2xx",
-                300..=399 => "3xx",
-                400..=499 => "4xx",
-                _ => "5xx",
-            };
-            let labels = [("route", pattern)];
-            reg.counter("hpcdash_http_requests_total", &labels).inc();
-            reg.counter(
-                "hpcdash_http_responses_total",
-                &[("route", pattern), ("class", status_class)],
-            )
-            .inc();
-            reg.histogram("hpcdash_http_request_latency", &labels)
-                .observe(start.elapsed());
+            match route {
+                Some(route) => {
+                    route
+                        .metrics
+                        .record(reg, &route.pattern, resp.status, start.elapsed());
+                }
+                None => {
+                    self.unmatched_metrics
+                        .record(reg, "unmatched", resp.status, start.elapsed());
+                }
+            }
         }
         if let Some(id) = trace {
             resp = resp.with_header(TRACE_HEADER, &id.to_hex());
@@ -137,35 +230,42 @@ impl Router {
         resp
     }
 
-    /// The inner match-and-invoke, returning the matched route pattern for
-    /// metric labelling (parameter values never become labels).
-    fn dispatch(&self, req: &Request) -> (&str, Response) {
+    /// The inner match-and-invoke, returning the matched route for metric
+    /// labelling by pattern (parameter values never become labels).
+    fn dispatch(&self, req: &Request) -> (Option<&Route>, Response) {
         let path_segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         for route in &self.routes {
-            if route.method != req.method {
+            // HEAD falls through to the GET route; the wire layer strips
+            // the body at serialization time.
+            let method_matches = route.method == req.method
+                || (req.method == Method::Head && route.method == Method::Get);
+            if !method_matches {
                 continue;
             }
             if let Some(params) = match_segments(&route.segments, &path_segs) {
                 let _span = Span::enter("route").attr("route", route.pattern.clone());
-                let mut req = req.clone();
-                req.params = params;
-                let handler = route.handler.clone();
-                let resp = match catch_unwind(AssertUnwindSafe(move || handler(&req))) {
-                    Ok(resp) => resp,
-                    Err(_) => Response::internal_error("component failed"),
+                // Cloning the request is only needed to attach captured
+                // params; parameterless routes (the hot polling paths)
+                // dispatch borrow-only.
+                let resp = if params.is_empty() {
+                    self.run_route(route, req)
+                } else {
+                    let mut req = req.clone();
+                    req.params = params;
+                    self.run_route(route, &req)
                 };
                 // Tail-sampling retention needs the route and final status
                 // noted before the root span closes (which may be this
                 // route span, for in-process dispatch).
                 tracestore::annotate("route", route.pattern.clone());
                 tracestore::annotate("status", resp.status.to_string());
-                return (&route.pattern, resp);
+                return (Some(route), resp);
             }
         }
         tracestore::annotate("route", "unmatched");
         tracestore::annotate("status", "404");
         (
-            "unmatched",
+            None,
             Response::not_found(&format!(
                 "no route for {} {}",
                 req.method.as_str(),
@@ -173,6 +273,64 @@ impl Router {
             )),
         )
     }
+}
+
+impl Router {
+    /// Run one matched route: render-cache admission, hit/revalidate
+    /// short-circuits, and the panic-isolated handler call on a miss.
+    fn run_route(&self, route: &Route, req: &Request) -> Response {
+        let decision = route.cache.as_ref().and_then(|keyfn| keyfn(req));
+        let Some(d) = decision else {
+            return self.invoke(route, req);
+        };
+        let inm = req.header("if-none-match");
+        if let Some(entry) = self.render_cache.get(&d) {
+            if inm_matches(inm, &entry.etag) {
+                return Response::not_modified(&entry.etag);
+            }
+            return Response::new(200)
+                .with_header("Content-Type", &entry.content_type)
+                .with_header("ETag", &entry.etag)
+                .with_body(entry.body);
+        }
+        let resp = self.invoke(route, req);
+        // Admission on fill: only fresh 200s the handler vouched for.
+        // Degraded/stale payloads keep flowing uncached so their honesty
+        // banners and ages stay per-request.
+        if resp.status == 200 && resp.cacheable {
+            let content_type = resp
+                .header("content-type")
+                .unwrap_or("application/json")
+                .to_string();
+            let entry = self
+                .render_cache
+                .put(&d, resp.body.to_shared(), &content_type);
+            if inm_matches(inm, &entry.etag) {
+                return Response::not_modified(&entry.etag);
+            }
+            return resp.with_header("ETag", &entry.etag).with_body(entry.body);
+        }
+        resp
+    }
+
+    fn invoke(&self, route: &Route, req: &Request) -> Response {
+        let handler = route.handler.clone();
+        let req = req.clone();
+        match catch_unwind(AssertUnwindSafe(move || handler(&req))) {
+            Ok(resp) => resp,
+            Err(_) => Response::internal_error("component failed"),
+        }
+    }
+}
+
+/// Does an `If-None-Match` header value match this entity tag? Handles the
+/// comma-separated list form; weak validators are not used by this stack.
+fn inm_matches(header: Option<&str>, etag: &str) -> bool {
+    let Some(header) = header else { return false };
+    header.split(',').any(|t| {
+        let t = t.trim();
+        t == etag || t == "*"
+    })
 }
 
 fn parse_pattern(pattern: &str) -> Vec<Seg> {
@@ -327,6 +485,115 @@ mod tests {
             &[("route", "unmatched"), ("class", "4xx")],
         );
         assert_eq!(notfound.get(), 1);
+    }
+
+    #[test]
+    fn head_reuses_get_routes() {
+        let r = router();
+        let resp = r.handle(&Request::new(Method::Head, "/api/jobs"));
+        assert_eq!(resp.status, 200, "HEAD matched the GET route");
+        // The wire layer is what strips the body; in-process it's intact.
+        assert!(!resp.body.is_empty());
+    }
+
+    #[test]
+    fn cached_route_renders_once_then_shares_bytes() {
+        use crate::cache::CacheDecision;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let renders = Arc::new(AtomicU64::new(0));
+        let version = Arc::new(AtomicU64::new(1));
+        let now = Arc::new(AtomicU64::new(100));
+        let mut r = Router::new();
+        let (rd, vs, nw) = (renders.clone(), version.clone(), now.clone());
+        r.get_cached(
+            "/api/hot",
+            move |req| {
+                let user = req.remote_user()?;
+                Some(CacheDecision {
+                    key: format!("hot|{user}"),
+                    version: vs.load(Ordering::SeqCst),
+                    ttl_secs: 30,
+                    now_secs: nw.load(Ordering::SeqCst),
+                })
+            },
+            move |_| {
+                rd.fetch_add(1, Ordering::SeqCst);
+                Response::json(&json!({"payload": "big"})).mark_cacheable()
+            },
+        );
+        let req = Request::new(Method::Get, "/api/hot").with_header("X-Remote-User", "alice");
+
+        let miss = r.handle(&req);
+        assert_eq!(miss.status, 200);
+        let etag = miss.header("etag").expect("miss carries ETag").to_string();
+        assert_eq!(renders.load(Ordering::SeqCst), 1);
+
+        let hit = r.handle(&req);
+        assert_eq!(renders.load(Ordering::SeqCst), 1, "hit skipped the handler");
+        assert_eq!(hit.body, miss.body, "byte-identical hit vs miss");
+        assert_eq!(hit.header("etag"), Some(etag.as_str()));
+
+        // Revalidation: If-None-Match answers 304 with no body on the wire.
+        let revalidate = r.handle(&req.clone().with_header("If-None-Match", &etag));
+        assert_eq!(revalidate.status, 304);
+        assert_eq!(revalidate.header("etag"), Some(etag.as_str()));
+
+        // Another subject renders separately (key includes the user).
+        let bob = Request::new(Method::Get, "/api/hot").with_header("X-Remote-User", "bob");
+        r.handle(&bob);
+        assert_eq!(renders.load(Ordering::SeqCst), 2);
+
+        // New publisher version invalidates; identical bytes keep the ETag,
+        // so a stale client's If-None-Match still collapses to 304.
+        version.store(2, Ordering::SeqCst);
+        let cross_epoch = r.handle(&req.clone().with_header("If-None-Match", &etag));
+        assert_eq!(renders.load(Ordering::SeqCst), 3, "epoch bump re-renders");
+        assert_eq!(cross_epoch.status, 304, "same bytes -> same ETag -> 304");
+
+        // TTL lapse on the sim clock invalidates too.
+        now.store(200, Ordering::SeqCst);
+        r.handle(&req);
+        assert_eq!(renders.load(Ordering::SeqCst), 4);
+
+        // Anonymous request: keyfn declines, handler runs uncached.
+        let anon = r.handle(&Request::new(Method::Get, "/api/hot"));
+        assert_eq!(renders.load(Ordering::SeqCst), 5);
+        assert!(anon.header("etag").is_none(), "uncached path has no ETag");
+    }
+
+    #[test]
+    fn cached_route_never_stores_non_cacheable_or_errors() {
+        use crate::cache::CacheDecision;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let renders = Arc::new(AtomicU64::new(0));
+        let mut r = Router::new();
+        let rd = renders.clone();
+        r.get_cached(
+            "/api/degraded",
+            |_| {
+                Some(CacheDecision {
+                    key: "degraded".to_string(),
+                    version: 1,
+                    ttl_secs: 60,
+                    now_secs: 0,
+                })
+            },
+            move |_| {
+                rd.fetch_add(1, Ordering::SeqCst);
+                // A degraded 200 that did NOT mark itself cacheable.
+                Response::json(&json!({"degraded": true}))
+            },
+        );
+        let req = Request::new(Method::Get, "/api/degraded");
+        assert!(r.handle(&req).header("etag").is_none());
+        r.handle(&req);
+        assert_eq!(
+            renders.load(Ordering::SeqCst),
+            2,
+            "non-cacheable responses render every time"
+        );
+        assert!(r.render_cache().is_empty());
     }
 
     #[test]

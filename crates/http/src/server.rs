@@ -1,62 +1,198 @@
-//! The TCP accept loop + keep-alive connection handling.
+//! The event-driven HTTP server: reactor threads + a worker pool.
+//!
+//! Replaces the thread-per-connection design (whose concurrent-connection
+//! ceiling *was* the worker count) with a readiness loop: [`ServerConfig::reactors`]
+//! threads own all connections through a non-blocking state machine and
+//! `workers` threads run route handlers. Ten thousand keep-alive dashboard
+//! tabs cost ten thousand sockets — not ten thousand threads — and an idle
+//! server sleeps in `epoll_wait` at zero CPU (the old accept loop polled on
+//! a 1ms sleep).
 
-use crate::request::{ParseError, Request};
-use crate::response::Response;
+use crate::conn::ConnState;
+use crate::reactor::{Injector, Reactor};
 use crate::router::Router;
+use crate::sys::Waker;
 use crate::threadpool::ThreadPool;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use hpcdash_obs::{Counter, Gauge, Registry};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A running HTTP server. Dropping it shuts the listener down.
+/// Event-loop tuning. The defaults suit tests and the simulated site;
+/// benches driving 10k+ connections raise `max_connections` and the idle
+/// timeout.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Reactor (event-loop) threads. Two keeps accept latency flat while
+    /// one loop is busy flushing; connections are distributed round-robin.
+    pub reactors: usize,
+    /// Handler threads (the old "workers" knob, unchanged meaning).
+    pub workers: usize,
+    /// Watermark past which new connections are shed with 503+Retry-After.
+    pub max_connections: usize,
+    /// Keep-alive connections quiet longer than this are closed.
+    pub idle_timeout: Duration,
+    /// A connection may not dribble a single request longer than this.
+    pub read_timeout: Duration,
+    /// A connection may not absorb its response slower than this.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            reactors: 2,
+            workers: 8,
+            max_connections: 16_384,
+            idle_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Connection/shed/lag instruments, built when the router has a registry.
+pub(crate) struct Metrics {
+    idle: Arc<Gauge>,
+    reading: Arc<Gauge>,
+    dispatching: Arc<Gauge>,
+    writing: Arc<Gauge>,
+    parked: Arc<Gauge>,
+    pub sheds: Arc<Counter>,
+    /// Per-reactor: µs spent processing the last wakeup (readiness batch +
+    /// injections). A loop stuck behind a slow syscall shows up here.
+    pub loop_lag: Vec<Arc<Gauge>>,
+}
+
+impl Metrics {
+    fn new(reg: &Registry, reactors: usize) -> Metrics {
+        let state_gauge = |s: &str| reg.gauge("hpcdash_http_connections", &[("state", s)]);
+        Metrics {
+            idle: state_gauge("idle"),
+            reading: state_gauge("reading"),
+            dispatching: state_gauge("dispatching"),
+            writing: state_gauge("writing"),
+            parked: state_gauge("parked"),
+            sheds: reg.counter("hpcdash_http_sheds_total", &[]),
+            loop_lag: (0..reactors)
+                .map(|i| {
+                    reg.gauge(
+                        "hpcdash_http_reactor_loop_lag_us",
+                        &[("reactor", &i.to_string())],
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn conn_gauge(&self, state: ConnState) -> &Arc<Gauge> {
+        match state {
+            ConnState::Idle => &self.idle,
+            ConnState::Reading => &self.reading,
+            ConnState::Dispatching => &self.dispatching,
+            ConnState::Writing => &self.writing,
+            ConnState::Parked => &self.parked,
+        }
+    }
+}
+
+/// State shared by every reactor and the server handle.
+pub(crate) struct Shared {
+    pub router: Arc<Router>,
+    pub pool: ThreadPool,
+    pub cfg: ServerConfig,
+    pub shutdown: AtomicBool,
+    pub conn_count: AtomicUsize,
+    pub next_reactor: AtomicUsize,
+    pub injectors: Vec<Arc<Injector>>,
+    pub metrics: Option<Metrics>,
+}
+
+/// A running HTTP server. Dropping it shuts the event loop down.
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    reactor_threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind to `addr` (use port 0 for an ephemeral port) and serve `router`
-    /// on `workers` threads.
+    /// with `workers` handler threads and default event-loop settings.
     pub fn bind(addr: &str, router: Arc<Router>, workers: usize) -> std::io::Result<Server> {
+        Server::bind_with(
+            addr,
+            router,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Bind with explicit event-loop tuning.
+    pub fn bind_with(
+        addr: &str,
+        router: Arc<Router>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let cfg = ServerConfig {
+            reactors: cfg.reactors.max(1),
+            workers: cfg.workers.max(1),
+            max_connections: cfg.max_connections.max(1),
+            ..cfg
+        };
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = shutdown.clone();
 
-        let accept_thread = std::thread::Builder::new()
-            .name("http-accept".to_string())
-            .spawn(move || {
-                let mut pool = ThreadPool::new(workers);
-                if let Some(reg) = router.registry() {
-                    pool.set_queue_gauge(reg.gauge("hpcdash_http_worker_queue_depth", &[]));
-                }
-                loop {
-                    if accept_shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let router = router.clone();
-                            pool.execute(move || serve_connection(stream, &router));
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(1));
-                        }
-                        Err(_) => break,
-                    }
-                }
-                // pool drops here, joining workers.
-            })?;
+        let mut pool = ThreadPool::new(cfg.workers);
+        let metrics = router.registry().map(|reg| Metrics::new(reg, cfg.reactors));
+        if let Some(reg) = router.registry() {
+            pool.set_queue_gauge(reg.gauge("hpcdash_http_worker_queue_depth", &[]));
+        }
+
+        let mut injectors = Vec::with_capacity(cfg.reactors);
+        let mut receivers = Vec::with_capacity(cfg.reactors);
+        for _ in 0..cfg.reactors {
+            let (waker, rx) = Waker::pair()?;
+            injectors.push(Arc::new(Injector::new(waker)));
+            receivers.push(rx);
+        }
+
+        let shared = Arc::new(Shared {
+            router,
+            pool,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            conn_count: AtomicUsize::new(0),
+            next_reactor: AtomicUsize::new(0),
+            injectors,
+            metrics,
+        });
+
+        let mut reactor_threads = Vec::with_capacity(shared.cfg.reactors);
+        let mut listener = Some(listener);
+        for (ix, rx) in receivers.into_iter().enumerate() {
+            let reactor = Reactor::new(
+                ix,
+                shared.clone(),
+                shared.injectors[ix].clone(),
+                rx,
+                listener.take(), // reactor 0 owns the accept socket
+            )?;
+            reactor_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("http-reactor-{ix}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
 
         Ok(Server {
             addr: local,
-            shutdown,
-            accept_thread: Some(accept_thread),
+            shared,
+            reactor_threads,
         })
     }
 
@@ -69,60 +205,36 @@ impl Server {
         format!("http://{}", self.addr)
     }
 
+    /// Total threads this server runs: reactors + workers. The bench
+    /// asserts 10k concurrent connections fit under exactly this number.
+    pub fn thread_count(&self) -> usize {
+        self.shared.cfg.reactors + self.shared.pool.worker_count()
+    }
+
+    /// Connections currently owned by the event loop (any state).
+    pub fn connection_count(&self) -> usize {
+        self.shared
+            .conn_count
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        for inj in &self.shared.injectors {
+            inj.wake();
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.reactor_threads.drain(..) {
             let _ = t.join();
         }
-    }
-}
-
-fn serve_connection(stream: TcpStream, router: &Router) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_nodelay(true);
-    let mut write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let req = match Request::read_from(&mut reader) {
-            Ok(req) => req,
-            Err(ParseError::Eof) => return,
-            Err(ParseError::BodyTooLarge(_)) => {
-                let _ = Response::error(413, "body too large").write_to(&mut write_half, false);
-                return;
-            }
-            Err(ParseError::Malformed(_)) => {
-                let _ = Response::bad_request("malformed request").write_to(&mut write_half, false);
-                return;
-            }
-        };
-        let keep_alive = req.keep_alive();
-        let resp = {
-            // The "http" hop: wire-level handling of one request on this
-            // worker. The span closes *before* the response is written, so
-            // by the time the client sees the body, the hop is already in
-            // the sink (no race when the client inspects its trace).
-            let _scope = req
-                .header(crate::router::TRACE_HEADER)
-                .and_then(hpcdash_obs::TraceId::from_hex)
-                .map(hpcdash_obs::trace::TraceScope::enter);
-            let _span = hpcdash_obs::Span::enter("http").attr("path", req.path.clone());
-            router.handle(&req)
-        };
-        if resp.write_to(&mut write_half, keep_alive).is_err() {
-            return;
-        }
-        if !keep_alive {
-            return;
-        }
+        // The worker pool joins when the last `Shared` reference drops.
     }
 }
 
@@ -131,6 +243,8 @@ mod tests {
     use super::*;
     use crate::client::HttpClient;
     use crate::request::Method;
+    use crate::response::Response;
+    use crate::Request;
     use serde_json::json;
 
     fn test_server() -> Server {
@@ -238,5 +352,22 @@ mod tests {
         router.get("/x", |_| Response::text("y"));
         let resp = router.handle(&Request::new(Method::Get, "/x"));
         assert_eq!(resp.body_string(), "y");
+    }
+
+    #[test]
+    fn thread_count_is_reactors_plus_workers() {
+        let mut router = Router::new();
+        router.get("/ping", |_| Response::text("pong"));
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::new(router),
+            ServerConfig {
+                reactors: 2,
+                workers: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(server.thread_count(), 5);
     }
 }

@@ -1,0 +1,534 @@
+//! Readiness polling without a dependency: raw-FFI `epoll` on Linux, a
+//! `poll(2)` emulation elsewhere.
+//!
+//! The surface is the small slice of an event-loop API the reactor needs —
+//! add/modify/remove an fd under a `u64` token, wait with a deadline — plus
+//! one-shot arming (the reactor's concurrency discipline: a connection is
+//! reported at most once per arm, so no other thread can race it while a
+//! worker owns the request). No `mio`, no `libc` crate: the handful of
+//! syscalls are declared here and the epoll fd lives in an [`OwnedFd`] so
+//! it closes without an FFI `close`.
+
+use std::io;
+
+/// What to watch an fd for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    Read,
+    Write,
+}
+
+/// One readiness report.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Error/hangup: the owner should read (to observe the error/EOF) and
+    /// tear the connection down.
+    pub err: bool,
+}
+
+/// Grow `RLIMIT_NOFILE` toward `want` (clamped to the hard limit) and
+/// return the resulting soft limit. Benches opening tens of thousands of
+/// sockets call this first; failure is non-fatal (the current limit is
+/// returned).
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    rlimit::raise_nofile(want)
+}
+
+mod rlimit {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: i32 = 8;
+
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+
+    pub fn raise_nofile(want: u64) -> u64 {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return 0;
+        }
+        if lim.cur >= want {
+            return lim.cur;
+        }
+        let target = want.min(lim.max);
+        let next = RLimit {
+            cur: target,
+            max: lim.max,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &next) } == 0 {
+            target
+        } else {
+            lim.cur
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use epoll::Poller;
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    // The kernel ABI: `struct epoll_event` is packed on x86 so the 12-byte
+    // layout matches 32-bit userspace.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    }
+
+    /// An epoll instance. All mutation happens on the owning reactor
+    /// thread; `wait` parks in the kernel until an armed fd is ready or the
+    /// timeout lapses.
+    pub struct Poller {
+        epfd: OwnedFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        fn mask(interest: Interest, oneshot: bool) -> u32 {
+            let base = match interest {
+                Interest::Read => EPOLLIN | EPOLLRDHUP,
+                Interest::Write => EPOLLOUT,
+            };
+            if oneshot {
+                base | EPOLLONESHOT
+            } else {
+                base
+            }
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(
+            &self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+            oneshot: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Self::mask(interest, oneshot), token)
+        }
+
+        /// Rearm (or switch interest on) an fd added earlier — the one-shot
+        /// partner of [`Poller::add`].
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+            oneshot: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Self::mask(interest, oneshot), token)
+        }
+
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            // A disarmed one-shot fd still needs DEL before close (the epoll
+            // registration survives disarm).
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Block until readiness or `timeout` (`None` = forever). Reported
+        /// events are appended to `out`.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                // Round up so a 100µs deadline doesn't spin at timeout 0.
+                Some(d) => {
+                    d.as_millis().min(i32::MAX as u128) as i32
+                        + if d.subsec_nanos() % 1_000_000 != 0 {
+                            1
+                        } else {
+                            0
+                        }
+                }
+            };
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd.as_raw_fd(),
+                        buf.as_mut_ptr(),
+                        buf.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for ev in &buf[..n] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    err: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub use fallback::Poller;
+
+/// `poll(2)` emulation for non-Linux unix: same API, O(fds) per wait. The
+/// reactor never sees the difference; one-shot is emulated by disarming a
+/// reported fd until the next `modify`.
+#[cfg(not(target_os = "linux"))]
+mod fallback {
+    use super::{Event, Interest};
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+    }
+
+    struct Reg {
+        token: u64,
+        interest: Interest,
+        oneshot: bool,
+        armed: bool,
+    }
+
+    pub struct Poller {
+        regs: Mutex<HashMap<RawFd, Reg>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                regs: Mutex::new(HashMap::new()),
+            })
+        }
+
+        pub fn add(
+            &self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+            oneshot: bool,
+        ) -> io::Result<()> {
+            self.regs.lock().insert(
+                fd,
+                Reg {
+                    token,
+                    interest,
+                    oneshot,
+                    armed: true,
+                },
+            );
+            Ok(())
+        }
+
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+            oneshot: bool,
+        ) -> io::Result<()> {
+            self.add(fd, token, interest, oneshot)
+        }
+
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            self.regs.lock().remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = Vec::new();
+            {
+                let regs = self.regs.lock();
+                for (fd, reg) in regs.iter() {
+                    if !reg.armed {
+                        continue;
+                    }
+                    let events = match reg.interest {
+                        Interest::Read => POLLIN,
+                        Interest::Write => POLLOUT,
+                    };
+                    fds.push(PollFd {
+                        fd: *fd,
+                        events,
+                        revents: 0,
+                    });
+                }
+            }
+            if fds.is_empty() {
+                // Nothing armed: just sleep out the timeout (the waker fd is
+                // always armed in practice, so this is a corner case).
+                if let Some(d) = timeout {
+                    std::thread::sleep(d);
+                }
+                return Ok(());
+            }
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => (d.as_millis().min(i32::MAX as u128) as i32).max(1),
+            };
+            let n = loop {
+                let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u32, timeout_ms) };
+                if n >= 0 {
+                    break n;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            if n == 0 {
+                return Ok(());
+            }
+            let mut regs = self.regs.lock();
+            for pfd in &fds {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                if let Some(reg) = regs.get_mut(&pfd.fd) {
+                    if reg.oneshot {
+                        reg.armed = false;
+                    }
+                    out.push(Event {
+                        token: reg.token,
+                        readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                        writable: pfd.revents & POLLOUT != 0,
+                        err: pfd.revents & (POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A self-wakeup channel: the read half is registered with the poller, any
+/// thread can `wake()` it. Built on a socketpair so no `pipe` FFI is
+/// needed; a pending-wake flag keeps N queued injections to one syscall.
+pub struct Waker {
+    tx: std::os::unix::net::UnixStream,
+    pending: std::sync::atomic::AtomicBool,
+}
+
+/// The pollable read half of a [`Waker`].
+pub struct WakeReceiver {
+    rx: std::os::unix::net::UnixStream,
+}
+
+impl Waker {
+    pub fn pair() -> io::Result<(Waker, WakeReceiver)> {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((
+            Waker {
+                tx,
+                pending: std::sync::atomic::AtomicBool::new(false),
+            },
+            WakeReceiver { rx },
+        ))
+    }
+
+    /// Wake the owning reactor (idempotent until it drains).
+    pub fn wake(&self) {
+        use std::io::Write;
+        use std::sync::atomic::Ordering;
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+}
+
+impl WakeReceiver {
+    pub fn fd(&self) -> std::os::fd::RawFd {
+        use std::os::fd::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Drain queued wake bytes; call before draining the injection queue.
+    pub fn drain(&self, waker: &Waker) {
+        use std::io::Read;
+        use std::sync::atomic::Ordering;
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+        waker.pending.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn waits_for_readable_socket() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(b.as_raw_fd(), 7, Interest::Read, true).unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "nothing readable yet");
+
+        a.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // One-shot: without a rearm the same readiness is not re-reported.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "one-shot disarmed after report");
+
+        // Rearm and it fires again (data still buffered).
+        poller
+            .modify(b.as_raw_fd(), 7, Interest::Read, true)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        let mut one = [0u8; 1];
+        let _ = (&b).read(&mut one);
+        poller.remove(b.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn timeout_elapses_without_events() {
+        let poller = Poller::new().unwrap();
+        let (_a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        poller.add(b.as_raw_fd(), 1, Interest::Read, true).unwrap();
+        let start = Instant::now();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_coalesces() {
+        let poller = Poller::new().unwrap();
+        let (waker, rx) = Waker::pair().unwrap();
+        poller.add(rx.fd(), 0, Interest::Read, false).unwrap();
+        let waker = std::sync::Arc::new(waker);
+        let w2 = waker.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                w2.wake();
+            }
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 0 && e.readable));
+        t.join().unwrap();
+        rx.drain(&waker);
+        // Drained: no stale readiness left.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "wake bytes fully drained");
+        // And a wake after drain is delivered again.
+        waker.wake();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn nofile_limit_reports_something_sane() {
+        let got = raise_nofile_limit(1024);
+        assert!(got >= 256, "soft limit {got} unexpectedly tiny");
+    }
+}

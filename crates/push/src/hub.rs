@@ -86,6 +86,10 @@ struct Subscriber {
     q: Mutex<SubQueue>,
     wake: Condvar,
     last_poll: Mutex<Instant>,
+    /// One-shot callback fired (and consumed) when something lands in the
+    /// queue. Installed by an event-loop long-poll parking this subscriber's
+    /// connection; the thread-era condvar path ignores it entirely.
+    notify: Mutex<Option<Box<dyn Fn() + Send>>>,
 }
 
 impl Subscriber {
@@ -204,6 +208,7 @@ impl Hub {
             }),
             wake: Condvar::new(),
             last_poll: Mutex::new(now),
+            notify: Mutex::new(None),
         });
         let (sub, created, reclaimed) = {
             let mut shard = self.shard_of(key).lock();
@@ -254,6 +259,21 @@ impl Hub {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
+    /// Install a one-shot wake callback, fired the next time an event (or a
+    /// resync marker) lands in this subscriber's queue and then consumed.
+    /// This is how an event-loop long-poll parks a *connection* instead of
+    /// a thread: the callback pokes the reactor that owns it. Replaces any
+    /// previously installed callback.
+    pub fn set_notify(&self, handle: &SubscriberHandle, notify: impl Fn() + Send + 'static) {
+        *handle.sub.notify.lock() = Some(Box::new(notify));
+    }
+
+    /// Drop an installed wake callback without firing it (the poll was
+    /// answered some other way).
+    pub fn clear_notify(&self, handle: &SubscriberHandle) {
+        handle.sub.notify.lock().take();
+    }
+
     /// Enqueue `event` for `sub` if visible, applying the overflow policy.
     fn offer(&self, sub: &Subscriber, event: &JobEvent, ins: &Option<Instruments>) {
         if !sub.sees(event) {
@@ -283,6 +303,9 @@ impl Hub {
         }
         drop(q);
         sub.wake.notify_all();
+        if let Some(notify) = sub.notify.lock().take() {
+            notify();
+        }
     }
 
     /// Seed a fresh subscriber with history the client has not seen (from
@@ -296,6 +319,9 @@ impl Hub {
             q.resync_required = true;
             drop(q);
             handle.sub.wake.notify_all();
+            if let Some(notify) = handle.sub.notify.lock().take() {
+                notify();
+            }
             return;
         }
         for event in events {

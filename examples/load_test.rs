@@ -74,6 +74,7 @@ fn main() {
             ],
             client_fresh_secs: if v.client_cache { Some(30) } else { None },
             bearer: Default::default(),
+            keep_alive: false,
         };
         let report = loadgen::run(&server.base_url(), site.scenario.clock.shared(), &cfg);
         let snap = site.scenario.ctld.stats().snapshot();
