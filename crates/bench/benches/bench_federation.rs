@@ -1,0 +1,240 @@
+//! Experiment P13 — federated fan-out: a 4-site federation where killing
+//! one site costs nothing but honesty.
+//!
+//! Three claims asserted here:
+//!   1. With one of 4 sites blacked out, every aggregate federation route
+//!      still answers (availability 100%), the dead site's slice marked
+//!      stale while live sites' data keeps advancing.
+//!   2. A fan-out request acquires zero cluster-state mutexes: it reads
+//!      per-site epoch-published snapshots only.
+//!   3. Fan-out cost scales linearly in the number of sites.
+
+use criterion::Criterion;
+use hpcdash_bench::banner;
+use hpcdash_cache::breaker::{BreakerBoard, BreakerConfig};
+use hpcdash_core::{Dashboard, DashboardConfig, DashboardContext};
+use hpcdash_faults::{FaultPlan, FaultRule};
+use hpcdash_http::{Method, Request};
+use hpcdash_workload::{FederatedScenario, FederationConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The portal dashboard: mounted on the first site, federating all of them.
+fn portal(fed: &FederatedScenario) -> Dashboard {
+    let home = &fed.sites[0];
+    let ctx = DashboardContext::new(
+        DashboardConfig::purdue_like(),
+        home.clock.shared(),
+        home.ctld.clone(),
+        home.dbd.clone(),
+        home.logs.clone(),
+        home.storage.clone(),
+        home.news.clone(),
+    )
+    .with_telemetry(home.telemetry.clone())
+    .with_federation(fed.registry.clone());
+    Dashboard::new(ctx)
+}
+
+fn get(dash: &Dashboard, path: &str, user: &str) -> hpcdash_http::Response {
+    dash.handle(&Request::new(Method::Get, path).with_header("X-Remote-User", user))
+}
+
+fn seq_of(body: &serde_json::Value, cluster: &str) -> u64 {
+    body["sites"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|s| s["cluster"] == cluster)
+        .unwrap()["snapshot_seq"]
+        .as_u64()
+        .unwrap()
+}
+
+fn health_of(body: &serde_json::Value, cluster: &str) -> String {
+    body["sites"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|s| s["cluster"] == cluster)
+        .unwrap()["health"]
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+/// Claim 1: kill one of four sites; aggregate availability stays at 100%
+/// with the dead slice stale-marked and live slices still advancing.
+fn blackout_availability(rounds: usize) {
+    let fed = FederationConfig::quad(29).build();
+    let dash = portal(&fed);
+    let mut driver = fed.driver(3_600);
+    driver.advance(900);
+    let user = fed.sites[0].population.users[0].clone();
+
+    // Fan out once while healthy so every site has a last-good slice.
+    let resp = get(&dash, "/api/federation/status", &user);
+    assert_eq!(resp.status, 200);
+    let before = resp.body_json().unwrap();
+    assert_eq!(before["live"], 4, "{before}");
+
+    let gamma = fed.site("gamma").unwrap();
+    gamma.ctld.faults().install(
+        Arc::new(FaultPlan::new(97).rule(FaultRule::error(
+            "slurmctld",
+            "*",
+            "gamma: site link down",
+        ))),
+        gamma.clock.shared(),
+    );
+
+    let routes = [
+        "/api/federation/status",
+        "/api/federation/jobs",
+        "/api/federation/nodes",
+    ];
+    let (mut answered, mut total) = (0u64, 0u64);
+    for _ in 0..rounds {
+        driver.advance(30);
+        for path in routes {
+            let resp = get(&dash, path, &user);
+            total += 1;
+            if resp.status == 200 {
+                answered += 1;
+            }
+            let body = resp.body_json().unwrap();
+            assert_eq!(body["degraded"], true, "{path} hides the outage");
+        }
+    }
+    assert_eq!(
+        answered, total,
+        "aggregate availability must hold at 100% through the blackout"
+    );
+
+    let after = get(&dash, "/api/federation/status", &user)
+        .body_json()
+        .unwrap();
+    assert_eq!(health_of(&after, "gamma"), "stale");
+    assert_eq!(
+        seq_of(&after, "gamma"),
+        seq_of(&before, "gamma"),
+        "the dead slice is pinned at its last good snapshot"
+    );
+    for site in ["alpha", "beta", "delta"] {
+        assert_eq!(health_of(&after, site), "live");
+        assert!(
+            seq_of(&after, site) > seq_of(&before, site),
+            "{site}'s slice keeps advancing while gamma is dark"
+        );
+    }
+    println!(
+        "blackout: {answered}/{total} aggregate requests answered over {rounds} rounds \
+         (gamma stale at seq {}, live sites advanced)",
+        seq_of(&after, "gamma"),
+    );
+}
+
+/// Claim 2: a steady-state fan-out request acquires zero state mutexes
+/// across the entire federation.
+fn zero_state_locks(iters: u32) {
+    let fed = FederationConfig::quad(31).build();
+    let dash = portal(&fed);
+    fed.driver(600).advance(300);
+    let user = fed.sites[0].population.users[0].clone();
+    // One warm fan-out, then hold the cluster still and count.
+    assert_eq!(get(&dash, "/api/federation/status", &user).status, 200);
+
+    let locks0: u64 = fed
+        .sites
+        .iter()
+        .map(|s| s.ctld.stats().state_lock_count())
+        .sum();
+    for _ in 0..iters {
+        let resp = get(&dash, "/api/federation/status", &user);
+        assert_eq!(resp.status, 200);
+    }
+    let locks: u64 = fed
+        .sites
+        .iter()
+        .map(|s| s.ctld.stats().state_lock_count())
+        .sum();
+    assert_eq!(
+        locks - locks0,
+        0,
+        "fan-out reads epoch-published snapshots only — zero state-mutex \
+         acquisitions across {iters} requests"
+    );
+    println!("{iters} fan-out requests, 0 state-mutex acquisitions on 4 sites");
+}
+
+/// Claim 3: fan-out cost is linear in the number of sites — the registry
+/// merge does per-site O(1) work (breaker gate + epoch read + Arc clone).
+fn fanout_linearity(iters: u32) {
+    let quad = FederationConfig::quad(37);
+    let mut per_site_ns = Vec::new();
+    for n in [1usize, 2, 4] {
+        let fed = FederationConfig::new(quad.sites[..n].to_vec()).build();
+        fed.driver(600).advance(300);
+        let breakers = BreakerBoard::new(fed.sites[0].clock.shared(), BreakerConfig::default());
+        // Warm the per-site last-good slots.
+        assert_eq!(fed.registry.snapshot(&breakers).live_sites(), n);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let snap = fed.registry.snapshot(&breakers);
+            assert_eq!(snap.live_sites(), n);
+        }
+        let per_fanout = t0.elapsed() / iters;
+        let per_site = per_fanout.as_nanos() as f64 / n as f64;
+        per_site_ns.push(per_site);
+        println!(
+            "{n} site(s): {:>7.1}us per fan-out, {:>7.1}us per site",
+            per_fanout.as_nanos() as f64 / 1_000.0,
+            per_site / 1_000.0,
+        );
+    }
+    // Linear means the per-site cost is flat as sites are added; allow wide
+    // slack for timer noise on small absolute numbers.
+    let (one, four) = (per_site_ns[0], per_site_ns[2]);
+    assert!(
+        four <= one * 3.0,
+        "per-site fan-out cost must not grow with site count \
+         ({one:.0}ns/site at 1 site vs {four:.0}ns/site at 4)"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    banner(
+        "P13",
+        "federation: blackout availability, lock-free fan-out, linear scaling",
+    );
+
+    blackout_availability(if smoke { 3 } else { 20 });
+    zero_state_locks(if smoke { 25 } else { 500 });
+    fanout_linearity(if smoke { 300 } else { 5_000 });
+
+    // Criterion numbers for the report.
+    let fed = FederationConfig::quad(41).build();
+    let dash = portal(&fed);
+    fed.driver(600).advance(300);
+    let user = fed.sites[0].population.users[0].clone();
+    let breakers = BreakerBoard::new(fed.sites[0].clock.shared(), BreakerConfig::default());
+    let mut cbench = Criterion::default().configure_from_args().sample_size(30);
+    {
+        let mut group = cbench.benchmark_group("federation");
+        group.bench_function("registry_fanout_quad", |b| {
+            b.iter(|| {
+                let snap = fed.registry.snapshot(&breakers);
+                assert_eq!(snap.sites.len(), 4);
+            })
+        });
+        group.bench_function("status_route_quad", |b| {
+            b.iter(|| {
+                let resp = get(&dash, "/api/federation/status", &user);
+                assert_eq!(resp.status, 200);
+            })
+        });
+        group.finish();
+    }
+    cbench.final_summary();
+}

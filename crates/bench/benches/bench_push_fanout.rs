@@ -170,6 +170,7 @@ fn main() {
                 hub.publish(&JobEvent {
                     seq,
                     at: Timestamp(seq),
+                    cluster: "testbed".to_string(),
                     job: JobId(seq as u32),
                     user: "u0".to_string(),
                     account: "physics".to_string(),

@@ -96,6 +96,9 @@ impl Breaker {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BreakerSnapshot {
     pub source: String,
+    /// Cluster this source belongs to, parsed from the `name@cluster` key
+    /// convention federated sources use (`None` for single-site sources).
+    pub cluster: Option<String>,
     pub state: BreakerState,
     pub consecutive_failures: u32,
     /// How many times this breaker has tripped open in total.
@@ -199,8 +202,12 @@ impl BreakerBoard {
         map.iter_mut()
             .map(|(source, b)| {
                 b.settle(now, &self.cfg);
+                let cluster = source
+                    .split_once('@')
+                    .map(|(_, cluster)| cluster.to_string());
                 BreakerSnapshot {
                     source: source.clone(),
+                    cluster,
                     state: b.state,
                     consecutive_failures: b.consecutive_failures,
                     opens: b.opens,
@@ -292,6 +299,18 @@ mod tests {
         assert_eq!(snaps[0].source, "squeue");
         assert_eq!(snaps[1].source, "storage");
         assert_eq!(snaps[1].opens, 1);
+    }
+
+    #[test]
+    fn cluster_is_parsed_from_the_at_convention() {
+        let (b, _clock) = board(1, 30, 1);
+        b.record_failure("fed@beta");
+        assert!(b.allow("squeue"));
+        let snaps = b.snapshots();
+        let fed = snaps.iter().find(|s| s.source == "fed@beta").unwrap();
+        assert_eq!(fed.cluster.as_deref(), Some("beta"));
+        let plain = snaps.iter().find(|s| s.source == "squeue").unwrap();
+        assert_eq!(plain.cluster, None);
     }
 
     #[test]

@@ -15,5 +15,5 @@ pub mod loadgen;
 
 pub use browser::{DashboardClient, FetchOutcome, FetchResult, PageLoad};
 pub use histogram::{LatencyRecorder, LatencySummary};
-pub use live::{LiveSubscriber, PollOutcome};
-pub use loadgen::{admin_observability_paths, LoadConfig, LoadReport};
+pub use live::{LiveSubscriber, PollOutcome, StreamTransport};
+pub use loadgen::{admin_observability_paths, federation_paths, LoadConfig, LoadReport};

@@ -11,10 +11,37 @@
 //! would refetch its tables at that point.
 
 use hpcdash_cache::IndexedDb;
-use hpcdash_http::HttpClient;
+use hpcdash_http::{ClientResponse, HttpClient};
 use hpcdash_simtime::SharedClock;
 use serde_json::Value;
 use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+/// How a subscriber reaches the server. The default is a real keep-alive
+/// TCP connection ([`HttpClient`]); harnesses that want more concurrent
+/// tabs than one process's fd limit allows dispatch in-process instead.
+/// Either way the server-side cost is identical — one hub queue, one
+/// registered subscriber, one drain per poll — only the socket is elided,
+/// so a 100k-tab fleet exercises the real fan-out path.
+pub trait StreamTransport: Send + Sync {
+    fn get(&self, url: &str, headers: &[(&str, &str)]) -> Result<ClientResponse, String>;
+
+    /// `(connections opened, requests served over a reused connection)` —
+    /// zeros for transports that hold no sockets.
+    fn connection_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+impl StreamTransport for HttpClient {
+    fn get(&self, url: &str, headers: &[(&str, &str)]) -> Result<ClientResponse, String> {
+        HttpClient::get(self, url, headers).map_err(|e| e.to_string())
+    }
+
+    fn connection_stats(&self) -> (u64, u64) {
+        HttpClient::connection_stats(self)
+    }
+}
 
 /// What one stream poll produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +62,7 @@ pub const LIVE_STORE: &str = "live_jobs";
 
 /// A live-updates subscriber for one user and one tab (`sub` token).
 pub struct LiveSubscriber {
-    http: HttpClient,
+    transport: Arc<dyn StreamTransport>,
     base_url: String,
     user: String,
     token: String,
@@ -60,14 +87,33 @@ pub struct LiveSubscriber {
 
 impl LiveSubscriber {
     pub fn new(base_url: &str, user: &str, token: &str, clock: SharedClock) -> LiveSubscriber {
+        // A live tab holds one TCP connection and parks it between
+        // deliveries; reconnect-per-poll would defeat the event loop.
+        LiveSubscriber::with_transport(
+            base_url,
+            user,
+            token,
+            clock,
+            Arc::new(HttpClient::keep_alive()),
+        )
+    }
+
+    /// A subscriber on a caller-supplied transport. Fleets share one
+    /// transport `Arc` — the per-tab state (queue token, cursor, local
+    /// store) stays per-subscriber.
+    pub fn with_transport(
+        base_url: &str,
+        user: &str,
+        token: &str,
+        clock: SharedClock,
+        transport: Arc<dyn StreamTransport>,
+    ) -> LiveSubscriber {
         // FNV-1a over the token: stable, spread-out per-tab seeds.
         let seed = token.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
             (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
         });
         LiveSubscriber {
-            // A live tab holds one TCP connection and parks it between
-            // deliveries; reconnect-per-poll would defeat the event loop.
-            http: HttpClient::keep_alive(),
+            transport,
             base_url: base_url.trim_end_matches('/').to_string(),
             user: user.to_string(),
             token: token.to_string(),
@@ -105,7 +151,7 @@ impl LiveSubscriber {
         if let Some((etag, _)) = &validator {
             headers.push(("If-None-Match", etag));
         }
-        let resp = self.http.get(&url, &headers).map_err(|e| e.to_string())?;
+        let resp = self.transport.get(&url, &headers)?;
         if resp.status == 503 {
             let retry_after_secs = resp
                 .header("Retry-After")
@@ -194,7 +240,7 @@ impl LiveSubscriber {
 
     /// `(connections opened, requests served over a reused connection)`.
     pub fn connection_stats(&self) -> (u64, u64) {
-        self.http.connection_stats()
+        self.transport.connection_stats()
     }
 
     /// How long to wait before re-polling after a `Shed`.
@@ -234,6 +280,60 @@ mod tests {
     fn sub(token: &str) -> LiveSubscriber {
         let clock = SimClock::new(Timestamp(0));
         LiveSubscriber::new("http://127.0.0.1:1", "alice", token, clock.shared())
+    }
+
+    /// A socketless transport answering from a canned script, recording the
+    /// URLs it was asked for — the seam the 100k-tab bench rides through.
+    struct Scripted {
+        responses: std::sync::Mutex<Vec<ClientResponse>>,
+        urls: std::sync::Mutex<Vec<String>>,
+    }
+
+    impl StreamTransport for Scripted {
+        fn get(&self, url: &str, _headers: &[(&str, &str)]) -> Result<ClientResponse, String> {
+            self.urls.lock().unwrap().push(url.to_string());
+            self.responses
+                .lock()
+                .unwrap()
+                .pop()
+                .ok_or_else(|| "script exhausted".to_string())
+        }
+    }
+
+    fn canned(body: &str) -> ClientResponse {
+        ClientResponse {
+            status: 200,
+            headers: Default::default(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn custom_transport_carries_the_full_poll_protocol() {
+        let transport = Arc::new(Scripted {
+            responses: std::sync::Mutex::new(vec![canned(
+                r#"{"events":[{"seq":7,"job":"42","to":"RUNNING"}],"latest_seq":7}"#,
+            )]),
+            urls: std::sync::Mutex::new(Vec::new()),
+        });
+        let clock = SimClock::new(Timestamp(0));
+        let s = LiveSubscriber::with_transport(
+            "http://inproc",
+            "alice",
+            "tab-1",
+            clock.shared(),
+            transport.clone(),
+        );
+        s.anchor_at(3);
+        assert_eq!(s.poll(0), Ok(PollOutcome::Events(1)));
+        assert_eq!(s.cursor(), 7, "cursor re-anchors at latest_seq");
+        assert_eq!(s.job_state("42"), Some("RUNNING".to_string()));
+        assert_eq!(s.connection_stats(), (0, 0), "no sockets anywhere");
+        let urls = transport.urls.lock().unwrap();
+        assert_eq!(
+            urls.as_slice(),
+            ["http://inproc/api/updates/stream?sub=tab-1&since=3&wait_ms=0"]
+        );
     }
 
     #[test]

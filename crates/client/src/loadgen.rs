@@ -166,6 +166,20 @@ pub fn slurm_v0_paths() -> Vec<String> {
     ]
 }
 
+/// The federated route mix: what a user keeping the Federation page open
+/// adds to a load run — the cross-cluster overview, their own jobs across
+/// every site, and the merged node view. These routes always answer (a dark
+/// site degrades only its slice), so their payloads carry a top-level
+/// `degraded` flag that the per-route availability report picks up as
+/// degraded-but-rendered, exactly like a stale widget.
+pub fn federation_paths() -> Vec<String> {
+    vec![
+        "/api/federation/status".to_string(),
+        "/api/federation/jobs".to_string(),
+        "/api/federation/nodes".to_string(),
+    ]
+}
+
 /// Run a load test against `base_url`. One OS thread per user; each user
 /// has an independent client cache, like separate browsers.
 pub fn run(base_url: &str, clock: SharedClock, cfg: &LoadConfig) -> LoadReport {
@@ -563,6 +577,43 @@ mod tests {
         for path in slurm_v0_paths() {
             assert_eq!(report.availability[&path].availability(), 0.0, "{path}");
         }
+    }
+
+    #[test]
+    fn federation_mix_counts_site_loss_as_degraded_not_failed() {
+        let (server, clock, ctx) = site(true);
+        let cfg = LoadConfig::new(vec!["u1".to_string()], 2, federation_paths());
+        let report = run(&server.base_url(), clock.shared(), &cfg);
+        assert_eq!(report.errors, 0, "{:?}", report.availability);
+        for path in federation_paths() {
+            let avail = &report.availability[&path];
+            assert_eq!(avail.availability(), 1.0, "{path}: {avail:?}");
+            assert_eq!(avail.degraded, 0, "{path}: all sites live");
+        }
+        // Cut the (single) site's link: the aggregates keep answering from
+        // last-known-good, and the top-level `degraded` flag turns the
+        // fetches into degraded-but-rendered — never failed.
+        ctx.ctld.faults().install(
+            Arc::new(
+                hpcdash_faults::FaultPlan::new(11).rule(hpcdash_faults::FaultRule::error(
+                    "slurmctld",
+                    "*",
+                    "site link down",
+                )),
+            ),
+            ctx.clock.clone(),
+        );
+        let report = run(&server.base_url(), clock.shared(), &cfg);
+        assert_eq!(report.errors, 0, "{:?}", report.availability);
+        for path in federation_paths() {
+            let avail = &report.availability[&path];
+            assert_eq!(avail.availability(), 1.0, "{path}: {avail:?}");
+            assert_eq!(
+                avail.fresh, 0,
+                "{path}: every answer is honest about the outage"
+            );
+        }
+        ctx.ctld.faults().clear();
     }
 
     #[test]

@@ -25,14 +25,17 @@ fn handle(ctx: &DashboardContext, _req: &Request) -> Response {
         .snapshots()
         .into_iter()
         .map(|s| {
-            (
-                s.source,
-                serde_json::json!({
-                    "state": s.state.as_str(),
-                    "consecutive_failures": s.consecutive_failures,
-                    "opens": s.opens,
-                }),
-            )
+            let mut entry = serde_json::json!({
+                "state": s.state.as_str(),
+                "consecutive_failures": s.consecutive_failures,
+                "opens": s.opens,
+            });
+            // Federated sources (`fed@<cluster>`) say which site they guard,
+            // so a stuck-open breaker is attributable to a cluster.
+            if let Some(cluster) = s.cluster {
+                entry["cluster"] = cluster.into();
+            }
+            (s.source, entry)
         })
         .collect::<serde_json::Map>()
         .into();
@@ -106,6 +109,18 @@ mod tests {
         assert_eq!(body["breakers"]["sacct"]["state"], "open");
         assert_eq!(body["breakers"]["sacct"]["opens"], 1);
         assert_eq!(body["breakers"]["sinfo"]["state"], "closed");
+    }
+
+    #[test]
+    fn federated_breakers_carry_their_cluster() {
+        let ctx = test_ctx();
+        ctx.health.record_ok("sinfo");
+        ctx.breakers.record_failure("fed@beta");
+        ctx.breakers.record_success("sacct");
+        let resp = handle(&ctx, &request());
+        let body = resp.body_json().unwrap();
+        assert_eq!(body["breakers"]["fed@beta"]["cluster"], "beta");
+        assert!(body["breakers"]["sacct"]["cluster"].is_null());
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub mod activejobs;
 pub mod admin;
 pub mod announcements;
 pub mod clusterstatus;
+pub mod federation;
 pub mod health;
 pub mod jobmetrics;
 pub mod joboverview;
@@ -156,6 +157,9 @@ pub fn register_all(router: &mut Router, ctx: &DashboardContext) {
     observatory::register(router, ctx.clone());
     // The `/slurm/v0` structured family (token-scoped, snapshot-serialized).
     slurmrest::register(router, ctx.clone());
+    // Multi-cluster federation: cross-site aggregates with honest per-site
+    // degradation, plus cluster-scoped slices.
+    federation::register(router, ctx.clone());
 }
 
 /// The declared feature -> data-source table (the paper's Table 1).

@@ -204,6 +204,7 @@ pub(crate) fn summary_payload(ctx: &DashboardContext) -> Value {
         .map(|s| {
             json!({
                 "source": s.source,
+                "cluster": s.cluster,
                 "state": s.state.as_str(),
                 "consecutive_failures": s.consecutive_failures,
                 "opens": s.opens,

@@ -37,6 +37,10 @@ pub const ROUTES: &[&str] = &[
     "/slurm/v0/diag",
     "/slurm/v0/admin/tokens",
     "/slurm/v0/admin/tokens/:id/revoke",
+    "/slurm/v0/clusters",
+    "/slurm/v0/clusters/:cluster/jobs",
+    "/slurm/v0/clusters/:cluster/nodes",
+    "/slurm/v0/clusters/:cluster/partitions",
 ];
 
 pub fn register(router: &mut Router, ctx: DashboardContext) {
@@ -49,6 +53,10 @@ pub fn register(router: &mut Router, ctx: DashboardContext) {
     let c6 = c(&ctx);
     let c7 = c(&ctx);
     let c8 = c(&ctx);
+    let c9 = c(&ctx);
+    let c10 = c(&ctx);
+    let c11 = c(&ctx);
+    let c12 = c(&ctx);
     router.get(ROUTES[0], move |req| read(&ctx, req, Endpoint::Jobs));
     router.get(ROUTES[1], move |req| read(&c1, req, Endpoint::JobById));
     router.get(ROUTES[2], move |req| read(&c2, req, Endpoint::Nodes));
@@ -58,6 +66,17 @@ pub fn register(router: &mut Router, ctx: DashboardContext) {
     router.add(Method::Post, ROUTES[6], move |req| mint(&c6, req));
     router.get(ROUTES[6], move |req| list(&c7, req));
     router.add(Method::Post, ROUTES[7], move |req| revoke(&c8, req));
+    // The federation family: cluster inventory plus cluster-scoped reads.
+    router.get(ROUTES[8], move |req| clusters(&c9, req));
+    router.get(ROUTES[9], move |req| {
+        cluster_read(&c10, req, FedEndpoint::Jobs)
+    });
+    router.get(ROUTES[10], move |req| {
+        cluster_read(&c11, req, FedEndpoint::Nodes)
+    });
+    router.get(ROUTES[11], move |req| {
+        cluster_read(&c12, req, FedEndpoint::Partitions)
+    });
 }
 
 #[derive(Clone, Copy)]
@@ -274,6 +293,146 @@ fn build(
             });
             Ok(serialize::diag_body(snap, &extra))
         }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum FedEndpoint {
+    Jobs,
+    Nodes,
+    Partitions,
+}
+
+impl FedEndpoint {
+    fn name(self) -> &'static str {
+        match self {
+            FedEndpoint::Jobs => "clusters_jobs",
+            FedEndpoint::Nodes => "clusters_nodes",
+            FedEndpoint::Partitions => "clusters_partitions",
+        }
+    }
+}
+
+/// Resolve a bearer that must carry `read-cluster` — the federation family
+/// is a cluster-level surface, so partial scopes are refused outright.
+fn fed_bearer(ctx: &DashboardContext, req: &Request, audit: &str) -> Result<AuthedToken, Response> {
+    let token = bearer(ctx, req)?;
+    if !token.scopes.has_cluster() {
+        ctx.tokens.note_denied(audit);
+        return Err(Response::forbidden("federation requires read-cluster"));
+    }
+    Ok(token)
+}
+
+/// `GET /slurm/v0/clusters`: the federated inventory — every registered
+/// site with its health, snapshot seq, and job/node totals. Served from a
+/// fresh fan-out on every request (never byte-cached): the per-site ages
+/// this payload reports must keep growing while a site is dark.
+fn clusters(ctx: &DashboardContext, req: &Request) -> Response {
+    ctx.obs
+        .counter(
+            "hpcdash_restapi_requests_total",
+            &[("endpoint", "clusters")],
+        )
+        .inc();
+    if let Err(resp) = fed_bearer(ctx, req, "clusters") {
+        return resp;
+    }
+    let fed = ctx.federation.snapshot(&ctx.breakers);
+    let sites: Vec<serde_json::Value> = fed
+        .sites
+        .iter()
+        .map(|s| {
+            let mut entry = json!({
+                "name": s.cluster.as_ref(),
+                "health": s.health.as_str(),
+                "snapshot_seq": s.seq(),
+            });
+            if let Some(snap) = &s.snapshot {
+                entry["jobs"] = json!(snap.jobs.len());
+                entry["nodes"] = json!(snap.nodes.len());
+            }
+            if let Some(notice) = s.notice() {
+                entry["notice"] = json!(notice);
+            }
+            entry
+        })
+        .collect();
+    Response::json(&json!({
+        "meta": { "plugin": { "type": "hpcdash/v0", "name": "federation" } },
+        "degraded": fed.is_degraded(),
+        "clusters": sites,
+    }))
+}
+
+/// The cluster-scoped read handler: bearer (read-cluster) → federation
+/// slice (breaker-gated, last-known-good under faults) → seq-keyed byte
+/// cache → serialize. A degraded slice serves its stale bytes under an
+/// `X-Hpcdash-Stale` header, exactly like the single-site family under a
+/// `slurm_v0` fault; a dark slice (no snapshot ever fetched) is a 503.
+fn cluster_read(ctx: &DashboardContext, req: &Request, endpoint: FedEndpoint) -> Response {
+    ctx.obs
+        .counter(
+            "hpcdash_restapi_requests_total",
+            &[("endpoint", endpoint.name())],
+        )
+        .inc();
+    if let Err(resp) = fed_bearer(ctx, req, endpoint.name()) {
+        return resp;
+    }
+    let Some(cluster) = req.param("cluster") else {
+        return Response::bad_request("missing cluster");
+    };
+    let Some(slice) = ctx.federation.site_status(cluster, &ctx.breakers) else {
+        return Response::not_found("unknown cluster");
+    };
+    let (snap, stale_age) = match (&slice.snapshot, &slice.health) {
+        (Some(snap), hpcdash_federation::SiteHealth::Stale { age_secs, .. }) => {
+            (snap.clone(), Some(*age_secs))
+        }
+        (Some(snap), _) => (snap.clone(), None),
+        (None, health) => {
+            return Response::service_unavailable(&format!(
+                "cluster {cluster} unavailable ({})",
+                health.as_str()
+            ));
+        }
+    };
+    // The render-bytes key carries the cluster dimension; the version is the
+    // *slice's* seq, so stale bytes stay valid for the epoch they reflect.
+    let key = format!("{}|{}", endpoint.name(), cluster);
+    let body = match ctx.rest_cache.get(&key, snap.seq) {
+        Some(body) => body,
+        None => {
+            let built = match endpoint {
+                FedEndpoint::Jobs => {
+                    let positions: Vec<u32> = (0..snap.jobs.len() as u32).collect();
+                    serialize::jobs_body(&snap, &positions)
+                }
+                FedEndpoint::Nodes => serialize::nodes_body(&snap, None),
+                FedEndpoint::Partitions => {
+                    let indices: Vec<usize> = (0..snap.partitions.len()).collect();
+                    serialize::partitions_body(&snap, &indices)
+                }
+            };
+            let body: Arc<str> = Arc::from(built.as_str());
+            ctx.rest_cache.put(&key, snap.seq, body.clone());
+            body
+        }
+    };
+    let resp = bytes(&body);
+    match stale_age {
+        Some(age) => {
+            ctx.obs
+                .counter(
+                    "hpcdash_restapi_stale_serves_total",
+                    &[("endpoint", endpoint.name())],
+                )
+                .inc();
+            resp.with_header("X-Hpcdash-Stale", &snap.seq.to_string())
+                .with_header("X-Hpcdash-Stale-Age", &age.to_string())
+        }
+        None => resp,
     }
 }
 
@@ -539,6 +698,91 @@ mod tests {
         ctx.ctld.tick();
         read(&ctx, &get("/slurm/v0/jobs", &secret), Endpoint::Jobs);
         assert_eq!(ctx.rest_cache.hits(), hits0 + 1);
+    }
+
+    #[test]
+    fn clusters_family_requires_read_cluster() {
+        let ctx = admin_ctx();
+        ctx.ctld.tick();
+        let (_, own) = mint_for(&ctx, "alice", &["read-own-jobs"]).unwrap();
+        assert_eq!(clusters(&ctx, &get("/slurm/v0/clusters", &own)).status, 403);
+        let mut req = get("/slurm/v0/clusters/t/jobs", &own);
+        req.params.insert("cluster".to_string(), "t".to_string());
+        assert_eq!(cluster_read(&ctx, &req, FedEndpoint::Jobs).status, 403);
+        // Anonymous is 401, not 403.
+        let req = Request::new(Method::Get, "/slurm/v0/clusters");
+        assert_eq!(clusters(&ctx, &req).status, 401);
+    }
+
+    #[test]
+    fn clusters_inventory_lists_registered_sites() {
+        let ctx = admin_ctx();
+        ctx.ctld.tick();
+        let (_, secret) = mint_for(&ctx, "root", &["read-cluster"]).unwrap();
+        let resp = clusters(&ctx, &get("/slurm/v0/clusters", &secret));
+        assert_eq!(resp.status, 200);
+        let body = resp.body_json().unwrap();
+        assert_eq!(body["degraded"], false);
+        let sites = body["clusters"].as_array().unwrap();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0]["name"], "t");
+        assert_eq!(sites[0]["health"], "live");
+        assert!(sites[0]["snapshot_seq"].as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn cluster_scoped_reads_serialize_that_site() {
+        let ctx = admin_ctx();
+        ctx.ctld
+            .submit(JobRequest::simple("alice", "physics", "cpu", 1))
+            .unwrap();
+        ctx.ctld.tick();
+        let (_, secret) = mint_for(&ctx, "root", &["read-cluster"]).unwrap();
+        let mut req = get("/slurm/v0/clusters/t/jobs", &secret);
+        req.params.insert("cluster".to_string(), "t".to_string());
+        let resp = cluster_read(&ctx, &req, FedEndpoint::Jobs);
+        assert_eq!(resp.status, 200);
+        let body = resp.body_json().unwrap();
+        assert_eq!(body["jobs"].as_array().unwrap().len(), 1);
+        assert_eq!(body["meta"]["cluster"], "t");
+        // Repeat requests answer from the seq-keyed byte cache.
+        let hits0 = ctx.rest_cache.hits();
+        let again = cluster_read(&ctx, &req, FedEndpoint::Jobs);
+        assert_eq!(again.body, resp.body);
+        assert_eq!(ctx.rest_cache.hits(), hits0 + 1);
+        // Unknown clusters 404.
+        req.params
+            .insert("cluster".to_string(), "nosuch".to_string());
+        assert_eq!(cluster_read(&ctx, &req, FedEndpoint::Nodes).status, 404);
+    }
+
+    #[test]
+    fn blacked_out_cluster_serves_stale_bytes_with_age() {
+        let ctx = admin_ctx();
+        ctx.ctld.tick();
+        let (_, secret) = mint_for(&ctx, "root", &["read-cluster"]).unwrap();
+        let mut req = get("/slurm/v0/clusters/t/nodes", &secret);
+        req.params.insert("cluster".to_string(), "t".to_string());
+        // Warm the last-known-good slice, then cut the site's link.
+        let warm = cluster_read(&ctx, &req, FedEndpoint::Nodes);
+        assert_eq!(warm.status, 200);
+        assert!(warm.header("X-Hpcdash-Stale").is_none());
+        ctx.ctld.faults().install(
+            Arc::new(
+                hpcdash_faults::FaultPlan::new(5).rule(hpcdash_faults::FaultRule::error(
+                    "slurmctld",
+                    "*",
+                    "site link down",
+                )),
+            ),
+            ctx.clock.clone(),
+        );
+        let resp = cluster_read(&ctx, &req, FedEndpoint::Nodes);
+        assert_eq!(resp.status, 200, "stale slice keeps answering");
+        assert!(resp.header("X-Hpcdash-Stale").is_some());
+        assert!(resp.header("X-Hpcdash-Stale-Age").is_some());
+        assert_eq!(resp.body, warm.body);
+        ctx.ctld.faults().clear();
     }
 
     #[test]

@@ -212,6 +212,35 @@ fn register_collectors(ctx: &DashboardContext) {
             }
         }
     });
+    // Federation fan-out accounting per site. Reads the sites' own atomic
+    // counters — no breaker probes, no fault checks: a metrics scrape must
+    // never consume a half-open breaker's probe budget.
+    let federation = ctx.federation.clone();
+    ctx.obs.register_collector(move |out| {
+        out.push(Sample::gauge(
+            "hpcdash_federation_sites",
+            &[],
+            federation.len() as i64,
+        ));
+        for site in federation.sites() {
+            let labels = [("cluster", site.name().as_ref())];
+            out.push(Sample::counter(
+                "hpcdash_federation_polls_total",
+                &labels,
+                site.polls(),
+            ));
+            out.push(Sample::counter(
+                "hpcdash_federation_stale_serves_total",
+                &labels,
+                site.stale_serves(),
+            ));
+            out.push(Sample::counter(
+                "hpcdash_federation_dark_serves_total",
+                &labels,
+                site.dark_serves(),
+            ));
+        }
+    });
     let cache = ctx.cache.clone();
     ctx.obs.register_collector(move |out| {
         let s = cache.stats();
@@ -298,6 +327,14 @@ fn register_pages(router: &mut Router, ctx: &DashboardContext) {
         let id = req.param("id").unwrap_or("?").to_string();
         with_user(&cx, req, |user| {
             Response::html(pages::joboverview::render_shell(&c, user, &id))
+        })
+    });
+
+    let c = cluster.clone();
+    let cx = ctx.clone();
+    router.get("/federation", move |req| {
+        with_user(&cx, req, |user| {
+            Response::html(pages::federation::render_shell(&c, user))
         })
     });
 
@@ -442,6 +479,7 @@ mod tests {
             "/myjobs",
             "/jobperf",
             "/clusterstatus",
+            "/federation",
             "/jobs/123",
             "/nodes/a001",
         ] {
@@ -471,6 +509,7 @@ mod tests {
             "/api/myjobs",
             "/api/jobmetrics",
             "/api/clusterstatus",
+            "/api/federation/status",
         ] {
             let resp = get(&d, path, Some("alice"));
             assert_eq!(resp.status, 200, "{path}: {}", resp.body_string());
@@ -513,11 +552,13 @@ mod tests {
         // push stream) + 3 admin actions + 2 telemetry routes (live strip +
         // per-job series) + 6 observability routes (/api/metrics,
         // /api/health, /api/observatory, /api/traces, /api/traces/:id,
-        // /api/obs/series) + 9 `/slurm/v0` routes (6 reads + mint + list +
-        // revoke) + 8 pages (incl. /observatory) + 3 assets + healthz.
+        // /api/obs/series) + 13 `/slurm/v0` routes (6 reads + mint + list +
+        // revoke + clusters inventory + 3 cluster-scoped reads) + 4
+        // federation widget routes + 9 pages (incl. /observatory and
+        // /federation) + 3 assets + healthz.
         assert_eq!(
             patterns.len(),
-            13 + 3 + 3 + 2 + 6 + 9 + 8 + 3 + 1,
+            13 + 3 + 3 + 2 + 6 + 13 + 4 + 9 + 3 + 1,
             "{patterns:?}"
         );
     }

@@ -31,6 +31,11 @@ pub struct CachePolicy {
     /// payload is assembled from in-memory stats (no backend RPC), so a
     /// long TTL would only hide the incident it exists to show.
     pub observatory: u64,
+    /// Federated aggregate views (`/api/federation/*`). Short like the
+    /// squeue tier: the fan-out itself is lock-free snapshot reads, and a
+    /// long TTL would freeze the per-site freshness notices these routes
+    /// exist to keep honest.
+    pub federation: u64,
 }
 
 impl Default for CachePolicy {
@@ -49,6 +54,7 @@ impl Default for CachePolicy {
             telemetry: 30,
             client_fresh: 30,
             observatory: 5,
+            federation: 15,
         }
     }
 }
@@ -70,6 +76,7 @@ impl CachePolicy {
             telemetry: 0,
             client_fresh: 0,
             observatory: 0,
+            federation: 0,
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::config::DashboardConfig;
 use hpcdash_cache::{BreakerBoard, BreakerConfig, CachedFetcher, GraceOutcome};
+use hpcdash_federation::ClusterRegistry;
 use hpcdash_http::ParkBudget;
 use hpcdash_news::NewsFeed;
 use hpcdash_obs::health::HealthBoard;
@@ -55,6 +56,11 @@ pub struct DashboardContext {
     /// Serialized `/slurm/v0` response bytes keyed on snapshot seq — the
     /// steady-state fast path, and the stale fallback under faults.
     pub rest_cache: Arc<RestCache>,
+    /// The multi-cluster federation registry. [`DashboardContext::new`]
+    /// builds a single-site registry around the context's own `slurmctld`,
+    /// so federated routes always answer; multi-site deployments inject a
+    /// real registry via [`DashboardContext::with_federation`].
+    pub federation: Arc<ClusterRegistry>,
     /// route name -> data sources it touched on cache-cold loads.
     sources: Arc<Mutex<BTreeMap<String, BTreeSet<String>>>>,
 }
@@ -200,7 +206,10 @@ impl DashboardContext {
         // so a given configuration mints a reproducible sequence.
         let tokens = Arc::new(TokenStore::new(cfg.resilience.seed));
         tokens.set_registry(&obs);
+        let mut registry = ClusterRegistry::new(clock.clone());
+        registry.register(ctld.clone());
         DashboardContext {
+            federation: Arc::new(registry),
             cfg: Arc::new(cfg),
             cache: Arc::new(CachedFetcher::new(clock.clone())),
             tokens,
@@ -229,6 +238,14 @@ impl DashboardContext {
         // `new` did the same, but it is being replaced here).
         telemetry.set_registry(&self.obs);
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Use an externally built multi-site registry (the federated scenario's)
+    /// in place of the single-site one `new` constructed. The context's own
+    /// `ctld` should be one of the registered sites.
+    pub fn with_federation(mut self, federation: Arc<ClusterRegistry>) -> DashboardContext {
+        self.federation = federation;
         self
     }
 

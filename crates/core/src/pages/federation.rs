@@ -1,0 +1,116 @@
+//! The Federation page: every registered cluster's health and totals on one
+//! screen, with per-site freshness notices for degraded slices.
+
+use crate::pages::layout::{shell, widget_placeholder};
+use crate::template::escape_html;
+use serde_json::Value;
+
+pub fn render_shell(cluster: &str, user: &str) -> String {
+    let mut body = String::from("<h1>Federation</h1>");
+    body.push_str(&widget_placeholder("federation", "/api/federation/status"));
+    body.push_str(&widget_placeholder(
+        "federation-jobs",
+        "/api/federation/jobs",
+    ));
+    shell("Federation", "federation", cluster, user, &body)
+}
+
+/// The site table: one row per cluster with health, totals, and — for
+/// degraded slices — the honest "data from N s ago" notice in the row
+/// itself, not hidden in a tooltip (accessibility rule: state in text).
+pub fn render_sites(payload: &Value) -> String {
+    let mut out = String::from(
+        "<table class=\"federation-table\"><thead><tr>\
+         <th>Cluster</th><th>Health</th><th>Running</th><th>Pending</th>\
+         <th>Nodes</th><th>Freshness</th></tr></thead><tbody>",
+    );
+    for s in payload["sites"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
+        let health = s["health"].as_str().unwrap_or("dark");
+        let freshness = match s["notice"].as_str() {
+            Some(notice) => escape_html(notice),
+            None => "current".to_string(),
+        };
+        out.push_str(&format!(
+            "<tr class=\"site-{}\"><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            health,
+            escape_html(s["cluster"].as_str().unwrap_or("?")),
+            health,
+            s["jobs"]["running"],
+            s["jobs"]["pending"],
+            s["nodes"],
+            freshness,
+        ));
+    }
+    out.push_str("</tbody></table>");
+    out
+}
+
+/// The full page given the `/api/federation/status` payload.
+pub fn render_full(cluster: &str, user: &str, payload: &Value) -> String {
+    let mut body = String::from("<h1>Federation</h1>");
+    if payload["degraded"].as_bool().unwrap_or(false) {
+        body.push_str("<div class=\"banner banner-degraded\" role=\"alert\">");
+        let notices: Vec<String> = payload["notices"]
+            .as_array()
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|n| n.as_str())
+            .map(escape_html)
+            .collect();
+        body.push_str(&notices.join("; "));
+        body.push_str("</div>");
+    }
+    body.push_str(&render_sites(payload));
+    shell("Federation", "federation", cluster, user, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn payload() -> Value {
+        json!({
+            "degraded": true,
+            "notices": ["site beta: data from 40s ago"],
+            "sites": [
+                {"cluster": "alpha", "health": "live",
+                 "jobs": {"running": 7, "pending": 3}, "nodes": 16},
+                {"cluster": "beta", "health": "stale", "stale_age_secs": 40,
+                 "notice": "site beta: data from 40s ago",
+                 "jobs": {"running": 2, "pending": 1}, "nodes": 8},
+            ],
+        })
+    }
+
+    #[test]
+    fn shell_binds_the_federation_routes() {
+        let html = render_shell("Anvil", "alice");
+        assert!(html.contains("data-api=\"/api/federation/status\""));
+        assert!(html.contains("data-api=\"/api/federation/jobs\""));
+    }
+
+    #[test]
+    fn degraded_slice_gets_a_row_level_notice() {
+        let html = render_sites(&payload());
+        assert!(html.contains("site-live") && html.contains("site-stale"));
+        assert!(html.contains("site beta: data from 40s ago"));
+        assert!(html.contains(">current<"), "live rows say current: {html}");
+    }
+
+    #[test]
+    fn full_page_banners_the_degradation() {
+        let html = render_full("Anvil", "alice", &payload());
+        assert!(html.contains("banner-degraded"));
+        assert!(html.contains("role=\"alert\""));
+        let fresh = json!({"degraded": false, "notices": [], "sites": []});
+        let html = render_full("Anvil", "alice", &fresh);
+        assert!(!html.contains("banner-degraded"));
+    }
+}

@@ -10,6 +10,7 @@
 //!   payloads, used by server-side tests, examples, and the render benches.
 
 pub mod clusterstatus;
+pub mod federation;
 pub mod homepage;
 pub mod joboverview;
 pub mod jobperf;

@@ -125,11 +125,28 @@ struct Instruments {
     parked: Arc<Gauge>,
 }
 
+/// One registry shard. The sweep timestamp rate-limits opportunistic GC:
+/// without it, every registration in a burst pays a full shard scan and a
+/// 100k-tab fleet costs O(n²) mutex acquisitions to stand up.
+struct Shard {
+    subs: HashMap<String, Arc<Subscriber>>,
+    swept: Instant,
+}
+
+impl Default for Shard {
+    fn default() -> Shard {
+        Shard {
+            subs: HashMap::new(),
+            swept: Instant::now(),
+        }
+    }
+}
+
 /// The fan-out hub. One per dashboard context; registered as an
 /// [`EventSink`] on the cluster's `EventLog`.
 pub struct Hub {
     cfg: HubConfig,
-    shards: Vec<Mutex<HashMap<String, Arc<Subscriber>>>>,
+    shards: Vec<Mutex<Shard>>,
     resolver: AccountResolver,
     instruments: RwLock<Option<Instruments>>,
 }
@@ -166,7 +183,7 @@ impl Hub {
         self.instruments.read().clone()
     }
 
-    fn shard_of(&self, key: &str) -> &Mutex<HashMap<String, Arc<Subscriber>>> {
+    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
@@ -175,9 +192,10 @@ impl Hub {
     /// Look up or create the subscriber for `key` (e.g. `"user:token"`).
     /// Returns `true` when it was created — the caller then backfills it
     /// from the event log. Stale subscribers on the same shard are
-    /// garbage-collected opportunistically.
+    /// garbage-collected opportunistically, at most one sweep per shard per
+    /// `idle_ttl` — a registration burst must not pay per-burst-size scans.
     pub fn ensure(&self, key: &str, user: &str, is_admin: bool) -> (SubscriberHandle, bool) {
-        if let Some(sub) = self.shard_of(key).lock().get(key) {
+        if let Some(sub) = self.shard_of(key).lock().subs.get(key) {
             // A stale entry falls through to the slow path, which sweeps it
             // and registers a fresh subscriber in its place.
             if sub.last_poll.lock().elapsed() < self.cfg.idle_ttl {
@@ -212,12 +230,24 @@ impl Hub {
         });
         let (sub, created, reclaimed) = {
             let mut shard = self.shard_of(key).lock();
-            let reclaimed = Hub::gc_shard(&mut shard, self.cfg.idle_ttl);
-            match shard.get(key) {
+            let mut reclaimed = if shard.swept.elapsed() >= self.cfg.idle_ttl {
+                shard.swept = now;
+                Hub::gc_shard(&mut shard.subs, self.cfg.idle_ttl)
+            } else {
+                0
+            };
+            // The key's own entry is checked sweep or no sweep: a stale
+            // subscriber must never be resurrected with its dead queue.
+            match shard.subs.get(key).cloned() {
                 // Raced with another worker creating the same key.
-                Some(existing) => (existing.clone(), false, reclaimed),
-                None => {
-                    shard.insert(key.to_string(), fresh.clone());
+                Some(existing) if existing.last_poll.lock().elapsed() < self.cfg.idle_ttl => {
+                    (existing, false, reclaimed)
+                }
+                stale => {
+                    if stale.is_some() {
+                        reclaimed += 1;
+                    }
+                    shard.subs.insert(key.to_string(), fresh.clone());
                     (fresh, true, reclaimed)
                 }
             }
@@ -245,7 +275,7 @@ impl Hub {
 
     /// Remove a subscriber explicitly.
     pub fn unsubscribe(&self, key: &str) -> bool {
-        let removed = self.shard_of(key).lock().remove(key).is_some();
+        let removed = self.shard_of(key).lock().subs.remove(key).is_some();
         if removed {
             if let Some(ins) = self.instruments() {
                 ins.subscribers.dec();
@@ -256,7 +286,7 @@ impl Hub {
 
     /// Live subscriber count (all shards).
     pub fn subscriber_count(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().subs.len()).sum()
     }
 
     /// Install a one-shot wake callback, fired the next time an event (or a
@@ -424,7 +454,7 @@ impl EventSink for Hub {
             ins.published.inc();
         }
         for shard in &self.shards {
-            let subs: Vec<Arc<Subscriber>> = shard.lock().values().cloned().collect();
+            let subs: Vec<Arc<Subscriber>> = shard.lock().subs.values().cloned().collect();
             for sub in subs {
                 self.offer(&sub, event, &ins);
             }
@@ -442,6 +472,7 @@ mod tests {
         JobEvent {
             seq,
             at: Timestamp(seq),
+            cluster: "testbed".to_string(),
             job: JobId(seq as u32),
             user: user.to_string(),
             account: account.to_string(),

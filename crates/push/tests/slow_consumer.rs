@@ -14,6 +14,7 @@ fn event(seq: u64, user: &str) -> JobEvent {
     JobEvent {
         seq,
         at: Timestamp(seq),
+        cluster: "testbed".to_string(),
         job: JobId(seq as u32),
         user: user.to_string(),
         account: "physics".to_string(),

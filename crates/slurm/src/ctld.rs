@@ -186,8 +186,10 @@ impl Slurmctld {
         logs: Arc<JobLogFs>,
         cost: RpcCostModel,
     ) -> Slurmctld {
+        let cluster_name = spec.name.clone();
         let state = ClusterState::new(spec);
         let events = state.events();
+        events.set_cluster(&cluster_name);
         // Seq 0: queries are answerable (nodes/partitions/assoc populated)
         // before the first tick or submit ever publishes.
         let initial = Arc::new(state.capture_snapshot(0, clock.now()));

@@ -21,6 +21,10 @@ pub struct JobEvent {
     /// Monotonic sequence number (cluster-wide).
     pub seq: u64,
     pub at: Timestamp,
+    /// Which cluster emitted this transition. Stamped by the log (see
+    /// [`EventLog::set_cluster`]) so federated consumers can attribute
+    /// merged event streams; empty on logs that never set an identity.
+    pub cluster: String,
     pub job: JobId,
     pub user: String,
     pub account: String,
@@ -52,6 +56,9 @@ pub struct EventLog {
     state: RwLock<LogState>,
     capacity: usize,
     sinks: RwLock<Vec<Arc<dyn EventSink>>>,
+    /// Cluster identity stamped onto every appended event (set once at
+    /// daemon construction; `Arc<str>` so the hot path clones a refcount).
+    cluster: RwLock<Arc<str>>,
     /// How many `since()` scans have been served (the poll-cost observable
     /// the push hub exists to eliminate).
     scans: AtomicU64,
@@ -76,6 +83,7 @@ impl EventLog {
             }),
             capacity: capacity.max(1),
             sinks: RwLock::new(Vec::new()),
+            cluster: RwLock::new(Arc::from("")),
             scans: AtomicU64::new(0),
         }
     }
@@ -83,6 +91,17 @@ impl EventLog {
     /// Register a sink notified on every append (e.g. the push hub).
     pub fn add_sink(&self, sink: Arc<dyn EventSink>) {
         self.sinks.write().push(sink);
+    }
+
+    /// Set the cluster identity stamped onto every subsequent append. The
+    /// owning daemon calls this once at construction with its spec name.
+    pub fn set_cluster(&self, cluster: &str) {
+        *self.cluster.write() = Arc::from(cluster);
+    }
+
+    /// The cluster identity this log stamps (empty if never set).
+    pub fn cluster(&self) -> Arc<str> {
+        self.cluster.read().clone()
     }
 
     /// Append a transition; returns its sequence number.
@@ -97,6 +116,7 @@ impl EventLog {
         to: JobState,
         reason: Option<PendingReason>,
     ) -> u64 {
+        let cluster = self.cluster.read().clone();
         let event = {
             let mut state = self.state.write();
             let seq = state.next_seq;
@@ -107,6 +127,7 @@ impl EventLog {
             let event = JobEvent {
                 seq,
                 at,
+                cluster: cluster.to_string(),
                 job,
                 user: user.to_string(),
                 account: account.to_string(),
@@ -201,6 +222,20 @@ mod tests {
         let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
         assert_eq!(log.latest_seq(), 5);
+    }
+
+    #[test]
+    fn events_carry_the_cluster_identity() {
+        let log = EventLog::new(10);
+        log.set_cluster("anvil-sim");
+        push_n(&log, 2);
+        let (events, _) = log.since(0);
+        assert!(events.iter().all(|e| e.cluster == "anvil-sim"));
+        assert_eq!(&*log.cluster(), "anvil-sim");
+        // A log that never set an identity stamps the empty string.
+        let anon = EventLog::new(10);
+        push_n(&anon, 1);
+        assert_eq!(anon.since(0).0[0].cluster, "");
     }
 
     #[test]

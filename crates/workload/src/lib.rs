@@ -6,11 +6,13 @@
 //! tests and benches are reproducible run to run.
 
 pub mod driver;
+pub mod federation;
 pub mod jobs;
 pub mod population;
 pub mod scenario;
 
 pub use driver::SimDriver;
+pub use federation::{FederatedScenario, FederationConfig, FederationDriver};
 pub use jobs::{JobMix, TraceGenerator};
 pub use population::{Population, PopulationConfig};
 pub use scenario::{Scenario, ScenarioConfig};

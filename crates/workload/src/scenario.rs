@@ -41,6 +41,10 @@ pub struct ScenarioConfig {
     pub faults: Option<FaultPlan>,
 }
 
+/// The canonical scenario start instant: 2026-07-04T08:00Z. Every stock
+/// scenario begins here so same-seed runs line up tick for tick.
+pub const DEFAULT_START: Timestamp = Timestamp(20_638 * 86_400 + 8 * 3_600);
+
 impl ScenarioConfig {
     /// The same scenario with a fault script armed.
     pub fn with_faults(mut self, plan: FaultPlan) -> ScenarioConfig {
@@ -50,10 +54,12 @@ impl ScenarioConfig {
 }
 
 impl ScenarioConfig {
-    /// A small cluster for fast tests: 4 CPU nodes, 1 GPU node.
-    pub fn small() -> ScenarioConfig {
+    /// Builder base: a named site with the small-testbed shape. Chain the
+    /// setters below to describe heterogeneous sites without copying the
+    /// whole field list per site.
+    pub fn named(name: &str) -> ScenarioConfig {
         ScenarioConfig {
-            cluster_name: "testbed".to_string(),
+            cluster_name: name.to_string(),
             cpu_nodes: 4,
             cpu_cores: 16,
             cpu_mem_mb: 64_000,
@@ -67,44 +73,88 @@ impl ScenarioConfig {
                 users_per_account_max: 3,
                 ..PopulationConfig::default()
             },
-            mix: JobMix {
-                arrivals_per_hour: 60.0,
-                ..JobMix::default()
-            },
+            mix: JobMix::default(),
             seed: 7,
-            start: Timestamp(20_638 * 86_400 + 8 * 3_600), // 2026-07-04T08:00Z
+            start: DEFAULT_START,
             free_daemons: true,
             faults: None,
         }
     }
 
+    /// CPU fleet shape: `nodes` machines of `cores` cores / `mem_mb` MB.
+    pub fn cpu(mut self, nodes: usize, cores: u32, mem_mb: u64) -> ScenarioConfig {
+        self.cpu_nodes = nodes;
+        self.cpu_cores = cores;
+        self.cpu_mem_mb = mem_mb;
+        self
+    }
+
+    /// GPU fleet shape: `nodes` machines of `cores` cores / `mem_mb` MB with
+    /// `per_node` GPUs each. Zero nodes drops the `gpu` partition entirely.
+    pub fn gpu(mut self, nodes: usize, cores: u32, mem_mb: u64, per_node: u32) -> ScenarioConfig {
+        self.gpu_nodes = nodes;
+        self.gpu_cores = cores;
+        self.gpu_mem_mb = mem_mb;
+        self.gpus_per_node = per_node;
+        self
+    }
+
+    /// User population: `accounts` groups of `min..=max` members.
+    pub fn accounts(mut self, accounts: usize, min: usize, max: usize) -> ScenarioConfig {
+        self.population = PopulationConfig {
+            accounts,
+            users_per_account_min: min,
+            users_per_account_max: max,
+            ..PopulationConfig::default()
+        };
+        self
+    }
+
+    /// Mean job-arrival rate (Poisson, per simulated hour).
+    pub fn arrivals_per_hour(mut self, rate: f64) -> ScenarioConfig {
+        self.mix.arrivals_per_hour = rate;
+        self
+    }
+
+    /// Modulate arrivals with the day/night activity curve.
+    pub fn diurnal(mut self) -> ScenarioConfig {
+        self.mix.diurnal = true;
+        self
+    }
+
+    /// RNG seed for population, trace, and fault decisions.
+    pub fn seed(mut self, seed: u64) -> ScenarioConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Simulation start instant (defaults to [`DEFAULT_START`]).
+    pub fn starting_at(mut self, start: Timestamp) -> ScenarioConfig {
+        self.start = start;
+        self
+    }
+
+    /// Charge realistic RPC costs instead of the free test daemons.
+    pub fn realistic_costs(mut self) -> ScenarioConfig {
+        self.free_daemons = false;
+        self
+    }
+
+    /// A small cluster for fast tests: 4 CPU nodes, 1 GPU node.
+    pub fn small() -> ScenarioConfig {
+        ScenarioConfig::named("testbed").arrivals_per_hour(60.0)
+    }
+
     /// A campus-production-scale cluster in the spirit of the paper's site:
     /// 32 CPU nodes of 128 cores plus 4 quad-GPU nodes.
     pub fn campus() -> ScenarioConfig {
-        ScenarioConfig {
-            cluster_name: "anvil-sim".to_string(),
-            cpu_nodes: 32,
-            cpu_cores: 128,
-            cpu_mem_mb: 257_000,
-            gpu_nodes: 4,
-            gpu_cores: 128,
-            gpu_mem_mb: 512_000,
-            gpus_per_node: 4,
-            population: PopulationConfig {
-                accounts: 10,
-                users_per_account_min: 3,
-                users_per_account_max: 8,
-                ..PopulationConfig::default()
-            },
-            mix: JobMix {
-                diurnal: true,
-                ..JobMix::default()
-            },
-            seed: 42,
-            start: Timestamp(20_638 * 86_400 + 8 * 3_600),
-            free_daemons: false,
-            faults: None,
-        }
+        ScenarioConfig::named("anvil-sim")
+            .cpu(32, 128, 257_000)
+            .gpu(4, 128, 512_000, 4)
+            .accounts(10, 3, 8)
+            .diurnal()
+            .seed(42)
+            .realistic_costs()
     }
 }
 
@@ -358,6 +408,26 @@ mod tests {
         let calm = Scenario::build(ScenarioConfig::small());
         assert!(!calm.ctld.faults().is_armed());
         assert!(!calm.dbd.faults().is_armed());
+    }
+
+    #[test]
+    fn builder_describes_heterogeneous_sites() {
+        let site = ScenarioConfig::named("edge")
+            .cpu(8, 64, 128_000)
+            .gpu(0, 0, 0, 0)
+            .accounts(2, 1, 2)
+            .arrivals_per_hour(10.0)
+            .seed(99);
+        assert_eq!(site.cluster_name, "edge");
+        assert_eq!(site.cpu_nodes, 8);
+        assert_eq!(site.gpu_nodes, 0);
+        assert_eq!(site.population.accounts, 2);
+        assert_eq!(site.seed, 99);
+        assert!(site.free_daemons);
+        // A GPU-less site builds with a single partition.
+        let s = Scenario::build(site);
+        assert_eq!(s.ctld.query_partitions().len(), 1);
+        assert_eq!(s.ctld.query_nodes().len(), 8);
     }
 
     #[test]

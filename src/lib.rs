@@ -23,6 +23,7 @@
 pub use hpcdash_cache as cache;
 pub use hpcdash_client as client;
 pub use hpcdash_core as core;
+pub use hpcdash_federation as federation;
 pub use hpcdash_http as http;
 pub use hpcdash_news as news;
 pub use hpcdash_push as push;
@@ -37,7 +38,9 @@ pub use hpcdash_workload as workload;
 use hpcdash_client::DashboardClient;
 use hpcdash_core::{Dashboard, DashboardConfig, DashboardContext};
 use hpcdash_http::Server;
-use hpcdash_workload::{Scenario, ScenarioConfig, SimDriver};
+use hpcdash_workload::{
+    FederatedScenario, FederationConfig, FederationDriver, Scenario, ScenarioConfig, SimDriver,
+};
 
 /// A fully wired simulated site: scenario + dashboard.
 pub struct SimSite {
@@ -104,6 +107,59 @@ impl SimSite {
             self.scenario.clock.shared(),
             if fresh == 0 { None } else { Some(fresh) },
         )
+    }
+}
+
+/// A fully wired federation: N site scenarios sharing one timeline, with
+/// the dashboard portal mounted on the first site and federating all of
+/// them (aggregate `/api/federation/*` routes, cluster-scoped `/slurm/v0`,
+/// per-site breakers).
+pub struct FedSite {
+    pub federation: FederatedScenario,
+    pub dashboard: Dashboard,
+}
+
+impl FedSite {
+    /// Build with the dashboard's default (Purdue-like) configuration. The
+    /// first site in the config is the portal's home cluster.
+    pub fn build(cfg: FederationConfig) -> FedSite {
+        FedSite::build_with(cfg, DashboardConfig::purdue_like())
+    }
+
+    pub fn build_with(cfg: FederationConfig, dash_cfg: DashboardConfig) -> FedSite {
+        let federation = cfg.build();
+        let portal = &federation.sites[0];
+        let ctx = DashboardContext::new(
+            dash_cfg,
+            portal.clock.shared(),
+            portal.ctld.clone(),
+            portal.dbd.clone(),
+            portal.logs.clone(),
+            portal.storage.clone(),
+            portal.news.clone(),
+        )
+        .with_telemetry(portal.telemetry.clone())
+        .with_federation(federation.registry.clone());
+        FedSite {
+            dashboard: Dashboard::new(ctx),
+            federation,
+        }
+    }
+
+    pub fn ctx(&self) -> &DashboardContext {
+        self.dashboard.ctx()
+    }
+
+    /// Run `secs` of lockstep traffic on every site.
+    pub fn warm_up(&self, secs: u64) -> FederationDriver {
+        let mut driver = self.federation.driver(secs);
+        driver.advance(secs);
+        driver
+    }
+
+    /// Serve the portal on an ephemeral local port.
+    pub fn serve(&self) -> std::io::Result<Server> {
+        self.dashboard.serve("127.0.0.1:0", 8)
     }
 }
 
