@@ -137,6 +137,26 @@ impl RouteAvailability {
         }
         (self.fresh + self.degraded) as f64 / self.total() as f64
     }
+
+    /// Fold another tally into this one — used when a scripted run (e.g. a
+    /// crash window) is driven as many small loadgen rounds whose per-route
+    /// splits are accumulated per phase.
+    pub fn merge(&mut self, other: &RouteAvailability) {
+        self.fresh += other.fresh;
+        self.degraded += other.degraded;
+        self.failed += other.failed;
+        self.not_modified += other.not_modified;
+    }
+}
+
+/// Fold a run's per-route availability map into a phase accumulator.
+pub fn merge_availability(
+    into: &mut BTreeMap<String, RouteAvailability>,
+    from: &BTreeMap<String, RouteAvailability>,
+) {
+    for (route, tally) in from {
+        into.entry(route.clone()).or_default().merge(tally);
+    }
 }
 
 /// The admin observability route mix: what an operator keeping the
@@ -613,6 +633,41 @@ mod tests {
                 "{path}: every answer is honest about the outage"
             );
         }
+        ctx.ctld.faults().clear();
+    }
+
+    #[test]
+    fn crashed_controller_turns_fetches_degraded_never_failed() {
+        let (server, clock, ctx) = site(true);
+        let paths = vec!["/api/system_status".to_string()];
+        let cfg = LoadConfig::new(vec!["u1".to_string()], 2, paths.clone());
+
+        // Warm run: the server cache now holds every route.
+        let warm = run(&server.base_url(), clock.shared(), &cfg);
+        assert_eq!(warm.errors, 0);
+
+        // Crash the controller (no restart consumed: it stays dead for the
+        // whole run). Users keep their data via serve-stale, and the
+        // per-route split records the outage as degraded — never failed.
+        ctx.ctld.faults().install(
+            Arc::new(
+                hpcdash_faults::FaultPlan::new(3)
+                    .rule(hpcdash_faults::FaultRule::crash("slurmctld", 3_600)),
+            ),
+            ctx.clock.clone(),
+        );
+        let mut outage = BTreeMap::new();
+        for _ in 0..3 {
+            // Step past the server-cache TTL so every round genuinely
+            // re-asks the dead daemon (and gets rescued by serve-stale).
+            clock.advance(120);
+            let report = run(&server.base_url(), clock.shared(), &cfg);
+            merge_availability(&mut outage, &report.availability);
+        }
+        let tally = &outage["/api/system_status"];
+        assert_eq!(tally.failed, 0, "serve-stale bridges the crash: {tally:?}");
+        assert_eq!(tally.degraded, tally.total(), "every serve is honest");
+        assert_eq!(tally.availability(), 1.0);
         ctx.ctld.faults().clear();
     }
 

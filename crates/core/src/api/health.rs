@@ -15,8 +15,15 @@ pub fn register(router: &mut Router, ctx: DashboardContext) {
 }
 
 fn handle(ctx: &DashboardContext, _req: &Request) -> Response {
+    // React to any crash-recovery before reporting, so the restart counts
+    // and purges below are already reflected in what this body describes.
+    ctx.observe_recoveries();
     let report = ctx.health.report();
     let mut body = report.to_json();
+    // Daemon liveness and crash-recovery accounting: is each simulated
+    // daemon up, how often has it restarted, and what did the last
+    // checkpoint+WAL recovery replay vs lose.
+    body["daemons"] = super::daemons_payload(ctx);
     // Circuit-breaker states ride along: operators reading /api/health see
     // not just that a source is down but whether the dashboard has stopped
     // asking it (open) or is probing for recovery (half_open).
@@ -121,6 +128,24 @@ mod tests {
         let body = resp.body_json().unwrap();
         assert_eq!(body["breakers"]["fed@beta"]["cluster"], "beta");
         assert!(body["breakers"]["sacct"]["cluster"].is_null());
+    }
+
+    #[test]
+    fn daemon_liveness_rides_along() {
+        let ctx = test_ctx();
+        ctx.health.record_ok("sinfo");
+        let resp = handle(&ctx, &request());
+        let body = resp.body_json().unwrap();
+        let daemons = &body["daemons"];
+        assert_eq!(daemons["slurmctld"]["down"], false);
+        assert_eq!(daemons["slurmctld"]["restarts"], 0);
+        assert!(
+            daemons["slurmctld"]["checkpoints"].as_u64().unwrap() >= 1,
+            "checkpoint-0 exists from construction"
+        );
+        assert!(daemons["slurmctld"]["last_recovery"].is_null());
+        assert_eq!(daemons["slurmdbd"]["down"], false);
+        assert_eq!(daemons["telemetry_gap_skips"], 0);
     }
 
     #[test]

@@ -92,6 +92,9 @@ pub(crate) fn render_decision(
     if ttl_secs == 0 {
         return None;
     }
+    // Before admitting a cached render, react to any daemon recovery: the
+    // purge must beat the lookup or a dead-epoch body could serve once.
+    ctx.observe_recoveries();
     let user = req.remote_user()?; // anonymous requests 401 in the handler
     let is_admin = ctx.cfg.is_admin(user);
     let mut key = String::with_capacity(64);
@@ -129,8 +132,50 @@ pub struct FeatureInfo {
     pub sources: &'static [&'static str],
 }
 
+/// The daemon liveness/recovery section shared by `/api/health` and the
+/// observatory summary: per-daemon down flag, restart count, checkpoint
+/// count, and the last crash-recovery's honest accounting (what the WAL
+/// replayed, what was lost, how long resync took).
+pub(crate) fn daemons_payload(ctx: &DashboardContext) -> serde_json::Value {
+    fn report(r: Option<hpcdash_slurm::durable::RecoveryReport>) -> serde_json::Value {
+        match r {
+            None => serde_json::Value::Null,
+            Some(r) => serde_json::json!({
+                "crashed_at": r.crashed_at.as_secs(),
+                "recovered_at": r.recovered_at.as_secs(),
+                "checkpoint_at": r.checkpoint_at.as_secs(),
+                "wal_replayed": r.wal_replayed,
+                "wal_lost": r.wal_lost,
+                "epoch_before": r.epoch_before,
+                "epoch_after": r.epoch_after,
+                "duration_us": r.duration_micros,
+            }),
+        }
+    }
+    serde_json::json!({
+        "slurmctld": {
+            "down": ctx.ctld.is_down(),
+            "restarts": ctx.ctld.restart_count(),
+            "checkpoints": ctx.ctld.checkpoint_count(),
+            "wal_unflushed": ctx.ctld.wal_unflushed(),
+            "last_recovery": report(ctx.ctld.last_recovery()),
+        },
+        "slurmdbd": {
+            "down": ctx.dbd.is_down(),
+            "restarts": ctx.dbd.restart_count(),
+            "checkpoints": ctx.dbd.checkpoint_count(),
+            "last_recovery": report(ctx.dbd.last_recovery()),
+        },
+        "telemetry_gap_skips": ctx.telemetry.gap_skips(),
+        "telemetry_last_gap_at": ctx.telemetry.last_gap_at(),
+    })
+}
+
 /// Register every feature's API route(s).
 pub fn register_all(router: &mut Router, ctx: &DashboardContext) {
+    // The recovery watch purges the router's render-bytes cache after a
+    // daemon crash-recovery; hand it over before any route can populate it.
+    ctx.attach_render_cache(router.render_cache().clone());
     announcements::register(router, ctx.clone());
     recent_jobs::register(router, ctx.clone());
     system_status::register(router, ctx.clone());

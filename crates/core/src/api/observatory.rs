@@ -237,6 +237,7 @@ pub(crate) fn summary_payload(ctx: &DashboardContext) -> Value {
         "slo": slo_rows(ctx),
         "act_as": act_as_rows(ctx),
         "http": http_rows(ctx),
+        "daemons": crate::api::daemons_payload(ctx),
         "breakers": breakers,
         "phases": Value::Object(phases),
         "traces": {

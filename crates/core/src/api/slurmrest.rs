@@ -130,6 +130,9 @@ fn bearer(ctx: &DashboardContext, req: &Request) -> Result<AuthedToken, Response
 /// The one read handler. All six endpoints share the sequence: bearer →
 /// act-as → fault gate → seq-keyed byte cache → scope gate → serialize.
 fn read(ctx: &DashboardContext, req: &Request, endpoint: Endpoint) -> Response {
+    // Recovery check first: the purge of dead-epoch bytes must land before
+    // the stale-fallback below can reach for them.
+    ctx.observe_recoveries();
     ctx.obs
         .counter(
             "hpcdash_restapi_requests_total",

@@ -4,7 +4,7 @@
 use crate::config::DashboardConfig;
 use hpcdash_cache::{BreakerBoard, BreakerConfig, CachedFetcher, GraceOutcome};
 use hpcdash_federation::ClusterRegistry;
-use hpcdash_http::ParkBudget;
+use hpcdash_http::{ParkBudget, RenderCache};
 use hpcdash_news::NewsFeed;
 use hpcdash_obs::health::HealthBoard;
 use hpcdash_obs::{Registry, Span};
@@ -19,6 +19,7 @@ use hpcdash_telemetry::TelemetryD;
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Everything a route handler needs. Cheap to clone (all `Arc`s).
@@ -63,6 +64,23 @@ pub struct DashboardContext {
     pub federation: Arc<ClusterRegistry>,
     /// route name -> data sources it touched on cache-cold loads.
     sources: Arc<Mutex<BTreeMap<String, BTreeSet<String>>>>,
+    /// Daemon restart counters as last observed by the serving layer (see
+    /// [`DashboardContext::observe_recoveries`]).
+    recovery: Arc<RecoveryWatch>,
+}
+
+/// The serving layer's view of daemon crash-recoveries. Each daemon counts
+/// its own restarts; this watch remembers the counts the dashboard has
+/// already reacted to, so the first request after a recovery — whichever
+/// worker thread it lands on — purges every cache that could still hold
+/// bytes from a dead (pre-crash) epoch.
+#[derive(Default)]
+struct RecoveryWatch {
+    ctld_seen: AtomicU64,
+    dbd_seen: AtomicU64,
+    /// The HTTP router's render-bytes cache, attached at route-registration
+    /// time (the context is built before the router exists).
+    render_cache: Mutex<Option<Arc<RenderCache>>>,
 }
 
 /// Typed cache envelope for [`DashboardContext::cached_result`]. Every
@@ -227,6 +245,7 @@ impl DashboardContext {
             storage,
             news,
             sources: Arc::new(Mutex::new(BTreeMap::new())),
+            recovery: Arc::new(RecoveryWatch::default()),
         }
     }
 
@@ -251,6 +270,88 @@ impl DashboardContext {
 
     pub fn now(&self) -> Timestamp {
         self.clock.now()
+    }
+
+    /// Hand the recovery watch the router's render-bytes cache so a crash
+    /// recovery can purge dead-epoch renders too. Called by
+    /// `api::register_all`; a context that never serves HTTP (pure sim
+    /// drivers) simply has nothing to purge there.
+    pub fn attach_render_cache(&self, cache: Arc<RenderCache>) {
+        *self.recovery.render_cache.lock() = Some(cache);
+    }
+
+    /// Observe daemon crash-recoveries and purge dead-epoch caches.
+    ///
+    /// Called on every serving path (resilient fetches, render-cache
+    /// admission, `/slurm/v0`, `/api/health`). Cheap in the steady state:
+    /// two relaxed atomic loads. When a daemon's restart counter has moved
+    /// since the last observation, exactly one caller (the `swap` winner)
+    /// runs the purge:
+    ///
+    /// * `/slurm/v0` byte cache — entries below the recovery's republished
+    ///   epoch are dropped, so even the serve-stale fallback can never
+    ///   return bytes describing state the replay rolled back;
+    /// * the render-bytes cache (same rule, by publisher version);
+    /// * the widget JSON cache — it has no epoch tags, so the honest move
+    ///   is to clear it and let loaders refill from live post-recovery
+    ///   state;
+    /// * `hpcdash_daemon_restarts_total{daemon}` and the last-recovery
+    ///   duration gauge, so operators see the crash happened and what it
+    ///   cost.
+    pub fn observe_recoveries(&self) {
+        let ctld_now = self.ctld.restart_count();
+        if ctld_now != self.recovery.ctld_seen.load(Ordering::Relaxed) {
+            let seen = self.recovery.ctld_seen.swap(ctld_now, Ordering::AcqRel);
+            if ctld_now > seen {
+                self.on_recovery("slurmctld", ctld_now - seen, self.ctld.last_recovery());
+            }
+        }
+        let dbd_now = self.dbd.restart_count();
+        if dbd_now != self.recovery.dbd_seen.load(Ordering::Relaxed) {
+            let seen = self.recovery.dbd_seen.swap(dbd_now, Ordering::AcqRel);
+            if dbd_now > seen {
+                self.on_recovery("slurmdbd", dbd_now - seen, self.dbd.last_recovery());
+            }
+        }
+    }
+
+    fn on_recovery(
+        &self,
+        daemon: &'static str,
+        restarts: u64,
+        report: Option<hpcdash_slurm::durable::RecoveryReport>,
+    ) {
+        let labels = [("daemon", daemon)];
+        self.obs
+            .counter("hpcdash_daemon_restarts_total", &labels)
+            .add(restarts);
+        let mut purged = 0usize;
+        if let Some(r) = report {
+            self.obs
+                .gauge("hpcdash_daemon_last_recovery_duration_us", &labels)
+                .set(r.duration_micros as i64);
+            self.obs
+                .gauge("hpcdash_daemon_last_recovery_wal_lost", &labels)
+                .set(r.wal_lost as i64);
+            // Only the controller publishes epoched snapshots; its recovery
+            // kills every byte keyed below the republished epoch.
+            if daemon == "slurmctld" {
+                purged += self.rest_cache.purge_below(r.epoch_after);
+                if let Some(render) = self.recovery.render_cache.lock().clone() {
+                    purged += render.purge_version_below(r.epoch_after);
+                }
+            }
+        }
+        // The widget JSON cache carries no epoch tags — post-recovery its
+        // last-known-good copies may describe rolled-back state, so clear
+        // it wholesale and let live loaders refill it. (During the outage
+        // itself nothing is cleared: restart counters only move once the
+        // daemon is back, which is exactly when fresh loads succeed again.)
+        self.cache.clear();
+        self.obs
+            .counter("hpcdash_recovery_cache_purges_total", &labels)
+            .add(purged as u64 + 1);
+        hpcdash_obs::tracestore::annotate("recovery", daemon);
     }
 
     /// Record that `feature` read from `source` (called inside cache-miss
@@ -381,6 +482,9 @@ impl DashboardContext {
         ttl: u64,
         load: impl Fn() -> Result<serde_json::Value, String>,
     ) -> SourceOutcome {
+        // A daemon that recovered since the last request must not have its
+        // dead-epoch bytes served below; the check is two atomic loads.
+        self.observe_recoveries();
         let source = source_of(key);
         if ttl == 0 {
             return match load() {
@@ -517,7 +621,7 @@ impl DashboardContext {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use hpcdash_simtime::SimClock;
+    use hpcdash_simtime::{Clock, SimClock};
     use hpcdash_slurm::assoc::{Account, AssocStore};
     use hpcdash_slurm::cluster::ClusterSpec;
     use hpcdash_slurm::loadmodel::RpcCostModel;
@@ -855,6 +959,113 @@ pub(crate) mod tests {
         );
         assert_eq!(
             ctx.obs.counter("hpcdash_cache_hits_total", &labels).get(),
+            1
+        );
+    }
+
+    #[test]
+    fn recovery_observation_purges_dead_epoch_caches_exactly_once() {
+        let (ctx, clock) = test_ctx_clocked();
+        // Warm all three cache layers with pre-crash state.
+        ctx.cached("squeue:alice", 600, || json!({"jobs": 1}));
+        ctx.ctld.tick();
+        let seq = ctx.ctld.snapshot().seq;
+        ctx.rest_cache
+            .put("jobs|alice", seq, Arc::from("{\"old\":1}"));
+        let render = Arc::new(hpcdash_http::RenderCache::new());
+        ctx.attach_render_cache(render.clone());
+        render.put(
+            &hpcdash_http::CacheDecision {
+                key: "k".to_string(),
+                version: seq,
+                ttl_secs: 600,
+                now_secs: clock.now().0,
+            },
+            Arc::from(&b"dead"[..]),
+            "application/json",
+        );
+        // Crash the controller on its next tick; down for 30 sim-seconds.
+        let now = clock.now();
+        ctx.ctld.faults().install(
+            Arc::new(hpcdash_faults::FaultPlan::new(7).rule(
+                hpcdash_faults::FaultRule::crash("slurmctld", 30).during(now, Timestamp(now.0 + 1)),
+            )),
+            clock.shared(),
+        );
+        ctx.ctld.tick();
+        assert!(ctx.ctld.is_down());
+        // During the outage nothing is purged — stale copies ARE the
+        // availability story while the daemon is dead.
+        ctx.observe_recoveries();
+        assert!(ctx.rest_cache.last_any("jobs|alice").is_some());
+        assert_eq!(render.len(), 1);
+        // Let the daemon restart and recover on its next tick.
+        clock.advance(31);
+        ctx.ctld.tick();
+        assert_eq!(ctx.ctld.restart_count(), 1);
+        ctx.observe_recoveries();
+        assert!(
+            ctx.rest_cache.last_any("jobs|alice").is_none(),
+            "dead-epoch REST bytes must not survive recovery"
+        );
+        assert!(render.is_empty(), "dead-epoch renders must not survive");
+        let calls = Cell::new(0u32);
+        ctx.cached("squeue:alice", 600, || {
+            calls.set(calls.get() + 1);
+            json!({"jobs": 0})
+        });
+        assert_eq!(calls.get(), 1, "widget JSON cache was cleared");
+        let restarts = ctx
+            .obs
+            .counter("hpcdash_daemon_restarts_total", &[("daemon", "slurmctld")])
+            .get();
+        assert_eq!(restarts, 1);
+        let report = ctx.ctld.last_recovery().expect("recovery report");
+        assert!(report.epoch_after > report.epoch_before);
+        // Observing again is a no-op: the purge fires exactly once.
+        ctx.observe_recoveries();
+        assert_eq!(
+            ctx.obs
+                .counter("hpcdash_daemon_restarts_total", &[("daemon", "slurmctld")])
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn dbd_recovery_is_observed_lazily() {
+        let (ctx, clock) = test_ctx_clocked();
+        ctx.cached("sacct:alice", 600, || json!({"rows": 2}));
+        let now = clock.now();
+        ctx.dbd.faults().install(
+            Arc::new(hpcdash_faults::FaultPlan::new(3).rule(
+                hpcdash_faults::FaultRule::crash("slurmdbd", 20).during(now, Timestamp(now.0 + 1)),
+            )),
+            clock.shared(),
+        );
+        // The crash fires on the next dbd RPC.
+        let _ = ctx
+            .dbd
+            .query_jobs(&hpcdash_slurm::dbd::JobFilter::default());
+        assert!(ctx.dbd.is_down());
+        clock.advance(21);
+        // First RPC after the outage recovers the daemon in-line.
+        let _ = ctx
+            .dbd
+            .query_jobs(&hpcdash_slurm::dbd::JobFilter::default());
+        assert!(!ctx.dbd.is_down());
+        assert_eq!(ctx.dbd.restart_count(), 1);
+        ctx.observe_recoveries();
+        let calls = Cell::new(0u32);
+        ctx.cached("sacct:alice", 600, || {
+            calls.set(calls.get() + 1);
+            json!({"rows": 0})
+        });
+        assert_eq!(calls.get(), 1, "widget cache cleared after dbd recovery");
+        assert_eq!(
+            ctx.obs
+                .counter("hpcdash_daemon_restarts_total", &[("daemon", "slurmdbd")])
+                .get(),
             1
         );
     }

@@ -41,10 +41,25 @@ pub enum FaultKind {
     /// `slurmdbd` stops applying `sync_active` mirror updates: accounting
     /// queries keep answering, but from an increasingly stale mirror.
     Lag,
+    /// The daemon dies outright. Every RPC hard-fails with "connection
+    /// refused" while it is down; `down_secs` of sim time later the host
+    /// hands out a restart token ([`FaultHost::take_restart`]) and the
+    /// daemon's next tick runs crash recovery. Unlike the soft kinds, a
+    /// crash is *stateful*: once triggered, refusal persists until the
+    /// restart is consumed, and per-RPC call counters freeze so the seeded
+    /// schedule of every other rule is unaffected by the outage.
+    Crash { down_secs: u64 },
 }
 
 /// A flap cycle: within each `period_secs` window the target is down for
 /// the first `down_secs` seconds, then up for the remainder.
+///
+/// Boundary semantics (pinned by tests): the rule is active iff
+/// `now % period_secs < down_secs`. So at exactly `t = down_secs` the
+/// phase has left the down range — that second is the first *up* second —
+/// and at exactly `t = period_secs` the phase wraps to 0, which is *down*
+/// again. Down intervals are `[k*period, k*period + down)`, half-open like
+/// windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flap {
     pub period_secs: u64,
@@ -100,6 +115,23 @@ impl FaultRule {
             daemon: daemon.to_string(),
             rpc: rpc.to_string(),
             kind: FaultKind::Garble,
+            probability: 1.0,
+            window: None,
+            flap: None,
+        }
+    }
+
+    /// Kill `daemon` outright: while crashed, *every* RPC (the rule's own
+    /// target is `"*"`) is refused with "connection refused"; the daemon
+    /// restarts `down_secs` of sim time later, at its next tick. Combine
+    /// with [`FaultRule::during`] to script when the crash fires — a rule
+    /// without a window re-crashes the daemon on the first RPC after every
+    /// recovery.
+    pub fn crash(daemon: &str, down_secs: u64) -> FaultRule {
+        FaultRule {
+            daemon: daemon.to_string(),
+            rpc: "*".to_string(),
+            kind: FaultKind::Crash { down_secs },
             probability: 1.0,
             window: None,
             flap: None,
@@ -191,6 +223,36 @@ impl FaultPlan {
         self.rules.is_empty()
     }
 
+    /// Check every rule for nonsense that would otherwise silently
+    /// misbehave: a probability outside `[0, 1]` (or NaN) never fires or
+    /// always fires without saying so, and a window with `start >= end`
+    /// matches nothing. [`FaultHost::install`] runs this and panics on the
+    /// descriptive error; [`FaultHost::try_install`] surfaces it.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if !rule.probability.is_finite() || !(0.0..=1.0).contains(&rule.probability) {
+                return Err(FaultPlanError::Probability {
+                    rule: idx,
+                    daemon: rule.daemon.clone(),
+                    rpc: rule.rpc.clone(),
+                    value: rule.probability,
+                });
+            }
+            if let Some((start, end)) = rule.window {
+                if start.0 >= end.0 {
+                    return Err(FaultPlanError::EmptyWindow {
+                        rule: idx,
+                        daemon: rule.daemon.clone(),
+                        rpc: rule.rpc.clone(),
+                        start,
+                        end,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Decide what happens to call number `call_idx` of `rpc` on `daemon`
     /// at sim time `now`. Pure: same inputs, same answer. All matching
     /// latency rules accumulate; the first matching failure-kind rule (in
@@ -235,11 +297,71 @@ impl FaultPlan {
                         check.failure = Some(FaultFailure::Lag);
                     }
                 }
+                FaultKind::Crash { down_secs } => {
+                    // A crash overrides softer failures regardless of plan
+                    // order — the daemon is *gone*, not merely erroring.
+                    // Among crash rules the first still wins.
+                    if !matches!(check.failure, Some(FaultFailure::Crash { .. })) {
+                        check.failure = Some(FaultFailure::Crash {
+                            down_secs: *down_secs,
+                        });
+                    }
+                }
             }
         }
         check
     }
 }
+
+/// Why a [`FaultPlan`] was rejected at install time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// `probability` is NaN, infinite, or outside `[0, 1]`.
+    Probability {
+        rule: usize,
+        daemon: String,
+        rpc: String,
+        value: f64,
+    },
+    /// `window` has `start >= end`: the half-open `[start, end)` interval
+    /// is empty, so the rule could never fire.
+    EmptyWindow {
+        rule: usize,
+        daemon: String,
+        rpc: String,
+        start: Timestamp,
+        end: Timestamp,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::Probability {
+                rule,
+                daemon,
+                rpc,
+                value,
+            } => write!(
+                f,
+                "fault rule #{rule} ({daemon}/{rpc}): probability {value} is outside [0, 1]"
+            ),
+            FaultPlanError::EmptyWindow {
+                rule,
+                daemon,
+                rpc,
+                start,
+                end,
+            } => write!(
+                f,
+                "fault rule #{rule} ({daemon}/{rpc}): window [{}, {}) is empty (start >= end)",
+                start.0, end.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// The failure half of a [`FaultCheck`].
 #[derive(Debug, Clone, PartialEq)]
@@ -250,6 +372,11 @@ pub enum FaultFailure {
     Garble(u64),
     /// Skip the dbd mirror sync.
     Lag,
+    /// Kill the daemon: this call and every later one are refused until
+    /// the restart `down_secs` later. [`FaultHost`] converts this into a
+    /// "connection refused" [`FaultFailure::Error`] and tracks the down
+    /// state; callers of the pure [`FaultPlan::decide`] see it raw.
+    Crash { down_secs: u64 },
 }
 
 /// What to inflict on one call: extra service time, then maybe a failure.
@@ -298,6 +425,7 @@ impl FaultCheck {
             None | Some(FaultFailure::Lag) => Ok(text),
             Some(FaultFailure::Error(msg)) => Err(msg.clone()),
             Some(FaultFailure::Garble(seed)) => Ok(garble_text(&text, *seed)),
+            Some(FaultFailure::Crash { .. }) => Err(refused_message("daemon")),
         }
     }
 }
@@ -374,6 +502,10 @@ pub struct FaultStats {
     pub garbles: u64,
     pub lags: u64,
     pub latency_micros: u64,
+    /// Crash transitions (up -> down), not refused calls.
+    pub crashes: u64,
+    /// RPCs refused with "connection refused" while the daemon was down.
+    pub refused: u64,
 }
 
 #[derive(Default)]
@@ -383,6 +515,8 @@ struct StatCells {
     garbles: AtomicU64,
     lags: AtomicU64,
     latency_micros: AtomicU64,
+    crashes: AtomicU64,
+    refused: AtomicU64,
 }
 
 struct Armed {
@@ -393,6 +527,29 @@ struct Armed {
     calls: Mutex<HashMap<String, u64>>,
 }
 
+/// The daemon-is-dead record a [`FaultHost`] keeps between the crash and
+/// the consumed restart. Owns a clock handle so the down window can be
+/// evaluated even if the plan is cleared mid-outage.
+struct CrashState {
+    crashed_at: Timestamp,
+    down_until: Timestamp,
+    clock: SharedClock,
+}
+
+/// Handed to the daemon's tick exactly once per outage, when the scripted
+/// down window has elapsed: "you died at `crashed_at`; run recovery now."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartToken {
+    pub crashed_at: Timestamp,
+    pub down_until: Timestamp,
+}
+
+/// The message every refused RPC carries, shaped like real Slurm's
+/// "Unable to contact slurm controller (connect failure)".
+fn refused_message(daemon: &str) -> String {
+    format!("connection refused: {daemon} is not responding")
+}
+
 /// A daemon's hook into the fault plan. Owned by `Slurmctld`/`Slurmdbd`
 /// (and the CLI boundary via the daemons); disarmed it is a single relaxed
 /// atomic load per call.
@@ -400,6 +557,10 @@ pub struct FaultHost {
     daemon: &'static str,
     armed: AtomicBool,
     inner: RwLock<Option<Armed>>,
+    /// Raised while a [`CrashState`] is held; checked before `armed` so a
+    /// dead daemon refuses RPCs even through plan churn.
+    down_flag: AtomicBool,
+    down: Mutex<Option<CrashState>>,
     stats: StatCells,
 }
 
@@ -409,6 +570,8 @@ impl FaultHost {
             daemon,
             armed: AtomicBool::new(false),
             inner: RwLock::new(None),
+            down_flag: AtomicBool::new(false),
+            down: Mutex::new(None),
             stats: StatCells::default(),
         }
     }
@@ -420,7 +583,25 @@ impl FaultHost {
     /// Install a plan. The clock rides along because not every daemon owns
     /// one (`Slurmdbd` is clockless); windows and flaps are evaluated
     /// against it.
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] — a scripted
+    /// scenario with an impossible rule is a bug in the script, and the
+    /// panic message names the offending rule. Use
+    /// [`FaultHost::try_install`] to handle the error instead.
     pub fn install(&self, plan: Arc<FaultPlan>, clock: SharedClock) {
+        if let Err(e) = self.try_install(plan, clock) {
+            panic!("invalid fault plan: {e}");
+        }
+    }
+
+    /// Like [`FaultHost::install`], but an invalid plan is returned as an
+    /// error (and nothing is installed) instead of panicking.
+    pub fn try_install(
+        &self,
+        plan: Arc<FaultPlan>,
+        clock: SharedClock,
+    ) -> Result<(), FaultPlanError> {
+        plan.validate()?;
         let mut slot = self.inner.write();
         *slot = Some(Armed {
             plan,
@@ -428,12 +609,17 @@ impl FaultHost {
             calls: Mutex::new(HashMap::new()),
         });
         self.armed.store(true, Ordering::Release);
+        Ok(())
     }
 
-    /// Remove any installed plan, restoring the zero-overhead path.
+    /// Remove any installed plan, restoring the zero-overhead path. Also
+    /// revives a crashed daemon without recovery — tests only; the real
+    /// restart path is [`FaultHost::take_restart`].
     pub fn clear(&self) {
         self.armed.store(false, Ordering::Release);
         *self.inner.write() = None;
+        *self.down.lock() = None;
+        self.down_flag.store(false, Ordering::Release);
     }
 
     #[inline]
@@ -441,30 +627,86 @@ impl FaultHost {
         self.armed.load(Ordering::Relaxed)
     }
 
+    /// True while the daemon is crashed (refusing all RPCs). Stays true
+    /// after the down window elapses until the daemon's tick consumes the
+    /// restart token — a dead process doesn't answer between its scheduled
+    /// restart and the moment init actually respawns it.
+    #[inline]
+    pub fn is_down(&self) -> bool {
+        self.down_flag.load(Ordering::Relaxed)
+    }
+
+    /// If the daemon is crashed and its down window has elapsed, consume
+    /// the crash state and return the restart token. The daemon's tick
+    /// calls this first thing; `Some` means "run crash recovery now".
+    pub fn take_restart(&self) -> Option<RestartToken> {
+        if !self.down_flag.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut down = self.down.lock();
+        let state = down.as_ref()?;
+        if state.clock.now().0 < state.down_until.0 {
+            return None;
+        }
+        let state = down.take().expect("checked above");
+        self.down_flag.store(false, Ordering::Release);
+        Some(RestartToken {
+            crashed_at: state.crashed_at,
+            down_until: state.down_until,
+        })
+    }
+
     /// Consult the plan for one call of `rpc`. The disarmed fast path is a
     /// single relaxed load and a constant return.
     #[inline]
     pub fn check(&self, rpc: &str) -> FaultCheck {
+        if self.down_flag.load(Ordering::Relaxed) {
+            return self.refuse();
+        }
         if !self.armed.load(Ordering::Relaxed) {
             return FaultCheck::none();
         }
         self.check_armed(rpc)
     }
 
+    /// Every RPC against a dead daemon: "connection refused", no latency,
+    /// and — deliberately — no per-RPC counter increment, so the seeded
+    /// schedules of all other rules are frozen across the outage.
+    #[cold]
+    fn refuse(&self) -> FaultCheck {
+        self.stats.refused.fetch_add(1, Ordering::Relaxed);
+        FaultCheck {
+            latency_micros: 0,
+            failure: Some(FaultFailure::Error(refused_message(self.daemon))),
+        }
+    }
+
     #[cold]
     fn check_armed(&self, rpc: &str) -> FaultCheck {
-        let guard = self.inner.read();
-        let Some(armed) = guard.as_ref() else {
-            return FaultCheck::none();
+        let (check, clock) = {
+            let guard = self.inner.read();
+            let Some(armed) = guard.as_ref() else {
+                return FaultCheck::none();
+            };
+            let idx = {
+                let mut calls = armed.calls.lock();
+                let slot = calls.entry(rpc.to_string()).or_insert(0);
+                let idx = *slot;
+                *slot += 1;
+                idx
+            };
+            let check = armed.plan.decide(self.daemon, rpc, idx, armed.clock.now());
+            if matches!(check.failure, Some(FaultFailure::Crash { .. })) {
+                // The dying call consumes no schedule index: roll the
+                // counter back so every rule's seeded stream resumes after
+                // recovery exactly where it left off (refused calls while
+                // down never touch the counters either).
+                if let Some(slot) = armed.calls.lock().get_mut(rpc) {
+                    *slot = slot.saturating_sub(1);
+                }
+            }
+            (check, armed.clock.clone())
         };
-        let idx = {
-            let mut calls = armed.calls.lock();
-            let slot = calls.entry(rpc.to_string()).or_insert(0);
-            let idx = *slot;
-            *slot += 1;
-            idx
-        };
-        let check = armed.plan.decide(self.daemon, rpc, idx, armed.clock.now());
         self.stats.checks.fetch_add(1, Ordering::Relaxed);
         self.stats
             .latency_micros
@@ -479,9 +721,30 @@ impl FaultHost {
             Some(FaultFailure::Lag) => {
                 self.stats.lags.fetch_add(1, Ordering::Relaxed);
             }
+            Some(FaultFailure::Crash { down_secs }) => {
+                return self.crash_now(*down_secs, clock);
+            }
             None => {}
         }
         check
+    }
+
+    /// Transition up -> down: record when the daemon died and when the
+    /// scripted restart lands, then refuse this call like any other.
+    fn crash_now(&self, down_secs: u64, clock: SharedClock) -> FaultCheck {
+        let now = clock.now();
+        let mut down = self.down.lock();
+        if down.is_none() {
+            *down = Some(CrashState {
+                crashed_at: now,
+                down_until: Timestamp(now.0 + down_secs),
+                clock,
+            });
+            self.down_flag.store(true, Ordering::Release);
+            self.stats.crashes.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(down);
+        self.refuse()
     }
 
     pub fn stats(&self) -> FaultStats {
@@ -491,6 +754,8 @@ impl FaultHost {
             garbles: self.stats.garbles.load(Ordering::Relaxed),
             lags: self.stats.lags.load(Ordering::Relaxed),
             latency_micros: self.stats.latency_micros.load(Ordering::Relaxed),
+            crashes: self.stats.crashes.load(Ordering::Relaxed),
+            refused: self.stats.refused.load(Ordering::Relaxed),
         }
     }
 }
@@ -711,6 +976,175 @@ mod tests {
         assert_eq!(
             backoff_delay_ms(10, 1_000, 3, 7, "k"),
             backoff_delay_ms(10, 1_000, 3, 7, "k")
+        );
+    }
+
+    #[test]
+    fn validate_rejects_probability_outside_unit_interval() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let mut rule = FaultRule::error("slurmctld", "squeue", "x");
+            rule.probability = bad;
+            let plan = FaultPlan::new(1).rule(rule);
+            let err = plan.validate().expect_err("must reject");
+            match &err {
+                FaultPlanError::Probability {
+                    rule, daemon, rpc, ..
+                } => {
+                    assert_eq!(*rule, 0);
+                    assert_eq!(daemon, "slurmctld");
+                    assert_eq!(rpc, "squeue");
+                }
+                other => panic!("wrong error: {other:?}"),
+            }
+            assert!(
+                err.to_string().contains("outside [0, 1]"),
+                "descriptive message, got: {err}"
+            );
+            // try_install surfaces it and installs nothing.
+            let host = FaultHost::new("slurmctld");
+            let (_c, s) = clock_at(0);
+            assert!(host.try_install(Arc::new(plan), s).is_err());
+            assert!(!host.is_armed());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_empty_window() {
+        for (start, end) in [(200, 100), (100, 100)] {
+            let plan = FaultPlan::new(1)
+                .rule(FaultRule::error("*", "*", "x").during(Timestamp(start), Timestamp(end)));
+            let err = plan.validate().expect_err("must reject start >= end");
+            assert!(matches!(err, FaultPlanError::EmptyWindow { .. }));
+            assert!(
+                err.to_string().contains("start >= end"),
+                "descriptive message, got: {err}"
+            );
+        }
+        // A legal window still passes.
+        let plan = FaultPlan::new(1)
+            .rule(FaultRule::error("*", "*", "x").during(Timestamp(100), Timestamp(101)));
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn install_panics_on_invalid_plan() {
+        let mut rule = FaultRule::error("slurmctld", "squeue", "x");
+        rule.probability = 2.0;
+        let host = FaultHost::new("slurmctld");
+        let (_c, s) = clock_at(0);
+        host.install(Arc::new(FaultPlan::new(1).rule(rule)), s);
+    }
+
+    #[test]
+    fn flap_phase_boundaries_are_pinned() {
+        // Down intervals are [k*period, k*period + down): t = down_secs is
+        // the first UP second, t = period_secs wraps to phase 0 and is
+        // DOWN again. These are the exact-boundary cases the doc promises.
+        let rule = FaultRule::error("slurmctld", "squeue", "flap").flapping(60, 20);
+        assert!(rule.active_at(Timestamp(0)), "phase 0 is down");
+        assert!(rule.active_at(Timestamp(19)), "last down second");
+        assert!(
+            !rule.active_at(Timestamp(20)),
+            "t = down_secs is the first up second (half-open)"
+        );
+        assert!(!rule.active_at(Timestamp(59)), "last up second");
+        assert!(
+            rule.active_at(Timestamp(60)),
+            "t = period_secs wraps to phase 0: down again"
+        );
+        assert!(rule.active_at(Timestamp(79)));
+        assert!(!rule.active_at(Timestamp(80)));
+    }
+
+    #[test]
+    fn crash_refuses_until_restart_token_is_consumed() {
+        let plan = Arc::new(
+            FaultPlan::new(9)
+                .rule(FaultRule::crash("slurmctld", 30).during(Timestamp(100), Timestamp(101))),
+        );
+        let (clk, shared) = clock_at(50);
+        let host = FaultHost::new("slurmctld");
+        host.install(plan, shared);
+        assert!(
+            host.check("squeue").failure.is_none(),
+            "alive before window"
+        );
+        assert!(!host.is_down());
+
+        clk.advance(50); // t=100: the crash rule fires on the next RPC
+        let check = host.check("squeue");
+        let msg = check.error().expect("refused");
+        assert!(msg.contains("connection refused"), "got: {msg}");
+        assert!(host.is_down());
+        assert_eq!(host.stats().crashes, 1);
+
+        // Every RPC while down is refused, and the restart is not due yet.
+        clk.advance(10); // t=110
+        assert!(host.check("sinfo").error().is_some());
+        assert!(host.take_restart().is_none(), "down window not elapsed");
+        assert!(host.is_down());
+
+        // Past down_until the daemon STAYS dead until a tick consumes the
+        // token (a dead process doesn't answer before init respawns it).
+        clk.advance(25); // t=135 >= 130
+        assert!(host.check("squeue").error().is_some(), "still refusing");
+        let token = host.take_restart().expect("restart due");
+        assert_eq!(token.crashed_at, Timestamp(100));
+        assert_eq!(token.down_until, Timestamp(130));
+        assert!(!host.is_down());
+        assert!(host.take_restart().is_none(), "token consumed once");
+
+        // Back up: the window has passed, so no re-crash.
+        assert!(host.check("squeue").failure.is_none());
+        let stats = host.stats();
+        assert_eq!(stats.crashes, 1);
+        assert!(stats.refused >= 3);
+    }
+
+    #[test]
+    fn crash_freezes_per_rpc_counters_for_other_rules() {
+        // A probabilistic error rule's schedule must be identical whether
+        // or not an outage happened in the middle: refused calls bypass
+        // the per-RPC counters entirely.
+        let base = FaultRule::error("slurmctld", "squeue", "x").with_probability(0.5);
+        let solo: Vec<bool> = {
+            let plan = Arc::new(FaultPlan::new(11).rule(base.clone()));
+            let host = FaultHost::new("slurmctld");
+            let (_c, s) = clock_at(0);
+            host.install(plan, s);
+            (0..50)
+                .map(|_| host.check("squeue").failure.is_some())
+                .collect()
+        };
+        let with_outage: Vec<bool> = {
+            let plan = Arc::new(
+                FaultPlan::new(11)
+                    .rule(base)
+                    .rule(FaultRule::crash("slurmctld", 5).during(Timestamp(100), Timestamp(101))),
+            );
+            let host = FaultHost::new("slurmctld");
+            let (clk, s) = clock_at(0);
+            host.install(plan, s);
+            let mut seen = Vec::new();
+            for _ in 0..25 {
+                seen.push(host.check("squeue").failure.is_some());
+            }
+            clk.advance(100); // t=100: crash on next call
+            assert!(host.check("squeue").error().is_some());
+            for _ in 0..20 {
+                host.check("squeue"); // all refused, counters frozen
+            }
+            clk.advance(10); // t=110: restart due
+            host.take_restart().expect("restart");
+            for _ in 0..25 {
+                seen.push(host.check("squeue").failure.is_some());
+            }
+            seen
+        };
+        assert_eq!(
+            solo, with_outage,
+            "outage must not shift the seeded schedule"
         );
     }
 

@@ -499,6 +499,83 @@ mod tests {
     }
 
     #[test]
+    fn crashed_site_serves_stale_then_returns_live_after_recovery() {
+        let clock = SimClock::new(Timestamp(1_000));
+        let alpha = site("alpha", 2, &clock);
+        let beta = site("beta", 2, &clock);
+        alpha.tick();
+        beta.tick();
+        let mut reg = ClusterRegistry::new(clock.shared());
+        reg.register(alpha);
+        reg.register(beta.clone());
+        let breakers = board(&clock);
+        let warm = reg.snapshot(&breakers);
+        assert_eq!(warm.live_sites(), 2);
+        let epoch_before = warm.site("beta").unwrap().seq();
+
+        // Beta's controller crashes outright on its next tick: unlike the
+        // link-blackout above, *every* RPC refuses until the daemon
+        // restarts 60 sim-seconds later.
+        beta.faults().install(
+            Arc::new(FaultPlan::new(5).rule(
+                FaultRule::crash("slurmctld", 60).during(Timestamp(1_010), Timestamp(1_011)),
+            )),
+            clock.shared(),
+        );
+        clock.advance(10);
+        beta.tick();
+        assert!(beta.is_down());
+        let fed = reg.snapshot(&breakers);
+        assert_eq!(fed.live_sites(), 1);
+        assert_eq!(fed.stale_sites(), 1);
+        match &fed.site("beta").unwrap().health {
+            SiteHealth::Stale { error, .. } => {
+                assert!(error.contains("connection refused"), "{error}")
+            }
+            other => panic!("expected stale while crashed, got {other:?}"),
+        }
+        // Sustained refusals trip beta's breaker; the slice stays stale —
+        // a crashed site is degraded honestly, never silently dropped.
+        for _ in 0..5 {
+            let _ = reg.snapshot(&breakers);
+            clock.advance(1);
+        }
+        assert_eq!(
+            breakers.state_of(&breaker_source("beta")),
+            BreakerState::Open
+        );
+        assert!(reg
+            .snapshot(&breakers)
+            .site("beta")
+            .unwrap()
+            .snapshot
+            .is_some());
+
+        // The daemon restarts on its first tick past down_until and
+        // recovers from checkpoint + WAL.
+        clock.advance(60);
+        beta.tick();
+        assert!(!beta.is_down());
+        assert_eq!(beta.restart_count(), 1);
+        // Once the breaker cools down, the next poll probes, succeeds, and
+        // the site is Live again at a strictly newer epoch.
+        clock.advance(31);
+        let fed = reg.snapshot(&breakers);
+        let slice = fed.site("beta").unwrap();
+        assert!(
+            slice.health.is_live(),
+            "recovered site must serve live: {:?}",
+            slice.health
+        );
+        assert!(
+            slice.seq() > epoch_before,
+            "post-recovery slice rides a fresh epoch ({} !> {epoch_before})",
+            slice.seq()
+        );
+        assert_eq!(fed.live_sites(), 2);
+    }
+
+    #[test]
     fn never_fetched_site_reports_dark_not_stale() {
         let clock = SimClock::new(Timestamp(0));
         let beta = site("beta", 1, &clock);

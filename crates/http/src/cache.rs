@@ -89,6 +89,17 @@ impl RenderCache {
         entry
     }
 
+    /// Drop every render built from a publisher version below `version`.
+    /// Called after a daemon crash-recovery: pre-crash epochs are dead and
+    /// their bytes may describe rolled-back state. Returns how many entries
+    /// were purged.
+    pub fn purge_version_below(&self, version: u64) -> usize {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|_, e| e.version >= version);
+        before - entries.len()
+    }
+
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -154,6 +165,16 @@ mod tests {
         assert!(cache.get(&d("jobs|alice", 6, 101)).is_none());
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn purge_drops_dead_epoch_renders() {
+        let cache = RenderCache::new();
+        cache.put(&d("old", 5, 0), Arc::from(&b"dead"[..]), "text/plain");
+        cache.put(&d("new", 9, 0), Arc::from(&b"live"[..]), "text/plain");
+        assert_eq!(cache.purge_version_below(9), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&d("new", 9, 10)).is_some());
     }
 
     #[test]

@@ -121,6 +121,7 @@ struct Instruments {
     delivered: Arc<Counter>,
     overflows: Arc<Counter>,
     resyncs: Arc<Counter>,
+    discontinuities: Arc<Counter>,
     fanout_lag: Arc<Histogram>,
     parked: Arc<Gauge>,
 }
@@ -165,8 +166,8 @@ impl Hub {
     /// Attach a metrics registry; the hub is unmetered without one.
     /// Exports `hpcdash_push_subscribers`, `hpcdash_push_events_published_total`,
     /// `hpcdash_push_events_delivered_total`, `hpcdash_push_overflows_total`,
-    /// `hpcdash_push_resyncs_total`, `hpcdash_push_fanout_lag`,
-    /// `hpcdash_push_parked_workers`.
+    /// `hpcdash_push_resyncs_total`, `hpcdash_push_discontinuities_total`,
+    /// `hpcdash_push_fanout_lag`, `hpcdash_push_parked_workers`.
     pub fn set_registry(&self, registry: &Registry) {
         *self.instruments.write() = Some(Instruments {
             subscribers: registry.gauge("hpcdash_push_subscribers", &[]),
@@ -174,6 +175,7 @@ impl Hub {
             delivered: registry.counter("hpcdash_push_events_delivered_total", &[]),
             overflows: registry.counter("hpcdash_push_overflows_total", &[]),
             resyncs: registry.counter("hpcdash_push_resyncs_total", &[]),
+            discontinuities: registry.counter("hpcdash_push_discontinuities_total", &[]),
             fanout_lag: registry.histogram("hpcdash_push_fanout_lag", &[]),
             parked: registry.gauge("hpcdash_push_parked_workers", &[]),
         });
@@ -460,6 +462,32 @@ impl EventSink for Hub {
             }
         }
     }
+
+    /// The event stream has a gap no subscriber can paper over (a daemon
+    /// crashed and recovered; replayed history was not re-delivered).
+    /// Coalesce EVERY subscriber to resync: queued events reflect the dead
+    /// epoch and are dropped; the next `wait` reports `resync_required` so
+    /// the client refetches its tables before streaming again.
+    fn discontinuity(&self) {
+        let _span = Span::enter("push-fanout").attr("kind", "discontinuity");
+        let ins = self.instruments();
+        if let Some(ins) = &ins {
+            ins.discontinuities.inc();
+        }
+        for shard in &self.shards {
+            let subs: Vec<Arc<Subscriber>> = shard.lock().subs.values().cloned().collect();
+            for sub in subs {
+                let mut q = sub.q.lock();
+                q.queue.clear();
+                q.resync_required = true;
+                drop(q);
+                sub.wake.notify_all();
+                if let Some(notify) = sub.notify.lock().take() {
+                    notify();
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -568,6 +596,33 @@ mod tests {
         let (alice, _) = hub.ensure("alice:t", "alice", false);
         hub.backfill(&alice, &[], true);
         assert!(hub.wait(&alice, Duration::ZERO).resync_required);
+    }
+
+    #[test]
+    fn discontinuity_forces_resync_on_every_subscriber() {
+        let reg = Registry::new();
+        let hub = hub_with(HubConfig::default());
+        hub.set_registry(&reg);
+        let (alice, _) = hub.ensure("alice:t", "alice", false);
+        let (root, _) = hub.ensure("root:t", "root", true);
+        hub.publish(&event(1, "alice", "physics"));
+        hub.publish(&event(2, "mallory", "secret"));
+        // A daemon crash-recovery fires the sink's discontinuity hook:
+        // queued pre-crash events are dead-epoch data and must be dropped.
+        hub.discontinuity();
+        for handle in [&alice, &root] {
+            let d = hub.wait(handle, Duration::ZERO);
+            assert!(d.resync_required, "every live subscriber must resync");
+            assert!(d.events.is_empty(), "dead-epoch events are not delivered");
+        }
+        assert_eq!(
+            reg.counter("hpcdash_push_discontinuities_total", &[]).get(),
+            1
+        );
+        // Streaming resumes cleanly after the resync.
+        hub.publish(&event(3, "alice", "physics"));
+        let d = hub.wait(&alice, Duration::ZERO);
+        assert_eq!(d.events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3]);
     }
 
     #[test]

@@ -102,6 +102,18 @@ impl RestCache {
             .map(|e| (e.seq, e.body.clone()))
     }
 
+    /// Drop every entry built from a snapshot seq below `seq`. Called after
+    /// a daemon crash-recovery: pre-crash epochs are dead — their bytes may
+    /// describe state the recovery rolled back, so even the serve-stale
+    /// fallback (`last_any`) must not return them. Returns how many entries
+    /// were purged.
+    pub fn purge_below(&self, seq: u64) -> usize {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|_, e| e.seq >= seq);
+        before - entries.len()
+    }
+
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -216,5 +228,20 @@ mod tests {
         assert_eq!(cache.get("jobs|alice", 2).unwrap().as_ref(), "{\"v\":2}");
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn purge_below_kills_dead_epochs_even_for_stale_fallback() {
+        let cache = RestCache::new();
+        cache.put("jobs|alice", 3, Arc::from("{\"dead\":true}"));
+        cache.put("nodes|root", 7, Arc::from("{\"live\":true}"));
+        // Crash recovery republished at epoch 7: everything older is from a
+        // dead epoch and may describe rolled-back state.
+        assert_eq!(cache.purge_below(7), 1);
+        assert!(
+            cache.last_any("jobs|alice").is_none(),
+            "dead-epoch bytes must not survive as a stale fallback"
+        );
+        assert!(cache.last_any("nodes|root").is_some());
     }
 }

@@ -22,11 +22,20 @@ pub enum ClusterError {
     UnknownPartition(String),
     UnknownAccount(String),
     UnknownQos(String),
-    NotAccountMember { user: String, account: String },
-    QosSubmitLimit { qos: String, cap: u32 },
+    NotAccountMember {
+        user: String,
+        account: String,
+    },
+    QosSubmitLimit {
+        qos: String,
+        cap: u32,
+    },
     UnknownJob(JobId),
     PermissionDenied(String),
     InvalidRequest(String),
+    /// The daemon is crashed (a `FaultKind::Crash` window is active): the
+    /// RPC never reached cluster state at all.
+    ControllerDown,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -44,6 +53,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::UnknownJob(id) => write!(f, "invalid job id specified: {id}"),
             ClusterError::PermissionDenied(msg) => write!(f, "access/permission denied: {msg}"),
             ClusterError::InvalidRequest(msg) => write!(f, "invalid job request: {msg}"),
+            ClusterError::ControllerDown => {
+                write!(f, "unable to contact slurm controller (connect failure)")
+            }
         }
     }
 }
@@ -60,8 +72,10 @@ pub struct ClusterSpec {
     pub assoc: AssocStore,
 }
 
-/// How a started job is planned to finish (simulator-internal).
-#[derive(Debug, Clone, Copy)]
+/// How a started job is planned to finish (simulator-internal). Serialized
+/// into checkpoints so a recovered daemon finishes replayed jobs on the
+/// original schedule.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct RunPlan {
     end: Timestamp,
     final_state: JobState,
@@ -687,6 +701,68 @@ impl ClusterState {
             self.assoc_records(None),
         )
     }
+
+    /// Capture the durable image of this cluster: everything a restarted
+    /// slurmctld needs to resume scheduling where the checkpoint left off.
+    /// Deliberately excluded (and therefore lost on crash): the undrained
+    /// `finished` queue (re-derived by replay, and slurmdbd archival is
+    /// idempotent) and the `sched_log` diagnostics ring.
+    pub fn checkpoint(&self) -> CheckpointState {
+        let mut run_plans: Vec<(JobId, RunPlan)> =
+            self.run_plans.iter().map(|(id, p)| (*id, *p)).collect();
+        // HashMap iteration order is unstable; sort so identical states
+        // checkpoint to identical bytes.
+        run_plans.sort_by_key(|(id, _)| *id);
+        CheckpointState {
+            name: self.name.clone(),
+            nodes: self.nodes.clone(),
+            partitions: self.partitions.clone(),
+            qos: self.qos.clone(),
+            assoc: self.assoc.clone(),
+            jobs: self.jobs.values().map(|j| Job::clone(j)).collect(),
+            run_plans,
+            next_id: self.next_id,
+            sched_passes: self.sched_passes,
+        }
+    }
+
+    /// Rebuild live state from a checkpoint. The event log is supplied by
+    /// the caller: it survives the crash (clients hold cursors into it), so
+    /// recovery must NOT start a fresh one.
+    pub fn from_checkpoint(cp: CheckpointState, events: Arc<EventLog>) -> ClusterState {
+        ClusterState {
+            name: cp.name,
+            nodes: cp.nodes,
+            partitions: cp.partitions,
+            qos: cp.qos,
+            assoc: cp.assoc,
+            jobs: cp.jobs.into_iter().map(|j| (j.id, Arc::new(j))).collect(),
+            run_plans: cp.run_plans.into_iter().collect(),
+            next_id: cp.next_id,
+            weights: PriorityWeights::default(),
+            finished: VecDeque::new(),
+            sched_log: VecDeque::new(),
+            sched_passes: cp.sched_passes,
+            events,
+        }
+    }
+}
+
+/// The serializable image of a [`ClusterState`] — what a checkpoint writes
+/// and crash recovery reads back. Fields are private: the only producers
+/// and consumers are [`ClusterState::checkpoint`] /
+/// [`ClusterState::from_checkpoint`] and the serde boundary between them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointState {
+    name: String,
+    nodes: BTreeMap<String, Node>,
+    partitions: BTreeMap<String, Partition>,
+    qos: BTreeMap<String, Qos>,
+    assoc: AssocStore,
+    jobs: Vec<Job>,
+    run_plans: Vec<(JobId, RunPlan)>,
+    next_id: u32,
+    sched_passes: u64,
 }
 
 fn initial_reason(req: &JobRequest, now: Timestamp) -> Option<PendingReason> {

@@ -13,19 +13,28 @@
 //! entirely on the write side.
 
 use crate::assoc::{Account, AccountUsage};
-use crate::cluster::{ClusterError, ClusterSpec, ClusterState};
+use crate::cluster::{CheckpointState, ClusterError, ClusterSpec, ClusterState};
+use crate::durable::{DurableStore, RecoveryReport, Wal, WalRecord};
 use crate::job::{Job, JobId, JobRequest, JobState};
 use crate::joblog::JobLogFs;
 use crate::loadmodel::{RpcCostModel, RpcStats};
 use crate::node::{AdminFlag, Node};
 use crate::partition::{Partition, PartitionState};
 use crate::snapshot::{ClusterSnapshot, EpochCell, SnapshotStats};
-use hpcdash_faults::FaultHost;
+use hpcdash_faults::{FaultHost, RestartToken};
 use hpcdash_obs::{PhaseProfiler, Span};
 use hpcdash_simtime::{SharedClock, Timestamp};
 use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Default sim-seconds between periodic checkpoints.
+const DEFAULT_CHECKPOINT_EVERY_SECS: u64 = 300;
+
+/// WAL retention (records). Far above what one checkpoint interval can
+/// produce, so `replay_from` never sees a truncated window in practice.
+const WAL_CAPACITY: usize = 65_536;
 
 /// Visibility/filtering for live job queries (`squeue` flags).
 #[derive(Debug, Clone, Default)]
@@ -167,6 +176,21 @@ pub struct Slurmctld {
     /// joblog refresh, dbd handoff) — the profiling foundation for the
     /// scale work: it shows where a tick's budget actually goes.
     phases: PhaseProfiler,
+    /// Write-ahead log of logical mutations since the last checkpoint,
+    /// group-committed by `tick` (see `crate::durable`).
+    wal: Wal<WalRecord>,
+    /// Latest serialized checkpoint (the `StateSaveLocation` stand-in).
+    durable: DurableStore,
+    /// Sim-seconds between periodic checkpoints (settable for tests).
+    checkpoint_every: AtomicU64,
+    /// Sim time (secs) of the last checkpoint.
+    last_checkpoint: AtomicU64,
+    /// Completed crash recoveries.
+    restarts: AtomicU64,
+    last_recovery: Mutex<Option<RecoveryReport>>,
+    /// Finished jobs slurmdbd refused to archive (it was down) — retried
+    /// every tick; archival is idempotent so re-sends are safe.
+    dbd_spool: Mutex<Vec<Arc<Job>>>,
 }
 
 impl Slurmctld {
@@ -193,6 +217,15 @@ impl Slurmctld {
         // Seq 0: queries are answerable (nodes/partitions/assoc populated)
         // before the first tick or submit ever publishes.
         let initial = Arc::new(state.capture_snapshot(0, clock.now()));
+        // Checkpoint 0 at construction: a crash before the first periodic
+        // checkpoint still has an image to recover from.
+        let durable = DurableStore::new();
+        durable.save(
+            serde_json::to_vec(&state.checkpoint()).expect("checkpoint serializes"),
+            clock.now(),
+            0,
+        );
+        let last_checkpoint = AtomicU64::new(clock.now().as_secs());
         Slurmctld {
             state: Mutex::new(state),
             snap: EpochCell::new(initial),
@@ -205,6 +238,13 @@ impl Slurmctld {
             logs,
             faults: FaultHost::new("slurmctld"),
             phases: PhaseProfiler::new(),
+            wal: Wal::new(WAL_CAPACITY),
+            durable,
+            checkpoint_every: AtomicU64::new(DEFAULT_CHECKPOINT_EVERY_SECS),
+            last_checkpoint,
+            restarts: AtomicU64::new(0),
+            last_recovery: Mutex::new(None),
+            dbd_spool: Mutex::new(Vec::new()),
         }
     }
 
@@ -263,10 +303,21 @@ impl Slurmctld {
     pub fn tick(&self) {
         let _span = Span::enter("ctld").attr("kind", "sched_tick");
         let start = Instant::now();
+        // A crashed daemon whose restart time has arrived comes back first:
+        // rebuild from checkpoint + WAL, then run this tick normally.
+        if let Some(token) = self.faults.take_restart() {
+            self.recover(token);
+        }
         let now = self.clock.now();
         self.faults.check("sched_tick").burn();
+        if self.faults.is_down() {
+            // Crashed (possibly by the check above): no scheduling, no
+            // publication, nothing — the daemon is gone until restart.
+            return;
+        }
         let (finished, snap) = {
             let mut state = self.lock_state(start);
+            self.wal.append(WalRecord::Tick { now });
             let finished = self.phases.time("sched_pass", || {
                 state.tick(now);
                 let finished = state.drain_finished();
@@ -277,6 +328,10 @@ impl Slurmctld {
             let snap = self
                 .phases
                 .time("snapshot_publish", || self.publish_locked(&state, now));
+            // Group commit: this tick and every mutation journaled since
+            // the previous one become durable together.
+            self.wal.flush();
+            self.maybe_checkpoint(&state, now);
             (finished, snap)
         };
         self.stats
@@ -306,8 +361,16 @@ impl Slurmctld {
             }
         });
         self.phases.time("dbd_record", || {
-            self.dbd
-                .record_finished(finished.into_iter().map(|f| f.job));
+            let mut spool = self.dbd_spool.lock();
+            spool.extend(finished.into_iter().map(|f| f.job));
+            if !spool.is_empty() {
+                // One batch covering any backlog from ticks where slurmdbd
+                // was down. Archival upserts by job id, so retrying a batch
+                // the dbd half-processed is safe.
+                if self.dbd.record_finished(spool.iter().cloned()) {
+                    spool.clear();
+                }
+            }
         });
         // The active mirror shares the snapshot's Arc<Job> rows: refcount
         // bumps, not a second deep clone of every active job.
@@ -317,17 +380,101 @@ impl Slurmctld {
         self.stats.record("sched_tick", start.elapsed());
     }
 
+    /// Crash recovery: rebuild cluster state as checkpoint + durable WAL
+    /// suffix, discard the unflushed tail, republish a fresh snapshot at a
+    /// strictly higher epoch, and tell every event consumer to resync.
+    /// The dead in-memory state is never consulted — `*state = rebuilt`
+    /// overwrites it wholesale.
+    #[cold]
+    fn recover(&self, token: RestartToken) {
+        let rebuild_start = Instant::now();
+        let now = self.clock.now();
+        let epoch_before = self.snap.load().seq;
+        let wal_lost = self.wal.unflushed_len();
+        self.wal.drop_unflushed();
+        let cp = self
+            .durable
+            .latest()
+            .expect("construction always writes checkpoint 0");
+        let parsed: CheckpointState =
+            serde_json::from_slice(&cp.bytes).expect("checkpoint decodes");
+        let mut rebuilt = ClusterState::from_checkpoint(parsed, self.events.clone());
+        // Replay with event fan-out muted: these transitions are
+        // reconstruction of history the log already delivered, not news.
+        self.events.set_replay_mute(true);
+        let (records, truncated) = self.wal.replay_from(cp.wal_seq);
+        debug_assert!(!truncated, "checkpoints only trim the WAL they cover");
+        let wal_replayed = records.len() as u64;
+        for (_seq, record) in &records {
+            record.apply(&mut rebuilt);
+        }
+        self.events.set_replay_mute(false);
+        let snap = {
+            let mut state = self.lock_state(rebuild_start);
+            *state = rebuilt;
+            // Jobs that finished during replay may or may not have reached
+            // slurmdbd pre-crash; archival is idempotent, so re-spool all.
+            let replayed_finished = state.drain_finished();
+            let snap = self.publish_locked(&state, now);
+            self.dbd_spool
+                .lock()
+                .extend(replayed_finished.into_iter().map(|f| f.job));
+            snap
+        };
+        // Incremental event delivery across the gap is not trustworthy:
+        // force every subscriber to resync from the fresh snapshot.
+        self.events.signal_discontinuity();
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        *self.last_recovery.lock() = Some(RecoveryReport {
+            crashed_at: token.crashed_at,
+            recovered_at: now,
+            checkpoint_at: cp.at,
+            wal_replayed,
+            wal_lost,
+            epoch_before,
+            epoch_after: snap.seq,
+            duration_micros: rebuild_start.elapsed().as_micros() as u64,
+        });
+    }
+
+    /// Periodic checkpoint, taken inside the tick's critical section so the
+    /// image is consistent with the flushed WAL watermark it records.
+    fn maybe_checkpoint(&self, state: &ClusterState, now: Timestamp) {
+        let every = self.checkpoint_every.load(Ordering::Relaxed);
+        let last = self.last_checkpoint.load(Ordering::Relaxed);
+        if now.as_secs().saturating_sub(last) < every {
+            return;
+        }
+        self.phases.time("checkpoint", || {
+            let wal_seq = self.wal.flushed_seq();
+            let bytes = serde_json::to_vec(&state.checkpoint()).expect("checkpoint serializes");
+            self.durable.save(bytes, now, wal_seq);
+            // The image covers everything up to wal_seq: compact it away.
+            self.wal.trim_through(wal_seq);
+            self.last_checkpoint.store(now.as_secs(), Ordering::Relaxed);
+        });
+    }
+
     /// Submit a job or array (`sbatch`).
     pub fn submit(&self, req: JobRequest) -> Result<Vec<JobId>, ClusterError> {
         let _span = Span::enter("ctld").attr("kind", "submit");
         let start = Instant::now();
         let now = self.clock.now();
         self.faults.check("submit").burn();
+        if self.faults.is_down() {
+            self.stats.record("submit", start.elapsed());
+            return Err(ClusterError::ControllerDown);
+        }
         let result = {
             let mut state = self.lock_state(start);
             self.cost.burn(1);
+            let record = WalRecord::Submit {
+                req: Box::new(req.clone()),
+                now,
+            };
             let result = state.submit(req, now);
             if result.is_ok() {
+                self.wal.append(record);
                 self.publish_locked(&state, now);
             }
             result
@@ -342,11 +489,20 @@ impl Slurmctld {
         let start = Instant::now();
         let now = self.clock.now();
         self.faults.check("cancel").burn();
+        if self.faults.is_down() {
+            self.stats.record("cancel", start.elapsed());
+            return Err(ClusterError::ControllerDown);
+        }
         let result = {
             let mut state = self.lock_state(start);
             self.cost.burn(1);
             let result = state.cancel(id, user, now);
             if result.is_ok() {
+                self.wal.append(WalRecord::Cancel {
+                    id,
+                    user: user.to_string(),
+                    now,
+                });
                 self.publish_locked(&state, now);
             }
             result
@@ -506,16 +662,24 @@ impl Slurmctld {
     pub fn set_node_flag(&self, name: &str, flag: AdminFlag, reason: Option<String>) -> bool {
         let start = Instant::now();
         let now = self.clock.now();
+        if self.faults.is_down() {
+            return false;
+        }
         let mut state = self.lock_state(start);
         let ok = match state.node_mut(name) {
             Some(n) => {
                 n.admin_flag = flag;
-                n.reason = reason;
+                n.reason = reason.clone();
                 true
             }
             None => false,
         };
         if ok {
+            self.wal.append(WalRecord::SetNodeFlag {
+                node: name.to_string(),
+                flag,
+                reason,
+            });
             self.publish_locked(&state, now);
         }
         ok
@@ -524,6 +688,9 @@ impl Slurmctld {
     pub fn set_partition_state(&self, name: &str, pstate: PartitionState) -> bool {
         let start = Instant::now();
         let now = self.clock.now();
+        if self.faults.is_down() {
+            return false;
+        }
         let mut state = self.lock_state(start);
         let ok = match state.partition_mut(name) {
             Some(p) => {
@@ -533,6 +700,10 @@ impl Slurmctld {
             None => false,
         };
         if ok {
+            self.wal.append(WalRecord::SetPartitionState {
+                partition: name.to_string(),
+                state: pstate,
+            });
             self.publish_locked(&state, now);
         }
         ok
@@ -541,9 +712,13 @@ impl Slurmctld {
     pub fn hold(&self, id: JobId, by_admin: bool) -> Result<(), ClusterError> {
         let start = Instant::now();
         let now = self.clock.now();
+        if self.faults.is_down() {
+            return Err(ClusterError::ControllerDown);
+        }
         let mut state = self.lock_state(start);
         let result = state.hold(id, by_admin);
         if result.is_ok() {
+            self.wal.append(WalRecord::Hold { id, by_admin });
             self.publish_locked(&state, now);
         }
         result
@@ -552,9 +727,13 @@ impl Slurmctld {
     pub fn release(&self, id: JobId) -> Result<(), ClusterError> {
         let start = Instant::now();
         let now = self.clock.now();
+        if self.faults.is_down() {
+            return Err(ClusterError::ControllerDown);
+        }
         let mut state = self.lock_state(start);
         let result = state.release(id);
         if result.is_ok() {
+            self.wal.append(WalRecord::Release { id });
             self.publish_locked(&state, now);
         }
         result
@@ -582,6 +761,55 @@ impl Slurmctld {
 
     pub fn dbd(&self) -> &Arc<crate::dbd::Slurmdbd> {
         &self.dbd
+    }
+
+    // ---- durability / crash recovery ---------------------------------------
+
+    /// True while a crash fault holds the daemon down (restart not yet due
+    /// or not yet consumed by a tick).
+    pub fn is_down(&self) -> bool {
+        self.faults.is_down()
+    }
+
+    /// Completed crash recoveries.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// What the most recent recovery replayed, lost, and cost.
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        *self.last_recovery.lock()
+    }
+
+    /// Checkpoints written so far (including checkpoint 0 at construction).
+    pub fn checkpoint_count(&self) -> u64 {
+        self.durable.save_count()
+    }
+
+    /// Sim-seconds between periodic checkpoints (tests shrink this to
+    /// exercise checkpoint + WAL-suffix recovery without long runs).
+    pub fn set_checkpoint_interval(&self, secs: u64) {
+        self.checkpoint_every.store(secs, Ordering::Relaxed);
+    }
+
+    /// Take a checkpoint immediately (admin/test hook). Flushes first so
+    /// the image and watermark agree.
+    pub fn checkpoint_now(&self) {
+        let start = Instant::now();
+        let now = self.clock.now();
+        let state = self.lock_state(start);
+        self.wal.flush();
+        let wal_seq = self.wal.flushed_seq();
+        let bytes = serde_json::to_vec(&state.checkpoint()).expect("checkpoint serializes");
+        self.durable.save(bytes, now, wal_seq);
+        self.wal.trim_through(wal_seq);
+        self.last_checkpoint.store(now.as_secs(), Ordering::Relaxed);
+    }
+
+    /// WAL records appended but not yet group-committed — what a crash at
+    /// this instant would lose.
+    pub fn wal_unflushed(&self) -> u64 {
+        self.wal.unflushed_len()
     }
 }
 

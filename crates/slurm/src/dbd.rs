@@ -3,15 +3,20 @@
 //! and Job Performance Metrics backends) see the full picture without
 //! touching slurmctld.
 
+use crate::durable::{DurableStore, RecoveryReport, Wal};
 use crate::job::{Job, JobId, JobState};
 use crate::loadmodel::{RpcCostModel, RpcStats};
-use hpcdash_faults::{FaultFailure, FaultHost};
+use hpcdash_faults::{FaultFailure, FaultHost, RestartToken};
 use hpcdash_obs::{PhaseProfiler, Span};
 use hpcdash_simtime::Timestamp;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Checkpoint the archive every N accepted `record_finished` batches.
+const CHECKPOINT_EVERY_BATCHES: u64 = 8;
 
 /// Filter for accounting queries, mirroring the sacct flags the dashboard
 /// uses (`-u`, `-A`, `-S`, `-E`, `--state`, `-j`).
@@ -93,6 +98,15 @@ pub struct Slurmdbd {
     /// Per-phase wall time on the ingest side (archive writes, mirror
     /// syncs) — the dbd half of the tick-phase profile.
     phases: PhaseProfiler,
+    /// Write-ahead log of archived rows since the last checkpoint,
+    /// flushed per accepted batch (each archive write IS the commit).
+    wal: Wal<Arc<Job>>,
+    /// Latest serialized archive checkpoint.
+    durable: DurableStore,
+    /// Accepted archive batches (drives the checkpoint cadence).
+    archive_batches: AtomicU64,
+    restarts: AtomicU64,
+    last_recovery: Mutex<Option<RecoveryReport>>,
 }
 
 impl Slurmdbd {
@@ -101,6 +115,14 @@ impl Slurmdbd {
     }
 
     pub fn with_cost(cost: RpcCostModel) -> Slurmdbd {
+        // Checkpoint 0 (empty archive): a crash before the first periodic
+        // checkpoint still has an image to recover from.
+        let durable = DurableStore::new();
+        durable.save(
+            serde_json::to_vec(&Vec::<Job>::new()).expect("checkpoint serializes"),
+            Timestamp(0),
+            0,
+        );
         Slurmdbd {
             archived: RwLock::new(BTreeMap::new()),
             active_mirror: RwLock::new(BTreeMap::new()),
@@ -108,6 +130,11 @@ impl Slurmdbd {
             stats: RpcStats::new(),
             faults: FaultHost::new("slurmdbd"),
             phases: PhaseProfiler::new(),
+            wal: Wal::new(65_536),
+            durable,
+            archive_batches: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            last_recovery: Mutex::new(None),
         }
     }
 
@@ -122,23 +149,46 @@ impl Slurmdbd {
     }
 
     /// Archive finished jobs (called by slurmctld). Accepts owned `Job`s or
-    /// shared `Arc<Job>` rows.
-    pub fn record_finished<J: Into<Arc<Job>>>(&self, jobs: impl IntoIterator<Item = J>) {
+    /// shared `Arc<Job>` rows. Returns false if the daemon is down (a crash
+    /// fault is active): the batch was refused and the caller must retain
+    /// it for retry — archival upserts by job id, so retries are safe.
+    pub fn record_finished<J: Into<Arc<Job>>>(&self, jobs: impl IntoIterator<Item = J>) -> bool {
+        self.try_recover();
+        let check = self.faults.check("record_finished");
+        check.burn();
+        if self.faults.is_down() {
+            return false;
+        }
         self.phases.time("archive", || {
             let mut archived = self.archived.write();
             for job in jobs {
                 let job = job.into();
+                self.wal.append(job.clone());
                 archived.insert(job.id, job);
             }
         });
+        // Each accepted batch commits immediately: slurmctld treats a
+        // `true` return as durable and drops the batch from its spool.
+        self.wal.flush();
+        let batches = self.archive_batches.fetch_add(1, Ordering::Relaxed) + 1;
+        if batches.is_multiple_of(CHECKPOINT_EVERY_BATCHES) {
+            self.checkpoint_now();
+        }
+        true
     }
 
     /// Replace the mirror of currently active jobs (called by slurmctld on
     /// every tick, handing over the snapshot's shared rows).
     pub fn sync_active<J: Into<Arc<Job>>>(&self, jobs: impl IntoIterator<Item = J>) {
+        self.try_recover();
         self.phases.time("mirror_sync", || {
             let check = self.faults.check("sync_active");
             check.burn();
+            if self.faults.is_down() {
+                // Crashed: the sync never arrives. The mirror is rebuilt by
+                // the first sync after recovery; nothing is retried.
+                return;
+            }
             if matches!(check.failure, Some(FaultFailure::Lag)) {
                 // The accounting daemon has fallen behind: drop this sync and
                 // keep answering queries from the last mirror it applied.
@@ -153,10 +203,77 @@ impl Slurmdbd {
         });
     }
 
+    /// Lazy crash recovery: the dbd has no tick loop, so the first RPC to
+    /// arrive after the restart time performs the rebuild.
+    fn try_recover(&self) {
+        if let Some(token) = self.faults.take_restart() {
+            self.recover(token);
+        }
+    }
+
+    /// Rebuild the archive as checkpoint + durable WAL suffix. The active
+    /// mirror died with the daemon and is NOT restored — it repopulates on
+    /// the next slurmctld sync; until then accounting honestly serves
+    /// archives only (the same observable gap a real dbd restart has).
+    #[cold]
+    fn recover(&self, token: RestartToken) {
+        let rebuild_start = Instant::now();
+        let wal_lost = self.wal.unflushed_len();
+        self.wal.drop_unflushed();
+        let cp = self
+            .durable
+            .latest()
+            .expect("construction always writes checkpoint 0");
+        let rows: Vec<Job> = serde_json::from_slice(&cp.bytes).expect("checkpoint decodes");
+        let mut rebuilt: BTreeMap<JobId, Arc<Job>> =
+            rows.into_iter().map(|j| (j.id, Arc::new(j))).collect();
+        let (records, truncated) = self.wal.replay_from(cp.wal_seq);
+        debug_assert!(!truncated, "checkpoints only trim the WAL they cover");
+        let wal_replayed = records.len() as u64;
+        for (_seq, job) in records {
+            rebuilt.insert(job.id, job);
+        }
+        *self.archived.write() = rebuilt;
+        self.active_mirror.write().clear();
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        *self.last_recovery.lock() = Some(RecoveryReport {
+            crashed_at: token.crashed_at,
+            recovered_at: token.down_until,
+            checkpoint_at: cp.at,
+            wal_replayed,
+            wal_lost,
+            // The dbd publishes no snapshot epoch; these stay 0.
+            epoch_before: 0,
+            epoch_after: 0,
+            duration_micros: rebuild_start.elapsed().as_micros() as u64,
+        });
+    }
+
+    /// Checkpoint the archive now and compact the covered WAL prefix. The
+    /// image's timestamp is the newest end time it contains (accounting
+    /// data carries its own time; the dbd holds no clock).
+    pub fn checkpoint_now(&self) {
+        let archived = self.archived.read();
+        let wal_seq = self.wal.flushed_seq();
+        let rows: Vec<Job> = archived.values().map(|j| Job::clone(j)).collect();
+        let at = rows
+            .iter()
+            .filter_map(|j| j.end_time)
+            .max()
+            .unwrap_or(Timestamp(0));
+        self.durable.save(
+            serde_json::to_vec(&rows).expect("checkpoint serializes"),
+            at,
+            wal_seq,
+        );
+        self.wal.trim_through(wal_seq);
+    }
+
     /// `sacct`-style query across active + archived jobs, newest first.
     pub fn query_jobs(&self, filter: &JobFilter) -> Vec<Job> {
         let _span = Span::enter("dbd").attr("kind", "sacct_query");
         let start = Instant::now();
+        self.try_recover();
         self.faults.check("sacct_query").burn();
         let mut out: Vec<Job> = Vec::new();
         let scanned;
@@ -190,6 +307,7 @@ impl Slurmdbd {
     pub fn job(&self, id: JobId) -> Option<Job> {
         let _span = Span::enter("dbd").attr("kind", "job_lookup");
         let start = Instant::now();
+        self.try_recover();
         self.faults.check("job_lookup").burn();
         let result = self
             .archived
@@ -206,6 +324,7 @@ impl Slurmdbd {
     pub fn array_tasks(&self, array_job_id: JobId) -> Vec<Job> {
         let _span = Span::enter("dbd").attr("kind", "array_lookup");
         let start = Instant::now();
+        self.try_recover();
         self.faults.check("array_lookup").burn();
         let mut out: Vec<Job> = Vec::new();
         {
@@ -235,6 +354,31 @@ impl Slurmdbd {
 
     pub fn stats(&self) -> &RpcStats {
         &self.stats
+    }
+
+    /// True while a crash fault holds the daemon down.
+    pub fn is_down(&self) -> bool {
+        self.faults.is_down()
+    }
+
+    /// Completed crash recoveries.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        *self.last_recovery.lock()
+    }
+
+    /// Checkpoints written so far (including checkpoint 0 at construction).
+    pub fn checkpoint_count(&self) -> u64 {
+        self.durable.save_count()
+    }
+
+    /// Jobs currently in the active mirror (observability: it empties on a
+    /// dbd restart and refills on the next slurmctld sync).
+    pub fn mirror_len(&self) -> usize {
+        self.active_mirror.read().len()
     }
 }
 

@@ -6,13 +6,18 @@
 //! transitions they have not seen, or subscribe through the push hub
 //! (`hpcdash-push`), which registers itself as an [`EventSink`] and fans
 //! each appended event out to parked long-poll subscribers.
+//!
+//! The storage core — a bounded deque with a monotonic sequence under one
+//! lock — is factored out as the generic [`Journal`], which also backs the
+//! daemons' write-ahead logs ([`crate::durable::Wal`]): same retention,
+//! same cursor semantics, same "truncated means resync" contract.
 
 use crate::job::{JobId, JobState, PendingReason};
 use hpcdash_simtime::Timestamp;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One job state transition.
@@ -40,21 +45,162 @@ pub struct JobEvent {
 /// the daemon lock.
 pub trait EventSink: Send + Sync {
     fn publish(&self, event: &JobEvent);
+
+    /// The event stream has a gap the sink cannot paper over: a daemon
+    /// crashed and recovered (replayed history is not re-delivered), or
+    /// retention was trimmed past a live cursor. Incremental delivery is
+    /// no longer trustworthy — consumers must resync from a fresh
+    /// snapshot. Default: ignore (poll-based consumers learn the same
+    /// thing from `since()`'s `truncated` flag).
+    fn discontinuity(&self) {}
 }
 
+/// A bounded, append-only journal with a monotonic sequence — the storage
+/// core shared by the cluster [`EventLog`] and the daemons' write-ahead
+/// logs ([`crate::durable::Wal`]).
+///
 /// Sequence assignment and storage live under ONE lock so `latest_seq()`
-/// can never be observed ahead of the events a concurrent `since()`
-/// returns (the two-lock version allowed a reader to see the bumped
-/// counter before the event landed in the deque).
-struct LogState {
-    events: VecDeque<JobEvent>,
+/// can never be observed ahead of the entries a concurrent `since()`
+/// returns (a two-lock version allowed a reader to see the bumped counter
+/// before the entry landed in the deque).
+pub struct Journal<T> {
+    state: RwLock<JournalState<T>>,
+    capacity: usize,
+}
+
+struct JournalState<T> {
+    entries: VecDeque<(u64, T)>,
     next_seq: u64,
+    /// Highest seq ever dropped from the FRONT (capacity eviction or
+    /// [`Journal::trim_through`]). A cursor below this floor has missed
+    /// retained history and must resync. Seqs dropped from the BACK by
+    /// [`Journal::truncate_after`] do NOT move it: a burned tail is not
+    /// history anyone was entitled to replay.
+    trimmed_through: u64,
+}
+
+impl<T: Clone> Journal<T> {
+    pub fn new(capacity: usize) -> Journal<T> {
+        Journal {
+            state: RwLock::new(JournalState {
+                entries: VecDeque::new(),
+                next_seq: 1,
+                trimmed_through: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append, letting the caller build the entry from its assigned seq.
+    /// Returns the seq and a clone of the stored entry.
+    pub fn append_with(&self, make: impl FnOnce(u64) -> T) -> (u64, T) {
+        let mut state = self.state.write();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.entries.len() >= self.capacity {
+            if let Some((evicted, _)) = state.entries.pop_front() {
+                state.trimmed_through = state.trimmed_through.max(evicted);
+            }
+        }
+        let item = make(seq);
+        state.entries.push_back((seq, item.clone()));
+        (seq, item)
+    }
+
+    /// Append an entry; returns its sequence number.
+    pub fn append(&self, item: T) -> u64 {
+        let mut state = self.state.write();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.entries.len() >= self.capacity {
+            if let Some((evicted, _)) = state.entries.pop_front() {
+                state.trimmed_through = state.trimmed_through.max(evicted);
+            }
+        }
+        state.entries.push_back((seq, item));
+        seq
+    }
+
+    /// Entries with `seq > since`, oldest first. `truncated` is true when
+    /// history the cursor was entitled to replay was dropped from the
+    /// front — capacity eviction or an explicit [`Journal::trim_through`]
+    /// moved the floor past it — so the consumer must resync rather than
+    /// silently miss entries. A tail burned by [`Journal::truncate_after`]
+    /// never trips it: those seqs were crash-lost everywhere, not skipped.
+    pub fn since(&self, since: u64) -> (Vec<(u64, T)>, bool) {
+        let state = self.state.read();
+        let truncated = since < state.trimmed_through;
+        (
+            state
+                .entries
+                .iter()
+                .filter(|(seq, _)| *seq > since)
+                .cloned()
+                .collect(),
+            truncated,
+        )
+    }
+
+    /// Drop every entry with `seq <= through` (checkpoint compaction: the
+    /// prefix is covered by a snapshot, only the suffix must replay).
+    pub fn trim_through(&self, through: u64) {
+        let mut state = self.state.write();
+        while state
+            .entries
+            .front()
+            .map(|(seq, _)| *seq <= through)
+            .unwrap_or(false)
+        {
+            state.entries.pop_front();
+        }
+        // Clamp to issued seqs: trimming "through 100" on a journal whose
+        // history stops at 10 leaves a cursor at 10 fully caught up.
+        let issued = state.next_seq - 1;
+        state.trimmed_through = state.trimmed_through.max(through.min(issued));
+    }
+
+    /// Drop every entry with `seq > after` — the crash-recovery "lost
+    /// tail": records appended but never committed die here. The sequence
+    /// counter is NOT rewound, so the discarded seqs are burned forever and
+    /// a later append can never silently resurrect a lost position.
+    pub fn truncate_after(&self, after: u64) {
+        let mut state = self.state.write();
+        while state
+            .entries
+            .back()
+            .map(|(seq, _)| *seq > after)
+            .unwrap_or(false)
+        {
+            state.entries.pop_back();
+        }
+    }
+
+    /// The newest sequence number issued (0 when empty).
+    pub fn latest_seq(&self) -> u64 {
+        self.state.read().next_seq - 1
+    }
+
+    /// The oldest retained sequence number, if any entry is retained.
+    pub fn first_seq(&self) -> Option<u64> {
+        self.state.read().entries.front().map(|(seq, _)| *seq)
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.read().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.state.read().entries.is_empty()
+    }
 }
 
 /// A bounded, append-only event log.
 pub struct EventLog {
-    state: RwLock<LogState>,
-    capacity: usize,
+    journal: Journal<JobEvent>,
     sinks: RwLock<Vec<Arc<dyn EventSink>>>,
     /// Cluster identity stamped onto every appended event (set once at
     /// daemon construction; `Arc<str>` so the hot path clones a refcount).
@@ -62,12 +208,17 @@ pub struct EventLog {
     /// How many `since()` scans have been served (the poll-cost observable
     /// the push hub exists to eliminate).
     scans: AtomicU64,
+    /// Raised while a recovering daemon replays its WAL: replayed
+    /// transitions are reconstruction, not new history — the pre-crash log
+    /// already delivered the journaled prefix — so appends are dropped and
+    /// sinks stay quiet until the follow-up discontinuity signal.
+    replay_mute: AtomicBool,
 }
 
 impl std::fmt::Debug for EventLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventLog")
-            .field("capacity", &self.capacity)
+            .field("capacity", &self.journal.capacity())
             .field("len", &self.len())
             .field("latest_seq", &self.latest_seq())
             .finish()
@@ -77,14 +228,11 @@ impl std::fmt::Debug for EventLog {
 impl EventLog {
     pub fn new(capacity: usize) -> EventLog {
         EventLog {
-            state: RwLock::new(LogState {
-                events: VecDeque::new(),
-                next_seq: 1,
-            }),
-            capacity: capacity.max(1),
+            journal: Journal::new(capacity),
             sinks: RwLock::new(Vec::new()),
             cluster: RwLock::new(Arc::from("")),
             scans: AtomicU64::new(0),
+            replay_mute: AtomicBool::new(false),
         }
     }
 
@@ -104,7 +252,24 @@ impl EventLog {
         self.cluster.read().clone()
     }
 
-    /// Append a transition; returns its sequence number.
+    /// Mute (or unmute) appends during crash-recovery replay. While muted,
+    /// `push` is a no-op returning seq 0. Recovery wraps its replay in
+    /// mute/unmute and then calls [`EventLog::signal_discontinuity`].
+    pub fn set_replay_mute(&self, muted: bool) {
+        self.replay_mute.store(muted, Ordering::Release);
+    }
+
+    /// Tell every sink the stream has a gap (crash recovery completed, or
+    /// history was trimmed past live cursors): incremental delivery cannot
+    /// be trusted, consumers must resync from a fresh snapshot.
+    pub fn signal_discontinuity(&self) {
+        for sink in self.sinks.read().iter() {
+            sink.discontinuity();
+        }
+    }
+
+    /// Append a transition; returns its sequence number (0 if the log is
+    /// replay-muted and the append was dropped).
     #[allow(clippy::too_many_arguments)]
     pub fn push(
         &self,
@@ -116,33 +281,26 @@ impl EventLog {
         to: JobState,
         reason: Option<PendingReason>,
     ) -> u64 {
+        if self.replay_mute.load(Ordering::Relaxed) {
+            return 0;
+        }
         let cluster = self.cluster.read().clone();
-        let event = {
-            let mut state = self.state.write();
-            let seq = state.next_seq;
-            state.next_seq += 1;
-            if state.events.len() >= self.capacity {
-                state.events.pop_front();
-            }
-            let event = JobEvent {
-                seq,
-                at,
-                cluster: cluster.to_string(),
-                job,
-                user: user.to_string(),
-                account: account.to_string(),
-                from,
-                to,
-                reason,
-            };
-            state.events.push_back(event.clone());
-            event
-        };
+        let (seq, event) = self.journal.append_with(|seq| JobEvent {
+            seq,
+            at,
+            cluster: cluster.to_string(),
+            job,
+            user: user.to_string(),
+            account: account.to_string(),
+            from,
+            to,
+            reason,
+        });
         // Fan out with the log lock released; sinks are non-blocking.
         for sink in self.sinks.read().iter() {
             sink.publish(&event);
         }
-        event.seq
+        seq
     }
 
     /// Events with `seq > since`, oldest first. `truncated` is true when the
@@ -152,26 +310,13 @@ impl EventLog {
     /// than silently missing history.
     pub fn since(&self, since: u64) -> (Vec<JobEvent>, bool) {
         self.scans.fetch_add(1, Ordering::Relaxed);
-        let state = self.state.read();
-        let truncated = state
-            .events
-            .front()
-            .map(|e| e.seq > since + 1)
-            .unwrap_or(false);
-        (
-            state
-                .events
-                .iter()
-                .filter(|e| e.seq > since)
-                .cloned()
-                .collect(),
-            truncated,
-        )
+        let (entries, truncated) = self.journal.since(since);
+        (entries.into_iter().map(|(_, e)| e).collect(), truncated)
     }
 
     /// The newest sequence number issued (0 when empty).
     pub fn latest_seq(&self) -> u64 {
-        self.state.read().next_seq - 1
+        self.journal.latest_seq()
     }
 
     /// How many `since()` scans this log has served.
@@ -180,11 +325,11 @@ impl EventLog {
     }
 
     pub fn len(&self) -> usize {
-        self.state.read().events.len()
+        self.journal.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.state.read().events.is_empty()
+        self.journal.is_empty()
     }
 }
 
@@ -356,5 +501,119 @@ mod tests {
         seqs.dedup();
         assert_eq!(seqs.len(), before, "no duplicate sequence numbers");
         assert_eq!(log.latest_seq(), 4_000);
+    }
+
+    #[test]
+    fn journal_trim_through_compacts_the_prefix() {
+        let j: Journal<u64> = Journal::new(100);
+        for i in 0..10 {
+            assert_eq!(j.append(i), i + 1);
+        }
+        j.trim_through(6);
+        assert_eq!(j.first_seq(), Some(7));
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.latest_seq(), 10, "trim never moves the seq counter");
+        // Trimming past the tail empties the journal but keeps the seq.
+        j.trim_through(100);
+        assert!(j.is_empty());
+        assert_eq!(j.latest_seq(), 10);
+        assert_eq!(j.append(99), 11, "appends resume after full trim");
+    }
+
+    #[test]
+    fn truncate_after_burns_the_lost_tail() {
+        let j: Journal<u64> = Journal::new(100);
+        for i in 0..10 {
+            j.append(i);
+        }
+        j.truncate_after(7);
+        assert_eq!(j.latest_seq(), 10, "seq counter is never rewound");
+        assert_eq!(j.len(), 7);
+        let (entries, truncated) = j.since(0);
+        assert_eq!(entries.last().map(|(s, _)| *s), Some(7));
+        assert!(!truncated, "the front is intact; only the tail died");
+        // The burned seqs 8..=10 are gone for good: the next append takes
+        // seq 11, so no later record can impersonate a lost one.
+        assert_eq!(j.append(99), 11);
+    }
+
+    #[test]
+    fn cursor_predating_trimmed_journal_gets_resync_signal() {
+        // The WAL-compaction contract: a consumer whose cursor predates
+        // the retained journal must see `truncated = true`, never a silent
+        // gap — same rule as capacity eviction.
+        let j: Journal<u64> = Journal::new(100);
+        for i in 0..10 {
+            j.append(i);
+        }
+        j.trim_through(6);
+        let (entries, truncated) = j.since(2);
+        assert!(truncated, "cursor 2 predates retained front 7 — resync");
+        assert_eq!(
+            entries.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+        // A cursor exactly at the trim point is fine: nothing was skipped.
+        let (entries, truncated) = j.since(6);
+        assert!(!truncated);
+        assert_eq!(entries.len(), 4);
+        // A fully trimmed journal still flags stale cursors...
+        j.trim_through(100);
+        let (entries, truncated) = j.since(3);
+        assert!(entries.is_empty());
+        assert!(truncated, "empty journal with history past the cursor");
+        // ...but an up-to-date cursor against it is clean.
+        let (_, truncated) = j.since(10);
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn replay_mute_drops_appends_and_sink_fanout() {
+        struct Collect(parking_lot::Mutex<Vec<u64>>);
+        impl EventSink for Collect {
+            fn publish(&self, event: &JobEvent) {
+                self.0.lock().push(event.seq);
+            }
+        }
+        let log = EventLog::new(100);
+        let sink = Arc::new(Collect(parking_lot::Mutex::new(Vec::new())));
+        log.add_sink(sink.clone());
+        push_n(&log, 3);
+        log.set_replay_mute(true);
+        let seq = log.push(
+            Timestamp(9),
+            JobId(9),
+            "u",
+            "a",
+            None,
+            JobState::Pending,
+            None,
+        );
+        assert_eq!(seq, 0, "muted append is dropped");
+        assert_eq!(log.latest_seq(), 3);
+        log.set_replay_mute(false);
+        push_n(&log, 1);
+        assert_eq!(log.latest_seq(), 4);
+        assert_eq!(sink.0.lock().len(), 4, "sink never saw the muted push");
+    }
+
+    #[test]
+    fn discontinuity_reaches_every_sink() {
+        #[derive(Default)]
+        struct Gap(AtomicU64);
+        impl EventSink for Gap {
+            fn publish(&self, _event: &JobEvent) {}
+            fn discontinuity(&self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let log = EventLog::new(8);
+        let a = Arc::new(Gap::default());
+        let b = Arc::new(Gap::default());
+        log.add_sink(a.clone());
+        log.add_sink(b.clone());
+        log.signal_discontinuity();
+        assert_eq!(a.0.load(Ordering::Relaxed), 1);
+        assert_eq!(b.0.load(Ordering::Relaxed), 1);
     }
 }

@@ -23,6 +23,7 @@ pub mod assoc;
 pub mod cluster;
 pub mod ctld;
 pub mod dbd;
+pub mod durable;
 pub mod events;
 pub mod job;
 pub mod joblog;

@@ -119,6 +119,11 @@ pub struct CollectOutcome {
     pub samples: u64,
     pub jobs: u64,
     pub nodes: u64,
+    /// The pass was skipped because the controller was crash-injected down.
+    /// The published snapshot predates the outage, so sampling it would
+    /// backfill the gap with stale data; the honest answer is no points at
+    /// all for this timestamp.
+    pub skipped_down: bool,
 }
 
 /// Sample every running job and every node in the snapshot at `ts`,

@@ -16,6 +16,7 @@ use hpcdash_simtime::SharedClock;
 use hpcdash_slurm::ctld::Slurmctld;
 use hpcdash_slurm::loadmodel::{RpcCostModel, RpcStats};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,6 +31,12 @@ pub struct TelemetryD {
     /// range-queryable history.
     registry: Mutex<Option<Arc<Registry>>>,
     phases: PhaseProfiler,
+    /// Collection passes skipped because the controller was down — each one
+    /// is a deliberate hole in every series rather than stale backfill.
+    gap_skips: AtomicU64,
+    /// Sim-time of the most recent skipped pass (`-1` = never), so query
+    /// surfaces can annotate where the gap sits.
+    last_gap_at: AtomicI64,
 }
 
 impl TelemetryD {
@@ -60,6 +67,8 @@ impl TelemetryD {
             stats: RpcStats::new(),
             registry: Mutex::new(None),
             phases: PhaseProfiler::new(),
+            gap_skips: AtomicU64::new(0),
+            last_gap_at: AtomicI64::new(-1),
         }
     }
 
@@ -78,8 +87,24 @@ impl TelemetryD {
     /// Lock-free with respect to slurmctld: the snapshot is an epoch load.
     pub fn collect_now(&self) -> CollectOutcome {
         let t0 = Instant::now();
-        let snap = self.ctld.snapshot();
         let ts = self.clock.now().as_secs() as i64;
+        // A crashed controller still has a published (pre-crash) snapshot;
+        // sampling it would silently backfill the outage with stale numbers.
+        // Skip the pass and annotate the gap instead — sparklines show a
+        // hole, not an interpolated lie.
+        if self.ctld.is_down() {
+            self.gap_skips.fetch_add(1, Ordering::Relaxed);
+            self.last_gap_at.store(ts, Ordering::Relaxed);
+            if let Some(reg) = self.registry.lock().clone() {
+                reg.counter("hpcdash_telemetry_gap_skips_total", &[]).inc();
+            }
+            self.stats.record("collect", t0.elapsed());
+            return CollectOutcome {
+                skipped_down: true,
+                ..CollectOutcome::default()
+            };
+        }
+        let snap = self.ctld.snapshot();
         let out = self
             .phases
             .time("tsdb_ingest", || collector::collect(&self.store, &snap, ts));
@@ -144,6 +169,19 @@ impl TelemetryD {
         self.cost.burn(1);
         self.stats.record("series_mean", t0.elapsed());
         mean
+    }
+
+    /// Collection passes skipped because the controller was down.
+    pub fn gap_skips(&self) -> u64 {
+        self.gap_skips.load(Ordering::Relaxed)
+    }
+
+    /// Sim-time of the most recent skipped pass, if any ever happened.
+    pub fn last_gap_at(&self) -> Option<i64> {
+        match self.last_gap_at.load(Ordering::Relaxed) {
+            t if t >= 0 => Some(t),
+            _ => None,
+        }
     }
 
     /// Direct store access (ingest stats, uncosted reads for exporters).
